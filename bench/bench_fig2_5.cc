@@ -1,0 +1,193 @@
+// Figure 2.5 — Compaction, Reduction, and Compression Evaluation: read
+// throughput and memory for each dynamic structure vs its compact (D-to-S
+// rules #1+#2) variant, plus the Compressed B+tree (rule #3), across three
+// key types (random int, mono-inc int, email).
+#include <cstdio>
+
+#include "art/art.h"
+#include "art/compact_art.h"
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "btree/compact_btree.h"
+#include "btree/compressed_btree.h"
+#include "common/random.h"
+#include "keys/keygen.h"
+#include "masstree/compact_masstree.h"
+#include "masstree/masstree.h"
+#include "skiplist/compact_skiplist.h"
+#include "skiplist/skiplist.h"
+#include "ycsb/workload.h"
+
+using namespace met;
+
+namespace {
+
+struct Dataset {
+  const char* name;
+  std::vector<uint64_t> ints;        // empty for email
+  std::vector<std::string> strings;  // always populated (big-endian for ints)
+};
+
+void Report(const char* structure, const char* variant, const char* dataset,
+            double mops, size_t mem) {
+  std::printf("%-10s %-12s %-10s %10.2f %12.1f\n", structure, variant, dataset,
+              mops, bench::Mb(mem));
+}
+
+template <typename Entries>
+Entries SortedEntries(const std::vector<uint64_t>& ints) {
+  Entries entries;
+  auto sorted = ints;
+  SortUnique(&sorted);
+  for (auto k : sorted) entries.push_back({k, k, false});
+  return entries;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 2.5: D-to-S Rules (read throughput Mops/s, memory MB)");
+  size_t n = 1000000 * bench::Scale();
+  size_t q = 1000000;
+
+  std::vector<Dataset> datasets;
+  datasets.push_back({"rand", GenRandomInts(n), {}});
+  datasets.push_back({"mono-inc", GenMonoIncInts(n), {}});
+  datasets.push_back({"email", {}, GenEmails(n / 2)});
+  for (auto& d : datasets)
+    if (d.strings.empty()) d.strings = ToStringKeys(d.ints);
+
+  auto queries = GenYcsbRequests(n / 2, q, YcsbSpec::WorkloadC());
+  std::printf("%-10s %-12s %-10s %10s %12s\n", "Structure", "Variant",
+              "Keys", "Mops/s", "Memory(MB)");
+
+  for (const auto& d : datasets) {
+    size_t nk = d.strings.size();
+    auto qidx = [&](size_t i) { return queries[i].key_index % nk; };
+
+    // ---- B+tree family (integer keys only, as in the thesis) ----
+    if (!d.ints.empty()) {
+      BTree<uint64_t> bt;
+      for (auto k : d.ints) bt.Insert(k, k);
+      Report("B+tree", "original", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               bt.Find(d.ints[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             bt.MemoryBytes());
+
+      CompactBTree<uint64_t> cbt;
+      cbt.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
+      Report("B+tree", "compact", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               cbt.Find(d.ints[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             cbt.MemoryBytes());
+
+      CompressedBTree<uint64_t> zbt;
+      zbt.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
+      Report("B+tree", "compressed", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               zbt.Find(d.ints[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             zbt.MemoryBytes());
+
+      SkipList<uint64_t> sl;
+      for (auto k : d.ints) sl.Insert(k, k);
+      Report("SkipList", "original", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               sl.Find(d.ints[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             sl.MemoryBytes());
+
+      CompactSkipList<uint64_t> csl;
+      csl.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
+      Report("SkipList", "compact", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               csl.Find(d.ints[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             csl.MemoryBytes());
+    } else {
+      // String keys: B+tree/SkipList over std::string.
+      BTree<std::string> bt;
+      for (size_t i = 0; i < d.strings.size(); ++i) bt.Insert(d.strings[i], i);
+      Report("B+tree", "original", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               bt.Find(d.strings[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             bt.MemoryBytes());
+
+      std::vector<MergeEntry<std::string, uint64_t>> entries;
+      auto sorted = d.strings;
+      SortUnique(&sorted);
+      for (size_t i = 0; i < sorted.size(); ++i) entries.push_back({sorted[i], i, false});
+      CompactBTree<std::string> cbt;
+      cbt.Build(std::move(entries));
+      Report("B+tree", "compact", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               cbt.Find(d.strings[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             cbt.MemoryBytes());
+
+      SkipList<std::string> sl;
+      for (size_t i = 0; i < d.strings.size(); ++i) sl.Insert(d.strings[i], i);
+      Report("SkipList", "original", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               sl.Find(d.strings[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             sl.MemoryBytes());
+    }
+
+    // ---- Masstree & ART (string interface) ----
+    {
+      Masstree mt;
+      for (size_t i = 0; i < d.strings.size(); ++i) mt.Insert(d.strings[i], i);
+      Report("Masstree", "original", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               mt.Find(d.strings[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             mt.MemoryBytes());
+
+      auto sorted = d.strings;
+      SortUnique(&sorted);
+      std::vector<uint64_t> vals(sorted.size());
+      for (size_t i = 0; i < vals.size(); ++i) vals[i] = i;
+      CompactMasstree cmt;
+      cmt.Build(sorted, vals);
+      Report("Masstree", "compact", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               cmt.Find(d.strings[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             cmt.MemoryBytes());
+
+      Art art;
+      for (size_t i = 0; i < d.strings.size(); ++i) art.Insert(d.strings[i], i);
+      Report("ART", "original", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               art.Find(d.strings[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             art.MemoryBytes());
+
+      CompactArt cart;
+      cart.Build(sorted, vals);
+      Report("ART", "compact", d.name, bench::Mops(q, [&](size_t i) {
+               uint64_t v;
+               cart.Find(d.strings[qidx(i)], &v);
+             met::bench::Consume(v);
+             }),
+             cart.MemoryBytes());
+    }
+  }
+  bench::Note("paper: compact variants are up to 20% faster and 30-71% smaller; block compression saves a bit more space but costs 18-34% throughput");
+  return 0;
+}

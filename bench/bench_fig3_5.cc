@@ -1,0 +1,66 @@
+// Figure 3.5 — FST vs Other Succinct Tries: point-query throughput and
+// memory for FST against a baseline succinct trie (our stand-in for
+// tx-trie/PDT: the same LOUDS-Sparse encoding with generic Poppy-style
+// rank/select, no LOUDS-Dense, no SIMD/prefetch — see DESIGN.md). All tries
+// store complete keys.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fst/fst.h"
+#include "keys/keygen.h"
+#include "ycsb/workload.h"
+
+using namespace met;
+
+namespace {
+
+void Run(const char* name, const std::vector<std::string>& keys) {
+  size_t q = 1000000;
+  auto queries = GenYcsbRequests(keys.size(), q, YcsbSpec::WorkloadC());
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+
+  FstConfig baseline;  // "earlier succinct trie" design point
+  baseline.max_dense_levels = 0;
+  baseline.fast_rank = false;
+  baseline.fast_select = false;
+  baseline.simd_label_search = false;
+  baseline.prefetch = false;
+
+  struct Case {
+    const char* label;
+    FstConfig cfg;
+  } cases[] = {{"baseline-succinct", baseline}, {"FST", FstConfig{}}};
+
+  for (const auto& c : cases) {
+    Fst t;
+    t.Build(keys, values, c.cfg);
+    double mops = bench::Mops(q, [&](size_t i) {
+      uint64_t v;
+      t.Find(keys[queries[i].key_index], &v);
+             met::bench::Consume(v);
+    });
+    std::printf("%-20s %-7s %10.2f %12.1f\n", c.label, name, mops,
+                bench::Mb(t.MemoryBytes()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 3.5: FST vs other succinct tries (full keys)");
+  std::printf("%-20s %-7s %10s %12s\n", "Trie", "Keys", "Mops/s", "Memory(MB)");
+  size_t n = 1000000 * bench::Scale();
+  {
+    auto ints = GenRandomInts(n);
+    SortUnique(&ints);
+    Run("int", ToStringKeys(ints));
+  }
+  {
+    auto emails = GenEmails(n / 2);
+    SortUnique(&emails);
+    Run("email", emails);
+  }
+  bench::Note("paper: FST is 4-15x faster than tx-trie/PDT while smaller");
+  return 0;
+}

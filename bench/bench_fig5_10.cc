@@ -1,0 +1,56 @@
+// Figure 5.10 — Secondary (non-unique) indexes: Hybrid B+tree vs B+tree
+// with 10 values per key (modeled as composite key||value-id entries with
+// the uniqueness check disabled; see DESIGN.md).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "hybrid/hybrid.h"
+#include "keys/keygen.h"
+#include "ycsb/workload.h"
+
+using namespace met;
+
+int main() {
+  bench::Title("Figure 5.10: secondary-index mode (10 values/key, rand int)");
+  size_t unique_keys = 100000 * bench::Scale();
+  auto base = GenRandomInts(unique_keys);
+  std::vector<uint64_t> keys;  // composite (key, value-id)
+  keys.reserve(unique_keys * 10);
+  for (auto k : base)
+    for (uint64_t v = 0; v < 10; ++v) keys.push_back((k << 4) | v);
+
+  size_t q = 1000000;
+  auto reads = GenYcsbRequests(unique_keys, q, YcsbSpec::WorkloadC());
+
+  {
+    BTree<uint64_t> t;
+    double ins = bench::Mops(keys.size(), [&](size_t i) {
+      t.Insert(keys[i], i);
+    });
+    std::vector<uint64_t> out;
+    double rd = bench::Mops(q, [&](size_t i) {
+      out.clear();
+      t.Scan(base[reads[i].key_index] << 4, 10, &out);
+    });
+    std::printf("%-10s ins %7.2f  read10 %7.2f Mops/s  %8.1f MB\n", "B+tree",
+                ins, rd, bench::Mb(t.MemoryBytes()));
+  }
+  {
+    HybridConfig cfg;
+    cfg.unique = false;  // no two-stage uniqueness check
+    HybridBTree<uint64_t> t(cfg);
+    double ins = bench::Mops(keys.size(), [&](size_t i) {
+      t.Insert(keys[i], i);
+    });
+    std::vector<uint64_t> out;
+    double rd = bench::Mops(q, [&](size_t i) {
+      out.clear();
+      t.Scan(base[reads[i].key_index] << 4, 10, &out);
+    });
+    std::printf("%-10s ins %7.2f  read10 %7.2f Mops/s  %8.1f MB\n", "Hybrid",
+                ins, rd, bench::Mb(t.MemoryBytes()));
+  }
+  bench::Note("paper: without the uniqueness check the hybrid insert gap shrinks; memory savings grow with key duplication");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figures 5.11-5.13 + Table 5.1 — In-Memory Workloads: mini-DBMS throughput,
+// index memory and total memory for TPC-C / Voter / Articles under the three
+// index configurations, plus transaction latency percentiles for TPC-C.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "minidb/minidb.h"
+#include "minidb/workloads.h"
+
+using namespace met;
+
+int main() {
+  bench::Title("Figures 5.11-5.13 / Table 5.1: in-memory DBMS evaluation");
+  size_t txns = 200000 * bench::Scale();
+
+  struct Make {
+    const char* name;
+    std::unique_ptr<WorkloadDriver> (*make)();
+  } workloads[] = {
+      {"TPC-C", +[] { return MakeTpccDriver(2, 10, 300, 10000); }},
+      {"Voter", +[] { return MakeVoterDriver(6, 1000000); }},
+      {"Articles", +[] { return MakeArticlesDriver(20000, 10000); }},
+  };
+
+  for (const auto& w : workloads) {
+    for (IndexKind kind : {IndexKind::kBTree, IndexKind::kHybrid,
+                           IndexKind::kHybridCompressed}) {
+      MiniDb db(kind);
+      auto driver = w.make();
+      driver->Load(&db);
+      Random rng(42);
+      std::vector<double> latencies_us;
+      latencies_us.reserve(txns);
+      Timer total;
+      for (size_t i = 0; i < txns; ++i) {
+        Timer t;
+        driver->RunTransaction(&db, &rng);
+        latencies_us.push_back(t.ElapsedNanos() / 1e3);
+      }
+      double secs = total.ElapsedSeconds();
+      std::sort(latencies_us.begin(), latencies_us.end());
+      auto pct = [&](double p) {
+        return latencies_us[static_cast<size_t>(p * (latencies_us.size() - 1))];
+      };
+      std::printf(
+          "%-9s %-18s %8.0f ktxn/s | index %7.1f MB  total %7.1f MB | "
+          "lat us p50 %6.1f  p99 %8.1f  max %10.1f\n",
+          w.name, IndexKindName(kind), txns / secs / 1e3,
+          bench::Mb(db.PrimaryIndexBytes() + db.SecondaryIndexBytes()),
+          bench::Mb(db.TotalMemoryBytes()), pct(0.5), pct(0.99),
+          latencies_us.back());
+    }
+  }
+  bench::Note("paper: hybrid cuts index memory 40-55% (compressed 50-65%) for a 1-10% throughput drop; p50/p99 unchanged, MAX grows (blocking merges)");
+  return 0;
+}

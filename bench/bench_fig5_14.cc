@@ -1,0 +1,55 @@
+// Figures 5.14-5.16 — Larger-than-Memory Workloads: with anti-caching
+// enabled and a fixed memory budget, the index memory saved by hybrid
+// indexes lets the DBMS keep more tuples resident and sustain higher
+// throughput; the x-axis is transactions executed (as in the thesis).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "minidb/minidb.h"
+#include "minidb/workloads.h"
+
+using namespace met;
+
+int main() {
+  bench::Title("Figures 5.14-5.16: larger-than-memory (anti-caching) evaluation");
+  size_t txns = 300000 * bench::Scale();
+  size_t windows = 6;
+
+  struct Make {
+    const char* name;
+    std::unique_ptr<WorkloadDriver> (*make)();
+    size_t budget_mb;
+  } workloads[] = {
+      {"TPC-C", +[] { return MakeTpccDriver(2, 10, 300, 10000); }, 60},
+      {"Voter", +[] { return MakeVoterDriver(6, 1000000); }, 24},
+      {"Articles", +[] { return MakeArticlesDriver(20000, 10000); }, 26},
+  };
+
+  for (const auto& w : workloads) {
+    for (IndexKind kind : {IndexKind::kBTree, IndexKind::kHybrid,
+                           IndexKind::kHybridCompressed}) {
+      MiniDb db(kind);
+      auto driver = w.make();
+      driver->Load(&db);
+      db.EnableAntiCaching(w.budget_mb * 1000000);
+      Random rng(42);
+      std::printf("%-9s %-18s budget %3zu MB |", w.name, IndexKindName(kind),
+                  w.budget_mb);
+      size_t per_window = txns / windows;
+      for (size_t win = 0; win < windows; ++win) {
+        Timer t;
+        for (size_t i = 0; i < per_window; ++i)
+          driver->RunTransaction(&db, &rng);
+        std::printf(" %6.0f", per_window / t.ElapsedSeconds() / 1e3);
+      }
+      std::printf(" ktxn/s | evict %7zu fetch %7zu | mem %6.1f MB\n",
+                  static_cast<size_t>(db.stats().evictions),
+                  static_cast<size_t>(db.stats().anticache_fetches),
+                  bench::Mb(db.TotalMemoryBytes()));
+    }
+  }
+  bench::Note("paper: hybrid indexes delay the first eviction and keep more tuples in memory, sustaining more transactions in the same window");
+  return 0;
+}

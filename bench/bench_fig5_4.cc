@@ -1,0 +1,25 @@
+// Figure 5.4 — Hybrid Masstree vs Original Masstree across key types.
+#include "bench/hybrid_bench.h"
+#include "hybrid/hybrid.h"
+#include "masstree/masstree.h"
+
+using namespace met;
+using namespace met::bench;
+
+int main() {
+  Title("Figure 5.4: Hybrid Masstree vs original Masstree");
+  size_t n = 1000000 * Scale();
+  for (bool mono : {false, true}) {
+    const char* kn = mono ? "mono-inc" : "rand";
+    auto keys = ToStringKeys(IntDataset(mono, n));
+    RunYcsbSuite<Masstree>("Masstree", kn, keys);
+    RunYcsbSuite<HybridMasstree>("Hybrid", kn, keys);
+  }
+  {
+    auto keys = GenEmails(n / 2);
+    RunYcsbSuite<Masstree>("Masstree", "email", keys);
+    RunYcsbSuite<HybridMasstree>("Hybrid", "email", keys);
+  }
+  Note("paper: hybrid Masstree shows the largest memory savings (flattened trie nodes + keybag consolidation)");
+  return 0;
+}

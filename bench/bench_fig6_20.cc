@@ -1,0 +1,96 @@
+// Figures 6.20-6.21 — HOPE-optimized B+tree and Prefix B+tree: point/range
+// performance and memory with and without HOPE key compression; the Prefix
+// B+tree gains less because it already truncates shared prefixes (Fig 6.7).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "btree/prefix_btree.h"
+#include "common/random.h"
+#include "hope/hope.h"
+#include "keys/keygen.h"
+#include "ycsb/workload.h"
+
+using namespace met;
+
+namespace {
+
+void Run(const char* name, std::vector<std::string> keys) {
+  SortUnique(&keys);
+  std::vector<std::string> sample(keys.begin(),
+                                  keys.begin() + keys.size() / 100 + 1);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+  size_t q = 500000;
+  auto reqs = GenYcsbRequests(keys.size(), q, YcsbSpec::WorkloadC());
+
+  struct Cfg {
+    const char* label;
+    bool hope;
+    HopeScheme scheme;
+  } cfgs[] = {{"plain", false, HopeScheme::kSingleChar},
+              {"+Single", true, HopeScheme::kSingleChar},
+              {"+Double", true, HopeScheme::kDoubleChar},
+              {"+3Grams", true, HopeScheme::k3Grams}};
+
+  for (const auto& c : cfgs) {
+    HopeEncoder enc;
+    std::vector<std::string> ekeys = keys;
+    if (c.hope) {
+      enc.Build(sample, c.scheme, 1 << 14);
+      for (auto& k : ekeys) k = enc.Encode(k);
+    }
+    {
+      BTree<std::string> t;
+      for (size_t i = 0; i < ekeys.size(); ++i) t.Insert(ekeys[i], i);
+      std::string scratch;
+      double mops = bench::Mops(q, [&](size_t i) {
+        const std::string& k = keys[reqs[i].key_index];
+        uint64_t v = 0;
+        if (c.hope) {
+          scratch.clear();
+          enc.EncodeBits(k, &scratch);
+          t.Find(scratch, &v);
+        } else {
+          t.Find(k, &v);
+        }
+        bench::Consume(v);
+      });
+      std::printf("B+tree       %-8s %-7s %8.2f Mops/s %10.1f MB\n", c.label,
+                  name, mops, bench::Mb(t.MemoryBytes()));
+    }
+    {
+      auto sorted = ekeys;
+      SortUnique(&sorted);
+      PrefixBTree<> t;
+      t.Build(sorted, values);
+      std::string scratch;
+      double mops = bench::Mops(q, [&](size_t i) {
+        const std::string& k = keys[reqs[i].key_index];
+        uint64_t v = 0;
+        if (c.hope) {
+          scratch.clear();
+          enc.EncodeBits(k, &scratch);
+          t.Find(scratch, &v);
+        } else {
+          t.Find(k, &v);
+        }
+        bench::Consume(v);
+      });
+      std::printf("PrefixB+tree %-8s %-7s %8.2f Mops/s %10.1f MB\n", c.label,
+                  name, mops, bench::Mb(t.MemoryBytes()));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figures 6.20-6.21: HOPE-optimized B+tree / Prefix B+tree");
+  size_t n = 500000 * bench::Scale();
+  Run("email", GenEmails(n));
+  Run("wiki", GenWords(n));
+  Run("url", GenUrls(n));
+  bench::Note("paper: full-key B+trees gain the most from HOPE; prefix B+trees less (keys already partially truncated)");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Core-operation microbenchmarks on the google-benchmark harness:
+// per-operation costs of the headline structures (FST, SuRF, HOPE, hybrid
+// index) independent of the paper-figure harnesses.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "fst/fst.h"
+#include "hope/hope.h"
+#include "hybrid/hybrid.h"
+#include "keys/keygen.h"
+#include "surf/surf.h"
+
+namespace met {
+namespace {
+
+const std::vector<std::string>& EmailKeys() {
+  static const auto* keys = [] {
+    auto* k = new std::vector<std::string>(GenEmails(200000));
+    SortUnique(k);
+    return k;
+  }();
+  return *keys;
+}
+
+void BM_FstPointQuery(benchmark::State& state) {
+  const auto& keys = EmailKeys();
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+  Fst fst;
+  FstConfig cfg;
+  cfg.max_dense_levels = static_cast<int>(state.range(0));
+  fst.Build(keys, values, cfg);
+  Random rng(1);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fst.Find(keys[rng.Uniform(keys.size())], &v));
+  }
+}
+BENCHMARK(BM_FstPointQuery)->Arg(-1)->Arg(0);
+
+void BM_FstLowerBound(benchmark::State& state) {
+  const auto& keys = EmailKeys();
+  std::vector<uint64_t> values(keys.size(), 0);
+  Fst fst;
+  fst.Build(keys, values);
+  Random rng(2);
+  for (auto _ : state) {
+    auto it = fst.LowerBound(keys[rng.Uniform(keys.size())]);
+    benchmark::DoNotOptimize(it.Valid());
+  }
+}
+BENCHMARK(BM_FstLowerBound);
+
+void BM_SurfMayContain(benchmark::State& state) {
+  const auto& keys = EmailKeys();
+  Surf surf;
+  surf.Build(keys, SurfConfig::Mixed(4, 4));
+  Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(surf.MayContain(keys[rng.Uniform(keys.size())]));
+  }
+}
+BENCHMARK(BM_SurfMayContain);
+
+void BM_SurfCount(benchmark::State& state) {
+  const auto& keys = EmailKeys();
+  Surf surf;
+  surf.Build(keys, SurfConfig::Real(8));
+  Random rng(4);
+  for (auto _ : state) {
+    size_t i = rng.Uniform(keys.size() - 1000);
+    benchmark::DoNotOptimize(surf.Count(keys[i], keys[i + 999]));
+  }
+}
+BENCHMARK(BM_SurfCount);
+
+void BM_HopeEncode(benchmark::State& state) {
+  const auto& keys = EmailKeys();
+  std::vector<std::string> sample(keys.begin(), keys.begin() + 2000);
+  HopeEncoder enc;
+  enc.Build(sample, static_cast<HopeScheme>(state.range(0)), 1 << 14);
+  Random rng(5);
+  std::string scratch;
+  for (auto _ : state) {
+    scratch.clear();
+    benchmark::DoNotOptimize(
+        enc.EncodeBits(keys[rng.Uniform(keys.size())], &scratch));
+  }
+}
+BENCHMARK(BM_HopeEncode)
+    ->Arg(static_cast<int>(HopeScheme::kSingleChar))
+    ->Arg(static_cast<int>(HopeScheme::k3Grams))
+    ->Arg(static_cast<int>(HopeScheme::kAlmImproved));
+
+void BM_HybridInsert(benchmark::State& state) {
+  HybridBTree<uint64_t> index;
+  Random rng(6);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Insert(MixHash64(++k), k));
+  }
+}
+BENCHMARK(BM_HybridInsert);
+
+void BM_HybridFind(benchmark::State& state) {
+  HybridBTree<uint64_t> index;
+  auto keys = GenRandomInts(500000);
+  for (size_t i = 0; i < keys.size(); ++i) index.Insert(keys[i], i);
+  Random rng(7);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Find(keys[rng.Uniform(keys.size())], &v));
+  }
+}
+BENCHMARK(BM_HybridFind);
+
+}  // namespace
+}  // namespace met
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Every bench binary prints the rows/series of one table or figure from the
+// thesis. Dataset sizes default to laptop scale; set MET_SCALE=<n> to
+// multiply them.
+#ifndef MET_BENCH_BENCH_UTIL_H_
+#define MET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace met::bench {
+
+/// Optimization sink: accumulate query results here so the compiler cannot
+/// eliminate inlined lookup loops as dead code.
+inline volatile uint64_t sink = 0;
+
+template <typename T>
+inline void Consume(const T& x) {
+  sink = sink + static_cast<uint64_t>(x);
+}
+
+inline size_t Scale() {
+  const char* s = std::getenv("MET_SCALE");
+  if (s == nullptr) return 1;
+  long v = std::atol(s);
+  return v < 1 ? 1 : static_cast<size_t>(v);
+}
+
+inline void Title(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void Note(const char* note) { std::printf("  (%s)\n", note); }
+
+/// Runs `fn(i)` for i in [0, ops) and returns million ops per second.
+template <typename Fn>
+double Mops(size_t ops, Fn&& fn) {
+  met::Timer timer;
+  for (size_t i = 0; i < ops; ++i) fn(i);
+  double s = timer.ElapsedSeconds();
+  return s <= 0 ? 0 : static_cast<double>(ops) / s / 1e6;
+}
+
+inline double Mb(size_t bytes) { return static_cast<double>(bytes) / 1e6; }
+
+}  // namespace met::bench
+
+#endif  // MET_BENCH_BENCH_UTIL_H_

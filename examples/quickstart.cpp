@@ -1,0 +1,55 @@
+// Quickstart: the three headline data structures in a few lines each —
+// FST (succinct trie index), SuRF (range filter), HOPE (order-preserving
+// key compressor).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fst/fst.h"
+#include "hope/hope.h"
+#include "keys/keygen.h"
+#include "surf/surf.h"
+
+using namespace met;
+
+int main() {
+  // ---- 1. FST: a static trie index close to the information-theoretic
+  //         minimum size, with pointer-tree query performance. ----
+  std::vector<std::string> keys = {"f",   "far", "fas", "fast", "fat", "s",
+                                   "top", "toy", "trie", "trip", "try"};
+  std::sort(keys.begin(), keys.end());
+  std::vector<uint64_t> values;
+  for (size_t i = 0; i < keys.size(); ++i) values.push_back(i * 100);
+
+  Fst fst;
+  fst.Build(keys, values);
+  uint64_t v;
+  fst.Find("fast", &v);
+  std::printf("FST: fast -> %lu (trie height %zu, %zu bytes total)\n",
+              (unsigned long)v, fst.height(), fst.MemoryBytes());
+  for (auto it = fst.LowerBound("to"); it.Valid() && it.key() < "tr"; it.Next())
+    std::printf("FST: range scan hit %s\n", it.key().c_str());
+
+  // ---- 2. SuRF: approximate membership for points AND ranges. ----
+  auto emails = GenEmails(100000);
+  SortUnique(&emails);
+  Surf surf;
+  surf.Build(emails, SurfConfig::Real(8));
+  std::printf("SuRF: %zu keys in %.1f bits/key\n", surf.num_keys(),
+              surf.BitsPerKey());
+  std::printf("SuRF: stored key present? %d | absent key present? %d\n",
+              surf.MayContain(emails[42]), surf.MayContain("zz@nowhere"));
+  std::printf("SuRF: any key in [com.gmail@a, com.gmail@b]? %d\n",
+              surf.MayContainRange("com.gmail@a", "com.gmail@b"));
+
+  // ---- 3. HOPE: compress keys, keep their order. ----
+  std::vector<std::string> sample(emails.begin(), emails.begin() + 1000);
+  HopeEncoder hope;
+  hope.Build(sample, HopeScheme::k3Grams, 1 << 14);
+  std::string a = hope.Encode("com.gmail@alice");
+  std::string b = hope.Encode("com.gmail@bob");
+  std::printf("HOPE: 3-gram CPR on emails = %.2fx; order kept: %d\n",
+              hope.Cpr(emails), a < b);
+  return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Runs every bench binary, teeing combined output.
+set -u
+out="${1:-/root/repo/bench_output.txt}"
+: > "$out"
+for b in build/bench/bench_*; do
+  echo "### $b" | tee -a "$out"
+  timeout 1200 "$b" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+done
+echo "ALL BENCHES DONE" | tee -a "$out"

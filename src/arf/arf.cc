@@ -1,0 +1,146 @@
+#include "arf/arf.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace met {
+
+Arf::~Arf() { Destroy(root_); }
+
+void Arf::Destroy(Node* n) {
+  if (n == nullptr) return;
+  Destroy(n->left);
+  Destroy(n->right);
+  delete n;
+}
+
+Arf::Node* Arf::BuildRange(const std::vector<uint64_t>& keys, size_t lo,
+                           size_t hi, int depth) {
+  Node* n = new Node();
+  ++num_nodes_;
+  // The "perfect" tree splits all the way to single-point leaves — the
+  // source of ARF's enormous build-time memory (Table 4.1).
+  if (lo == hi || depth >= 64) {
+    n->occupied = hi > lo;
+    ++num_leaves_;
+    return n;
+  }
+  // Split the key-space range in half: bit (63 - depth) decides the side.
+  uint64_t bit = uint64_t{1} << (63 - depth);
+  // First key with the split bit set.
+  size_t mid = std::lower_bound(keys.begin() + lo, keys.begin() + hi, 0ull,
+                                [&](uint64_t k, uint64_t) {
+                                  return (k & bit) == 0;
+                                }) -
+               keys.begin();
+  if (mid == lo || mid == hi) {
+    // All keys on one side: still split so the empty half is precise.
+    Node* child = BuildRange(keys, lo, hi, depth + 1);
+    Node* empty = new Node();
+    ++num_nodes_;
+    ++num_leaves_;
+    empty->occupied = false;
+    if (mid == hi) {  // keys all in left half
+      n->left = child;
+      n->right = empty;
+    } else {
+      n->left = empty;
+      n->right = child;
+    }
+    return n;
+  }
+  n->left = BuildRange(keys, lo, mid, depth + 1);
+  n->right = BuildRange(keys, mid, hi, depth + 1);
+  return n;
+}
+
+void Arf::Build(const std::vector<uint64_t>& keys) {
+  Destroy(root_);
+  num_nodes_ = num_leaves_ = 0;
+  root_ = BuildRange(keys, 0, keys.size(), 0);
+  peak_nodes_ = num_nodes_;
+}
+
+void Arf::TrainNode(Node* n, uint64_t node_lo, uint64_t node_hi, uint64_t lo,
+                    uint64_t hi) {
+  if (n == nullptr || lo > node_hi || hi < node_lo) return;
+  if (n->left == nullptr) {
+    if (n->train_hits < ~0u) ++n->train_hits;
+    return;
+  }
+  uint64_t mid = node_lo + (node_hi - node_lo) / 2;
+  TrainNode(n->left, node_lo, mid, lo, hi);
+  TrainNode(n->right, mid + 1, node_hi, lo, hi);
+}
+
+void Arf::Train(uint64_t lo, uint64_t hi) {
+  TrainNode(root_, 0, ~0ull, lo, hi);
+}
+
+void Arf::CollectCollapsible(Node* n, std::vector<Node*>* out) {
+  if (n == nullptr || n->left == nullptr) return;
+  if (n->left->left == nullptr && n->right->left == nullptr) {
+    out->push_back(n);
+    return;
+  }
+  CollectCollapsible(n->left, out);
+  CollectCollapsible(n->right, out);
+}
+
+void Arf::TrimToBits(size_t budget_bits) {
+  // Repeatedly merge the collapsible pair (both children are leaves) whose
+  // combined training usage is smallest — losing precision where queries
+  // rarely look. A merge replaces two leaves with one: -2 nodes, -1 leaf.
+  auto cost = [](Node* n) {
+    // Merging an occupied with an unoccupied leaf creates false positives;
+    // weight by how often training touched the unoccupied side.
+    uint32_t c = 0;
+    if (n->left->occupied != n->right->occupied)
+      c = n->left->occupied ? n->right->train_hits : n->left->train_hits;
+    return c;
+  };
+  auto cmp = [&](Node* a, Node* b) { return cost(a) > cost(b); };
+  std::vector<Node*> heap;
+  CollectCollapsible(root_, &heap);
+  std::make_heap(heap.begin(), heap.end(), cmp);
+
+  while (EncodedBits() > budget_bits && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    Node* n = heap.back();
+    heap.pop_back();
+    if (n->left == nullptr || n->left->left != nullptr ||
+        n->right->left != nullptr)
+      continue;  // stale entry
+    n->occupied = n->left->occupied || n->right->occupied;
+    n->train_hits = n->left->train_hits + n->right->train_hits;
+    delete n->left;
+    delete n->right;
+    n->left = n->right = nullptr;
+    num_nodes_ -= 2;
+    num_leaves_ -= 1;
+    // The parent may now be collapsible; rather than tracking parents,
+    // periodically re-collect (amortized fine at bench scale).
+    if (heap.empty() && EncodedBits() > budget_bits) {
+      CollectCollapsible(root_, &heap);
+      std::make_heap(heap.begin(), heap.end(), cmp);
+      if (heap.empty()) break;
+    }
+  }
+}
+
+bool Arf::QueryNode(const Node* n, uint64_t node_lo, uint64_t node_hi,
+                    uint64_t lo, uint64_t hi) const {
+  if (n == nullptr || lo > node_hi || hi < node_lo) return false;
+  if (n->left == nullptr) return n->occupied;
+  uint64_t mid = node_lo + (node_hi - node_lo) / 2;
+  return QueryNode(n->left, node_lo, mid, lo, hi) ||
+         QueryNode(n->right, mid + 1, node_hi, lo, hi);
+}
+
+bool Arf::MayContainRange(uint64_t lo, uint64_t hi) const {
+  return QueryNode(root_, 0, ~0ull, lo, hi);
+}
+
+size_t Arf::EncodedBits() const { return num_nodes_ + num_leaves_; }
+
+}  // namespace met

@@ -1,0 +1,760 @@
+#include "art/art.h"
+
+#include <algorithm>
+#include <new>
+
+namespace met {
+
+// ---------- allocation ----------
+
+Art::Leaf* Art::NewLeaf(std::string_view key, Value value) {
+  void* mem = ::operator new(sizeof(Leaf) + key.size());
+  Leaf* l = static_cast<Leaf*>(mem);
+  l->value = value;
+  l->key_len = static_cast<uint32_t>(key.size());
+  std::memcpy(l->key_data, key.data(), key.size());
+  return l;
+}
+
+void Art::FreeLeaf(Leaf* l) { ::operator delete(l); }
+
+Art::Node* Art::NewNode(NodeType type) {
+  switch (type) {
+    case kNode4: {
+      Node4* n = new Node4();
+      n->type = kNode4;
+      return n;
+    }
+    case kNode16: {
+      Node16* n = new Node16();
+      n->type = kNode16;
+      return n;
+    }
+    case kNode48: {
+      Node48* n = new Node48();
+      n->type = kNode48;
+      std::memset(n->child_index, 0xFF, sizeof(n->child_index));
+      return n;
+    }
+    case kNode256:
+    default: {
+      Node256* n = new Node256();
+      n->type = kNode256;
+      return n;
+    }
+  }
+}
+
+void Art::FreeNode(Node* n) {
+  switch (n->type) {
+    case kNode4:
+      delete static_cast<Node4*>(n);
+      break;
+    case kNode16:
+      delete static_cast<Node16*>(n);
+      break;
+    case kNode48:
+      delete static_cast<Node48*>(n);
+      break;
+    case kNode256:
+      delete static_cast<Node256*>(n);
+      break;
+  }
+}
+
+void Art::DestroyNode(void* p) {
+  if (p == nullptr) return;
+  if (IsLeaf(p)) {
+    FreeLeaf(AsLeaf(p));
+    return;
+  }
+  Node* n = AsNode(p);
+  if (n->terminal != nullptr) FreeLeaf(n->terminal);
+  switch (n->type) {
+    case kNode4: {
+      Node4* n4 = static_cast<Node4*>(n);
+      for (int i = 0; i < n->num_children; ++i) DestroyNode(n4->children[i]);
+      break;
+    }
+    case kNode16: {
+      Node16* n16 = static_cast<Node16*>(n);
+      for (int i = 0; i < n->num_children; ++i) DestroyNode(n16->children[i]);
+      break;
+    }
+    case kNode48: {
+      Node48* n48 = static_cast<Node48*>(n);
+      for (int i = 0; i < 48; ++i)
+        if (n48->children[i] != nullptr) DestroyNode(n48->children[i]);
+      break;
+    }
+    case kNode256: {
+      Node256* n256 = static_cast<Node256*>(n);
+      for (int i = 0; i < 256; ++i)
+        if (n256->children[i] != nullptr) DestroyNode(n256->children[i]);
+      break;
+    }
+  }
+  FreeNode(n);
+}
+
+// ---------- child lookup / insertion ----------
+
+void** Art::FindChild(Node* n, unsigned char byte) {
+  switch (n->type) {
+    case kNode4: {
+      Node4* n4 = static_cast<Node4*>(n);
+      for (int i = 0; i < n->num_children; ++i)
+        if (n4->keys[i] == byte) return &n4->children[i];
+      return nullptr;
+    }
+    case kNode16: {
+      Node16* n16 = static_cast<Node16*>(n);
+      for (int i = 0; i < n->num_children; ++i)
+        if (n16->keys[i] == byte) return &n16->children[i];
+      return nullptr;
+    }
+    case kNode48: {
+      Node48* n48 = static_cast<Node48*>(n);
+      if (n48->child_index[byte] == 0xFF) return nullptr;
+      return &n48->children[n48->child_index[byte]];
+    }
+    case kNode256:
+    default: {
+      Node256* n256 = static_cast<Node256*>(n);
+      if (n256->children[byte] == nullptr) return nullptr;
+      return &n256->children[byte];
+    }
+  }
+}
+
+const void* const* Art::FindChild(const Node* n, unsigned char byte) {
+  return FindChild(const_cast<Node*>(n), byte);
+}
+
+Art::Node* Art::Grow(Node* n) {
+  switch (n->type) {
+    case kNode4: {
+      Node4* old = static_cast<Node4*>(n);
+      Node16* nn = static_cast<Node16*>(NewNode(kNode16));
+      *static_cast<Node*>(nn) = *static_cast<Node*>(old);
+      nn->type = kNode16;
+      std::memcpy(nn->keys, old->keys, old->num_children);
+      std::memcpy(nn->children, old->children,
+                  old->num_children * sizeof(void*));
+      delete old;
+      return nn;
+    }
+    case kNode16: {
+      Node16* old = static_cast<Node16*>(n);
+      Node48* nn = static_cast<Node48*>(NewNode(kNode48));
+      NodeType t = nn->type;
+      *static_cast<Node*>(nn) = *static_cast<Node*>(old);
+      nn->type = t;
+      for (int i = 0; i < old->num_children; ++i) {
+        nn->child_index[old->keys[i]] = static_cast<unsigned char>(i);
+        nn->children[i] = old->children[i];
+      }
+      delete old;
+      return nn;
+    }
+    case kNode48:
+    default: {
+      Node48* old = static_cast<Node48*>(n);
+      Node256* nn = static_cast<Node256*>(NewNode(kNode256));
+      NodeType t = nn->type;
+      *static_cast<Node*>(nn) = *static_cast<Node*>(old);
+      nn->type = t;
+      for (int b = 0; b < 256; ++b)
+        if (old->child_index[b] != 0xFF)
+          nn->children[b] = old->children[old->child_index[b]];
+      delete old;
+      return nn;
+    }
+  }
+}
+
+void Art::AddChild(Node** n_ref, unsigned char byte, void* child) {
+  Node* n = *n_ref;
+  switch (n->type) {
+    case kNode4: {
+      if (n->num_children == 4) {
+        *n_ref = Grow(n);
+        AddChild(n_ref, byte, child);
+        return;
+      }
+      Node4* n4 = static_cast<Node4*>(n);
+      int pos = 0;
+      while (pos < n->num_children && n4->keys[pos] < byte) ++pos;
+      for (int i = n->num_children; i > pos; --i) {
+        n4->keys[i] = n4->keys[i - 1];
+        n4->children[i] = n4->children[i - 1];
+      }
+      n4->keys[pos] = byte;
+      n4->children[pos] = child;
+      ++n->num_children;
+      return;
+    }
+    case kNode16: {
+      if (n->num_children == 16) {
+        *n_ref = Grow(n);
+        AddChild(n_ref, byte, child);
+        return;
+      }
+      Node16* n16 = static_cast<Node16*>(n);
+      int pos = 0;
+      while (pos < n->num_children && n16->keys[pos] < byte) ++pos;
+      for (int i = n->num_children; i > pos; --i) {
+        n16->keys[i] = n16->keys[i - 1];
+        n16->children[i] = n16->children[i - 1];
+      }
+      n16->keys[pos] = byte;
+      n16->children[pos] = child;
+      ++n->num_children;
+      return;
+    }
+    case kNode48: {
+      if (n->num_children == 48) {
+        *n_ref = Grow(n);
+        AddChild(n_ref, byte, child);
+        return;
+      }
+      Node48* n48 = static_cast<Node48*>(n);
+      int slot = 0;
+      while (n48->children[slot] != nullptr) ++slot;  // holes reused after Erase
+      n48->children[slot] = child;
+      n48->child_index[byte] = static_cast<unsigned char>(slot);
+      ++n->num_children;
+      return;
+    }
+    case kNode256: {
+      Node256* n256 = static_cast<Node256*>(n);
+      n256->children[byte] = child;
+      ++n->num_children;
+      return;
+    }
+  }
+}
+
+// ---------- prefix handling ----------
+
+const Art::Leaf* Art::AnyLeaf(const void* p) {
+  while (!IsLeaf(p)) {
+    const Node* n = AsNode(p);
+    if (n->terminal != nullptr) return n->terminal;
+    switch (n->type) {
+      case kNode4:
+        p = static_cast<const Node4*>(n)->children[0];
+        break;
+      case kNode16:
+        p = static_cast<const Node16*>(n)->children[0];
+        break;
+      case kNode48: {
+        const Node48* n48 = static_cast<const Node48*>(n);
+        for (int b = 0; b < 256; ++b)
+          if (n48->child_index[b] != 0xFF) {
+            p = n48->children[n48->child_index[b]];
+            break;
+          }
+        break;
+      }
+      case kNode256: {
+        const Node256* n256 = static_cast<const Node256*>(n);
+        for (int b = 0; b < 256; ++b)
+          if (n256->children[b] != nullptr) {
+            p = n256->children[b];
+            break;
+          }
+        break;
+      }
+    }
+  }
+  return AsLeaf(p);
+}
+
+uint32_t Art::CheckPrefix(const Node* n, std::string_view key, size_t depth) {
+  uint32_t cap = static_cast<uint32_t>(
+      std::min<size_t>(n->prefix_len, key.size() > depth ? key.size() - depth : 0));
+  uint32_t inline_cap = std::min<uint32_t>(cap, kMaxPrefix);
+  uint32_t i = 0;
+  for (; i < inline_cap; ++i)
+    if (static_cast<unsigned char>(key[depth + i]) != n->prefix[i]) return i;
+  if (cap > kMaxPrefix) {
+    // Verify the tail against a stored key from the subtree.
+    const Leaf* leaf = AnyLeaf(n);
+    std::string_view lk = leaf->key();
+    for (; i < cap; ++i)
+      if (key[depth + i] != lk[depth + i]) return i;
+  }
+  return cap;
+}
+
+// ---------- point operations ----------
+
+bool Art::Find(std::string_view key, Value* value) const {
+  const void* p = root_;
+  size_t depth = 0;
+  while (p != nullptr) {
+    if (IsLeaf(p)) {
+      const Leaf* l = AsLeaf(p);
+      if (l->key() == key) {
+        if (value != nullptr) *value = l->value;
+        return true;
+      }
+      return false;
+    }
+    const Node* n = AsNode(p);
+    if (n->prefix_len > 0) {
+      if (CheckPrefix(n, key, depth) < n->prefix_len) return false;
+      depth += n->prefix_len;
+    }
+    if (key.size() == depth) {
+      if (n->terminal != nullptr) {
+        if (value != nullptr) *value = n->terminal->value;
+        return true;
+      }
+      return false;
+    }
+    const void* const* child =
+        FindChild(n, static_cast<unsigned char>(key[depth]));
+    p = child != nullptr ? *child : nullptr;
+    ++depth;
+  }
+  return false;
+}
+
+bool Art::Update(std::string_view key, Value value) {
+  void* p = root_;
+  size_t depth = 0;
+  while (p != nullptr) {
+    if (IsLeaf(p)) {
+      Leaf* l = AsLeaf(p);
+      if (l->key() == key) {
+        l->value = value;
+        return true;
+      }
+      return false;
+    }
+    Node* n = AsNode(p);
+    if (n->prefix_len > 0) {
+      if (CheckPrefix(n, key, depth) < n->prefix_len) return false;
+      depth += n->prefix_len;
+    }
+    if (key.size() == depth) {
+      if (n->terminal != nullptr) {
+        n->terminal->value = value;
+        return true;
+      }
+      return false;
+    }
+    void** child = FindChild(n, static_cast<unsigned char>(key[depth]));
+    p = child != nullptr ? *child : nullptr;
+    ++depth;
+  }
+  return false;
+}
+
+bool Art::InsertImpl(std::string_view key, Value value, bool overwrite) {
+  bool inserted = InsertRecurse(&root_, key, 0, value, overwrite);
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool Art::InsertRecurse(void** ref, std::string_view key, size_t depth,
+                        Value value, bool overwrite) {
+  void* p = *ref;
+  if (p == nullptr) {
+    *ref = TagLeaf(NewLeaf(key, value));
+    return true;
+  }
+
+  if (IsLeaf(p)) {
+    Leaf* l = AsLeaf(p);
+    std::string_view lkey = l->key();
+    if (lkey == key) {
+      if (overwrite) l->value = value;
+      return false;
+    }
+    // Lazy expansion undone: split into a Node4 capturing the common prefix.
+    size_t max_common = std::min(lkey.size(), key.size()) - depth;
+    size_t common = 0;
+    while (common < max_common && lkey[depth + common] == key[depth + common])
+      ++common;
+    Node4* nn = static_cast<Node4*>(NewNode(kNode4));
+    nn->prefix_len = static_cast<uint32_t>(common);
+    std::memcpy(nn->prefix, key.data() + depth,
+                std::min<size_t>(common, kMaxPrefix));
+    size_t d2 = depth + common;
+    Node* nref = nn;
+    if (lkey.size() == d2) {
+      nn->terminal = l;
+    } else {
+      AddChild(&nref, static_cast<unsigned char>(lkey[d2]), TagLeaf(l));
+    }
+    Leaf* nl = NewLeaf(key, value);
+    if (key.size() == d2) {
+      nn->terminal = nl;
+    } else {
+      AddChild(&nref, static_cast<unsigned char>(key[d2]), TagLeaf(nl));
+    }
+    *ref = nref;
+    return true;
+  }
+
+  Node* n = AsNode(p);
+  if (n->prefix_len > 0) {
+    uint32_t match = CheckPrefix(n, key, depth);
+    if (match < n->prefix_len) {
+      // Split the compressed path at `match`.
+      Node4* nn = static_cast<Node4*>(NewNode(kNode4));
+      nn->prefix_len = match;
+      std::memcpy(nn->prefix, key.data() + depth,
+                  std::min<size_t>(match, kMaxPrefix));
+      // Determine the old node's branch byte and trim its prefix.
+      const Leaf* sample = AnyLeaf(p);
+      std::string_view sk = sample->key();
+      unsigned char old_byte = static_cast<unsigned char>(sk[depth + match]);
+      uint32_t new_len = n->prefix_len - match - 1;
+      n->prefix_len = new_len;
+      for (uint32_t i = 0; i < std::min<uint32_t>(new_len, kMaxPrefix); ++i)
+        n->prefix[i] = static_cast<unsigned char>(sk[depth + match + 1 + i]);
+      Node* nref = nn;
+      AddChild(&nref, old_byte, n);
+      size_t d2 = depth + match;
+      Leaf* nl = NewLeaf(key, value);
+      if (key.size() == d2) {
+        nn->terminal = nl;
+      } else {
+        AddChild(&nref, static_cast<unsigned char>(key[d2]), TagLeaf(nl));
+      }
+      *ref = nref;
+      return true;
+    }
+    depth += n->prefix_len;
+  }
+
+  if (key.size() == depth) {
+    if (n->terminal != nullptr) {
+      if (overwrite) n->terminal->value = value;
+      return false;
+    }
+    n->terminal = NewLeaf(key, value);
+    return true;
+  }
+
+  unsigned char byte = static_cast<unsigned char>(key[depth]);
+  void** child = FindChild(n, byte);
+  if (child != nullptr)
+    return InsertRecurse(child, key, depth + 1, value, overwrite);
+
+  Node* nref = n;
+  AddChild(&nref, byte, TagLeaf(NewLeaf(key, value)));
+  *ref = nref;
+  return true;
+}
+
+bool Art::Erase(std::string_view key) {
+  bool erased = false;
+  root_ = EraseRecurse(root_, key, 0, &erased);
+  if (erased) --size_;
+  return erased;
+}
+
+/// Removes `key` from the subtree at `p`; returns the (possibly replaced)
+/// subtree pointer. Nodes whose last entry is removed are freed, so no
+/// reachable node is ever empty (AnyLeaf and path splits rely on that).
+/// Shrinking node layouts and collapsing single-child paths stay lazy.
+void* Art::EraseRecurse(void* p, std::string_view key, size_t depth,
+                        bool* erased) {
+  if (p == nullptr) return nullptr;
+  if (IsLeaf(p)) {
+    Leaf* l = AsLeaf(p);
+    if (l->key() != key) return p;
+    FreeLeaf(l);
+    *erased = true;
+    return nullptr;
+  }
+  Node* n = AsNode(p);
+  if (n->prefix_len > 0) {
+    if (CheckPrefix(n, key, depth) < n->prefix_len) return p;
+    depth += n->prefix_len;
+  }
+  if (key.size() == depth) {
+    if (n->terminal == nullptr) return p;
+    FreeLeaf(n->terminal);
+    n->terminal = nullptr;
+    *erased = true;
+  } else {
+    unsigned char byte = static_cast<unsigned char>(key[depth]);
+    void** child = FindChild(n, byte);
+    if (child == nullptr) return p;
+    void* nc = EraseRecurse(*child, key, depth + 1, erased);
+    if (nc == nullptr) {
+      RemoveChild(n, byte, child);
+    } else {
+      *child = nc;
+    }
+  }
+  if (n->num_children == 0 && n->terminal == nullptr) {
+    FreeNode(n);
+    return nullptr;
+  }
+  return p;
+}
+
+void Art::RemoveChild(Node* n, unsigned char byte, void** child_slot) {
+  switch (n->type) {
+    case kNode4: {
+      Node4* n4 = static_cast<Node4*>(n);
+      int pos = static_cast<int>(child_slot - n4->children);
+      for (int i = pos; i + 1 < n->num_children; ++i) {
+        n4->keys[i] = n4->keys[i + 1];
+        n4->children[i] = n4->children[i + 1];
+      }
+      --n->num_children;
+      n4->children[n->num_children] = nullptr;
+      break;
+    }
+    case kNode16: {
+      Node16* n16 = static_cast<Node16*>(n);
+      int pos = static_cast<int>(child_slot - n16->children);
+      for (int i = pos; i + 1 < n->num_children; ++i) {
+        n16->keys[i] = n16->keys[i + 1];
+        n16->children[i] = n16->children[i + 1];
+      }
+      --n->num_children;
+      n16->children[n->num_children] = nullptr;
+      break;
+    }
+    case kNode48: {
+      Node48* n48 = static_cast<Node48*>(n);
+      n48->children[n48->child_index[byte]] = nullptr;
+      n48->child_index[byte] = 0xFF;
+      --n->num_children;
+      break;
+    }
+    case kNode256: {
+      Node256* n256 = static_cast<Node256*>(n);
+      n256->children[byte] = nullptr;
+      --n->num_children;
+      break;
+    }
+  }
+}
+
+// ---------- scans ----------
+
+bool Art::EmitLeaf(const Leaf* l, bool past, ScanState* st) {
+  if (!past && l->key() < st->lower) return false;
+  if (st->count >= st->limit) return true;
+  if (st->out != nullptr) st->out->push_back(l->value);
+  if (st->keys_out != nullptr) st->keys_out->emplace_back(l->key());
+  ++st->count;
+  return st->count >= st->limit;
+}
+
+bool Art::ScanNode(const void* p, size_t depth, bool past, ScanState* st) {
+  if (p == nullptr) return false;
+  if (IsLeaf(p)) return EmitLeaf(AsLeaf(p), past, st);
+
+  const Node* n = AsNode(p);
+  size_t d2 = depth + n->prefix_len;
+  unsigned char descend_byte = 0;
+  bool has_descend = false;
+
+  if (!past) {
+    // Compare the node's compressed prefix against lower[depth..].
+    std::string_view lower = st->lower;
+    size_t rem = lower.size() > depth ? lower.size() - depth : 0;
+    uint32_t cap = static_cast<uint32_t>(std::min<size_t>(n->prefix_len, rem));
+    const Leaf* sample = (n->prefix_len > kMaxPrefix) ? AnyLeaf(p) : nullptr;
+    for (uint32_t i = 0; i < cap; ++i) {
+      unsigned char pb =
+          i < kMaxPrefix ? n->prefix[i]
+                         : static_cast<unsigned char>(sample->key()[depth + i]);
+      unsigned char lb = static_cast<unsigned char>(lower[depth + i]);
+      if (pb > lb) {
+        past = true;  // whole subtree sorts after `lower`
+        break;
+      }
+      if (pb < lb) return false;  // whole subtree sorts before `lower`
+    }
+    if (!past) {
+      if (rem <= n->prefix_len) {
+        past = true;  // lower is exhausted within this node's path
+      } else {
+        descend_byte = static_cast<unsigned char>(lower[d2]);
+        has_descend = true;
+      }
+    }
+  }
+
+  if (past && n->terminal != nullptr) {
+    if (EmitLeaf(n->terminal, true, st)) return true;
+  }
+
+  // Visit children in byte order.
+  auto visit = [&](unsigned char byte, const void* child) -> bool {
+    if (has_descend) {
+      if (byte < descend_byte) return false;
+      if (byte == descend_byte) return ScanNode(child, d2 + 1, false, st);
+      return ScanNode(child, d2 + 1, true, st);
+    }
+    return ScanNode(child, d2 + 1, past, st);
+  };
+
+  switch (n->type) {
+    case kNode4: {
+      const Node4* n4 = static_cast<const Node4*>(n);
+      for (int i = 0; i < n->num_children; ++i)
+        if (visit(n4->keys[i], n4->children[i])) return true;
+      break;
+    }
+    case kNode16: {
+      const Node16* n16 = static_cast<const Node16*>(n);
+      for (int i = 0; i < n->num_children; ++i)
+        if (visit(n16->keys[i], n16->children[i])) return true;
+      break;
+    }
+    case kNode48: {
+      const Node48* n48 = static_cast<const Node48*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (n48->child_index[b] != 0xFF)
+          if (visit(static_cast<unsigned char>(b),
+                    n48->children[n48->child_index[b]]))
+            return true;
+      break;
+    }
+    case kNode256: {
+      const Node256* n256 = static_cast<const Node256*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (n256->children[b] != nullptr)
+          if (visit(static_cast<unsigned char>(b), n256->children[b])) return true;
+      break;
+    }
+  }
+  return false;
+}
+
+size_t Art::Scan(std::string_view key, size_t n, std::vector<Value>* out,
+                 std::vector<std::string>* keys_out) const {
+  ScanState st{key, n, 0, out, keys_out};
+  ScanNode(root_, 0, false, &st);
+  return st.count;
+}
+
+void Art::VisitAll(
+    const std::function<void(std::string_view, Value)>& fn) const {
+  VisitNode(root_, fn);
+}
+
+void Art::VisitNode(const void* p,
+                    const std::function<void(std::string_view, Value)>& fn) {
+  if (p == nullptr) return;
+  if (IsLeaf(p)) {
+    const Leaf* l = AsLeaf(p);
+    fn(l->key(), l->value);
+    return;
+  }
+  const Node* n = AsNode(p);
+  if (n->terminal != nullptr) fn(n->terminal->key(), n->terminal->value);
+  switch (n->type) {
+    case kNode4: {
+      const Node4* n4 = static_cast<const Node4*>(n);
+      for (int i = 0; i < n->num_children; ++i) VisitNode(n4->children[i], fn);
+      break;
+    }
+    case kNode16: {
+      const Node16* n16 = static_cast<const Node16*>(n);
+      for (int i = 0; i < n->num_children; ++i) VisitNode(n16->children[i], fn);
+      break;
+    }
+    case kNode48: {
+      const Node48* n48 = static_cast<const Node48*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (n48->child_index[b] != 0xFF)
+          VisitNode(n48->children[n48->child_index[b]], fn);
+      break;
+    }
+    case kNode256: {
+      const Node256* n256 = static_cast<const Node256*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (n256->children[b] != nullptr) VisitNode(n256->children[b], fn);
+      break;
+    }
+  }
+}
+
+// ---------- statistics ----------
+
+namespace {
+
+struct ArtStats {
+  size_t bytes = 0;
+  size_t slots = 0;
+  size_t used = 0;
+};
+
+}  // namespace
+
+void Art::StatNode(const void* p, void* stats_void) {
+  if (p == nullptr) return;
+  ArtStats* stats = static_cast<ArtStats*>(stats_void);
+  if (IsLeaf(p)) {
+    const Leaf* l = AsLeaf(p);
+    stats->bytes += sizeof(Leaf) + l->key_len;
+    return;
+  }
+  const Node* n = AsNode(p);
+  if (n->terminal != nullptr) {
+    stats->bytes += sizeof(Leaf) + n->terminal->key_len;
+  }
+  stats->used += n->num_children;
+  switch (n->type) {
+    case kNode4: {
+      stats->bytes += sizeof(Node4);
+      stats->slots += 4;
+      const Node4* n4 = static_cast<const Node4*>(n);
+      for (int i = 0; i < n->num_children; ++i) StatNode(n4->children[i], stats);
+      break;
+    }
+    case kNode16: {
+      stats->bytes += sizeof(Node16);
+      stats->slots += 16;
+      const Node16* n16 = static_cast<const Node16*>(n);
+      for (int i = 0; i < n->num_children; ++i) StatNode(n16->children[i], stats);
+      break;
+    }
+    case kNode48: {
+      stats->bytes += sizeof(Node48);
+      stats->slots += 48;
+      const Node48* n48 = static_cast<const Node48*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (n48->child_index[b] != 0xFF)
+          StatNode(n48->children[n48->child_index[b]], stats);
+      break;
+    }
+    case kNode256: {
+      stats->bytes += sizeof(Node256);
+      stats->slots += 256;
+      const Node256* n256 = static_cast<const Node256*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (n256->children[b] != nullptr) StatNode(n256->children[b], stats);
+      break;
+    }
+  }
+}
+
+size_t Art::MemoryBytes() const {
+  ArtStats stats;
+  StatNode(root_, &stats);
+  return stats.bytes;
+}
+
+double Art::NodeOccupancy() const {
+  ArtStats stats;
+  StatNode(root_, &stats);
+  return stats.slots == 0 ? 0.0
+                          : static_cast<double>(stats.used) / stats.slots;
+}
+
+}  // namespace met

@@ -1,0 +1,338 @@
+#include "art/compact_art.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+#include "common/bits.h"
+
+namespace met {
+
+// ---------- buffer layout ----------
+//
+// Header | prefix[prefix_len] | pad to 8 | [Value terminal] |
+//   layout 1: keys[n] | pad to 8 | void* children[n]
+//   layout 3: void* children[256]
+
+namespace {
+
+size_t TerminalOffset(uint32_t prefix_len) {
+  return RoundUp(sizeof(CompactArt::Value) * 0 + 8 /*header*/ + prefix_len, 8);
+}
+
+}  // namespace
+
+const CompactArt::Value* CompactArt::TerminalValue(const Header* h) {
+  const char* base = reinterpret_cast<const char*>(h);
+  return reinterpret_cast<const Value*>(base + TerminalOffset(h->prefix_len));
+}
+
+const unsigned char* CompactArt::Layout1Keys(const Header* h) {
+  const char* base = reinterpret_cast<const char*>(h);
+  size_t off = TerminalOffset(h->prefix_len) + (h->has_terminal ? sizeof(Value) : 0);
+  return reinterpret_cast<const unsigned char*>(base + off);
+}
+
+void* const* CompactArt::Children(const Header* h) {
+  const char* base = reinterpret_cast<const char*>(h);
+  size_t off = TerminalOffset(h->prefix_len) + (h->has_terminal ? sizeof(Value) : 0);
+  if (h->layout == 1) off = RoundUp(off + h->num_children, 8);
+  return reinterpret_cast<void* const*>(base + off);
+}
+
+void* CompactArt::AllocNode(uint8_t layout, bool has_terminal,
+                            uint16_t num_children, std::string_view prefix) {
+  size_t off = TerminalOffset(static_cast<uint32_t>(prefix.size())) +
+               (has_terminal ? sizeof(Value) : 0);
+  size_t bytes;
+  if (layout == 1) {
+    bytes = RoundUp(off + num_children, 8) + num_children * sizeof(void*);
+  } else {
+    bytes = off + 256 * sizeof(void*);
+  }
+  void* mem = ::operator new(bytes);
+  std::memset(mem, 0, bytes);
+  Header* h = static_cast<Header*>(mem);
+  h->layout = layout;
+  h->has_terminal = has_terminal;
+  h->num_children = num_children;
+  h->prefix_len = static_cast<uint32_t>(prefix.size());
+  std::memcpy(const_cast<char*>(Prefix(h)), prefix.data(), prefix.size());
+  allocated_bytes_ += bytes;
+  return mem;
+}
+
+CompactArt::Leaf* CompactArt::AllocLeaf(std::string_view suffix, Value value) {
+  size_t bytes = sizeof(Leaf) + suffix.size();
+  void* mem = ::operator new(bytes);
+  Leaf* l = static_cast<Leaf*>(mem);
+  l->value = value;
+  l->suffix_len = static_cast<uint32_t>(suffix.size());
+  std::memcpy(l->suffix, suffix.data(), suffix.size());
+  allocated_bytes_ += bytes;
+  return l;
+}
+
+void CompactArt::DestroyNode(void* p) {
+  if (p == nullptr) return;
+  if (IsLeaf(p)) {
+    ::operator delete(const_cast<Leaf*>(AsLeaf(p)));
+    return;
+  }
+  Header* h = static_cast<Header*>(p);
+  void* const* children = Children(h);
+  if (h->layout == 1) {
+    for (int i = 0; i < h->num_children; ++i) DestroyNode(children[i]);
+  } else {
+    for (int b = 0; b < 256; ++b)
+      if (children[b] != nullptr) DestroyNode(children[b]);
+  }
+  ::operator delete(p);
+}
+
+// ---------- build ----------
+
+void CompactArt::Build(const std::vector<std::string>& keys,
+                       const std::vector<Value>& values) {
+  assert(keys.size() == values.size());
+  DestroyNode(root_);
+  root_ = nullptr;
+  allocated_bytes_ = 0;
+  size_ = keys.size();
+  if (!keys.empty()) root_ = BuildRange(keys, values, 0, keys.size(), 0);
+}
+
+void* CompactArt::BuildRange(const std::vector<std::string>& keys,
+                             const std::vector<Value>& values, size_t lo,
+                             size_t hi, size_t depth) {
+  if (hi - lo == 1) {
+    std::string_view k = keys[lo];
+    return TagLeaf(AllocLeaf(k.substr(depth), values[lo]));
+  }
+  // Common prefix of a sorted range equals the common prefix of its
+  // first and last keys.
+  std::string_view first = keys[lo], last = keys[hi - 1];
+  size_t common = 0;
+  size_t max_common = std::min(first.size(), last.size()) - depth;
+  while (common < max_common && first[depth + common] == last[depth + common])
+    ++common;
+  size_t d2 = depth + common;
+
+  bool has_terminal = first.size() == d2;
+  size_t child_begin = lo + (has_terminal ? 1 : 0);
+
+  // Group the remaining keys by their byte at d2.
+  struct Group {
+    unsigned char byte;
+    size_t lo, hi;
+  };
+  std::vector<Group> groups;
+  size_t i = child_begin;
+  while (i < hi) {
+    unsigned char b = static_cast<unsigned char>(keys[i][d2]);
+    size_t j = i + 1;
+    while (j < hi && static_cast<unsigned char>(keys[j][d2]) == b) ++j;
+    groups.push_back({b, i, j});
+    i = j;
+  }
+
+  uint8_t layout = groups.size() <= kLayout1Max ? 1 : 3;
+  void* mem = AllocNode(layout, has_terminal,
+                        static_cast<uint16_t>(groups.size()),
+                        first.substr(depth, common));
+  Header* h = static_cast<Header*>(mem);
+  if (has_terminal)
+    *const_cast<Value*>(TerminalValue(h)) = values[lo];
+
+  void** children = const_cast<void**>(Children(h));
+  unsigned char* kbytes = const_cast<unsigned char*>(Layout1Keys(h));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    void* child = BuildRange(keys, values, groups[g].lo, groups[g].hi, d2 + 1);
+    if (layout == 1) {
+      kbytes[g] = groups[g].byte;
+      children[g] = child;
+    } else {
+      children[groups[g].byte] = child;
+    }
+  }
+  return mem;
+}
+
+// ---------- lookup ----------
+
+const void* CompactArt::FindChildPtr(const Header* h, unsigned char byte) {
+  void* const* children = Children(h);
+  if (h->layout == 3) return children[byte];
+  const unsigned char* kbytes = Layout1Keys(h);
+  int lo = 0, hi = h->num_children;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (kbytes[mid] < byte)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo < h->num_children && kbytes[lo] == byte) return children[lo];
+  return nullptr;
+}
+
+bool CompactArt::Find(std::string_view key, Value* value) const {
+  const void* p = root_;
+  size_t depth = 0;
+  while (p != nullptr) {
+    if (IsLeaf(p)) {
+      const Leaf* l = AsLeaf(p);
+      if (key.size() - depth == l->suffix_len &&
+          std::memcmp(key.data() + depth, l->suffix, l->suffix_len) == 0) {
+        if (value != nullptr) *value = l->value;
+        return true;
+      }
+      return false;
+    }
+    const Header* h = static_cast<const Header*>(p);
+    if (h->prefix_len > 0) {
+      if (key.size() - depth < h->prefix_len) return false;
+      if (std::memcmp(key.data() + depth, Prefix(h), h->prefix_len) != 0)
+        return false;
+      depth += h->prefix_len;
+    }
+    if (key.size() == depth) {
+      if (!h->has_terminal) return false;
+      if (value != nullptr) *value = *TerminalValue(h);
+      return true;
+    }
+    p = FindChildPtr(h, static_cast<unsigned char>(key[depth]));
+    ++depth;
+  }
+  return false;
+}
+
+// ---------- scans ----------
+
+bool CompactArt::EmitEntry(std::string_view suffix, Value value, bool past,
+                           ScanState* st) {
+  if (!past) {
+    // path + suffix vs lower: path == lower[0..path.size) by invariant.
+    std::string_view rest = st->lower.size() > st->path.size()
+                                ? st->lower.substr(st->path.size())
+                                : std::string_view{};
+    if (suffix < rest) return false;
+  }
+  if (st->count >= st->limit) return true;
+  if (st->out != nullptr) st->out->push_back(value);
+  if (st->keys_out != nullptr) {
+    std::string full = st->path;
+    full.append(suffix);
+    st->keys_out->push_back(std::move(full));
+  }
+  ++st->count;
+  return st->count >= st->limit;
+}
+
+bool CompactArt::ScanNode(const void* p, bool past, ScanState* st) {
+  if (p == nullptr) return false;
+  if (IsLeaf(p)) {
+    const Leaf* l = AsLeaf(p);
+    return EmitEntry({l->suffix, l->suffix_len}, l->value, past, st);
+  }
+  const Header* h = static_cast<const Header*>(p);
+  size_t depth = st->path.size();
+  std::string_view prefix(Prefix(h), h->prefix_len);
+
+  unsigned char descend_byte = 0;
+  bool has_descend = false;
+  if (!past) {
+    std::string_view lower = st->lower;
+    size_t rem = lower.size() > depth ? lower.size() - depth : 0;
+    size_t cap = std::min<size_t>(h->prefix_len, rem);
+    int cmp = std::memcmp(prefix.data(), lower.data() + depth, cap);
+    if (cmp > 0) {
+      past = true;
+    } else if (cmp < 0) {
+      return false;
+    } else if (rem <= h->prefix_len) {
+      past = true;  // lower exhausted within the path
+    } else {
+      descend_byte = static_cast<unsigned char>(lower[depth + h->prefix_len]);
+      has_descend = true;
+    }
+  }
+
+  st->path.append(prefix);
+  bool stop = false;
+  if (past && h->has_terminal) stop = EmitEntry({}, *TerminalValue(h), true, st);
+
+  auto visit = [&](unsigned char byte, const void* child) -> bool {
+    if (has_descend && byte < descend_byte) return false;
+    st->path.push_back(static_cast<char>(byte));
+    bool child_past = past || (has_descend && byte > descend_byte);
+    bool s = ScanNode(child, child_past, st);
+    st->path.pop_back();
+    return s;
+  };
+
+  void* const* children = Children(h);
+  if (!stop) {
+    if (h->layout == 1) {
+      const unsigned char* kbytes = Layout1Keys(h);
+      for (int i = 0; i < h->num_children && !stop; ++i)
+        stop = visit(kbytes[i], children[i]);
+    } else {
+      for (int b = 0; b < 256 && !stop; ++b)
+        if (children[b] != nullptr)
+          stop = visit(static_cast<unsigned char>(b), children[b]);
+    }
+  }
+  st->path.resize(depth);
+  return stop;
+}
+
+size_t CompactArt::Scan(std::string_view key, size_t n, std::vector<Value>* out,
+                        std::vector<std::string>* keys_out) const {
+  ScanState st{key, n, 0, out, keys_out, std::string()};
+  ScanNode(root_, false, &st);
+  return st.count;
+}
+
+void CompactArt::VisitNode(
+    const void* p, std::string* path,
+    const std::function<void(std::string_view, Value)>& fn) {
+  if (p == nullptr) return;
+  if (IsLeaf(p)) {
+    const Leaf* l = AsLeaf(p);
+    size_t n = path->size();
+    path->append(l->suffix, l->suffix_len);
+    fn(*path, l->value);
+    path->resize(n);
+    return;
+  }
+  const Header* h = static_cast<const Header*>(p);
+  size_t n = path->size();
+  path->append(Prefix(h), h->prefix_len);
+  if (h->has_terminal) fn(*path, *TerminalValue(h));
+  void* const* children = Children(h);
+  if (h->layout == 1) {
+    const unsigned char* kbytes = Layout1Keys(h);
+    for (int i = 0; i < h->num_children; ++i) {
+      path->push_back(static_cast<char>(kbytes[i]));
+      VisitNode(children[i], path, fn);
+      path->pop_back();
+    }
+  } else {
+    for (int b = 0; b < 256; ++b)
+      if (children[b] != nullptr) {
+        path->push_back(static_cast<char>(b));
+        VisitNode(children[b], path, fn);
+        path->pop_back();
+      }
+  }
+  path->resize(n);
+}
+
+void CompactArt::VisitAll(
+    const std::function<void(std::string_view, Value)>& fn) const {
+  std::string path;
+  VisitNode(root_, &path, fn);
+}
+
+}  // namespace met

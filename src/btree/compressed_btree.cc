@@ -1,0 +1,35 @@
+#include "btree/compressed_btree.h"
+
+#include <zlib.h>
+
+#include <cassert>
+
+namespace met {
+namespace compressed_internal {
+
+std::string Deflate(const std::string& raw) {
+  uLongf bound = compressBound(raw.size());
+  std::string out(bound, '\0');
+  int rc = compress2(reinterpret_cast<Bytef*>(out.data()), &bound,
+                     reinterpret_cast<const Bytef*>(raw.data()), raw.size(),
+                     /*level=*/1);
+  assert(rc == Z_OK);
+  (void)rc;
+  out.resize(bound);
+  out.shrink_to_fit();
+  return out;
+}
+
+std::string Inflate(const std::string& compressed, size_t raw_size) {
+  std::string out(raw_size, '\0');
+  uLongf len = raw_size;
+  int rc = uncompress(reinterpret_cast<Bytef*>(out.data()), &len,
+                      reinterpret_cast<const Bytef*>(compressed.data()),
+                      compressed.size());
+  assert(rc == Z_OK && len == raw_size);
+  (void)rc;
+  return out;
+}
+
+}  // namespace compressed_internal
+}  // namespace met

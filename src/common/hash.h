@@ -1,0 +1,61 @@
+// 64-bit MurmurHash variants used by the Bloom filter and SuRF-Hash.
+#ifndef MET_COMMON_HASH_H_
+#define MET_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace met {
+
+/// MurmurHash64A (Austin Appleby, public domain), seedable.
+inline uint64_t MurmurHash64(const void* key, size_t len, uint64_t seed = 0) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (len * m);
+
+  const unsigned char* data = static_cast<const unsigned char*>(key);
+  const unsigned char* end = data + (len / 8) * 8;
+
+  while (data != end) {
+    uint64_t k;
+    std::memcpy(&k, data, 8);
+    data += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  size_t tail = len & 7;
+  uint64_t k = 0;
+  std::memcpy(&k, data, tail);
+  if (tail > 0) {
+    h ^= k;
+    h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+inline uint64_t MurmurHash64(std::string_view s, uint64_t seed = 0) {
+  return MurmurHash64(s.data(), s.size(), seed);
+}
+
+/// Finalizer-style mix for integer keys.
+inline uint64_t MixHash64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace met
+
+#endif  // MET_COMMON_HASH_H_

@@ -1,0 +1,88 @@
+// Fast deterministic PRNG and the Zipf sampler used by the YCSB workloads.
+#ifndef MET_COMMON_RANDOM_H_
+#define MET_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace met {
+
+/// xorshift128+ generator: fast, deterministic across platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x2545F4914F6CDD1DULL) {
+    s_[0] = seed ? seed : 1;
+    s_[1] = seed * 0x9E3779B97F4A7C15ULL + 1;
+    for (int i = 0; i < 8; ++i) Next();  // warm up
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+/// Zipf-distributed generator over [0, n) with parameter theta (YCSB's
+/// scrambled-zipfian uses theta = 0.99). Uses the Gray et al. rejection-free
+/// formula as in the YCSB core implementation.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n);
+    zeta2_ = Zeta(2);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  /// Next() with its output scattered over the domain so hot keys are not
+  /// clustered at the front (YCSB "scrambled zipfian").
+  uint64_t NextScrambled() {
+    uint64_t v = Next();
+    // FNV-style scramble, reduced mod n.
+    v = v * 0xc6a4a7935bd1e995ULL + 0xb492b66fbe98f273ULL;
+    return (v ^ (v >> 31)) % n_;
+  }
+
+ private:
+  double Zeta(uint64_t n) const {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta_);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace met
+
+#endif  // MET_COMMON_RANDOM_H_

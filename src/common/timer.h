@@ -1,0 +1,33 @@
+// Wall-clock timing helper for the benchmark harnesses.
+#ifndef MET_COMMON_TIMER_H_
+#define MET_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace met {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace met
+
+#endif  // MET_COMMON_TIMER_H_

@@ -1,0 +1,796 @@
+#include "fst/fst.h"
+
+#include <algorithm>
+#include <cassert>
+
+#ifdef MET_USE_SSE2
+#include <emmintrin.h>
+#endif
+
+namespace met {
+
+namespace {
+
+/// Per-level raw trie produced by the single-scan builder, before the
+/// dense/sparse split is chosen.
+struct LevelData {
+  std::vector<uint8_t> labels;
+  std::vector<bool> has_child;
+  std::vector<bool> louds;      // set at first label of each node
+  std::vector<bool> is_marker;  // label is the 0xFF prefix-key marker
+  std::vector<uint32_t> value_key_index;  // key index per terminating label
+  size_t node_count = 0;
+};
+
+struct Range {
+  uint32_t lo, hi;
+};
+
+}  // namespace
+
+void Fst::Build(const std::vector<std::string>& keys,
+                const std::vector<uint64_t>& values, const FstConfig& config,
+                std::vector<uint32_t>* leaf_key_index,
+                std::vector<uint32_t>* leaf_depth) {
+  config_ = config;
+  num_keys_ = keys.size();
+  assert(values.empty() || values.size() == keys.size());
+  assert(std::is_sorted(keys.begin(), keys.end()));
+
+  // ---- Phase 1: build per-level label sequences breadth-first. ----
+  std::vector<LevelData> levels;
+  std::vector<Range> current;
+  if (!keys.empty()) current.push_back({0, static_cast<uint32_t>(keys.size())});
+  size_t depth = 0;
+  const bool truncate = config.mode == FstConfig::Mode::kMinUniquePrefix;
+  while (!current.empty()) {
+    levels.emplace_back();
+    LevelData& ld = levels.back();
+    std::vector<Range> next;
+    for (const Range& r : current) {
+      ++ld.node_count;
+      bool first = true;
+      uint32_t lo = r.lo;
+      assert(keys[lo].size() >= depth);
+      if (keys[lo].size() == depth) {
+        // The path to this node is itself a stored key: 0xFF marker.
+        ld.labels.push_back(0xFF);
+        ld.has_child.push_back(false);
+        ld.louds.push_back(true);
+        ld.is_marker.push_back(true);
+        ld.value_key_index.push_back(lo);
+        first = false;
+        ++lo;
+      }
+      uint32_t i = lo;
+      while (i < r.hi) {
+        uint8_t b = static_cast<uint8_t>(keys[i][depth]);
+        uint32_t j = i + 1;
+        while (j < r.hi && static_cast<uint8_t>(keys[j][depth]) == b) ++j;
+        bool terminal =
+            (j - i == 1) && (truncate || keys[i].size() == depth + 1);
+        ld.labels.push_back(b);
+        ld.has_child.push_back(!terminal);
+        ld.louds.push_back(first);
+        ld.is_marker.push_back(false);
+        first = false;
+        if (terminal) {
+          ld.value_key_index.push_back(i);
+        } else {
+          next.push_back({i, j});
+        }
+        i = j;
+      }
+    }
+    current.swap(next);
+    ++depth;
+  }
+  height_ = levels.size();
+
+  // ---- Phase 2: choose the dense/sparse cutoff (Section 3.4). ----
+  std::vector<uint64_t> dense_up_to(height_ + 1, 0), sparse_from(height_ + 1, 0);
+  for (size_t l = 1; l <= height_; ++l)
+    dense_up_to[l] = dense_up_to[l - 1] + levels[l - 1].node_count * 513;
+  for (size_t l = height_; l-- > 0;)
+    sparse_from[l] = sparse_from[l + 1] + levels[l].labels.size() * 10;
+
+  size_t cutoff = 0;
+  if (config.max_dense_levels >= 0) {
+    cutoff = std::min<size_t>(config.max_dense_levels, height_);
+  } else {
+    for (size_t l = 0; l <= height_; ++l)
+      if (dense_up_to[l] * config.size_ratio <= sparse_from[l]) cutoff = l;
+  }
+  dense_levels_ = cutoff;
+
+  // ---- Phase 3: emit the LOUDS-DS encoding. ----
+  d_labels_ = BitVector();
+  d_has_child_ = BitVector();
+  d_is_prefix_ = BitVector();
+  s_labels_.clear();
+  s_has_child_ = BitVector();
+  s_louds_ = BitVector();
+  values_.clear();
+  level_node_start_.clear();
+
+  num_nodes_ = 0;
+  dense_node_count_ = 0;
+  dense_child_count_ = 0;
+
+  level_node_start_.reserve(height_ + 2);
+  for (size_t l = 0; l < height_; ++l) {
+    level_node_start_.push_back(num_nodes_);
+    num_nodes_ += levels[l].node_count;
+  }
+  level_node_start_.push_back(num_nodes_);
+  level_node_start_.push_back(num_nodes_);  // sentinel for one level past H
+
+  std::vector<uint32_t> leaf_keys;    // key index per leaf id, level order
+  std::vector<uint32_t> leaf_depths;  // stored-prefix length per leaf id
+
+  // Dense levels: one 256-bit D-Labels/D-HasChild pair + one D-IsPrefixKey
+  // bit per node. Prefix markers become IsPrefixKey bits, not labels.
+  for (size_t l = 0; l < cutoff; ++l) {
+    const LevelData& ld = levels[l];
+    dense_node_count_ += ld.node_count;
+    size_t vi = 0;  // cursor into value_key_index
+    size_t li = 0;
+    while (li < ld.labels.size()) {
+      assert(ld.louds[li]);
+      size_t bm_base = d_labels_.size();
+      d_labels_.Extend(256);
+      d_has_child_.Extend(256);
+      bool prefix_key = false;
+      do {
+        if (ld.is_marker[li]) {
+          prefix_key = true;
+          leaf_keys.push_back(ld.value_key_index[vi++]);
+          leaf_depths.push_back(static_cast<uint32_t>(l));
+        } else {
+          d_labels_.Set(bm_base + ld.labels[li]);
+          if (ld.has_child[li]) {
+            d_has_child_.Set(bm_base + ld.labels[li]);
+            ++dense_child_count_;
+          } else {
+            leaf_keys.push_back(ld.value_key_index[vi++]);
+            leaf_depths.push_back(static_cast<uint32_t>(l + 1));
+          }
+        }
+        ++li;
+      } while (li < ld.labels.size() && !ld.louds[li]);
+      d_is_prefix_.PushBack(prefix_key);
+    }
+    assert(vi == ld.value_key_index.size());
+  }
+  dense_value_count_ = leaf_keys.size();
+
+  // Sparse levels: byte/bit sequences in level order; markers stay as 0xFF.
+  for (size_t l = cutoff; l < height_; ++l) {
+    const LevelData& ld = levels[l];
+    size_t vi = 0;
+    for (size_t li = 0; li < ld.labels.size(); ++li) {
+      s_labels_.push_back(ld.labels[li]);
+      s_has_child_.PushBack(ld.has_child[li]);
+      s_louds_.PushBack(ld.louds[li]);
+      if (!ld.has_child[li]) {
+        leaf_keys.push_back(ld.value_key_index[vi++]);
+        leaf_depths.push_back(
+            static_cast<uint32_t>(ld.is_marker[li] ? l : l + 1));
+      }
+    }
+    assert(vi == ld.value_key_index.size());
+  }
+  num_s_labels_ = s_labels_.size();
+  s_labels_.resize(num_s_labels_ + 16, 0);  // SIMD slack
+  s_labels_.shrink_to_fit();
+
+  if (config.store_values && !values.empty()) {
+    values_.resize(leaf_keys.size());
+    for (size_t i = 0; i < leaf_keys.size(); ++i)
+      values_[i] = values[leaf_keys[i]];
+  }
+  if (leaf_key_index != nullptr) *leaf_key_index = leaf_keys;
+  if (leaf_depth != nullptr) *leaf_depth = std::move(leaf_depths);
+  num_leaves_ = leaf_keys.size();
+
+  // ---- Phase 4: rank & select supports. ----
+  if (config.fast_rank) {
+    d_labels_rank_.Build(&d_labels_, 64);
+    d_has_child_rank_.Build(&d_has_child_, 64);
+    d_is_prefix_rank_.Build(&d_is_prefix_, 512);
+    s_has_child_rank_.Build(&s_has_child_, 512);
+    s_louds_rank_.Build(&s_louds_, 512);
+  } else {
+    d_labels_poppy_.Build(&d_labels_);
+    d_has_child_poppy_.Build(&d_has_child_);
+    d_is_prefix_poppy_.Build(&d_is_prefix_);
+    s_has_child_poppy_.Build(&s_has_child_);
+    s_louds_poppy_.Build(&s_louds_);
+  }
+  if (config.fast_select && s_louds_.size() > 0) s_louds_select_.Build(&s_louds_, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+size_t Fst::SelectLouds(size_t rank) const {
+  if (config_.fast_select) return s_louds_select_.Select1(rank);
+  // Baseline: binary search over rank (what generic succinct libraries do
+  // when no select index is built).
+  size_t lo = 0, hi = s_louds_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    size_t r = config_.fast_rank ? s_louds_rank_.Rank1(mid)
+                                 : s_louds_poppy_.Rank1(mid);
+    if (r < rank)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+size_t Fst::SparseNodeEnd(size_t start) const {
+  return s_louds_.NextSetBit(start + 1);
+}
+
+size_t Fst::DenseValuePos(size_t pos) const {
+  return DenseRankLabels(pos) - DenseRankHasChild(pos) +
+         (config_.fast_rank ? d_is_prefix_rank_.Rank1(pos / 256)
+                            : d_is_prefix_poppy_.Rank1(pos / 256)) -
+         1;
+}
+
+size_t Fst::DensePrefixValuePos(size_t m) const {
+  size_t labels_before = m > 0 ? DenseRankLabels(m * 256 - 1) : 0;
+  size_t children_before = m > 0 ? DenseRankHasChild(m * 256 - 1) : 0;
+  size_t prefixes = config_.fast_rank ? d_is_prefix_rank_.Rank1(m)
+                                      : d_is_prefix_poppy_.Rank1(m);
+  return labels_before - children_before + prefixes - 1;
+}
+
+size_t Fst::SearchLabel(size_t start, size_t end, uint8_t byte) const {
+#ifdef MET_USE_SSE2
+  // SIMD pays off on wide nodes; >90% of nodes are tiny (Section 3.6) and a
+  // short byte loop wins there, so the vector path engages above 8 labels.
+  if (config_.simd_label_search && end - start > 8) {
+    // The label vector has 16 bytes of slack, so an unaligned 16-byte load
+    // at any logical position is safe; mask off bytes past `end`.
+    const __m128i needle = _mm_set1_epi8(static_cast<char>(byte));
+    for (size_t i = start; i < end; i += 16) {
+      __m128i hay =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(&s_labels_[i]));
+      int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(hay, needle));
+      size_t chunk = end - i;
+      if (chunk < 16) mask &= (1 << chunk) - 1;
+      if (mask != 0) return i + __builtin_ctz(mask);
+    }
+    return end;
+  }
+#endif
+  for (size_t i = start; i < end; ++i)
+    if (s_labels_[i] == byte) return i;
+  return end;
+}
+
+// ---------------------------------------------------------------------------
+// Point lookup (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+Fst::LookupResult Fst::Lookup(std::string_view key) const {
+  LookupResult res;
+  if (num_leaves_ == 0) return res;
+  size_t node = 0;  // global node number
+  size_t level = 0;
+
+  while (level < dense_levels_) {
+    size_t m = node;
+    if (level == key.size()) {
+      if (d_is_prefix_.Get(m)) {
+        res.found = true;
+        res.leaf_id = static_cast<uint32_t>(DensePrefixValuePos(m));
+        res.depth = static_cast<uint32_t>(level);
+        res.is_prefix_leaf = true;
+      }
+      return res;
+    }
+    size_t pos = m * 256 + static_cast<uint8_t>(key[level]);
+    if (config_.prefetch)
+      __builtin_prefetch(d_has_child_.data() + pos / 64);
+    if (!d_labels_.Get(pos)) return res;
+    if (!d_has_child_.Get(pos)) {
+      res.found = true;
+      res.leaf_id = static_cast<uint32_t>(DenseValuePos(pos));
+      res.depth = static_cast<uint32_t>(level + 1);
+      return res;
+    }
+    node = DenseChildNodeNum(pos);
+    ++level;
+    if (node >= dense_node_count_) break;
+  }
+
+  // Sparse levels.
+  size_t local = node - dense_node_count_;
+  size_t pos = SparseNodePos(local);
+  size_t end = SparseNodeEnd(pos);
+  while (true) {
+    bool marker = SparseHasMarker(pos, end);
+    if (level == key.size()) {
+      if (marker) {
+        res.found = true;
+        res.leaf_id =
+            static_cast<uint32_t>(dense_value_count_ + SparseValuePos(pos));
+        res.depth = static_cast<uint32_t>(level);
+        res.is_prefix_leaf = true;
+      }
+      return res;
+    }
+    uint8_t b = static_cast<uint8_t>(key[level]);
+    size_t p = SearchLabel(pos + (marker ? 1 : 0), end, b);
+    if (p == end) return res;
+    if (config_.prefetch)
+      __builtin_prefetch(s_has_child_.data() + p / 64);
+    if (!s_has_child_.Get(p)) {
+      res.found = true;
+      res.leaf_id =
+          static_cast<uint32_t>(dense_value_count_ + SparseValuePos(p));
+      res.depth = static_cast<uint32_t>(level + 1);
+      return res;
+    }
+    local = SparseChildNodeNum(p) - dense_node_count_;
+    pos = SparseNodePos(local);
+    end = SparseNodeEnd(pos);
+    ++level;
+  }
+}
+
+bool Fst::Find(std::string_view key, uint64_t* value) const {
+  LookupResult res = Lookup(key);
+  if (!res.found) return false;
+  // In full-key mode a terminal at depth d means the stored key has exactly
+  // d bytes; reject lookups of longer keys that merely pass through.
+  if (config_.mode == FstConfig::Mode::kFullKey && res.depth != key.size())
+    return false;
+  if (value != nullptr && !values_.empty()) *value = values_[res.leaf_id];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+void Fst::Iterator::ComputeLeafId() {
+  const LevelCursor& top = stack_.back();
+  if (top.dense) {
+    leaf_id_ = at_prefix_
+                   ? static_cast<uint32_t>(fst_->DensePrefixValuePos(top.pos / 256))
+                   : static_cast<uint32_t>(fst_->DenseValuePos(top.pos));
+  } else {
+    leaf_id_ = static_cast<uint32_t>(fst_->dense_value_count_ +
+                                     fst_->SparseValuePos(top.pos));
+  }
+}
+
+void Fst::DescendToMin(Iterator* it, size_t node_num) const {
+  size_t node = node_num;
+  while (true) {
+    if (node < dense_node_count_) {
+      size_t m = node;
+      if (d_is_prefix_.Get(m)) {
+        it->stack_.push_back({static_cast<uint32_t>(m * 256), true});
+        it->at_prefix_ = true;
+        it->ComputeLeafId();
+        return;
+      }
+      size_t pos = d_labels_.NextSetBit(m * 256);
+      assert(pos < (m + 1) * 256);
+      it->stack_.push_back({static_cast<uint32_t>(pos), true});
+      it->key_.push_back(static_cast<char>(pos % 256));
+      if (!d_has_child_.Get(pos)) {
+        it->at_prefix_ = false;
+        it->ComputeLeafId();
+        return;
+      }
+      node = DenseChildNodeNum(pos);
+    } else {
+      size_t local = node - dense_node_count_;
+      size_t pos = SparseNodePos(local);
+      size_t end = SparseNodeEnd(pos);
+      it->stack_.push_back({static_cast<uint32_t>(pos), false});
+      if (SparseHasMarker(pos, end)) {
+        it->at_prefix_ = true;
+        it->ComputeLeafId();
+        return;
+      }
+      it->key_.push_back(static_cast<char>(s_labels_[pos]));
+      if (!s_has_child_.Get(pos)) {
+        it->at_prefix_ = false;
+        it->ComputeLeafId();
+        return;
+      }
+      node = SparseChildNodeNum(pos);
+    }
+  }
+}
+
+/// Advances the top cursor to the next label within its node. Returns false
+/// if the node is exhausted. Fixes the trailing key byte.
+bool Fst::AdvanceCursor(Iterator* it) const {
+  Iterator::LevelCursor& top = it->stack_.back();
+  if (top.dense) {
+    size_t node_end = (top.pos / 256 + 1) * 256;
+    size_t next = d_labels_.NextSetBit(top.pos + 1);
+    if (next >= node_end) return false;
+    top.pos = static_cast<uint32_t>(next);
+    it->key_.back() = static_cast<char>(next % 256);
+    return true;
+  }
+  size_t next = top.pos + 1;
+  if (next >= num_s_labels_ || s_louds_.Get(next)) return false;
+  top.pos = static_cast<uint32_t>(next);
+  it->key_.back() = static_cast<char>(s_labels_[next]);
+  return true;
+}
+
+/// After the top cursor moved onto a (possibly new) label: descend if it has
+/// a child, otherwise it is the new leaf.
+void Fst::CursorDescendOrLeaf(Iterator* it) const {
+  const Iterator::LevelCursor& top = it->stack_.back();
+  bool has_child =
+      top.dense ? d_has_child_.Get(top.pos) : s_has_child_.Get(top.pos);
+  if (!has_child) {
+    it->at_prefix_ = false;
+    it->ComputeLeafId();
+    return;
+  }
+  size_t child = top.dense ? DenseChildNodeNum(top.pos)
+                           : SparseChildNodeNum(top.pos);
+  DescendToMin(it, child);
+}
+
+void Fst::Iterator::Next() {
+  if (!valid_) return;
+  const Fst* f = fst_;
+  if (at_prefix_) {
+    // Move from the node's prefix-key to its first real label.
+    LevelCursor& top = stack_.back();
+    at_prefix_ = false;
+    if (top.dense) {
+      size_t m = top.pos / 256;
+      size_t pos = f->d_labels_.NextSetBit(m * 256);
+      assert(pos < (m + 1) * 256);
+      top.pos = static_cast<uint32_t>(pos);
+      key_.push_back(static_cast<char>(pos % 256));
+    } else {
+      top.pos += 1;  // marker is at node start; a real label follows
+      key_.push_back(static_cast<char>(f->s_labels_[top.pos]));
+    }
+    f->CursorDescendOrLeaf(this);
+    return;
+  }
+  while (!stack_.empty()) {
+    if (f->AdvanceCursor(this)) {
+      f->CursorDescendOrLeaf(this);
+      return;
+    }
+    stack_.pop_back();
+    key_.pop_back();
+  }
+  valid_ = false;
+}
+
+Fst::Iterator Fst::Begin() const {
+  Iterator it;
+  it.fst_ = this;
+  if (num_leaves_ == 0) return it;
+  it.valid_ = true;
+  DescendToMin(&it, 0);
+  return it;
+}
+
+Fst::Iterator Fst::LowerBound(std::string_view key, bool* fp_flag) const {
+  if (fp_flag != nullptr) *fp_flag = false;
+  Iterator it;
+  it.fst_ = this;
+  if (num_leaves_ == 0) return it;
+  it.valid_ = true;
+
+  size_t node = 0;
+  size_t level = 0;
+  while (true) {
+    if (node < dense_node_count_) {
+      size_t m = node;
+      if (level == key.size()) {
+        DescendToMin(&it, m);
+        return it;
+      }
+      uint8_t b = static_cast<uint8_t>(key[level]);
+      size_t pos = m * 256 + b;
+      if (d_labels_.Get(pos)) {
+        it.stack_.push_back({static_cast<uint32_t>(pos), true});
+        it.key_.push_back(static_cast<char>(b));
+        if (d_has_child_.Get(pos)) {
+          node = DenseChildNodeNum(pos);
+          ++level;
+          continue;
+        }
+        // Terminal: stored path == key[0..level+1).
+        it.at_prefix_ = false;
+        it.ComputeLeafId();
+        bool strict_prefix = level + 1 < key.size();
+        if (strict_prefix) {
+          if (fp_flag != nullptr)
+            *fp_flag = true;
+          else
+            it.Next();  // index semantics: path < key, skip
+        }
+        return it;
+      }
+      // Smallest label greater than b within the node.
+      size_t next = d_labels_.NextSetBit(pos + 1);
+      if (next < (m + 1) * 256) {
+        it.stack_.push_back({static_cast<uint32_t>(next), true});
+        it.key_.push_back(static_cast<char>(next % 256));
+        CursorDescendOrLeaf(&it);
+        return it;
+      }
+      AdvanceUp(&it);
+      return it;
+    }
+
+    size_t local = node - dense_node_count_;
+    size_t pos = SparseNodePos(local);
+    size_t end = SparseNodeEnd(pos);
+    bool marker = SparseHasMarker(pos, end);
+    if (level == key.size()) {
+      DescendToMin(&it, node);
+      return it;
+    }
+    uint8_t b = static_cast<uint8_t>(key[level]);
+    // Real labels are sorted ascending in [pos + marker, end).
+    size_t p = pos + (marker ? 1 : 0);
+    while (p < end && s_labels_[p] < b) ++p;
+    if (p < end && s_labels_[p] == b) {
+      it.stack_.push_back({static_cast<uint32_t>(p), false});
+      it.key_.push_back(static_cast<char>(b));
+      if (s_has_child_.Get(p)) {
+        node = SparseChildNodeNum(p);
+        ++level;
+        continue;
+      }
+      it.at_prefix_ = false;
+      it.ComputeLeafId();
+      bool strict_prefix = level + 1 < key.size();
+      if (strict_prefix) {
+        if (fp_flag != nullptr)
+          *fp_flag = true;
+        else
+          it.Next();
+      }
+      return it;
+    }
+    if (p < end) {  // label > b: everything below is > key
+      it.stack_.push_back({static_cast<uint32_t>(p), false});
+      it.key_.push_back(static_cast<char>(s_labels_[p]));
+      CursorDescendOrLeaf(&it);
+      return it;
+    }
+    AdvanceUp(&it);
+    return it;
+  }
+}
+
+void Fst::AdvanceUp(Iterator* it) const {
+  while (!it->stack_.empty()) {
+    if (AdvanceCursor(it)) {
+      CursorDescendOrLeaf(it);
+      return;
+    }
+    it->stack_.pop_back();
+    it->key_.pop_back();
+  }
+  it->valid_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// CountRange
+// ---------------------------------------------------------------------------
+//
+// Counts are computed per the thesis: extend per-level frontiers for both
+// boundary keys and take rank differences of the value sequences, so a count
+// costs O(height) rank operations rather than an O(result) scan.
+
+uint64_t Fst::CountDenseLevelBefore(size_t l, uint64_t pos, bool include_marker,
+                                    bool include_pos_value) const {
+  uint64_t level_start = level_node_start_[l] * 256;
+  uint64_t m = pos / 256;
+  // Rank-based label/child counts within [level_start, pos).
+  auto rank_labels = [&](uint64_t p) -> uint64_t {
+    return p == 0 ? 0 : DenseRankLabels(p - 1);
+  };
+  auto rank_children = [&](uint64_t p) -> uint64_t {
+    return p == 0 ? 0 : DenseRankHasChild(p - 1);
+  };
+  uint64_t labels_before = rank_labels(pos) - rank_labels(level_start);
+  uint64_t children_before = rank_children(pos) - rank_children(level_start);
+  // Markers among nodes < node_count.
+  auto rank_prefix = [&](uint64_t node_count) -> uint64_t {
+    return node_count == 0
+               ? 0
+               : (config_.fast_rank ? d_is_prefix_rank_.Rank1(node_count - 1)
+                                    : d_is_prefix_poppy_.Rank1(node_count - 1));
+  };
+  uint64_t markers = rank_prefix(m) - rank_prefix(level_node_start_[l]);
+  if (include_marker && m < dense_node_count_ && d_is_prefix_.Get(m)) ++markers;
+  return labels_before - children_before + markers +
+         (include_pos_value ? 1 : 0);
+}
+
+uint64_t Fst::CountSparseLevelBefore(size_t l, uint64_t pos,
+                                     bool include_pos_value) const {
+  bool dummy;
+  uint64_t level_start = NodeStartPos(level_node_start_[l], &dummy);
+  auto rank_children = [&](uint64_t p) {
+    return p == 0 ? 0 : SparseRankHasChild(p - 1);
+  };
+  uint64_t labels_before = pos - level_start;
+  uint64_t children_before = rank_children(pos) - rank_children(level_start);
+  return labels_before - children_before + (include_pos_value ? 1 : 0);
+}
+
+uint64_t Fst::NodeStartPos(uint64_t node, bool* dense) const {
+  if (node < dense_node_count_) {
+    *dense = true;
+    return node * 256;
+  }
+  *dense = false;
+  uint64_t local = node - dense_node_count_;
+  uint64_t sparse_nodes = num_nodes_ - dense_node_count_;
+  if (local >= sparse_nodes) return num_s_labels_;
+  return SparseNodePos(local);
+}
+
+void Fst::ComputeFrontier(std::string_view key,
+                          std::vector<uint64_t>* counts) const {
+  counts->assign(height_, 0);
+  if (num_leaves_ == 0) return;
+
+  size_t node = 0;
+  size_t level = 0;
+  uint64_t stop_pos = 0;
+  size_t stop_level = 0;
+
+  while (true) {
+    bool is_dense = node < dense_node_count_;
+    if (is_dense) {
+      size_t m = node;
+      if (level == key.size()) {
+        // Everything in this subtree (marker included) sorts >= key.
+        (*counts)[level] = CountDenseLevelBefore(level, m * 256, false, false);
+        stop_pos = m * 256;
+        stop_level = level;
+        break;
+      }
+      uint8_t b = static_cast<uint8_t>(key[level]);
+      uint64_t pos = m * 256 + b;
+      if (!d_labels_.Get(pos)) {
+        (*counts)[level] = CountDenseLevelBefore(level, pos, true, false);
+        stop_pos = pos;
+        stop_level = level;
+        break;
+      }
+      if (!d_has_child_.Get(pos)) {
+        bool strict_prefix = level + 1 < key.size();
+        (*counts)[level] =
+            CountDenseLevelBefore(level, pos, true, strict_prefix);
+        stop_pos = pos;
+        stop_level = level;
+        break;
+      }
+      (*counts)[level] = CountDenseLevelBefore(level, pos, true, false);
+      node = DenseChildNodeNum(pos);
+      ++level;
+    } else {
+      size_t local = node - dense_node_count_;
+      uint64_t pos = SparseNodePos(local);
+      uint64_t end = SparseNodeEnd(pos);
+      bool marker = SparseHasMarker(pos, end);
+      if (level == key.size()) {
+        (*counts)[level] = CountSparseLevelBefore(level, pos, false);
+        stop_pos = pos;
+        stop_level = level;
+        break;
+      }
+      uint8_t b = static_cast<uint8_t>(key[level]);
+      uint64_t p = pos + (marker ? 1 : 0);
+      while (p < end && s_labels_[p] < b) ++p;
+      if (p == end || s_labels_[p] != b) {
+        (*counts)[level] = CountSparseLevelBefore(level, p, false);
+        stop_pos = p;
+        stop_level = level;
+        break;
+      }
+      if (!s_has_child_.Get(p)) {
+        bool strict_prefix = level + 1 < key.size();
+        (*counts)[level] = CountSparseLevelBefore(level, p, strict_prefix);
+        stop_pos = p;
+        stop_level = level;
+        break;
+      }
+      (*counts)[level] = CountSparseLevelBefore(level, p, false);
+      node = SparseChildNodeNum(p);
+      ++level;
+    }
+  }
+
+  // Extend the frontier to deeper levels: the next subtree boundary is the
+  // child of the first has-child branch at-or-after the stop position,
+  // clamped to the level bounds.
+  uint64_t q = stop_pos;
+  for (size_t l = stop_level; l + 1 < height_; ++l) {
+    bool is_dense_level = l < dense_levels_;
+    uint64_t children_before;
+    if (is_dense_level) {
+      children_before = q == 0 ? 0 : DenseRankHasChild(q - 1);
+    } else {
+      children_before =
+          dense_child_count_ + (q == 0 ? 0 : SparseRankHasChild(q - 1));
+    }
+    uint64_t child_node = children_before + 1;
+    uint64_t clamp = level_node_start_[l + 2];
+    if (child_node > clamp) child_node = clamp;
+    // Express the child-node boundary in level l+1's own coordinate space
+    // (a clamped boundary node may itself live past the dense/sparse split).
+    if (l + 1 < dense_levels_) {
+      q = child_node * 256;
+      (*counts)[l + 1] = CountDenseLevelBefore(l + 1, q, false, false);
+    } else {
+      uint64_t local = child_node - dense_node_count_;
+      uint64_t sparse_nodes = num_nodes_ - dense_node_count_;
+      q = local >= sparse_nodes ? num_s_labels_ : SparseNodePos(local);
+      (*counts)[l + 1] = CountSparseLevelBefore(l + 1, q, false);
+    }
+  }
+}
+
+uint64_t Fst::CountRange(std::string_view low_key,
+                         std::string_view high_key) const {
+  if (num_leaves_ == 0 || high_key <= low_key) return 0;
+  std::vector<uint64_t> clo, chi;
+  ComputeFrontier(low_key, &clo);
+  ComputeFrontier(high_key, &chi);
+  uint64_t lo = 0, hi = 0;
+  for (size_t l = 0; l < height_; ++l) {
+    lo += clo[l];
+    hi += chi[l];
+  }
+  return hi > lo ? hi - lo : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting
+// ---------------------------------------------------------------------------
+
+size_t Fst::FilterMemoryBytes() const {
+  size_t bytes = d_labels_.MemoryBytes() + d_has_child_.MemoryBytes() +
+                 d_is_prefix_.MemoryBytes() + s_labels_.capacity() +
+                 s_has_child_.MemoryBytes() + s_louds_.MemoryBytes();
+  if (config_.fast_rank) {
+    bytes += d_labels_rank_.MemoryBytes() + d_has_child_rank_.MemoryBytes() +
+             d_is_prefix_rank_.MemoryBytes() + s_has_child_rank_.MemoryBytes() +
+             s_louds_rank_.MemoryBytes();
+  } else {
+    bytes += d_labels_poppy_.MemoryBytes() + d_has_child_poppy_.MemoryBytes() +
+             d_is_prefix_poppy_.MemoryBytes() +
+             s_has_child_poppy_.MemoryBytes() + s_louds_poppy_.MemoryBytes();
+  }
+  if (config_.fast_select) bytes += s_louds_select_.MemoryBytes();
+  return bytes;
+}
+
+size_t Fst::MemoryBytes() const {
+  return FilterMemoryBytes() + values_.capacity() * sizeof(uint64_t);
+}
+
+}  // namespace met

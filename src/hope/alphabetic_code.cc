@@ -1,0 +1,181 @@
+#include "hope/alphabetic_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace met {
+
+namespace {
+
+/// Compares two codes as left-aligned bit strings (the order encoded keys
+/// sort in).
+bool CodeLess(const Code& a, const Code& b) {
+  int n = std::min(a.len, b.len);
+  uint64_t ah = a.bits >> (a.len - n);
+  uint64_t bh = b.bits >> (b.len - n);
+  if (ah != bh) return ah < bh;
+  return a.len < b.len;
+}
+
+}  // namespace
+
+std::vector<int> GarsiaWachsDepths(const std::vector<uint64_t>& weights) {
+  size_t n = weights.size();
+  std::vector<int> depths(n, 0);
+  if (n <= 1) return depths;
+
+  // Phase 1: Garsia-Wachs merging. Work items carry a tree-node id; the
+  // merge order gives optimal leaf *levels* even though the working list's
+  // order is shuffled by the re-insertion step.
+  struct TreeNode {
+    int left = -1, right = -1;
+    int leaf = -1;  // original index if leaf
+  };
+  std::vector<TreeNode> nodes;
+  nodes.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) nodes.push_back({-1, -1, static_cast<int>(i)});
+
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> w;  // with sentinels
+  std::vector<int> id;
+  w.reserve(n + 2);
+  id.reserve(n + 2);
+  w.push_back(kInf);
+  id.push_back(-1);
+  for (size_t i = 0; i < n; ++i) {
+    w.push_back(weights[i]);
+    id.push_back(static_cast<int>(i));
+  }
+  w.push_back(kInf);
+  id.push_back(-1);
+
+  size_t remaining = n;
+  while (remaining > 1) {
+    // Find the leftmost i (1-based inside sentinels) with w[i-1] <= w[i+1]:
+    // (i-1, i) is a locally minimal compatible pair.
+    size_t i = 1;
+    while (!(w[i] <= w[i + 2])) ++i;
+    ++i;  // merge (i-1, i)
+    uint64_t t = w[i - 1] + w[i];
+    nodes.push_back({id[i - 1], id[i], -1});
+    int tid = static_cast<int>(nodes.size()) - 1;
+    // Remove positions i-1, i.
+    w.erase(w.begin() + i - 1, w.begin() + i + 1);
+    id.erase(id.begin() + i - 1, id.begin() + i + 1);
+    // Insert t after the nearest element to the left that is >= t.
+    size_t j = i - 1;
+    while (w[j - 1] < t) --j;
+    w.insert(w.begin() + j, t);
+    id.insert(id.begin() + j, tid);
+    --remaining;
+  }
+
+  // Phase 2: leaf depths from the phase-1 tree.
+  struct Frame {
+    int node;
+    int depth;
+  };
+  std::vector<Frame> stack{{id[1], 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = nodes[f.node];
+    if (nd.leaf >= 0) {
+      depths[nd.leaf] = f.depth;
+      continue;
+    }
+    stack.push_back({nd.left, f.depth + 1});
+    stack.push_back({nd.right, f.depth + 1});
+  }
+  return depths;
+}
+
+std::vector<Code> CodesFromDepths(const std::vector<int>& depths) {
+  std::vector<Code> codes(depths.size());
+  if (depths.empty()) return codes;
+  codes[0] = {0, static_cast<uint8_t>(depths[0])};
+  for (size_t i = 1; i < depths.size(); ++i) {
+    uint64_t v = codes[i - 1].bits + 1;
+    int prev = depths[i - 1], cur = depths[i];
+    if (cur > prev)
+      v <<= (cur - prev);
+    else
+      v >>= (prev - cur);
+    codes[i] = {v, static_cast<uint8_t>(cur)};
+  }
+  return codes;
+}
+
+namespace {
+
+void BalancedSplit(const std::vector<uint64_t>& prefix, size_t lo, size_t hi,
+                   uint64_t code, int depth, std::vector<Code>* out) {
+  if (hi - lo == 1) {
+    (*out)[lo] = {code, static_cast<uint8_t>(depth)};
+    return;
+  }
+  size_t mid;
+  if (depth >= 56) {
+    // Safety: force count-balanced splits so code length stays <= 64.
+    mid = (lo + hi) / 2;
+  } else {
+    // Split point minimizing |left weight - right weight|.
+    uint64_t total = prefix[hi] - prefix[lo];
+    uint64_t half = prefix[lo] + total / 2;
+    mid = std::upper_bound(prefix.begin() + lo + 1, prefix.begin() + hi, half) -
+          prefix.begin();
+    if (mid >= hi) mid = hi - 1;
+    if (mid <= lo) mid = lo + 1;
+  }
+  BalancedSplit(prefix, lo, mid, code << 1, depth + 1, out);
+  BalancedSplit(prefix, mid, hi, (code << 1) | 1, depth + 1, out);
+}
+
+}  // namespace
+
+std::vector<Code> BalancedAlphabeticCodes(const std::vector<uint64_t>& weights) {
+  std::vector<Code> codes(weights.size());
+  if (weights.empty()) return codes;
+  if (weights.size() == 1) {
+    codes[0] = {0, 1};
+    return codes;
+  }
+  std::vector<uint64_t> prefix(weights.size() + 1, 0);
+  for (size_t i = 0; i < weights.size(); ++i)
+    prefix[i + 1] = prefix[i] + weights[i];
+  BalancedSplit(prefix, 0, weights.size(), 0, 0, &codes);
+  return codes;
+}
+
+std::vector<Code> BuildAlphabeticCodes(const std::vector<uint64_t>& weights,
+                                       size_t exact_limit) {
+  if (weights.size() <= 1) return BalancedAlphabeticCodes(weights);
+  if (weights.size() <= exact_limit)
+    return CodesFromDepths(GarsiaWachsDepths(weights));
+  return BalancedAlphabeticCodes(weights);
+}
+
+std::vector<Code> FixedLengthCodes(size_t n) {
+  int bits = 1;
+  while ((size_t{1} << bits) < n) ++bits;
+  std::vector<Code> codes(n);
+  for (size_t i = 0; i < n; ++i)
+    codes[i] = {static_cast<uint64_t>(i), static_cast<uint8_t>(bits)};
+  return codes;
+}
+
+bool CodesAreOrderPreservingPrefixFree(const std::vector<Code>& codes) {
+  for (size_t i = 1; i < codes.size(); ++i) {
+    if (!CodeLess(codes[i - 1], codes[i])) return false;
+    // Prefix-free: the shared high bits must differ somewhere within
+    // min(len) bits.
+    const Code& a = codes[i - 1];
+    const Code& b = codes[i];
+    int n = std::min(a.len, b.len);
+    if ((a.bits >> (a.len - n)) == (b.bits >> (b.len - n))) return false;
+  }
+  return true;
+}
+
+}  // namespace met

@@ -1,0 +1,47 @@
+// Order-preserving (alphabetic) prefix-code construction for HOPE's
+// variable-length code schemes (Section 6.1.3).
+//
+// Small dictionaries get the exact optimum via the Garsia-Wachs algorithm
+// (equivalent to Hu-Tucker trees); large dictionaries (e.g. Double-Char's
+// 64Ki symbols) use a weight-balanced recursive split, which is provably
+// within 2 bits of entropy and orders of magnitude faster to build — see
+// DESIGN.md for this documented substitution.
+#ifndef MET_HOPE_ALPHABETIC_CODE_H_
+#define MET_HOPE_ALPHABETIC_CODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace met {
+
+struct Code {
+  uint64_t bits = 0;  // left-aligned at bit `len-1` .. 0 (value form)
+  uint8_t len = 0;
+};
+
+/// Optimal alphabetic-tree leaf depths (Garsia-Wachs). O(n^2) worst case;
+/// intended for n <= a few thousand.
+std::vector<int> GarsiaWachsDepths(const std::vector<uint64_t>& weights);
+
+/// Canonical alphabetic codes from leaf depths (codes are monotonically
+/// increasing when compared as left-aligned bit strings).
+std::vector<Code> CodesFromDepths(const std::vector<int>& depths);
+
+/// Weight-balanced recursive-split alphabetic codes (near-optimal).
+std::vector<Code> BalancedAlphabeticCodes(const std::vector<uint64_t>& weights);
+
+/// Dispatcher: exact below `exact_limit` symbols, balanced split above.
+std::vector<Code> BuildAlphabeticCodes(const std::vector<uint64_t>& weights,
+                                       size_t exact_limit = 4096);
+
+/// Fixed-length codes (ceil(log2(n)) bits, the VIFC column of Fig 6.3).
+std::vector<Code> FixedLengthCodes(size_t n);
+
+/// True iff the codes are strictly increasing as left-aligned bit strings
+/// and form a prefix-free set (used by tests).
+bool CodesAreOrderPreservingPrefixFree(const std::vector<Code>& codes);
+
+}  // namespace met
+
+#endif  // MET_HOPE_ALPHABETIC_CODE_H_

@@ -1,0 +1,347 @@
+#include "hope/hope.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace met {
+
+namespace {
+
+/// Smallest string greater than every string starting with `s`: increment
+/// the last byte with carry. Empty result means "+infinity".
+std::string NextKey(std::string_view s) {
+  std::string out(s);
+  while (!out.empty()) {
+    if (static_cast<unsigned char>(out.back()) != 0xFF) {
+      out.back() = static_cast<char>(static_cast<unsigned char>(out.back()) + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // +inf
+}
+
+/// Appends `code` to `out` at bit position `*bit_len` (MSB-first packing).
+void AppendCode(const Code& code, std::string* out, size_t* bit_len) {
+  for (int i = code.len - 1; i >= 0; --i) {
+    size_t bit = *bit_len;
+    if (bit / 8 >= out->size()) out->push_back('\0');
+    if ((code.bits >> i) & 1)
+      (*out)[bit / 8] |= static_cast<char>(0x80 >> (bit % 8));
+    ++(*bit_len);
+  }
+}
+
+}  // namespace
+
+const char* HopeSchemeName(HopeScheme scheme) {
+  switch (scheme) {
+    case HopeScheme::kSingleChar:
+      return "Single-Char";
+    case HopeScheme::kDoubleChar:
+      return "Double-Char";
+    case HopeScheme::k3Grams:
+      return "3-Grams";
+    case HopeScheme::k4Grams:
+      return "4-Grams";
+    case HopeScheme::kAlm:
+      return "ALM";
+    case HopeScheme::kAlmImproved:
+      return "ALM-Improved";
+  }
+  return "?";
+}
+
+void HopeEncoder::BuildIntervalsFromSymbols(
+    const std::vector<std::string>& symbols) {
+  // Boundary set: every single byte c and its extension c+'\0' (so one-byte
+  // tails form singleton intervals and every interval stays within one
+  // first byte, guaranteeing non-empty interval symbols), plus [g, g+) for
+  // every selected multi-byte symbol g.
+  std::vector<std::string> bounds;
+  bounds.reserve(symbols.size() * 2 + 512);
+  for (int c = 0; c < 256; ++c) {
+    std::string b(1, static_cast<char>(c));
+    bounds.push_back(b);
+    b.push_back('\0');
+    bounds.push_back(std::move(b));
+  }
+  for (const std::string& g : symbols) {
+    if (g.size() < 2) continue;  // singles already covered
+    bounds.push_back(g);
+    std::string nk = NextKey(g);
+    if (!nk.empty()) bounds.push_back(std::move(nk));
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  boundaries_ = std::move(bounds);
+  // First-byte dispatch table: boundaries_[bucket[c]] == the 1-byte string c.
+  first_byte_bucket_.assign(257, 0);
+  {
+    size_t i = 0;
+    for (int c = 0; c < 256; ++c) {
+      std::string probe(1, static_cast<char>(c));
+      while (i < boundaries_.size() && boundaries_[i] < probe) ++i;
+      first_byte_bucket_[c] = static_cast<uint32_t>(i);
+    }
+    first_byte_bucket_[256] = static_cast<uint32_t>(boundaries_.size());
+  }
+  max_boundary_len_ = 1;
+  for (const auto& b : boundaries_)
+    max_boundary_len_ = std::max(max_boundary_len_, b.size());
+  symbol_lens_.assign(boundaries_.size(), 1);
+  for (size_t i = 0; i < boundaries_.size(); ++i) {
+    const std::string& lo = boundaries_[i];
+    std::string hi =
+        i + 1 < boundaries_.size() ? boundaries_[i + 1] : std::string();
+    // Longest prefix p of `lo` with NextKey(p) >= hi, so that the whole
+    // interval lies inside [p, p+) and p is a prefix of every string in it
+    // (hi empty == +inf requires p+ == +inf, i.e. p all-0xFF).
+    size_t best = 0;
+    for (size_t len = lo.size(); len >= 1; --len) {
+      std::string pn = NextKey(std::string_view(lo).substr(0, len));
+      if (pn.empty() || (!hi.empty() && pn >= hi)) {
+        best = len;
+        break;
+      }
+    }
+    assert(best >= 1 && "interval with empty symbol");
+    symbol_lens_[i] = static_cast<uint8_t>(best);
+  }
+}
+
+void HopeEncoder::CountIntervalHits(const std::vector<std::string>& sample,
+                                    std::vector<uint64_t>* weights) const {
+  weights->assign(symbol_lens_.size(), 1);  // Laplace smoothing
+  for (const std::string& key : sample) {
+    size_t pos = 0;
+    while (pos < key.size()) {
+      size_t i = IntervalFor(std::string_view(key).substr(pos));
+      (*weights)[i] += 1;
+      pos += symbol_lens_[i];
+    }
+  }
+}
+
+void HopeEncoder::Build(const std::vector<std::string>& sample,
+                        HopeScheme scheme, size_t dict_size_limit) {
+  scheme_ = scheme;
+  direct_single_ = false;
+  direct_double_ = false;
+  build_stats_ = {};
+  Timer timer;
+
+  // ---- Symbol selection ----
+  std::vector<std::string> symbols;
+  switch (scheme) {
+    case HopeScheme::kSingleChar:
+      break;  // singles only
+    case HopeScheme::kDoubleChar: {
+      for (int a = 0; a < 256; ++a)
+        for (int b = 0; b < 256; ++b) {
+          std::string s(2, '\0');
+          s[0] = static_cast<char>(a);
+          s[1] = static_cast<char>(b);
+          symbols.push_back(std::move(s));
+        }
+      break;
+    }
+    case HopeScheme::k3Grams:
+    case HopeScheme::k4Grams: {
+      size_t n = scheme == HopeScheme::k3Grams ? 3 : 4;
+      std::unordered_map<std::string, uint64_t> counts;
+      for (const std::string& key : sample)
+        for (size_t i = 0; i + n <= key.size(); ++i)
+          ++counts[key.substr(i, n)];
+      std::vector<std::pair<uint64_t, std::string>> ranked;
+      ranked.reserve(counts.size());
+      for (auto& [g, c] : counts) ranked.emplace_back(c, g);
+      size_t budget = dict_size_limit > 600 ? (dict_size_limit - 512) / 2 : 64;
+      if (ranked.size() > budget) {
+        std::nth_element(ranked.begin(), ranked.begin() + budget, ranked.end(),
+                         [](const auto& a, const auto& b) { return a.first > b.first; });
+        ranked.resize(budget);
+      }
+      for (auto& [c, g] : ranked) symbols.push_back(std::move(g));
+      break;
+    }
+    case HopeScheme::kAlm:
+    case HopeScheme::kAlmImproved: {
+      // Variable-length substrings weighted by len * freq (the ALM
+      // "equalizing" objective); ALM-Improved considers a wider window.
+      size_t max_len = scheme == HopeScheme::kAlm ? 8 : 16;
+      std::unordered_map<std::string, uint64_t> counts;
+      for (const std::string& key : sample)
+        for (size_t len = 2; len <= max_len; ++len)
+          for (size_t i = 0; i + len <= key.size(); ++i)
+            ++counts[key.substr(i, len)];
+      std::vector<std::pair<uint64_t, std::string>> ranked;
+      ranked.reserve(counts.size());
+      for (auto& [g, c] : counts)
+        if (c >= 2) ranked.emplace_back(c * g.size(), g);
+      size_t budget = dict_size_limit > 600 ? (dict_size_limit - 512) / 2 : 64;
+      if (ranked.size() > budget) {
+        std::nth_element(ranked.begin(), ranked.begin() + budget, ranked.end(),
+                         [](const auto& a, const auto& b) { return a.first > b.first; });
+        ranked.resize(budget);
+      }
+      for (auto& [c, g] : ranked) symbols.push_back(std::move(g));
+      break;
+    }
+  }
+  build_stats_.symbol_select_seconds = timer.ElapsedSeconds();
+
+  // ---- Interval construction ----
+  timer.Reset();
+  BuildIntervalsFromSymbols(symbols);
+  build_stats_.dict_build_seconds = timer.ElapsedSeconds();
+
+  // ---- Code assignment ----
+  timer.Reset();
+  std::vector<uint64_t> weights;
+  CountIntervalHits(sample, &weights);
+  if (scheme == HopeScheme::kAlm) {
+    codes_ = FixedLengthCodes(weights.size());
+  } else {
+    codes_ = BuildAlphabeticCodes(weights);
+  }
+  build_stats_.code_assign_seconds = timer.ElapsedSeconds();
+
+  // Fast paths.
+  if (scheme == HopeScheme::kSingleChar) direct_single_ = true;
+  if (scheme == HopeScheme::kDoubleChar &&
+      boundaries_.size() == 256 * 257)
+    direct_double_ = true;
+}
+
+size_t HopeEncoder::IntervalFor(std::string_view remaining) const {
+  if (direct_single_) {
+    // Boundaries are c, c+'\0' for every byte: index = 2c (singleton {c}) if
+    // the remaining is exactly one byte, else 2c+1.
+    unsigned char c = static_cast<unsigned char>(remaining[0]);
+    return remaining.size() == 1 ? 2 * c : 2 * c + 1u;
+  }
+  if (direct_double_) {
+    unsigned char c = static_cast<unsigned char>(remaining[0]);
+    if (remaining.size() == 1) return static_cast<size_t>(c) * 257;
+    unsigned char d = static_cast<unsigned char>(remaining[1]);
+    return static_cast<size_t>(c) * 257 + 1 + d;
+  }
+  // Last boundary <= remaining, searched only among the intervals sharing
+  // the first byte (single-dispatch analogue of the Fig 6.6 bitmap-trie).
+  unsigned char first = static_cast<unsigned char>(remaining[0]);
+  size_t lo = first_byte_bucket_[first];
+  size_t hi = std::min<size_t>(first_byte_bucket_[first + 1] + 1,
+                               boundaries_.size());
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (boundaries_[mid] <= remaining)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+size_t HopeEncoder::EncodeBits(std::string_view key, std::string* out) const {
+  size_t bit_len = 0;
+  size_t pos = 0;
+  while (pos < key.size()) {
+    size_t i = IntervalFor(key.substr(pos));
+    AppendCode(codes_[i], out, &bit_len);
+    pos += symbol_lens_[i];
+  }
+  return bit_len;
+}
+
+std::string HopeEncoder::Encode(std::string_view key) const {
+  std::string out;
+  out.reserve(key.size() / 2 + 1);
+  EncodeBits(key, &out);
+  return out;
+}
+
+void HopeEncoder::EncodeBatch(const std::vector<std::string>& sorted_keys,
+                              std::vector<std::string>* out) const {
+  out->clear();
+  out->reserve(sorted_keys.size());
+  // Checkpoints from the previous key: after consuming `bytes` source bytes,
+  // the encoding was `bits` bits long.
+  std::vector<std::pair<uint32_t, uint32_t>> checkpoints, prev_checkpoints;
+  std::string prev_encoded;
+  std::string_view prev_key;
+
+  for (const std::string& key : sorted_keys) {
+    // Longest shared prefix with the previous key.
+    size_t common = 0;
+    size_t max_common = std::min(prev_key.size(), key.size());
+    while (common < max_common && prev_key[common] == key[common]) ++common;
+
+    // Find the deepest checkpoint whose interval decisions are fully
+    // determined inside the shared prefix: every dictionary lookup compares
+    // at most max_boundary_len_ bytes of the remaining string, so decisions
+    // up to `common - max_boundary_len_` are identical for both keys.
+    size_t start_byte = 0, start_bits = 0;
+    size_t safe = common > max_boundary_len_ ? common - max_boundary_len_ : 0;
+    for (const auto& [bytes, bits] : prev_checkpoints) {
+      if (bytes <= safe) {
+        start_byte = bytes;
+        start_bits = bits;
+      } else {
+        break;
+      }
+    }
+
+    std::string enc;
+    // Copy the shared encoded bits (whole bytes + the partial tail).
+    enc.assign(prev_encoded, 0, (start_bits + 7) / 8);
+    if (start_bits % 8 != 0) {
+      // Clear bits past start_bits in the last byte.
+      enc.back() &= static_cast<char>(0xFF << (8 - start_bits % 8));
+    }
+    size_t bit_len = start_bits;
+    checkpoints.clear();
+    checkpoints.emplace_back(0, 0);
+    size_t pos = start_byte;
+    // Re-record checkpoints up to start_byte from the previous key.
+    for (const auto& cp : prev_checkpoints)
+      if (cp.first <= start_byte && cp.first != 0) checkpoints.push_back(cp);
+    while (pos < key.size()) {
+      size_t i = IntervalFor(std::string_view(key).substr(pos));
+      AppendCode(codes_[i], &enc, &bit_len);
+      pos += symbol_lens_[i];
+      checkpoints.emplace_back(static_cast<uint32_t>(pos),
+                               static_cast<uint32_t>(bit_len));
+    }
+    prev_checkpoints = checkpoints;
+    prev_encoded = enc;
+    prev_key = key;
+    out->push_back(std::move(enc));
+  }
+}
+
+double HopeEncoder::Cpr(const std::vector<std::string>& keys) const {
+  size_t raw = 0, enc_bits = 0;
+  std::string scratch;
+  for (const auto& k : keys) {
+    raw += k.size();
+    scratch.clear();
+    enc_bits += EncodeBits(k, &scratch);
+  }
+  if (enc_bits == 0) return 0;
+  return static_cast<double>(raw * 8) / static_cast<double>(enc_bits);
+}
+
+size_t HopeEncoder::DictMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& b : boundaries_) bytes += b.size() + sizeof(uint32_t);
+  bytes += symbol_lens_.size();
+  bytes += codes_.size() * sizeof(Code);
+  return bytes;
+}
+
+}  // namespace met

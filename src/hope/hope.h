@@ -1,0 +1,103 @@
+// HOPE — High-speed Order-Preserving Encoder (Chapter 6).
+//
+// A dictionary-based string compressor whose encodings preserve key order,
+// so search trees can index compressed keys and still answer range queries.
+// Built on the string-axis model (Section 6.1): the key space is divided
+// into intervals, each with a common-prefix symbol and a monotonically
+// increasing prefix code; encoding repeatedly looks up the interval holding
+// the remaining key bytes, consumes the symbol, and emits the code.
+//
+// Six schemes (Table 6.1) trading compression rate for encoding speed:
+//   Single-Char    FIVC  256 one-byte symbols, optimal alphabetic codes
+//   Double-Char    FIVC  64Ki two-byte symbols (+ one-byte tails)
+//   3-Grams        VIVC  frequent 3-byte substrings as interval anchors
+//   4-Grams        VIVC  frequent 4-byte substrings
+//   ALM            VIFC  variable-length symbols (len*freq equalized),
+//                        fixed-length codes
+//   ALM-Improved   VIVC  ALM symbols + optimal alphabetic codes
+#ifndef MET_HOPE_HOPE_H_
+#define MET_HOPE_HOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hope/alphabetic_code.h"
+
+namespace met {
+
+enum class HopeScheme {
+  kSingleChar,
+  kDoubleChar,
+  k3Grams,
+  k4Grams,
+  kAlm,
+  kAlmImproved,
+};
+
+const char* HopeSchemeName(HopeScheme scheme);
+
+struct HopeBuildStats {
+  double symbol_select_seconds = 0;  // counting + interval selection
+  double code_assign_seconds = 0;    // Hu-Tucker / balanced code build
+  double dict_build_seconds = 0;     // boundary array construction
+};
+
+class HopeEncoder {
+ public:
+  HopeEncoder() = default;
+
+  /// Builds the dictionary from a key sample (typically 1% of the load set).
+  /// `dict_size_limit` caps the number of intervals for the gram/ALM schemes
+  /// (the paper's default is 2^16).
+  void Build(const std::vector<std::string>& sample, HopeScheme scheme,
+             size_t dict_size_limit = 1 << 16);
+
+  /// Order-preserving encoding, zero-padded to whole bytes.
+  std::string Encode(std::string_view key) const;
+
+  /// Appends the encoding of `key` to `*out` starting at `bit_offset` bits;
+  /// returns the encoded length in bits.
+  size_t EncodeBits(std::string_view key, std::string* out) const;
+
+  /// Batch encoding of sorted keys, reusing shared-prefix work between
+  /// consecutive keys (Section 6.4.4).
+  void EncodeBatch(const std::vector<std::string>& sorted_keys,
+                   std::vector<std::string>* out) const;
+
+  /// Compression rate = total uncompressed bytes / total encoded bytes.
+  double Cpr(const std::vector<std::string>& keys) const;
+
+  size_t num_intervals() const { return symbol_lens_.size(); }
+  size_t DictMemoryBytes() const;
+  const HopeBuildStats& build_stats() const { return build_stats_; }
+  HopeScheme scheme() const { return scheme_; }
+
+ private:
+  /// Interval index containing the (non-empty) remaining key bytes.
+  size_t IntervalFor(std::string_view remaining) const;
+
+  void BuildIntervalsFromSymbols(const std::vector<std::string>& symbols);
+  void CountIntervalHits(const std::vector<std::string>& sample,
+                         std::vector<uint64_t>* weights) const;
+
+  HopeScheme scheme_ = HopeScheme::kSingleChar;
+  // Interval i = [boundaries_[i], boundaries_[i+1]); the last interval is
+  // unbounded above. Boundaries are stored concatenated for cache locality.
+  std::vector<std::string> boundaries_;
+  std::vector<uint8_t> symbol_lens_;  // bytes consumed by interval i
+  std::vector<Code> codes_;
+  bool direct_single_ = false;  // Single-Char fast path (no binary search)
+  bool direct_double_ = false;  // Double-Char fast path
+  // First-byte dispatch (the role of Fig 6.6's bitmap-trie dictionary):
+  // every single byte is a boundary, so bucket[c]..bucket[c+1] brackets the
+  // binary search to the intervals sharing the first byte.
+  std::vector<uint32_t> first_byte_bucket_;  // size 257
+  size_t max_boundary_len_ = 1;  // longest boundary string (batch-reuse bound)
+  HopeBuildStats build_stats_;
+};
+
+}  // namespace met
+
+#endif  // MET_HOPE_HOPE_H_

@@ -1,0 +1,223 @@
+#include "hot/hot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace met {
+
+// ---------------------------------------------------------------------------
+// Patricia construction (build-time scaffolding)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// First bit position (MSB-first, zero-padded) where a and b differ.
+/// Precondition: a != b under zero padding.
+uint32_t FirstDiffBit(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  for (size_t i = 0; i < max_len; ++i) {
+    unsigned char ca = i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    unsigned char cb = i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    if (ca != cb) {
+      unsigned char x = ca ^ cb;
+      int lead = 0;
+      while (!(x & 0x80)) {
+        x <<= 1;
+        ++lead;
+      }
+      return static_cast<uint32_t>(i * 8 + lead);
+    }
+  }
+  assert(false && "duplicate key under zero padding");
+  return 0;
+}
+
+}  // namespace
+
+std::unique_ptr<Hot::PatNode> Hot::BuildPatricia(
+    const std::vector<std::string>& keys, size_t lo, size_t hi) {
+  auto node = std::make_unique<PatNode>();
+  node->num_leaves = static_cast<uint32_t>(hi - lo);
+  if (hi - lo == 1) {
+    node->leaf = static_cast<int32_t>(lo);
+    return node;
+  }
+  node->bit = FirstDiffBit(keys[lo], keys[hi - 1]);
+  // Sorted keys: the discriminative bit is monotone across the range.
+  size_t split = lo + 1;
+  {
+    size_t a = lo, b = hi;  // first index with bit == 1
+    while (a < b) {
+      size_t mid = (a + b) / 2;
+      if (KeyBit(keys[mid], node->bit) == 0)
+        a = mid + 1;
+      else
+        b = mid;
+    }
+    split = a;
+  }
+  assert(split > lo && split < hi);
+  node->zero = BuildPatricia(keys, lo, split);
+  node->one = BuildPatricia(keys, split, hi);
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// HOT node packing
+// ---------------------------------------------------------------------------
+
+Hot::Leaf* Hot::MakeLeaf(const std::string& key, Value value) {
+  size_t bytes = sizeof(Leaf) + key.size();
+  void* mem = ::operator new(bytes);
+  Leaf* l = static_cast<Leaf*>(mem);
+  l->value = value;
+  l->key_len = static_cast<uint32_t>(key.size());
+  std::memcpy(l->key_data, key.data(), key.size());
+  allocated_bytes_ += bytes;
+  return l;
+}
+
+void* Hot::BuildHotNode(const PatNode* pat,
+                        const std::vector<std::string>& keys,
+                        const std::vector<Value>& values) {
+  if (pat->leaf >= 0)
+    return TagLeaf(MakeLeaf(keys[pat->leaf], values[pat->leaf]));
+
+  // Greedy frontier expansion: repeatedly split the largest frontier
+  // subtree until the node reaches kMaxFanout entries. Each frontier
+  // element remembers the (bit, value) decisions on its path from `pat`.
+  struct Frontier {
+    const PatNode* node;
+    std::vector<std::pair<uint32_t, int>> path;  // (bit position, 0/1)
+  };
+  std::vector<Frontier> frontier{{pat, {}}};
+  while (frontier.size() < kMaxFanout) {
+    size_t best = frontier.size();
+    uint32_t best_leaves = 1;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (frontier[i].node->leaf >= 0) continue;
+      if (frontier[i].node->num_leaves > best_leaves) {
+        best_leaves = frontier[i].node->num_leaves;
+        best = i;
+      }
+    }
+    if (best == frontier.size()) break;  // all frontier elements are leaves
+    Frontier f = std::move(frontier[best]);
+    Frontier zero{f.node->zero.get(), f.path};
+    zero.path.emplace_back(f.node->bit, 0);
+    Frontier one{f.node->one.get(), std::move(f.path)};
+    one.path.emplace_back(f.node->bit, 1);
+    frontier[best] = std::move(zero);
+    frontier.insert(frontier.begin() + best + 1, std::move(one));
+  }
+
+  // The node's bit set = union of all path bits, ascending.
+  std::vector<uint32_t> bits;
+  for (const auto& f : frontier)
+    for (const auto& [bit, v] : f.path) bits.push_back(bit);
+  std::sort(bits.begin(), bits.end());
+  bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+  assert(bits.size() < kMaxFanout);
+
+  Node* node = new Node();
+  node->bits = std::move(bits);
+  node->partial.reserve(frontier.size() * 2);
+  node->children.reserve(frontier.size());
+  // Per entry: mask/value over the node's bit set (sparse partial keys).
+  for (const auto& f : frontier) {
+    uint32_t mask = 0, value = 0;
+    for (const auto& [bit, v] : f.path) {
+      size_t j = std::lower_bound(node->bits.begin(), node->bits.end(), bit) -
+                 node->bits.begin();
+      mask |= 1u << j;
+      if (v) value |= 1u << j;
+    }
+    node->partial.push_back(mask);
+    node->partial.push_back(value);
+    node->children.push_back(BuildHotNode(f.node, keys, values));
+  }
+  node->bits.shrink_to_fit();
+  node->partial.shrink_to_fit();
+  node->children.shrink_to_fit();
+  allocated_bytes_ += sizeof(Node) + node->bits.capacity() * sizeof(uint32_t) +
+                      node->partial.capacity() * sizeof(uint32_t) +
+                      node->children.capacity() * sizeof(void*);
+  return node;
+}
+
+void Hot::Build(const std::vector<std::string>& keys,
+                const std::vector<Value>& values) {
+  assert(keys.size() == values.size());
+  assert(std::is_sorted(keys.begin(), keys.end()));
+  DestroyNode(root_);
+  root_ = nullptr;
+  allocated_bytes_ = 0;
+  size_ = keys.size();
+  if (keys.empty()) return;
+  std::unique_ptr<PatNode> pat = BuildPatricia(keys, 0, keys.size());
+  root_ = BuildHotNode(pat.get(), keys, values);
+}
+
+void Hot::DestroyNode(void* p) {
+  if (p == nullptr) return;
+  if (IsLeaf(p)) {
+    ::operator delete(const_cast<Leaf*>(AsLeaf(p)));
+    return;
+  }
+  Node* n = static_cast<Node*>(p);
+  for (void* c : n->children) DestroyNode(c);
+  delete n;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+uint32_t Hot::ExtractBits(std::string_view key,
+                          const std::vector<uint32_t>& bits) {
+  uint32_t v = 0;
+  for (size_t j = 0; j < bits.size(); ++j)
+    if (KeyBit(key, bits[j])) v |= 1u << j;
+  return v;
+}
+
+bool Hot::Find(std::string_view key, Value* value) const {
+  const void* p = root_;
+  while (p != nullptr) {
+    if (IsLeaf(p)) {
+      const Leaf* l = AsLeaf(p);
+      if (std::string_view(l->key_data, l->key_len) == key) {
+        if (value != nullptr) *value = l->value;
+        return true;
+      }
+      return false;
+    }
+    const Node* n = static_cast<const Node*>(p);
+    uint32_t ex = ExtractBits(key, n->bits);
+    // Exactly one entry's sparse partial key matches the extracted bits
+    // (the search key follows exactly one patricia path).
+    const void* next = nullptr;
+    for (size_t i = 0; i < n->children.size(); ++i) {
+      if ((ex & n->partial[2 * i]) == n->partial[2 * i + 1]) {
+        next = n->children[i];
+        break;
+      }
+    }
+    p = next;
+  }
+  return false;
+}
+
+size_t Hot::NodeHeight(const void* p) {
+  if (p == nullptr || IsLeaf(p)) return 0;
+  const Node* n = static_cast<const Node*>(p);
+  size_t h = 0;
+  for (const void* c : n->children) h = std::max(h, NodeHeight(c));
+  return h + 1;
+}
+
+size_t Hot::Height() const { return NodeHeight(root_); }
+
+}  // namespace met

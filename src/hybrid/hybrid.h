@@ -1,0 +1,36 @@
+// Convenience aliases: the five hybrid indexes evaluated in Chapter 5.
+#ifndef MET_HYBRID_HYBRID_H_
+#define MET_HYBRID_HYBRID_H_
+
+#include <string>
+
+#include "hybrid/adapters.h"
+#include "hybrid/hybrid_index.h"
+
+namespace met {
+
+/// Hybrid B+tree: dynamic B+tree in front of a Compact B+tree.
+template <typename Key>
+using HybridBTree =
+    HybridIndex<Key, DynBTreeStage<Key>, StatCompactBTreeStage<Key>>;
+
+/// Hybrid-Compressed B+tree: static stage also block-compressed (rule #3).
+template <typename Key>
+using HybridCompressedBTree =
+    HybridIndex<Key, DynBTreeStage<Key>, StatCompressedBTreeStage<Key>>;
+
+/// Hybrid Skip List.
+template <typename Key>
+using HybridSkipList =
+    HybridIndex<Key, DynSkipListStage<Key>, StatCompactSkipListStage<Key>>;
+
+/// Hybrid ART (string keys; integers via Uint64ToKey).
+using HybridArt = HybridIndex<std::string, DynArtStage, StatCompactArtStage>;
+
+/// Hybrid Masstree.
+using HybridMasstree =
+    HybridIndex<std::string, DynMasstreeStage, StatCompactMasstreeStage>;
+
+}  // namespace met
+
+#endif  // MET_HYBRID_HYBRID_H_

@@ -1,0 +1,382 @@
+// Dual-stage Hybrid Index (Chapter 5): a single logical index made of a
+// small dynamic stage that absorbs all writes and a compact static stage
+// holding the bulk of the entries. A Bloom filter in front of the dynamic
+// stage lets most point reads touch only one stage. Entries migrate with a
+// ratio-triggered merge (merge-all strategy, Section 5.2.2).
+//
+// Deletes of static-stage entries insert a tombstone into the dynamic stage
+// (value == kTombstone); the key is physically removed at the next merge.
+//
+// Stage interfaces (duck-typed):
+//   Dynamic: Insert/InsertOrAssign/Find/Update/Erase/Clear/size/MemoryBytes
+//            + ScanPairs via adapter traits below.
+//   Static:  Find/size/MemoryBytes/MergeApply(sorted MergeEntry vector)
+//            + ScanPairs.
+#ifndef MET_HYBRID_HYBRID_INDEX_H_
+#define MET_HYBRID_HYBRID_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom.h"
+#include "btree/compact_btree.h"
+#include "common/timer.h"
+
+namespace met {
+
+struct HybridConfig {
+  /// Merge when dynamic_entries * merge_ratio >= static_entries (and the
+  /// dynamic stage holds at least min_merge_entries). Ratio 10 is the
+  /// default chosen by the Figure 5.7 sensitivity analysis.
+  double merge_ratio = 10.0;
+  size_t min_merge_entries = 4096;
+
+  /// Constant trigger alternative (Section 5.2.2): merge whenever the
+  /// dynamic stage reaches `constant_threshold` entries.
+  bool constant_trigger = false;
+  size_t constant_threshold = 65536;
+
+  bool use_bloom = true;
+  double bloom_bits_per_key = 10.0;
+
+  /// Secondary (non-unique) index mode: inserts skip the two-stage
+  /// key-uniqueness check (Section 5.3.5).
+  bool unique = true;
+
+  /// Merge strategy (Section 5.2.2). kMergeAll drains the whole dynamic
+  /// stage (the thesis default: best for insert-heavy OLTP). kMergeCold
+  /// keeps entries read or written since the previous merge in the dynamic
+  /// stage, trading merge frequency for hot-entry locality.
+  enum class MergeStrategy { kMergeAll, kMergeCold };
+  MergeStrategy strategy = MergeStrategy::kMergeAll;
+};
+
+struct HybridMergeStats {
+  size_t merge_count = 0;
+  double total_merge_seconds = 0;
+  double last_merge_seconds = 0;
+  size_t last_merge_static_entries = 0;
+  size_t last_merge_dynamic_entries = 0;
+};
+
+template <typename Key, typename DynamicStage, typename StaticStage>
+class HybridIndex {
+ public:
+  using Value = uint64_t;
+  static constexpr Value kTombstone = ~Value{0};
+
+  explicit HybridIndex(const HybridConfig& config = {})
+      : config_(config),
+        bloom_capacity_(std::min<size_t>(config.min_merge_entries, 4096)) {
+    // Start small; the filter doubles (and is rebuilt) as the dynamic stage
+    // grows, and is resized to the observed population at each merge.
+    if (config.use_bloom)
+      bloom_ = new BloomFilter(bloom_capacity_, config.bloom_bits_per_key);
+  }
+
+  ~HybridIndex() { delete bloom_; }
+
+  HybridIndex(const HybridIndex&) = delete;
+  HybridIndex& operator=(const HybridIndex&) = delete;
+
+  /// Inserts a new key; false if the key exists (primary-index uniqueness
+  /// check spans both stages, Section 5.3.2).
+  bool Insert(const Key& key, Value value) {
+    if (config_.unique) {
+      Value existing;
+      if (FindInternal(key, &existing)) return false;
+    }
+    dynamic_.InsertOrAssign(key, value);  // may overwrite a tombstone
+    BloomAdd(key);
+    if (config_.strategy == HybridConfig::MergeStrategy::kMergeCold)
+      MarkHot(key);
+    ++size_;
+    ++ops_since_merge_;
+    MaybeMerge();
+    return true;
+  }
+
+  bool Find(const Key& key, Value* value = nullptr) const {
+    bool found = FindInternal(key, value);
+    if (found && config_.strategy == HybridConfig::MergeStrategy::kMergeCold)
+      MarkHot(key);
+    return found;
+  }
+
+  /// Updates the value of an existing key. New values go to the dynamic
+  /// stage so recently modified entries stay hot (Section 5.1).
+  bool Update(const Key& key, Value value) {
+    Value existing;
+    if (dynamic_.Find(key, &existing)) {
+      if (existing == kTombstone) return false;
+      dynamic_.Update(key, value);
+      return true;
+    }
+    if (static_.Find(key, &existing)) {
+      dynamic_.InsertOrAssign(key, value);
+      BloomAdd(key);
+      MaybeMerge();
+      return true;
+    }
+    return false;
+  }
+
+  bool Erase(const Key& key) {
+    Value existing;
+    if (dynamic_.Find(key, &existing)) {
+      if (existing == kTombstone) return false;
+      bool in_static = static_.Find(key, nullptr);
+      if (in_static) {
+        dynamic_.Update(key, kTombstone);
+      } else {
+        dynamic_.Erase(key);
+      }
+      --size_;
+      return true;
+    }
+    if (static_.Find(key, nullptr)) {
+      dynamic_.InsertOrAssign(key, kTombstone);
+      BloomAdd(key);
+      --size_;
+      MaybeMerge();
+      return true;
+    }
+    return false;
+  }
+
+  /// Collects up to `n` values from keys >= `key`, in key order, merging
+  /// both stages and resolving shadows/tombstones. Starts by fetching `n`
+  /// entries per stage; in the rare case where tombstones or shadows consume
+  /// the quota, retries with a doubled batch (never emits from a partial
+  /// merge, so results are always a correct prefix of the logical scan).
+  size_t Scan(const Key& key, size_t n, std::vector<Value>* out) const {
+    std::vector<std::pair<Key, Value>> dyn, stat;
+    std::vector<Value> tmp;
+    size_t batch = n;
+    while (true) {
+      dyn.clear();
+      stat.clear();
+      tmp.clear();
+      ScanStagePairs(dynamic_, key, batch, &dyn);
+      ScanStagePairs(static_, key, batch, &stat);
+      // A capped stage may have more entries on disk past its last fetched
+      // key; merged output beyond that key cannot be trusted.
+      const bool dyn_capped = dyn.size() == batch;
+      const bool stat_capped = stat.size() == batch;
+      auto trusted = [&](const Key& k) {
+        if (dyn_capped && dyn.back().first < k) return false;
+        if (stat_capped && stat.back().first < k) return false;
+        return true;
+      };
+      size_t cnt = 0, i = 0, j = 0;
+      bool incomplete = false;
+      while (cnt < n && (i < dyn.size() || j < stat.size())) {
+        bool take_dyn;
+        if (i >= dyn.size())
+          take_dyn = false;
+        else if (j >= stat.size())
+          take_dyn = true;
+        else if (dyn[i].first == stat[j].first) {
+          ++j;  // dynamic shadows static
+          take_dyn = true;
+        } else {
+          take_dyn = dyn[i].first < stat[j].first;
+        }
+        const auto& e = take_dyn ? dyn[i++] : stat[j++];
+        if (!trusted(e.first)) {
+          incomplete = true;
+          break;
+        }
+        if (e.second == kTombstone) continue;
+        tmp.push_back(e.second);
+        ++cnt;
+      }
+      // Falling short while a stage was capped means more entries may exist
+      // past the fetched window even if every merged entry was trusted.
+      if (cnt < n && (dyn_capped || stat_capped)) incomplete = true;
+      if (cnt >= n || !incomplete) {
+        if (out != nullptr) out->insert(out->end(), tmp.begin(), tmp.end());
+        return cnt;
+      }
+      batch *= 2;  // shadows/tombstones consumed the quota: refetch deeper
+    }
+  }
+
+  /// Migrates dynamic-stage entries into the static stage. Under kMergeAll
+  /// the dynamic stage is fully drained; under kMergeCold entries accessed
+  /// since the previous merge stay behind (tombstones always migrate).
+  void Merge() {
+    Timer timer;
+    stats_.last_merge_static_entries = static_.size();
+    stats_.last_merge_dynamic_entries = dynamic_.size();
+    std::vector<MergeEntry<Key, Value>> entries;
+    entries.reserve(dynamic_.size());
+    CollectSortedPairs(dynamic_, &entries);
+
+    std::vector<std::pair<Key, Value>> hot;
+    if (config_.strategy == HybridConfig::MergeStrategy::kMergeCold) {
+      std::vector<MergeEntry<Key, Value>> cold;
+      cold.reserve(entries.size());
+      for (auto& e : entries) {
+        if (!e.deleted && hot_keys_.count(e.key) > 0)
+          hot.emplace_back(e.key, e.value);
+        else
+          cold.push_back(std::move(e));
+      }
+      entries.swap(cold);
+    }
+
+    static_.MergeApply(entries);
+    dynamic_.Clear();
+    BloomReset();
+    for (auto& [k, v] : hot) {
+      dynamic_.InsertOrAssign(k, v);
+      BloomAdd(k);
+    }
+    hot_keys_.clear();
+    ops_since_merge_ = 0;
+    stats_.last_merge_seconds = timer.ElapsedSeconds();
+    stats_.total_merge_seconds += stats_.last_merge_seconds;
+    ++stats_.merge_count;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  size_t MemoryBytes() const {
+    size_t bytes = dynamic_.MemoryBytes() + static_.MemoryBytes();
+    if (bloom_ != nullptr) bytes += bloom_->MemoryBytes();
+    return bytes;
+  }
+
+  size_t DynamicEntries() const { return dynamic_.size(); }
+  size_t StaticEntries() const { return static_.size(); }
+  const HybridMergeStats& merge_stats() const { return stats_; }
+
+  DynamicStage& dynamic_stage() { return dynamic_; }
+  StaticStage& static_stage() { return static_; }
+
+ private:
+  bool FindInternal(const Key& key, Value* value) const {
+    if (bloom_ == nullptr || BloomMayContain(key)) {
+      Value v;
+      if (dynamic_.Find(key, &v)) {
+        if (v == kTombstone) return false;
+        if (value != nullptr) *value = v;
+        return true;
+      }
+    }
+    Value v;
+    if (static_.Find(key, &v)) {
+      if (value != nullptr) *value = v;
+      return true;
+    }
+    return false;
+  }
+
+  void MaybeMerge() {
+    // Under merge-cold the dynamic stage never fully drains; require fresh
+    // insert volume before re-triggering so merges cannot thrash.
+    if (config_.strategy == HybridConfig::MergeStrategy::kMergeCold &&
+        ops_since_merge_ < config_.min_merge_entries / 2)
+      return;
+    size_t dyn = dynamic_.size();
+    if (config_.constant_trigger) {
+      if (dyn >= config_.constant_threshold) Merge();
+      return;
+    }
+    if (dyn < config_.min_merge_entries) return;
+    if (static_cast<double>(dyn) * config_.merge_ratio >=
+        static_cast<double>(static_.size()))
+      Merge();
+  }
+
+  // ---- Bloom management: sized to the expected dynamic-stage population,
+  // rebuilt from scratch when it overflows or at merge time. ----
+  void BloomAdd(const Key& key) {
+    if (bloom_ == nullptr) return;
+    ++bloom_entries_;
+    if (bloom_entries_ > bloom_capacity_) {
+      bloom_capacity_ *= 2;
+      RebuildBloom();
+      return;
+    }
+    bloom_->Add(BloomKey(key));
+  }
+
+  void BloomReset() {
+    if (bloom_ == nullptr) return;
+    bloom_capacity_ = std::max<size_t>(
+        std::min<size_t>(config_.min_merge_entries, 4096),
+        stats_.last_merge_dynamic_entries);
+    delete bloom_;
+    bloom_ = new BloomFilter(bloom_capacity_, config_.bloom_bits_per_key);
+    bloom_entries_ = 0;
+  }
+
+  void RebuildBloom() {
+    delete bloom_;
+    bloom_ = new BloomFilter(bloom_capacity_, config_.bloom_bits_per_key);
+    bloom_entries_ = dynamic_.size();
+    std::vector<MergeEntry<Key, Value>> entries;
+    CollectSortedPairs(dynamic_, &entries);
+    for (const auto& e : entries) bloom_->Add(BloomKey(e.key));
+  }
+
+  bool BloomMayContain(const Key& key) const {
+    return bloom_->MayContain(BloomKey(key));
+  }
+
+  static auto BloomKey(const Key& key) {
+    if constexpr (std::is_same_v<Key, std::string>) {
+      return std::string_view(key);
+    } else {
+      return static_cast<uint64_t>(key);
+    }
+  }
+
+  // ---- Stage iteration shims (see hybrid/adapters.h for the stage types;
+  // every stage exposes ScanPairs and VisitSorted-compatible APIs). ----
+  template <typename Stage>
+  static void ScanStagePairs(const Stage& stage, const Key& key, size_t n,
+                             std::vector<std::pair<Key, Value>>* out) {
+    stage.ScanPairs(key, n, out);
+  }
+
+  template <typename Stage>
+  static void CollectSortedPairs(const Stage& stage,
+                                 std::vector<MergeEntry<Key, Value>>* out) {
+    std::vector<std::pair<Key, Value>> pairs;
+    stage.ScanPairs(MinKey(), stage.size(), &pairs);
+    for (auto& p : pairs)
+      out->push_back({std::move(p.first), p.second, p.second == kTombstone});
+  }
+
+  static Key MinKey() {
+    if constexpr (std::is_same_v<Key, std::string>) {
+      return std::string();
+    } else {
+      return Key{0};
+    }
+  }
+
+  void MarkHot(const Key& key) const { hot_keys_.insert(key); }
+
+  HybridConfig config_;
+  size_t ops_since_merge_ = 0;
+  mutable std::unordered_set<Key> hot_keys_;  // accesses since last merge
+  DynamicStage dynamic_;
+  StaticStage static_;
+  BloomFilter* bloom_ = nullptr;
+  size_t bloom_entries_ = 0;
+  size_t bloom_capacity_;
+  size_t size_ = 0;
+  HybridMergeStats stats_;
+};
+
+}  // namespace met
+
+#endif  // MET_HYBRID_HYBRID_INDEX_H_

@@ -1,0 +1,179 @@
+#include "keys/keygen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace met {
+
+std::string Uint64ToKey(uint64_t v) {
+  std::string key(8, '\0');
+  for (int i = 0; i < 8; ++i) key[i] = static_cast<char>((v >> (56 - 8 * i)) & 0xFF);
+  return key;
+}
+
+uint64_t KeyToUint64(const std::string& key) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8 && i < key.size(); ++i)
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(key[i])) << (56 - 8 * i);
+  return v;
+}
+
+std::vector<uint64_t> GenRandomInts(size_t n, uint64_t seed) {
+  // MixHash64 is a bijection on 64-bit ints, so distinct inputs yield
+  // distinct pseudo-random outputs with no dedup pass needed.
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = MixHash64(i + seed * 0x9E3779B97F4A7C15ULL);
+  return out;
+}
+
+std::vector<uint64_t> GenMonoIncInts(size_t n) {
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+namespace {
+
+const char* const kDomains[] = {
+    "com.gmail",   "com.yahoo",    "com.hotmail", "com.outlook", "com.aol",
+    "com.icloud",  "com.mail",     "com.zoho",    "com.gmx",     "com.yandex",
+    "org.acm",     "org.ieee",     "org.wikipedia", "org.apache", "org.gnu",
+    "edu.cmu.cs",  "edu.mit",      "edu.stanford", "edu.berkeley", "edu.washington",
+    "net.comcast", "net.verizon",  "net.att",     "co.uk.bbc",   "de.web",
+    "cn.qq",       "cn.163",       "jp.docomo",   "fr.orange",   "ru.mail"};
+
+const char* const kFirstNames[] = {
+    "james", "mary",  "john",   "patricia", "robert", "jennifer", "michael",
+    "linda", "david", "barbara", "william", "susan",  "richard",  "jessica",
+    "joseph", "sarah", "thomas", "karen",   "chris",  "nancy",    "daniel",
+    "lisa",  "paul",  "betty",  "mark",     "helen",  "donald",   "sandra",
+    "george", "donna", "ken",   "carol",    "steve",  "ruth",     "ed",
+    "sharon", "brian", "laura", "ron",      "emma"};
+
+const char* const kLastNames[] = {
+    "smith",  "johnson", "williams", "brown",  "jones",    "garcia",
+    "miller", "davis",   "rodriguez", "martinez", "hernandez", "lopez",
+    "wilson", "anderson", "thomas",  "taylor", "moore",    "jackson",
+    "martin", "lee",     "thompson", "white",  "harris",   "clark",
+    "lewis",  "robinson", "walker",  "young",  "allen",    "king",
+    "wright", "scott",   "green",   "baker",  "adams",    "nelson",
+    "hill",   "campbell", "mitchell", "zhang"};
+
+const char* const kPathWords[] = {
+    "index",  "article", "news",  "blog",   "user",   "profile", "search",
+    "query",  "view",    "edit",  "item",   "product", "category", "list",
+    "page",   "doc",     "api",   "static", "image",  "video",   "archive",
+    "2018",   "2019",    "2020",  "tag",    "wiki",   "help",    "about"};
+
+const char* const kSyllables[] = {"an", "ba", "con", "de",  "el",  "for", "ga",
+                                  "hi", "in", "ju",  "ka",  "lo",  "ma",  "ne",
+                                  "o",  "pre", "qua", "re", "sta", "ti",  "un",
+                                  "ver", "wa", "ex",  "yo",  "zu",  "tra", "ment",
+                                  "tion", "ly", "er",  "ing", "ous", "al"};
+
+template <typename Gen>
+std::vector<std::string> GenDistinct(size_t n, uint64_t seed, Gen gen) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  Random rng(seed);
+  ZipfGenerator zipf(1u << 16, 0.9, seed + 1);
+  size_t attempts = 0;
+  while (out.size() < n && attempts < n * 100) {
+    ++attempts;
+    std::string k = gen(rng, zipf);
+    if (seen.insert(k).second) out.push_back(std::move(k));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> GenEmails(size_t n, uint64_t seed) {
+  return GenDistinct(n, seed, [](Random& rng, ZipfGenerator& zipf) {
+    // Skewed domain popularity: a few domains dominate, as in real corpora.
+    size_t d = zipf.Next() % (sizeof(kDomains) / sizeof(kDomains[0]));
+    size_t f = rng.Uniform(sizeof(kFirstNames) / sizeof(kFirstNames[0]));
+    size_t l = rng.Uniform(sizeof(kLastNames) / sizeof(kLastNames[0]));
+    std::string k = std::string(kDomains[d]) + "@" + kFirstNames[f];
+    switch (rng.Uniform(4)) {
+      case 0: k += "." + std::string(kLastNames[l]); break;
+      case 1: k += "_" + std::string(kLastNames[l]); break;
+      case 2: k += std::string(kLastNames[l]); break;
+      default: break;
+    }
+    if (rng.Uniform(2)) k += std::to_string(rng.Uniform(1000));
+    return k;
+  });
+}
+
+std::vector<std::string> GenUrls(size_t n, uint64_t seed) {
+  return GenDistinct(n, seed, [](Random& rng, ZipfGenerator& zipf) {
+    size_t d = zipf.Next() % (sizeof(kDomains) / sizeof(kDomains[0]));
+    std::string k = std::string(kDomains[d]);
+    size_t depth = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < depth; ++i) {
+      size_t p = zipf.Next() % (sizeof(kPathWords) / sizeof(kPathWords[0]));
+      k += "/" + std::string(kPathWords[p]);
+    }
+    if (rng.Uniform(3) == 0) k += "?id=" + std::to_string(rng.Uniform(100000));
+    else k += "/" + std::to_string(rng.Uniform(100000));
+    return k;
+  });
+}
+
+std::vector<std::string> GenWords(size_t n, uint64_t seed) {
+  return GenDistinct(n, seed, [](Random& rng, ZipfGenerator& zipf) {
+    size_t len = 2 + rng.Uniform(4);
+    std::string k;
+    for (size_t i = 0; i < len; ++i) {
+      size_t s = zipf.Next() % (sizeof(kSyllables) / sizeof(kSyllables[0]));
+      k += kSyllables[s];
+    }
+    return k;
+  });
+}
+
+std::vector<std::string> GenWorstCaseKeys(size_t n, uint64_t seed) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  Random rng(seed);
+  size_t pairs = n / 2;
+  for (size_t p = 0; p < pairs; ++p) {
+    // 5-char prefix enumerating lower-case combinations.
+    std::string prefix(5, 'a');
+    size_t v = p;
+    for (int i = 4; i >= 0; --i) {
+      prefix[i] = static_cast<char>('a' + v % 26);
+      v /= 26;
+    }
+    std::string middle(58, 'a');
+    for (auto& c : middle) c = static_cast<char>('a' + rng.Uniform(26));
+    out.push_back(prefix + middle + "a");
+    out.push_back(prefix + middle + "b");
+  }
+  return out;
+}
+
+void SortUnique(std::vector<std::string>* keys) {
+  std::sort(keys->begin(), keys->end());
+  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+}
+
+void SortUnique(std::vector<uint64_t>* keys) {
+  std::sort(keys->begin(), keys->end());
+  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+}
+
+std::vector<std::string> ToStringKeys(const std::vector<uint64_t>& ints) {
+  std::vector<std::string> out;
+  out.reserve(ints.size());
+  for (uint64_t v : ints) out.push_back(Uint64ToKey(v));
+  return out;
+}
+
+}  // namespace met

@@ -1,0 +1,55 @@
+// Synthetic key datasets used across the evaluation chapters.
+//
+// Real email/URL/wiki corpora from the thesis are not redistributable, so we
+// generate synthetic equivalents that preserve the properties the experiments
+// depend on: shared prefixes (host-reversed emails/URLs), skewed byte
+// distributions, and realistic length distributions. See DESIGN.md
+// ("Documented substitutions").
+#ifndef MET_KEYS_KEYGEN_H_
+#define MET_KEYS_KEYGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace met {
+
+/// Converts a uint64 to an 8-byte big-endian string whose lexicographic order
+/// matches integer order (the standard trick for storing ints in tries).
+std::string Uint64ToKey(uint64_t v);
+
+/// Inverse of Uint64ToKey.
+uint64_t KeyToUint64(const std::string& key);
+
+/// `n` distinct pseudo-random 64-bit integers (deterministic in `seed`).
+std::vector<uint64_t> GenRandomInts(size_t n, uint64_t seed = 7);
+
+/// 0, 1, 2, ... n-1.
+std::vector<uint64_t> GenMonoIncInts(size_t n);
+
+/// `n` distinct host-reversed synthetic email addresses
+/// (e.g. "com.gmail@john.smith42"), average length ~22-30 bytes.
+std::vector<std::string> GenEmails(size_t n, uint64_t seed = 11);
+
+/// `n` distinct host-reversed synthetic URLs with deep shared prefixes.
+std::vector<std::string> GenUrls(size_t n, uint64_t seed = 13);
+
+/// `n` distinct synthetic dictionary words with Zipfian letter patterns
+/// (stand-in for the thesis's "wiki" term dataset).
+std::vector<std::string> GenWords(size_t n, uint64_t seed = 17);
+
+/// The Section 4.5 adversarial dataset: pairs of 64-char keys sharing a
+/// 5-char enumerated prefix plus a 58-char random run, differing only in the
+/// final byte. `n` is rounded down to an even count.
+std::vector<std::string> GenWorstCaseKeys(size_t n, uint64_t seed = 19);
+
+/// Sorts, deduplicates.
+void SortUnique(std::vector<std::string>* keys);
+void SortUnique(std::vector<uint64_t>* keys);
+
+/// Converts an integer dataset to big-endian string keys.
+std::vector<std::string> ToStringKeys(const std::vector<uint64_t>& ints);
+
+}  // namespace met
+
+#endif  // MET_KEYS_KEYGEN_H_

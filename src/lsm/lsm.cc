@@ -1,0 +1,576 @@
+#include "lsm/lsm.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace met {
+
+namespace {
+
+void AppendEntry(std::string* out, std::string_view key, std::string_view value) {
+  uint32_t klen = static_cast<uint32_t>(key.size());
+  uint32_t vlen = static_cast<uint32_t>(value.size());
+  out->append(reinterpret_cast<const char*>(&klen), sizeof(klen));
+  out->append(key);
+  out->append(reinterpret_cast<const char*>(&vlen), sizeof(vlen));
+  out->append(value);
+}
+
+}  // namespace
+
+const char* LsmFilterTypeName(LsmFilterType t) {
+  switch (t) {
+    case LsmFilterType::kNone:
+      return "no-filter";
+    case LsmFilterType::kBloom:
+      return "Bloom";
+    case LsmFilterType::kSurfHash:
+      return "SuRF-Hash";
+    case LsmFilterType::kSurfReal:
+      return "SuRF-Real";
+  }
+  return "?";
+}
+
+LsmTree::LsmTree(const LsmOptions& options) : options_(options) {
+  ::mkdir(options_.dir.c_str(), 0755);
+  levels_.resize(1);
+  cache_.resize(options_.block_cache_blocks);
+}
+
+LsmTree::~LsmTree() {
+  for (auto& level : levels_)
+    for (auto& t : level) {
+      if (t->fd >= 0) ::close(t->fd);
+      ::unlink(t->path.c_str());
+    }
+}
+
+void LsmTree::Put(std::string_view key, std::string_view value) {
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    memtable_bytes_ += value.size() - it->second.size();
+    it->second = std::string(value);
+  } else {
+    memtable_bytes_ += key.size() + value.size() + 32;
+    memtable_.emplace(std::string(key), std::string(value));
+  }
+  if (memtable_bytes_ >= options_.memtable_bytes) {
+    FlushMemTable();
+    MaybeCompact();
+  }
+}
+
+void LsmTree::FlushMemTable() {
+  if (memtable_.empty()) return;
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(memtable_.size());
+  for (auto& [k, v] : memtable_) entries.emplace_back(k, v);
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  levels_[0].push_back(WriteTable(entries));
+  ++stats_.flushes;
+}
+
+std::unique_ptr<LsmTree::SsTable> LsmTree::WriteTable(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  auto t = std::make_unique<SsTable>();
+  t->id = next_table_id_++;
+  t->path = options_.dir + "/sst_" + std::to_string(t->id);
+  t->min_key = entries.front().first;
+  t->max_key = entries.back().first;
+  t->num_entries = entries.size();
+
+  std::string file;
+  std::string block;
+  std::string block_first = entries.front().first;
+  auto flush_block = [&]() {
+    if (block.empty()) return;
+    t->block_first_key.push_back(block_first);
+    t->block_offset.push_back(file.size());
+    t->block_length.push_back(static_cast<uint32_t>(block.size()));
+    file.append(block);
+    block.clear();
+  };
+  for (const auto& [k, v] : entries) {
+    if (block.empty()) block_first = k;
+    AppendEntry(&block, k, v);
+    if (block.size() >= options_.block_bytes) flush_block();
+  }
+  flush_block();
+
+  int fd = ::open(t->path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  assert(fd >= 0);
+  ssize_t written = ::write(fd, file.data(), file.size());
+  assert(written == static_cast<ssize_t>(file.size()));
+  (void)written;
+  ::close(fd);
+  t->file_bytes = file.size();
+  t->fd = ::open(t->path.c_str(), O_RDONLY);
+  assert(t->fd >= 0);
+
+  // Build the table's filter.
+  switch (options_.filter) {
+    case LsmFilterType::kNone:
+      break;
+    case LsmFilterType::kBloom: {
+      t->bloom = std::make_unique<BloomFilter>(entries.size(),
+                                               options_.bloom_bits_per_key);
+      for (const auto& [k, v] : entries) t->bloom->Add(k);
+      break;
+    }
+    case LsmFilterType::kSurfHash:
+    case LsmFilterType::kSurfReal: {
+      std::vector<std::string> keys;
+      keys.reserve(entries.size());
+      for (const auto& [k, v] : entries) keys.push_back(k);
+      SurfConfig cfg = options_.filter == LsmFilterType::kSurfHash
+                           ? SurfConfig::Hash(options_.surf_suffix_bits)
+                           : SurfConfig::Real(options_.surf_suffix_bits);
+      t->surf = std::make_unique<Surf>();
+      t->surf->Build(keys, cfg);
+      break;
+    }
+  }
+  return t;
+}
+
+std::vector<std::unique_ptr<LsmTree::SsTable>> LsmTree::WriteTables(
+    std::vector<std::pair<std::string, std::string>>&& entries) {
+  std::vector<std::unique_ptr<SsTable>> out;
+  std::vector<std::pair<std::string, std::string>> chunk;
+  size_t bytes = 0;
+  for (auto& e : entries) {
+    bytes += e.first.size() + e.second.size() + 8;
+    chunk.push_back(std::move(e));
+    if (bytes >= options_.sstable_target_bytes) {
+      out.push_back(WriteTable(chunk));
+      chunk.clear();
+      bytes = 0;
+    }
+  }
+  if (!chunk.empty()) out.push_back(WriteTable(chunk));
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> LsmTree::ReadAll(
+    const SsTable& t) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(t.num_entries);
+  std::string file(t.file_bytes, '\0');
+  ssize_t got = ::pread(t.fd, file.data(), file.size(), 0);
+  assert(got == static_cast<ssize_t>(file.size()));
+  (void)got;
+  size_t off = 0;
+  while (off < file.size()) {
+    uint32_t klen, vlen;
+    std::memcpy(&klen, file.data() + off, sizeof(klen));
+    off += sizeof(klen);
+    std::string k(file.data() + off, klen);
+    off += klen;
+    std::memcpy(&vlen, file.data() + off, sizeof(vlen));
+    off += sizeof(vlen);
+    std::string v(file.data() + off, vlen);
+    off += vlen;
+    entries.emplace_back(std::move(k), std::move(v));
+  }
+  return entries;
+}
+
+void LsmTree::MaybeCompact() {
+  while (true) {
+    if (levels_[0].size() > options_.level0_table_limit) {
+      CompactLevel0();
+      continue;
+    }
+    bool did = false;
+    for (size_t l = 1; l < levels_.size(); ++l) {
+      uint64_t limit = options_.level1_bytes;
+      for (size_t i = 1; i < l; ++i) limit *= options_.level_multiplier;
+      uint64_t bytes = 0;
+      for (const auto& t : levels_[l]) bytes += t->file_bytes;
+      if (bytes > limit) {
+        CompactLevel(l);
+        did = true;
+        break;
+      }
+    }
+    if (!did) break;
+  }
+}
+
+void LsmTree::CompactLevel0() {
+  // Merge all L0 tables plus every overlapping L1 table into new L1 tables.
+  if (levels_.size() < 2) levels_.resize(2);
+  const size_t l0_count = levels_[0].size();
+
+  std::string min_key = levels_[0].front()->min_key;
+  std::string max_key = levels_[0].front()->max_key;
+  for (auto& t : levels_[0]) {
+    min_key = std::min(min_key, t->min_key);
+    max_key = std::max(max_key, t->max_key);
+  }
+
+  // Oldest first: L1 (disjoint, all older), then L0 tables in creation
+  // order, so later inserts into the map shadow earlier ones correctly.
+  std::map<std::string, std::string> merged;
+  std::vector<std::unique_ptr<SsTable>> keep;
+  for (auto& t : levels_[1]) {
+    if (t->max_key < min_key || t->min_key > max_key) {
+      keep.push_back(std::move(t));
+    } else {
+      for (auto& e : ReadAll(*t)) merged[std::move(e.first)] = std::move(e.second);
+      ::close(t->fd);
+      ::unlink(t->path.c_str());
+    }
+  }
+  for (size_t r = 0; r < l0_count; ++r) {
+    SsTable& t = *levels_[0][r];
+    for (auto& e : ReadAll(t)) merged[std::move(e.first)] = std::move(e.second);
+    ::close(t.fd);
+    ::unlink(t.path.c_str());
+  }
+  levels_[0].clear();
+
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(merged.size());
+  for (auto& [k, v] : merged) entries.emplace_back(k, v);
+  auto tables = WriteTables(std::move(entries));
+  for (auto& t : tables) keep.push_back(std::move(t));
+  std::sort(keep.begin(), keep.end(),
+            [](const auto& a, const auto& b) { return a->min_key < b->min_key; });
+  levels_[1] = std::move(keep);
+  ++stats_.compactions;
+}
+
+void LsmTree::CompactLevel(size_t level) {
+  // Move one table of `level` down, merging with overlapping tables. The
+  // victim is chosen by a rotating cursor (as in RocksDB), so over time
+  // every level spans the whole key range instead of partitioning it.
+  if (levels_.size() < level + 2) levels_.resize(level + 2);
+  if (compact_cursor_.size() < levels_.size()) compact_cursor_.resize(levels_.size(), 0);
+  size_t idx = compact_cursor_[level] % levels_[level].size();
+  compact_cursor_[level] = idx + 1;
+  std::unique_ptr<SsTable> victim = std::move(levels_[level][idx]);
+  levels_[level].erase(levels_[level].begin() + idx);
+
+  std::vector<std::pair<std::string, std::string>> newer = ReadAll(*victim);
+  std::vector<std::pair<std::string, std::string>> older;
+  std::vector<std::unique_ptr<SsTable>> keep;
+  for (auto& t : levels_[level + 1]) {
+    if (t->max_key < victim->min_key || t->min_key > victim->max_key) {
+      keep.push_back(std::move(t));
+    } else {
+      auto entries = ReadAll(*t);
+      for (auto& e : entries) older.push_back(std::move(e));
+      ::close(t->fd);
+      ::unlink(t->path.c_str());
+    }
+  }
+  ::close(victim->fd);
+  ::unlink(victim->path.c_str());
+
+  std::vector<std::pair<std::string, std::string>> merged;
+  merged.reserve(newer.size() + older.size());
+  size_t i = 0, j = 0;
+  while (i < newer.size() || j < older.size()) {
+    if (j >= older.size())
+      merged.push_back(std::move(newer[i++]));
+    else if (i >= newer.size())
+      merged.push_back(std::move(older[j++]));
+    else if (newer[i].first < older[j].first)
+      merged.push_back(std::move(newer[i++]));
+    else if (older[j].first < newer[i].first)
+      merged.push_back(std::move(older[j++]));
+    else {  // duplicate: newer wins
+      merged.push_back(std::move(newer[i++]));
+      ++j;
+    }
+  }
+  auto tables = WriteTables(std::move(merged));
+  for (auto& t : tables) keep.push_back(std::move(t));
+  std::sort(keep.begin(), keep.end(),
+            [](const auto& a, const auto& b) { return a->min_key < b->min_key; });
+  levels_[level + 1] = std::move(keep);
+  ++stats_.compactions;
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+const LsmTree::Block& LsmTree::GetBlock(const SsTable& t, size_t block_idx) {
+  auto key = std::make_pair(t.id, block_idx);
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    CacheSlot& slot = cache_[it->second];
+    slot.referenced = true;
+    ++stats_.block_cache_hits;
+    return slot.entries;
+  }
+  ++stats_.block_reads;
+  std::string raw(t.block_length[block_idx], '\0');
+  ssize_t got =
+      ::pread(t.fd, raw.data(), raw.size(), t.block_offset[block_idx]);
+  assert(got == static_cast<ssize_t>(raw.size()));
+  (void)got;
+  Block entries;
+  size_t off = 0;
+  while (off < raw.size()) {
+    uint32_t klen, vlen;
+    std::memcpy(&klen, raw.data() + off, sizeof(klen));
+    off += sizeof(klen);
+    std::string k(raw.data() + off, klen);
+    off += klen;
+    std::memcpy(&vlen, raw.data() + off, sizeof(vlen));
+    off += sizeof(vlen);
+    std::string v(raw.data() + off, vlen);
+    off += vlen;
+    entries.emplace_back(std::move(k), std::move(v));
+  }
+  // CLOCK insert.
+  while (true) {
+    CacheSlot& slot = cache_[cache_hand_];
+    if (!slot.referenced) {
+      if (slot.table_id != ~0ull)
+        cache_index_.erase({slot.table_id, slot.block});
+      slot.table_id = t.id;
+      slot.block = block_idx;
+      slot.entries = std::move(entries);
+      slot.referenced = true;
+      cache_index_[key] = cache_hand_;
+      cache_hand_ = (cache_hand_ + 1) % cache_.size();
+      return slot.entries;
+    }
+    slot.referenced = false;
+    cache_hand_ = (cache_hand_ + 1) % cache_.size();
+  }
+}
+
+bool LsmTree::FilterMayContain(const SsTable& t, std::string_view key) {
+  if (t.bloom == nullptr && t.surf == nullptr) return true;
+  ++stats_.filter_probes;
+  bool may = t.bloom != nullptr ? t.bloom->MayContain(key)
+                                : t.surf->MayContain(key);
+  if (!may) ++stats_.filter_negatives;
+  return may;
+}
+
+bool LsmTree::FilterMayContainRange(const SsTable& t, std::string_view lk,
+                                    std::string_view hk) {
+  if (t.surf == nullptr) return true;  // Bloom cannot answer ranges
+  ++stats_.filter_probes;
+  bool may = t.surf->MayContainRange(lk, hk);
+  if (!may) ++stats_.filter_negatives;
+  return may;
+}
+
+bool LsmTree::TableGet(const SsTable& t, std::string_view key,
+                       std::string* value) {
+  if (key < t.min_key || key > t.max_key) return false;
+  if (!FilterMayContain(t, key)) return false;
+  // Fence index: last block whose first key <= key.
+  auto it = std::upper_bound(t.block_first_key.begin(), t.block_first_key.end(),
+                             std::string(key));
+  size_t block = it == t.block_first_key.begin()
+                     ? 0
+                     : (it - t.block_first_key.begin()) - 1;
+  const Block& entries = GetBlock(t, block);
+  auto eit = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& e, std::string_view k) { return e.first < k; });
+  if (eit == entries.end() || eit->first != key) return false;
+  if (value != nullptr) *value = eit->second;
+  return true;
+}
+
+bool LsmTree::Get(std::string_view key, std::string* value) {
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (value != nullptr) *value = it->second;
+    return true;
+  }
+  // L0 newest-first, then deeper levels.
+  for (auto t = levels_[0].rbegin(); t != levels_[0].rend(); ++t)
+    if (TableGet(**t, key, value)) return true;
+  for (size_t l = 1; l < levels_.size(); ++l) {
+    // Levels >= 1 are disjoint: binary search for the candidate table.
+    const auto& level = levels_[l];
+    auto lit = std::upper_bound(
+        level.begin(), level.end(), key,
+        [](std::string_view k, const auto& t) { return k < t->min_key; });
+    if (lit == level.begin()) continue;
+    --lit;
+    if (TableGet(**lit, key, value)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> LsmTree::TableSeek(const SsTable& t,
+                                              std::string_view lk) {
+  if (lk > t.max_key) return std::nullopt;
+  auto it = std::upper_bound(t.block_first_key.begin(), t.block_first_key.end(),
+                             std::string(lk));
+  size_t block = it == t.block_first_key.begin()
+                     ? 0
+                     : (it - t.block_first_key.begin()) - 1;
+  while (block < t.block_first_key.size()) {
+    const Block& entries = GetBlock(t, block);
+    auto eit = std::lower_bound(
+        entries.begin(), entries.end(), lk,
+        [](const auto& e, std::string_view k) { return e.first < k; });
+    if (eit != entries.end()) return eit->first;
+    ++block;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> LsmTree::Seek(std::string_view lk) {
+  return ClosedSeek(lk, std::string_view());
+}
+
+std::optional<std::string> LsmTree::ClosedSeek(std::string_view lk,
+                                               std::string_view hk) {
+  // hk empty => open seek.
+  std::optional<std::string> best;
+  auto consider = [&](std::optional<std::string> cand) {
+    if (!cand) return;
+    if (!best || *cand < *best) best = std::move(cand);
+  };
+
+  // MemTable candidate (no I/O).
+  auto mit = memtable_.lower_bound(lk);
+  if (mit != memtable_.end()) consider(mit->first);
+
+  // Gather the candidate table per level (plus L0 overlaps).
+  std::vector<const SsTable*> tables;
+  for (auto t = levels_[0].rbegin(); t != levels_[0].rend(); ++t)
+    if (lk <= (*t)->max_key) tables.push_back(t->get());
+  for (size_t l = 1; l < levels_.size(); ++l) {
+    const auto& level = levels_[l];
+    auto lit = std::upper_bound(
+        level.begin(), level.end(), lk,
+        [](std::string_view k, const auto& t) { return k < t->min_key; });
+    if (lit != level.begin()) {
+      auto prev = lit - 1;
+      if (lk <= (*prev)->max_key) tables.push_back(prev->get());
+    }
+    if (lit != level.end()) tables.push_back(lit->get());
+  }
+
+  if (!hk.empty()) {
+    // Closed seek: the range filter proves most tables empty with no I/O.
+    for (const SsTable* t : tables) {
+      if (t->surf != nullptr) {
+        ++stats_.filter_probes;
+        if (!t->surf->MayContainRange(lk, hk)) {
+          ++stats_.filter_negatives;
+          continue;
+        }
+      }
+      consider(TableSeek(*t, lk));
+    }
+    if (!best) return std::nullopt;
+    if (*best > std::string(hk)) return std::nullopt;
+    return best;
+  }
+
+  // Open seek (Section 4.2): obtain each table's candidate from its SuRF
+  // without I/O, then fetch blocks only where the truncated candidate could
+  // still be the global minimum. A table whose candidate prefix sorts after
+  // an already-resolved full key cannot win (its real key >= its prefix).
+  std::vector<std::pair<std::string, const SsTable*>> surf_cands;
+  for (const SsTable* t : tables) {
+    if (t->surf == nullptr) {
+      consider(TableSeek(*t, lk));  // no filter: must fetch
+      continue;
+    }
+    ++stats_.filter_probes;
+    Surf::SeekResult r = t->surf->MoveToNext(lk);
+    if (!r.found) {
+      ++stats_.filter_negatives;
+      continue;
+    }
+    surf_cands.emplace_back(std::move(r.key), t);
+  }
+  std::sort(surf_cands.begin(), surf_cands.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [prefix, t] : surf_cands) {
+    if (best && prefix > *best) {
+      ++stats_.filter_negatives;  // I/O avoided by the filter candidate
+      continue;
+    }
+    consider(TableSeek(*t, lk));
+  }
+  return best;
+}
+
+uint64_t LsmTree::Count(std::string_view lk, std::string_view hk) {
+  uint64_t total = 0;
+  // MemTable.
+  for (auto it = memtable_.lower_bound(lk);
+       it != memtable_.end() && it->first <= hk; ++it)
+    ++total;
+
+  auto count_table = [&](const SsTable& t) -> uint64_t {
+    if (lk > t.max_key || hk < t.min_key) return 0;
+    if (t.surf != nullptr) {
+      ++stats_.filter_probes;
+      return t.surf->Count(lk, hk);  // in-memory, no I/O
+    }
+    // Scan blocks.
+    uint64_t cnt = 0;
+    auto it = std::upper_bound(t.block_first_key.begin(),
+                               t.block_first_key.end(), std::string(lk));
+    size_t block = it == t.block_first_key.begin()
+                       ? 0
+                       : (it - t.block_first_key.begin()) - 1;
+    for (; block < t.block_first_key.size(); ++block) {
+      if (t.block_first_key[block] > std::string(hk)) break;
+      const Block& entries = GetBlock(t, block);
+      for (const auto& [k, v] : entries)
+        if (k >= lk && k <= hk) ++cnt;
+    }
+    return cnt;
+  };
+
+  for (const auto& t : levels_[0]) total += count_table(*t);
+  for (size_t l = 1; l < levels_.size(); ++l)
+    for (const auto& t : levels_[l]) total += count_table(*t);
+  return total;
+}
+
+void LsmTree::Finish() {
+  FlushMemTable();
+  MaybeCompact();
+}
+
+size_t LsmTree::FilterMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& level : levels_)
+    for (const auto& t : level) {
+      if (t->bloom != nullptr) bytes += t->bloom->MemoryBytes();
+      if (t->surf != nullptr) bytes += t->surf->MemoryBytes();
+    }
+  return bytes;
+}
+
+size_t LsmTree::NumTables() const {
+  size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+uint64_t LsmTree::DiskBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& level : levels_)
+    for (const auto& t : level) bytes += t->file_bytes;
+  return bytes;
+}
+
+}  // namespace met

@@ -1,0 +1,152 @@
+// Mini log-structured merge engine — the RocksDB stand-in for the Chapter 4
+// system evaluation (see DESIGN.md, "Documented substitutions").
+//
+// Architecture mirrors Figure 4.2: an in-memory MemTable absorbs writes and
+// flushes to sorted, block-structured SSTable files in level 0; leveled
+// compaction keeps levels >= 1 sorted and non-overlapping. Each SSTable has
+// an in-memory fence (block) index and an optional filter (Bloom or SuRF)
+// that is consulted before any block I/O, exactly like Figure 4.3's Get /
+// Seek / Count execution paths. "I/O" is counted as block-cache misses that
+// hit the data file.
+#ifndef MET_LSM_LSM_H_
+#define MET_LSM_LSM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom.h"
+#include "surf/surf.h"
+
+namespace met {
+
+enum class LsmFilterType { kNone, kBloom, kSurfHash, kSurfReal };
+
+const char* LsmFilterTypeName(LsmFilterType t);
+
+struct LsmOptions {
+  std::string dir = "/tmp/met_lsm";
+  size_t memtable_bytes = 4u << 20;
+  size_t block_bytes = 4096;
+  size_t sstable_target_bytes = 8u << 20;
+  size_t level0_table_limit = 4;
+  size_t level1_bytes = 32u << 20;
+  size_t level_multiplier = 10;
+  size_t block_cache_blocks = 4096;  // ~16 MB with 4 KB blocks
+
+  LsmFilterType filter = LsmFilterType::kNone;
+  double bloom_bits_per_key = 14.0;
+  uint32_t surf_suffix_bits = 4;  // hash or real, by filter type
+};
+
+struct LsmStats {
+  uint64_t block_reads = 0;       // disk block fetches (cache misses)
+  uint64_t block_cache_hits = 0;
+  uint64_t filter_probes = 0;
+  uint64_t filter_negatives = 0;  // I/Os saved by a filter
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+};
+
+class LsmTree {
+ public:
+  explicit LsmTree(const LsmOptions& options);
+  ~LsmTree();
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  void Put(std::string_view key, std::string_view value);
+
+  /// Point lookup (Figure 4.3, Get path).
+  bool Get(std::string_view key, std::string* value = nullptr);
+
+  /// Open seek: smallest key >= `lk` across all levels; nullopt at end.
+  std::optional<std::string> Seek(std::string_view lk);
+
+  /// Closed seek: smallest key in [lk, hk]; nullopt if the range is empty.
+  std::optional<std::string> ClosedSeek(std::string_view lk,
+                                        std::string_view hk);
+
+  /// Approximate count of keys in [lk, hk] (exact without SuRF by scanning;
+  /// filter-accelerated and approximate with SuRF).
+  uint64_t Count(std::string_view lk, std::string_view hk);
+
+  /// Flushes the memtable and compacts until all level limits hold.
+  void Finish();
+
+  const LsmStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LsmStats{}; }
+
+  size_t FilterMemoryBytes() const;
+  size_t NumTables() const;
+  size_t NumLevels() const { return levels_.size(); }
+  uint64_t DiskBytes() const;
+
+ private:
+  struct SsTable {
+    uint64_t id;
+    std::string path;
+    std::string min_key, max_key;
+    uint64_t file_bytes = 0;
+    uint64_t num_entries = 0;
+    // Fence index: first key of each block + offset/length.
+    std::vector<std::string> block_first_key;
+    std::vector<uint64_t> block_offset;
+    std::vector<uint32_t> block_length;
+    std::unique_ptr<BloomFilter> bloom;
+    std::unique_ptr<Surf> surf;
+    int fd = -1;
+  };
+
+  using Block = std::vector<std::pair<std::string, std::string>>;
+
+  void FlushMemTable();
+  void MaybeCompact();
+  void CompactLevel0();
+  void CompactLevel(size_t level);
+  std::unique_ptr<SsTable> WriteTable(
+      const std::vector<std::pair<std::string, std::string>>& entries);
+  /// Splits a sorted entry stream into tables of at most target size.
+  std::vector<std::unique_ptr<SsTable>> WriteTables(
+      std::vector<std::pair<std::string, std::string>>&& entries);
+  std::vector<std::pair<std::string, std::string>> ReadAll(const SsTable& t);
+
+  const Block& GetBlock(const SsTable& t, size_t block_idx);
+  bool TableGet(const SsTable& t, std::string_view key, std::string* value);
+  /// Smallest key >= lk stored in `t` (reads one block unless absent).
+  std::optional<std::string> TableSeek(const SsTable& t, std::string_view lk);
+
+  /// Filter checks: true = must read, false = certainly absent.
+  bool FilterMayContain(const SsTable& t, std::string_view key);
+  bool FilterMayContainRange(const SsTable& t, std::string_view lk,
+                             std::string_view hk);
+
+  LsmOptions options_;
+  std::map<std::string, std::string, std::less<>> memtable_;
+  size_t memtable_bytes_ = 0;
+  // levels_[0] may overlap (newest last); levels_[>=1] sorted, disjoint.
+  std::vector<std::vector<std::unique_ptr<SsTable>>> levels_;
+  uint64_t next_table_id_ = 0;
+  std::vector<size_t> compact_cursor_;  // per-level rotating victim cursor
+  LsmStats stats_;
+
+  // Block cache: CLOCK over (table_id, block) -> decoded entries.
+  struct CacheSlot {
+    uint64_t table_id = ~0ull;
+    size_t block = 0;
+    Block entries;
+    bool referenced = false;
+  };
+  std::vector<CacheSlot> cache_;
+  std::map<std::pair<uint64_t, size_t>, size_t> cache_index_;
+  size_t cache_hand_ = 0;
+};
+
+}  // namespace met
+
+#endif  // MET_LSM_LSM_H_

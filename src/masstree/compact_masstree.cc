@@ -1,0 +1,241 @@
+#include "masstree/compact_masstree.h"
+
+#include <cassert>
+
+#include "masstree/masstree.h"  // for slice packing helpers
+
+namespace met {
+
+using masstree_internal::AppendSlice;
+using masstree_internal::PackSlice;
+
+void CompactMasstree::Build(const std::vector<std::string>& keys,
+                            const std::vector<Value>& values) {
+  assert(keys.size() == values.size());
+  DestroyNode(root_);
+  root_ = nullptr;
+  size_ = keys.size();
+  if (!keys.empty()) root_ = BuildRange(keys, values, 0, keys.size(), 0);
+}
+
+CompactMasstree::Node* CompactMasstree::BuildRange(
+    const std::vector<std::string>& keys, const std::vector<Value>& values,
+    size_t lo, size_t hi, size_t depth) {
+  Node* n = new Node();
+  n->suffix_off.push_back(0);
+  size_t i = lo;
+  while (i < hi) {
+    std::string_view rem = std::string_view(keys[i]).substr(depth);
+    uint64_t slice = PackSlice(rem);
+    uint8_t lenx = static_cast<uint8_t>(rem.size() <= 8 ? rem.size() : 9);
+
+    if (lenx <= 8) {  // terminal entry: unique keys => exactly one
+      n->slices.push_back(slice);
+      n->lenx.push_back(lenx);
+      n->kinds.push_back(kValue);
+      n->values.push_back(values[i]);
+      n->child_idx.push_back(0);
+      n->suffix_off.push_back(static_cast<uint32_t>(n->suffixes.size()));
+      ++i;
+      continue;
+    }
+
+    // Extended: group every key sharing this 8-byte slice.
+    size_t j = i + 1;
+    while (j < hi) {
+      std::string_view r2 = std::string_view(keys[j]).substr(depth);
+      if (r2.size() <= 8 || PackSlice(r2) != slice) break;
+      ++j;
+    }
+    n->slices.push_back(slice);
+    n->lenx.push_back(9);
+    n->child_idx.push_back(0);
+    if (j - i == 1) {  // single key: store its suffix in the keybag
+      n->kinds.push_back(kSuffix);
+      n->values.push_back(values[i]);
+      n->suffixes.append(rem.substr(8));
+    } else {  // multiple keys share the slice: expand into a child layer
+      n->kinds.push_back(kChild);
+      n->values.push_back(0);
+      n->child_idx.back() = static_cast<uint32_t>(n->children.size());
+      n->children.push_back(BuildRange(keys, values, i, j, depth + 8));
+    }
+    n->suffix_off.push_back(static_cast<uint32_t>(n->suffixes.size()));
+    i = j;
+  }
+  n->slices.shrink_to_fit();
+  n->lenx.shrink_to_fit();
+  n->kinds.shrink_to_fit();
+  n->values.shrink_to_fit();
+  n->children.shrink_to_fit();
+  n->child_idx.shrink_to_fit();
+  n->suffixes.shrink_to_fit();
+  n->suffix_off.shrink_to_fit();
+  return n;
+}
+
+void CompactMasstree::DestroyNode(Node* n) {
+  if (n == nullptr) return;
+  for (Node* c : n->children) DestroyNode(c);
+  delete n;
+}
+
+size_t CompactMasstree::LowerBoundEntry(const Node* n, uint64_t slice,
+                                        uint8_t lenx) {
+  size_t lo = 0, hi = n->slices.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (n->slices[mid] < slice ||
+        (n->slices[mid] == slice && n->lenx[mid] < lenx))
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+bool CompactMasstree::Find(std::string_view key, Value* value) const {
+  const Node* n = root_;
+  std::string_view rem = key;
+  while (n != nullptr) {
+    uint64_t slice = PackSlice(rem);
+    uint8_t lenx = static_cast<uint8_t>(rem.size() <= 8 ? rem.size() : 9);
+    size_t idx = LowerBoundEntry(n, slice, lenx);
+    if (idx >= n->slices.size() || n->slices[idx] != slice ||
+        n->lenx[idx] != lenx)
+      return false;
+    if (lenx <= 8) {
+      if (value != nullptr) *value = n->values[idx];
+      return true;
+    }
+    switch (n->kinds[idx]) {
+      case kSuffix:
+        if (n->SuffixAt(idx) == rem.substr(8)) {
+          if (value != nullptr) *value = n->values[idx];
+          return true;
+        }
+        return false;
+      case kChild:
+        n = n->children[n->child_idx[idx]];
+        rem = rem.substr(8);
+        break;
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+bool CompactMasstree::ScanNode(const Node* n, std::string_view lower, bool past,
+                               ScanState* st) {
+  if (n == nullptr) return false;
+  size_t start = 0;
+  uint64_t lslice = 0;
+  uint8_t llenx = 0;
+  if (!past) {
+    lslice = PackSlice(lower);
+    llenx = static_cast<uint8_t>(lower.size() <= 8 ? lower.size() : 9);
+    start = LowerBoundEntry(n, lslice, llenx);
+  }
+  for (size_t i = start; i < n->slices.size(); ++i) {
+    bool exact = !past && n->slices[i] == lslice && n->lenx[i] == llenx;
+    size_t base = st->path.size();
+    AppendSlice(n->slices[i], n->lenx[i] <= 8 ? n->lenx[i] : 8, &st->path);
+    bool stop = false;
+    switch (n->kinds[i]) {
+      case kValue:
+        if (st->count >= st->limit) {
+          st->path.resize(base);
+          return true;
+        }
+        if (st->out != nullptr) st->out->push_back(n->values[i]);
+        if (st->keys_out != nullptr) st->keys_out->push_back(st->path);
+        ++st->count;
+        stop = st->count >= st->limit;
+        break;
+      case kSuffix: {
+        bool emit = !(exact && n->SuffixAt(i) < lower.substr(8));
+        if (emit) {
+          if (st->count >= st->limit) {
+            st->path.resize(base);
+            return true;
+          }
+          if (st->out != nullptr) st->out->push_back(n->values[i]);
+          if (st->keys_out != nullptr) {
+            std::string full = st->path;
+            full.append(n->SuffixAt(i));
+            st->keys_out->push_back(std::move(full));
+          }
+          ++st->count;
+          stop = st->count >= st->limit;
+        }
+        break;
+      }
+      case kChild:
+        stop = ScanNode(n->children[n->child_idx[i]],
+                        exact ? lower.substr(8) : std::string_view{}, !exact, st);
+        break;
+    }
+    st->path.resize(base);
+    if (stop) return true;
+  }
+  return false;
+}
+
+size_t CompactMasstree::Scan(std::string_view key, size_t n,
+                             std::vector<Value>* out,
+                             std::vector<std::string>* keys_out) const {
+  ScanState st{key, n, 0, out, keys_out, std::string()};
+  ScanNode(root_, key, false, &st);
+  return st.count;
+}
+
+void CompactMasstree::VisitNode(
+    const Node* n, std::string* path,
+    const std::function<void(std::string_view, Value)>& fn) {
+  if (n == nullptr) return;
+  for (size_t i = 0; i < n->slices.size(); ++i) {
+    size_t base = path->size();
+    AppendSlice(n->slices[i], n->lenx[i] <= 8 ? n->lenx[i] : 8, path);
+    switch (n->kinds[i]) {
+      case kValue:
+        fn(*path, n->values[i]);
+        break;
+      case kSuffix: {
+        size_t b2 = path->size();
+        path->append(n->SuffixAt(i));
+        fn(*path, n->values[i]);
+        path->resize(b2);
+        break;
+      }
+      case kChild:
+        VisitNode(n->children[n->child_idx[i]], path, fn);
+        break;
+    }
+    path->resize(base);
+  }
+}
+
+void CompactMasstree::VisitAll(
+    const std::function<void(std::string_view, Value)>& fn) const {
+  std::string path;
+  VisitNode(root_, &path, fn);
+}
+
+size_t CompactMasstree::NodeMemory(const Node* n) {
+  if (n == nullptr) return 0;
+  size_t bytes = sizeof(Node);
+  bytes += n->slices.capacity() * sizeof(uint64_t);
+  bytes += n->lenx.capacity() + n->kinds.capacity();
+  bytes += n->values.capacity() * sizeof(uint64_t);
+  bytes += n->children.capacity() * sizeof(Node*);
+  bytes += n->child_idx.capacity() * sizeof(uint32_t);
+  bytes += n->suffixes.capacity();
+  bytes += n->suffix_off.capacity() * sizeof(uint32_t);
+  for (const Node* c : n->children) bytes += NodeMemory(c);
+  return bytes;
+}
+
+size_t CompactMasstree::MemoryBytes() const { return NodeMemory(root_); }
+
+}  // namespace met

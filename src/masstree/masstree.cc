@@ -1,0 +1,276 @@
+#include "masstree/masstree.h"
+
+namespace met {
+
+using masstree_internal::AppendSlice;
+using masstree_internal::MakeMtKey;
+using masstree_internal::MtKey;
+using masstree_internal::PackSlice;
+
+Masstree::~Masstree() { DestroyLayer(root_); }
+
+void Masstree::DestroyLayer(Layer* layer) {
+  if (layer == nullptr) return;
+  for (auto it = layer->tree.Begin(); it.Valid(); it.Next()) {
+    const Link& link = it.value();
+    if (link.kind == Link::kSuffix)
+      delete link.suffix;
+    else if (link.kind == Link::kChild)
+      DestroyLayer(link.child);
+  }
+  delete layer;
+}
+
+bool Masstree::InsertImpl(std::string_view key, Value value, bool overwrite) {
+  if (root_ == nullptr) root_ = new Layer();
+  bool inserted = InsertLayer(root_, key, value, overwrite);
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool Masstree::InsertLayer(Layer* layer, std::string_view remainder,
+                           Value value, bool overwrite) {
+  MtKey mk = MakeMtKey(remainder);
+  if (mk.lenx <= 8) {  // terminates within this slice
+    Link link{Link::kValue, {value}};
+    bool inserted = layer->tree.Insert(mk, link);
+    if (!inserted && overwrite) layer->tree.Update(mk, link);
+    return inserted;
+  }
+
+  // Key continues past the slice.
+  Link existing;
+  if (!layer->tree.Find(mk, &existing)) {
+    SuffixRec* rec = new SuffixRec{std::string(remainder.substr(8)), value};
+    Link link;
+    link.kind = Link::kSuffix;
+    link.suffix = rec;
+    layer->tree.Insert(mk, link);
+    return true;
+  }
+
+  if (existing.kind == Link::kChild)
+    return InsertLayer(existing.child, remainder.substr(8), value, overwrite);
+
+  // kSuffix: either the same key, or the slice must expand into a new layer.
+  SuffixRec* rec = existing.suffix;
+  std::string_view new_suffix = remainder.substr(8);
+  if (rec->suffix == new_suffix) {
+    if (overwrite) rec->value = value;
+    return false;
+  }
+  Layer* child = new Layer();
+  InsertLayer(child, rec->suffix, rec->value, /*overwrite=*/false);
+  InsertLayer(child, new_suffix, value, /*overwrite=*/false);
+  Link link;
+  link.kind = Link::kChild;
+  link.child = child;
+  layer->tree.Update(mk, link);
+  delete rec;
+  return true;
+}
+
+bool Masstree::Find(std::string_view key, Value* value) const {
+  const Layer* layer = root_;
+  std::string_view remainder = key;
+  while (layer != nullptr) {
+    MtKey mk = MakeMtKey(remainder);
+    Link link;
+    if (!layer->tree.Find(mk, &link)) return false;
+    if (mk.lenx <= 8) {
+      if (value != nullptr) *value = link.value;
+      return true;
+    }
+    switch (link.kind) {
+      case Link::kValue:
+        return false;  // cannot happen for lenx == 9
+      case Link::kSuffix:
+        if (link.suffix->suffix == remainder.substr(8)) {
+          if (value != nullptr) *value = link.suffix->value;
+          return true;
+        }
+        return false;
+      case Link::kChild:
+        layer = link.child;
+        remainder = remainder.substr(8);
+        break;
+    }
+  }
+  return false;
+}
+
+bool Masstree::Update(std::string_view key, Value value) {
+  Layer* layer = root_;
+  std::string_view remainder = key;
+  while (layer != nullptr) {
+    MtKey mk = MakeMtKey(remainder);
+    Link link;
+    if (!layer->tree.Find(mk, &link)) return false;
+    if (mk.lenx <= 8) {
+      Link nl{Link::kValue, {value}};
+      return layer->tree.Update(mk, nl);
+    }
+    switch (link.kind) {
+      case Link::kValue:
+        return false;
+      case Link::kSuffix:
+        if (link.suffix->suffix == remainder.substr(8)) {
+          link.suffix->value = value;
+          return true;
+        }
+        return false;
+      case Link::kChild:
+        layer = link.child;
+        remainder = remainder.substr(8);
+        break;
+    }
+  }
+  return false;
+}
+
+bool Masstree::Erase(std::string_view key) {
+  // Layers are not collapsed on removal (lazy, like the other dynamic trees).
+  Layer* layer = root_;
+  std::string_view remainder = key;
+  while (layer != nullptr) {
+    MtKey mk = MakeMtKey(remainder);
+    Link link;
+    if (!layer->tree.Find(mk, &link)) return false;
+    if (mk.lenx <= 8) {
+      layer->tree.Erase(mk);
+      --size_;
+      return true;
+    }
+    switch (link.kind) {
+      case Link::kValue:
+        return false;
+      case Link::kSuffix:
+        if (link.suffix->suffix == remainder.substr(8)) {
+          delete link.suffix;
+          layer->tree.Erase(mk);
+          --size_;
+          return true;
+        }
+        return false;
+      case Link::kChild:
+        layer = link.child;
+        remainder = remainder.substr(8);
+        break;
+    }
+  }
+  return false;
+}
+
+bool Masstree::ScanLayer(const Layer* layer, std::string_view lower, bool past,
+                         ScanState* st) {
+  if (layer == nullptr) return false;
+  MtKey lk = past ? MtKey{0, 0} : MakeMtKey(lower);
+  auto it = past ? layer->tree.Begin() : layer->tree.LowerBound(lk);
+  for (; it.Valid(); it.Next()) {
+    const MtKey& mk = it.key();
+    const Link& link = it.value();
+    bool exact = !past && mk == lk;
+    size_t base = st->path.size();
+    AppendSlice(mk.slice, mk.lenx <= 8 ? mk.lenx : 8, &st->path);
+    bool stop = false;
+    switch (link.kind) {
+      case Link::kValue:
+        // Terminal: mtkey order guarantees key >= lower here.
+        if (st->count >= st->limit) {
+          st->path.resize(base);
+          return true;
+        }
+        if (st->out != nullptr) st->out->push_back(link.value);
+        if (st->keys_out != nullptr) st->keys_out->push_back(st->path);
+        ++st->count;
+        stop = st->count >= st->limit;
+        break;
+      case Link::kSuffix: {
+        bool emit = true;
+        if (exact && link.suffix->suffix < lower.substr(8)) emit = false;
+        if (emit) {
+          if (st->count >= st->limit) {
+            st->path.resize(base);
+            return true;
+          }
+          if (st->out != nullptr) st->out->push_back(link.suffix->value);
+          if (st->keys_out != nullptr) {
+            std::string full = st->path;
+            full.append(link.suffix->suffix);
+            st->keys_out->push_back(std::move(full));
+          }
+          ++st->count;
+          stop = st->count >= st->limit;
+        }
+        break;
+      }
+      case Link::kChild:
+        stop = ScanLayer(link.child, exact ? lower.substr(8) : std::string_view{},
+                         !exact, st);
+        break;
+    }
+    st->path.resize(base);
+    if (stop) return true;
+  }
+  return false;
+}
+
+size_t Masstree::Scan(std::string_view key, size_t n, std::vector<Value>* out,
+                      std::vector<std::string>* keys_out) const {
+  ScanState st{key, n, 0, out, keys_out, std::string()};
+  ScanLayer(root_, key, false, &st);
+  return st.count;
+}
+
+void Masstree::VisitLayer(
+    const Layer* layer, std::string* path,
+    const std::function<void(std::string_view, Value)>& fn) {
+  if (layer == nullptr) return;
+  for (auto it = layer->tree.Begin(); it.Valid(); it.Next()) {
+    const MtKey& mk = it.key();
+    const Link& link = it.value();
+    size_t base = path->size();
+    AppendSlice(mk.slice, mk.lenx <= 8 ? mk.lenx : 8, path);
+    switch (link.kind) {
+      case Link::kValue:
+        fn(*path, link.value);
+        break;
+      case Link::kSuffix: {
+        size_t b2 = path->size();
+        path->append(link.suffix->suffix);
+        fn(*path, link.suffix->value);
+        path->resize(b2);
+        break;
+      }
+      case Link::kChild:
+        VisitLayer(link.child, path, fn);
+        break;
+    }
+    path->resize(base);
+  }
+}
+
+void Masstree::VisitAll(
+    const std::function<void(std::string_view, Value)>& fn) const {
+  std::string path;
+  VisitLayer(root_, &path, fn);
+}
+
+size_t Masstree::LayerMemory(const Layer* layer) {
+  if (layer == nullptr) return 0;
+  size_t bytes = sizeof(Layer) + layer->tree.MemoryBytes();
+  for (auto it = layer->tree.Begin(); it.Valid(); it.Next()) {
+    const Link& link = it.value();
+    if (link.kind == Link::kSuffix) {
+      bytes += sizeof(SuffixRec);
+      bytes += btree_internal::KeyHeapBytes(link.suffix->suffix);
+    } else if (link.kind == Link::kChild) {
+      bytes += LayerMemory(link.child);
+    }
+  }
+  return bytes;
+}
+
+size_t Masstree::MemoryBytes() const { return LayerMemory(root_); }
+
+}  // namespace met

@@ -1,0 +1,287 @@
+#include "minidb/minidb.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+
+namespace met {
+
+const char* IndexKindName(IndexKind k) {
+  switch (k) {
+    case IndexKind::kBTree:
+      return "B+tree";
+    case IndexKind::kHybrid:
+      return "Hybrid";
+    case IndexKind::kHybridCompressed:
+      return "Hybrid-Compressed";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// TableIndex
+// ---------------------------------------------------------------------------
+
+TableIndex::TableIndex(IndexKind kind) : kind_(kind) {
+  switch (kind) {
+    case IndexKind::kBTree:
+      btree_ = std::make_unique<BTree<uint64_t>>();
+      break;
+    case IndexKind::kHybrid:
+      hybrid_ = std::make_unique<HybridBTree<uint64_t>>();
+      break;
+    case IndexKind::kHybridCompressed:
+      compressed_ = std::make_unique<HybridCompressedBTree<uint64_t>>();
+      break;
+  }
+}
+
+bool TableIndex::Insert(uint64_t key, uint64_t tuple_id) {
+  switch (kind_) {
+    case IndexKind::kBTree:
+      return btree_->Insert(key, tuple_id);
+    case IndexKind::kHybrid:
+      return hybrid_->Insert(key, tuple_id);
+    case IndexKind::kHybridCompressed:
+      return compressed_->Insert(key, tuple_id);
+  }
+  return false;
+}
+
+bool TableIndex::Find(uint64_t key, uint64_t* tuple_id) const {
+  switch (kind_) {
+    case IndexKind::kBTree:
+      return btree_->Find(key, tuple_id);
+    case IndexKind::kHybrid:
+      return hybrid_->Find(key, tuple_id);
+    case IndexKind::kHybridCompressed:
+      return compressed_->Find(key, tuple_id);
+  }
+  return false;
+}
+
+bool TableIndex::Update(uint64_t key, uint64_t tuple_id) {
+  switch (kind_) {
+    case IndexKind::kBTree:
+      return btree_->Update(key, tuple_id);
+    case IndexKind::kHybrid:
+      return hybrid_->Update(key, tuple_id);
+    case IndexKind::kHybridCompressed:
+      return compressed_->Update(key, tuple_id);
+  }
+  return false;
+}
+
+bool TableIndex::Erase(uint64_t key) {
+  switch (kind_) {
+    case IndexKind::kBTree:
+      return btree_->Erase(key);
+    case IndexKind::kHybrid:
+      return hybrid_->Erase(key);
+    case IndexKind::kHybridCompressed:
+      return compressed_->Erase(key);
+  }
+  return false;
+}
+
+size_t TableIndex::Scan(uint64_t key, size_t n,
+                        std::vector<uint64_t>* out) const {
+  switch (kind_) {
+    case IndexKind::kBTree:
+      return btree_->Scan(key, n, out);
+    case IndexKind::kHybrid:
+      return hybrid_->Scan(key, n, out);
+    case IndexKind::kHybridCompressed:
+      return compressed_->Scan(key, n, out);
+  }
+  return 0;
+}
+
+size_t TableIndex::MemoryBytes() const {
+  switch (kind_) {
+    case IndexKind::kBTree:
+      return btree_->MemoryBytes();
+    case IndexKind::kHybrid:
+      return hybrid_->MemoryBytes();
+    case IndexKind::kHybridCompressed:
+      return compressed_->MemoryBytes();
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// MiniTable
+// ---------------------------------------------------------------------------
+
+MiniTable::MiniTable(MiniDb* db, std::string name, IndexKind kind,
+                     size_t num_secondary)
+    : db_(db), name_(std::move(name)), primary_(kind) {
+  for (size_t i = 0; i < num_secondary; ++i) secondary_.emplace_back(kind);
+}
+
+uint64_t MiniTable::Insert(uint64_t pk, std::string_view payload) {
+  uint64_t tuple_id = payloads_.size();
+  if (!primary_.Insert(pk, tuple_id)) return ~0ull;
+  payloads_.emplace_back(payload);
+  evicted_.push_back(0);
+  evict_offset_.push_back(0);
+  evict_length_.push_back(0);
+  tuple_bytes_ += payloads_.back().capacity();
+  return tuple_id;
+}
+
+bool MiniTable::InsertSecondary(size_t idx, uint64_t sk, uint64_t tuple_id) {
+  return secondary_[idx].Insert(sk, tuple_id);
+}
+
+bool MiniTable::Get(uint64_t pk, std::string* payload) {
+  uint64_t tid;
+  if (!primary_.Find(pk, &tid)) return false;
+  return GetByTupleId(tid, payload);
+}
+
+bool MiniTable::Update(uint64_t pk, std::string_view payload) {
+  uint64_t tid;
+  if (!primary_.Find(pk, &tid)) return false;
+  std::string& slot = payloads_[tid];
+  tuple_bytes_ -= slot.capacity();
+  if (evicted_[tid]) evicted_[tid] = 0;  // overwrite resurrects the tuple
+  slot.assign(payload);
+  tuple_bytes_ += slot.capacity();
+  return true;
+}
+
+size_t MiniTable::ScanSecondary(size_t idx, uint64_t sk, size_t n,
+                                std::vector<uint64_t>* tuple_ids) const {
+  return secondary_[idx].Scan(sk, n, tuple_ids);
+}
+
+size_t MiniTable::SecondaryIndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& s : secondary_) bytes += s.MemoryBytes();
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// MiniDb
+// ---------------------------------------------------------------------------
+
+MiniDb::MiniDb(IndexKind kind, std::string anticache_path)
+    : kind_(kind),
+      anticache_path_(anticache_path.empty()
+                          ? "/tmp/met_minidb_anticache_" +
+                                std::to_string(::getpid())
+                          : std::move(anticache_path)) {}
+
+MiniDb::~MiniDb() {
+  if (anticache_fd_ >= 0) {
+    ::close(anticache_fd_);
+    ::unlink(anticache_path_.c_str());
+  }
+}
+
+MiniTable* MiniDb::CreateTable(const std::string& name, size_t num_secondary) {
+  tables_.push_back(
+      std::make_unique<MiniTable>(this, name, kind_, num_secondary));
+  return tables_.back().get();
+}
+
+MiniTable* MiniDb::GetTable(const std::string& name) {
+  for (auto& t : tables_)
+    if (t->name() == name) return t.get();
+  return nullptr;
+}
+
+void MiniDb::EnableAntiCaching(size_t budget_bytes) {
+  anticache_budget_ = budget_bytes;
+  if (anticache_fd_ < 0) {
+    anticache_fd_ =
+        ::open(anticache_path_.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+    assert(anticache_fd_ >= 0);
+  }
+}
+
+uint64_t MiniDb::AppendToAntiCache(std::string_view payload) {
+  uint64_t off = anticache_size_;
+  ssize_t written = ::pwrite(anticache_fd_, payload.data(), payload.size(), off);
+  assert(written == static_cast<ssize_t>(payload.size()));
+  (void)written;
+  anticache_size_ += payload.size();
+  return off;
+}
+
+void MiniDb::FetchFromAntiCache(uint64_t offset, uint32_t length,
+                                std::string* out) {
+  out->resize(length);
+  ssize_t got = ::pread(anticache_fd_, out->data(), length, offset);
+  assert(got == length);
+  (void)got;
+  ++stats_.anticache_fetches;
+}
+
+bool MiniTable::GetByTupleId(uint64_t tuple_id, std::string* payload) {
+  if (tuple_id >= payloads_.size()) return false;
+  if (evicted_[tuple_id]) {
+    // Anti-caching fault: fetch the payload back from disk and restore it
+    // (H-Store aborts + restarts the transaction; we model the data motion).
+    std::string restored;
+    db_->FetchFromAntiCache(evict_offset_[tuple_id], evict_length_[tuple_id],
+                            &restored);
+    payloads_[tuple_id] = std::move(restored);
+    evicted_[tuple_id] = 0;
+    tuple_bytes_ += payloads_[tuple_id].capacity();
+  }
+  if (payload != nullptr) *payload = payloads_[tuple_id];
+  return true;
+}
+
+void MiniDb::MaybeEvict() {
+  if (anticache_budget_ == 0) return;
+  // Memory accounting walks the index trees (O(n)); checking the budget on
+  // every transaction would be quadratic. H-Store's eviction manager also
+  // checks periodically (Section 5.4.4).
+  if (evict_check_tick_++ % 256 != 0) return;
+  // Index memory only changes with the workload, not with evictions, so
+  // walk the index trees once and track tuple bytes incrementally while
+  // evicting (TupleBytes() is O(#tables)).
+  size_t index_bytes = PrimaryIndexBytes() + SecondaryIndexBytes();
+  if (TupleBytes() + index_bytes <= anticache_budget_) return;
+  // Evict cold payloads table by table, oldest tuples first (insertion order
+  // approximates coldness under the skewed OLTP access pattern).
+  for (auto& t : tables_) {
+    while (TupleBytes() + index_bytes > anticache_budget_ &&
+           t->clock_hand_ < t->payloads_.size()) {
+      uint64_t id = t->clock_hand_++;
+      if (t->evicted_[id] || t->payloads_[id].empty()) continue;
+      std::string& slot = t->payloads_[id];
+      t->evict_offset_[id] = AppendToAntiCache(slot);
+      t->evict_length_[id] = static_cast<uint32_t>(slot.size());
+      t->evicted_[id] = 1;
+      t->tuple_bytes_ -= slot.capacity();
+      std::string().swap(slot);
+      ++stats_.evictions;
+    }
+    if (TupleBytes() + index_bytes <= anticache_budget_) break;
+  }
+}
+
+size_t MiniDb::TupleBytes() const {
+  size_t bytes = 0;
+  for (const auto& t : tables_) bytes += t->TupleBytes();
+  return bytes;
+}
+
+size_t MiniDb::PrimaryIndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& t : tables_) bytes += t->PrimaryIndexBytes();
+  return bytes;
+}
+
+size_t MiniDb::SecondaryIndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& t : tables_) bytes += t->SecondaryIndexBytes();
+  return bytes;
+}
+
+}  // namespace met

@@ -1,0 +1,234 @@
+#include "minidb/workloads.h"
+
+#include <string>
+
+namespace met {
+
+namespace {
+
+std::string Payload(size_t bytes, uint64_t seed) {
+  std::string p(bytes, 'x');
+  for (size_t i = 0; i < p.size(); i += 7)
+    p[i] = static_cast<char>('a' + (seed + i) % 26);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// TPC-C (scaled down)
+// ---------------------------------------------------------------------------
+
+class TpccDriver : public WorkloadDriver {
+ public:
+  TpccDriver(int warehouses, int districts, int customers, int items)
+      : warehouses_(warehouses),
+        districts_(districts),
+        customers_(customers),
+        items_(items) {}
+
+  const char* name() const override { return "TPC-C"; }
+
+  void Load(MiniDb* db) override {
+    auto* warehouse = db->CreateTable("WAREHOUSE");
+    auto* district = db->CreateTable("DISTRICT");
+    auto* customer = db->CreateTable("CUSTOMER", 1);  // secondary: name
+    auto* item = db->CreateTable("ITEM");
+    auto* stock = db->CreateTable("STOCK");
+    db->CreateTable("ORDERS", 1);  // secondary: customer
+    db->CreateTable("ORDER_LINE");
+    db->CreateTable("HISTORY");
+    db->CreateTable("NEW_ORDER");
+
+    for (int w = 0; w < warehouses_; ++w) {
+      warehouse->Insert(w, Payload(89, w));
+      for (int d = 0; d < districts_; ++d) {
+        district->Insert(DistrictKey(w, d), Payload(95, d));
+        for (int c = 0; c < customers_; ++c) {
+          uint64_t ck = CustomerKey(w, d, c);
+          uint64_t tid = customer->Insert(ck, Payload(655, c));
+          customer->InsertSecondary(0, (ck * 2654435761u) << 1 | 1, tid);
+        }
+      }
+      for (int i = 0; i < items_; ++i)
+        stock->Insert(StockKey(w, i), Payload(306, i));
+    }
+    for (int i = 0; i < items_; ++i) item->Insert(i, Payload(82, i));
+  }
+
+  void RunTransaction(MiniDb* db, Random* rng) override {
+    if (rng->Uniform(100) < 50)
+      NewOrder(db, rng);
+    else
+      Payment(db, rng);
+    ++db->stats().transactions;
+    db->MaybeEvict();
+  }
+
+ private:
+  static uint64_t DistrictKey(uint64_t w, uint64_t d) { return w * 100 + d; }
+  static uint64_t CustomerKey(uint64_t w, uint64_t d, uint64_t c) {
+    return (w * 100 + d) * 100000 + c;
+  }
+  static uint64_t StockKey(uint64_t w, uint64_t i) { return w * 1000000 + i; }
+
+  void NewOrder(MiniDb* db, Random* rng) {
+    auto* district = db->GetTable("DISTRICT");
+    auto* customer = db->GetTable("CUSTOMER");
+    auto* item = db->GetTable("ITEM");
+    auto* stock = db->GetTable("STOCK");
+    auto* orders = db->GetTable("ORDERS");
+    auto* order_line = db->GetTable("ORDER_LINE");
+    auto* new_order = db->GetTable("NEW_ORDER");
+
+    uint64_t w = rng->Uniform(warehouses_);
+    uint64_t d = rng->Uniform(districts_);
+    uint64_t c = rng->Uniform(customers_);
+    district->Get(DistrictKey(w, d));
+    district->Update(DistrictKey(w, d), Payload(95, next_order_));
+    customer->Get(CustomerKey(w, d, c));
+
+    uint64_t o_id = next_order_++;
+    uint64_t tid = orders->Insert(o_id, Payload(24, o_id));
+    orders->InsertSecondary(0, CustomerKey(w, d, c) << 20 | (o_id & 0xFFFFF),
+                            tid);
+    new_order->Insert(o_id, Payload(8, o_id));
+    int lines = 5 + static_cast<int>(rng->Uniform(11));
+    for (int l = 0; l < lines; ++l) {
+      uint64_t i = rng->Uniform(items_);
+      item->Get(i);
+      stock->Get(StockKey(w, i));
+      stock->Update(StockKey(w, i), Payload(306, o_id + l));
+      order_line->Insert(o_id * 16 + l, Payload(54, l));
+    }
+  }
+
+  void Payment(MiniDb* db, Random* rng) {
+    auto* warehouse = db->GetTable("WAREHOUSE");
+    auto* district = db->GetTable("DISTRICT");
+    auto* customer = db->GetTable("CUSTOMER");
+    auto* history = db->GetTable("HISTORY");
+
+    uint64_t w = rng->Uniform(warehouses_);
+    uint64_t d = rng->Uniform(districts_);
+    uint64_t c = rng->Uniform(customers_);
+    warehouse->Get(w);
+    warehouse->Update(w, Payload(89, next_history_));
+    district->Update(DistrictKey(w, d), Payload(95, next_history_));
+    customer->Update(CustomerKey(w, d, c), Payload(655, next_history_));
+    history->Insert(next_history_++, Payload(46, c));
+  }
+
+  int warehouses_, districts_, customers_, items_;
+  uint64_t next_order_ = 1;
+  uint64_t next_history_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Voter
+// ---------------------------------------------------------------------------
+
+class VoterDriver : public WorkloadDriver {
+ public:
+  VoterDriver(int contestants, uint64_t phones)
+      : contestants_(contestants), phones_(phones) {}
+
+  const char* name() const override { return "Voter"; }
+
+  void Load(MiniDb* db) override {
+    auto* contestants = db->CreateTable("CONTESTANTS");
+    db->CreateTable("VOTES", 1);  // secondary: phone
+    db->CreateTable("AREA_CODE_STATE");
+    for (int c = 0; c < contestants_; ++c)
+      contestants->Insert(c, Payload(48, c));
+    auto* area = db->GetTable("AREA_CODE_STATE");
+    for (int a = 0; a < 300; ++a) area->Insert(a, Payload(12, a));
+  }
+
+  void RunTransaction(MiniDb* db, Random* rng) override {
+    auto* votes = db->GetTable("VOTES");
+    auto* contestants = db->GetTable("CONTESTANTS");
+    auto* area = db->GetTable("AREA_CODE_STATE");
+
+    uint64_t phone = rng->Uniform(phones_);
+    area->Get(phone % 300);
+    // Enforce the per-phone vote limit via the secondary index.
+    std::vector<uint64_t> existing;
+    votes->ScanSecondary(0, phone << 24, 3, &existing);
+    uint64_t c = rng->Uniform(contestants_);
+    contestants->Get(c);
+    uint64_t vote_id = next_vote_++;
+    uint64_t tid = votes->Insert(vote_id, Payload(55, phone));
+    votes->InsertSecondary(0, (phone << 24) | (vote_id & 0xFFFFFF), tid);
+    ++db->stats().transactions;
+    db->MaybeEvict();
+  }
+
+ private:
+  int contestants_;
+  uint64_t phones_;
+  uint64_t next_vote_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Articles
+// ---------------------------------------------------------------------------
+
+class ArticlesDriver : public WorkloadDriver {
+ public:
+  ArticlesDriver(int articles, int users)
+      : articles_(articles), users_(users) {}
+
+  const char* name() const override { return "Articles"; }
+
+  void Load(MiniDb* db) override {
+    auto* articles = db->CreateTable("ARTICLES");
+    auto* users = db->CreateTable("USERS");
+    db->CreateTable("COMMENTS", 1);  // secondary: article
+    for (int a = 0; a < articles_; ++a)
+      articles->Insert(a, Payload(1024, a));
+    for (int u = 0; u < users_; ++u) users->Insert(u, Payload(104, u));
+  }
+
+  void RunTransaction(MiniDb* db, Random* rng) override {
+    auto* articles = db->GetTable("ARTICLES");
+    auto* users = db->GetTable("USERS");
+    auto* comments = db->GetTable("COMMENTS");
+
+    uint64_t a = rng->Uniform(articles_);
+    if (rng->Uniform(100) < 90) {  // read article + comments + author
+      articles->Get(a);
+      std::vector<uint64_t> tids;
+      comments->ScanSecondary(0, a << 24, 20, &tids);
+      for (uint64_t tid : tids) comments->GetByTupleId(tid, nullptr);
+      users->Get(rng->Uniform(users_));
+    } else {  // post a comment
+      articles->Get(a);
+      uint64_t cid = next_comment_++;
+      uint64_t tid = comments->Insert(cid, Payload(220, cid));
+      comments->InsertSecondary(0, (a << 24) | (cid & 0xFFFFFF), tid);
+    }
+    ++db->stats().transactions;
+    db->MaybeEvict();
+  }
+
+ private:
+  int articles_, users_;
+  uint64_t next_comment_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadDriver> MakeTpccDriver(int warehouses, int districts,
+                                               int customers, int items) {
+  return std::make_unique<TpccDriver>(warehouses, districts, customers, items);
+}
+
+std::unique_ptr<WorkloadDriver> MakeVoterDriver(int contestants,
+                                                uint64_t phones) {
+  return std::make_unique<VoterDriver>(contestants, phones);
+}
+
+std::unique_ptr<WorkloadDriver> MakeArticlesDriver(int articles, int users) {
+  return std::make_unique<ArticlesDriver>(articles, users);
+}
+
+}  // namespace met

@@ -1,0 +1,43 @@
+// Chapter 5 benchmark workloads for the mini OLTP engine: scaled-down TPC-C,
+// Voter and Articles drivers (Section 5.4.2).
+#ifndef MET_MINIDB_WORKLOADS_H_
+#define MET_MINIDB_WORKLOADS_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "minidb/minidb.h"
+
+namespace met {
+
+class WorkloadDriver {
+ public:
+  virtual ~WorkloadDriver() = default;
+
+  /// Creates tables and loads the initial database.
+  virtual void Load(MiniDb* db) = 0;
+
+  /// Executes one transaction.
+  virtual void RunTransaction(MiniDb* db, Random* rng) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Warehouse-centric order processing; ~88% of transactions write.
+/// `scale` multiplies warehouses/customers.
+std::unique_ptr<WorkloadDriver> MakeTpccDriver(int warehouses = 4,
+                                               int districts_per_wh = 10,
+                                               int customers_per_district = 300,
+                                               int items = 10000);
+
+/// Phone-based election: short transactions, every one inserts a vote.
+std::unique_ptr<WorkloadDriver> MakeVoterDriver(int contestants = 6,
+                                                uint64_t phones = 1000000);
+
+/// News site: read-mostly article+comments workload.
+std::unique_ptr<WorkloadDriver> MakeArticlesDriver(int articles = 20000,
+                                                   int users = 10000);
+
+}  // namespace met
+
+#endif  // MET_MINIDB_WORKLOADS_H_

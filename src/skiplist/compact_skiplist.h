@@ -1,0 +1,23 @@
+// Compact (static) Skip List.
+//
+// Applying the Compaction and Structural-Reduction rules to the
+// paged-deterministic skip list yields the same flattened design as the
+// Compact B+tree (Figure 2.3 of the thesis shows the two converge): the
+// bottom level becomes one contiguous 100%-full sorted array and the express
+// levels become implicit separator arrays with computed child locations.
+// We therefore instantiate the shared implementation rather than duplicating
+// it; the skip-list flavor keeps a smaller "page" span, mirroring the
+// original structure's shorter towers.
+#ifndef MET_SKIPLIST_COMPACT_SKIPLIST_H_
+#define MET_SKIPLIST_COMPACT_SKIPLIST_H_
+
+#include "btree/compact_btree.h"
+
+namespace met {
+
+template <typename Key, typename Value = uint64_t>
+using CompactSkipList = CompactBTree<Key, Value, 16>;
+
+}  // namespace met
+
+#endif  // MET_SKIPLIST_COMPACT_SKIPLIST_H_

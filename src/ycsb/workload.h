@@ -1,0 +1,71 @@
+// YCSB-style workload generation (workloads A, C, E plus the insert-only
+// load phase), with Zipfian or uniform key-access distributions, mirroring
+// the microbenchmark setup used throughout the thesis (Sections 2.5, 3.7,
+// 4.3, 5.3).
+#ifndef MET_YCSB_WORKLOAD_H_
+#define MET_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace met {
+
+enum class YcsbOp : uint8_t { kRead, kUpdate, kInsert, kScan };
+
+struct YcsbRequest {
+  YcsbOp op;
+  uint32_t key_index;  // index into the dataset's key array
+  uint16_t scan_length;
+};
+
+struct YcsbSpec {
+  double read_fraction = 1.0;
+  double update_fraction = 0.0;
+  double scan_fraction = 0.0;
+  // insert fraction = remainder
+  bool zipfian = true;
+  uint16_t max_scan_length = 100;
+  uint64_t seed = 42;
+
+  static YcsbSpec WorkloadA() { return {0.5, 0.5, 0.0, true, 100, 42}; }
+  static YcsbSpec WorkloadC() { return {1.0, 0.0, 0.0, true, 100, 42}; }
+  static YcsbSpec WorkloadE() { return {0.0, 0.0, 0.95, true, 100, 42}; }
+};
+
+/// Generates `num_ops` requests over a dataset of `num_keys` keys.
+/// Reads/updates/scans pick existing key indices (Zipf-skewed if configured);
+/// inserts pick indices in [num_keys, num_keys + #inserts) so callers can
+/// reserve extra keys for insertion.
+inline std::vector<YcsbRequest> GenYcsbRequests(size_t num_keys, size_t num_ops,
+                                                const YcsbSpec& spec) {
+  std::vector<YcsbRequest> reqs;
+  reqs.reserve(num_ops);
+  Random rng(spec.seed);
+  ZipfGenerator zipf(num_keys, 0.99, spec.seed + 1);
+  uint32_t next_insert = static_cast<uint32_t>(num_keys);
+  for (size_t i = 0; i < num_ops; ++i) {
+    double p = rng.NextDouble();
+    YcsbRequest r{};
+    uint32_t existing =
+        spec.zipfian ? static_cast<uint32_t>(zipf.NextScrambled())
+                     : static_cast<uint32_t>(rng.Uniform(num_keys));
+    if (p < spec.read_fraction) {
+      r = {YcsbOp::kRead, existing, 0};
+    } else if (p < spec.read_fraction + spec.update_fraction) {
+      r = {YcsbOp::kUpdate, existing, 0};
+    } else if (p < spec.read_fraction + spec.update_fraction + spec.scan_fraction) {
+      uint16_t len = static_cast<uint16_t>(1 + rng.Uniform(spec.max_scan_length));
+      r = {YcsbOp::kScan, existing, len};
+    } else {
+      r = {YcsbOp::kInsert, next_insert++, 0};
+    }
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+}  // namespace met
+
+#endif  // MET_YCSB_WORKLOAD_H_

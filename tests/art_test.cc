@@ -1,0 +1,288 @@
+// Tests for the dynamic ART and Compact ART.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "art/art.h"
+#include "art/compact_art.h"
+#include "common/random.h"
+#include "keys/keygen.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+TEST(ArtTest, InsertFindBasic) {
+  Art art;
+  EXPECT_TRUE(art.Insert("hello", 1));
+  EXPECT_FALSE(art.Insert("hello", 2));
+  uint64_t v;
+  EXPECT_TRUE(art.Find("hello", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_FALSE(art.Find("hell"));
+  EXPECT_FALSE(art.Find("hello!"));
+}
+
+TEST(ArtTest, PrefixKeys) {
+  // Keys that are prefixes of other keys (terminal leaves).
+  Art art;
+  EXPECT_TRUE(art.Insert("a", 1));
+  EXPECT_TRUE(art.Insert("ab", 2));
+  EXPECT_TRUE(art.Insert("abc", 3));
+  EXPECT_TRUE(art.Insert("abd", 4));
+  uint64_t v;
+  EXPECT_TRUE(art.Find("a", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(art.Find("ab", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(art.Find("abc", &v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_TRUE(art.Find("abd", &v));
+  EXPECT_EQ(v, 4u);
+  EXPECT_EQ(art.size(), 4u);
+}
+
+TEST(ArtTest, EmbeddedNulBytes) {
+  Art art;
+  std::string k1("ab", 2);
+  std::string k2("ab\0", 3);
+  std::string k3("ab\0\0c", 5);
+  EXPECT_TRUE(art.Insert(k1, 1));
+  EXPECT_TRUE(art.Insert(k2, 2));
+  EXPECT_TRUE(art.Insert(k3, 3));
+  uint64_t v;
+  EXPECT_TRUE(art.Find(k1, &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(art.Find(k2, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(art.Find(k3, &v));
+  EXPECT_EQ(v, 3u);
+}
+
+TEST(ArtTest, LongCommonPrefixBeyondInlineWindow) {
+  // Prefixes longer than kMaxPrefix (10) exercise the hybrid leaf check.
+  Art art;
+  std::string base(40, 'x');
+  EXPECT_TRUE(art.Insert(base + "a", 1));
+  EXPECT_TRUE(art.Insert(base + "b", 2));
+  uint64_t v;
+  EXPECT_TRUE(art.Find(base + "a", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_FALSE(art.Find(base.substr(0, 39) + "ya"));
+  // Now split deep inside the long prefix.
+  EXPECT_TRUE(art.Insert(base.substr(0, 20) + std::string(10, 'q'), 3));
+  EXPECT_TRUE(art.Find(base + "b", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(art.Find(base.substr(0, 20) + std::string(10, 'q'), &v));
+  EXPECT_EQ(v, 3u);
+}
+
+TEST(ArtTest, GrowThroughAllNodeTypes) {
+  // 256 distinct first bytes forces Node4 -> 16 -> 48 -> 256.
+  Art art;
+  for (int b = 0; b < 256; ++b) {
+    std::string k(1, static_cast<char>(b));
+    k += "suffix";
+    EXPECT_TRUE(art.Insert(k, b));
+  }
+  for (int b = 0; b < 256; ++b) {
+    std::string k(1, static_cast<char>(b));
+    k += "suffix";
+    uint64_t v;
+    ASSERT_TRUE(art.Find(k, &v)) << b;
+    EXPECT_EQ(v, static_cast<uint64_t>(b));
+  }
+}
+
+TEST(ArtTest, MatchesStdMapRandomOps) {
+  Art art;
+  std::map<std::string, uint64_t> ref;
+  auto pool = GenEmails(3000);
+  Random rng(9);
+  for (int i = 0; i < 30000; ++i) {
+    const std::string& k = pool[rng.Uniform(pool.size())];
+    switch (rng.Uniform(4)) {
+      case 0:
+        EXPECT_EQ(art.Insert(k, i), ref.emplace(k, i).second);
+        break;
+      case 1: {
+        bool in_ref = ref.count(k) > 0;
+        if (in_ref) ref[k] = i;
+        EXPECT_EQ(art.Update(k, i), in_ref);
+        break;
+      }
+      case 2:
+        EXPECT_EQ(art.Erase(k), ref.erase(k) > 0);
+        break;
+      default: {
+        uint64_t v = 0;
+        bool found = art.Find(k, &v);
+        auto it = ref.find(k);
+        ASSERT_EQ(found, it != ref.end()) << k;
+        if (found) {
+          EXPECT_EQ(v, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(art.size(), ref.size());
+  // In-order iteration must match the reference map.
+  std::vector<std::string> keys;
+  std::vector<uint64_t> vals;
+  art.Scan("", ref.size() + 10, &vals, &keys);
+  ASSERT_EQ(keys.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(keys[i], k);
+    EXPECT_EQ(vals[i], v);
+    ++i;
+  }
+}
+
+TEST(ArtTest, ScanLowerBound) {
+  Art art;
+  std::vector<std::string> keys = {"apple", "banana", "cherry", "date", "fig"};
+  for (size_t i = 0; i < keys.size(); ++i) art.Insert(keys[i], i);
+  std::vector<uint64_t> vals;
+  std::vector<std::string> out_keys;
+  EXPECT_EQ(art.Scan("banana", 2, &vals, &out_keys), 2u);
+  EXPECT_EQ(out_keys[0], "banana");
+  EXPECT_EQ(out_keys[1], "cherry");
+  vals.clear();
+  out_keys.clear();
+  EXPECT_EQ(art.Scan("bananaz", 2, &vals, &out_keys), 2u);
+  EXPECT_EQ(out_keys[0], "cherry");
+  vals.clear();
+  EXPECT_EQ(art.Scan("zzz", 5, &vals), 0u);
+}
+
+TEST(ArtTest, ScanMatchesSortedOrderOnInts) {
+  Art art;
+  auto ints = GenRandomInts(20000);
+  for (auto k : ints) art.Insert(Uint64ToKey(k), k);
+  SortUnique(&ints);
+  std::vector<uint64_t> vals;
+  art.Scan("", ints.size(), &vals);
+  ASSERT_EQ(vals.size(), ints.size());
+  for (size_t i = 0; i < ints.size(); ++i) EXPECT_EQ(vals[i], ints[i]);
+}
+
+TEST(ArtTest, OccupancyAroundHalfForRandomInts) {
+  Art art;
+  auto ints = GenRandomInts(100000);
+  for (auto k : ints) art.Insert(Uint64ToKey(k), 1);
+  // Section 2.2: ~51% node occupancy for random 64-bit integer keys.
+  EXPECT_GT(art.NodeOccupancy(), 0.3);
+  EXPECT_LT(art.NodeOccupancy(), 0.8);
+}
+
+// ---------- Compact ART ----------
+
+TEST(CompactArtTest, BuildFindInts) {
+  auto ints = GenRandomInts(30000);
+  SortUnique(&ints);
+  auto keys = ToStringKeys(ints);
+  std::vector<uint64_t> vals(ints.begin(), ints.end());
+  CompactArt art;
+  art.Build(keys, vals);
+  EXPECT_EQ(art.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); i += 17) {
+    uint64_t v;
+    ASSERT_TRUE(art.Find(keys[i], &v));
+    EXPECT_EQ(v, ints[i]);
+  }
+  EXPECT_FALSE(art.Find(Uint64ToKey(ints.back() - 1) + "x"));
+}
+
+TEST(CompactArtTest, BuildFindEmails) {
+  auto keys = GenEmails(20000);
+  SortUnique(&keys);
+  std::vector<uint64_t> vals(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) vals[i] = i;
+  CompactArt art;
+  art.Build(keys, vals);
+  for (size_t i = 0; i < keys.size(); i += 11) {
+    uint64_t v;
+    ASSERT_TRUE(art.Find(keys[i], &v)) << keys[i];
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(art.Find("zzzz@nonexistent"));
+}
+
+TEST(CompactArtTest, PrefixKeysAndTerminals) {
+  std::vector<std::string> keys = {"a", "ab", "abc", "abd", "b"};
+  std::vector<uint64_t> vals = {1, 2, 3, 4, 5};
+  CompactArt art;
+  art.Build(keys, vals);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v;
+    ASSERT_TRUE(art.Find(keys[i], &v)) << keys[i];
+    EXPECT_EQ(v, vals[i]);
+  }
+  EXPECT_FALSE(art.Find("abz"));
+  EXPECT_FALSE(art.Find(""));
+}
+
+TEST(CompactArtTest, ScanAndVisitMatchSorted) {
+  auto keys = GenEmails(10000);
+  SortUnique(&keys);
+  std::vector<uint64_t> vals(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) vals[i] = i;
+  CompactArt art;
+  art.Build(keys, vals);
+
+  std::vector<std::string> out_keys;
+  std::vector<uint64_t> out_vals;
+  art.Scan("", keys.size(), &out_vals, &out_keys);
+  ASSERT_EQ(out_keys.size(), keys.size());
+  EXPECT_EQ(out_keys, keys);
+
+  // Lower-bound scans from random probes match std::lower_bound.
+  Random rng(4);
+  for (int t = 0; t < 200; ++t) {
+    const std::string& probe = keys[rng.Uniform(keys.size())];
+    std::string q = probe.substr(0, rng.Uniform(probe.size()) + 1);
+    out_keys.clear();
+    out_vals.clear();
+    art.Scan(q, 3, &out_vals, &out_keys);
+    auto it = std::lower_bound(keys.begin(), keys.end(), q);
+    for (size_t i = 0; i < out_keys.size(); ++i, ++it) {
+      ASSERT_NE(it, keys.end());
+      EXPECT_EQ(out_keys[i], *it) << "query " << q;
+    }
+  }
+
+  // VisitAll streams the same sorted sequence.
+  std::vector<std::string> visited;
+  art.VisitAll([&](std::string_view k, uint64_t) { visited.emplace_back(k); });
+  EXPECT_EQ(visited, keys);
+}
+
+TEST(CompactArtTest, CompactSmallerThanDynamicForRandomInts) {
+  auto ints = GenRandomInts(50000);
+  Art dyn;
+  for (auto k : ints) dyn.Insert(Uint64ToKey(k), 1);
+  SortUnique(&ints);
+  auto keys = ToStringKeys(ints);
+  std::vector<uint64_t> vals(ints.size(), 1);
+  CompactArt compact;
+  compact.Build(keys, vals);
+  // Fig 2.5: Compact ART is roughly half the size for random integers.
+  EXPECT_LT(compact.MemoryBytes(), dyn.MemoryBytes() * 0.8);
+}
+
+TEST(CompactArtTest, EmptyAndSingle) {
+  CompactArt art;
+  art.Build({}, {});
+  EXPECT_FALSE(art.Find("x"));
+  art.Build({"only"}, {7});
+  uint64_t v;
+  EXPECT_TRUE(art.Find("only", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(art.Find("onl"));
+  EXPECT_FALSE(art.Find("onlyy"));
+}
+
+}  // namespace
+}  // namespace met

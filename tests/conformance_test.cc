@@ -1,0 +1,178 @@
+// Typed conformance suite: every dynamic index type (original trees and
+// hybrid indexes) must satisfy the same behavioural contract for Insert /
+// Find / Update / Erase / Scan. Catches interface drift across the family.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "art/art.h"
+#include "btree/btree.h"
+#include "common/random.h"
+#include "hybrid/hybrid.h"
+#include "keys/keygen.h"
+#include "masstree/masstree.h"
+#include "skiplist/skiplist.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+// ---------- integer-keyed indexes ----------
+
+template <typename Index>
+class IntIndexConformanceTest : public ::testing::Test {
+ public:
+  Index index;
+};
+
+using IntIndexTypes =
+    ::testing::Types<BTree<uint64_t>, SkipList<uint64_t>, HybridBTree<uint64_t>,
+                     HybridSkipList<uint64_t>, HybridCompressedBTree<uint64_t>>;
+TYPED_TEST_SUITE(IntIndexConformanceTest, IntIndexTypes);
+
+TYPED_TEST(IntIndexConformanceTest, InsertRejectsDuplicates) {
+  EXPECT_TRUE(this->index.Insert(7, 70));
+  EXPECT_FALSE(this->index.Insert(7, 71));
+  uint64_t v = 0;
+  EXPECT_TRUE(this->index.Find(7, &v));
+  EXPECT_EQ(v, 70u);  // the first value wins
+}
+
+TYPED_TEST(IntIndexConformanceTest, UpdateOnlyExisting) {
+  EXPECT_FALSE(this->index.Update(1, 10));
+  this->index.Insert(1, 10);
+  EXPECT_TRUE(this->index.Update(1, 20));
+  uint64_t v;
+  this->index.Find(1, &v);
+  EXPECT_EQ(v, 20u);
+}
+
+TYPED_TEST(IntIndexConformanceTest, EraseSemantics) {
+  this->index.Insert(5, 50);
+  EXPECT_TRUE(this->index.Erase(5));
+  EXPECT_FALSE(this->index.Erase(5));
+  EXPECT_FALSE(this->index.Find(5));
+  EXPECT_TRUE(this->index.Insert(5, 51));  // reinsert after erase
+  uint64_t v;
+  EXPECT_TRUE(this->index.Find(5, &v));
+  EXPECT_EQ(v, 51u);
+}
+
+TYPED_TEST(IntIndexConformanceTest, ScanIsSortedPrefix) {
+  auto keys = GenRandomInts(20000);
+  for (size_t i = 0; i < keys.size(); ++i) this->index.Insert(keys[i], keys[i]);
+  SortUnique(&keys);
+  std::vector<uint64_t> out;
+  size_t got = this->index.Scan(0, 500, &out);
+  ASSERT_EQ(got, 500u);
+  for (size_t i = 0; i < got; ++i) EXPECT_EQ(out[i], keys[i]);
+  // Scan from the middle.
+  out.clear();
+  uint64_t mid = keys[keys.size() / 2];
+  this->index.Scan(mid, 100, &out);
+  for (size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], keys[keys.size() / 2 + i]);
+  // Scan past the end.
+  out.clear();
+  EXPECT_EQ(this->index.Scan(keys.back() + 1, 10, &out), 0u);
+}
+
+TYPED_TEST(IntIndexConformanceTest, SizeTracksOperations) {
+  EXPECT_EQ(this->index.size(), 0u);
+  for (uint64_t k = 0; k < 100; ++k) this->index.Insert(k, k);
+  EXPECT_EQ(this->index.size(), 100u);
+  for (uint64_t k = 0; k < 50; ++k) this->index.Erase(k);
+  EXPECT_EQ(this->index.size(), 50u);
+  this->index.Insert(3, 3);
+  EXPECT_EQ(this->index.size(), 51u);
+}
+
+TYPED_TEST(IntIndexConformanceTest, RandomOpsMatchStdMap) {
+  std::map<uint64_t, uint64_t> ref;
+  Random rng(99);
+  for (int i = 0; i < 15000; ++i) {
+    uint64_t k = rng.Uniform(2000);
+    switch (rng.Uniform(4)) {
+      case 0:
+        ASSERT_EQ(this->index.Insert(k, i), ref.emplace(k, i).second);
+        break;
+      case 1: {
+        bool in_ref = ref.count(k) > 0;
+        if (in_ref) ref[k] = i;
+        ASSERT_EQ(this->index.Update(k, i), in_ref);
+        break;
+      }
+      case 2:
+        ASSERT_EQ(this->index.Erase(k), ref.erase(k) > 0);
+        break;
+      default: {
+        uint64_t v = 0;
+        bool found = this->index.Find(k, &v);
+        ASSERT_EQ(found, ref.count(k) > 0);
+        if (found) ASSERT_EQ(v, ref[k]);
+      }
+    }
+  }
+}
+
+// ---------- string-keyed indexes ----------
+
+template <typename Index>
+class StringIndexConformanceTest : public ::testing::Test {
+ public:
+  Index index;
+};
+
+using StringIndexTypes =
+    ::testing::Types<BTree<std::string>, SkipList<std::string>, Art, Masstree,
+                     HybridBTree<std::string>, HybridArt, HybridMasstree>;
+TYPED_TEST_SUITE(StringIndexConformanceTest, StringIndexTypes);
+
+TYPED_TEST(StringIndexConformanceTest, BasicContract) {
+  std::string a = "alpha", b = "beta";
+  EXPECT_TRUE(this->index.Insert(a, 1));
+  EXPECT_FALSE(this->index.Insert(a, 2));
+  EXPECT_TRUE(this->index.Insert(b, 3));
+  uint64_t v;
+  EXPECT_TRUE(this->index.Find(a, &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(this->index.Update(b, 4));
+  EXPECT_TRUE(this->index.Erase(a));
+  EXPECT_FALSE(this->index.Find(a));
+  EXPECT_EQ(this->index.size(), 1u);
+}
+
+TYPED_TEST(StringIndexConformanceTest, PrefixKeysCoexist) {
+  std::string keys[] = {"a", "ab", "abc", "abcd", "b"};
+  for (size_t i = 0; i < 5; ++i)
+    EXPECT_TRUE(this->index.Insert(keys[i], i)) << keys[i];
+  for (size_t i = 0; i < 5; ++i) {
+    uint64_t v;
+    ASSERT_TRUE(this->index.Find(keys[i], &v)) << keys[i];
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(this->index.Find(std::string("abcde")));
+}
+
+TYPED_TEST(StringIndexConformanceTest, EmailWorkloadMatchesStdMap) {
+  auto pool = GenEmails(2000);
+  std::map<std::string, uint64_t> ref;
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::string& k = pool[rng.Uniform(pool.size())];
+    if (rng.Uniform(3) == 0) {
+      ASSERT_EQ(this->index.Erase(k), ref.erase(k) > 0);
+    } else {
+      ASSERT_EQ(this->index.Insert(k, i), ref.emplace(k, i).second);
+    }
+  }
+  for (const auto& [k, v] : ref) {
+    uint64_t got;
+    ASSERT_TRUE(this->index.Find(k, &got)) << k;
+    ASSERT_EQ(got, v);
+  }
+  EXPECT_EQ(this->index.size(), ref.size());
+}
+
+}  // namespace
+}  // namespace met

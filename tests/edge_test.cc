@@ -1,0 +1,188 @@
+// Additional edge-case coverage: wide-fanout compact-ART nodes (Layout 3),
+// deep FST tries, LSM corner cases, HOPE dictionary-size monotonicity,
+// container reuse after Clear().
+#include <set>
+#include <string>
+
+#include "art/compact_art.h"
+#include "common/random.h"
+#include "fst/fst.h"
+#include "hope/hope.h"
+#include "keys/keygen.h"
+#include "lsm/lsm.h"
+#include "skiplist/skiplist.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+TEST(CompactArtEdgeTest, Layout3WideNodes) {
+  // A root with 256 children forces Layout 3 (n > 227).
+  std::vector<std::string> keys;
+  for (int a = 0; a < 256; ++a)
+    for (int b = 0; b < 256; b += 16)
+      keys.push_back(std::string{static_cast<char>(a), static_cast<char>(b)});
+  std::sort(keys.begin(), keys.end());
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+  CompactArt art;
+  art.Build(keys, values);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v;
+    ASSERT_TRUE(art.Find(keys[i], &v)) << i;
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(art.Find(std::string{'\x41', '\x01'}));
+  // In-order visitation across the wide node.
+  std::vector<std::string> visited;
+  art.VisitAll([&](std::string_view k, uint64_t) { visited.emplace_back(k); });
+  EXPECT_EQ(visited, keys);
+}
+
+TEST(FstEdgeTest, SixtyFourLevelKeys) {
+  auto keys = GenWorstCaseKeys(2000);
+  SortUnique(&keys);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+  Fst fst;
+  fst.Build(keys, values);
+  EXPECT_EQ(fst.height(), 64u);
+  for (size_t i = 0; i < keys.size(); i += 31) {
+    uint64_t v;
+    ASSERT_TRUE(fst.Find(keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+  // Iterator survives 64-deep descents.
+  size_t count = 0;
+  for (auto it = fst.Begin(); it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, keys.size());
+}
+
+TEST(FstEdgeTest, DuplicatePrefixChains) {
+  // Keys forming one long chain: a, aa, aaa, ... (every node has a marker).
+  std::vector<std::string> keys;
+  for (int len = 1; len <= 40; ++len) keys.push_back(std::string(len, 'a'));
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+  Fst fst;
+  fst.Build(keys, values);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v;
+    ASSERT_TRUE(fst.Find(keys[i], &v)) << i;
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(fst.Find(std::string(41, 'a')));
+  EXPECT_FALSE(fst.Find("ab"));
+  EXPECT_EQ(fst.CountRange(std::string(1, 'a'), std::string(41, 'a')),
+            keys.size());
+}
+
+TEST(LsmEdgeTest, EmptyTreeQueries) {
+  LsmOptions opt;
+  opt.dir = "/tmp/met_lsm_edge_empty";
+  LsmTree lsm(opt);
+  EXPECT_FALSE(lsm.Get("x"));
+  EXPECT_FALSE(lsm.Seek("x").has_value());
+  EXPECT_EQ(lsm.Count("a", "z"), 0u);
+  lsm.Finish();  // no crash on empty flush
+  EXPECT_EQ(lsm.NumTables(), 0u);
+}
+
+TEST(LsmEdgeTest, MemTableOnlyQueries) {
+  LsmOptions opt;
+  opt.dir = "/tmp/met_lsm_edge_mem";
+  LsmTree lsm(opt);
+  lsm.Put("banana", "1");
+  lsm.Put("apple", "2");
+  std::string v;
+  EXPECT_TRUE(lsm.Get("apple", &v));
+  EXPECT_EQ(v, "2");
+  auto s = lsm.Seek("ap");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, "apple");
+  EXPECT_EQ(lsm.Count("a", "c"), 2u);
+}
+
+TEST(LsmEdgeTest, OverwriteLatestWinsAcrossLevels) {
+  LsmOptions opt;
+  opt.dir = "/tmp/met_lsm_edge_ow";
+  opt.memtable_bytes = 8 << 10;
+  opt.level1_bytes = 32 << 10;
+  opt.filter = LsmFilterType::kSurfReal;
+  LsmTree lsm(opt);
+  // Write the same keys repeatedly across many flush/compaction cycles.
+  for (int round = 0; round < 20; ++round)
+    for (int k = 0; k < 200; ++k)
+      lsm.Put("key" + std::to_string(k), "round" + std::to_string(round));
+  lsm.Finish();
+  std::string v;
+  for (int k = 0; k < 200; ++k) {
+    ASSERT_TRUE(lsm.Get("key" + std::to_string(k), &v));
+    EXPECT_EQ(v, "round19") << k;
+  }
+}
+
+TEST(HopeEdgeTest, LargerDictImprovesGramCpr) {
+  auto keys = GenEmails(50000);
+  std::vector<std::string> sample(keys.begin(), keys.begin() + 5000);
+  double prev = 0;
+  for (size_t limit : {1u << 10, 1u << 13, 1u << 16}) {
+    HopeEncoder enc;
+    enc.Build(sample, HopeScheme::k3Grams, limit);
+    double cpr = enc.Cpr(keys);
+    EXPECT_GE(cpr, prev * 0.98) << limit;  // monotone up to noise
+    prev = cpr;
+  }
+  EXPECT_GT(prev, 1.5);
+}
+
+TEST(HopeEdgeTest, SingleCharMatchesEntropyBound) {
+  // Optimal alphabetic codes cannot beat the byte entropy; they should be
+  // within ~1 bit of it.
+  auto keys = GenWords(30000);
+  std::vector<std::string> sample(keys.begin(), keys.begin() + 3000);
+  HopeEncoder enc;
+  enc.Build(sample, HopeScheme::kSingleChar);
+  double counts[256] = {0};
+  double total = 0;
+  for (const auto& k : keys)
+    for (unsigned char c : k) {
+      counts[c] += 1;
+      total += 1;
+    }
+  double entropy = 0;
+  for (double c : counts)
+    if (c > 0) entropy -= c / total * std::log2(c / total);
+  double cpr = enc.Cpr(keys);
+  double avg_bits = 8.0 / cpr;
+  EXPECT_GE(avg_bits, entropy - 0.05);      // cannot beat entropy
+  EXPECT_LE(avg_bits, entropy + 1.5);       // near-optimal
+}
+
+TEST(SkipListEdgeTest, ClearAndReuse) {
+  SkipList<std::string> sl;
+  for (int i = 0; i < 1000; ++i) sl.Insert("k" + std::to_string(i), i);
+  sl.Clear();
+  EXPECT_EQ(sl.size(), 0u);
+  EXPECT_FALSE(sl.Find("k1"));
+  EXPECT_FALSE(sl.Begin().Valid());
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(sl.Insert("k" + std::to_string(i), i * 2));
+  uint64_t v;
+  EXPECT_TRUE(sl.Find("k500", &v));
+  EXPECT_EQ(v, 1000u);
+}
+
+TEST(KeygenEdgeTest, WorstCasePairsShareBits) {
+  // The adversarial pairs differ only in the last byte — SuRF-Base must
+  // store the full 64 bytes to separate them (no truncation possible).
+  auto keys = GenWorstCaseKeys(100);
+  for (size_t i = 0; i + 1 < keys.size(); i += 2) {
+    size_t common = 0;
+    while (keys[i][common] == keys[i + 1][common]) ++common;
+    EXPECT_EQ(common, 63u);
+  }
+}
+
+}  // namespace
+}  // namespace met

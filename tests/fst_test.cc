@@ -1,0 +1,341 @@
+// Tests for the Fast Succinct Trie: exact lookups, lower-bound iteration,
+// range counts, and every FstConfig toggle (Fig 3.6's optimization matrix).
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "fst/fst.h"
+#include "keys/keygen.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+std::vector<uint64_t> Iota(size_t n) {
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(FstTest, TinyExample) {
+  // The Figure 3.2 example trie: f, far, fas, fast, fat, s, top, toy, trie,
+  // trip, try.
+  std::vector<std::string> keys = {"f",   "far", "fas", "fast", "fat", "s",
+                                   "top", "toy", "trie", "trip", "try"};
+  std::sort(keys.begin(), keys.end());
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()));
+  EXPECT_EQ(fst.num_keys(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v = ~0ull;
+    ASSERT_TRUE(fst.Find(keys[i], &v)) << keys[i];
+    EXPECT_EQ(v, i) << keys[i];
+  }
+  EXPECT_FALSE(fst.Find("fa"));
+  EXPECT_FALSE(fst.Find("fasts"));
+  EXPECT_FALSE(fst.Find("t"));
+  EXPECT_FALSE(fst.Find("z"));
+  EXPECT_FALSE(fst.Find(""));
+}
+
+struct FstConfigCase {
+  const char* name;
+  FstConfig config;
+};
+
+FstConfig MakeConfig(int dense_levels, bool fast_rank, bool fast_select,
+                     bool simd, bool prefetch) {
+  FstConfig c;
+  c.max_dense_levels = dense_levels;
+  c.fast_rank = fast_rank;
+  c.fast_select = fast_select;
+  c.simd_label_search = simd;
+  c.prefetch = prefetch;
+  return c;
+}
+
+class FstAllConfigsTest : public ::testing::TestWithParam<FstConfigCase> {};
+
+TEST_P(FstAllConfigsTest, EmailsFullMode) {
+  auto keys = GenEmails(20000);
+  SortUnique(&keys);
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()), GetParam().config);
+
+  // Every stored key found with the right value.
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    uint64_t v = ~0ull;
+    ASSERT_TRUE(fst.Find(keys[i], &v)) << keys[i];
+    EXPECT_EQ(v, i);
+  }
+  // Absent keys rejected (full-key mode is exact).
+  Random rng(3);
+  for (int t = 0; t < 2000; ++t) {
+    std::string q = keys[rng.Uniform(keys.size())];
+    q += static_cast<char>('0' + rng.Uniform(10));
+    if (!std::binary_search(keys.begin(), keys.end(), q)) EXPECT_FALSE(fst.Find(q));
+    std::string q2 = keys[rng.Uniform(keys.size())];
+    if (!q2.empty()) q2.pop_back();
+    if (!std::binary_search(keys.begin(), keys.end(), q2))
+      EXPECT_FALSE(fst.Find(q2)) << q2;
+  }
+}
+
+TEST_P(FstAllConfigsTest, IterationMatchesSorted) {
+  auto keys = GenEmails(10000);
+  SortUnique(&keys);
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()), GetParam().config);
+  auto it = fst.Begin();
+  for (size_t i = 0; i < keys.size(); ++i, it.Next()) {
+    ASSERT_TRUE(it.Valid()) << i;
+    EXPECT_EQ(it.key(), keys[i]);
+    EXPECT_EQ(it.value(), i);
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_P(FstAllConfigsTest, LowerBoundMatchesStd) {
+  auto keys = GenEmails(8000);
+  SortUnique(&keys);
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()), GetParam().config);
+  Random rng(5);
+  for (int t = 0; t < 1000; ++t) {
+    std::string q;
+    switch (t % 4) {
+      case 0:
+        q = keys[rng.Uniform(keys.size())];
+        break;
+      case 1:
+        q = keys[rng.Uniform(keys.size())];
+        q = q.substr(0, rng.Uniform(q.size() + 1));
+        break;
+      case 2:
+        q = keys[rng.Uniform(keys.size())] + "x";
+        break;
+      default: {
+        q = keys[rng.Uniform(keys.size())];
+        if (!q.empty()) q.back() = static_cast<char>(q.back() + 1);
+        break;
+      }
+    }
+    auto expect = std::lower_bound(keys.begin(), keys.end(), q);
+    auto it = fst.LowerBound(q);
+    if (expect == keys.end()) {
+      EXPECT_FALSE(it.Valid()) << q;
+    } else {
+      ASSERT_TRUE(it.Valid()) << q;
+      EXPECT_EQ(it.key(), *expect) << q;
+      // And the successor matches too.
+      it.Next();
+      if (expect + 1 == keys.end()) {
+        EXPECT_FALSE(it.Valid());
+      } else {
+        ASSERT_TRUE(it.Valid());
+        EXPECT_EQ(it.key(), *(expect + 1));
+      }
+    }
+  }
+}
+
+TEST_P(FstAllConfigsTest, CountRangeMatchesBruteForce) {
+  auto keys = GenEmails(5000);
+  SortUnique(&keys);
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()), GetParam().config);
+  Random rng(7);
+  for (int t = 0; t < 500; ++t) {
+    std::string a = keys[rng.Uniform(keys.size())];
+    std::string b = keys[rng.Uniform(keys.size())];
+    if (t % 3 == 0) a = a.substr(0, rng.Uniform(a.size() + 1));
+    if (t % 5 == 0) b += "zz";
+    if (b < a) std::swap(a, b);
+    uint64_t expect = std::lower_bound(keys.begin(), keys.end(), b) -
+                      std::lower_bound(keys.begin(), keys.end(), a);
+    EXPECT_EQ(fst.CountRange(a, b), expect) << "[" << a << ", " << b << ")";
+  }
+  EXPECT_EQ(fst.CountRange("", "\xff\xff\xff"), keys.size());
+  EXPECT_EQ(fst.CountRange("a", "a"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FstAllConfigsTest,
+    ::testing::Values(
+        FstConfigCase{"default", MakeConfig(-1, true, true, true, true)},
+        FstConfigCase{"sparse_only", MakeConfig(0, true, true, true, true)},
+        FstConfigCase{"all_dense", MakeConfig(64, true, true, true, true)},
+        FstConfigCase{"two_dense", MakeConfig(2, true, true, true, true)},
+        FstConfigCase{"poppy_rank", MakeConfig(-1, false, true, true, true)},
+        FstConfigCase{"slow_select", MakeConfig(-1, true, false, true, true)},
+        FstConfigCase{"no_simd", MakeConfig(-1, true, true, false, false)},
+        FstConfigCase{"baseline", MakeConfig(0, false, false, false, false)}),
+    [](const ::testing::TestParamInfo<FstConfigCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FstTest, IntegerKeys) {
+  auto ints = GenRandomInts(50000);
+  SortUnique(&ints);
+  auto keys = ToStringKeys(ints);
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()));
+  for (size_t i = 0; i < keys.size(); i += 31) {
+    uint64_t v;
+    ASSERT_TRUE(fst.Find(keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+  // Random-integer tries have dense fanout near the root; the auto cutoff
+  // should pick at least one dense level.
+  EXPECT_GE(fst.dense_levels(), 1u);
+}
+
+TEST(FstTest, MinUniquePrefixMode) {
+  std::vector<std::string> keys = {"SIGAI", "SIGMOD", "SIGOPS"};
+  std::sort(keys.begin(), keys.end());
+  FstConfig cfg;
+  cfg.mode = FstConfig::Mode::kMinUniquePrefix;
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()), cfg);
+  // Stored keys are found.
+  for (const auto& k : keys) EXPECT_TRUE(fst.Lookup(k).found) << k;
+  // The Section 4.1.1 false positive: SIGMETRICS collides with SIGMOD's
+  // truncated prefix "SIGM".
+  EXPECT_TRUE(fst.Lookup("SIGMETRICS").found);
+  // Queries diverging within the stored prefix are true negatives.
+  EXPECT_FALSE(fst.Lookup("SIGX").found);
+  EXPECT_FALSE(fst.Lookup("TENET").found);
+}
+
+TEST(FstTest, MinUniquePrefixNoFalseNegatives) {
+  auto keys = GenEmails(20000);
+  SortUnique(&keys);
+  FstConfig cfg;
+  cfg.mode = FstConfig::Mode::kMinUniquePrefix;
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()), cfg);
+  for (const auto& k : keys) EXPECT_TRUE(fst.Lookup(k).found) << k;
+  // Truncation shrinks the trie.
+  FstConfig full;
+  Fst fst_full;
+  fst_full.Build(keys, Iota(keys.size()), full);
+  EXPECT_LT(fst.FilterMemoryBytes(), fst_full.FilterMemoryBytes());
+}
+
+TEST(FstTest, PrefixKeysAndMarkers) {
+  std::vector<std::string> keys = {"a", "ab", "abc", "abcd", "b", "ba"};
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v;
+    ASSERT_TRUE(fst.Find(keys[i], &v)) << keys[i];
+    EXPECT_EQ(v, i);
+  }
+  // Iteration order includes prefix keys first.
+  auto it = fst.Begin();
+  for (size_t i = 0; i < keys.size(); ++i, it.Next()) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), keys[i]);
+  }
+}
+
+TEST(FstTest, RealFFLabelVsMarker) {
+  // Keys exercising real 0xFF labels alongside prefix markers.
+  std::string ff(1, '\xff');
+  std::vector<std::string> keys = {"a", "a" + ff, "a" + ff + ff, "a" + ff + "x"};
+  std::sort(keys.begin(), keys.end());
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v;
+    ASSERT_TRUE(fst.Find(keys[i], &v)) << i;
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(fst.Find("a" + ff + "y"));
+  auto it = fst.Begin();
+  for (size_t i = 0; i < keys.size(); ++i, it.Next()) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), keys[i]) << i;
+  }
+}
+
+TEST(FstTest, TenBitsPerNodeSparse) {
+  // LOUDS-Sparse encodes a node in ~10 bits plus rank/select overhead
+  // (Section 3.5); check the overall footprint is in that ballpark for a
+  // sparse-only full trie.
+  auto keys = GenEmails(50000);
+  SortUnique(&keys);
+  FstConfig cfg;
+  cfg.max_dense_levels = 0;
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()), cfg);
+  // Count trie "nodes" as labels (each label is an edge; nodes ~ labels).
+  double bits_per_label =
+      8.0 * fst.FilterMemoryBytes() /
+      static_cast<double>(fst.num_leaves() + fst.num_nodes());
+  EXPECT_LT(bits_per_label, 14.0);
+}
+
+TEST(FstTest, LowerBoundFpFlagForSurf) {
+  std::vector<std::string> keys = {"SIGAI", "SIGMOD", "SIGOPS"};
+  std::sort(keys.begin(), keys.end());
+  FstConfig cfg;
+  cfg.mode = FstConfig::Mode::kMinUniquePrefix;
+  Fst fst;
+  fst.Build(keys, Iota(keys.size()), cfg);
+  bool fp = false;
+  // Stored path "SIGM" is a strict prefix of the query: fp flag set, cursor
+  // stays (SuRF uses the suffix bits to disambiguate).
+  auto it = fst.LowerBound("SIGMETRICS", &fp);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_TRUE(fp);
+  EXPECT_EQ(it.key(), "SIGM");
+  // Exact-prefix query: no fp.
+  fp = true;
+  it = fst.LowerBound("SIGA", &fp);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_FALSE(fp);
+  EXPECT_EQ(it.key(), "SIGA");
+}
+
+TEST(FstTest, EmptyTrie) {
+  Fst fst;
+  fst.Build({}, {});
+  EXPECT_FALSE(fst.Find("x"));
+  EXPECT_FALSE(fst.Begin().Valid());
+  EXPECT_EQ(fst.CountRange("a", "z"), 0u);
+}
+
+TEST(FstTest, SingleKey) {
+  Fst fst;
+  fst.Build({"hello"}, {42});
+  uint64_t v;
+  EXPECT_TRUE(fst.Find("hello", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_FALSE(fst.Find("hell"));
+  EXPECT_FALSE(fst.Find("helloo"));
+  auto it = fst.Begin();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "hello");
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(FstTest, SmallerThanPointerTries) {
+  // Full-key FST should be far smaller than 8-byte-pointer structures:
+  // sanity bound of < 3 bytes per key for emails.
+  auto keys = GenEmails(50000);
+  SortUnique(&keys);
+  Fst fst;
+  FstConfig cfg;
+  cfg.store_values = false;
+  fst.Build(keys, {}, cfg);
+  double bytes_per_key =
+      static_cast<double>(fst.FilterMemoryBytes()) / keys.size();
+  EXPECT_LT(bytes_per_key, 40.0);
+}
+
+}  // namespace
+}  // namespace met

@@ -1,0 +1,208 @@
+// Tests for the dual-stage Hybrid Index across all five instantiations.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "hybrid/hybrid.h"
+#include "keys/keygen.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+HybridConfig SmallMergeConfig() {
+  HybridConfig c;
+  c.min_merge_entries = 256;  // merge often so tests cross stage boundaries
+  return c;
+}
+
+template <typename Index, typename KeyFn>
+void RunRandomOpsAgainstStdMap(Index* index, KeyFn make_key, int ops,
+                               uint64_t seed) {
+  std::map<decltype(make_key(0)), uint64_t> ref;
+  Random rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    auto k = make_key(rng.Uniform(4000));
+    switch (rng.Uniform(5)) {
+      case 0:
+        ASSERT_EQ(index->Insert(k, i), ref.emplace(k, i).second) << i;
+        break;
+      case 1: {
+        bool in_ref = ref.count(k) > 0;
+        if (in_ref) ref[k] = i;
+        ASSERT_EQ(index->Update(k, i), in_ref);
+        break;
+      }
+      case 2:
+        ASSERT_EQ(index->Erase(k), ref.erase(k) > 0);
+        break;
+      default: {
+        uint64_t v = 0;
+        bool found = index->Find(k, &v);
+        auto it = ref.find(k);
+        ASSERT_EQ(found, it != ref.end());
+        if (found) {
+          ASSERT_EQ(v, it->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(index->size(), ref.size());
+  // Full scan must equal the reference order with shadows resolved.
+  std::vector<uint64_t> vals;
+  using KeyT = decltype(make_key(0));
+  index->Scan(KeyT{}, ref.size() + 10, &vals);
+  ASSERT_EQ(vals.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [k, v] : ref) {
+    ASSERT_EQ(vals[i], v) << "position " << i;
+    ++i;
+  }
+  // At least one merge must have happened for the test to be meaningful.
+  EXPECT_GT(index->merge_stats().merge_count, 0u);
+}
+
+TEST(HybridTest, BTreeIntRandomOps) {
+  HybridBTree<uint64_t> index(SmallMergeConfig());
+  RunRandomOpsAgainstStdMap(
+      &index, [](uint64_t i) { return i * 2654435761u % 100000; }, 40000, 3);
+}
+
+TEST(HybridTest, SkipListIntRandomOps) {
+  HybridSkipList<uint64_t> index(SmallMergeConfig());
+  RunRandomOpsAgainstStdMap(
+      &index, [](uint64_t i) { return i * 2654435761u % 100000; }, 40000, 5);
+}
+
+TEST(HybridTest, CompressedBTreeIntRandomOps) {
+  HybridCompressedBTree<uint64_t> index(SmallMergeConfig());
+  RunRandomOpsAgainstStdMap(
+      &index, [](uint64_t i) { return i * 2654435761u % 100000; }, 20000, 7);
+}
+
+TEST(HybridTest, ArtStringRandomOps) {
+  HybridArt index(SmallMergeConfig());
+  auto pool = GenEmails(4000);
+  RunRandomOpsAgainstStdMap(
+      &index, [&](uint64_t i) { return pool[i % pool.size()]; }, 30000, 9);
+}
+
+TEST(HybridTest, MasstreeStringRandomOps) {
+  HybridMasstree index(SmallMergeConfig());
+  auto pool = GenEmails(4000);
+  RunRandomOpsAgainstStdMap(
+      &index, [&](uint64_t i) { return pool[i % pool.size()]; }, 30000, 11);
+}
+
+TEST(HybridTest, InsertAfterDeleteOfStaticEntry) {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 8;
+  HybridBTree<uint64_t> index(cfg);
+  for (uint64_t k = 0; k < 100; ++k) index.Insert(k, k);
+  index.Merge();  // everything static
+  ASSERT_EQ(index.DynamicEntries(), 0u);
+  ASSERT_TRUE(index.Erase(50));       // tombstone in dynamic
+  EXPECT_FALSE(index.Find(50));
+  EXPECT_TRUE(index.Insert(50, 999));  // reinsert over tombstone
+  uint64_t v;
+  EXPECT_TRUE(index.Find(50, &v));
+  EXPECT_EQ(v, 999u);
+  index.Merge();
+  EXPECT_TRUE(index.Find(50, &v));
+  EXPECT_EQ(v, 999u);
+  EXPECT_EQ(index.size(), 100u);
+}
+
+TEST(HybridTest, TombstoneRemovedAtMerge) {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 1 << 30;  // manual merges only
+  HybridBTree<uint64_t> index(cfg);
+  for (uint64_t k = 0; k < 1000; ++k) index.Insert(k, k);
+  index.Merge();
+  for (uint64_t k = 0; k < 1000; k += 2) ASSERT_TRUE(index.Erase(k));
+  EXPECT_EQ(index.size(), 500u);
+  index.Merge();
+  EXPECT_EQ(index.StaticEntries(), 500u);
+  EXPECT_EQ(index.DynamicEntries(), 0u);
+  for (uint64_t k = 0; k < 1000; ++k)
+    EXPECT_EQ(index.Find(k), k % 2 == 1) << k;
+}
+
+TEST(HybridTest, RatioTriggerKeepsDynamicSmall) {
+  HybridConfig cfg;
+  cfg.merge_ratio = 10;
+  cfg.min_merge_entries = 1000;
+  HybridBTree<uint64_t> index(cfg);
+  auto keys = GenRandomInts(200000);
+  for (auto k : keys) index.Insert(k, 1);
+  // Dynamic stage stays within ~1/10 of static (plus one batch of slack).
+  EXPECT_LT(index.DynamicEntries(),
+            index.StaticEntries() / 10 + cfg.min_merge_entries + 1);
+  EXPECT_GT(index.merge_stats().merge_count, 3u);
+}
+
+TEST(HybridTest, MemorySmallerThanPureDynamic) {
+  auto keys = GenRandomInts(200000);
+  HybridBTree<uint64_t> hybrid;
+  BTree<uint64_t> plain;
+  for (auto k : keys) {
+    hybrid.Insert(k, 1);
+    plain.Insert(k, 1);
+  }
+  // Chapter 5 reports 30-70% memory reduction vs the original B+tree.
+  EXPECT_LT(hybrid.MemoryBytes(), plain.MemoryBytes() * 0.7);
+}
+
+TEST(HybridTest, MergeTimeGrowsLinearly) {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 1 << 30;
+  HybridBTree<uint64_t> index(cfg);
+  auto keys = GenRandomInts(300000);
+  size_t i = 0;
+  for (; i < 100000; ++i) index.Insert(keys[i], 1);
+  index.Merge();
+  double t1 = index.merge_stats().last_merge_seconds;
+  for (; i < 300000; ++i) index.Insert(keys[i], 1);
+  index.Merge();
+  double t2 = index.merge_stats().last_merge_seconds;
+  // Second merge handles ~2x the data; it should not be wildly super-linear.
+  EXPECT_LT(t2, t1 * 40 + 0.5);
+  EXPECT_GT(t2, 0.0);
+}
+
+TEST(HybridTest, BloomToggleCorrectness) {
+  HybridConfig cfg;
+  cfg.use_bloom = false;
+  cfg.min_merge_entries = 128;
+  HybridBTree<uint64_t> index(cfg);
+  std::map<uint64_t, uint64_t> ref;
+  Random rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = rng.Uniform(3000);
+    if (rng.Uniform(2)) {
+      bool ok = index.Insert(k, i);
+      EXPECT_EQ(ok, ref.emplace(k, i).second);
+    } else {
+      uint64_t v;
+      auto it = ref.find(k);
+      ASSERT_EQ(index.Find(k, &v), it != ref.end());
+    }
+  }
+}
+
+TEST(HybridTest, ScanAcrossStages) {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 1 << 30;
+  HybridBTree<uint64_t> index(cfg);
+  for (uint64_t k = 0; k < 100; k += 2) index.Insert(k, k);  // evens
+  index.Merge();
+  for (uint64_t k = 1; k < 100; k += 2) index.Insert(k, k);  // odds dynamic
+  std::vector<uint64_t> vals;
+  index.Scan(10, 20, &vals);
+  ASSERT_EQ(vals.size(), 20u);
+  for (size_t i = 0; i < vals.size(); ++i) EXPECT_EQ(vals[i], 10 + i);
+}
+
+}  // namespace
+}  // namespace met

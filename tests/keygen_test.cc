@@ -1,0 +1,112 @@
+// Tests for the synthetic key generators and workload generator.
+#include <set>
+#include <string>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "keys/keygen.h"
+#include "ycsb/workload.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+TEST(KeygenTest, Uint64KeyRoundTripAndOrder) {
+  Random rng(5);
+  uint64_t prev_int = 0;
+  std::string prev_key = Uint64ToKey(0);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Next();
+    EXPECT_EQ(KeyToUint64(Uint64ToKey(v)), v);
+    // Order preservation.
+    std::string k = Uint64ToKey(v);
+    EXPECT_EQ(v < prev_int, k < prev_key);
+    prev_int = v;
+    prev_key = k;
+  }
+}
+
+TEST(KeygenTest, RandomIntsDistinct) {
+  auto keys = GenRandomInts(100000);
+  std::set<uint64_t> s(keys.begin(), keys.end());
+  EXPECT_EQ(s.size(), keys.size());
+}
+
+TEST(KeygenTest, EmailsDistinctAndShaped) {
+  auto keys = GenEmails(50000);
+  EXPECT_EQ(keys.size(), 50000u);
+  std::set<std::string> s(keys.begin(), keys.end());
+  EXPECT_EQ(s.size(), keys.size());
+  double total_len = 0;
+  size_t with_at = 0;
+  for (const auto& k : keys) {
+    total_len += k.size();
+    with_at += k.find('@') != std::string::npos;
+  }
+  double avg = total_len / keys.size();
+  EXPECT_GT(avg, 12.0);
+  EXPECT_LT(avg, 40.0);
+  EXPECT_EQ(with_at, keys.size());
+}
+
+TEST(KeygenTest, UrlsAndWordsDistinct) {
+  auto urls = GenUrls(20000);
+  EXPECT_EQ(urls.size(), 20000u);
+  auto words = GenWords(20000);
+  EXPECT_EQ(words.size(), 20000u);
+}
+
+TEST(KeygenTest, WorstCaseShape) {
+  auto keys = GenWorstCaseKeys(1000);
+  EXPECT_EQ(keys.size(), 1000u);
+  for (size_t i = 0; i + 1 < keys.size(); i += 2) {
+    EXPECT_EQ(keys[i].size(), 64u);
+    EXPECT_EQ(keys[i + 1].size(), 64u);
+    // The pair shares the first 63 bytes and differs in the last.
+    EXPECT_EQ(keys[i].substr(0, 63), keys[i + 1].substr(0, 63));
+    EXPECT_NE(keys[i].back(), keys[i + 1].back());
+  }
+}
+
+TEST(KeygenTest, Deterministic) {
+  EXPECT_EQ(GenEmails(100, 9), GenEmails(100, 9));
+  EXPECT_EQ(GenRandomInts(100, 9), GenRandomInts(100, 9));
+}
+
+TEST(RandomTest, ZipfSkew) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.Next()]++;
+  // Rank-0 item should be much hotter than rank-500.
+  EXPECT_GT(counts[0], counts[500] * 10);
+}
+
+TEST(YcsbTest, WorkloadMix) {
+  auto reqs = GenYcsbRequests(10000, 50000, YcsbSpec::WorkloadA());
+  size_t reads = 0, updates = 0;
+  for (const auto& r : reqs) {
+    reads += r.op == YcsbOp::kRead;
+    updates += r.op == YcsbOp::kUpdate;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / reqs.size(), 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(updates) / reqs.size(), 0.5, 0.02);
+}
+
+TEST(YcsbTest, InsertIndicesSequential) {
+  YcsbSpec spec;
+  spec.read_fraction = 0.0;
+  auto reqs = GenYcsbRequests(100, 50, spec);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].op, YcsbOp::kInsert);
+    EXPECT_EQ(reqs[i].key_index, 100 + i);
+  }
+}
+
+TEST(HashTest, MurmurDeterministicAndSpread) {
+  EXPECT_EQ(MurmurHash64("hello", 5), MurmurHash64("hello", 5));
+  EXPECT_NE(MurmurHash64("hello", 5), MurmurHash64("hellp", 5));
+  EXPECT_NE(MixHash64(1), MixHash64(2));
+}
+
+}  // namespace
+}  // namespace met

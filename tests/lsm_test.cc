@@ -1,0 +1,243 @@
+// Tests for the mini LSM engine and the ARF baseline.
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "arf/arf.h"
+#include "common/random.h"
+#include "keys/keygen.h"
+#include "lsm/lsm.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+LsmOptions SmallOptions(const char* subdir, LsmFilterType filter) {
+  LsmOptions opt;
+  opt.dir = std::string("/tmp/met_lsm_test_") + subdir;
+  opt.memtable_bytes = 64 << 10;
+  opt.sstable_target_bytes = 128 << 10;
+  opt.level1_bytes = 256 << 10;
+  opt.block_cache_blocks = 64;
+  opt.filter = filter;
+  return opt;
+}
+
+class LsmFilterTest : public ::testing::TestWithParam<LsmFilterType> {};
+
+TEST_P(LsmFilterTest, PutGetAcrossCompactions) {
+  LsmTree lsm(SmallOptions("pg", GetParam()));
+  std::map<std::string, std::string> ref;
+  Random rng(3);
+  auto keys = GenEmails(8000, 5);
+  for (const auto& k : keys) {
+    std::string v = "val_" + std::to_string(rng.Next() % 1000);
+    lsm.Put(k, v);
+    ref[k] = v;
+  }
+  // Overwrites.
+  for (size_t i = 0; i < keys.size(); i += 10) {
+    lsm.Put(keys[i], "updated");
+    ref[keys[i]] = "updated";
+  }
+  lsm.Finish();
+  EXPECT_GT(lsm.NumTables(), 1u);
+  for (size_t i = 0; i < keys.size(); i += 3) {
+    std::string v;
+    ASSERT_TRUE(lsm.Get(keys[i], &v)) << keys[i];
+    EXPECT_EQ(v, ref[keys[i]]);
+  }
+  EXPECT_FALSE(lsm.Get("zz@not-a-key"));
+}
+
+TEST_P(LsmFilterTest, SeekMatchesReference) {
+  LsmTree lsm(SmallOptions("seek", GetParam()));
+  auto ints = GenRandomInts(20000, 7);
+  std::set<std::string> ref;
+  for (auto v : ints) {
+    std::string k = Uint64ToKey(v);
+    lsm.Put(k, "x");
+    ref.insert(k);
+  }
+  lsm.Finish();
+  Random rng(9);
+  for (int t = 0; t < 500; ++t) {
+    std::string q = Uint64ToKey(rng.Next());
+    auto got = lsm.Seek(q);
+    auto expect = ref.lower_bound(q);
+    if (expect == ref.end()) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, *expect);
+    }
+  }
+}
+
+TEST_P(LsmFilterTest, ClosedSeekMatchesReference) {
+  LsmTree lsm(SmallOptions("cseek", GetParam()));
+  auto ints = GenRandomInts(20000, 11);
+  std::set<uint64_t> ref(ints.begin(), ints.end());
+  for (auto v : ints) lsm.Put(Uint64ToKey(v), "x");
+  lsm.Finish();
+  Random rng(13);
+  for (int t = 0; t < 500; ++t) {
+    uint64_t a = rng.Next();
+    uint64_t b = a + (uint64_t{1} << 40);
+    auto got = lsm.ClosedSeek(Uint64ToKey(a), Uint64ToKey(b));
+    auto it = ref.lower_bound(a);
+    bool expect = it != ref.end() && *it <= b;
+    ASSERT_EQ(got.has_value(), expect) << t;
+    if (expect) EXPECT_EQ(KeyToUint64(*got), *it);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Filters, LsmFilterTest,
+                         ::testing::Values(LsmFilterType::kNone,
+                                           LsmFilterType::kBloom,
+                                           LsmFilterType::kSurfHash,
+                                           LsmFilterType::kSurfReal),
+                         [](const ::testing::TestParamInfo<LsmFilterType>& i) {
+                           std::string n = LsmFilterTypeName(i.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+                           return n;
+                         });
+
+TEST(LsmTest, FiltersSavePointIo) {
+  LsmTree none(SmallOptions("io_none", LsmFilterType::kNone));
+  LsmTree bloom(SmallOptions("io_bloom", LsmFilterType::kBloom));
+  auto ints = GenRandomInts(30000, 17);
+  for (auto v : ints) {
+    none.Put(Uint64ToKey(v), "x");
+    bloom.Put(Uint64ToKey(v), "x");
+  }
+  none.Finish();
+  bloom.Finish();
+  none.ResetStats();
+  bloom.ResetStats();
+  Random rng(19);
+  for (int t = 0; t < 5000; ++t) {
+    std::string q = Uint64ToKey(rng.Next());  // almost surely absent
+    none.Get(q);
+    bloom.Get(q);
+  }
+  EXPECT_LT(bloom.stats().block_reads, none.stats().block_reads / 2 + 10);
+  EXPECT_GT(bloom.stats().filter_negatives, 0u);
+}
+
+TEST(LsmTest, SurfSavesClosedSeekIo) {
+  LsmTree none(SmallOptions("rs_none", LsmFilterType::kNone));
+  LsmTree surf(SmallOptions("rs_surf", LsmFilterType::kSurfReal));
+  auto ints = GenRandomInts(30000, 23);
+  for (auto v : ints) {
+    none.Put(Uint64ToKey(v), "x");
+    surf.Put(Uint64ToKey(v), "x");
+  }
+  none.Finish();
+  surf.Finish();
+  none.ResetStats();
+  surf.ResetStats();
+  Random rng(29);
+  size_t found_none = 0, found_surf = 0;
+  for (int t = 0; t < 3000; ++t) {
+    uint64_t a = rng.Next();
+    // Narrow ranges: mostly empty.
+    std::string lo = Uint64ToKey(a), hi = Uint64ToKey(a + (1ull << 30));
+    found_none += none.ClosedSeek(lo, hi).has_value();
+    found_surf += surf.ClosedSeek(lo, hi).has_value();
+  }
+  EXPECT_EQ(found_none, found_surf);  // same answers
+  EXPECT_LT(surf.stats().block_reads, none.stats().block_reads / 2);
+}
+
+TEST(LsmTest, CountApproximation) {
+  LsmTree surf(SmallOptions("cnt", LsmFilterType::kSurfReal));
+  auto ints = GenRandomInts(20000, 31);
+  std::set<uint64_t> ref(ints.begin(), ints.end());
+  for (auto v : ints) surf.Put(Uint64ToKey(v), "x");
+  surf.Finish();
+  Random rng(37);
+  for (int t = 0; t < 100; ++t) {
+    uint64_t a = rng.Next();
+    uint64_t b = a + (uint64_t{1} << 52);
+    if (b < a) continue;
+    uint64_t truth = std::distance(ref.lower_bound(a), ref.upper_bound(b));
+    uint64_t approx = surf.Count(Uint64ToKey(a), Uint64ToKey(b));
+    EXPECT_GE(approx, truth);
+    EXPECT_LE(approx, truth + 2 * surf.NumTables() + 2);
+  }
+}
+
+// ---------- ARF ----------
+
+TEST(ArfTest, NoFalseNegatives) {
+  auto keys = GenRandomInts(10000, 41);
+  SortUnique(&keys);
+  Arf arf;
+  arf.Build(keys);
+  for (size_t i = 0; i < keys.size(); i += 7)
+    EXPECT_TRUE(arf.MayContainRange(keys[i], keys[i]));
+  // And after trimming.
+  Random rng(43);
+  for (int t = 0; t < 2000; ++t) {
+    uint64_t a = rng.Next();
+    arf.Train(a, a + (uint64_t{1} << 40));
+  }
+  arf.TrimToBits(keys.size() * 14);
+  for (size_t i = 0; i < keys.size(); i += 7)
+    EXPECT_TRUE(arf.MayContainRange(keys[i], keys[i])) << i;
+}
+
+TEST(ArfTest, PerfectTreeIsExact) {
+  auto keys = GenRandomInts(5000, 47);
+  SortUnique(&keys);
+  std::set<uint64_t> ref(keys.begin(), keys.end());
+  Arf arf;
+  arf.Build(keys);
+  Random rng(53);
+  for (int t = 0; t < 2000; ++t) {
+    uint64_t a = rng.Next();
+    uint64_t b = a + rng.Uniform(uint64_t{1} << 44);
+    auto it = ref.lower_bound(a);
+    bool truth = it != ref.end() && *it <= b;
+    EXPECT_EQ(arf.MayContainRange(a, b), truth);
+  }
+}
+
+TEST(ArfTest, TrimReducesSizeButKeepsOneSidedError) {
+  auto keys = GenRandomInts(20000, 59);
+  SortUnique(&keys);
+  std::set<uint64_t> ref(keys.begin(), keys.end());
+  Arf arf;
+  arf.Build(keys);
+  size_t before = arf.EncodedBits();
+  Random rng(61);
+  for (int t = 0; t < 4000; ++t) {
+    uint64_t a = rng.Next();
+    arf.Train(a, a + (uint64_t{1} << 40));
+  }
+  arf.TrimToBits(keys.size() * 14);
+  EXPECT_LT(arf.EncodedBits(), before);
+  EXPECT_LE(arf.EncodedBits(), keys.size() * 14 + 64);
+  size_t fp = 0, tn = 0;
+  for (int t = 0; t < 3000; ++t) {
+    uint64_t a = rng.Next();
+    uint64_t b = a + (uint64_t{1} << 40);
+    auto it = ref.lower_bound(a);
+    bool truth = it != ref.end() && *it <= b;
+    bool got = arf.MayContainRange(a, b);
+    if (truth) {
+      EXPECT_TRUE(got);  // one-sided error
+    } else {
+      ++tn;
+      fp += got;
+    }
+  }
+  ASSERT_GT(tn, 100u);
+  EXPECT_LT(static_cast<double>(fp) / tn, 0.9);
+}
+
+}  // namespace
+}  // namespace met

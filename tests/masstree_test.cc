@@ -1,0 +1,207 @@
+// Tests for the simplified Masstree and Compact Masstree.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "keys/keygen.h"
+#include "masstree/compact_masstree.h"
+#include "masstree/masstree.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+TEST(MasstreeTest, ShortAndLongKeys) {
+  Masstree mt;
+  EXPECT_TRUE(mt.Insert("a", 1));
+  EXPECT_TRUE(mt.Insert("abcdefgh", 2));            // exactly one slice
+  EXPECT_TRUE(mt.Insert("abcdefghi", 3));           // slice + 1
+  EXPECT_TRUE(mt.Insert("abcdefghijklmnopqr", 4));  // three layers
+  uint64_t v;
+  EXPECT_TRUE(mt.Find("a", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(mt.Find("abcdefgh", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(mt.Find("abcdefghi", &v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_TRUE(mt.Find("abcdefghijklmnopqr", &v));
+  EXPECT_EQ(v, 4u);
+  EXPECT_FALSE(mt.Find("abcdefg"));
+  EXPECT_FALSE(mt.Find("abcdefghij"));
+}
+
+TEST(MasstreeTest, SharedSliceExpansion) {
+  Masstree mt;
+  // All three share the first 8 bytes, forcing layer expansion.
+  EXPECT_TRUE(mt.Insert("prefix00alpha", 1));
+  EXPECT_TRUE(mt.Insert("prefix00beta", 2));
+  EXPECT_TRUE(mt.Insert("prefix00gamma", 3));
+  EXPECT_FALSE(mt.Insert("prefix00beta", 9));
+  uint64_t v;
+  EXPECT_TRUE(mt.Find("prefix00alpha", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(mt.Find("prefix00beta", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(mt.Find("prefix00gamma", &v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(mt.size(), 3u);
+}
+
+TEST(MasstreeTest, MatchesStdMapRandomOps) {
+  Masstree mt;
+  std::map<std::string, uint64_t> ref;
+  auto pool = GenEmails(3000);
+  Random rng(11);
+  for (int i = 0; i < 30000; ++i) {
+    const std::string& k = pool[rng.Uniform(pool.size())];
+    switch (rng.Uniform(4)) {
+      case 0:
+        ASSERT_EQ(mt.Insert(k, i), ref.emplace(k, i).second) << k;
+        break;
+      case 1: {
+        bool in_ref = ref.count(k) > 0;
+        if (in_ref) ref[k] = i;
+        EXPECT_EQ(mt.Update(k, i), in_ref);
+        break;
+      }
+      case 2:
+        EXPECT_EQ(mt.Erase(k), ref.erase(k) > 0);
+        break;
+      default: {
+        uint64_t v = 0;
+        bool found = mt.Find(k, &v);
+        auto it = ref.find(k);
+        ASSERT_EQ(found, it != ref.end()) << k;
+        if (found) {
+          EXPECT_EQ(v, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mt.size(), ref.size());
+  std::vector<std::string> keys;
+  std::vector<uint64_t> vals;
+  mt.Scan("", ref.size() + 1, &vals, &keys);
+  ASSERT_EQ(keys.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(keys[i], k);
+    EXPECT_EQ(vals[i], v);
+    ++i;
+  }
+}
+
+TEST(MasstreeTest, ScanFromProbes) {
+  Masstree mt;
+  auto keys = GenEmails(5000);
+  for (size_t i = 0; i < keys.size(); ++i) mt.Insert(keys[i], i);
+  SortUnique(&keys);
+  Random rng(2);
+  for (int t = 0; t < 200; ++t) {
+    const std::string& probe = keys[rng.Uniform(keys.size())];
+    std::string q = probe.substr(0, rng.Uniform(probe.size()) + 1);
+    std::vector<std::string> out_keys;
+    std::vector<uint64_t> vals;
+    mt.Scan(q, 5, &vals, &out_keys);
+    auto it = std::lower_bound(keys.begin(), keys.end(), q);
+    for (size_t i = 0; i < out_keys.size(); ++i, ++it) {
+      ASSERT_NE(it, keys.end());
+      EXPECT_EQ(out_keys[i], *it) << "query " << q;
+    }
+  }
+}
+
+TEST(MasstreeTest, IntKeysViaBigEndian) {
+  Masstree mt;
+  auto ints = GenRandomInts(20000);
+  for (auto k : ints) mt.Insert(Uint64ToKey(k), k);
+  SortUnique(&ints);
+  std::vector<uint64_t> vals;
+  mt.Scan("", ints.size(), &vals);
+  ASSERT_EQ(vals.size(), ints.size());
+  EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+}
+
+// ---------- Compact Masstree ----------
+
+TEST(CompactMasstreeTest, BuildFindEmails) {
+  auto keys = GenEmails(20000);
+  SortUnique(&keys);
+  std::vector<uint64_t> vals(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) vals[i] = i;
+  CompactMasstree mt;
+  mt.Build(keys, vals);
+  EXPECT_EQ(mt.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); i += 13) {
+    uint64_t v;
+    ASSERT_TRUE(mt.Find(keys[i], &v)) << keys[i];
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(mt.Find("zzz@missing"));
+}
+
+TEST(CompactMasstreeTest, PrefixAndNulKeys) {
+  std::vector<std::string> keys = {std::string("ab"), std::string("ab\0", 3),
+                                   std::string("abcdefgh"),
+                                   std::string("abcdefghZ"), std::string("b")};
+  std::sort(keys.begin(), keys.end());
+  std::vector<uint64_t> vals = {1, 2, 3, 4, 5};
+  CompactMasstree mt;
+  mt.Build(keys, vals);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v;
+    ASSERT_TRUE(mt.Find(keys[i], &v));
+    EXPECT_EQ(v, vals[i]);
+  }
+  EXPECT_FALSE(mt.Find("abcdefghZZ"));
+}
+
+TEST(CompactMasstreeTest, VisitAllSorted) {
+  auto keys = GenEmails(10000);
+  SortUnique(&keys);
+  std::vector<uint64_t> vals(keys.size(), 0);
+  CompactMasstree mt;
+  mt.Build(keys, vals);
+  std::vector<std::string> visited;
+  mt.VisitAll([&](std::string_view k, uint64_t) { visited.emplace_back(k); });
+  EXPECT_EQ(visited, keys);
+}
+
+TEST(CompactMasstreeTest, ScanMatchesLowerBound) {
+  auto keys = GenUrls(8000);
+  SortUnique(&keys);
+  std::vector<uint64_t> vals(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) vals[i] = i;
+  CompactMasstree mt;
+  mt.Build(keys, vals);
+  Random rng(6);
+  for (int t = 0; t < 200; ++t) {
+    const std::string& probe = keys[rng.Uniform(keys.size())];
+    std::string q = probe.substr(0, rng.Uniform(probe.size()) + 1);
+    std::vector<std::string> out_keys;
+    std::vector<uint64_t> out_vals;
+    mt.Scan(q, 4, &out_vals, &out_keys);
+    auto it = std::lower_bound(keys.begin(), keys.end(), q);
+    for (size_t i = 0; i < out_keys.size(); ++i, ++it) {
+      ASSERT_NE(it, keys.end());
+      EXPECT_EQ(out_keys[i], *it) << "query " << q;
+    }
+  }
+}
+
+TEST(CompactMasstreeTest, MuchSmallerThanDynamic) {
+  auto keys = GenEmails(30000);
+  Masstree dyn;
+  for (const auto& k : keys) dyn.Insert(k, 1);
+  SortUnique(&keys);
+  std::vector<uint64_t> vals(keys.size(), 1);
+  CompactMasstree compact;
+  compact.Build(keys, vals);
+  // Fig 2.5: Compact Masstree shows the largest savings of the four trees.
+  EXPECT_LT(compact.MemoryBytes(), dyn.MemoryBytes() * 0.6);
+}
+
+}  // namespace
+}  // namespace met

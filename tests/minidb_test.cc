@@ -1,0 +1,99 @@
+// Tests for the mini OLTP engine, its index wrappers and anti-caching.
+#include <string>
+
+#include "common/random.h"
+#include "minidb/minidb.h"
+#include "minidb/workloads.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+class MiniDbIndexTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(MiniDbIndexTest, BasicTableOps) {
+  MiniDb db(GetParam());
+  MiniTable* t = db.CreateTable("T", 1);
+  EXPECT_EQ(t->Insert(1, "hello"), 0u);
+  EXPECT_EQ(t->Insert(1, "dup"), ~0ull);  // pk violation
+  EXPECT_EQ(t->Insert(2, "world"), 1u);
+  std::string p;
+  ASSERT_TRUE(t->Get(1, &p));
+  EXPECT_EQ(p, "hello");
+  EXPECT_TRUE(t->Update(1, "updated"));
+  t->Get(1, &p);
+  EXPECT_EQ(p, "updated");
+  EXPECT_FALSE(t->Get(99));
+  t->InsertSecondary(0, 500, 0);
+  t->InsertSecondary(0, 501, 1);
+  std::vector<uint64_t> tids;
+  EXPECT_EQ(t->ScanSecondary(0, 500, 10, &tids), 2u);
+  EXPECT_GT(db.TotalMemoryBytes(), 0u);
+}
+
+TEST_P(MiniDbIndexTest, WorkloadsRun) {
+  for (auto make : {+[] { return MakeTpccDriver(1, 2, 50, 200); },
+                    +[] { return MakeVoterDriver(6, 10000); },
+                    +[] { return MakeArticlesDriver(500, 200); }}) {
+    MiniDb db(GetParam());
+    auto driver = make();
+    driver->Load(&db);
+    Random rng(7);
+    for (int i = 0; i < 2000; ++i) driver->RunTransaction(&db, &rng);
+    EXPECT_EQ(db.stats().transactions, 2000u) << driver->name();
+    EXPECT_GT(db.TotalMemoryBytes(), 0u);
+    EXPECT_GT(db.PrimaryIndexBytes(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MiniDbIndexTest,
+                         ::testing::Values(IndexKind::kBTree,
+                                           IndexKind::kHybrid,
+                                           IndexKind::kHybridCompressed),
+                         [](const ::testing::TestParamInfo<IndexKind>& i) {
+                           std::string n = IndexKindName(i.param);
+                           n.erase(std::remove_if(n.begin(), n.end(),
+                                                  [](char c) {
+                                                    return !isalnum(c);
+                                                  }),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(MiniDbTest, HybridIndexesSaveMemory) {
+  MiniDb plain(IndexKind::kBTree);
+  MiniDb hybrid(IndexKind::kHybrid);
+  auto d1 = MakeVoterDriver(6, 100000);
+  auto d2 = MakeVoterDriver(6, 100000);
+  d1->Load(&plain);
+  d2->Load(&hybrid);
+  Random r1(3), r2(3);
+  for (int i = 0; i < 50000; ++i) {
+    d1->RunTransaction(&plain, &r1);
+    d2->RunTransaction(&hybrid, &r2);
+  }
+  EXPECT_LT(hybrid.PrimaryIndexBytes() + hybrid.SecondaryIndexBytes(),
+            (plain.PrimaryIndexBytes() + plain.SecondaryIndexBytes()) * 0.8);
+}
+
+TEST(MiniDbTest, AntiCachingEvictsAndFaults) {
+  MiniDb db(IndexKind::kBTree);
+  MiniTable* t = db.CreateTable("T");
+  for (uint64_t k = 0; k < 5000; ++k) t->Insert(k, std::string(200, 'a' + k % 26));
+  size_t full = db.TotalMemoryBytes();
+  db.EnableAntiCaching(full / 2);
+  db.MaybeEvict();
+  EXPECT_LE(db.TotalMemoryBytes(), full / 2);
+  EXPECT_GT(db.stats().evictions, 0u);
+  // Reading an evicted tuple faults it back with the right content.
+  std::string p;
+  ASSERT_TRUE(t->Get(3, &p));
+  EXPECT_EQ(p, std::string(200, 'a' + 3));
+  EXPECT_GT(db.stats().anticache_fetches, 0u);
+  // Hot (recent) tuples were not evicted.
+  ASSERT_TRUE(t->Get(4999, &p));
+  EXPECT_EQ(db.stats().anticache_fetches, 1u);
+}
+
+}  // namespace
+}  // namespace met

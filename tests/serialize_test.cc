@@ -1,0 +1,121 @@
+// Round-trip tests for the FST / SuRF binary serialization.
+#include <string>
+
+#include "common/random.h"
+#include "fst/fst.h"
+#include "keys/keygen.h"
+#include "surf/surf.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+TEST(SerializeTest, FstRoundTrip) {
+  auto keys = GenEmails(20000);
+  SortUnique(&keys);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * 3;
+
+  Fst original;
+  original.Build(keys, values);
+  std::string blob;
+  original.Serialize(&blob);
+
+  Fst restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+  EXPECT_EQ(restored.num_keys(), original.num_keys());
+  EXPECT_EQ(restored.height(), original.height());
+  EXPECT_EQ(restored.dense_levels(), original.dense_levels());
+
+  Random rng(3);
+  for (int t = 0; t < 2000; ++t) {
+    const std::string& k = keys[rng.Uniform(keys.size())];
+    uint64_t v1 = 1, v2 = 2;
+    ASSERT_EQ(original.Find(k, &v1), restored.Find(k, &v2));
+    EXPECT_EQ(v1, v2);
+  }
+  // Iterators agree end to end.
+  auto it1 = original.Begin();
+  auto it2 = restored.Begin();
+  while (it1.Valid()) {
+    ASSERT_TRUE(it2.Valid());
+    EXPECT_EQ(it1.key(), it2.key());
+    EXPECT_EQ(it1.value(), it2.value());
+    it1.Next();
+    it2.Next();
+  }
+  EXPECT_FALSE(it2.Valid());
+  // Counts agree.
+  EXPECT_EQ(original.CountRange(keys[10], keys[5000]),
+            restored.CountRange(keys[10], keys[5000]));
+}
+
+TEST(SerializeTest, SurfRoundTrip) {
+  auto keys = GenEmails(20000);
+  SortUnique(&keys);
+  Surf original;
+  original.Build(keys, SurfConfig::Mixed(4, 4));
+  std::string blob;
+  original.Serialize(&blob);
+
+  Surf restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+  EXPECT_EQ(restored.num_keys(), original.num_keys());
+  EXPECT_NEAR(restored.AvgLeafDepth(), original.AvgLeafDepth(), 0.01);
+
+  for (const auto& k : keys) ASSERT_TRUE(restored.MayContain(k));
+  Random rng(7);
+  for (int t = 0; t < 3000; ++t) {
+    std::string probe = keys[rng.Uniform(keys.size())] + "x";
+    EXPECT_EQ(original.MayContain(probe), restored.MayContain(probe));
+    std::string hi = probe + "zz";
+    EXPECT_EQ(original.MayContainRange(probe, hi),
+              restored.MayContainRange(probe, hi));
+  }
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  Fst fst;
+  EXPECT_FALSE(fst.Deserialize("not a trie"));
+  EXPECT_FALSE(fst.Deserialize(""));
+  Surf surf;
+  EXPECT_FALSE(surf.Deserialize("junk"));
+
+  // Truncated image fails cleanly.
+  auto keys = GenEmails(1000);
+  SortUnique(&keys);
+  std::vector<uint64_t> values(keys.size(), 1);
+  Fst good;
+  good.Build(keys, values);
+  std::string blob;
+  good.Serialize(&blob);
+  EXPECT_FALSE(fst.Deserialize(std::string_view(blob).substr(0, blob.size() / 2)));
+}
+
+TEST(SerializeTest, SparseOnlyAndEmpty) {
+  FstConfig cfg;
+  cfg.max_dense_levels = 0;
+  auto keys = GenEmails(5000);
+  SortUnique(&keys);
+  std::vector<uint64_t> values(keys.size(), 7);
+  Fst original;
+  original.Build(keys, values, cfg);
+  std::string blob;
+  original.Serialize(&blob);
+  Fst restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+  uint64_t v;
+  EXPECT_TRUE(restored.Find(keys[123], &v));
+  EXPECT_EQ(v, 7u);
+
+  Fst empty;
+  empty.Build({}, {});
+  blob.clear();
+  empty.Serialize(&blob);
+  Fst empty2;
+  ASSERT_TRUE(empty2.Deserialize(blob));
+  EXPECT_FALSE(empty2.Find("x"));
+}
+
+}  // namespace
+}  // namespace met

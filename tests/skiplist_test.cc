@@ -1,0 +1,129 @@
+// Tests for the paged skip list.
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "keys/keygen.h"
+#include "skiplist/compact_skiplist.h"
+#include "skiplist/skiplist.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+TEST(SkipListTest, InsertFindEraseBasic) {
+  SkipList<uint64_t> sl;
+  EXPECT_TRUE(sl.Insert(10, 100));
+  EXPECT_FALSE(sl.Insert(10, 200));
+  uint64_t v;
+  EXPECT_TRUE(sl.Find(10, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(sl.Update(10, 150));
+  sl.Find(10, &v);
+  EXPECT_EQ(v, 150u);
+  EXPECT_TRUE(sl.Erase(10));
+  EXPECT_FALSE(sl.Find(10));
+  EXPECT_EQ(sl.size(), 0u);
+}
+
+TEST(SkipListTest, MatchesStdMapRandom) {
+  SkipList<uint64_t> sl;
+  std::map<uint64_t, uint64_t> ref;
+  Random rng(13);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t k = rng.Uniform(8000);
+    switch (rng.Uniform(4)) {
+      case 0:
+        EXPECT_EQ(sl.Insert(k, i), ref.emplace(k, i).second);
+        break;
+      case 1: {
+        bool in_ref = ref.count(k) > 0;
+        if (in_ref) ref[k] = i;
+        EXPECT_EQ(sl.Update(k, i), in_ref);
+        break;
+      }
+      case 2:
+        EXPECT_EQ(sl.Erase(k), ref.erase(k) > 0);
+        break;
+      default: {
+        uint64_t v = 0;
+        bool found = sl.Find(k, &v);
+        auto it = ref.find(k);
+        ASSERT_EQ(found, it != ref.end()) << k;
+        if (found) {
+          EXPECT_EQ(v, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(sl.size(), ref.size());
+  auto it = sl.Begin();
+  for (const auto& [k, v] : ref) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, LowerBoundAndScan) {
+  SkipList<uint64_t> sl;
+  for (uint64_t k = 0; k < 2000; k += 20) sl.Insert(k, k);
+  auto it = sl.LowerBound(45);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 60u);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(sl.Scan(0, 5, &out), 5u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[4], 80u);
+}
+
+TEST(SkipListTest, SmallestKeyInsertedLater) {
+  SkipList<uint64_t> sl;
+  sl.Insert(100, 1);
+  sl.Insert(50, 2);  // smaller than the first tower's separator
+  sl.Insert(10, 3);
+  uint64_t v;
+  EXPECT_TRUE(sl.Find(10, &v));
+  EXPECT_EQ(v, 3u);
+  auto it = sl.Begin();
+  EXPECT_EQ(it.key(), 10u);
+}
+
+TEST(SkipListTest, StringKeys) {
+  SkipList<std::string> sl;
+  auto keys = GenEmails(5000);
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(sl.Insert(keys[i], i));
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    uint64_t v;
+    ASSERT_TRUE(sl.Find(keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SkipListTest, OccupancyNearBTreeLevels) {
+  SkipList<uint64_t> sl;
+  auto keys = GenRandomInts(50000);
+  for (auto k : keys) sl.Insert(k, 1);
+  EXPECT_GT(sl.PageOccupancy(), 0.6);
+  EXPECT_LT(sl.PageOccupancy(), 0.8);
+}
+
+TEST(CompactSkipListTest, BuildAndFind) {
+  auto keys = GenRandomInts(20000);
+  SortUnique(&keys);
+  CompactSkipList<uint64_t> csl;
+  std::vector<MergeEntry<uint64_t, uint64_t>> entries;
+  for (size_t i = 0; i < keys.size(); ++i)
+    entries.push_back({keys[i], i, false});
+  csl.Build(std::move(entries));
+  for (size_t i = 0; i < keys.size(); i += 23) {
+    uint64_t v;
+    ASSERT_TRUE(csl.Find(keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+}  // namespace
+}  // namespace met

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Re-runs selected bench binaries and replaces their sections in a combined
+bench output file (sections are delimited by '### <path>' headers)."""
+import subprocess
+import sys
+
+out_path = sys.argv[1]
+benches = sys.argv[2:]
+
+with open(out_path) as f:
+    content = f.read()
+
+for b in benches:
+    header = f"### build/bench/{b}\n"
+    start = content.index(header)
+    end = content.find("\n### ", start + 4)
+    if end == -1:
+        end = content.find("\nALL BENCHES DONE")
+    end += 1
+    fresh = subprocess.run([f"build/bench/{b}"], capture_output=True, text=True)
+    content = content[:start] + header + fresh.stdout + "\n" + content[end:]
+    print(f"replaced {b}")
+
+with open(out_path, "w") as f:
+    f.write(content)
