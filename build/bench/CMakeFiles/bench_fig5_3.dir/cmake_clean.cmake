@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_3.dir/bench_fig5_3.cc.o"
+  "CMakeFiles/bench_fig5_3.dir/bench_fig5_3.cc.o.d"
+  "bench_fig5_3"
+  "bench_fig5_3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

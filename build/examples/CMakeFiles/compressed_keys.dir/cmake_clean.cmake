@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_keys.dir/compressed_keys.cpp.o"
+  "CMakeFiles/compressed_keys.dir/compressed_keys.cpp.o.d"
+  "compressed_keys"
+  "compressed_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

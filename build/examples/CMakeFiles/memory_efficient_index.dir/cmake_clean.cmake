@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_efficient_index.dir/memory_efficient_index.cpp.o"
+  "CMakeFiles/memory_efficient_index.dir/memory_efficient_index.cpp.o.d"
+  "memory_efficient_index"
+  "memory_efficient_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_efficient_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

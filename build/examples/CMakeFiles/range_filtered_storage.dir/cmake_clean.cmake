@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_filtered_storage.dir/range_filtered_storage.cpp.o"
+  "CMakeFiles/range_filtered_storage.dir/range_filtered_storage.cpp.o.d"
+  "range_filtered_storage"
+  "range_filtered_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_filtered_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

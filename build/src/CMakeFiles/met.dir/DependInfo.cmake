@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arf/arf.cc" "src/CMakeFiles/met.dir/arf/arf.cc.o" "gcc" "src/CMakeFiles/met.dir/arf/arf.cc.o.d"
+  "/root/repo/src/art/art.cc" "src/CMakeFiles/met.dir/art/art.cc.o" "gcc" "src/CMakeFiles/met.dir/art/art.cc.o.d"
+  "/root/repo/src/art/compact_art.cc" "src/CMakeFiles/met.dir/art/compact_art.cc.o" "gcc" "src/CMakeFiles/met.dir/art/compact_art.cc.o.d"
+  "/root/repo/src/btree/compressed_btree.cc" "src/CMakeFiles/met.dir/btree/compressed_btree.cc.o" "gcc" "src/CMakeFiles/met.dir/btree/compressed_btree.cc.o.d"
+  "/root/repo/src/fst/fst.cc" "src/CMakeFiles/met.dir/fst/fst.cc.o" "gcc" "src/CMakeFiles/met.dir/fst/fst.cc.o.d"
+  "/root/repo/src/fst/fst_serialize.cc" "src/CMakeFiles/met.dir/fst/fst_serialize.cc.o" "gcc" "src/CMakeFiles/met.dir/fst/fst_serialize.cc.o.d"
+  "/root/repo/src/hope/alphabetic_code.cc" "src/CMakeFiles/met.dir/hope/alphabetic_code.cc.o" "gcc" "src/CMakeFiles/met.dir/hope/alphabetic_code.cc.o.d"
+  "/root/repo/src/hope/hope.cc" "src/CMakeFiles/met.dir/hope/hope.cc.o" "gcc" "src/CMakeFiles/met.dir/hope/hope.cc.o.d"
+  "/root/repo/src/hot/hot.cc" "src/CMakeFiles/met.dir/hot/hot.cc.o" "gcc" "src/CMakeFiles/met.dir/hot/hot.cc.o.d"
+  "/root/repo/src/keys/keygen.cc" "src/CMakeFiles/met.dir/keys/keygen.cc.o" "gcc" "src/CMakeFiles/met.dir/keys/keygen.cc.o.d"
+  "/root/repo/src/lsm/lsm.cc" "src/CMakeFiles/met.dir/lsm/lsm.cc.o" "gcc" "src/CMakeFiles/met.dir/lsm/lsm.cc.o.d"
+  "/root/repo/src/masstree/compact_masstree.cc" "src/CMakeFiles/met.dir/masstree/compact_masstree.cc.o" "gcc" "src/CMakeFiles/met.dir/masstree/compact_masstree.cc.o.d"
+  "/root/repo/src/masstree/masstree.cc" "src/CMakeFiles/met.dir/masstree/masstree.cc.o" "gcc" "src/CMakeFiles/met.dir/masstree/masstree.cc.o.d"
+  "/root/repo/src/minidb/minidb.cc" "src/CMakeFiles/met.dir/minidb/minidb.cc.o" "gcc" "src/CMakeFiles/met.dir/minidb/minidb.cc.o.d"
+  "/root/repo/src/minidb/workloads.cc" "src/CMakeFiles/met.dir/minidb/workloads.cc.o" "gcc" "src/CMakeFiles/met.dir/minidb/workloads.cc.o.d"
+  "/root/repo/src/surf/surf.cc" "src/CMakeFiles/met.dir/surf/surf.cc.o" "gcc" "src/CMakeFiles/met.dir/surf/surf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for met.
+# This may be replaced when dependencies are built.

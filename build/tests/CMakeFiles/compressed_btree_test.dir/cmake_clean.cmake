@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_btree_test.dir/compressed_btree_test.cc.o"
+  "CMakeFiles/compressed_btree_test.dir/compressed_btree_test.cc.o.d"
+  "compressed_btree_test"
+  "compressed_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_test.dir/fst_test.cc.o"
+  "CMakeFiles/fst_test.dir/fst_test.cc.o.d"
+  "fst_test"
+  "fst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hope_test.dir/hope_test.cc.o"
+  "CMakeFiles/hope_test.dir/hope_test.cc.o.d"
+  "hope_test"
+  "hope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_test.dir/hot_test.cc.o"
+  "CMakeFiles/hot_test.dir/hot_test.cc.o.d"
+  "hot_test"
+  "hot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

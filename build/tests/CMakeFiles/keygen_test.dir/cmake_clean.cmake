@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keygen_test.dir/keygen_test.cc.o"
+  "CMakeFiles/keygen_test.dir/keygen_test.cc.o.d"
+  "keygen_test"
+  "keygen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keygen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

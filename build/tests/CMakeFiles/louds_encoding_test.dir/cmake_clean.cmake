@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/louds_encoding_test.dir/louds_encoding_test.cc.o"
+  "CMakeFiles/louds_encoding_test.dir/louds_encoding_test.cc.o.d"
+  "louds_encoding_test"
+  "louds_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/louds_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masstree_test.dir/masstree_test.cc.o"
+  "CMakeFiles/masstree_test.dir/masstree_test.cc.o.d"
+  "masstree_test"
+  "masstree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masstree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

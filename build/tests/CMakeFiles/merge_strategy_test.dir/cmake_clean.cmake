@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_strategy_test.dir/merge_strategy_test.cc.o"
+  "CMakeFiles/merge_strategy_test.dir/merge_strategy_test.cc.o.d"
+  "merge_strategy_test"
+  "merge_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surf_test.dir/surf_test.cc.o"
+  "CMakeFiles/surf_test.dir/surf_test.cc.o.d"
+  "surf_test"
+  "surf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
