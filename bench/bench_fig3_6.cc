@@ -49,12 +49,14 @@ void Run(const char* name, const std::vector<std::string>& keys) {
              met::bench::Consume(v);
     });
     std::printf("%-26s %-7s %10.2f\n", s.label, name, mops);
+    bench::Row({{"config", s.label}, {"keys", name}, {"mops", mops}});
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter::Get().ParseArgs(&argc, argv);
   bench::Title("Figure 3.6: FST optimization breakdown (point query Mops/s)");
   std::printf("%-26s %-7s %10s\n", "Configuration", "Keys", "Mops/s");
   size_t n = 1000000 * bench::Scale();

@@ -1,13 +1,20 @@
 // Core-operation microbenchmarks on the google-benchmark harness:
 // per-operation costs of the headline structures (FST, SuRF, HOPE, hybrid
-// index) independent of the paper-figure harnesses.
+// index, LSM point reads) independent of the paper-figure harnesses.
+//
+// Run with `--json <path>` (or MET_BENCH_JSON=<path>) to also dump the
+// met::obs metric registry — per-op latency histograms recorded below plus
+// the live LSM Bloom/SuRF true/false-positive counters — as JSON.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "fst/fst.h"
 #include "hope/hope.h"
 #include "hybrid/hybrid.h"
 #include "keys/keygen.h"
+#include "lsm/lsm.h"
+#include "obs/obs.h"
 #include "surf/surf.h"
 
 namespace met {
@@ -114,7 +121,70 @@ void BM_HybridFind(benchmark::State& state) {
 }
 BENCHMARK(BM_HybridFind);
 
+// ---------------------------------------------------------------------------
+// LSM point reads through a filter: half the probed keys exist, half do not,
+// so the instrumented read path keeps live Bloom/SuRF true/false-positive
+// counters ("lsm.filter.*.{true,false}_positives") flowing. Per-op latency
+// is sampled (1 op in 8) into an obs histogram: dense enough for p50/p99,
+// cheap enough that the clock reads stay invisible next to the read itself.
+// ---------------------------------------------------------------------------
+
+LsmTree* BuildLsm(LsmFilterType filter, const char* dir) {
+  LsmOptions opts;
+  opts.dir = dir;
+  opts.filter = filter;
+  opts.memtable_bytes = 512u << 10;  // several tables -> several filters
+  auto* tree = new LsmTree(opts);
+  // Even ints are stored; odd ints are guaranteed absent.
+  for (uint64_t i = 0; i < 100000; ++i) {
+    std::string key = Uint64ToKey(i * 2);
+    tree->Put(key, key);
+  }
+  tree->Finish();
+  return tree;
+}
+
+void LsmGetLoop(benchmark::State& state, LsmTree* tree, const char* hist_name) {
+  // Per-op latency is sampled (1-in-8) only when someone will consume the
+  // histogram — a --json/MET_BENCH_JSON report or MET_METRICS=1 — so plain
+  // throughput runs pay no clock-read overhead.
+  const bool sampling =
+      bench::Reporter::Get().enabled() || obs::MetricsEnabled();
+  auto* hist = obs::MetricsRegistry::Global().GetHistogram(hist_name);
+  Random rng(8);
+  std::string value;
+  uint64_t tick = 0;
+  for (auto _ : state) {
+    // rng yields even (present) and odd (absent) keys with equal odds.
+    std::string key = Uint64ToKey(rng.Uniform(200000));
+    const bool sample = sampling && (tick++ & 7) == 0;
+    uint64_t t0 = sample ? obs::NowNanos() : 0;
+    benchmark::DoNotOptimize(tree->Get(key, &value));
+    if (sample) hist->RecordNanos(obs::NowNanos() - t0);
+  }
+}
+
+void BM_LsmGetBloom(benchmark::State& state) {
+  static LsmTree* tree = BuildLsm(LsmFilterType::kBloom, "/tmp/met_bench_lsm_bloom");
+  LsmGetLoop(state, tree, "bench.lsm.get_bloom.latency_ns");
+}
+BENCHMARK(BM_LsmGetBloom);
+
+void BM_LsmGetSurf(benchmark::State& state) {
+  static LsmTree* tree = BuildLsm(LsmFilterType::kSurfReal, "/tmp/met_bench_lsm_surf");
+  LsmGetLoop(state, tree, "bench.lsm.get_surf.latency_ns");
+}
+BENCHMARK(BM_LsmGetSurf);
+
 }  // namespace
 }  // namespace met
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  met::bench::Reporter::Get().ParseArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  met::bench::Reporter::Get().WriteIfEnabled();
+  return 0;
+}

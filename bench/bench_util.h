@@ -3,15 +3,24 @@
 // Every bench binary prints the rows/series of one table or figure from the
 // thesis. Dataset sizes default to laptop scale; set MET_SCALE=<n> to
 // multiply them.
+//
+// Machine-readable output: every bench can additionally emit its sections,
+// rows, and the full met::obs metric registry as JSON. Enable it with the
+// MET_BENCH_JSON=<path> environment variable (works for all binaries with no
+// code change) or, in binaries that call Reporter::ParseArgs from main, with
+// a `--json <path>` flag. CI archives these files as BENCH_*.json so perf
+// trajectories can be diffed across commits.
 #ifndef MET_BENCH_BENCH_UTIL_H_
 #define MET_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/obs.h"
 
 namespace met::bench {
 
@@ -31,15 +40,180 @@ inline size_t Scale() {
   return v < 1 ? 1 : static_cast<size_t>(v);
 }
 
+/// Collects bench output as structured sections/rows and writes one JSON
+/// document (plus the obs metric registry and trace log) at process exit.
+/// Inert unless --json/MET_BENCH_JSON selects an output path.
+class Reporter {
+ public:
+  struct Field {
+    Field(const char* k, double v) : key(k), is_number(true), number(v) {}
+    Field(const char* k, int v) : Field(k, static_cast<double>(v)) {}
+    Field(const char* k, size_t v) : Field(k, static_cast<double>(v)) {}
+    Field(const char* k, const char* v) : key(k), text(v) {}
+    Field(const char* k, const std::string& v) : key(k), text(v) {}
+
+    std::string key;
+    bool is_number = false;
+    double number = 0;
+    std::string text;
+  };
+
+  // Leaked (never destroyed): the at-exit hook registered in the
+  // constructor must still find a live object after static destructors run.
+  static Reporter& Get() {
+    static Reporter* reporter = new Reporter();
+    return *reporter;
+  }
+
+  /// Consumes a `--json <path>` / `--json=<path>` flag from argv (so later
+  /// argument parsers never see it).
+  void ParseArgs(int* argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+        SetPath(argv[++i]);
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        SetPath(argv[i] + 7);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  void SetPath(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  void Section(const std::string& title) {
+    if (!enabled()) return;
+    sections_.push_back({title, {}, {}});
+  }
+
+  void AddNote(const std::string& note) {
+    if (!enabled()) return;
+    EnsureSection();
+    sections_.back().notes.push_back(note);
+  }
+
+  void Row(std::initializer_list<Field> fields) {
+    if (!enabled()) return;
+    EnsureSection();
+    sections_.back().rows.emplace_back(fields);
+  }
+
+  /// Writes the JSON document. Safe to call explicitly from main(); the
+  /// at-exit hook then becomes a no-op.
+  void WriteIfEnabled() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    std::string json;
+    json.append("{\"schema\":\"met.bench.v1\",\"sections\":[");
+    for (size_t s = 0; s < sections_.size(); ++s) {
+      if (s != 0) json.push_back(',');
+      json.append("{\"title\":\"");
+      obs::MetricsRegistry::AppendJsonEscaped(&json, sections_[s].title);
+      json.append("\",\"notes\":[");
+      for (size_t n = 0; n < sections_[s].notes.size(); ++n) {
+        if (n != 0) json.push_back(',');
+        json.push_back('"');
+        obs::MetricsRegistry::AppendJsonEscaped(&json, sections_[s].notes[n]);
+        json.push_back('"');
+      }
+      json.append("],\"rows\":[");
+      for (size_t r = 0; r < sections_[s].rows.size(); ++r) {
+        if (r != 0) json.push_back(',');
+        json.push_back('{');
+        const auto& row = sections_[s].rows[r];
+        for (size_t f = 0; f < row.size(); ++f) {
+          if (f != 0) json.push_back(',');
+          json.push_back('"');
+          obs::MetricsRegistry::AppendJsonEscaped(&json, row[f].key);
+          json.append("\":");
+          if (row[f].is_number) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%.6g", row[f].number);
+            json.append(buf);
+          } else {
+            json.push_back('"');
+            obs::MetricsRegistry::AppendJsonEscaped(&json, row[f].text);
+            json.push_back('"');
+          }
+        }
+        json.push_back('}');
+      }
+      json.append("]}");
+    }
+    json.append("],\"obs\":");
+    obs::DumpAllJson(&json);
+    json.append("}\n");
+
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write JSON to %s\n", path_.c_str());
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+
+ private:
+  struct SectionData {
+    std::string title;
+    std::vector<std::string> notes;
+    std::vector<std::vector<Field>> rows;
+  };
+
+  Reporter() {
+    const char* p = std::getenv("MET_BENCH_JSON");
+    if (p != nullptr && p[0] != '\0') path_ = p;
+    std::atexit([] { Reporter::Get().WriteIfEnabled(); });
+  }
+
+  void EnsureSection() {
+    if (sections_.empty()) sections_.push_back({"(default)", {}, {}});
+  }
+
+  std::string path_;
+  bool written_ = false;
+  std::vector<SectionData> sections_;
+};
+
 inline void Title(const char* title) {
   std::printf("\n=== %s ===\n", title);
+  Reporter::Get().Section(title);
 }
 
-inline void Note(const char* note) { std::printf("  (%s)\n", note); }
+inline void Note(const char* note) {
+  std::printf("  (%s)\n", note);
+  Reporter::Get().AddNote(note);
+}
+
+/// Adds one figure/table row to the JSON report (no-op unless JSON output is
+/// enabled). Callers still printf their human-readable line as before.
+inline void Row(std::initializer_list<Reporter::Field> fields) {
+  Reporter::Get().Row(fields);
+}
 
 /// Runs `fn(i)` for i in [0, ops) and returns million ops per second.
+/// When runtime metrics are on (MET_METRICS=1), each op is timed
+/// individually into the `latency_hist` obs histogram, so every bench gets
+/// p50/p99 per-op latency reporting for free (at the cost of two clock
+/// reads per op — throughput numbers from such runs are not comparable to
+/// default runs).
 template <typename Fn>
-double Mops(size_t ops, Fn&& fn) {
+double Mops(size_t ops, Fn&& fn,
+            const char* latency_hist = "bench.op_latency_ns") {
+  if (obs::MetricsEnabled() && latency_hist != nullptr) {
+    auto* hist = obs::MetricsRegistry::Global().GetHistogram(latency_hist);
+    met::Timer timer;
+    for (size_t i = 0; i < ops; ++i) {
+      uint64_t t0 = obs::NowNanos();
+      fn(i);
+      hist->RecordNanos(obs::NowNanos() - t0);
+    }
+    double s = timer.ElapsedSeconds();
+    return s <= 0 ? 0 : static_cast<double>(ops) / s / 1e6;
+  }
   met::Timer timer;
   for (size_t i = 0; i < ops; ++i) fn(i);
   double s = timer.ElapsedSeconds();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace met {
 
@@ -44,6 +45,7 @@ class BloomFilter {
   }
 
   bool MayContainHash(uint64_t h) const {
+    MET_OBS_DEBUG_COUNT("bloom.probe.calls");
     uint64_t delta = (h >> 17) | (h << 47);
     for (int i = 0; i < num_probes_; ++i) {
       size_t bit = h % num_bits_;

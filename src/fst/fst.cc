@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 #ifdef MET_USE_SSE2
 #include <emmintrin.h>
 #endif
@@ -346,6 +348,7 @@ Fst::LookupResult Fst::Lookup(std::string_view key) const {
 }
 
 bool Fst::Find(std::string_view key, uint64_t* value) const {
+  MET_OBS_DEBUG_COUNT("fst.find.calls");
   LookupResult res = Lookup(key);
   if (!res.found) return false;
   // In full-key mode a terminal at depth d means the stored key has exactly
@@ -490,6 +493,7 @@ Fst::Iterator Fst::Begin() const {
 }
 
 Fst::Iterator Fst::LowerBound(std::string_view key, bool* fp_flag) const {
+  MET_OBS_DEBUG_COUNT("fst.lower_bound.calls");
   if (fp_flag != nullptr) *fp_flag = false;
   Iterator it;
   it.fst_ = this;

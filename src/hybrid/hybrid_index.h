@@ -24,8 +24,31 @@
 #include "bloom/bloom.h"
 #include "btree/compact_btree.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 
 namespace met {
+
+/// Process-wide hybrid-index metrics, aggregated over every HybridIndex
+/// instantiation (per-instance numbers stay available via merge_stats()).
+struct HybridObsMetrics {
+  obs::Counter* merges;
+  obs::Histogram* merge_pause_ns;     // write-blocking merge duration
+  obs::Histogram* merge_entries;      // dynamic entries drained per merge
+  obs::Histogram* merge_static_entries;
+
+  static const HybridObsMetrics& Get() {
+    static const HybridObsMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return HybridObsMetrics{
+          reg.GetCounter("hybrid.merge.count"),
+          reg.GetHistogram("hybrid.merge.pause_ns"),
+          reg.GetHistogram("hybrid.merge.dynamic_entries"),
+          reg.GetHistogram("hybrid.merge.static_entries"),
+      };
+    }();
+    return m;
+  }
+};
 
 struct HybridConfig {
   /// Merge when dynamic_entries * merge_ratio >= static_entries (and the
@@ -54,6 +77,9 @@ struct HybridConfig {
   MergeStrategy strategy = MergeStrategy::kMergeAll;
 };
 
+/// Per-instance merge statistics — a thin view kept for API compatibility.
+/// The process-wide aggregates (counts, pause and entry histograms) live in
+/// the obs::MetricsRegistry under "hybrid.merge.*" (see HybridObsMetrics).
 struct HybridMergeStats {
   size_t merge_count = 0;
   double total_merge_seconds = 0;
@@ -210,6 +236,7 @@ class HybridIndex {
   /// since the previous merge stay behind (tombstones always migrate).
   void Merge() {
     Timer timer;
+    obs::ScopedTimer span(nullptr, "hybrid.merge");
     stats_.last_merge_static_entries = static_.size();
     stats_.last_merge_dynamic_entries = dynamic_.size();
     std::vector<MergeEntry<Key, Value>> entries;
@@ -241,6 +268,11 @@ class HybridIndex {
     stats_.last_merge_seconds = timer.ElapsedSeconds();
     stats_.total_merge_seconds += stats_.last_merge_seconds;
     ++stats_.merge_count;
+    const HybridObsMetrics& obs = HybridObsMetrics::Get();
+    obs.merges->Increment();
+    obs.merge_pause_ns->RecordNanos(timer.ElapsedNanos());
+    obs.merge_entries->Record(stats_.last_merge_dynamic_entries);
+    obs.merge_static_entries->Record(stats_.last_merge_static_entries);
   }
 
   size_t size() const { return size_; }

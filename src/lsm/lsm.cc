@@ -23,6 +23,28 @@ void AppendEntry(std::string* out, std::string_view key, std::string_view value)
 
 }  // namespace
 
+const LsmObsMetrics& LsmObsMetrics::Get() {
+  static const LsmObsMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return LsmObsMetrics{
+        reg.GetCounter("lsm.block.reads"),
+        reg.GetCounter("lsm.block.cache_hits"),
+        reg.GetCounter("lsm.flush.count"),
+        reg.GetCounter("lsm.compaction.count"),
+        reg.GetCounter("lsm.filter.probes"),
+        reg.GetCounter("lsm.filter.negatives"),
+        reg.GetCounter("lsm.filter.bloom.true_positives"),
+        reg.GetCounter("lsm.filter.bloom.false_positives"),
+        reg.GetCounter("lsm.filter.surf.true_positives"),
+        reg.GetCounter("lsm.filter.surf.false_positives"),
+        reg.GetHistogram("lsm.flush.duration_ns"),
+        reg.GetHistogram("lsm.compaction.duration_ns"),
+        reg.GetHistogram("lsm.compaction.merged_entries"),
+    };
+  }();
+  return m;
+}
+
 const char* LsmFilterTypeName(LsmFilterType t) {
   switch (t) {
     case LsmFilterType::kNone:
@@ -41,14 +63,37 @@ LsmTree::LsmTree(const LsmOptions& options) : options_(options) {
   ::mkdir(options_.dir.c_str(), 0755);
   levels_.resize(1);
   cache_.resize(options_.block_cache_blocks);
+  obs_collector_ =
+      obs::MetricsRegistry::Global().AddCollector([this] { SyncObsCounters(); });
 }
 
 LsmTree::~LsmTree() {
+  obs::MetricsRegistry::Global().RemoveCollector(obs_collector_);
+  SyncObsCounters();
   for (auto& level : levels_)
     for (auto& t : level) {
       if (t->fd >= 0) ::close(t->fd);
       ::unlink(t->path.c_str());
     }
+}
+
+void LsmTree::SyncObsCounters() {
+  const LsmObsMetrics& m = LsmObsMetrics::Get();
+  m.block_reads->Add(stats_.block_reads - obs_synced_.block_reads);
+  m.block_cache_hits->Add(stats_.block_cache_hits -
+                          obs_synced_.block_cache_hits);
+  m.filter_probes->Add(stats_.filter_probes - obs_synced_.filter_probes);
+  m.filter_negatives->Add(stats_.filter_negatives -
+                          obs_synced_.filter_negatives);
+  obs_synced_.block_reads = stats_.block_reads;
+  obs_synced_.block_cache_hits = stats_.block_cache_hits;
+  obs_synced_.filter_probes = stats_.filter_probes;
+  obs_synced_.filter_negatives = stats_.filter_negatives;
+  m.bloom_true_positives->Add(outcomes_.bloom_tp - outcomes_synced_.bloom_tp);
+  m.bloom_false_positives->Add(outcomes_.bloom_fp - outcomes_synced_.bloom_fp);
+  m.surf_true_positives->Add(outcomes_.surf_tp - outcomes_synced_.surf_tp);
+  m.surf_false_positives->Add(outcomes_.surf_fp - outcomes_synced_.surf_fp);
+  outcomes_synced_ = outcomes_;
 }
 
 void LsmTree::Put(std::string_view key, std::string_view value) {
@@ -68,6 +113,8 @@ void LsmTree::Put(std::string_view key, std::string_view value) {
 
 void LsmTree::FlushMemTable() {
   if (memtable_.empty()) return;
+  const LsmObsMetrics& m = LsmObsMetrics::Get();
+  obs::ScopedTimer span(m.flush_ns, "lsm.flush");
   std::vector<std::pair<std::string, std::string>> entries;
   entries.reserve(memtable_.size());
   for (auto& [k, v] : memtable_) entries.emplace_back(k, v);
@@ -75,6 +122,7 @@ void LsmTree::FlushMemTable() {
   memtable_bytes_ = 0;
   levels_[0].push_back(WriteTable(entries));
   ++stats_.flushes;
+  m.flushes->Increment();
 }
 
 std::unique_ptr<LsmTree::SsTable> LsmTree::WriteTable(
@@ -206,6 +254,8 @@ void LsmTree::MaybeCompact() {
 
 void LsmTree::CompactLevel0() {
   // Merge all L0 tables plus every overlapping L1 table into new L1 tables.
+  const LsmObsMetrics& m = LsmObsMetrics::Get();
+  obs::ScopedTimer span(m.compaction_ns, "lsm.compaction.l0");
   if (levels_.size() < 2) levels_.resize(2);
   const size_t l0_count = levels_[0].size();
 
@@ -246,12 +296,16 @@ void LsmTree::CompactLevel0() {
             [](const auto& a, const auto& b) { return a->min_key < b->min_key; });
   levels_[1] = std::move(keep);
   ++stats_.compactions;
+  m.compactions->Increment();
+  m.compaction_entries->Record(merged.size());
 }
 
 void LsmTree::CompactLevel(size_t level) {
   // Move one table of `level` down, merging with overlapping tables. The
   // victim is chosen by a rotating cursor (as in RocksDB), so over time
   // every level spans the whole key range instead of partitioning it.
+  const LsmObsMetrics& m = LsmObsMetrics::Get();
+  obs::ScopedTimer span(m.compaction_ns, "lsm.compaction");
   if (levels_.size() < level + 2) levels_.resize(level + 2);
   if (compact_cursor_.size() < levels_.size()) compact_cursor_.resize(levels_.size(), 0);
   size_t idx = compact_cursor_[level] % levels_[level].size();
@@ -292,12 +346,14 @@ void LsmTree::CompactLevel(size_t level) {
       ++j;
     }
   }
+  m.compaction_entries->Record(merged.size());
   auto tables = WriteTables(std::move(merged));
   for (auto& t : tables) keep.push_back(std::move(t));
   std::sort(keep.begin(), keep.end(),
             [](const auto& a, const auto& b) { return a->min_key < b->min_key; });
   levels_[level + 1] = std::move(keep);
   ++stats_.compactions;
+  m.compactions->Increment();
 }
 
 // ---------------------------------------------------------------------------
@@ -310,7 +366,7 @@ const LsmTree::Block& LsmTree::GetBlock(const SsTable& t, size_t block_idx) {
   if (it != cache_index_.end()) {
     CacheSlot& slot = cache_[it->second];
     slot.referenced = true;
-    ++stats_.block_cache_hits;
+    ++stats_.block_cache_hits;  // published lazily by SyncObsCounters()
     return slot.entries;
   }
   ++stats_.block_reads;
@@ -354,7 +410,7 @@ const LsmTree::Block& LsmTree::GetBlock(const SsTable& t, size_t block_idx) {
 
 bool LsmTree::FilterMayContain(const SsTable& t, std::string_view key) {
   if (t.bloom == nullptr && t.surf == nullptr) return true;
-  ++stats_.filter_probes;
+  ++stats_.filter_probes;  // published lazily by SyncObsCounters()
   bool may = t.bloom != nullptr ? t.bloom->MayContain(key)
                                 : t.surf->MayContain(key);
   if (!may) ++stats_.filter_negatives;
@@ -373,6 +429,7 @@ bool LsmTree::FilterMayContainRange(const SsTable& t, std::string_view lk,
 bool LsmTree::TableGet(const SsTable& t, std::string_view key,
                        std::string* value) {
   if (key < t.min_key || key > t.max_key) return false;
+  const bool filtered = t.bloom != nullptr || t.surf != nullptr;
   if (!FilterMayContain(t, key)) return false;
   // Fence index: last block whose first key <= key.
   auto it = std::upper_bound(t.block_first_key.begin(), t.block_first_key.end(),
@@ -384,7 +441,17 @@ bool LsmTree::TableGet(const SsTable& t, std::string_view key,
   auto eit = std::lower_bound(
       entries.begin(), entries.end(), key,
       [](const auto& e, std::string_view k) { return e.first < k; });
-  if (eit == entries.end() || eit->first != key) return false;
+  const bool found = eit != entries.end() && eit->first == key;
+  if (filtered) {
+    // Resolve the filter's positive answer against the block: present keys
+    // are true positives, absent ones false positives (live FPR). Published
+    // lazily by SyncObsCounters().
+    if (t.bloom != nullptr)
+      ++(found ? outcomes_.bloom_tp : outcomes_.bloom_fp);
+    else
+      ++(found ? outcomes_.surf_tp : outcomes_.surf_fp);
+  }
+  if (!found) return false;
   if (value != nullptr) *value = eit->second;
   return true;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bloom/bloom.h"
+#include "obs/obs.h"
 #include "surf/surf.h"
 
 namespace met {
@@ -43,6 +44,10 @@ struct LsmOptions {
   uint32_t surf_suffix_bits = 4;  // hash or real, by filter type
 };
 
+/// Per-instance statistics — a thin view kept for API compatibility (tests
+/// and benches reset/read these per tree). Process-wide aggregates,
+/// including filter true/false-positive counters for live FPR, live in the
+/// obs::MetricsRegistry under "lsm.*" (see LsmObsMetrics).
 struct LsmStats {
   uint64_t block_reads = 0;       // disk block fetches (cache misses)
   uint64_t block_cache_hits = 0;
@@ -50,6 +55,33 @@ struct LsmStats {
   uint64_t filter_negatives = 0;  // I/Os saved by a filter
   uint64_t flushes = 0;
   uint64_t compactions = 0;
+};
+
+/// Process-wide LSM metrics, shared by every LsmTree. Filter probes with a
+/// positive answer are classified after the block search resolves them:
+/// key present => true positive, absent => false positive, giving a live
+/// false-positive rate fp / (tp + fp) per filter family.
+///
+/// The per-probe counters (block reads/hits, filter probes/negatives) are
+/// not updated atomically on the Get path — each tree counts into its plain
+/// LsmStats and publishes the delta through a registry collector whenever a
+/// dump runs, so instrumentation adds no atomic traffic per lookup.
+struct LsmObsMetrics {
+  obs::Counter* block_reads;
+  obs::Counter* block_cache_hits;
+  obs::Counter* flushes;
+  obs::Counter* compactions;
+  obs::Counter* filter_probes;
+  obs::Counter* filter_negatives;
+  obs::Counter* bloom_true_positives;
+  obs::Counter* bloom_false_positives;
+  obs::Counter* surf_true_positives;
+  obs::Counter* surf_false_positives;
+  obs::Histogram* flush_ns;
+  obs::Histogram* compaction_ns;
+  obs::Histogram* compaction_entries;
+
+  static const LsmObsMetrics& Get();
 };
 
 class LsmTree {
@@ -134,6 +166,17 @@ class LsmTree {
   uint64_t next_table_id_ = 0;
   std::vector<size_t> compact_cursor_;  // per-level rotating victim cursor
   LsmStats stats_;
+
+  // Publishes stats_ / outcome deltas to the global registry (runs on every
+  // obs dump via a registry collector).
+  void SyncObsCounters();
+  struct FilterOutcomes {
+    uint64_t bloom_tp = 0, bloom_fp = 0, surf_tp = 0, surf_fp = 0;
+  };
+  FilterOutcomes outcomes_;
+  LsmStats obs_synced_;            // portion of stats_ already published
+  FilterOutcomes outcomes_synced_;  // portion of outcomes_ already published
+  obs::MetricsRegistry::CollectorId obs_collector_ = 0;
 
   // Block cache: CLOCK over (table_id, block) -> decoded entries.
   struct CacheSlot {

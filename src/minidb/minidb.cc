@@ -5,7 +5,24 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace met {
+
+const MiniDbObsMetrics& MiniDbObsMetrics::Get() {
+  static const MiniDbObsMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return MiniDbObsMetrics{
+        reg.GetCounter("minidb.txn.count"),
+        reg.GetCounter("minidb.anticache.evictions"),
+        reg.GetCounter("minidb.anticache.fetches"),
+        reg.GetHistogram("minidb.anticache.fetch_ns"),
+        reg.GetHistogram("minidb.anticache.evict_pass_ns"),
+        reg.GetHistogram("minidb.anticache.evicted_per_pass"),
+    };
+  }();
+  return m;
+}
 
 const char* IndexKindName(IndexKind k) {
   switch (k) {
@@ -213,11 +230,14 @@ uint64_t MiniDb::AppendToAntiCache(std::string_view payload) {
 
 void MiniDb::FetchFromAntiCache(uint64_t offset, uint32_t length,
                                 std::string* out) {
+  const MiniDbObsMetrics& m = MiniDbObsMetrics::Get();
+  obs::ScopedTimer span(m.fetch_ns);
   out->resize(length);
   ssize_t got = ::pread(anticache_fd_, out->data(), length, offset);
   assert(got == length);
   (void)got;
   ++stats_.anticache_fetches;
+  m.anticache_fetches->Increment();
 }
 
 bool MiniTable::GetByTupleId(uint64_t tuple_id, std::string* payload) {
@@ -247,6 +267,9 @@ void MiniDb::MaybeEvict() {
   // evicting (TupleBytes() is O(#tables)).
   size_t index_bytes = PrimaryIndexBytes() + SecondaryIndexBytes();
   if (TupleBytes() + index_bytes <= anticache_budget_) return;
+  const MiniDbObsMetrics& m = MiniDbObsMetrics::Get();
+  obs::ScopedTimer span(m.evict_pass_ns, "minidb.evict_pass");
+  const uint64_t evictions_before = stats_.evictions;
   // Evict cold payloads table by table, oldest tuples first (insertion order
   // approximates coldness under the skewed OLTP access pattern).
   for (auto& t : tables_) {
@@ -264,6 +287,9 @@ void MiniDb::MaybeEvict() {
     }
     if (TupleBytes() + index_bytes <= anticache_budget_) break;
   }
+  const uint64_t evicted = stats_.evictions - evictions_before;
+  m.evictions->Add(evicted);
+  m.evicted_per_pass->Record(evicted);
 }
 
 size_t MiniDb::TupleBytes() const {

@@ -16,8 +16,21 @@
 
 #include "btree/btree.h"
 #include "hybrid/hybrid.h"
+#include "obs/obs.h"
 
 namespace met {
+
+/// Process-wide minidb metrics, shared by every MiniDb instance.
+struct MiniDbObsMetrics {
+  obs::Counter* transactions;
+  obs::Counter* evictions;
+  obs::Counter* anticache_fetches;
+  obs::Histogram* fetch_ns;       // per-tuple anti-cache fault latency
+  obs::Histogram* evict_pass_ns;  // full eviction-pass latency
+  obs::Histogram* evicted_per_pass;
+
+  static const MiniDbObsMetrics& Get();
+};
 
 enum class IndexKind { kBTree, kHybrid, kHybridCompressed };
 
@@ -82,6 +95,10 @@ class MiniTable {
   uint64_t clock_hand_ = 0;  // eviction cursor (oldest-first approximation)
 };
 
+/// Per-instance statistics — a thin view kept for API compatibility.
+/// Process-wide aggregates plus anti-cache eviction/fetch latency
+/// histograms live in the obs::MetricsRegistry under "minidb.*"
+/// (see MiniDbObsMetrics in minidb.cc).
 struct MiniDbStats {
   uint64_t transactions = 0;
   uint64_t evictions = 0;

@@ -60,6 +60,7 @@ class TpccDriver : public WorkloadDriver {
     else
       Payment(db, rng);
     ++db->stats().transactions;
+    MiniDbObsMetrics::Get().transactions->Increment();
     db->MaybeEvict();
   }
 
@@ -159,6 +160,7 @@ class VoterDriver : public WorkloadDriver {
     uint64_t tid = votes->Insert(vote_id, Payload(55, phone));
     votes->InsertSecondary(0, (phone << 24) | (vote_id & 0xFFFFFF), tid);
     ++db->stats().transactions;
+    MiniDbObsMetrics::Get().transactions->Increment();
     db->MaybeEvict();
   }
 
@@ -207,6 +209,7 @@ class ArticlesDriver : public WorkloadDriver {
       comments->InsertSecondary(0, (a << 24) | (cid & 0xFFFFFF), tid);
     }
     ++db->stats().transactions;
+    MiniDbObsMetrics::Get().transactions->Increment();
     db->MaybeEvict();
   }
 

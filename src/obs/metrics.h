@@ -1,0 +1,321 @@
+// Named-metric registry for met::obs: Counter / Gauge / Histogram instances
+// registered under dotted names ("subsystem.component.metric") with text and
+// JSON exporters. Get*() returns a stable pointer — instrumented code fetches
+// it once (usually into a function-local static or a member) and then updates
+// it lock-free on the hot path; the registry mutex is only taken on
+// registration and dump.
+//
+// With -DMET_OBS_DISABLED every type collapses to an inline no-op stub (in a
+// distinct inline namespace, keeping mixed-TU links ODR-clean).
+#ifndef MET_OBS_METRICS_H_
+#define MET_OBS_METRICS_H_
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace met::obs {
+
+#if !defined(MET_OBS_DISABLED)
+inline namespace obs_v1 {
+
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry. Intentionally leaked (never destroyed) so the
+  /// at-exit dumps installed by obs.h / bench::Reporter — which run after
+  /// ordinary static destructors — can still walk it safely.
+  static MetricsRegistry& Global() {
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+  }
+
+  Counter* GetCounter(std::string_view name) { return Get(&counters_, name); }
+  Gauge* GetGauge(std::string_view name) { return Get(&gauges_, name); }
+  Histogram* GetHistogram(std::string_view name) {
+    return Get(&histograms_, name);
+  }
+
+  /// Lookup without creating; nullptr when the name was never registered.
+  Counter* FindCounter(std::string_view name) const {
+    return Find(counters_, name);
+  }
+  Gauge* FindGauge(std::string_view name) const { return Find(gauges_, name); }
+  Histogram* FindHistogram(std::string_view name) const {
+    return Find(histograms_, name);
+  }
+
+  /// Collectors let instrumented objects keep hot-path counts in plain
+  /// (non-atomic, per-instance) fields and publish them to the registry only
+  /// when a reader asks: every registered callback runs at the start of each
+  /// DumpText/DumpJson/Collect. The callback may call Get*/Find* and
+  /// Counter::Add freely (the registry mutex is not held while it runs).
+  using CollectorId = uint64_t;
+
+  CollectorId AddCollector(std::function<void()> fn) {
+    std::lock_guard<std::mutex> lock(collector_mu_);
+    CollectorId id = next_collector_id_++;
+    collectors_.emplace_back(id, std::move(fn));
+    return id;
+  }
+
+  void RemoveCollector(CollectorId id) {
+    std::lock_guard<std::mutex> lock(collector_mu_);
+    for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+      if (it->first == id) {
+        collectors_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Runs every registered collector so counters reflect the live totals.
+  void Collect() const {
+    std::vector<std::function<void()>> fns;
+    {
+      std::lock_guard<std::mutex> lock(collector_mu_);
+      fns.reserve(collectors_.size());
+      for (const auto& [id, fn] : collectors_) fns.push_back(fn);
+    }
+    for (const auto& fn : fns) fn();
+  }
+
+  void DumpText(FILE* f) const {
+    Collect();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(f, "--- met::obs metrics ---\n");
+    for (const auto& [name, c] : counters_)
+      std::fprintf(f, "counter   %-44s %" PRIu64 "\n", name.c_str(), c->Value());
+    for (const auto& [name, g] : gauges_)
+      std::fprintf(f, "gauge     %-44s %" PRId64 "\n", name.c_str(), g->Value());
+    for (const auto& [name, h] : histograms_) {
+      std::fprintf(f,
+                   "histogram %-44s count=%" PRIu64 " mean=%.1f p50=%" PRIu64
+                   " p90=%" PRIu64 " p99=%" PRIu64 " p999=%" PRIu64
+                   " max=%" PRIu64 "\n",
+                   name.c_str(), h->Count(), h->Mean(), h->Quantile(0.5),
+                   h->Quantile(0.9), h->Quantile(0.99), h->Quantile(0.999),
+                   h->Max());
+    }
+  }
+
+  /// Appends a JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void DumpJson(std::string* out) const {
+    Collect();
+    std::lock_guard<std::mutex> lock(mu_);
+    char buf[160];
+    out->append("{\"counters\":{");
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      if (!first) out->append(",");
+      first = false;
+      AppendJsonKey(out, name);
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, c->Value());
+      out->append(buf);
+    }
+    out->append("},\"gauges\":{");
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+      if (!first) out->append(",");
+      first = false;
+      AppendJsonKey(out, name);
+      std::snprintf(buf, sizeof(buf), "%" PRId64, g->Value());
+      out->append(buf);
+    }
+    out->append("},\"histograms\":{");
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+      if (!first) out->append(",");
+      first = false;
+      AppendJsonKey(out, name);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+                    ",\"max\":%" PRIu64 ",\"mean\":%.3f,\"p50\":%" PRIu64
+                    ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64
+                    "}",
+                    h->Count(), h->Sum(), h->Min(), h->Max(), h->Mean(),
+                    h->Quantile(0.5), h->Quantile(0.9), h->Quantile(0.99),
+                    h->Quantile(0.999));
+      out->append(buf);
+    }
+    out->append("}}");
+  }
+
+  /// Zeroes every counter and histogram (gauges keep their level). Intended
+  /// for tests and for delta dumps between workload phases.
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) c->Reset();
+    for (auto& [name, h] : histograms_) h->Reset();
+  }
+
+  static void AppendJsonEscaped(std::string* out, std::string_view s) {
+    for (char ch : s) {
+      switch (ch) {
+        case '"':
+          out->append("\\\"");
+          break;
+        case '\\':
+          out->append("\\\\");
+          break;
+        case '\n':
+          out->append("\\n");
+          break;
+        case '\t':
+          out->append("\\t");
+          break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out->append(buf);
+          } else {
+            out->push_back(ch);
+          }
+      }
+    }
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  template <typename T>
+  using Map = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  template <typename T>
+  T* Get(Map<T>* map, std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map->find(name);
+    if (it == map->end())
+      it = map->emplace(std::string(name), std::make_unique<T>()).first;
+    return it->second.get();
+  }
+
+  template <typename T>
+  static T* Find(const Map<T>& map, std::string_view name) {
+    auto it = map.find(name);
+    return it == map.end() ? nullptr : it->second.get();
+  }
+
+  static void AppendJsonKey(std::string* out, std::string_view name) {
+    out->push_back('"');
+    AppendJsonEscaped(out, name);
+    out->append("\":");
+  }
+
+  mutable std::mutex mu_;
+  Map<Counter> counters_;
+  Map<Gauge> gauges_;
+  Map<Histogram> histograms_;
+
+  mutable std::mutex collector_mu_;
+  CollectorId next_collector_id_ = 1;
+  std::vector<std::pair<CollectorId, std::function<void()>>> collectors_;
+};
+
+}  // inline namespace obs_v1
+
+#else  // MET_OBS_DISABLED
+
+inline namespace obs_noop {
+
+class Counter {
+ public:
+  void Increment() {}
+  void Add(uint64_t) {}
+  uint64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  void Sub(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry r;
+    return r;
+  }
+
+  Counter* GetCounter(std::string_view) { return &counter_; }
+  Gauge* GetGauge(std::string_view) { return &gauge_; }
+  Histogram* GetHistogram(std::string_view) { return &histogram_; }
+  Counter* FindCounter(std::string_view) const { return nullptr; }
+  Gauge* FindGauge(std::string_view) const { return nullptr; }
+  Histogram* FindHistogram(std::string_view) const { return nullptr; }
+  using CollectorId = uint64_t;
+  CollectorId AddCollector(std::function<void()>) { return 0; }
+  void RemoveCollector(CollectorId) {}
+  void Collect() const {}
+  void DumpText(FILE*) const {}
+  void DumpJson(std::string* out) const {
+    out->append("{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  }
+  void ResetAll() {}
+  static void AppendJsonEscaped(std::string* out, std::string_view s) {
+    out->append(s);
+  }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+}  // inline namespace obs_noop
+
+#endif  // MET_OBS_DISABLED
+
+/// Debug-level hot-path counters (FST / bit-vector rank-select / raw filter
+/// probes). Off by default — compile with -DMET_OBS_DEBUG_COUNTERS=1 to
+/// enable; otherwise the macro expands to nothing and costs zero cycles.
+#if defined(MET_OBS_DEBUG_COUNTERS) && !defined(MET_OBS_DISABLED)
+#define MET_OBS_DEBUG_COUNT(name)                                      \
+  do {                                                                 \
+    static ::met::obs::Counter* met_obs_c =                            \
+        ::met::obs::MetricsRegistry::Global().GetCounter(name);        \
+    met_obs_c->Increment();                                            \
+  } while (0)
+#else
+#define MET_OBS_DEBUG_COUNT(name) \
+  do {                            \
+  } while (0)
+#endif
+
+}  // namespace met::obs
+
+#endif  // MET_OBS_METRICS_H_

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace met {
 
@@ -109,6 +110,7 @@ uint64_t Surf::QueryRealSuffix(std::string_view key, uint32_t depth) const {
 }
 
 bool Surf::MayContain(std::string_view key) const {
+  MET_OBS_DEBUG_COUNT("surf.probe.calls");
   Fst::LookupResult res = fst_.Lookup(key);
   if (!res.found) return false;
   if (SuffixBitsTotal() == 0) return true;
@@ -142,6 +144,7 @@ Surf::SeekResult Surf::MoveToNext(std::string_view key) const {
 
 bool Surf::MayContainRange(std::string_view low_key,
                            std::string_view high_key) const {
+  MET_OBS_DEBUG_COUNT("surf.range_probe.calls");
   if (high_key < low_key) return false;
   SeekResult s = MoveToNext(low_key);
   if (!s.found) return false;

@@ -1,0 +1,68 @@
+// Compile-time kill-switch smoke test: this translation unit is compiled
+// with -DMET_OBS_DISABLED (see tests/CMakeLists.txt), so every met::obs call
+// below resolves to the inline no-op stubs. The test verifies the full API
+// surface still compiles and behaves as an inert layer.
+#ifndef MET_OBS_DISABLED
+#error "this test must be compiled with -DMET_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/obs.h"
+
+namespace met {
+namespace {
+
+TEST(ObsDisabled, EntireApiIsNoOp) {
+  auto& reg = obs::MetricsRegistry::Global();
+
+  obs::Counter* c = reg.GetCounter("disabled.counter");
+  c->Increment();
+  c->Add(100);
+  EXPECT_EQ(c->Value(), 0u);
+
+  obs::Gauge* g = reg.GetGauge("disabled.gauge");
+  g->Set(7);
+  g->Add(3);
+  EXPECT_EQ(g->Value(), 0);
+
+  obs::Histogram* h = reg.GetHistogram("disabled.hist");
+  h->Record(123);
+  h->RecordNanos(456);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(h->Quantile(0.99), 0u);
+  h->Reset();
+
+  EXPECT_EQ(reg.FindCounter("disabled.counter"), nullptr);
+
+  bool collector_ran = false;
+  auto id = reg.AddCollector([&] { collector_ran = true; });
+  reg.Collect();
+  reg.RemoveCollector(id);
+  EXPECT_FALSE(collector_ran);
+
+  {
+    obs::ScopedTimer t(h, "disabled.span");
+  }
+  obs::TraceLog::Global().Append("x", 1, 2);
+  EXPECT_EQ(obs::TraceLog::Global().TotalSpans(), 0u);
+  EXPECT_TRUE(obs::TraceLog::Global().Snapshot().empty());
+
+  EXPECT_FALSE(obs::MetricsEnabled());
+  EXPECT_EQ(obs::NowNanos(), 0u);
+
+  // Exporters still produce valid (empty) documents.
+  std::string json;
+  reg.DumpJson(&json);
+  EXPECT_EQ(json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  json.clear();
+  obs::DumpAllJson(&json);
+  EXPECT_FALSE(json.empty());
+  reg.DumpText(stderr);
+  reg.ResetAll();
+}
+
+}  // namespace
+}  // namespace met
