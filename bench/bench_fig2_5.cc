@@ -70,7 +70,7 @@ int main() {
       BTree<uint64_t> bt;
       for (auto k : d.ints) bt.Insert(k, k);
       Report("B+tree", "original", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                bt.Find(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -79,7 +79,7 @@ int main() {
       CompactBTree<uint64_t> cbt;
       cbt.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
       Report("B+tree", "compact", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                cbt.Find(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -88,7 +88,7 @@ int main() {
       CompressedBTree<uint64_t> zbt;
       zbt.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
       Report("B+tree", "compressed", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                zbt.Find(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -97,7 +97,7 @@ int main() {
       SkipList<uint64_t> sl;
       for (auto k : d.ints) sl.Insert(k, k);
       Report("SkipList", "original", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                sl.Find(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -106,7 +106,7 @@ int main() {
       CompactSkipList<uint64_t> csl;
       csl.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
       Report("SkipList", "compact", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                csl.Find(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -116,7 +116,7 @@ int main() {
       BTree<std::string> bt;
       for (size_t i = 0; i < d.strings.size(); ++i) bt.Insert(d.strings[i], i);
       Report("B+tree", "original", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                bt.Find(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -129,7 +129,7 @@ int main() {
       CompactBTree<std::string> cbt;
       cbt.Build(std::move(entries));
       Report("B+tree", "compact", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                cbt.Find(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -138,7 +138,7 @@ int main() {
       SkipList<std::string> sl;
       for (size_t i = 0; i < d.strings.size(); ++i) sl.Insert(d.strings[i], i);
       Report("SkipList", "original", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                sl.Find(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -150,7 +150,7 @@ int main() {
       Masstree mt;
       for (size_t i = 0; i < d.strings.size(); ++i) mt.Insert(d.strings[i], i);
       Report("Masstree", "original", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                mt.Find(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -163,7 +163,7 @@ int main() {
       CompactMasstree cmt;
       cmt.Build(sorted, vals);
       Report("Masstree", "compact", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                cmt.Find(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -172,7 +172,7 @@ int main() {
       Art art;
       for (size_t i = 0; i < d.strings.size(); ++i) art.Insert(d.strings[i], i);
       Report("ART", "original", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                art.Find(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
@@ -181,7 +181,7 @@ int main() {
       CompactArt cart;
       cart.Build(sorted, vals);
       Report("ART", "compact", d.name, bench::Mops(q, [&](size_t i) {
-               uint64_t v;
+               uint64_t v = 0;
                cart.Find(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),

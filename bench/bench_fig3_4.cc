@@ -44,7 +44,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
     BTree<std::string> t;
     for (size_t i = 0; i < n; ++i) t.Insert(keys[i], i);
     Report("B+tree", "point", name, bench::Mops(q, [&](size_t i) {
-             uint64_t v;
+             uint64_t v = 0;
              t.Find(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
@@ -61,7 +61,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
     Art t;
     for (size_t i = 0; i < n; ++i) t.Insert(keys[i], i);
     Report("ART", "point", name, bench::Mops(q, [&](size_t i) {
-             uint64_t v;
+             uint64_t v = 0;
              t.Find(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
@@ -78,7 +78,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
     CompactArt t;
     t.Build(keys, values);
     Report("C-ART", "point", name, bench::Mops(q, [&](size_t i) {
-             uint64_t v;
+             uint64_t v = 0;
              t.Find(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
@@ -95,7 +95,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
     Fst t;
     t.Build(keys, values);
     Report("FST", "point", name, bench::Mops(q, [&](size_t i) {
-             uint64_t v;
+             uint64_t v = 0;
              t.Find(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),

@@ -36,7 +36,7 @@ void Run(const char* name, const std::vector<std::string>& keys) {
     Fst t;
     t.Build(keys, values, c.cfg);
     double mops = bench::Mops(q, [&](size_t i) {
-      uint64_t v;
+      uint64_t v = 0;
       t.Find(keys[queries[i].key_index], &v);
              met::bench::Consume(v);
     });

@@ -25,7 +25,7 @@ int main() {
     HybridBTree<uint64_t> index(cfg);
     double ins = bench::Mops(n, [&](size_t i) { index.Insert(keys[i], i); });
     double rd = bench::Mops(q, [&](size_t i) {
-      uint64_t v;
+      uint64_t v = 0;
       index.Find(keys[reads[i].key_index], &v);
              met::bench::Consume(v);
     });

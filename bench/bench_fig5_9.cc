@@ -25,7 +25,7 @@ void Run(const char* label, const HybridConfig& cfg,
   size_t q = 1000000;
   auto reads = GenYcsbRequests(keys.size(), q, YcsbSpec::WorkloadC());
   double rd = bench::Mops(q, [&](size_t i) {
-    uint64_t v;
+    uint64_t v = 0;
     index.Find(keys[reads[i].key_index], &v);
              met::bench::Consume(v);
   });

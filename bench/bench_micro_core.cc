@@ -104,7 +104,8 @@ void BM_HybridInsert(benchmark::State& state) {
   Random rng(6);
   uint64_t k = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(index.Insert(MixHash64(++k), k));
+    ++k;
+    benchmark::DoNotOptimize(index.Insert(MixHash64(k), k));
   }
 }
 BENCHMARK(BM_HybridInsert);

@@ -35,7 +35,7 @@ int main() {
     BTree<uint64_t> t;
     for (auto k : ints) t.Insert(k, k);
     report("B+tree", bench::Mops(queries.size(), [&](size_t i) {
-             uint64_t v;
+             uint64_t v = 0;
              t.Find(ints[queries[i].key_index], &v);
              met::bench::Consume(v);
            }),
@@ -46,7 +46,7 @@ int main() {
     for (auto k : ints) t.Insert(Uint64ToKey(k), k);
     std::vector<std::string> keys = ToStringKeys(ints);
     report("Masstree", bench::Mops(queries.size(), [&](size_t i) {
-             uint64_t v;
+             uint64_t v = 0;
              t.Find(keys[queries[i].key_index], &v);
              met::bench::Consume(v);
            }),
@@ -56,7 +56,7 @@ int main() {
     SkipList<uint64_t> t;
     for (auto k : ints) t.Insert(k, k);
     report("Skip List", bench::Mops(queries.size(), [&](size_t i) {
-             uint64_t v;
+             uint64_t v = 0;
              t.Find(ints[queries[i].key_index], &v);
              met::bench::Consume(v);
            }),
@@ -67,7 +67,7 @@ int main() {
     std::vector<std::string> keys = ToStringKeys(ints);
     for (size_t i = 0; i < keys.size(); ++i) t.Insert(keys[i], ints[i]);
     report("ART", bench::Mops(queries.size(), [&](size_t i) {
-             uint64_t v;
+             uint64_t v = 0;
              t.Find(keys[queries[i].key_index], &v);
              met::bench::Consume(v);
            }),

@@ -14,9 +14,13 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "check/fwd.h"
+#include "common/assert.h"
 
 namespace met {
 
@@ -71,7 +75,22 @@ class Art {
   /// for 64-bit random integer keys).
   double NodeOccupancy() const;
 
+  /// Verifies node-type bounds, in-node label ordering, Node48 index
+  /// bijection, path-compression prefix consistency, and leaf count.
+  /// No-op unless MET_CHECK_ENABLED (impl in check/art_check.cc).
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return CheckValidate(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
  private:
+  bool CheckValidate(std::ostream& os) const;  // check/art_check.cc
+  friend struct check::TestAccess;
+
   static constexpr int kMaxPrefix = 10;
 
   enum NodeType : uint8_t { kNode4, kNode16, kNode48, kNode256 };

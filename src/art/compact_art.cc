@@ -1,9 +1,9 @@
 #include "art/compact_art.h"
 
-#include <cassert>
 #include <cstring>
 #include <new>
 
+#include "common/assert.h"
 #include "common/bits.h"
 
 namespace met {
@@ -94,7 +94,7 @@ void CompactArt::DestroyNode(void* p) {
 
 void CompactArt::Build(const std::vector<std::string>& keys,
                        const std::vector<Value>& values) {
-  assert(keys.size() == values.size());
+  MET_ASSERT(keys.size() == values.size());
   DestroyNode(root_);
   root_ = nullptr;
   allocated_bytes_ = 0;

@@ -2,10 +2,10 @@
 #ifndef MET_BITVEC_BITVECTOR_H_
 #define MET_BITVEC_BITVECTOR_H_
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/bits.h"
 
 namespace met {
@@ -37,17 +37,17 @@ class BitVector {
   }
 
   void Set(size_t pos) {
-    assert(pos < num_bits_);
+    MET_DCHECK(pos < num_bits_);
     words_[pos / 64] |= uint64_t{1} << (pos % 64);
   }
 
   void Clear(size_t pos) {
-    assert(pos < num_bits_);
+    MET_DCHECK(pos < num_bits_);
     words_[pos / 64] &= ~(uint64_t{1} << (pos % 64));
   }
 
   bool Get(size_t pos) const {
-    assert(pos < num_bits_);
+    MET_DCHECK(pos < num_bits_);
     return (words_[pos / 64] >> (pos % 64)) & 1;
   }
 

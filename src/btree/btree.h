@@ -12,8 +12,12 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "check/fwd.h"
+#include "common/assert.h"
 
 namespace met {
 
@@ -167,6 +171,20 @@ class BTree {
     root_ = nullptr;
     first_leaf_ = nullptr;
     size_ = 0;
+  }
+
+  /// Walks the whole tree verifying its structural invariants (node key
+  /// ordering, separator bounds, leaf-chain linkage, slot counts, size).
+  /// Writes one line per violation to `os`; returns true if consistent.
+  /// Compiles to a no-op unless MET_CHECK_ENABLED (Debug or -DMET_CHECK=1);
+  /// callers with checks enabled must include check/btree_check.h.
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return ValidateImpl(os);
+#else
+    (void)os;
+    return true;
+#endif
   }
 
   /// Average leaf occupancy in [0,1] (Section 2.2 reports ~69% for B+trees).
@@ -363,6 +381,9 @@ class BTree {
       delete inner;
     }
   }
+
+  bool ValidateImpl(std::ostream& os) const;  // check/btree_check.h
+  friend struct check::TestAccess;
 
   Node* root_ = nullptr;
   LeafNode* first_leaf_ = nullptr;

@@ -19,11 +19,14 @@
 #define MET_BTREE_COMPACT_BTREE_H_
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "check/fwd.h"
+#include "common/assert.h"
 
 namespace met {
 
@@ -76,7 +79,18 @@ class FlatStore {
     values_.shrink_to_fit();
   }
 
+  /// met::check hook: store-level consistency.
+  bool StoreConsistent(std::string* detail) const {
+    if (keys_.size() != values_.size()) {
+      *detail = "key/value column size mismatch";
+      return false;
+    }
+    return true;
+  }
+
  private:
+  friend struct check::TestAccess;
+
   std::vector<Key> keys_;
   std::vector<Value> values_;
 };
@@ -129,7 +143,28 @@ class BlobStore {
     values_.shrink_to_fit();
   }
 
+  /// met::check hook: offset-table consistency (monotone, bounded by blob).
+  bool StoreConsistent(std::string* detail) const {
+    if (offsets_.size() != values_.size() + 1 || offsets_[0] != 0) {
+      *detail = "offset table size mismatch";
+      return false;
+    }
+    for (size_t i = 1; i < offsets_.size(); ++i) {
+      if (offsets_[i] < offsets_[i - 1]) {
+        *detail = "offsets not monotone at " + std::to_string(i);
+        return false;
+      }
+    }
+    if (offsets_.back() != blob_.size()) {
+      *detail = "last offset does not match blob size";
+      return false;
+    }
+    return true;
+  }
+
  private:
+  friend struct check::TestAccess;
+
   std::string blob_;
   std::vector<uint32_t> offsets_;
   std::vector<Value> values_;
@@ -158,7 +193,7 @@ class CompactBTree {
 
   /// Builds from sorted, unique (key, value) pairs.
   void Build(std::vector<Entry>&& entries) {
-    assert(std::is_sorted(entries.begin(), entries.end(),
+    MET_DCHECK(std::is_sorted(entries.begin(), entries.end(),
                           [](const Entry& a, const Entry& b) { return a.key < b.key; }));
     store_.Assign(std::move(entries));
     store_.ShrinkToFit();
@@ -307,7 +342,21 @@ class CompactBTree {
   KeyView KeyAt(size_t i) const { return store_.KeyAt(i); }
   const Value& ValueAt(size_t i) const { return store_.ValueAt(i); }
 
+  /// Verifies sorted-unique leaf order and the implicit separator levels.
+  /// No-op unless MET_CHECK_ENABLED; see check/compact_btree_check.h.
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return ValidateImpl(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
  private:
+  bool ValidateImpl(std::ostream& os) const;  // check/compact_btree_check.h
+  friend struct check::TestAccess;
+
   static bool KeyLess(KeyView a, const Key& b) { return a < b; }
   static bool KeyEquals(KeyView a, const Key& b) { return a == b; }
 

@@ -2,7 +2,7 @@
 
 #include <zlib.h>
 
-#include <cassert>
+#include "common/assert.h"
 
 namespace met {
 namespace compressed_internal {
@@ -13,21 +13,26 @@ std::string Deflate(const std::string& raw) {
   int rc = compress2(reinterpret_cast<Bytef*>(out.data()), &bound,
                      reinterpret_cast<const Bytef*>(raw.data()), raw.size(),
                      /*level=*/1);
-  assert(rc == Z_OK);
-  (void)rc;
+  MET_ASSERT(rc == Z_OK, "zlib compress2 failed");
   out.resize(bound);
   out.shrink_to_fit();
   return out;
 }
 
-std::string Inflate(const std::string& compressed, size_t raw_size) {
-  std::string out(raw_size, '\0');
+bool TryInflate(const std::string& compressed, size_t raw_size,
+                std::string* out) {
+  out->assign(raw_size, '\0');
   uLongf len = raw_size;
-  int rc = uncompress(reinterpret_cast<Bytef*>(out.data()), &len,
+  int rc = uncompress(reinterpret_cast<Bytef*>(out->data()), &len,
                       reinterpret_cast<const Bytef*>(compressed.data()),
                       compressed.size());
-  assert(rc == Z_OK && len == raw_size);
-  (void)rc;
+  return rc == Z_OK && len == raw_size;
+}
+
+std::string Inflate(const std::string& compressed, size_t raw_size) {
+  std::string out;
+  bool ok = TryInflate(compressed, raw_size, &out);
+  MET_ASSERT(ok, "zlib uncompress failed or size mismatch");
   return out;
 }
 

@@ -8,12 +8,15 @@
 
 #include <cstdint>
 #include <cstring>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "btree/btree.h"
 #include "btree/compact_btree.h"
+#include "check/fwd.h"
+#include "common/assert.h"
 
 namespace met {
 
@@ -22,6 +25,11 @@ namespace compressed_internal {
 /// zlib round-trip helpers (level 1: favour speed like Snappy).
 std::string Deflate(const std::string& raw);
 std::string Inflate(const std::string& compressed, size_t raw_size);
+
+/// Non-aborting Inflate used by the met::check validator: returns false on a
+/// corrupt stream or decoded-size mismatch instead of asserting.
+bool TryInflate(const std::string& compressed, size_t raw_size,
+                std::string* out);
 
 }  // namespace compressed_internal
 
@@ -150,6 +158,18 @@ class CompressedBTree {
     return bytes;
   }
 
+  /// Verifies page-directory order, per-page zlib round-trips, and entry
+  /// ordering. No-op unless MET_CHECK_ENABLED; see
+  /// check/compressed_btree_check.h.
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return ValidateImpl(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
   /// Cache hit statistics (Figure 5.9 ablation).
   size_t cache_hits() const { return cache_.hits; }
   size_t cache_misses() const { return cache_.misses; }
@@ -272,6 +292,9 @@ class CompressedBTree {
       cache_.hand = (cache_.hand + 1) % cache_.capacity;
     }
   }
+
+  bool ValidateImpl(std::ostream& os) const;  // check/compressed_btree_check.h
+  friend struct check::TestAccess;
 
   std::vector<Page> pages_;
   std::vector<Key> first_keys_;

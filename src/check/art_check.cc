@@ -1,0 +1,217 @@
+// met::check validator for the Adaptive Radix Tree (art/art.h).
+//
+// Checked invariants:
+//  * node-type bounds: num_children within each layout's capacity and equal
+//    to the number of live child slots;
+//  * Node4/Node16 label arrays strictly sorted with non-null children;
+//  * Node48 child_index bijection: exactly num_children bytes map to
+//    distinct slots < 48, each holding a non-null child, and no orphan
+//    child slots;
+//  * no reachable empty node (EraseRecurse frees them);
+//  * path-compression consistency: a node's inline prefix matches the
+//    corresponding bytes of every leaf beneath it (checked per-leaf via the
+//    accumulated path, covering the beyond-inline tail too);
+//  * terminal leaves end exactly at their node's path; ordinary leaves
+//    extend it;
+//  * leaves enumerate in strictly increasing key order and their count
+//    equals size().
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "art/art.h"
+#include "check/check.h"
+
+namespace met {
+
+namespace {
+
+struct ArtCheckState {
+  check::Reporter* rep = nullptr;
+  size_t leaf_count = 0;
+  bool have_prev = false;
+  std::string prev_key;
+
+  void VisitLeafKey(std::string_view key) {
+    ++leaf_count;
+    if (have_prev) {
+      MET_CHECK_THAT(*rep, std::string_view(prev_key) < key,
+                     "leaf keys out of order: "
+                         << check::KeyToDebugString(prev_key) << " !< "
+                         << check::KeyToDebugString(std::string(key)));
+    }
+    prev_key.assign(key);
+    have_prev = true;
+  }
+};
+
+}  // namespace
+
+bool Art::CheckValidate(std::ostream& os) const {
+  check::Reporter rep(os, "Art");
+  ArtCheckState st;
+  st.rep = &rep;
+
+  // `path` is the exact byte string spelled by branch bytes plus inline
+  // prefix bytes; bytes beyond the inline prefix window are unknown at
+  // descent time and recorded as wildcards in `known` (leaf keys are still
+  // compared against every known byte).
+  struct Walker {
+    const Art* art;
+    check::Reporter& rep;
+    ArtCheckState& st;
+    std::string path;
+    std::vector<bool> known;
+
+    void CheckLeaf(const Leaf* l, bool terminal) {
+      std::string_view key = l->key();
+      if (terminal) {
+        MET_CHECK_THAT(rep, key.size() == path.size(),
+                       "terminal leaf length " << key.size()
+                           << " != node depth " << path.size() << " for "
+                           << check::KeyToDebugString(std::string(key)));
+      } else {
+        MET_CHECK_THAT(rep, key.size() >= path.size(),
+                       "leaf key shorter than its path: "
+                           << check::KeyToDebugString(std::string(key)));
+      }
+      size_t n = std::min(key.size(), path.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (!known[i]) continue;
+        MET_CHECK_THAT(
+            rep, static_cast<unsigned char>(key[i]) ==
+                     static_cast<unsigned char>(path[i]),
+            "leaf key byte " << i << " disagrees with its path (prefix "
+                             << "corruption) in "
+                             << check::KeyToDebugString(std::string(key)));
+      }
+      st.VisitLeafKey(key);
+    }
+
+    void Descend(const void* p) {
+      if (IsLeaf(p)) {
+        CheckLeaf(AsLeaf(p), /*terminal=*/false);
+        return;
+      }
+      const Node* n = AsNode(p);
+      size_t base = path.size();
+
+      // Consume the compressed prefix: inline bytes are known, the tail
+      // beyond kMaxPrefix is wildcard.
+      for (uint32_t i = 0; i < n->prefix_len; ++i) {
+        bool inline_byte = i < static_cast<uint32_t>(kMaxPrefix);
+        path.push_back(inline_byte ? static_cast<char>(n->prefix[i]) : '\0');
+        known.push_back(inline_byte);
+      }
+
+      size_t live = 0;
+      switch (n->type) {
+        case kNode4:
+        case kNode16: {
+          int cap = n->type == kNode4 ? 4 : 16;
+          MET_CHECK_THAT(rep, n->num_children <= cap,
+                         "node holds " << n->num_children << " children, cap "
+                                       << cap);
+          const unsigned char* keys;
+          void* const* children;
+          if (n->type == kNode4) {
+            const Node4* n4 = static_cast<const Node4*>(n);
+            keys = n4->keys;
+            children = n4->children;
+          } else {
+            const Node16* n16 = static_cast<const Node16*>(n);
+            keys = n16->keys;
+            children = n16->children;
+          }
+          int count = std::min<int>(n->num_children, cap);
+          for (int i = 0; i < count; ++i) {
+            if (i > 0) {
+              MET_CHECK_THAT(rep, keys[i - 1] < keys[i],
+                             "node labels out of order at slot " << i);
+            }
+            MET_CHECK_THAT(rep, children[i] != nullptr,
+                           "null child at sorted slot " << i);
+            ++live;
+          }
+          if (n->terminal != nullptr) CheckLeaf(n->terminal, /*terminal=*/true);
+          for (int i = 0; i < count; ++i) {
+            if (children[i] == nullptr) continue;
+            path.push_back(static_cast<char>(keys[i]));
+            known.push_back(true);
+            Descend(children[i]);
+            path.pop_back();
+            known.pop_back();
+          }
+          break;
+        }
+        case kNode48: {
+          const Node48* n48 = static_cast<const Node48*>(n);
+          MET_CHECK_THAT(rep, n->num_children <= 48,
+                         "Node48 holds " << n->num_children << " children");
+          bool slot_used[48] = {};
+          for (int b = 0; b < 256; ++b) {
+            unsigned char s = n48->child_index[b];
+            if (s == 0xFF) continue;
+            ++live;
+            MET_CHECK_THAT(rep, s < 48,
+                           "child_index[" << b << "] = " << int{s} << " >= 48");
+            if (s >= 48) continue;
+            MET_CHECK_THAT(rep, !slot_used[s],
+                           "two labels share Node48 slot " << int{s});
+            slot_used[s] = true;
+            MET_CHECK_THAT(rep, n48->children[s] != nullptr,
+                           "label " << b << " maps to empty Node48 slot "
+                                    << int{s});
+          }
+          size_t occupied = 0;
+          for (int s = 0; s < 48; ++s)
+            if (n48->children[s] != nullptr) ++occupied;
+          MET_CHECK_THAT(rep, occupied == live,
+                         occupied << " occupied Node48 slots but " << live
+                                  << " mapped labels (orphan children)");
+          if (n->terminal != nullptr) CheckLeaf(n->terminal, /*terminal=*/true);
+          for (int b = 0; b < 256; ++b) {
+            unsigned char s = n48->child_index[b];
+            if (s == 0xFF || s >= 48 || n48->children[s] == nullptr) continue;
+            path.push_back(static_cast<char>(b));
+            known.push_back(true);
+            Descend(n48->children[s]);
+            path.pop_back();
+            known.pop_back();
+          }
+          break;
+        }
+        case kNode256: {
+          const Node256* n256 = static_cast<const Node256*>(n);
+          for (int b = 0; b < 256; ++b)
+            if (n256->children[b] != nullptr) ++live;
+          if (n->terminal != nullptr) CheckLeaf(n->terminal, /*terminal=*/true);
+          for (int b = 0; b < 256; ++b) {
+            if (n256->children[b] == nullptr) continue;
+            path.push_back(static_cast<char>(b));
+            known.push_back(true);
+            Descend(n256->children[b]);
+            path.pop_back();
+            known.pop_back();
+          }
+          break;
+        }
+      }
+      MET_CHECK_THAT(rep, live == n->num_children,
+                     "num_children == " << n->num_children << " but " << live
+                                        << " live children found");
+      MET_CHECK_THAT(rep, live > 0 || n->terminal != nullptr,
+                     "reachable empty node (should have been freed)");
+      path.resize(base);
+      known.resize(base);
+    }
+  } walker{this, rep, st, {}, {}};
+
+  if (root_ != nullptr) walker.Descend(root_);
+  MET_CHECK_THAT(rep, st.leaf_count == size_,
+                 "size() == " << size_ << " but " << st.leaf_count
+                              << " leaves reachable");
+  return rep.ok();
+}
+
+}  // namespace met

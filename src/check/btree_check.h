@@ -1,0 +1,114 @@
+// met::check validator for the dynamic B+tree (btree/btree.h).
+//
+// Checked invariants:
+//  * node counts: inner nodes hold 1..kInnerSlots separators, leaves hold
+//    0..kLeafSlots entries (0 is legal: deletion is lazy, no rebalancing);
+//  * keys strictly increasing within every node;
+//  * separator bounds: child i of an inner node only holds keys in
+//    [keys[i-1], keys[i]) — the ranges FindUpper() routes into;
+//  * all leaves at the same depth;
+//  * the leaf chain (first_leaf_ / leaf->next) visits exactly the leaves of
+//    the in-order tree walk, in order, terminated by nullptr;
+//  * size() equals the total number of leaf entries.
+#ifndef MET_CHECK_BTREE_CHECK_H_
+#define MET_CHECK_BTREE_CHECK_H_
+
+#include <vector>
+
+#include "btree/btree.h"
+#include "check/check.h"
+
+namespace met {
+
+template <typename Key, typename Value, int NodeBytes>
+bool BTree<Key, Value, NodeBytes>::ValidateImpl(std::ostream& os) const {
+  check::Reporter rep(os, "BTree");
+
+  if (root_ == nullptr) {
+    MET_CHECK_THAT(rep, first_leaf_ == nullptr, "empty tree has a first leaf");
+    MET_CHECK_THAT(rep, size_ == 0, "empty tree reports size " << size_);
+    return rep.ok();
+  }
+
+  std::vector<const LeafNode*> leaves;  // in-order tree walk
+  size_t entries = 0;
+  int leaf_depth = -1;
+
+  // Recursive walk with half-open routing bounds ([lo, hi); null = open).
+  struct Walker {
+    check::Reporter& rep;
+    std::vector<const LeafNode*>& leaves;
+    size_t& entries;
+    int& leaf_depth;
+
+    void Walk(const Node* n, const Key* lo, const Key* hi, int depth) {
+      MET_CHECK_THAT(rep, n->count >= 0, "negative count at depth " << depth);
+      if (n->is_leaf) {
+        const LeafNode* leaf = static_cast<const LeafNode*>(n);
+        MET_CHECK_THAT(rep, leaf->count <= kLeafSlots,
+                       "leaf count " << leaf->count << " > " << kLeafSlots);
+        if (leaf_depth < 0) leaf_depth = depth;
+        MET_CHECK_THAT(rep, depth == leaf_depth,
+                       "leaf at depth " << depth << ", expected " << leaf_depth);
+        CheckKeys(leaf->keys, leaf->count, lo, hi, "leaf");
+        leaves.push_back(leaf);
+        entries += static_cast<size_t>(leaf->count);
+        return;
+      }
+      const InnerNode* inner = static_cast<const InnerNode*>(n);
+      MET_CHECK_THAT(rep, inner->count >= 1, "inner node with no separator");
+      MET_CHECK_THAT(rep, inner->count <= kInnerSlots,
+                     "inner count " << inner->count << " > " << kInnerSlots);
+      CheckKeys(inner->keys, inner->count, lo, hi, "inner");
+      for (int i = 0; i <= inner->count; ++i) {
+        MET_CHECK_THAT(rep, inner->children[i] != nullptr,
+                       "null child " << i << " at depth " << depth);
+        if (inner->children[i] == nullptr) continue;
+        const Key* clo = i == 0 ? lo : &inner->keys[i - 1];
+        const Key* chi = i == inner->count ? hi : &inner->keys[i];
+        Walk(inner->children[i], clo, chi, depth + 1);
+      }
+    }
+
+    void CheckKeys(const Key* keys, int count, const Key* lo, const Key* hi,
+                   const char* kind) {
+      for (int i = 0; i < count; ++i) {
+        if (i > 0) {
+          MET_CHECK_THAT(rep, keys[i - 1] < keys[i],
+                         kind << " keys out of order at slot " << i << ": "
+                              << check::KeyToDebugString(keys[i - 1])
+                              << " !< " << check::KeyToDebugString(keys[i]));
+        }
+        MET_CHECK_THAT(rep, lo == nullptr || !(keys[i] < *lo),
+                       kind << " key " << check::KeyToDebugString(keys[i])
+                            << " below separator lower bound");
+        MET_CHECK_THAT(rep, hi == nullptr || keys[i] < *hi,
+                       kind << " key " << check::KeyToDebugString(keys[i])
+                            << " not below separator upper bound");
+      }
+    }
+  } walker{rep, leaves, entries, leaf_depth};
+  walker.Walk(root_, nullptr, nullptr, 0);
+
+  MET_CHECK_THAT(rep, entries == size_,
+                 "size() == " << size_ << " but leaves hold " << entries);
+
+  // Leaf chain must mirror the in-order walk exactly.
+  MET_CHECK_THAT(rep, first_leaf_ == (leaves.empty() ? nullptr : leaves[0]),
+                 "first_leaf_ does not point at the leftmost leaf");
+  const LeafNode* chain = first_leaf_;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if (chain != leaves[i]) {
+      MET_CHECK_THAT(rep, false, "leaf chain diverges from tree order at leaf "
+                                     << i << " of " << leaves.size());
+      return rep.ok();
+    }
+    chain = chain->next;
+  }
+  MET_CHECK_THAT(rep, chain == nullptr, "leaf chain continues past last leaf");
+  return rep.ok();
+}
+
+}  // namespace met
+
+#endif  // MET_CHECK_BTREE_CHECK_H_

@@ -1,0 +1,101 @@
+// met::check — structural invariant validation (the correctness counterpart
+// of met::obs). Every search structure exposes
+//
+//     bool Validate(std::ostream& os) const;
+//
+// which walks the structure and verifies the invariants its query algorithms
+// rely on (key ordering, rank/select consistency, pointer linkage, ...),
+// writing one line per violation to `os` and returning whether the structure
+// is consistent. The walk is exhaustive — O(n) or worse — so Validate()
+// compiles to a no-op returning true unless MET_CHECK_ENABLED (a Debug build
+// or -DMET_CHECK=1; see common/assert.h). Release builds pay nothing.
+//
+// Validators for template structures are implemented out-of-class in the
+// check/*_check.h headers; include those (or this umbrella's per-structure
+// headers directly) in any TU that calls Validate() with checks enabled.
+#ifndef MET_CHECK_CHECK_H_
+#define MET_CHECK_CHECK_H_
+
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "common/assert.h"
+
+namespace met {
+namespace check {
+
+/// Collects invariant violations for one structure instance. Prints at most
+/// `kMaxReported` lines (corruption tends to cascade; the first few failures
+/// are the informative ones) but counts all of them.
+class Reporter {
+ public:
+  Reporter(std::ostream& os, std::string_view structure)
+      : os_(os), structure_(structure) {}
+
+  void Fail(std::string_view invariant, std::string_view detail) {
+    ++failures_;
+    if (failures_ > kMaxReported) return;
+    os_ << "[met::check] " << structure_ << ": FAIL " << invariant;
+    if (!detail.empty()) os_ << " — " << detail;
+    os_ << "\n";
+    if (failures_ == kMaxReported)
+      os_ << "[met::check] " << structure_ << ": (further failures elided)\n";
+  }
+
+  bool ok() const { return failures_ == 0; }
+  size_t failures() const { return failures_; }
+  std::ostream& os() { return os_; }
+
+ private:
+  static constexpr size_t kMaxReported = 16;
+
+  std::ostream& os_;
+  std::string structure_;
+  size_t failures_ = 0;
+};
+
+/// Renders a key of arbitrary type for failure messages.
+template <typename K>
+std::string KeyToDebugString(const K& key) {
+  if constexpr (std::is_arithmetic_v<K>) {
+    return std::to_string(key);
+  } else if constexpr (std::is_convertible_v<const K&, std::string_view>) {
+    std::string out = "\"";
+    for (char c : std::string_view(key)) {
+      if (c >= 0x20 && c < 0x7F) {
+        out.push_back(c);
+      } else {
+        static const char kHex[] = "0123456789abcdef";
+        unsigned char u = static_cast<unsigned char>(c);
+        out += "\\x";
+        out.push_back(kHex[u >> 4]);
+        out.push_back(kHex[u & 0xF]);
+      }
+    }
+    out.push_back('"');
+    return out;
+  } else {
+    return "<key>";
+  }
+}
+
+}  // namespace check
+}  // namespace met
+
+/// Verifies `cond` inside a ValidateImpl body. `detail` is a stream
+/// expression (e.g. `"slot " << i << " key " << k`), evaluated only on
+/// failure.
+#define MET_CHECK_THAT(rep, cond, detail)          \
+  do {                                             \
+    if (!(cond)) {                                 \
+      std::ostringstream met_check_detail_;        \
+      met_check_detail_ << detail; /* NOLINT */    \
+      (rep).Fail(#cond, met_check_detail_.str());  \
+    }                                              \
+  } while (0)
+
+#endif  // MET_CHECK_CHECK_H_

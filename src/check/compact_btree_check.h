@@ -1,0 +1,79 @@
+// met::check validator for the Compact (static) B+tree
+// (btree/compact_btree.h).
+//
+// Checked invariants:
+//  * leaf entries strictly sorted and unique (the sorted-array contract the
+//    implicit-level descent relies on);
+//  * BlobStore offsets monotone and bounded by the blob (string keys);
+//  * the implicit separator levels match a from-scratch recomputation:
+//    levels_[l][g] must hold the entry index of group g's first key, with the
+//    exact group/level shape BuildLevels() produces;
+//  * the top level has at most Fanout groups.
+#ifndef MET_CHECK_COMPACT_BTREE_CHECK_H_
+#define MET_CHECK_COMPACT_BTREE_CHECK_H_
+
+#include <vector>
+
+#include "btree/compact_btree.h"
+#include "check/check.h"
+
+namespace met {
+
+template <typename Key, typename Value, int Fanout>
+bool CompactBTree<Key, Value, Fanout>::ValidateImpl(std::ostream& os) const {
+  check::Reporter rep(os, "CompactBTree");
+
+  std::string store_detail;
+  MET_CHECK_THAT(rep, store_.StoreConsistent(&store_detail), store_detail);
+
+  for (size_t i = 1; i < store_.size(); ++i) {
+    // KeyView comparisons (const Key& or string_view) both order correctly.
+    MET_CHECK_THAT(rep, store_.KeyAt(i - 1) < store_.KeyAt(i),
+                   "entries out of order at " << i << ": "
+                       << check::KeyToDebugString(Key(store_.KeyAt(i - 1)))
+                       << " !< "
+                       << check::KeyToDebugString(Key(store_.KeyAt(i))));
+  }
+
+  // Recompute the implicit levels and compare shape and content.
+  std::vector<std::vector<uint32_t>> expected;
+  size_t prev_size = store_.size();
+  while (prev_size > static_cast<size_t>(Fanout)) {
+    std::vector<uint32_t> level;
+    size_t groups = (prev_size + Fanout - 1) / Fanout;
+    level.reserve(groups);
+    for (size_t g = 0; g < groups; ++g) {
+      size_t child = g * Fanout;
+      level.push_back(expected.empty() ? static_cast<uint32_t>(child)
+                                       : expected.back()[child]);
+    }
+    expected.push_back(std::move(level));
+    prev_size = groups;
+  }
+
+  MET_CHECK_THAT(rep, levels_.size() == expected.size(),
+                 "have " << levels_.size() << " separator levels, expected "
+                         << expected.size() << " for " << store_.size()
+                         << " entries");
+  for (size_t l = 0; l < levels_.size() && l < expected.size(); ++l) {
+    MET_CHECK_THAT(rep, levels_[l].size() == expected[l].size(),
+                   "level " << l << " has " << levels_[l].size()
+                            << " separators, expected " << expected[l].size());
+    size_t n = std::min(levels_[l].size(), expected[l].size());
+    for (size_t g = 0; g < n; ++g) {
+      MET_CHECK_THAT(rep, levels_[l][g] == expected[l][g],
+                     "level " << l << " group " << g << " points at entry "
+                              << levels_[l][g] << ", expected "
+                              << expected[l][g]);
+    }
+  }
+  if (!levels_.empty()) {
+    MET_CHECK_THAT(rep, levels_.back().size() <= static_cast<size_t>(Fanout),
+                   "top level has " << levels_.back().size() << " groups");
+  }
+  return rep.ok();
+}
+
+}  // namespace met
+
+#endif  // MET_CHECK_COMPACT_BTREE_CHECK_H_

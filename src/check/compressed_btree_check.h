@@ -1,0 +1,79 @@
+// met::check validator for the Compressed (static) B+tree
+// (btree/compressed_btree.h).
+//
+// Checked invariants:
+//  * page directory: one first-key per page, strictly sorted;
+//  * every page inflates cleanly to exactly raw_size bytes (zlib round
+//    trip) and re-serializing the decoded entries reproduces those bytes;
+//  * per-page entries strictly sorted, first entry matches the directory
+//    key, cross-page ordering holds;
+//  * page entry counts sum to size().
+#ifndef MET_CHECK_COMPRESSED_BTREE_CHECK_H_
+#define MET_CHECK_COMPRESSED_BTREE_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "btree/compressed_btree.h"
+#include "check/check.h"
+
+namespace met {
+
+template <typename Key, typename Value, int PageEntries>
+bool CompressedBTree<Key, Value, PageEntries>::ValidateImpl(
+    std::ostream& os) const {
+  check::Reporter rep(os, "CompressedBTree");
+
+  MET_CHECK_THAT(rep, first_keys_.size() == pages_.size(),
+                 first_keys_.size() << " directory keys for " << pages_.size()
+                                    << " pages");
+  for (size_t p = 1; p < first_keys_.size(); ++p) {
+    MET_CHECK_THAT(rep, first_keys_[p - 1] < first_keys_[p],
+                   "page directory out of order at page " << p);
+  }
+
+  size_t entries_total = 0;
+  bool have_prev = false;
+  Key prev_key{};
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    const Page& page = pages_[p];
+    std::string raw;
+    if (!compressed_internal::TryInflate(page.blob, page.raw_size, &raw)) {
+      MET_CHECK_THAT(rep, false, "page " << p << " fails zlib round trip");
+      continue;  // cannot decode further invariants from this page
+    }
+    std::vector<Entry> entries = DeserializePage(raw, page.count);
+    MET_CHECK_THAT(rep, SerializePage(entries.data(), entries.size()) == raw,
+                   "page " << p << " re-serialization mismatch");
+    MET_CHECK_THAT(rep, entries.size() == page.count,
+                   "page " << p << " decoded " << entries.size()
+                           << " entries, header says " << page.count);
+    MET_CHECK_THAT(rep, !entries.empty(), "page " << p << " is empty");
+    entries_total += entries.size();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (have_prev) {
+        MET_CHECK_THAT(rep, prev_key < entries[i].key,
+                       "entries out of order at page " << p << " slot " << i
+                           << ": " << check::KeyToDebugString(prev_key)
+                           << " !< "
+                           << check::KeyToDebugString(entries[i].key));
+      }
+      prev_key = entries[i].key;
+      have_prev = true;
+    }
+    if (!entries.empty() && p < first_keys_.size()) {
+      MET_CHECK_THAT(rep, entries[0].key == first_keys_[p],
+                     "page " << p << " first entry "
+                             << check::KeyToDebugString(entries[0].key)
+                             << " != directory key "
+                             << check::KeyToDebugString(first_keys_[p]));
+    }
+  }
+  MET_CHECK_THAT(rep, entries_total == size_,
+                 "size() == " << size_ << " but pages hold " << entries_total);
+  return rep.ok();
+}
+
+}  // namespace met
+
+#endif  // MET_CHECK_COMPRESSED_BTREE_CHECK_H_

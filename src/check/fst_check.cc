@@ -1,0 +1,274 @@
+// met::check validator for the Fast Succinct Trie (fst/fst.h).
+//
+// Checked invariants, in dependency order:
+//  * size accounting: 256-bit D-Labels/D-HasChild and 1-bit D-IsPrefixKey
+//    per dense node; one S-HasChild/S-LOUDS bit per sparse label; 16-byte
+//    SIMD slack on the label bytes; level_node_start_ layout with its two
+//    sentinels;
+//  * D-HasChild ⊆ D-Labels (a branch cannot exist without its label);
+//  * child bijection: every node except the root is the target of exactly
+//    one has-child bit, so dense_child_count_ + popcount(S-HasChild) ==
+//    num_nodes() - 1, and popcount(S-LOUDS) equals the sparse node count;
+//  * leaf accounting: dense_value_count_ == terminating dense branches +
+//    prefix-key bits; num_leaves() adds the sparse labels without has-child;
+//    num_leaves() == num_keys() (each key terminates exactly once); the
+//    value array matches when stored;
+//  * sparse node shape: S-LOUDS set at position 0, every node's labels
+//    strictly increasing, a 0xFF prefix-key marker only at the start of a
+//    node of size >= 2 and never with has-child;
+//  * rank/select consistency: the active rank structure (fast LUT or Poppy
+//    baseline, per config) agrees with a naive cumulative popcount at every
+//    position of all five bit sequences, and SelectLouds is the inverse of
+//    rank over S-LOUDS at every sparse node;
+//  * full ordered walk (skipped if the structural checks above failed, since
+//    iterating a corrupt encoding may not terminate): leaf paths strictly
+//    increasing, leaf ids a permutation of [0, num_leaves()), and
+//    Lookup(path) returning the same leaf id and prefix-leaf flag;
+//  * in kFullKey mode, CountRange over the full key span == num_leaves().
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "fst/fst.h"
+
+namespace met {
+
+bool Fst::CheckValidate(std::ostream& os) const {
+  check::Reporter rep(os, "Fst");
+
+  // ---- Size accounting ----
+  MET_CHECK_THAT(rep, d_labels_.size() == dense_node_count_ * 256,
+                 "D-Labels holds " << d_labels_.size() << " bits for "
+                                   << dense_node_count_ << " dense nodes");
+  MET_CHECK_THAT(rep, d_has_child_.size() == dense_node_count_ * 256,
+                 "D-HasChild holds " << d_has_child_.size() << " bits for "
+                                     << dense_node_count_ << " dense nodes");
+  MET_CHECK_THAT(rep, d_is_prefix_.size() == dense_node_count_,
+                 "D-IsPrefixKey holds " << d_is_prefix_.size() << " bits for "
+                                        << dense_node_count_
+                                        << " dense nodes");
+  MET_CHECK_THAT(rep, s_has_child_.size() == num_s_labels_,
+                 "S-HasChild holds " << s_has_child_.size() << " bits for "
+                                     << num_s_labels_ << " labels");
+  MET_CHECK_THAT(rep, s_louds_.size() == num_s_labels_,
+                 "S-LOUDS holds " << s_louds_.size() << " bits for "
+                                  << num_s_labels_ << " labels");
+  MET_CHECK_THAT(rep, s_labels_.size() >= num_s_labels_ + 16,
+                 "missing SIMD slack: " << s_labels_.size() << " bytes for "
+                                        << num_s_labels_ << " labels");
+  MET_CHECK_THAT(rep, num_nodes_ >= dense_node_count_,
+                 num_nodes_ << " nodes but " << dense_node_count_ << " dense");
+
+  if (!(num_nodes_ == 0 && level_node_start_.empty())) {
+    MET_CHECK_THAT(rep, level_node_start_.size() == height_ + 2,
+                   "level_node_start_ has " << level_node_start_.size()
+                       << " entries for height " << height_);
+    if (level_node_start_.size() == height_ + 2) {
+      MET_CHECK_THAT(rep, level_node_start_[0] == 0,
+                     "first level starts at node "
+                         << level_node_start_[0]);
+      for (size_t l = 1; l < level_node_start_.size(); ++l) {
+        MET_CHECK_THAT(rep,
+                       level_node_start_[l - 1] <= level_node_start_[l],
+                       "level_node_start_ decreases at level " << l);
+      }
+      MET_CHECK_THAT(rep,
+                     level_node_start_[height_] == num_nodes_ &&
+                         level_node_start_[height_ + 1] == num_nodes_,
+                     "sentinels hold " << level_node_start_[height_] << "/"
+                         << level_node_start_[height_ + 1] << ", expected "
+                         << num_nodes_);
+    }
+  }
+
+  // ---- Bit-sequence relations ----
+  size_t d_labels_ones = d_labels_.CountOnes();
+  size_t d_has_child_ones = d_has_child_.CountOnes();
+  size_t d_prefix_ones = d_is_prefix_.CountOnes();
+  size_t s_has_child_ones = s_has_child_.CountOnes();
+  size_t s_louds_ones = s_louds_.CountOnes();
+  size_t sparse_nodes = num_nodes_ - dense_node_count_;
+
+  for (size_t i = 0; i < d_has_child_.size(); ++i) {
+    if (d_has_child_.Get(i) && !d_labels_.Get(i)) {
+      MET_CHECK_THAT(rep, false,
+                     "D-HasChild bit " << i << " set without its D-Label");
+      break;  // one report is enough; the relation is checked bit by bit
+    }
+  }
+
+  MET_CHECK_THAT(rep, dense_child_count_ == d_has_child_ones,
+                 "dense_child_count_ == " << dense_child_count_
+                     << " but D-HasChild has " << d_has_child_ones
+                     << " set bits");
+  MET_CHECK_THAT(rep, s_louds_ones == sparse_nodes,
+                 "S-LOUDS has " << s_louds_ones << " set bits for "
+                                << sparse_nodes << " sparse nodes");
+  if (num_nodes_ > 0) {
+    MET_CHECK_THAT(rep,
+                   dense_child_count_ + s_has_child_ones == num_nodes_ - 1,
+                   "child bijection broken: " << dense_child_count_ << " + "
+                       << s_has_child_ones << " has-child bits for "
+                       << num_nodes_ << " nodes");
+  }
+  MET_CHECK_THAT(rep,
+                 dense_value_count_ ==
+                     d_labels_ones - d_has_child_ones + d_prefix_ones,
+                 "dense_value_count_ == " << dense_value_count_
+                     << " but terminating branches + markers == "
+                     << (d_labels_ones - d_has_child_ones + d_prefix_ones));
+  MET_CHECK_THAT(rep,
+                 num_leaves_ ==
+                     dense_value_count_ + (num_s_labels_ - s_has_child_ones),
+                 "num_leaves() == " << num_leaves_ << " but encoding holds "
+                     << dense_value_count_ +
+                            (num_s_labels_ - s_has_child_ones));
+  MET_CHECK_THAT(rep, num_leaves_ == num_keys_,
+                 num_leaves_ << " leaves for " << num_keys_
+                             << " keys (each key must terminate once)");
+  if (config_.store_values) {
+    MET_CHECK_THAT(rep, values_.size() == num_leaves_ || values_.empty(),
+                   values_.size() << " values for " << num_leaves_
+                                  << " leaves");
+  } else {
+    MET_CHECK_THAT(rep, values_.empty(),
+                   values_.size() << " values stored with store_values off");
+  }
+
+  // ---- Sparse node shape: LOUDS boundaries, ordering, 0xFF markers ----
+  if (num_s_labels_ > 0) {
+    MET_CHECK_THAT(rep, s_louds_.Get(0),
+                   "first sparse label does not start a node");
+  }
+  for (size_t start = 0; start < num_s_labels_;) {
+    size_t end = start + 1;
+    while (end < num_s_labels_ && !s_louds_.Get(end)) ++end;
+    bool marker = s_labels_[start] == 0xFF && end - start >= 2;
+    if (marker) {
+      MET_CHECK_THAT(rep, !s_has_child_.Get(start),
+                     "0xFF prefix marker at " << start
+                                              << " carries a has-child bit");
+    }
+    for (size_t i = start + (marker ? 2 : 1); i < end; ++i) {
+      MET_CHECK_THAT(rep, s_labels_[i - 1] < s_labels_[i],
+                     "sparse labels out of order in node [" << start << ", "
+                         << end << ") at " << i);
+    }
+    start = end;
+  }
+
+  // ---- Rank consistency: active structure vs naive cumulative count ----
+  struct RankProbe {
+    const char* name;
+    const BitVector* bits;
+    size_t (*rank)(const Fst*, size_t);
+  };
+  const RankProbe probes[] = {
+      {"D-Labels", &d_labels_,
+       [](const Fst* f, size_t p) { return f->DenseRankLabels(p); }},
+      {"D-HasChild", &d_has_child_,
+       [](const Fst* f, size_t p) { return f->DenseRankHasChild(p); }},
+      {"D-IsPrefixKey", &d_is_prefix_,
+       [](const Fst* f, size_t p) {
+         return f->RankD(f->d_is_prefix_rank_, f->d_is_prefix_poppy_, p);
+       }},
+      {"S-HasChild", &s_has_child_,
+       [](const Fst* f, size_t p) { return f->SparseRankHasChild(p); }},
+      {"S-LOUDS", &s_louds_,
+       [](const Fst* f, size_t p) {
+         return f->RankD(f->s_louds_rank_, f->s_louds_poppy_, p);
+       }},
+  };
+  for (const RankProbe& probe : probes) {
+    size_t cum = 0;
+    for (size_t pos = 0; pos < probe.bits->size(); ++pos) {
+      if (probe.bits->Get(pos)) ++cum;
+      size_t got = probe.rank(this, pos);
+      if (got != cum) {
+        MET_CHECK_THAT(rep, false,
+                       probe.name << " rank1(" << pos << ") == " << got
+                                  << ", naive count == " << cum);
+        break;  // a broken LUT would flood the report
+      }
+    }
+  }
+
+  // ---- Select inverse over S-LOUDS ----
+  {
+    size_t cum = 0, node = 0;
+    for (size_t pos = 0; pos < num_s_labels_ && node < sparse_nodes; ++pos) {
+      if (!s_louds_.Get(pos)) continue;
+      ++cum;
+      size_t got = SelectLouds(cum);
+      if (got != pos) {
+        MET_CHECK_THAT(rep, false,
+                       "SelectLouds(" << cum << ") == " << got
+                                      << ", node actually starts at " << pos);
+        break;
+      }
+      ++node;
+    }
+  }
+
+  // ---- Ordered walk + Lookup round trip ----
+  // Iterating relies on every invariant above; a corrupt encoding can send
+  // the cursors in circles, so bail out if anything already failed.
+  if (!rep.ok()) return false;
+
+  std::vector<bool> seen(num_leaves_, false);
+  size_t walked = 0;
+  std::string prev_key;
+  bool have_prev = false;
+  std::string last_key;
+  for (Iterator it = Begin(); it.Valid(); it.Next()) {
+    if (++walked > num_leaves_) {
+      MET_CHECK_THAT(rep, false,
+                     "iterator yields more than num_leaves() == "
+                         << num_leaves_ << " leaves");
+      break;
+    }
+    uint32_t id = it.leaf_id();
+    MET_CHECK_THAT(rep, id < num_leaves_, "leaf id " << id << " out of range");
+    if (id < num_leaves_) {
+      MET_CHECK_THAT(rep, !seen[id], "leaf id " << id << " visited twice");
+      seen[id] = true;
+    }
+    if (have_prev) {
+      MET_CHECK_THAT(rep, prev_key < it.key(),
+                     "leaf paths out of order: "
+                         << check::KeyToDebugString(prev_key) << " !< "
+                         << check::KeyToDebugString(it.key()));
+    }
+    prev_key = it.key();
+    have_prev = true;
+    last_key = it.key();
+
+    LookupResult res = Lookup(it.key());
+    MET_CHECK_THAT(rep, res.found,
+                   "Lookup misses stored path "
+                       << check::KeyToDebugString(it.key()));
+    if (res.found) {
+      MET_CHECK_THAT(rep, res.leaf_id == id,
+                     "Lookup(" << check::KeyToDebugString(it.key())
+                               << ") resolves leaf " << res.leaf_id
+                               << ", iterator is at leaf " << id);
+      MET_CHECK_THAT(rep, res.is_prefix_leaf == it.IsPrefixLeaf(),
+                     "prefix-leaf flag mismatch at "
+                         << check::KeyToDebugString(it.key()));
+    }
+  }
+  MET_CHECK_THAT(rep, walked == num_leaves_,
+                 "iterator yields " << walked << " of " << num_leaves_
+                                    << " leaves");
+
+  if (config_.mode == FstConfig::Mode::kFullKey && num_leaves_ > 0 &&
+      walked == num_leaves_) {
+    uint64_t count = CountRange(std::string(), last_key + '\x00');
+    MET_CHECK_THAT(rep, count == num_leaves_,
+                   "CountRange over the full span == " << count << ", not "
+                                                       << num_leaves_);
+  }
+  return rep.ok();
+}
+
+}  // namespace met

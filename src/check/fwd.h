@@ -1,0 +1,16 @@
+// Forward declarations for the met::check correctness-tooling layer, safe to
+// include from any structure header. The friend declaration below is what
+// lets the mutation tests (tests/check_mutation_test.cc) corrupt internal
+// state to prove the validators detect it; see check/test_access.h.
+#ifndef MET_CHECK_FWD_H_
+#define MET_CHECK_FWD_H_
+
+namespace met {
+namespace check {
+
+struct TestAccess;
+
+}  // namespace check
+}  // namespace met
+
+#endif  // MET_CHECK_FWD_H_

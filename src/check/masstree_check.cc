@@ -1,0 +1,121 @@
+// met::check validator for the simplified Masstree (masstree/masstree.h).
+//
+// Checked invariants:
+//  * each layer's B+tree of (keyslice, lenx) entries is itself valid;
+//  * lenx in [0, 9]; terminal classes (lenx <= 8) carry kValue links with
+//    the slice zero-padded beyond lenx; lenx == 9 carries kSuffix or kChild;
+//  * keybag placement: kSuffix records are non-null with a non-empty suffix
+//    (an 8-byte remainder would have terminated in the slice);
+//  * child layers are non-null and hold only non-empty remainders
+//    (lenx >= 1); empty child trees are legal after lazy erase;
+//  * reconstructed full keys are strictly increasing across the whole trie
+//    (keyslice order must agree with lexicographic byte order);
+//  * the number of reachable values equals size().
+//
+// This TU defines MET_CHECK so the nested per-layer BTree::Validate() calls
+// stay live regardless of the build type of the rest of the library.
+#ifndef MET_CHECK
+#define MET_CHECK 1
+#endif
+
+#include <string>
+
+#include "check/btree_check.h"
+#include "check/check.h"
+#include "masstree/masstree.h"
+
+namespace met {
+
+bool Masstree::CheckValidate(std::ostream& os) const {
+  check::Reporter rep(os, "Masstree");
+
+  struct Walker {
+    check::Reporter& rep;
+    std::string path;
+    size_t values = 0;
+    bool have_prev = false;
+    std::string prev_key;
+
+    void VisitKey(const std::string& key) {
+      ++values;
+      if (have_prev) {
+        MET_CHECK_THAT(rep, prev_key < key,
+                       "keys out of order: " << check::KeyToDebugString(prev_key)
+                           << " !< " << check::KeyToDebugString(key));
+      }
+      prev_key = key;
+      have_prev = true;
+    }
+
+    void Descend(const Layer* layer, int depth) {
+      if (layer == nullptr) return;
+      MET_CHECK_THAT(rep, layer->tree.Validate(rep.os()),
+                     "layer B+tree inconsistent at depth " << depth);
+      for (auto it = layer->tree.Begin(); it.Valid(); it.Next()) {
+        const MtKey& mk = it.key();
+        const Link& link = it.value();
+        MET_CHECK_THAT(rep, mk.lenx <= 9,
+                       "length class " << int{mk.lenx} << " out of range");
+        if (depth > 0) {
+          MET_CHECK_THAT(rep, mk.lenx >= 1,
+                         "empty remainder in a child layer (depth " << depth
+                                                                    << ")");
+        }
+        size_t base = path.size();
+        masstree_internal::AppendSlice(mk.slice, mk.lenx <= 8 ? mk.lenx : 8,
+                                       &path);
+        if (mk.lenx <= 8) {
+          if (mk.lenx < 8) {
+            uint64_t pad = mk.slice & (~0ull >> (8 * mk.lenx));
+            MET_CHECK_THAT(rep, pad == 0,
+                           "slice of length-class " << int{mk.lenx}
+                               << " not zero padded for "
+                               << check::KeyToDebugString(path));
+          }
+          MET_CHECK_THAT(rep, link.kind == Link::kValue,
+                         "terminal length-class links kind " << int{link.kind}
+                             << " at " << check::KeyToDebugString(path));
+          if (link.kind == Link::kValue) VisitKey(path);
+        } else {
+          switch (link.kind) {
+            case Link::kValue:
+              MET_CHECK_THAT(rep, false,
+                             "extended length-class holds an inline value at "
+                                 << check::KeyToDebugString(path));
+              break;
+            case Link::kSuffix: {
+              MET_CHECK_THAT(rep, link.suffix != nullptr,
+                             "null keybag record at "
+                                 << check::KeyToDebugString(path));
+              if (link.suffix == nullptr) break;
+              MET_CHECK_THAT(rep, !link.suffix->suffix.empty(),
+                             "empty keybag suffix at "
+                                 << check::KeyToDebugString(path)
+                                 << " (should be length-class 8)");
+              size_t b2 = path.size();
+              path.append(link.suffix->suffix);
+              VisitKey(path);
+              path.resize(b2);
+              break;
+            }
+            case Link::kChild:
+              MET_CHECK_THAT(rep, link.child != nullptr,
+                             "null child layer at "
+                                 << check::KeyToDebugString(path));
+              Descend(link.child, depth + 1);
+              break;
+          }
+        }
+        path.resize(base);
+      }
+    }
+  } walker{rep, {}, 0, false, {}};
+
+  walker.Descend(root_, 0);
+  MET_CHECK_THAT(rep, walker.values == size_,
+                 "size() == " << size_ << " but " << walker.values
+                              << " values reachable");
+  return rep.ok();
+}
+
+}  // namespace met

@@ -1,0 +1,120 @@
+// met::check validator for the paged skip list (skiplist/skiplist.h).
+//
+// Checked invariants:
+//  * tower heights in [1, kMaxHeight]; head is full height;
+//  * level-0 tower keys strictly increasing;
+//  * level monotonicity: the chain at level l is exactly the subsequence of
+//    the level-0 chain whose towers have height > l (each forward pointer
+//    skips only shorter towers);
+//  * page chain: every tower owns a page, pages linked in tower order;
+//  * separator validity: every key in tower t's page lies in
+//    [t.key, next_tower.key) (head's page holds keys below the first tower);
+//  * per-page slot counts in [0, PageSlots] (0 is legal after lazy erase),
+//    keys strictly sorted within and across pages;
+//  * size() equals the total entry count.
+#ifndef MET_CHECK_SKIPLIST_CHECK_H_
+#define MET_CHECK_SKIPLIST_CHECK_H_
+
+#include <vector>
+
+#include "check/check.h"
+#include "skiplist/skiplist.h"
+
+namespace met {
+
+template <typename Key, typename Value, int PageSlots>
+bool SkipList<Key, Value, PageSlots>::ValidateImpl(std::ostream& os) const {
+  check::Reporter rep(os, "SkipList");
+
+  MET_CHECK_THAT(rep, head_ != nullptr, "missing head tower");
+  if (head_ == nullptr) return rep.ok();
+  MET_CHECK_THAT(rep, head_->height == kMaxHeight,
+                 "head tower height " << head_->height);
+
+  // Collect the level-0 tower sequence (head first).
+  std::vector<const Tower*> towers;
+  for (const Tower* t = head_; t != nullptr; t = t->next[0]) {
+    towers.push_back(t);
+    if (t != head_) {
+      MET_CHECK_THAT(rep, t->height >= 1 && t->height <= kMaxHeight,
+                     "tower height " << t->height << " out of range");
+    }
+  }
+  // The head key is an implicit minus-infinity sentinel; real separators
+  // start at towers[1].
+  for (size_t i = 2; i < towers.size(); ++i) {
+    MET_CHECK_THAT(rep, towers[i - 1]->key < towers[i]->key,
+                   "tower keys out of order at tower " << i << ": "
+                       << check::KeyToDebugString(towers[i - 1]->key) << " !< "
+                       << check::KeyToDebugString(towers[i]->key));
+  }
+
+  // Level monotonicity: next[l] must point at the next tower whose height
+  // exceeds l, for every tower and level.
+  for (size_t i = 0; i < towers.size(); ++i) {
+    const Tower* t = towers[i];
+    int h = t == head_ ? kMaxHeight : t->height;
+    for (int l = 1; l < h; ++l) {
+      const Tower* expect = nullptr;
+      for (size_t j = i + 1; j < towers.size(); ++j) {
+        if (towers[j]->height > l) {
+          expect = towers[j];
+          break;
+        }
+      }
+      MET_CHECK_THAT(rep, t->next[l] == expect,
+                     "level " << l << " pointer of tower " << i
+                              << " skips or rewires the chain");
+    }
+  }
+
+  // Page chain and separators.
+  size_t entries = 0;
+  const Key* prev_key = nullptr;
+  for (size_t i = 0; i < towers.size(); ++i) {
+    const Tower* t = towers[i];
+    const Page* page = t->page;
+    if (page == nullptr) {
+      MET_CHECK_THAT(rep, t == head_ && towers.size() == 1 && size_ == 0,
+                     "tower " << i << " owns no page");
+      continue;
+    }
+    const Page* next_page =
+        i + 1 < towers.size() ? towers[i + 1]->page : nullptr;
+    MET_CHECK_THAT(rep, page->next == next_page,
+                   "page chain diverges from tower order at tower " << i);
+    MET_CHECK_THAT(rep, page->count >= 0 && page->count <= PageSlots,
+                   "page count " << page->count << " out of range at tower "
+                                 << i);
+    for (int s = 0; s < page->count; ++s) {
+      const Key& k = page->keys[s];
+      if (prev_key != nullptr) {
+        MET_CHECK_THAT(rep, *prev_key < k,
+                       "entries out of order at tower " << i << " slot " << s
+                           << ": " << check::KeyToDebugString(*prev_key)
+                           << " !< " << check::KeyToDebugString(k));
+      }
+      prev_key = &k;
+      if (t != head_) {
+        MET_CHECK_THAT(rep, !(k < t->key),
+                       "key " << check::KeyToDebugString(k)
+                              << " below its tower separator "
+                              << check::KeyToDebugString(t->key));
+      }
+      if (i + 1 < towers.size()) {
+        MET_CHECK_THAT(rep, k < towers[i + 1]->key,
+                       "key " << check::KeyToDebugString(k)
+                              << " not below next tower separator "
+                              << check::KeyToDebugString(towers[i + 1]->key));
+      }
+    }
+    entries += static_cast<size_t>(page->count);
+  }
+  MET_CHECK_THAT(rep, entries == size_,
+                 "size() == " << size_ << " but pages hold " << entries);
+  return rep.ok();
+}
+
+}  // namespace met
+
+#endif  // MET_CHECK_SKIPLIST_CHECK_H_

@@ -1,0 +1,82 @@
+// met::check validator for the Succinct Range Filter (surf/surf.h).
+//
+// Checked invariants:
+//  * the underlying truncated FST passes its own validator and stores no
+//    value array (SuRF keeps per-leaf suffixes instead);
+//  * suffix-array sizing: ceil(num_keys * suffix_bits / 64) packed words,
+//    none when no suffix bits are configured, and every stored suffix fits
+//    in its configured width;
+//  * avg_leaf_depth_ lies in [0, height];
+//  * one-sided-error round trip on the stored keys (the original keys are
+//    gone, so this probes the trie side, not the suffix side): for every
+//    stored truncated key k, MoveToNext(k) returns exactly k without the
+//    prefix false-positive flag, and Count(k, k) >= 1.
+//
+// This TU defines MET_CHECK so the nested Fst::Validate() stays live
+// regardless of the build type of the rest of the library.
+#ifndef MET_CHECK
+#define MET_CHECK 1
+#endif
+
+#include <string>
+
+#include "check/check.h"
+#include "surf/surf.h"
+
+namespace met {
+
+bool Surf::CheckValidate(std::ostream& os) const {
+  check::Reporter rep(os, "Surf");
+
+  bool fst_ok = fst_.Validate(os);
+  MET_CHECK_THAT(rep, fst_ok, "underlying FST encoding inconsistent");
+
+  uint32_t bits = SuffixBitsTotal();
+  size_t expect_words =
+      bits == 0 ? 0 : (fst_.num_leaves() * bits + 63) / 64;
+  MET_CHECK_THAT(rep, suffix_words_.size() == expect_words,
+                 suffix_words_.size() << " suffix words for "
+                     << fst_.num_leaves() << " leaves at " << bits
+                     << " bits/key (expected " << expect_words << ")");
+  MET_CHECK_THAT(rep, bits <= 64, "suffix width " << bits << " bits");
+  if (bits > 0 && bits < 64 && suffix_words_.size() == expect_words) {
+    for (size_t id = 0; id < fst_.num_leaves(); ++id) {
+      uint64_t suffix = StoredSuffix(static_cast<uint32_t>(id));
+      if (suffix >> bits != 0) {
+        MET_CHECK_THAT(rep, false,
+                       "leaf " << id << " suffix overflows its " << bits
+                               << "-bit slot");
+        break;
+      }
+    }
+  }
+
+  MET_CHECK_THAT(rep,
+                 avg_leaf_depth_ >= 0 &&
+                     avg_leaf_depth_ <= static_cast<double>(fst_.height()),
+                 "average leaf depth " << avg_leaf_depth_
+                                       << " outside [0, height == "
+                                       << fst_.height() << "]");
+
+  // Functional round trip over the stored keys; skip if the trie itself is
+  // broken (iteration may not terminate).
+  if (!fst_ok) return false;
+
+  size_t walked = 0;
+  for (Fst::Iterator it = fst_.Begin();
+       it.Valid() && walked <= fst_.num_leaves(); it.Next(), ++walked) {
+    const std::string& k = it.key();
+    SeekResult seek = MoveToNext(k);
+    MET_CHECK_THAT(rep, seek.found && seek.key == k && !seek.fp_flag,
+                   "MoveToNext(" << check::KeyToDebugString(k)
+                       << ") returns "
+                       << (seek.found ? check::KeyToDebugString(seek.key)
+                                      : std::string("<none>"))
+                       << (seek.fp_flag ? " with fp_flag" : ""));
+    MET_CHECK_THAT(rep, Count(k, k) >= 1,
+                   "Count misses stored key " << check::KeyToDebugString(k));
+  }
+  return rep.ok();
+}
+
+}  // namespace met

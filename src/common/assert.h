@@ -1,0 +1,72 @@
+// Assertion macros for library code.
+//
+//   MET_ASSERT(cond)            always-on check: aborts with file:line, the
+//   MET_ASSERT(cond, msg)       stringified expression, and an optional
+//                               message. Use for cheap conditions whose
+//                               violation would corrupt state or lose data
+//                               (I/O results, allocation postconditions).
+//
+//   MET_DCHECK(cond)            debug/checked-build-only check: compiles to
+//   MET_DCHECK(cond, msg)       nothing unless MET_CHECK_ENABLED (Debug build
+//                               or -DMET_CHECK=1). Use for expensive
+//                               invariants (sortedness scans, per-bit bounds
+//                               checks on hot paths).
+//
+// Both evaluate `cond` exactly once when active; MET_DCHECK does not evaluate
+// its condition at all when compiled out.
+#ifndef MET_COMMON_ASSERT_H_
+#define MET_COMMON_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Checks are enabled in Debug builds (no NDEBUG) or when MET_CHECK=1 is
+// defined, either per-TU or via the MET_CHECK CMake option. This is the same
+// switch that activates the met::check structural validators (src/check/).
+#if !defined(MET_CHECK_ENABLED)
+#if (defined(MET_CHECK) && MET_CHECK) || !defined(NDEBUG)
+#define MET_CHECK_ENABLED 1
+#else
+#define MET_CHECK_ENABLED 0
+#endif
+#endif
+
+namespace met {
+namespace assert_internal {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "%s:%d: MET_ASSERT failed: %s (%s)\n", file, line,
+                 expr, msg);
+  } else {
+    std::fprintf(stderr, "%s:%d: MET_ASSERT failed: %s\n", file, line, expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace assert_internal
+}  // namespace met
+
+#define MET_ASSERT_1(cond) \
+  (static_cast<bool>(cond) \
+       ? static_cast<void>(0) \
+       : ::met::assert_internal::AssertFail(#cond, __FILE__, __LINE__, ""))
+
+#define MET_ASSERT_2(cond, msg) \
+  (static_cast<bool>(cond) \
+       ? static_cast<void>(0) \
+       : ::met::assert_internal::AssertFail(#cond, __FILE__, __LINE__, msg))
+
+#define MET_ASSERT_PICK_(a, b, name, ...) name
+#define MET_ASSERT(...) \
+  MET_ASSERT_PICK_(__VA_ARGS__, MET_ASSERT_2, MET_ASSERT_1)(__VA_ARGS__)
+
+#if MET_CHECK_ENABLED
+#define MET_DCHECK(...) MET_ASSERT(__VA_ARGS__)
+#else
+#define MET_DCHECK(...) static_cast<void>(0)
+#endif
+
+#endif  // MET_COMMON_ASSERT_H_

@@ -1,8 +1,8 @@
 #include "fst/fst.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/assert.h"
 #include "obs/metrics.h"
 
 #ifdef MET_USE_SSE2
@@ -36,8 +36,9 @@ void Fst::Build(const std::vector<std::string>& keys,
                 std::vector<uint32_t>* leaf_depth) {
   config_ = config;
   num_keys_ = keys.size();
-  assert(values.empty() || values.size() == keys.size());
-  assert(std::is_sorted(keys.begin(), keys.end()));
+  MET_ASSERT(values.empty() || values.size() == keys.size(),
+             "one value per key (or none)");
+  MET_DCHECK(std::is_sorted(keys.begin(), keys.end()));
 
   // ---- Phase 1: build per-level label sequences breadth-first. ----
   std::vector<LevelData> levels;
@@ -53,7 +54,7 @@ void Fst::Build(const std::vector<std::string>& keys,
       ++ld.node_count;
       bool first = true;
       uint32_t lo = r.lo;
-      assert(keys[lo].size() >= depth);
+      MET_DCHECK(keys[lo].size() >= depth);
       if (keys[lo].size() == depth) {
         // The path to this node is itself a stored key: 0xFF marker.
         ld.labels.push_back(0xFF);
@@ -138,7 +139,7 @@ void Fst::Build(const std::vector<std::string>& keys,
     size_t vi = 0;  // cursor into value_key_index
     size_t li = 0;
     while (li < ld.labels.size()) {
-      assert(ld.louds[li]);
+      MET_DCHECK(ld.louds[li]);
       size_t bm_base = d_labels_.size();
       d_labels_.Extend(256);
       d_has_child_.Extend(256);
@@ -162,7 +163,7 @@ void Fst::Build(const std::vector<std::string>& keys,
       } while (li < ld.labels.size() && !ld.louds[li]);
       d_is_prefix_.PushBack(prefix_key);
     }
-    assert(vi == ld.value_key_index.size());
+    MET_DCHECK(vi == ld.value_key_index.size());
   }
   dense_value_count_ = leaf_keys.size();
 
@@ -180,7 +181,7 @@ void Fst::Build(const std::vector<std::string>& keys,
             static_cast<uint32_t>(ld.is_marker[li] ? l : l + 1));
       }
     }
-    assert(vi == ld.value_key_index.size());
+    MET_DCHECK(vi == ld.value_key_index.size());
   }
   num_s_labels_ = s_labels_.size();
   s_labels_.resize(num_s_labels_ + 16, 0);  // SIMD slack
@@ -387,7 +388,7 @@ void Fst::DescendToMin(Iterator* it, size_t node_num) const {
         return;
       }
       size_t pos = d_labels_.NextSetBit(m * 256);
-      assert(pos < (m + 1) * 256);
+      MET_DCHECK(pos < (m + 1) * 256);
       it->stack_.push_back({static_cast<uint32_t>(pos), true});
       it->key_.push_back(static_cast<char>(pos % 256));
       if (!d_has_child_.Get(pos)) {
@@ -462,7 +463,7 @@ void Fst::Iterator::Next() {
     if (top.dense) {
       size_t m = top.pos / 256;
       size_t pos = f->d_labels_.NextSetBit(m * 256);
-      assert(pos < (m + 1) * 256);
+      MET_DCHECK(pos < (m + 1) * 256);
       top.pos = static_cast<uint32_t>(pos);
       key_.push_back(static_cast<char>(pos % 256));
     } else {

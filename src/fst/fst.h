@@ -22,6 +22,7 @@
 #define MET_FST_FST_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "bitvec/bitvector.h"
 #include "bitvec/rank.h"
 #include "bitvec/select.h"
+#include "check/fwd.h"
+#include "common/assert.h"
 
 namespace met {
 
@@ -166,6 +169,20 @@ class Fst {
   /// Memory excluding the value array (the filter footprint).
   size_t FilterMemoryBytes() const;
 
+  /// Cross-checks the LOUDS-Dense/Sparse encodings: bit-sequence sizes,
+  /// D-HasChild ⊆ D-Labels, child-pointer bijection (#has-child bits ==
+  /// #nodes - 1), rank/select inverses over S-LOUDS, 0xFF-marker placement,
+  /// leaf/value accounting, and a full ordered iterator/Lookup round trip.
+  /// No-op unless MET_CHECK_ENABLED (impl in check/fst_check.cc).
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return CheckValidate(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
   // Test-only access to the raw encoding (validated against the thesis's
   // Figure 3.2 worked example).
   std::vector<uint8_t> SparseLabelsForTest() const {
@@ -179,6 +196,8 @@ class Fst {
 
  private:
   friend class Iterator;
+  friend struct check::TestAccess;
+  bool CheckValidate(std::ostream& os) const;  // check/fst_check.cc
 
   // ----- rank/select wrappers honouring the config toggles -----
   size_t RankD(const RankSupport& fast, const PoppyRank& slow, size_t pos) const {

@@ -1,9 +1,9 @@
 #include "hope/hope.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_map>
 
+#include "common/assert.h"
 #include "common/timer.h"
 
 namespace met {
@@ -109,7 +109,7 @@ void HopeEncoder::BuildIntervalsFromSymbols(
         break;
       }
     }
-    assert(best >= 1 && "interval with empty symbol");
+    MET_ASSERT(best >= 1, "interval with empty symbol");
     symbol_lens_[i] = static_cast<uint8_t>(best);
   }
 }

@@ -1,9 +1,10 @@
 #include "hot/hot.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <new>
+
+#include "common/assert.h"
 
 namespace met {
 
@@ -30,7 +31,7 @@ uint32_t FirstDiffBit(std::string_view a, std::string_view b) {
       return static_cast<uint32_t>(i * 8 + lead);
     }
   }
-  assert(false && "duplicate key under zero padding");
+  MET_ASSERT(false, "duplicate key under zero padding");
   return 0;
 }
 
@@ -58,7 +59,7 @@ std::unique_ptr<Hot::PatNode> Hot::BuildPatricia(
     }
     split = a;
   }
-  assert(split > lo && split < hi);
+  MET_DCHECK(split > lo && split < hi);
   node->zero = BuildPatricia(keys, lo, split);
   node->one = BuildPatricia(keys, split, hi);
   return node;
@@ -119,7 +120,7 @@ void* Hot::BuildHotNode(const PatNode* pat,
     for (const auto& [bit, v] : f.path) bits.push_back(bit);
   std::sort(bits.begin(), bits.end());
   bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
-  assert(bits.size() < kMaxFanout);
+  MET_ASSERT(bits.size() < kMaxFanout);
 
   Node* node = new Node();
   node->bits = std::move(bits);
@@ -149,8 +150,8 @@ void* Hot::BuildHotNode(const PatNode* pat,
 
 void Hot::Build(const std::vector<std::string>& keys,
                 const std::vector<Value>& values) {
-  assert(keys.size() == values.size());
-  assert(std::is_sorted(keys.begin(), keys.end()));
+  MET_ASSERT(keys.size() == values.size());
+  MET_DCHECK(std::is_sorted(keys.begin(), keys.end()));
   DestroyNode(root_);
   root_ = nullptr;
   allocated_bytes_ = 0;

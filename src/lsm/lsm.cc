@@ -5,8 +5,10 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
+#include <set>
+
+#include "common/assert.h"
 
 namespace met {
 
@@ -153,14 +155,15 @@ std::unique_ptr<LsmTree::SsTable> LsmTree::WriteTable(
   flush_block();
 
   int fd = ::open(t->path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  assert(fd >= 0);
+  MET_ASSERT(fd >= 0, "SSTable create failed");
   ssize_t written = ::write(fd, file.data(), file.size());
-  assert(written == static_cast<ssize_t>(file.size()));
+  MET_ASSERT(written == static_cast<ssize_t>(file.size()),
+             "short SSTable write");
   (void)written;
   ::close(fd);
   t->file_bytes = file.size();
   t->fd = ::open(t->path.c_str(), O_RDONLY);
-  assert(t->fd >= 0);
+  MET_ASSERT(t->fd >= 0, "SSTable reopen failed");
 
   // Build the table's filter.
   switch (options_.filter) {
@@ -212,7 +215,8 @@ std::vector<std::pair<std::string, std::string>> LsmTree::ReadAll(
   entries.reserve(t.num_entries);
   std::string file(t.file_bytes, '\0');
   ssize_t got = ::pread(t.fd, file.data(), file.size(), 0);
-  assert(got == static_cast<ssize_t>(file.size()));
+  MET_ASSERT(got == static_cast<ssize_t>(file.size()),
+             "short SSTable read");
   (void)got;
   size_t off = 0;
   while (off < file.size()) {
@@ -373,7 +377,8 @@ const LsmTree::Block& LsmTree::GetBlock(const SsTable& t, size_t block_idx) {
   std::string raw(t.block_length[block_idx], '\0');
   ssize_t got =
       ::pread(t.fd, raw.data(), raw.size(), t.block_offset[block_idx]);
-  assert(got == static_cast<ssize_t>(raw.size()));
+  MET_ASSERT(got == static_cast<ssize_t>(raw.size()),
+             "short block read");
   (void)got;
   Block entries;
   size_t off = 0;
@@ -578,20 +583,24 @@ std::optional<std::string> LsmTree::ClosedSeek(std::string_view lk,
 }
 
 uint64_t LsmTree::Count(std::string_view lk, std::string_view hk) {
-  uint64_t total = 0;
-  // MemTable.
+  // A key overwritten after a flush has stale versions in older components
+  // (memtable vs L0 vs deeper levels), so the exact path must count distinct
+  // keys across everything it scans. SuRF-filtered tables instead report an
+  // in-memory approximate count with no I/O — and no dedup.
+  uint64_t approx = 0;
+  std::set<std::string, std::less<>> scanned;
   for (auto it = memtable_.lower_bound(lk);
        it != memtable_.end() && it->first <= hk; ++it)
-    ++total;
+    scanned.insert(it->first);
 
-  auto count_table = [&](const SsTable& t) -> uint64_t {
-    if (lk > t.max_key || hk < t.min_key) return 0;
+  auto count_table = [&](const SsTable& t) {
+    if (lk > t.max_key || hk < t.min_key) return;
     if (t.surf != nullptr) {
       ++stats_.filter_probes;
-      return t.surf->Count(lk, hk);  // in-memory, no I/O
+      approx += t.surf->Count(lk, hk);  // in-memory, no I/O
+      return;
     }
     // Scan blocks.
-    uint64_t cnt = 0;
     auto it = std::upper_bound(t.block_first_key.begin(),
                                t.block_first_key.end(), std::string(lk));
     size_t block = it == t.block_first_key.begin()
@@ -601,15 +610,14 @@ uint64_t LsmTree::Count(std::string_view lk, std::string_view hk) {
       if (t.block_first_key[block] > std::string(hk)) break;
       const Block& entries = GetBlock(t, block);
       for (const auto& [k, v] : entries)
-        if (k >= lk && k <= hk) ++cnt;
+        if (k >= lk && k <= hk) scanned.insert(k);
     }
-    return cnt;
   };
 
-  for (const auto& t : levels_[0]) total += count_table(*t);
+  for (const auto& t : levels_[0]) count_table(*t);
   for (size_t l = 1; l < levels_.size(); ++l)
-    for (const auto& t : levels_[l]) total += count_table(*t);
-  return total;
+    for (const auto& t : levels_[l]) count_table(*t);
+  return approx + scanned.size();
 }
 
 void LsmTree::Finish() {

@@ -12,6 +12,7 @@
 #define MET_LSM_LSM_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
@@ -20,6 +21,8 @@
 #include <vector>
 
 #include "bloom/bloom.h"
+#include "check/fwd.h"
+#include "common/assert.h"
 #include "obs/obs.h"
 #include "surf/surf.h"
 
@@ -104,8 +107,9 @@ class LsmTree {
   std::optional<std::string> ClosedSeek(std::string_view lk,
                                         std::string_view hk);
 
-  /// Approximate count of keys in [lk, hk] (exact without SuRF by scanning;
-  /// filter-accelerated and approximate with SuRF).
+  /// Count of distinct keys in [lk, hk]: exact without SuRF (scans blocks
+  /// and dedupes stale versions across components); filter-accelerated and
+  /// approximate with SuRF.
   uint64_t Count(std::string_view lk, std::string_view hk);
 
   /// Flushes the memtable and compacts until all level limits hold.
@@ -119,7 +123,23 @@ class LsmTree {
   size_t NumLevels() const { return levels_.size(); }
   uint64_t DiskBytes() const;
 
+  /// Verifies level ordering rules (L0 keys per-table sorted; levels >= 1
+  /// sorted and non-overlapping), per-table fence-index monotonicity, and
+  /// min/max-key bounds. No-op unless MET_CHECK_ENABLED (impl in
+  /// check/lsm_check.cc).
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return CheckValidate(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
  private:
+  bool CheckValidate(std::ostream& os) const;  // check/lsm_check.cc
+  friend struct check::TestAccess;
+
   struct SsTable {
     uint64_t id;
     std::string path;

@@ -1,7 +1,6 @@
 #include "masstree/compact_masstree.h"
 
-#include <cassert>
-
+#include "common/assert.h"
 #include "masstree/masstree.h"  // for slice packing helpers
 
 namespace met {
@@ -11,7 +10,7 @@ using masstree_internal::PackSlice;
 
 void CompactMasstree::Build(const std::vector<std::string>& keys,
                             const std::vector<Value>& values) {
-  assert(keys.size() == values.size());
+  MET_ASSERT(keys.size() == values.size());
   DestroyNode(root_);
   root_ = nullptr;
   size_ = keys.size();

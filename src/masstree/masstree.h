@@ -13,11 +13,14 @@
 #include <compare>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "btree/btree.h"
+#include "check/fwd.h"
+#include "common/assert.h"
 
 namespace met {
 
@@ -87,7 +90,22 @@ class Masstree {
     size_ = 0;
   }
 
+  /// Verifies keyslice packing, length-class/link-kind consistency, keybag
+  /// suffix placement, and global key order across layers. No-op unless
+  /// MET_CHECK_ENABLED (impl in check/masstree_check.cc).
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return CheckValidate(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
  private:
+  bool CheckValidate(std::ostream& os) const;  // check/masstree_check.cc
+  friend struct check::TestAccess;
+
   using MtKey = masstree_internal::MtKey;
 
   struct SuffixRec {  // keybag entry

@@ -3,8 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <cassert>
-
+#include "common/assert.h"
 #include "obs/obs.h"
 
 namespace met {
@@ -215,14 +214,15 @@ void MiniDb::EnableAntiCaching(size_t budget_bytes) {
   if (anticache_fd_ < 0) {
     anticache_fd_ =
         ::open(anticache_path_.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
-    assert(anticache_fd_ >= 0);
+    MET_ASSERT(anticache_fd_ >= 0, "anti-cache file open failed");
   }
 }
 
 uint64_t MiniDb::AppendToAntiCache(std::string_view payload) {
   uint64_t off = anticache_size_;
   ssize_t written = ::pwrite(anticache_fd_, payload.data(), payload.size(), off);
-  assert(written == static_cast<ssize_t>(payload.size()));
+  MET_ASSERT(written == static_cast<ssize_t>(payload.size()),
+             "short anti-cache write");
   (void)written;
   anticache_size_ += payload.size();
   return off;
@@ -234,7 +234,7 @@ void MiniDb::FetchFromAntiCache(uint64_t offset, uint32_t length,
   obs::ScopedTimer span(m.fetch_ns);
   out->resize(length);
   ssize_t got = ::pread(anticache_fd_, out->data(), length, offset);
-  assert(got == length);
+  MET_ASSERT(got == length, "short anti-cache read");
   (void)got;
   ++stats_.anticache_fetches;
   m.anticache_fetches->Increment();

@@ -9,10 +9,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "btree/btree.h"  // for btree_internal::KeyHeapBytes
+#include "check/fwd.h"
+#include "common/assert.h"
 #include "common/random.h"
 
 namespace met {
@@ -162,6 +165,18 @@ class SkipList {
     return bytes;
   }
 
+  /// Verifies tower ordering per level, level monotonicity, page-chain
+  /// linkage, and counts. No-op unless MET_CHECK_ENABLED; see
+  /// check/skiplist_check.h.
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return ValidateImpl(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
   double PageOccupancy() const {
     size_t slots = 0, used = 0;
     for (const Page* p = head_->page; p != nullptr; p = p->next) {
@@ -294,6 +309,9 @@ class SkipList {
     ++size_;
     return true;
   }
+
+  bool ValidateImpl(std::ostream& os) const;  // check/skiplist_check.h
+  friend struct check::TestAccess;
 
   Tower* head_;
   size_t size_ = 0;

@@ -10,10 +10,13 @@
 #define MET_SURF_SURF_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "check/fwd.h"
+#include "common/assert.h"
 #include "fst/fst.h"
 
 namespace met {
@@ -83,7 +86,22 @@ class Surf {
   void Serialize(std::string* out) const;
   bool Deserialize(std::string_view in);
 
+  /// Validates the underlying FST encoding plus the suffix-array sizing and,
+  /// for every stored (truncated) key, the no-false-negative guarantee.
+  /// No-op unless MET_CHECK_ENABLED (impl in check/surf_check.cc).
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return CheckValidate(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
  private:
+  bool CheckValidate(std::ostream& os) const;  // check/surf_check.cc
+  friend struct check::TestAccess;
+
   uint32_t SuffixBitsTotal() const {
     return config_.hash_suffix_bits + config_.real_suffix_bits;
   }

@@ -17,7 +17,7 @@ TEST(ArtTest, InsertFindBasic) {
   Art art;
   EXPECT_TRUE(art.Insert("hello", 1));
   EXPECT_FALSE(art.Insert("hello", 2));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(art.Find("hello", &v));
   EXPECT_EQ(v, 1u);
   EXPECT_FALSE(art.Find("hell"));
@@ -31,7 +31,7 @@ TEST(ArtTest, PrefixKeys) {
   EXPECT_TRUE(art.Insert("ab", 2));
   EXPECT_TRUE(art.Insert("abc", 3));
   EXPECT_TRUE(art.Insert("abd", 4));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(art.Find("a", &v));
   EXPECT_EQ(v, 1u);
   EXPECT_TRUE(art.Find("ab", &v));
@@ -51,7 +51,7 @@ TEST(ArtTest, EmbeddedNulBytes) {
   EXPECT_TRUE(art.Insert(k1, 1));
   EXPECT_TRUE(art.Insert(k2, 2));
   EXPECT_TRUE(art.Insert(k3, 3));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(art.Find(k1, &v));
   EXPECT_EQ(v, 1u);
   EXPECT_TRUE(art.Find(k2, &v));
@@ -66,7 +66,7 @@ TEST(ArtTest, LongCommonPrefixBeyondInlineWindow) {
   std::string base(40, 'x');
   EXPECT_TRUE(art.Insert(base + "a", 1));
   EXPECT_TRUE(art.Insert(base + "b", 2));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(art.Find(base + "a", &v));
   EXPECT_EQ(v, 1u);
   EXPECT_FALSE(art.Find(base.substr(0, 39) + "ya"));
@@ -89,7 +89,7 @@ TEST(ArtTest, GrowThroughAllNodeTypes) {
   for (int b = 0; b < 256; ++b) {
     std::string k(1, static_cast<char>(b));
     k += "suffix";
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(art.Find(k, &v)) << b;
     EXPECT_EQ(v, static_cast<uint64_t>(b));
   }
@@ -188,7 +188,7 @@ TEST(CompactArtTest, BuildFindInts) {
   art.Build(keys, vals);
   EXPECT_EQ(art.size(), keys.size());
   for (size_t i = 0; i < keys.size(); i += 17) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(art.Find(keys[i], &v));
     EXPECT_EQ(v, ints[i]);
   }
@@ -203,7 +203,7 @@ TEST(CompactArtTest, BuildFindEmails) {
   CompactArt art;
   art.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); i += 11) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(art.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
@@ -216,7 +216,7 @@ TEST(CompactArtTest, PrefixKeysAndTerminals) {
   CompactArt art;
   art.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(art.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, vals[i]);
   }
@@ -277,7 +277,7 @@ TEST(CompactArtTest, EmptyAndSingle) {
   art.Build({}, {});
   EXPECT_FALSE(art.Find("x"));
   art.Build({"only"}, {7});
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(art.Find("only", &v));
   EXPECT_EQ(v, 7u);
   EXPECT_FALSE(art.Find("onl"));

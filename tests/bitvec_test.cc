@@ -92,8 +92,9 @@ TEST_P(RankSelectParamTest, MatchesNaive) {
     for (size_t i = 0; i < n; ++i) {
       if (bv.Get(i)) {
         ++r;
-        if (r % 13 == 0 || r == 1 || r == ones)
+        if (r % 13 == 0 || r == 1 || r == ones) {
           EXPECT_EQ(select.Select1(r), i) << "rank " << r;
+        }
       }
     }
   }

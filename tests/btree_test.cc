@@ -28,7 +28,7 @@ TEST(BTreeTest, UpdateErase) {
   BTree<uint64_t> tree;
   tree.Insert(1, 10);
   EXPECT_TRUE(tree.Update(1, 20));
-  uint64_t v;
+  uint64_t v = 0;
   tree.Find(1, &v);
   EXPECT_EQ(v, 20u);
   EXPECT_FALSE(tree.Update(2, 5));
@@ -99,7 +99,7 @@ TEST(BTreeTest, StringKeys) {
   std::vector<std::string> keys = GenEmails(5000);
   for (size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(tree.Insert(keys[i], i));
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(tree.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
@@ -139,7 +139,7 @@ TEST(CompactBTreeTest, BuildAndFindInt) {
   tree.Build(MakeEntries(keys));
   EXPECT_EQ(tree.size(), keys.size());
   for (size_t i = 0; i < keys.size(); i += 17) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(tree.Find(keys[i], &v));
     EXPECT_EQ(v, i);
   }
@@ -152,7 +152,7 @@ TEST(CompactBTreeTest, BuildAndFindString) {
   CompactBTree<std::string> tree;
   tree.Build(MakeEntries(keys));
   for (size_t i = 0; i < keys.size(); i += 13) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(tree.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
@@ -186,7 +186,7 @@ TEST(CompactBTreeTest, MergeApplyShadowAndTombstone) {
   };
   tree.MergeApply(updates);
   EXPECT_EQ(tree.size(), 6u);
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(tree.Find(5, &v));
   EXPECT_EQ(v, 100u);
   EXPECT_TRUE(tree.Find(20, &v));

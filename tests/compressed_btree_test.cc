@@ -25,7 +25,7 @@ TEST(CompressedBTreeTest, RoundTripInts) {
   CompressedBTree<uint64_t> t(16);
   t.Build(Entries(keys));
   for (size_t i = 0; i < keys.size(); i += 7) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(t.Find(keys[i], &v));
     EXPECT_EQ(v, i);
   }
@@ -39,7 +39,7 @@ TEST(CompressedBTreeTest, RoundTripStrings) {
   CompressedBTree<std::string> t(16);
   t.Build(Entries(keys));
   for (size_t i = 0; i < keys.size(); i += 11) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(t.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
@@ -59,7 +59,7 @@ TEST(CompressedBTreeTest, MergeApply) {
   CompressedBTree<uint64_t> t(8);
   t.Build(Entries(std::vector<uint64_t>{10, 20, 30}));
   t.MergeApply({{15, 150, false}, {20, 0, true}, {40, 400, false}});
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(t.Find(15, &v));
   EXPECT_EQ(v, 150u);
   EXPECT_FALSE(t.Find(20));
@@ -85,7 +85,7 @@ TEST(PrefixBTreeTest, FindAndScan) {
   PrefixBTree<> t;
   t.Build(keys, values);
   for (size_t i = 0; i < keys.size(); i += 13) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(t.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }

@@ -42,7 +42,7 @@ TYPED_TEST(IntIndexConformanceTest, UpdateOnlyExisting) {
   EXPECT_FALSE(this->index.Update(1, 10));
   this->index.Insert(1, 10);
   EXPECT_TRUE(this->index.Update(1, 20));
-  uint64_t v;
+  uint64_t v = 0;
   this->index.Find(1, &v);
   EXPECT_EQ(v, 20u);
 }
@@ -53,7 +53,7 @@ TYPED_TEST(IntIndexConformanceTest, EraseSemantics) {
   EXPECT_FALSE(this->index.Erase(5));
   EXPECT_FALSE(this->index.Find(5));
   EXPECT_TRUE(this->index.Insert(5, 51));  // reinsert after erase
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(this->index.Find(5, &v));
   EXPECT_EQ(v, 51u);
 }
@@ -109,7 +109,9 @@ TYPED_TEST(IntIndexConformanceTest, RandomOpsMatchStdMap) {
         uint64_t v = 0;
         bool found = this->index.Find(k, &v);
         ASSERT_EQ(found, ref.count(k) > 0);
-        if (found) ASSERT_EQ(v, ref[k]);
+        if (found) {
+          ASSERT_EQ(v, ref[k]);
+        }
       }
     }
   }
@@ -133,7 +135,7 @@ TYPED_TEST(StringIndexConformanceTest, BasicContract) {
   EXPECT_TRUE(this->index.Insert(a, 1));
   EXPECT_FALSE(this->index.Insert(a, 2));
   EXPECT_TRUE(this->index.Insert(b, 3));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(this->index.Find(a, &v));
   EXPECT_EQ(v, 1u);
   EXPECT_TRUE(this->index.Update(b, 4));
@@ -147,7 +149,7 @@ TYPED_TEST(StringIndexConformanceTest, PrefixKeysCoexist) {
   for (size_t i = 0; i < 5; ++i)
     EXPECT_TRUE(this->index.Insert(keys[i], i)) << keys[i];
   for (size_t i = 0; i < 5; ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(this->index.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }

@@ -28,7 +28,7 @@ TEST(CompactArtEdgeTest, Layout3WideNodes) {
   CompactArt art;
   art.Build(keys, values);
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(art.Find(keys[i], &v)) << i;
     EXPECT_EQ(v, i);
   }
@@ -48,7 +48,7 @@ TEST(FstEdgeTest, SixtyFourLevelKeys) {
   fst.Build(keys, values);
   EXPECT_EQ(fst.height(), 64u);
   for (size_t i = 0; i < keys.size(); i += 31) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(fst.Find(keys[i], &v));
     EXPECT_EQ(v, i);
   }
@@ -67,7 +67,7 @@ TEST(FstEdgeTest, DuplicatePrefixChains) {
   Fst fst;
   fst.Build(keys, values);
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(fst.Find(keys[i], &v)) << i;
     EXPECT_EQ(v, i);
   }
@@ -168,7 +168,7 @@ TEST(SkipListEdgeTest, ClearAndReuse) {
   EXPECT_FALSE(sl.Begin().Valid());
   for (int i = 0; i < 1000; ++i)
     EXPECT_TRUE(sl.Insert("k" + std::to_string(i), i * 2));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(sl.Find("k500", &v));
   EXPECT_EQ(v, 1000u);
 }

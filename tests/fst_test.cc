@@ -75,11 +75,14 @@ TEST_P(FstAllConfigsTest, EmailsFullMode) {
   for (int t = 0; t < 2000; ++t) {
     std::string q = keys[rng.Uniform(keys.size())];
     q += static_cast<char>('0' + rng.Uniform(10));
-    if (!std::binary_search(keys.begin(), keys.end(), q)) EXPECT_FALSE(fst.Find(q));
+    if (!std::binary_search(keys.begin(), keys.end(), q)) {
+      EXPECT_FALSE(fst.Find(q));
+    }
     std::string q2 = keys[rng.Uniform(keys.size())];
     if (!q2.empty()) q2.pop_back();
-    if (!std::binary_search(keys.begin(), keys.end(), q2))
+    if (!std::binary_search(keys.begin(), keys.end(), q2)) {
       EXPECT_FALSE(fst.Find(q2)) << q2;
+    }
   }
 }
 
@@ -183,7 +186,7 @@ TEST(FstTest, IntegerKeys) {
   Fst fst;
   fst.Build(keys, Iota(keys.size()));
   for (size_t i = 0; i < keys.size(); i += 31) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(fst.Find(keys[i], &v));
     EXPECT_EQ(v, i);
   }
@@ -229,7 +232,7 @@ TEST(FstTest, PrefixKeysAndMarkers) {
   Fst fst;
   fst.Build(keys, Iota(keys.size()));
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(fst.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
@@ -249,7 +252,7 @@ TEST(FstTest, RealFFLabelVsMarker) {
   Fst fst;
   fst.Build(keys, Iota(keys.size()));
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(fst.Find(keys[i], &v)) << i;
     EXPECT_EQ(v, i);
   }
@@ -311,7 +314,7 @@ TEST(FstTest, EmptyTrie) {
 TEST(FstTest, SingleKey) {
   Fst fst;
   fst.Build({"hello"}, {42});
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(fst.Find("hello", &v));
   EXPECT_EQ(v, 42u);
   EXPECT_FALSE(fst.Find("hell"));

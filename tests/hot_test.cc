@@ -16,7 +16,7 @@ TEST(HotTest, BasicFind) {
   Hot hot;
   hot.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(hot.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, vals[i]);
   }
@@ -34,7 +34,7 @@ TEST(HotTest, EmailDatasetExact) {
   Hot hot;
   hot.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(hot.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
@@ -56,7 +56,7 @@ TEST(HotTest, IntKeys) {
   Hot hot;
   hot.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); i += 7) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(hot.Find(keys[i], &v));
     EXPECT_EQ(v, ints[i]);
   }
@@ -93,7 +93,7 @@ TEST(HotTest, EmptyAndSingle) {
   EXPECT_FALSE(hot.Find("x"));
   Hot one;
   one.Build({"solo"}, {9});
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(one.Find("solo", &v));
   EXPECT_EQ(v, 9u);
   EXPECT_FALSE(one.Find("sol"));

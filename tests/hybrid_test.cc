@@ -105,7 +105,7 @@ TEST(HybridTest, InsertAfterDeleteOfStaticEntry) {
   ASSERT_TRUE(index.Erase(50));       // tombstone in dynamic
   EXPECT_FALSE(index.Find(50));
   EXPECT_TRUE(index.Insert(50, 999));  // reinsert over tombstone
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(index.Find(50, &v));
   EXPECT_EQ(v, 999u);
   index.Merge();
@@ -184,7 +184,7 @@ TEST(HybridTest, BloomToggleCorrectness) {
       bool ok = index.Insert(k, i);
       EXPECT_EQ(ok, ref.emplace(k, i).second);
     } else {
-      uint64_t v;
+      uint64_t v = 0;
       auto it = ref.find(k);
       ASSERT_EQ(index.Find(k, &v), it != ref.end());
     }

@@ -242,7 +242,7 @@ TEST(EdgeCaseTest, AllByteValuesInKeys) {
   Surf surf;
   surf.Build(keys, SurfConfig::Real(8));
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(fst.Find(keys[i], &v)) << i;
     EXPECT_EQ(v, i);
     EXPECT_TRUE(surf.MayContain(keys[i]));

@@ -90,7 +90,9 @@ TEST_P(LsmFilterTest, ClosedSeekMatchesReference) {
     auto it = ref.lower_bound(a);
     bool expect = it != ref.end() && *it <= b;
     ASSERT_EQ(got.has_value(), expect) << t;
-    if (expect) EXPECT_EQ(KeyToUint64(*got), *it);
+    if (expect) {
+      EXPECT_EQ(KeyToUint64(*got), *it);
+    }
   }
 }
 

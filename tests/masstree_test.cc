@@ -19,7 +19,7 @@ TEST(MasstreeTest, ShortAndLongKeys) {
   EXPECT_TRUE(mt.Insert("abcdefgh", 2));            // exactly one slice
   EXPECT_TRUE(mt.Insert("abcdefghi", 3));           // slice + 1
   EXPECT_TRUE(mt.Insert("abcdefghijklmnopqr", 4));  // three layers
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(mt.Find("a", &v));
   EXPECT_EQ(v, 1u);
   EXPECT_TRUE(mt.Find("abcdefgh", &v));
@@ -39,7 +39,7 @@ TEST(MasstreeTest, SharedSliceExpansion) {
   EXPECT_TRUE(mt.Insert("prefix00beta", 2));
   EXPECT_TRUE(mt.Insert("prefix00gamma", 3));
   EXPECT_FALSE(mt.Insert("prefix00beta", 9));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(mt.Find("prefix00alpha", &v));
   EXPECT_EQ(v, 1u);
   EXPECT_TRUE(mt.Find("prefix00beta", &v));
@@ -135,7 +135,7 @@ TEST(CompactMasstreeTest, BuildFindEmails) {
   mt.Build(keys, vals);
   EXPECT_EQ(mt.size(), keys.size());
   for (size_t i = 0; i < keys.size(); i += 13) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(mt.Find(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
@@ -151,7 +151,7 @@ TEST(CompactMasstreeTest, PrefixAndNulKeys) {
   CompactMasstree mt;
   mt.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(mt.Find(keys[i], &v));
     EXPECT_EQ(v, vals[i]);
   }

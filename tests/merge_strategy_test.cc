@@ -24,7 +24,7 @@ TEST(MergeColdTest, HotKeysStayInDynamicStage) {
   // The hot keys (0..9 were re-read just before the merge window) should be
   // findable and the structure consistent.
   for (uint64_t k = 0; k < 4000; ++k) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(index.Find(k, &v)) << k;
     EXPECT_EQ(v, k);
   }
@@ -57,7 +57,9 @@ TEST(MergeColdTest, MatchesStdMapUnderRandomOps) {
         uint64_t v = 0;
         bool found = index.Find(k, &v);
         ASSERT_EQ(found, ref.count(k) > 0);
-        if (found) ASSERT_EQ(v, ref[k]);
+        if (found) {
+          ASSERT_EQ(v, ref[k]);
+        }
       }
     }
   }

@@ -1,0 +1,460 @@
+// Differential property tests: seeded random operation sequences replayed
+// through every index family against a trusted oracle, with structural
+// Validate() checks at checkpoints (see src/check/differential.h and
+// DESIGN.md, "Invariants & verification").
+//
+// This target compiles with MET_CHECK=1 (tests/CMakeLists.txt), so
+// Validate() is live even in release CI builds. Longer runs:
+//
+//   MET_FUZZ_OPS=1000000 MET_FUZZ_SEEDS=1,2,3 ctest -R property
+//
+// Seeds that ever exposed a bug are pinned in kRegressionSeeds below so the
+// exact sequence replays forever.
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "art/art.h"
+#include "check/btree_check.h"
+#include "check/compact_btree_check.h"
+#include "check/compressed_btree_check.h"
+#include "check/differential.h"
+#include "check/skiplist_check.h"
+#include "common/random.h"
+#include "fst/fst.h"
+#include "hybrid/hybrid.h"
+#include "keys/keygen.h"
+#include "lsm/lsm.h"
+#include "masstree/masstree.h"
+#include "skiplist/skiplist.h"
+#include "surf/surf.h"
+
+namespace met {
+namespace {
+
+using check::DiffKeys;
+using check::DiffOp;
+using check::DiffOptions;
+using check::DiffResult;
+using check::GenOps;
+using check::OpsToString;
+using check::RunDynamicOps;
+using check::RunStaticMergeOps;
+
+// Seeds that reproduced a historical failure; never remove entries.
+constexpr uint64_t kRegressionSeeds[] = {0x5eed0001};
+
+size_t OpsPerStructure() {
+  const char* s = std::getenv("MET_FUZZ_OPS");
+  size_t n = s != nullptr ? std::strtoull(s, nullptr, 10) : 0;
+  return n > 0 ? n : 100000;
+}
+
+std::vector<uint64_t> Seeds() {
+  std::vector<uint64_t> seeds;
+  if (const char* s = std::getenv("MET_FUZZ_SEEDS")) {
+    std::stringstream ss(s);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) seeds.push_back(std::strtoull(tok.c_str(), nullptr, 0));
+    }
+  }
+  if (seeds.empty()) seeds = {0xC0FFEEull, 42};
+  for (uint64_t r : kRegressionSeeds) seeds.push_back(r);
+  return seeds;
+}
+
+template <typename Factory>
+void DynamicDifferential(Factory make_index) {
+  size_t n_ops = OpsPerStructure();
+  for (uint64_t seed : Seeds()) {
+    auto index = make_index();
+    std::vector<std::string> keys = DiffKeys(4096, seed);
+    std::vector<DiffOp> ops = GenOps(seed, n_ops, keys.size());
+    DiffResult res = RunDynamicOps(index, keys, ops);
+    ASSERT_TRUE(res.ok) << "seed " << seed << " diverged at op "
+                        << res.failed_op << ": " << res.message;
+  }
+}
+
+TEST(PropertyBTree, Differential) {
+  DynamicDifferential([] { return BTree<std::string>(); });
+}
+
+TEST(PropertySkipList, Differential) {
+  DynamicDifferential([] { return SkipList<std::string>(); });
+}
+
+TEST(PropertyArt, Differential) {
+  DynamicDifferential([] { return Art(); });
+}
+
+TEST(PropertyMasstree, Differential) {
+  DynamicDifferential([] { return Masstree(); });
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid indexes: check::HybridDiffAdapter composes a Validate() out of the
+// two stage validators, so every automatic merge is followed by a full
+// structural check of both stages at the next checkpoint.
+// ---------------------------------------------------------------------------
+
+HybridConfig HybridFuzzConfig() {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 512;  // merge often under fuzz
+  return cfg;
+}
+
+TEST(PropertyHybridBTree, Differential) {
+  DynamicDifferential([] {
+    return check::HybridDiffAdapter<HybridBTree<std::string>>(
+        HybridFuzzConfig());
+  });
+}
+
+TEST(PropertyHybridCompressedBTree, Differential) {
+  DynamicDifferential([] {
+    return check::HybridDiffAdapter<HybridCompressedBTree<std::string>>(
+        HybridFuzzConfig());
+  });
+}
+
+TEST(PropertyHybridArt, Differential) {
+  DynamicDifferential(
+      [] { return check::HybridDiffAdapter<HybridArt>(HybridFuzzConfig()); });
+}
+
+// ---------------------------------------------------------------------------
+// Static merge structures
+// ---------------------------------------------------------------------------
+
+template <typename Tree>
+void StaticDifferential() {
+  size_t n_ops = OpsPerStructure();
+  for (uint64_t seed : Seeds()) {
+    Tree tree;
+    std::vector<std::string> keys = DiffKeys(4096, seed);
+    std::vector<DiffOp> ops = GenOps(seed, n_ops, keys.size());
+    DiffResult res = RunStaticMergeOps(tree, keys, ops);
+    ASSERT_TRUE(res.ok) << "seed " << seed << " diverged at op "
+                        << res.failed_op << ": " << res.message;
+  }
+}
+
+TEST(PropertyCompactBTree, Differential) {
+  StaticDifferential<CompactBTree<std::string>>();
+}
+
+TEST(PropertyCompressedBTree, Differential) {
+  StaticDifferential<CompressedBTree<std::string>>();
+}
+
+// ---------------------------------------------------------------------------
+// FST: build from a key set, then random point/range probes against binary
+// search over the sorted keys. Validate() already performs the full ordered
+// iterator + Lookup round trip.
+// ---------------------------------------------------------------------------
+
+std::string MutateKey(const std::string& key, Random* rng) {
+  std::string k = key;
+  switch (rng->Uniform(3)) {
+    case 0:
+      if (!k.empty()) {
+        k[rng->Uniform(k.size())] =
+            static_cast<char>(rng->Uniform(256));
+        break;
+      }
+      [[fallthrough]];
+    case 1:
+      k.push_back(static_cast<char>(rng->Uniform(256)));
+      break;
+    default:
+      if (!k.empty()) k.pop_back();
+      break;
+  }
+  return k;
+}
+
+void FstDifferential(FstConfig::Mode mode, uint64_t seed, size_t probes) {
+  std::vector<std::string> keys = DiffKeys(20000, seed);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+
+  FstConfig cfg;
+  cfg.mode = mode;
+  Fst fst;
+  fst.Build(keys, values, cfg);
+
+  std::ostringstream err;
+  ASSERT_TRUE(fst.Validate(err)) << "seed " << seed << "\n" << err.str();
+  EXPECT_EQ(fst.num_keys(), keys.size());
+
+  bool full = mode == FstConfig::Mode::kFullKey;
+  Random rng(seed ^ 0xF57);
+  for (size_t p = 0; p < probes; ++p) {
+    switch (rng.Uniform(3)) {
+      case 0: {  // stored key
+        size_t i = rng.Uniform(keys.size());
+        uint64_t v = ~0ull;
+        ASSERT_TRUE(fst.Find(keys[i], &v))
+            << "seed " << seed << ": stored key missed: " << keys[i];
+        ASSERT_EQ(v, values[i]) << "seed " << seed << " key " << keys[i];
+        break;
+      }
+      case 1: {  // likely-absent key (exact in full-key mode only)
+        std::string k = MutateKey(keys[rng.Uniform(keys.size())], &rng);
+        bool stored =
+            std::binary_search(keys.begin(), keys.end(), k);
+        if (full) {
+          ASSERT_EQ(fst.Find(k), stored)
+              << "seed " << seed << " probe key " << k;
+        } else if (stored) {
+          ASSERT_TRUE(fst.Find(k)) << "seed " << seed << " key " << k;
+        }
+        break;
+      }
+      default: {  // range count over [lo, hi)
+        std::string lo = keys[rng.Uniform(keys.size())];
+        std::string hi = keys[rng.Uniform(keys.size())];
+        if (rng.Uniform(2) == 0) lo = MutateKey(lo, &rng);
+        if (rng.Uniform(2) == 0) hi = MutateKey(hi, &rng);
+        if (hi < lo) std::swap(lo, hi);
+        uint64_t want =
+            std::lower_bound(keys.begin(), keys.end(), hi) -
+            std::lower_bound(keys.begin(), keys.end(), lo);
+        uint64_t got = fst.CountRange(lo, hi);
+        if (full) {
+          ASSERT_EQ(got, want)
+              << "seed " << seed << " range [" << lo << ", " << hi << ")";
+        } else {
+          // Truncated tries compare probe endpoints against stored
+          // *prefixes*. An endpoint lying strictly between a key's stored
+          // prefix and its full form shifts that key across the boundary in
+          // either direction, so each endpoint contributes at most one key
+          // of error either way.
+          ASSERT_GE(got + 2, want)
+              << "seed " << seed << " range [" << lo << ", " << hi << ")";
+          ASSERT_LE(got, want + 2)
+              << "seed " << seed << " range [" << lo << ", " << hi << ")";
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST(PropertyFst, FullKeyDifferential) {
+  for (uint64_t seed : Seeds()) {
+    FstDifferential(FstConfig::Mode::kFullKey, seed, 20000);
+  }
+}
+
+TEST(PropertyFst, TruncatedDifferential) {
+  for (uint64_t seed : Seeds()) {
+    FstDifferential(FstConfig::Mode::kMinUniquePrefix, seed, 20000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SuRF: one-sided-error guarantees against the original key set.
+// ---------------------------------------------------------------------------
+
+void SurfDifferential(const SurfConfig& cfg, uint64_t seed) {
+  std::vector<std::string> keys = DiffKeys(15000, seed);
+  Surf surf;
+  surf.Build(keys, cfg);
+
+  std::ostringstream err;
+  ASSERT_TRUE(surf.Validate(err)) << "seed " << seed << "\n" << err.str();
+
+  // No false negatives, ever.
+  for (const std::string& k : keys) {
+    ASSERT_TRUE(surf.MayContain(k)) << "seed " << seed << " key " << k;
+  }
+
+  Random rng(seed ^ 0x50F);
+  size_t absent = 0, false_positive = 0;
+  std::vector<std::string> absent_probes;
+  for (size_t p = 0; p < 10000; ++p) {
+    std::string k = MutateKey(keys[rng.Uniform(keys.size())], &rng);
+    if (std::binary_search(keys.begin(), keys.end(), k)) continue;
+    ++absent;
+    absent_probes.push_back(std::move(k));
+    if (surf.MayContain(absent_probes.back())) ++false_positive;
+  }
+  if (cfg.hash_suffix_bits >= 8 && absent > 1000) {
+    // A hash suffix checks every absent key, so 8+ bits push the point FPR
+    // below 1/256; 10% is a generous, deterministic ceiling (mutated keys
+    // often share long stored prefixes).
+    EXPECT_LT(false_positive * 10, absent)
+        << "seed " << seed << ": point FPR "
+        << static_cast<double>(false_positive) / absent;
+  } else if (cfg.real_suffix_bits > 0 && cfg.hash_suffix_bits == 0 &&
+             absent > 1000) {
+    // A real suffix only rejects probes that diverge at the byte right
+    // after the stored prefix, so its point FPR depends on where the
+    // mutation lands (most of ours hit deeper bytes). The checkable
+    // guarantee: the suffix prunes strictly on top of the bare trie, so it
+    // never admits a probe the Base config rejects.
+    Surf base;
+    base.Build(keys, SurfConfig::Base());
+    size_t base_fp = 0;
+    for (const std::string& k : absent_probes) {
+      if (base.MayContain(k)) ++base_fp;
+    }
+    EXPECT_LE(false_positive, base_fp)
+        << "seed " << seed
+        << ": real suffix admitted probes the bare trie rejects";
+  }
+
+  for (size_t p = 0; p < 3000; ++p) {
+    std::string lo = keys[rng.Uniform(keys.size())];
+    std::string hi = keys[rng.Uniform(keys.size())];
+    if (rng.Uniform(2) == 0) lo = MutateKey(lo, &rng);
+    if (rng.Uniform(2) == 0) hi = MutateKey(hi, &rng);
+    if (hi < lo) std::swap(lo, hi);
+    // [lo, hi] inclusive bounds.
+    uint64_t want = std::upper_bound(keys.begin(), keys.end(), hi) -
+                    std::lower_bound(keys.begin(), keys.end(), lo);
+    if (want > 0) {
+      ASSERT_TRUE(surf.MayContainRange(lo, hi))
+          << "seed " << seed << " range [" << lo << ", " << hi << "]";
+    }
+    uint64_t got = surf.Count(lo, hi);
+    ASSERT_GE(got, want) << "seed " << seed << " range [" << lo << ", " << hi
+                         << "] (Count must never under-count)";
+    ASSERT_LE(got, want + 2)
+        << "seed " << seed << " range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(PropertySurf, Base) {
+  for (uint64_t seed : Seeds()) SurfDifferential(SurfConfig::Base(), seed);
+}
+
+TEST(PropertySurf, Hash8) {
+  for (uint64_t seed : Seeds()) SurfDifferential(SurfConfig::Hash(8), seed);
+}
+
+TEST(PropertySurf, Real8) {
+  for (uint64_t seed : Seeds()) SurfDifferential(SurfConfig::Real(8), seed);
+}
+
+// ---------------------------------------------------------------------------
+// LSM: upsert/read/seek/count differential with frequent flushes and
+// compactions (tiny memtable / table sizes), Validate() at checkpoints.
+// ---------------------------------------------------------------------------
+
+void LsmDifferential(LsmFilterType filter, uint64_t seed, size_t n_ops) {
+  LsmOptions opt;
+  opt.dir = "/tmp/met_property_lsm_" + std::to_string(seed) + "_" +
+            std::to_string(static_cast<int>(filter));
+  opt.memtable_bytes = 32 << 10;
+  opt.block_bytes = 1024;
+  opt.sstable_target_bytes = 64 << 10;
+  opt.level1_bytes = 256 << 10;
+  opt.filter = filter;
+  LsmTree tree(opt);
+
+  bool exact_count = filter != LsmFilterType::kSurfHash &&
+                     filter != LsmFilterType::kSurfReal;
+  std::map<std::string, std::string> oracle;
+  std::vector<std::string> keys = DiffKeys(2048, seed);
+  std::vector<DiffOp> ops = GenOps(seed, n_ops, keys.size());
+
+  auto validate = [&](size_t i) {
+    std::ostringstream err;
+    ASSERT_TRUE(tree.Validate(err))
+        << "seed " << seed << " op " << i << "\n" << err.str();
+  };
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const DiffOp& op = ops[i];
+    const std::string& k = keys[op.key_index % keys.size()];
+    switch (op.kind) {
+      case DiffOp::kInsert:
+      case DiffOp::kInsertOrAssign:
+      case DiffOp::kUpdate: {
+        std::string v = "v" + std::to_string(op.value);
+        tree.Put(k, v);
+        oracle[k] = v;
+        break;
+      }
+      case DiffOp::kErase:  // the engine has no deletes; probe instead
+      case DiffOp::kFind: {
+        std::string got_v;
+        bool got = tree.Get(k, &got_v);
+        auto it = oracle.find(k);
+        ASSERT_EQ(got, it != oracle.end())
+            << "seed " << seed << " op " << i << " Get(" << k << ")";
+        if (got) {
+          ASSERT_EQ(got_v, it->second)
+              << "seed " << seed << " op " << i << " Get(" << k << ")";
+        }
+        break;
+      }
+      case DiffOp::kScan: {
+        std::optional<std::string> got = tree.Seek(k);
+        auto it = oracle.lower_bound(k);
+        if (it == oracle.end()) {
+          ASSERT_FALSE(got.has_value())
+              << "seed " << seed << " op " << i << " Seek(" << k << ")";
+        } else {
+          ASSERT_TRUE(got.has_value())
+              << "seed " << seed << " op " << i << " Seek(" << k << ")";
+          ASSERT_EQ(*got, it->first)
+              << "seed " << seed << " op " << i << " Seek(" << k << ")";
+        }
+        if (exact_count) {
+          const std::string& hk =
+              keys[(op.key_index + op.scan_len) % keys.size()];
+          std::string lo = k, hi = hk;
+          if (hi < lo) std::swap(lo, hi);
+          uint64_t want = 0;
+          for (auto oit = oracle.lower_bound(lo);
+               oit != oracle.end() && oit->first <= hi; ++oit)
+            ++want;
+          ASSERT_EQ(tree.Count(lo, hi), want)
+              << "seed " << seed << " op " << i << " Count(" << lo << ", "
+              << hi << ")";
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if ((i + 1) % 4096 == 0) validate(i);
+  }
+
+  tree.Finish();
+  validate(ops.size());
+  for (const auto& kv : oracle) {
+    std::string got_v;
+    ASSERT_TRUE(tree.Get(kv.first, &got_v))
+        << "seed " << seed << " final sweep key " << kv.first;
+    ASSERT_EQ(got_v, kv.second) << "seed " << seed << " key " << kv.first;
+  }
+}
+
+TEST(PropertyLsm, NoFilter) {
+  for (uint64_t seed : Seeds())
+    LsmDifferential(LsmFilterType::kNone, seed, OpsPerStructure() / 4);
+}
+
+TEST(PropertyLsm, BloomFilter) {
+  for (uint64_t seed : Seeds())
+    LsmDifferential(LsmFilterType::kBloom, seed, OpsPerStructure() / 4);
+}
+
+TEST(PropertyLsm, SurfRealFilter) {
+  for (uint64_t seed : Seeds())
+    LsmDifferential(LsmFilterType::kSurfReal, seed, OpsPerStructure() / 4);
+}
+
+}  // namespace
+}  // namespace met

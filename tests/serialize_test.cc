@@ -104,7 +104,7 @@ TEST(SerializeTest, SparseOnlyAndEmpty) {
   original.Serialize(&blob);
   Fst restored;
   ASSERT_TRUE(restored.Deserialize(blob));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(restored.Find(keys[123], &v));
   EXPECT_EQ(v, 7u);
 

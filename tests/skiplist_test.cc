@@ -15,7 +15,7 @@ TEST(SkipListTest, InsertFindEraseBasic) {
   SkipList<uint64_t> sl;
   EXPECT_TRUE(sl.Insert(10, 100));
   EXPECT_FALSE(sl.Insert(10, 200));
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(sl.Find(10, &v));
   EXPECT_EQ(v, 100u);
   EXPECT_TRUE(sl.Update(10, 150));
@@ -84,7 +84,7 @@ TEST(SkipListTest, SmallestKeyInsertedLater) {
   sl.Insert(100, 1);
   sl.Insert(50, 2);  // smaller than the first tower's separator
   sl.Insert(10, 3);
-  uint64_t v;
+  uint64_t v = 0;
   EXPECT_TRUE(sl.Find(10, &v));
   EXPECT_EQ(v, 3u);
   auto it = sl.Begin();
@@ -96,7 +96,7 @@ TEST(SkipListTest, StringKeys) {
   auto keys = GenEmails(5000);
   for (size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(sl.Insert(keys[i], i));
   for (size_t i = 0; i < keys.size(); i += 7) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(sl.Find(keys[i], &v));
     EXPECT_EQ(v, i);
   }
@@ -119,7 +119,7 @@ TEST(CompactSkipListTest, BuildAndFind) {
     entries.push_back({keys[i], i, false});
   csl.Build(std::move(entries));
   for (size_t i = 0; i < keys.size(); i += 23) {
-    uint64_t v;
+    uint64_t v = 0;
     ASSERT_TRUE(csl.Find(keys[i], &v));
     EXPECT_EQ(v, i);
   }

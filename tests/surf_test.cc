@@ -206,8 +206,9 @@ TEST(SurfTest, WorstCaseDatasetIsAccurateButLarge) {
   for (int t = 0; t < 1000; ++t) {
     std::string k = keys[rng.Uniform(keys.size())];
     k[40] = static_cast<char>('a' + rng.Uniform(26));
-    if (!std::binary_search(keys.begin(), keys.end(), k))
+    if (!std::binary_search(keys.begin(), keys.end(), k)) {
       EXPECT_FALSE(surf.MayContain(k));
+    }
   }
 }
 

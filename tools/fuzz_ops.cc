@@ -1,0 +1,331 @@
+// Differential fuzz driver (nightly CI + local debugging).
+//
+// Replays seeded random op sequences through every index family against the
+// std::map oracle (src/check/differential.h). On divergence the failing
+// sequence is shrunk with ddmin-lite and printed as a replayable repro; with
+// --out the repro is also written to a file (uploaded as a CI artifact).
+//
+//   fuzz_ops --seeds=16 --seed-start=1000 --ops=200000 [--structure=art]
+//            [--keys=4096] [--out=/tmp/fuzz_failures.txt]
+//
+// Exit code: number of failing (structure, seed) pairs, capped at 125.
+//
+// Built with MET_CHECK=1 (tools/CMakeLists.txt), so Validate() runs at every
+// checkpoint regardless of build type.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "art/art.h"
+#include "check/btree_check.h"
+#include "check/compact_btree_check.h"
+#include "check/compressed_btree_check.h"
+#include "check/differential.h"
+#include "check/skiplist_check.h"
+#include "common/random.h"
+#include "fst/fst.h"
+#include "hybrid/hybrid.h"
+#include "keys/keygen.h"
+#include "lsm/lsm.h"
+#include "masstree/masstree.h"
+#include "skiplist/skiplist.h"
+#include "surf/surf.h"
+
+namespace met {
+namespace {
+
+using check::DiffKeys;
+using check::DiffOp;
+using check::DiffResult;
+using check::GenOps;
+using check::MinimizeOps;
+using check::OpsToString;
+using check::RunDynamicOps;
+using check::RunStaticMergeOps;
+
+struct Options {
+  std::string structure = "all";
+  uint64_t seed_start = 1;
+  size_t num_seeds = 4;
+  size_t num_ops = 100000;
+  size_t num_keys = 4096;
+  std::string out_path;
+};
+
+HybridConfig HybridFuzzConfig() {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 512;
+  return cfg;
+}
+
+/// One fuzz target: returns a DiffResult for (keys, ops); deterministic, so
+/// MinimizeOps can replay it on shrunk candidates.
+using Target = std::function<DiffResult(const std::vector<std::string>&,
+                                        const std::vector<DiffOp>&)>;
+
+template <typename Factory>
+Target DynamicTarget(Factory make_index) {
+  return [make_index](const std::vector<std::string>& keys,
+                      const std::vector<DiffOp>& ops) {
+    auto index = make_index();
+    return RunDynamicOps(index, keys, ops);
+  };
+}
+
+template <typename Factory>
+Target StaticTarget(Factory make_tree) {
+  return [make_tree](const std::vector<std::string>& keys,
+                     const std::vector<DiffOp>& ops) {
+    auto tree = make_tree();
+    return RunStaticMergeOps(tree, keys, ops);
+  };
+}
+
+/// Build-and-probe check for the static tries (no op replay; the sequence
+/// seeds the probe RNG instead, so minimization does not apply).
+DiffResult FstSurfTarget(const std::vector<std::string>& keys, uint64_t seed,
+                         bool surf_mode) {
+  DiffResult res;
+  std::ostringstream err;
+  if (surf_mode) {
+    Surf surf;
+    surf.Build(keys, SurfConfig::Real(8));
+    if (!surf.Validate(err)) {
+      res.ok = false;
+      res.message = "Surf::Validate failed:\n" + err.str();
+      return res;
+    }
+    for (const std::string& k : keys) {
+      if (!surf.MayContain(k)) {
+        res.ok = false;
+        res.message = "SuRF false negative on stored key " + k;
+        return res;
+      }
+    }
+  } else {
+    std::vector<uint64_t> values(keys.size());
+    for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+    Fst fst;
+    fst.Build(keys, values);
+    if (!fst.Validate(err)) {
+      res.ok = false;
+      res.message = "Fst::Validate failed:\n" + err.str();
+      return res;
+    }
+    Random rng(seed);
+    for (size_t p = 0; p < 4 * keys.size(); ++p) {
+      size_t i = rng.Uniform(keys.size());
+      uint64_t v = ~0ull;
+      if (!fst.Find(keys[i], &v) || v != values[i]) {
+        res.ok = false;
+        res.message = "Fst lookup diverges on stored key " + keys[i];
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+DiffResult LsmTarget(const std::vector<std::string>& keys,
+                     const std::vector<DiffOp>& ops, uint64_t seed) {
+  DiffResult res;
+  LsmOptions opt;
+  opt.dir = "/tmp/met_fuzz_lsm_" + std::to_string(seed);
+  opt.memtable_bytes = 32 << 10;
+  opt.block_bytes = 1024;
+  opt.sstable_target_bytes = 64 << 10;
+  opt.level1_bytes = 256 << 10;
+  opt.filter = LsmFilterType::kBloom;
+  LsmTree tree(opt);
+  std::map<std::string, std::string> oracle;
+
+  auto fail = [&](size_t i, std::string msg) {
+    res.ok = false;
+    res.failed_op = i;
+    res.message = std::move(msg);
+  };
+  for (size_t i = 0; i < ops.size() && res.ok; ++i) {
+    const DiffOp& op = ops[i];
+    const std::string& k = keys[op.key_index % keys.size()];
+    switch (op.kind) {
+      case DiffOp::kInsert:
+      case DiffOp::kInsertOrAssign:
+      case DiffOp::kUpdate: {
+        std::string v = "v" + std::to_string(op.value);
+        tree.Put(k, v);
+        oracle[k] = v;
+        break;
+      }
+      case DiffOp::kScan: {
+        std::optional<std::string> got = tree.Seek(k);
+        auto it = oracle.lower_bound(k);
+        bool want = it != oracle.end();
+        if (got.has_value() != want || (want && *got != it->first))
+          fail(i, "Seek(" + k + ") diverges");
+        break;
+      }
+      default: {  // kErase has no engine equivalent; probe instead
+        std::string got_v;
+        bool got = tree.Get(k, &got_v);
+        auto it = oracle.find(k);
+        bool want = it != oracle.end();
+        if (got != want || (got && got_v != it->second))
+          fail(i, "Get(" + k + ") diverges");
+        break;
+      }
+    }
+    if (res.ok && (i + 1) % 4096 == 0) {
+      std::ostringstream err;
+      if (!tree.Validate(err))
+        fail(i, "LsmTree::Validate failed:\n" + err.str());
+    }
+  }
+  if (res.ok) {
+    std::ostringstream err;
+    if (!tree.Validate(err))
+      fail(ops.size(), "LsmTree::Validate failed:\n" + err.str());
+  }
+  return res;
+}
+
+struct NamedTarget {
+  const char* name;
+  Target target;
+  bool minimizable;
+};
+
+std::vector<NamedTarget> BuildTargets(uint64_t seed) {
+  std::vector<NamedTarget> targets;
+  targets.push_back(
+      {"btree", DynamicTarget([] { return BTree<std::string>(); }), true});
+  targets.push_back(
+      {"skiplist", DynamicTarget([] { return SkipList<std::string>(); }),
+       true});
+  targets.push_back({"art", DynamicTarget([] { return Art(); }), true});
+  targets.push_back(
+      {"masstree", DynamicTarget([] { return Masstree(); }), true});
+  targets.push_back({"hybrid_btree", DynamicTarget([] {
+                       return check::HybridDiffAdapter<HybridBTree<std::string>>(
+                           HybridFuzzConfig());
+                     }),
+                     true});
+  targets.push_back({"hybrid_compressed_btree", DynamicTarget([] {
+                       return check::HybridDiffAdapter<
+                           HybridCompressedBTree<std::string>>(
+                           HybridFuzzConfig());
+                     }),
+                     true});
+  targets.push_back({"hybrid_art", DynamicTarget([] {
+                       return check::HybridDiffAdapter<HybridArt>(
+                           HybridFuzzConfig());
+                     }),
+                     true});
+  targets.push_back(
+      {"compact_btree", StaticTarget([] { return CompactBTree<std::string>(); }),
+       true});
+  targets.push_back({"compressed_btree",
+                     StaticTarget([] { return CompressedBTree<std::string>(); }),
+                     true});
+  targets.push_back({"fst",
+                     [seed](const std::vector<std::string>& keys,
+                            const std::vector<DiffOp>&) {
+                       return FstSurfTarget(keys, seed, /*surf_mode=*/false);
+                     },
+                     false});
+  targets.push_back({"surf",
+                     [seed](const std::vector<std::string>& keys,
+                            const std::vector<DiffOp>&) {
+                       return FstSurfTarget(keys, seed, /*surf_mode=*/true);
+                     },
+                     false});
+  targets.push_back({"lsm",
+                     [seed](const std::vector<std::string>& keys,
+                            const std::vector<DiffOp>& ops) {
+                       return LsmTarget(keys, ops, seed);
+                     },
+                     false});
+  return targets;
+}
+
+int Run(const Options& opt) {
+  int failures = 0;
+  std::ofstream out;
+  if (!opt.out_path.empty()) out.open(opt.out_path, std::ios::app);
+
+  for (size_t s = 0; s < opt.num_seeds; ++s) {
+    uint64_t seed = opt.seed_start + s;
+    std::vector<std::string> keys = DiffKeys(opt.num_keys, seed);
+    std::vector<DiffOp> ops = GenOps(seed, opt.num_ops, keys.size());
+
+    for (NamedTarget& t : BuildTargets(seed)) {
+      if (opt.structure != "all" && opt.structure != t.name) continue;
+      DiffResult res = t.target(keys, ops);
+      if (res.ok) {
+        std::cout << "[fuzz] ok   " << t.name << " seed=" << seed << "\n";
+        continue;
+      }
+      ++failures;
+      std::ostringstream report;
+      report << "[fuzz] FAIL " << t.name << " seed=" << seed
+             << " keys=" << opt.num_keys << " ops=" << opt.num_ops
+             << " at op " << res.failed_op << ": " << res.message << "\n";
+      if (t.minimizable) {
+        std::vector<DiffOp> min_ops = MinimizeOps(
+            ops, [&](const std::vector<DiffOp>& cand) {
+              return !t.target(keys, cand).ok;
+            });
+        report << "minimized to " << min_ops.size() << " ops:\n"
+               << OpsToString(min_ops, keys)
+               << "repro: fuzz_ops --structure=" << t.name
+               << " --seed-start=" << seed << " --seeds=1 --ops="
+               << opt.num_ops << " --keys=" << opt.num_keys << "\n";
+      }
+      std::cerr << report.str();
+      if (out.is_open()) out << report.str() << std::flush;
+    }
+  }
+  std::cout << "[fuzz] done: " << failures << " failure(s)\n";
+  return failures > 125 ? 125 : failures;
+}
+
+}  // namespace
+}  // namespace met
+
+int main(int argc, char** argv) {
+  met::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--structure=")) {
+      opt.structure = v;
+    } else if (const char* v = value("--seed-start=")) {
+      opt.seed_start = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = value("--seeds=")) {
+      opt.num_seeds = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = value("--ops=")) {
+      opt.num_ops = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = value("--keys=")) {
+      opt.num_keys = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = value("--out=")) {
+      opt.out_path = v;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: fuzz_ops [--structure=NAME|all] [--seed-start=N]\n"
+                << "                [--seeds=N] [--ops=N] [--keys=N] "
+                   "[--out=PATH]\n";
+      return 2;
+    }
+  }
+  return met::Run(opt);
+}
