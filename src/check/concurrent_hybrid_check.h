@@ -1,0 +1,128 @@
+// Validators for the concurrent hybrid index and its epoch-reclamation
+// domain (see src/hybrid/concurrent_hybrid.h and DESIGN.md, "Concurrent
+// hybrid index"). Include this header in any TU that calls Validate() on
+// these types with MET_CHECK_ENABLED.
+//
+// ConcurrentHybridIndex::ValidateImpl requires external quiescence: call
+// WaitForMergeIdle() first and run no concurrent writers (the differential
+// harness satisfies both by construction).
+#ifndef MET_CHECK_CONCURRENT_HYBRID_CHECK_H_
+#define MET_CHECK_CONCURRENT_HYBRID_CHECK_H_
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "check/check.h"
+#include "hybrid/concurrent_hybrid.h"
+#include "hybrid/epoch.h"
+#include "hybrid/merge_core.h"
+
+namespace met {
+namespace hybrid {
+
+/// Epoch state machine: pins never run ahead of the global epoch, retired
+/// tags were all drawn from it (unique, strictly below the current value).
+inline bool EpochDomain::ValidateImpl(std::ostream& os) const {
+  check::Reporter rep(os, "EpochDomain");
+  uint64_t global = GlobalEpoch();
+  for (size_t i = 0; i < kSlots; ++i) {
+    uint64_t v = slots_[i].epoch.load(std::memory_order_seq_cst);
+    MET_CHECK_THAT(rep, v == kFree || v <= global,
+                   "slot " << i << " pinned at " << v << ", global " << global);
+  }
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    std::vector<uint64_t> tags;
+    tags.reserve(retired_.size());
+    for (const auto& r : retired_) tags.push_back(r.tag);
+    std::sort(tags.begin(), tags.end());
+    for (size_t i = 0; i < tags.size(); ++i) {
+      MET_CHECK_THAT(rep, tags[i] < global,
+                     "retired tag " << tags[i] << " >= global " << global);
+      MET_CHECK_THAT(rep, i == 0 || tags[i] != tags[i - 1],
+                     "duplicate retired tag " << tags[i]);
+    }
+  }
+  return rep.ok();
+}
+
+}  // namespace hybrid
+
+/// Snapshot/merge state machine, tombstone discipline and size accounting.
+template <typename Key, typename DynamicStage, typename StaticStage>
+bool ConcurrentHybridIndex<Key, DynamicStage, StaticStage>::ValidateImpl(
+    std::ostream& os) const {
+  check::Reporter rep(os, "ConcurrentHybridIndex");
+  if (!epoch_.Validate(os)) rep.Fail("epoch domain invariants", "");
+
+  const Snapshot* s = snapshot_.load(std::memory_order_seq_cst);
+  bool inflight = merge_inflight_.load(std::memory_order_relaxed);
+  MET_CHECK_THAT(rep, s != nullptr, "");
+  MET_CHECK_THAT(rep, s->stat != nullptr, "version " << s->version);
+  MET_CHECK_THAT(rep, inflight == (s->frozen != nullptr),
+                 "inflight " << inflight << ", version " << s->version);
+  HybridMergeStats st = merge_stats();
+  MET_CHECK_THAT(rep,
+                 s->version == 2 * st.merge_count + (inflight ? 1 : 0),
+                 "version " << s->version << ", merges " << st.merge_count);
+
+  // Stage contents: each stage sorted strictly ascending; tombstones only
+  // where they shadow a live entry below; logical live count == size().
+  auto collect = [](const auto& stage, std::vector<std::pair<Key, Value>>* out) {
+    stage.ScanPairs(hybrid::MinKey<Key>(), stage.size(), out);
+  };
+  auto sorted = [&rep](const char* name,
+                       const std::vector<std::pair<Key, Value>>& pairs) {
+    for (size_t i = 1; i < pairs.size(); ++i)
+      MET_CHECK_THAT(rep, pairs[i - 1].first < pairs[i].first,
+                     name << " not strictly sorted at position " << i << " ("
+                          << check::KeyToDebugString(pairs[i].first) << ")");
+  };
+  std::vector<std::pair<Key, Value>> act, fro, sta;
+  collect(*active_, &act);
+  if (s->frozen != nullptr) collect(*s->frozen, &fro);
+  collect(*s->stat, &sta);
+  sorted("active", act);
+  sorted("frozen", fro);
+  sorted("static", sta);
+  for (const auto& p : sta)
+    MET_CHECK_THAT(rep, p.second != kTombstone,
+                   "tombstone in static stage for key "
+                       << check::KeyToDebugString(p.first));
+
+  std::map<Key, Value> below;  // frozen over static
+  for (const auto& p : sta) below[p.first] = p.second;
+  for (const auto& p : fro) {
+    if (p.second == kTombstone) {
+      MET_CHECK_THAT(rep, below.count(p.first) > 0,
+                     "frozen tombstone shadows nothing: "
+                         << check::KeyToDebugString(p.first));
+    }
+    below[p.first] = p.second;
+  }
+  std::map<Key, Value> merged = below;  // active over (frozen over static)
+  for (const auto& p : act) {
+    if (p.second == kTombstone) {
+      auto it = below.find(p.first);
+      MET_CHECK_THAT(rep, it != below.end() && it->second != kTombstone,
+                     "active tombstone shadows nothing: "
+                         << check::KeyToDebugString(p.first));
+    }
+    merged[p.first] = p.second;
+  }
+  size_t live = 0;
+  for (const auto& [k, v] : merged) {
+    (void)k;
+    if (v != kTombstone) ++live;
+  }
+  MET_CHECK_THAT(rep, live == size(),
+                 "merged live count " << live << ", size() " << size());
+  return rep.ok();
+}
+
+}  // namespace met
+
+#endif  // MET_CHECK_CONCURRENT_HYBRID_CHECK_H_

@@ -329,6 +329,44 @@ class HybridDiffAdapter {
   mutable Hybrid index_;  // stage accessors are non-const
 };
 
+/// Same harness API for a ConcurrentHybridIndex instantiation, driven
+/// single-threaded so results stay deterministic: background merges may run
+/// between ops, but Validate() quiesces them (WaitForMergeIdle) before
+/// running the index's own snapshot/epoch validator plus the static stage's
+/// structural validator. Uses dependent names only, like HybridDiffAdapter.
+template <typename Concurrent>
+class ConcurrentHybridDiffAdapter {
+ public:
+  template <typename Config>
+  explicit ConcurrentHybridDiffAdapter(const Config& cfg) : index_(cfg) {}
+
+  bool Insert(const std::string& k, uint64_t v) { return index_.Insert(k, v); }
+  void InsertOrAssign(const std::string& k, uint64_t v) {
+    if (!index_.Insert(k, v)) index_.Update(k, v);
+  }
+  bool Find(const std::string& k, uint64_t* v) const {
+    return index_.Find(k, v);
+  }
+  bool Update(const std::string& k, uint64_t v) { return index_.Update(k, v); }
+  bool Erase(const std::string& k) { return index_.Erase(k); }
+  size_t Scan(const std::string& k, size_t n,
+              std::vector<uint64_t>* out) const {
+    return index_.Scan(k, n, out);
+  }
+  size_t size() const { return index_.size(); }
+
+  bool Validate(std::ostream& os) const {
+    index_.WaitForMergeIdle();
+    bool ok = index_.Validate(os);
+    auto stat = index_.StaticStageSnapshot();
+    if (stat != nullptr && !ValidateIfAvailable(*stat, os)) ok = false;
+    return ok;
+  }
+
+ private:
+  Concurrent index_;
+};
+
 // ---------------------------------------------------------------------------
 // Static merge structures (CompactBTree / CompressedBTree / CompactSkipList):
 // ops are batched into sorted MergeEntry runs (erase => tombstone); reads are

@@ -1,0 +1,186 @@
+// Minimal epoch-based reclamation (EBR) for read-mostly pointer swaps.
+//
+// Readers Pin() a slot with the current global epoch before loading the
+// protected pointer and Unpin() it after the last dereference. Publishers
+// first unpublish an object (swap the shared atomic pointer to its
+// replacement) and only then Retire() it; Retire draws its tag from a
+// fetch_add on the global epoch, so the tag is ordered after the swap.
+//
+// Safety argument (all operations seq_cst, so one total order exists):
+// a reader pinned at epoch e read e from the global counter before loading
+// the pointer. If e <= tag, reclamation of that object is blocked until the
+// reader unpins. If e > tag, the reader's load of the global counter is
+// ordered after the Retire's fetch_add, which is ordered after the swap —
+// so the reader's subsequent pointer load can only observe the replacement,
+// never the retired object. Either way no reader dereferences freed memory.
+//
+// A pin taken at a stale epoch (the CAS claiming the slot may complete after
+// further epoch advances) is only ever conservative: a smaller epoch blocks
+// strictly more reclamation.
+#ifndef MET_HYBRID_EPOCH_H_
+#define MET_HYBRID_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace met {
+namespace hybrid {
+
+/// One reclamation domain: a fixed slot array for reader pins plus a
+/// mutex-guarded list of retired deleters. Sized for tens of concurrent
+/// readers; Pin() yields and retries if every slot is momentarily taken.
+class EpochDomain {
+ public:
+  static constexpr size_t kSlots = 64;
+  static constexpr uint64_t kFree = ~uint64_t{0};
+
+  EpochDomain() {
+    for (auto& s : slots_) s.epoch.store(kFree, std::memory_order_relaxed);
+  }
+
+  /// Runs every outstanding deleter. The owner must guarantee quiescence
+  /// (no concurrent Pin/Retire) before destroying the domain.
+  ~EpochDomain() {
+    MET_DCHECK(PinnedSlots() == 0, "EpochDomain destroyed with active pins");
+    for (auto& r : retired_) r.deleter();
+  }
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Claims a slot stamped with the current global epoch; the caller may
+  /// dereference epoch-published pointers until Unpin(slot).
+  size_t Pin() {
+    for (;;) {
+      uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      for (size_t i = 0; i < kSlots; ++i) {
+        uint64_t expected = kFree;
+        if (slots_[i].epoch.compare_exchange_strong(
+                expected, e, std::memory_order_seq_cst))
+          return i;
+      }
+      std::this_thread::yield();  // > kSlots concurrent readers: rare, wait
+    }
+  }
+
+  void Unpin(size_t slot) {
+    slots_[slot].epoch.store(kFree, std::memory_order_seq_cst);
+  }
+
+  /// Takes ownership of an unpublished object via its deleter. The caller
+  /// MUST have swapped the object out of every shared pointer before calling
+  /// (the tag drawn here must be ordered after the unpublish; see the header
+  /// comment). Reclamation is deferred to TryReclaim() so retirement stays
+  /// O(1) — callers on a latency-critical path never free memory.
+  void Retire(std::function<void()> deleter) {
+    uint64_t tag = epoch_.fetch_add(1, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> l(mu_);
+    retired_.push_back({tag, std::move(deleter)});
+  }
+
+  /// Frees every retired object no pinned reader can still observe
+  /// (tag < minimum pinned epoch). Returns the number freed. Deleters run
+  /// outside the internal lock.
+  size_t TryReclaim() {
+    uint64_t min_pinned = MinPinnedEpoch();
+    std::vector<Retired> ready;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      size_t kept = 0;
+      for (auto& r : retired_) {
+        if (r.tag < min_pinned)
+          ready.push_back(std::move(r));
+        else
+          retired_[kept++] = std::move(r);
+      }
+      retired_.resize(kept);
+    }
+    for (auto& r : ready) r.deleter();
+    return ready.size();
+  }
+
+  uint64_t GlobalEpoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Smallest epoch any reader is pinned at; kFree when nothing is pinned
+  /// (every retired object is then reclaimable).
+  uint64_t MinPinnedEpoch() const {
+    uint64_t min = kFree;
+    for (const auto& s : slots_) {
+      uint64_t v = s.epoch.load(std::memory_order_seq_cst);
+      if (v < min) min = v;
+    }
+    return min;
+  }
+
+  size_t PinnedSlots() const {
+    size_t n = 0;
+    for (const auto& s : slots_)
+      if (s.epoch.load(std::memory_order_seq_cst) != kFree) ++n;
+    return n;
+  }
+
+  size_t RetiredCount() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return retired_.size();
+  }
+
+  /// Verifies the domain's state-machine invariants; no-op unless
+  /// MET_CHECK_ENABLED (see check/concurrent_hybrid_check.h).
+  bool Validate(std::ostream& os) const {
+#if MET_CHECK_ENABLED
+    return ValidateImpl(os);
+#else
+    (void)os;
+    return true;
+#endif
+  }
+
+  bool ValidateImpl(std::ostream& os) const;  // check/concurrent_hybrid_check.h
+
+ private:
+  struct Retired {
+    uint64_t tag;
+    std::function<void()> deleter;
+  };
+
+  // Each slot on its own cache line: reader pins must not false-share.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch;
+  };
+
+  std::atomic<uint64_t> epoch_{0};
+  std::array<Slot, kSlots> slots_;
+  mutable std::mutex mu_;
+  std::vector<Retired> retired_;  // guarded by mu_
+};
+
+/// RAII pin on an EpochDomain.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain& domain)
+      : domain_(&domain), slot_(domain.Pin()) {}
+  ~EpochGuard() { domain_->Unpin(slot_); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain* domain_;
+  size_t slot_;
+};
+
+}  // namespace hybrid
+}  // namespace met
+
+#endif  // MET_HYBRID_EPOCH_H_

@@ -16,6 +16,7 @@
 #define MET_HYBRID_HYBRID_INDEX_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
@@ -24,6 +25,7 @@
 #include "bloom/bloom.h"
 #include "btree/compact_btree.h"
 #include "common/timer.h"
+#include "hybrid/merge_core.h"
 #include "obs/obs.h"
 
 namespace met {
@@ -109,17 +111,19 @@ class HybridIndex {
   HybridIndex& operator=(const HybridIndex&) = delete;
 
   /// Inserts a new key; false if the key exists (primary-index uniqueness
-  /// check spans both stages, Section 5.3.2).
+  /// check spans both stages, Section 5.3.2). In non-unique mode the insert
+  /// always succeeds; over a live key it replaces the stored value (the
+  /// stages hold one value per key), so the liveness probe is still needed
+  /// to keep size() exact — a replacement must not grow the entry count,
+  /// while an insert over a tombstoned or absent key must.
   bool Insert(const Key& key, Value value) {
-    if (config_.unique) {
-      Value existing;
-      if (FindInternal(key, &existing)) return false;
-    }
+    bool live = FindInternal(key, nullptr);
+    if (config_.unique && live) return false;
     dynamic_.InsertOrAssign(key, value);  // may overwrite a tombstone
     BloomAdd(key);
     if (config_.strategy == HybridConfig::MergeStrategy::kMergeCold)
       MarkHot(key);
-    ++size_;
+    if (!live) ++size_;
     ++ops_since_merge_;
     MaybeMerge();
     return true;
@@ -174,61 +178,22 @@ class HybridIndex {
   }
 
   /// Collects up to `n` values from keys >= `key`, in key order, merging
-  /// both stages and resolving shadows/tombstones. Starts by fetching `n`
-  /// entries per stage; in the rare case where tombstones or shadows consume
-  /// the quota, retries with a doubled batch (never emits from a partial
-  /// merge, so results are always a correct prefix of the logical scan).
+  /// both stages and resolving shadows/tombstones. hybrid::MergedScan
+  /// refetches with a doubled batch when tombstones or shadows consume the
+  /// per-stage quota, and never emits from a partial merge, so results are
+  /// always a correct prefix of the logical scan.
   size_t Scan(const Key& key, size_t n, std::vector<Value>* out) const {
-    std::vector<std::pair<Key, Value>> dyn, stat;
-    std::vector<Value> tmp;
-    size_t batch = n;
-    while (true) {
-      dyn.clear();
-      stat.clear();
-      tmp.clear();
-      ScanStagePairs(dynamic_, key, batch, &dyn);
-      ScanStagePairs(static_, key, batch, &stat);
-      // A capped stage may have more entries on disk past its last fetched
-      // key; merged output beyond that key cannot be trusted.
-      const bool dyn_capped = dyn.size() == batch;
-      const bool stat_capped = stat.size() == batch;
-      auto trusted = [&](const Key& k) {
-        if (dyn_capped && dyn.back().first < k) return false;
-        if (stat_capped && stat.back().first < k) return false;
-        return true;
-      };
-      size_t cnt = 0, i = 0, j = 0;
-      bool incomplete = false;
-      while (cnt < n && (i < dyn.size() || j < stat.size())) {
-        bool take_dyn;
-        if (i >= dyn.size())
-          take_dyn = false;
-        else if (j >= stat.size())
-          take_dyn = true;
-        else if (dyn[i].first == stat[j].first) {
-          ++j;  // dynamic shadows static
-          take_dyn = true;
-        } else {
-          take_dyn = dyn[i].first < stat[j].first;
-        }
-        const auto& e = take_dyn ? dyn[i++] : stat[j++];
-        if (!trusted(e.first)) {
-          incomplete = true;
-          break;
-        }
-        if (e.second == kTombstone) continue;
-        tmp.push_back(e.second);
-        ++cnt;
-      }
-      // Falling short while a stage was capped means more entries may exist
-      // past the fetched window even if every merged entry was trusted.
-      if (cnt < n && (dyn_capped || stat_capped)) incomplete = true;
-      if (cnt >= n || !incomplete) {
-        if (out != nullptr) out->insert(out->end(), tmp.begin(), tmp.end());
-        return cnt;
-      }
-      batch *= 2;  // shadows/tombstones consumed the quota: refetch deeper
-    }
+    std::array<hybrid::StageFetcher<Key, Value>, 2> fetch = {
+        [this](const Key& from, size_t batch,
+               std::vector<std::pair<Key, Value>>* pairs) {
+          dynamic_.ScanPairs(from, batch, pairs);
+        },
+        [this](const Key& from, size_t batch,
+               std::vector<std::pair<Key, Value>>* pairs) {
+          static_.ScanPairs(from, batch, pairs);
+        },
+    };
+    return hybrid::MergedScan<Key, Value, 2>(key, n, kTombstone, out, fetch);
   }
 
   /// Migrates dynamic-stage entries into the static stage. Under kMergeAll
@@ -241,20 +206,11 @@ class HybridIndex {
     stats_.last_merge_dynamic_entries = dynamic_.size();
     std::vector<MergeEntry<Key, Value>> entries;
     entries.reserve(dynamic_.size());
-    CollectSortedPairs(dynamic_, &entries);
+    hybrid::CollectSortedEntries<Key, Value>(dynamic_, kTombstone, &entries);
 
     std::vector<std::pair<Key, Value>> hot;
-    if (config_.strategy == HybridConfig::MergeStrategy::kMergeCold) {
-      std::vector<MergeEntry<Key, Value>> cold;
-      cold.reserve(entries.size());
-      for (auto& e : entries) {
-        if (!e.deleted && hot_keys_.count(e.key) > 0)
-          hot.emplace_back(e.key, e.value);
-        else
-          cold.push_back(std::move(e));
-      }
-      entries.swap(cold);
-    }
+    if (config_.strategy == HybridConfig::MergeStrategy::kMergeCold)
+      hybrid::SplitHotCold(&entries, hot_keys_, &hot);
 
     static_.MergeApply(entries);
     dynamic_.Clear();
@@ -336,7 +292,7 @@ class HybridIndex {
       RebuildBloom();
       return;
     }
-    bloom_->Add(BloomKey(key));
+    bloom_->Add(hybrid::BloomKeyOf(key));
   }
 
   void BloomReset() {
@@ -354,45 +310,12 @@ class HybridIndex {
     bloom_ = new BloomFilter(bloom_capacity_, config_.bloom_bits_per_key);
     bloom_entries_ = dynamic_.size();
     std::vector<MergeEntry<Key, Value>> entries;
-    CollectSortedPairs(dynamic_, &entries);
-    for (const auto& e : entries) bloom_->Add(BloomKey(e.key));
+    hybrid::CollectSortedEntries<Key, Value>(dynamic_, kTombstone, &entries);
+    for (const auto& e : entries) bloom_->Add(hybrid::BloomKeyOf(e.key));
   }
 
   bool BloomMayContain(const Key& key) const {
-    return bloom_->MayContain(BloomKey(key));
-  }
-
-  static auto BloomKey(const Key& key) {
-    if constexpr (std::is_same_v<Key, std::string>) {
-      return std::string_view(key);
-    } else {
-      return static_cast<uint64_t>(key);
-    }
-  }
-
-  // ---- Stage iteration shims (see hybrid/adapters.h for the stage types;
-  // every stage exposes ScanPairs and VisitSorted-compatible APIs). ----
-  template <typename Stage>
-  static void ScanStagePairs(const Stage& stage, const Key& key, size_t n,
-                             std::vector<std::pair<Key, Value>>* out) {
-    stage.ScanPairs(key, n, out);
-  }
-
-  template <typename Stage>
-  static void CollectSortedPairs(const Stage& stage,
-                                 std::vector<MergeEntry<Key, Value>>* out) {
-    std::vector<std::pair<Key, Value>> pairs;
-    stage.ScanPairs(MinKey(), stage.size(), &pairs);
-    for (auto& p : pairs)
-      out->push_back({std::move(p.first), p.second, p.second == kTombstone});
-  }
-
-  static Key MinKey() {
-    if constexpr (std::is_same_v<Key, std::string>) {
-      return std::string();
-    } else {
-      return Key{0};
-    }
+    return bloom_->MayContain(hybrid::BloomKeyOf(key));
   }
 
   void MarkHot(const Key& key) const { hot_keys_.insert(key); }

@@ -1,0 +1,190 @@
+// Sharded multi-threaded YCSB serving driver for the concurrent hybrid
+// index (thesis Section 5.3 serving experiments). Keys are hash-partitioned
+// across independent index shards so writer threads contend only on their
+// key's shard; every per-operation latency is split by whether any shard had
+// a background merge in flight (obs::StallSplit), which is how
+// bench_merge_pause attributes tail latency to merges.
+#ifndef MET_YCSB_DRIVER_H_
+#define MET_YCSB_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "obs/stall.h"
+#include "ycsb/workload.h"
+
+namespace met {
+namespace ycsb {
+
+/// Hash-partitions a keyspace over `num_shards` independent index instances.
+/// Point operations route to the owning shard. Scan is served from the start
+/// key's shard only — with hash partitioning a global scan would have to
+/// merge all shards, so scans here measure per-shard scan cost, not global
+/// range queries (documented limitation; the single-shard configuration
+/// still exercises the full merged-scan path).
+template <typename Index, typename Key>
+class ShardedIndex {
+ public:
+  using Value = typename Index::Value;
+
+  template <typename Config>
+  ShardedIndex(size_t num_shards, const Config& config) {
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i)
+      shards_.push_back(std::make_unique<Index>(config));
+  }
+
+  size_t ShardOf(const Key& key) const {
+    uint64_t h;
+    if constexpr (std::is_same_v<Key, std::string>) {
+      h = MurmurHash64(std::string_view(key));
+    } else {
+      h = MixHash64(static_cast<uint64_t>(key));
+    }
+    return h % shards_.size();
+  }
+
+  bool Insert(const Key& key, Value value) {
+    return shards_[ShardOf(key)]->Insert(key, value);
+  }
+  bool Find(const Key& key, Value* value = nullptr) const {
+    return shards_[ShardOf(key)]->Find(key, value);
+  }
+  bool Update(const Key& key, Value value) {
+    return shards_[ShardOf(key)]->Update(key, value);
+  }
+  bool Erase(const Key& key) { return shards_[ShardOf(key)]->Erase(key); }
+  size_t Scan(const Key& key, size_t n, std::vector<Value>* out) const {
+    return shards_[ShardOf(key)]->Scan(key, n, out);
+  }
+
+  bool AnyMergeInFlight() const {
+    for (const auto& s : shards_)
+      if (s->MergeInFlight()) return true;
+    return false;
+  }
+  void WaitForMergeIdle() const {
+    for (const auto& s : shards_) s->WaitForMergeIdle();
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& s : shards_) n += s->size();
+    return n;
+  }
+  size_t MemoryBytes() const {
+    size_t n = 0;
+    for (const auto& s : shards_) n += s->MemoryBytes();
+    return n;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  Index& shard(size_t i) { return *shards_[i]; }
+  const Index& shard(size_t i) const { return *shards_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Index>> shards_;
+};
+
+struct YcsbRunResult {
+  size_t reads = 0;
+  size_t updates = 0;
+  size_t inserts = 0;
+  size_t scans = 0;
+  size_t read_hits = 0;
+  size_t scanned_values = 0;
+  double seconds = 0.0;
+
+  size_t TotalOps() const { return reads + updates + inserts + scans; }
+  double Mops() const {
+    return seconds > 0.0 ? TotalOps() / seconds / 1e6 : 0.0;
+  }
+};
+
+/// Runs `ops_per_thread` YCSB requests on each of `num_threads` threads
+/// against a sharded index preloaded with keys [0, num_keys). `key_of` maps
+/// a dataset index to a Key. Each thread generates its own request stream
+/// (seed offset by thread id) and remaps insert indices into a
+/// thread-disjoint range above `num_keys`, so concurrent inserts never
+/// collide on a key. Per-operation latencies go to `stalls` (may be null),
+/// attributed to the merge phase observed when the operation started.
+template <typename Index, typename Key, typename KeyFn>
+YcsbRunResult RunYcsb(ShardedIndex<Index, Key>* index, const YcsbSpec& spec,
+                      size_t num_keys, size_t ops_per_thread,
+                      size_t num_threads, KeyFn key_of,
+                      obs::StallSplit* stalls = nullptr) {
+  using Value = typename Index::Value;
+  std::vector<YcsbRunResult> partial(num_threads);
+  auto worker = [&](size_t t) {
+    YcsbSpec thread_spec = spec;
+    thread_spec.seed = spec.seed + 0x9e3779b9u * (t + 1);
+    std::vector<YcsbRequest> reqs =
+        GenYcsbRequests(num_keys, ops_per_thread, thread_spec);
+    YcsbRunResult& r = partial[t];
+    std::vector<Value> scan_out;
+    met::Timer run_timer;
+    for (const YcsbRequest& req : reqs) {
+      uint64_t idx = req.key_index;
+      if (req.op == YcsbOp::kInsert)  // thread-disjoint insert keyspace
+        idx = num_keys + t * ops_per_thread + (idx - num_keys);
+      Key key = key_of(idx);
+      bool merging = stalls != nullptr && index->AnyMergeInFlight();
+      met::Timer op_timer;
+      switch (req.op) {
+        case YcsbOp::kRead: {
+          Value v;
+          if (index->Find(key, &v)) ++r.read_hits;
+          ++r.reads;
+          break;
+        }
+        case YcsbOp::kUpdate:
+          if (!index->Update(key, idx + 1)) index->Insert(key, idx + 1);
+          ++r.updates;
+          break;
+        case YcsbOp::kInsert:
+          index->Insert(key, idx + 1);
+          ++r.inserts;
+          break;
+        case YcsbOp::kScan:
+          scan_out.clear();
+          r.scanned_values += index->Scan(key, req.scan_length, &scan_out);
+          ++r.scans;
+          break;
+      }
+      if (stalls != nullptr) {
+        bool is_read = req.op == YcsbOp::kRead || req.op == YcsbOp::kScan;
+        stalls->Record(is_read, merging, op_timer.ElapsedNanos());
+      }
+    }
+    r.seconds = run_timer.ElapsedSeconds();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+
+  YcsbRunResult total;
+  for (const auto& r : partial) {
+    total.reads += r.reads;
+    total.updates += r.updates;
+    total.inserts += r.inserts;
+    total.scans += r.scans;
+    total.read_hits += r.read_hits;
+    total.scanned_values += r.scanned_values;
+    if (r.seconds > total.seconds) total.seconds = r.seconds;  // wall clock
+  }
+  return total;
+}
+
+}  // namespace ycsb
+}  // namespace met
+
+#endif  // MET_YCSB_DRIVER_H_

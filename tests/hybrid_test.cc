@@ -204,5 +204,84 @@ TEST(HybridTest, ScanAcrossStages) {
   for (size_t i = 0; i < vals.size(); ++i) EXPECT_EQ(vals[i], 10 + i);
 }
 
+// Regression: non-unique Insert over a live key must replace, not grow the
+// logical size (size_ was unconditionally incremented once).
+TEST(HybridTest, NonUniqueInsertKeepsSizeExact) {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 1 << 30;
+  cfg.unique = false;
+  HybridBTree<uint64_t> index(cfg);
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(index.Insert(k, k));
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(index.Insert(k, k + 1000));
+  ASSERT_EQ(index.size(), 100u);
+  uint64_t v = 0;
+  ASSERT_TRUE(index.Find(42, &v));
+  EXPECT_EQ(v, 1042u);
+
+  index.Merge();  // replacement also survives a merge with exact size
+  ASSERT_EQ(index.size(), 100u);
+  ASSERT_TRUE(index.Insert(7, 7777));
+  ASSERT_EQ(index.size(), 100u);
+
+  // Re-inserting a tombstoned key is a fresh entry and must count again.
+  ASSERT_TRUE(index.Erase(8));
+  ASSERT_EQ(index.size(), 99u);
+  ASSERT_TRUE(index.Insert(8, 8));
+  ASSERT_TRUE(index.Insert(8, 88));  // and replacing it again must not
+  ASSERT_EQ(index.size(), 100u);
+  std::vector<uint64_t> vals;
+  EXPECT_EQ(index.Scan(0, 200, &vals), 100u);
+}
+
+// Regression: unique-mode reinsert over the tombstone of a static-stage key
+// must restore the exact size across the delete/reinsert/merge cycle.
+TEST(HybridTest, TombstoneReinsertSizeExact) {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 1 << 30;
+  HybridBTree<uint64_t> index(cfg);
+  for (uint64_t k = 0; k < 50; ++k) index.Insert(k, k);
+  index.Merge();
+  ASSERT_TRUE(index.Erase(10));
+  ASSERT_FALSE(index.Erase(10));  // double-erase of the tombstone is a miss
+  ASSERT_EQ(index.size(), 49u);
+  ASSERT_TRUE(index.Insert(10, 1010));
+  ASSERT_EQ(index.size(), 50u);
+  index.Merge();
+  ASSERT_EQ(index.size(), 50u);
+  uint64_t v = 0;
+  ASSERT_TRUE(index.Find(10, &v));
+  EXPECT_EQ(v, 1010u);
+}
+
+// Regression: a scan whose fetch window lands inside a dense run of
+// tombstoned static keys must refetch deeper and still return a full,
+// correctly-ordered result.
+TEST(HybridTest, ScanAcrossDenseTombstoneRun) {
+  HybridConfig cfg;
+  cfg.min_merge_entries = 1 << 30;
+  HybridBTree<uint64_t> index(cfg);
+  for (uint64_t k = 0; k < 1000; ++k) index.Insert(k, k + 1);
+  index.Merge();
+  for (uint64_t k = 300; k < 700; ++k) ASSERT_TRUE(index.Erase(k));
+  ASSERT_EQ(index.size(), 600u);
+
+  // The first 50 hits are 250..299; the dense tombstone run [300, 700) must
+  // be skipped entirely to deliver 700..749 as the second half.
+  std::vector<uint64_t> vals;
+  ASSERT_EQ(index.Scan(250, 100, &vals), 100u);
+  ASSERT_EQ(vals.size(), 100u);
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(vals[i], 250 + i + 1);
+  for (size_t i = 50; i < 100; ++i) EXPECT_EQ(vals[i], 700 + (i - 50) + 1);
+
+  // A scan starting inside the run begins at its far edge.
+  vals.clear();
+  ASSERT_EQ(index.Scan(400, 10, &vals), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(vals[i], 700 + i + 1);
+
+  // Asking past the end returns exactly the remaining live keys.
+  vals.clear();
+  EXPECT_EQ(index.Scan(650, 5000, &vals), 300u);
+}
+
 }  // namespace
 }  // namespace met

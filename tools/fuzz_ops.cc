@@ -28,6 +28,7 @@
 #include "check/btree_check.h"
 #include "check/compact_btree_check.h"
 #include "check/compressed_btree_check.h"
+#include "check/concurrent_hybrid_check.h"
 #include "check/differential.h"
 #include "check/skiplist_check.h"
 #include "common/random.h"
@@ -62,6 +63,18 @@ struct Options {
 
 HybridConfig HybridFuzzConfig() {
   HybridConfig cfg;
+  cfg.min_merge_entries = 512;
+  return cfg;
+}
+
+HybridConfig HybridColdFuzzConfig() {
+  HybridConfig cfg = HybridFuzzConfig();
+  cfg.strategy = HybridConfig::MergeStrategy::kMergeCold;
+  return cfg;
+}
+
+ConcurrentHybridConfig ConcurrentHybridFuzzConfig() {
+  ConcurrentHybridConfig cfg;
   cfg.min_merge_entries = 512;
   return cfg;
 }
@@ -226,6 +239,27 @@ std::vector<NamedTarget> BuildTargets(uint64_t seed) {
   targets.push_back({"hybrid_art", DynamicTarget([] {
                        return check::HybridDiffAdapter<HybridArt>(
                            HybridFuzzConfig());
+                     }),
+                     true});
+  targets.push_back({"hybrid_btree_cold", DynamicTarget([] {
+                       return check::HybridDiffAdapter<HybridBTree<std::string>>(
+                           HybridColdFuzzConfig());
+                     }),
+                     true});
+  targets.push_back({"hybrid_art_cold", DynamicTarget([] {
+                       return check::HybridDiffAdapter<HybridArt>(
+                           HybridColdFuzzConfig());
+                     }),
+                     true});
+  targets.push_back({"concurrent_hybrid_btree", DynamicTarget([] {
+                       return check::ConcurrentHybridDiffAdapter<
+                           ConcurrentHybridBTree<std::string>>(
+                           ConcurrentHybridFuzzConfig());
+                     }),
+                     true});
+  targets.push_back({"concurrent_hybrid_art", DynamicTarget([] {
+                       return check::ConcurrentHybridDiffAdapter<
+                           ConcurrentHybridArt>(ConcurrentHybridFuzzConfig());
                      }),
                      true});
   targets.push_back(
