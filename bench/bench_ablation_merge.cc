@@ -27,7 +27,7 @@ int main() {
     double mops = bench::Mops(q, [&](size_t i) {
       uint64_t v = 0;
       if (ops[i].op == YcsbOp::kRead) {
-        index.Find(keys[ops[i].key_index], &v);
+        index.Lookup(keys[ops[i].key_index], &v);
         bench::Consume(v);
       } else {
         index.Update(keys[ops[i].key_index], i);

@@ -71,7 +71,7 @@ int main() {
       for (auto k : d.ints) bt.Insert(k, k);
       Report("B+tree", "original", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               bt.Find(d.ints[qidx(i)], &v);
+               bt.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              bt.MemoryBytes());
@@ -80,7 +80,7 @@ int main() {
       cbt.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
       Report("B+tree", "compact", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               cbt.Find(d.ints[qidx(i)], &v);
+               cbt.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              cbt.MemoryBytes());
@@ -89,7 +89,7 @@ int main() {
       zbt.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
       Report("B+tree", "compressed", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               zbt.Find(d.ints[qidx(i)], &v);
+               zbt.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              zbt.MemoryBytes());
@@ -98,7 +98,7 @@ int main() {
       for (auto k : d.ints) sl.Insert(k, k);
       Report("SkipList", "original", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               sl.Find(d.ints[qidx(i)], &v);
+               sl.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              sl.MemoryBytes());
@@ -107,7 +107,7 @@ int main() {
       csl.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
       Report("SkipList", "compact", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               csl.Find(d.ints[qidx(i)], &v);
+               csl.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              csl.MemoryBytes());
@@ -117,7 +117,7 @@ int main() {
       for (size_t i = 0; i < d.strings.size(); ++i) bt.Insert(d.strings[i], i);
       Report("B+tree", "original", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               bt.Find(d.strings[qidx(i)], &v);
+               bt.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              bt.MemoryBytes());
@@ -130,7 +130,7 @@ int main() {
       cbt.Build(std::move(entries));
       Report("B+tree", "compact", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               cbt.Find(d.strings[qidx(i)], &v);
+               cbt.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              cbt.MemoryBytes());
@@ -139,7 +139,7 @@ int main() {
       for (size_t i = 0; i < d.strings.size(); ++i) sl.Insert(d.strings[i], i);
       Report("SkipList", "original", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               sl.Find(d.strings[qidx(i)], &v);
+               sl.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              sl.MemoryBytes());
@@ -151,7 +151,7 @@ int main() {
       for (size_t i = 0; i < d.strings.size(); ++i) mt.Insert(d.strings[i], i);
       Report("Masstree", "original", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               mt.Find(d.strings[qidx(i)], &v);
+               mt.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              mt.MemoryBytes());
@@ -164,7 +164,7 @@ int main() {
       cmt.Build(sorted, vals);
       Report("Masstree", "compact", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               cmt.Find(d.strings[qidx(i)], &v);
+               cmt.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              cmt.MemoryBytes());
@@ -173,7 +173,7 @@ int main() {
       for (size_t i = 0; i < d.strings.size(); ++i) art.Insert(d.strings[i], i);
       Report("ART", "original", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               art.Find(d.strings[qidx(i)], &v);
+               art.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              art.MemoryBytes());
@@ -182,7 +182,7 @@ int main() {
       cart.Build(sorted, vals);
       Report("ART", "compact", d.name, bench::Mops(q, [&](size_t i) {
                uint64_t v = 0;
-               cart.Find(d.strings[qidx(i)], &v);
+               cart.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
              cart.MemoryBytes());

@@ -45,7 +45,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
     for (size_t i = 0; i < n; ++i) t.Insert(keys[i], i);
     Report("B+tree", "point", name, bench::Mops(q, [&](size_t i) {
              uint64_t v = 0;
-             t.Find(keys[point[i].key_index], &v);
+             t.Lookup(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
            t.MemoryBytes());
@@ -62,7 +62,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
     for (size_t i = 0; i < n; ++i) t.Insert(keys[i], i);
     Report("ART", "point", name, bench::Mops(q, [&](size_t i) {
              uint64_t v = 0;
-             t.Find(keys[point[i].key_index], &v);
+             t.Lookup(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
            t.MemoryBytes());
@@ -79,7 +79,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
     t.Build(keys, values);
     Report("C-ART", "point", name, bench::Mops(q, [&](size_t i) {
              uint64_t v = 0;
-             t.Find(keys[point[i].key_index], &v);
+             t.Lookup(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
            t.MemoryBytes());
@@ -96,7 +96,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
     t.Build(keys, values);
     Report("FST", "point", name, bench::Mops(q, [&](size_t i) {
              uint64_t v = 0;
-             t.Find(keys[point[i].key_index], &v);
+             t.Lookup(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
            t.MemoryBytes());
@@ -114,21 +114,17 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
 
 }  // namespace
 
-int main() {
-  bench::Title("Figure 3.4: FST vs pointer-based indexes (Mops/s, memory MB)");
-  std::printf("%-8s %-7s %-7s %10s %12s\n", "Index", "Query", "Keys", "Mops/s",
-              "Memory(MB)");
-  size_t n = 1000000 * bench::Scale();
-  {
-    auto ints = GenRandomInts(n);
-    SortUnique(&ints);
-    RunDataset("int", ToStringKeys(ints));
-  }
-  {
-    auto emails = GenEmails(n / 2);
-    SortUnique(&emails);
-    RunDataset("email", emails);
-  }
-  bench::Note("paper: FST matches the pointer-based indexes' performance while using ~10x less memory (lowest P*S cost)");
+int main(int argc, char** argv) {
+  bench::RunStandardBench(
+      &argc, argv,
+      "Figure 3.4: FST vs pointer-based indexes (Mops/s, memory MB)",
+      [] {
+        std::printf("%-8s %-7s %-7s %10s %12s\n", "Index", "Query", "Keys",
+                    "Mops/s", "Memory(MB)");
+      },
+      [](const char* name, const std::vector<std::string>& keys) {
+        RunDataset(name, keys);
+      },
+      "paper: FST matches the pointer-based indexes' performance while using ~10x less memory (lowest P*S cost)");
   return 0;
 }

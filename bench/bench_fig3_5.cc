@@ -37,7 +37,7 @@ void Run(const char* name, const std::vector<std::string>& keys) {
     t.Build(keys, values, c.cfg);
     double mops = bench::Mops(q, [&](size_t i) {
       uint64_t v = 0;
-      t.Find(keys[queries[i].key_index], &v);
+      t.Lookup(keys[queries[i].key_index], &v);
              met::bench::Consume(v);
     });
     std::printf("%-20s %-7s %10.2f %12.1f\n", c.label, name, mops,
@@ -47,20 +47,16 @@ void Run(const char* name, const std::vector<std::string>& keys) {
 
 }  // namespace
 
-int main() {
-  bench::Title("Figure 3.5: FST vs other succinct tries (full keys)");
-  std::printf("%-20s %-7s %10s %12s\n", "Trie", "Keys", "Mops/s", "Memory(MB)");
-  size_t n = 1000000 * bench::Scale();
-  {
-    auto ints = GenRandomInts(n);
-    SortUnique(&ints);
-    Run("int", ToStringKeys(ints));
-  }
-  {
-    auto emails = GenEmails(n / 2);
-    SortUnique(&emails);
-    Run("email", emails);
-  }
-  bench::Note("paper: FST is 4-15x faster than tx-trie/PDT while smaller");
+int main(int argc, char** argv) {
+  bench::RunStandardBench(
+      &argc, argv, "Figure 3.5: FST vs other succinct tries (full keys)",
+      [] {
+        std::printf("%-20s %-7s %10s %12s\n", "Trie", "Keys", "Mops/s",
+                    "Memory(MB)");
+      },
+      [](const char* name, const std::vector<std::string>& keys) {
+        Run(name, keys);
+      },
+      "paper: FST is 4-15x faster than tx-trie/PDT while smaller");
   return 0;
 }

@@ -45,7 +45,7 @@ void Run(const char* name, const std::vector<std::string>& keys) {
     t.Build(keys, values, s.config);
     double mops = bench::Mops(q, [&](size_t i) {
       uint64_t v = 0;
-      t.Find(keys[queries[i].key_index], &v);
+      t.Lookup(keys[queries[i].key_index], &v);
              met::bench::Consume(v);
     });
     std::printf("%-26s %-7s %10.2f\n", s.label, name, mops);
@@ -56,20 +56,13 @@ void Run(const char* name, const std::vector<std::string>& keys) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Reporter::Get().ParseArgs(&argc, argv);
-  bench::Title("Figure 3.6: FST optimization breakdown (point query Mops/s)");
-  std::printf("%-26s %-7s %10s\n", "Configuration", "Keys", "Mops/s");
-  size_t n = 1000000 * bench::Scale();
-  {
-    auto ints = GenRandomInts(n);
-    SortUnique(&ints);
-    Run("int", ToStringKeys(ints));
-  }
-  {
-    auto emails = GenEmails(n / 2);
-    SortUnique(&emails);
-    Run("email", emails);
-  }
-  bench::Note("paper: LOUDS-Dense gives the large jump; the remaining optimizations add 3-12%");
+  bench::RunStandardBench(
+      &argc, argv,
+      "Figure 3.6: FST optimization breakdown (point query Mops/s)",
+      [] { std::printf("%-26s %-7s %10s\n", "Configuration", "Keys", "Mops/s"); },
+      [](const char* name, const std::vector<std::string>& keys) {
+        Run(name, keys);
+      },
+      "paper: LOUDS-Dense gives the large jump; the remaining optimizations add 3-12%");
   return 0;
 }

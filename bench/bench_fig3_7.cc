@@ -24,7 +24,7 @@ void Run(const char* name, const std::vector<std::string>& keys) {
     t.Build(keys, values, cfg);
     double mops = bench::Mops(q, [&](size_t i) {
       uint64_t v = 0;
-      t.Find(keys[queries[i].key_index], &v);
+      t.Lookup(keys[queries[i].key_index], &v);
              met::bench::Consume(v);
     });
     std::printf("%-7s %12d %12zu %10.2f %12.2f\n", name, dense,
@@ -34,21 +34,16 @@ void Run(const char* name, const std::vector<std::string>& keys) {
 
 }  // namespace
 
-int main() {
-  bench::Title("Figure 3.7: LOUDS-Dense level sweep");
-  std::printf("%-7s %12s %12s %10s %12s\n", "Keys", "MaxDense", "ActualDense",
-              "Mops/s", "TrieMB");
-  size_t n = 1000000 * bench::Scale();
-  {
-    auto ints = GenRandomInts(n);
-    SortUnique(&ints);
-    Run("int", ToStringKeys(ints));
-  }
-  {
-    auto emails = GenEmails(n / 2);
-    SortUnique(&emails);
-    Run("email", emails);
-  }
-  bench::Note("paper: performance improves up to ~3x with more dense levels; memory grows for emails but shrinks for random ints (fanout > 51)");
+int main(int argc, char** argv) {
+  bench::RunStandardBench(
+      &argc, argv, "Figure 3.7: LOUDS-Dense level sweep",
+      [] {
+        std::printf("%-7s %12s %12s %10s %12s\n", "Keys", "MaxDense",
+                    "ActualDense", "Mops/s", "TrieMB");
+      },
+      [](const char* name, const std::vector<std::string>& keys) {
+        Run(name, keys);
+      },
+      "paper: performance improves up to ~3x with more dense levels; memory grows for emails but shrinks for random ints (fanout > 51)");
   return 0;
 }

@@ -12,8 +12,7 @@ using namespace met;
 
 namespace {
 
-void Run(const char* name, std::vector<std::string> keys) {
-  SortUnique(&keys);
+void Run(const char* name, const std::vector<std::string>& keys) {
   {
     Timer t;
     BloomFilter bloom(keys.size(), 14);
@@ -36,11 +35,13 @@ void Run(const char* name, std::vector<std::string> keys) {
 
 }  // namespace
 
-int main() {
-  bench::Title("Figure 4.6: filter build time (sorted input)");
-  size_t n = 2000000 * bench::Scale();
-  Run("int", ToStringKeys(GenRandomInts(n)));
-  Run("email", GenEmails(n / 2));
-  bench::Note("paper: SuRF builds faster than Bloom (single sequential scan vs k random writes per key)");
+int main(int argc, char** argv) {
+  bench::RunStandardBench(
+      &argc, argv, "Figure 4.6: filter build time (sorted input)", [] {},
+      [](const char* name, const std::vector<std::string>& keys) {
+        Run(name, keys);
+      },
+      "paper: SuRF builds faster than Bloom (single sequential scan vs k random writes per key)",
+      /*base_keys=*/2000000);
   return 0;
 }

@@ -78,14 +78,14 @@ int main() {
     // Warm the cache with existing-key point reads (Section 4.4 warms every
     // SSTable ~1000 times).
     for (size_t i = 0; i < q; ++i)
-      lsm.Get(w.keys[rng.Uniform(w.keys.size())]);
+      lsm.Lookup(w.keys[rng.Uniform(w.keys.size())]);
 
     lsm.ResetStats();
     Timer t1;
     for (size_t i = 0; i < q; ++i) {
       std::string key = Uint64ToKey(rng.Uniform(max_ts)) +
                         Uint64ToKey(rng.Uniform(sensors));
-      lsm.Get(key);  // random keys: almost always absent
+      lsm.Lookup(key);  // random keys: almost always absent
     }
     double point_kops = q / t1.ElapsedSeconds() / 1e3;
     double point_io = static_cast<double>(lsm.stats().block_reads) / q;

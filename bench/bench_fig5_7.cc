@@ -26,7 +26,7 @@ int main() {
     double ins = bench::Mops(n, [&](size_t i) { index.Insert(keys[i], i); });
     double rd = bench::Mops(q, [&](size_t i) {
       uint64_t v = 0;
-      index.Find(keys[reads[i].key_index], &v);
+      index.Lookup(keys[reads[i].key_index], &v);
              met::bench::Consume(v);
     });
     std::printf("%8.0f %14.2f %14.2f %10zu\n", ratio, ins, rd,

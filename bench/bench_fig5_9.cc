@@ -26,7 +26,7 @@ void Run(const char* label, const HybridConfig& cfg,
   auto reads = GenYcsbRequests(keys.size(), q, YcsbSpec::WorkloadC());
   double rd = bench::Mops(q, [&](size_t i) {
     uint64_t v = 0;
-    index.Find(keys[reads[i].key_index], &v);
+    index.Lookup(keys[reads[i].key_index], &v);
              met::bench::Consume(v);
   });
   std::printf("%-34s ins %7.2f  read %7.2f Mops/s  %8.1f MB\n", label, ins, rd,

@@ -42,9 +42,9 @@ void Run(const char* name, const std::vector<std::string>& keys) {
       if (c.hope) {
         scratch.clear();
         enc.EncodeBits(k, &scratch);  // no allocation on the query path
-        art.Find(scratch, &v);
+        art.Lookup(scratch, &v);
       } else {
-        art.Find(k, &v);
+        art.Lookup(k, &v);
       }
       bench::Consume(v);
     });

@@ -50,9 +50,9 @@ void Run(const char* name, std::vector<std::string> keys) {
       if (c.hope) {
         scratch.clear();
         enc.EncodeBits(k, &scratch);
-        hot.Find(scratch, &v);
+        hot.Lookup(scratch, &v);
       } else {
-        hot.Find(k, &v);
+        hot.Lookup(k, &v);
       }
       bench::Consume(v);
     });

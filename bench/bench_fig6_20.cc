@@ -50,9 +50,9 @@ void Run(const char* name, std::vector<std::string> keys) {
         if (c.hope) {
           scratch.clear();
           enc.EncodeBits(k, &scratch);
-          t.Find(scratch, &v);
+          t.Lookup(scratch, &v);
         } else {
-          t.Find(k, &v);
+          t.Lookup(k, &v);
         }
         bench::Consume(v);
       });
@@ -71,9 +71,9 @@ void Run(const char* name, std::vector<std::string> keys) {
         if (c.hope) {
           scratch.clear();
           enc.EncodeBits(k, &scratch);
-          t.Find(scratch, &v);
+          t.Lookup(scratch, &v);
         } else {
-          t.Find(k, &v);
+          t.Lookup(k, &v);
         }
         bench::Consume(v);
       });

@@ -47,9 +47,9 @@ class BlockingHybrid {
     std::unique_lock<std::shared_mutex> l(mu_);
     return index_.Insert(key, value);
   }
-  bool Find(uint64_t key, Value* value = nullptr) const {
+  bool Lookup(uint64_t key, Value* value = nullptr) const {
     std::shared_lock<std::shared_mutex> l(mu_);
-    return index_.Find(key, value);
+    return index_.Lookup(key, value);
   }
   void Merge() {
     merging_.store(true, std::memory_order_seq_cst);
@@ -89,7 +89,7 @@ double RunPausePhase(Index* index, size_t num_keys, obs::StallSplit* stalls) {
       met::Timer t;
       if (is_read) {
         uint64_t v;
-        found += index->Find(rng.Uniform(num_keys) * 2, &v) ? 1 : 0;
+        found += index->Lookup(rng.Uniform(num_keys) * 2, &v) ? 1 : 0;
       } else {
         index->Insert(next_key++, 1);
       }
@@ -162,6 +162,39 @@ void RunPauseRow(const char* mode, size_t num_keys) {
               {"write_merge_max_ns", wm.Max()}});
 }
 
+/// met::batch through the serving stack: the driver's `read_batch` knob
+/// buffers consecutive reads per thread and retires them through
+/// ShardedIndex::LookupBatch (counting-sort by shard, then the unified
+/// batched lookup per shard). WorkloadC isolates the read path.
+void RunBatchedShardedYcsb() {
+  bench::Title("Sharded YCSB-C read batching (met::batch read_batch knob)");
+  size_t num_keys = 200000 * bench::Scale();
+  size_t ops_per_thread = 200000 * bench::Scale();
+  for (size_t threads : {size_t{1}, size_t{2}}) {
+    double base = 0;
+    for (size_t read_batch : {size_t{1}, size_t{16}, size_t{64}}) {
+      ConcurrentHybridConfig config;
+      config.min_merge_entries = 4096;
+      ycsb::ShardedIndex<ConcurrentHybridBTree<uint64_t>, uint64_t> index(
+          /*num_shards=*/2, config);
+      for (uint64_t i = 0; i < num_keys; ++i) index.Insert(i, i + 1);
+      index.WaitForMergeIdle();
+      auto res = ycsb::RunYcsb(&index, YcsbSpec::WorkloadC(), num_keys,
+                               ops_per_thread, threads,
+                               [](uint64_t i) { return i; },
+                               /*stalls=*/nullptr, read_batch);
+      if (read_batch == 1) base = res.Mops();
+      std::printf("  threads=%zu read_batch=%-3zu %6.2f Mops (%.2fx)\n",
+                  threads, read_batch, res.Mops(),
+                  base > 0 ? res.Mops() / base : 1.0);
+      bench::Row({{"threads", threads},
+                  {"read_batch", read_batch},
+                  {"mops", res.Mops()},
+                  {"speedup", base > 0 ? res.Mops() / base : 1.0}});
+    }
+  }
+}
+
 void RunShardedYcsb() {
   bench::Title("Sharded YCSB-A on concurrent hybrid B+tree");
   bench::Note(
@@ -216,6 +249,7 @@ int main(int argc, char** argv) {
     met::RunPauseRow<met::ConcurrentHybridBTree<uint64_t>>("concurrent", n);
   }
   met::RunShardedYcsb();
+  met::RunBatchedShardedYcsb();
   met::bench::Reporter::Get().WriteIfEnabled();
   return 0;
 }

@@ -40,7 +40,7 @@ void BM_FstPointQuery(benchmark::State& state) {
   Random rng(1);
   uint64_t v = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fst.Find(keys[rng.Uniform(keys.size())], &v));
+    benchmark::DoNotOptimize(fst.Lookup(keys[rng.Uniform(keys.size())], &v));
   }
 }
 BENCHMARK(BM_FstPointQuery)->Arg(-1)->Arg(0);
@@ -117,7 +117,7 @@ void BM_HybridFind(benchmark::State& state) {
   Random rng(7);
   uint64_t v = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(index.Find(keys[rng.Uniform(keys.size())], &v));
+    benchmark::DoNotOptimize(index.Lookup(keys[rng.Uniform(keys.size())], &v));
   }
 }
 BENCHMARK(BM_HybridFind);
@@ -160,7 +160,7 @@ void LsmGetLoop(benchmark::State& state, LsmTree* tree, const char* hist_name) {
     std::string key = Uint64ToKey(rng.Uniform(200000));
     const bool sample = sampling && (tick++ & 7) == 0;
     uint64_t t0 = sample ? obs::NowNanos() : 0;
-    benchmark::DoNotOptimize(tree->Get(key, &value));
+    benchmark::DoNotOptimize(tree->Lookup(key, &value));
     if (sample) hist->RecordNanos(obs::NowNanos() - t0);
   }
 }

@@ -36,7 +36,7 @@ int main() {
     for (auto k : ints) t.Insert(k, k);
     report("B+tree", bench::Mops(queries.size(), [&](size_t i) {
              uint64_t v = 0;
-             t.Find(ints[queries[i].key_index], &v);
+             t.Lookup(ints[queries[i].key_index], &v);
              met::bench::Consume(v);
            }),
            t.MemoryBytes());
@@ -47,7 +47,7 @@ int main() {
     std::vector<std::string> keys = ToStringKeys(ints);
     report("Masstree", bench::Mops(queries.size(), [&](size_t i) {
              uint64_t v = 0;
-             t.Find(keys[queries[i].key_index], &v);
+             t.Lookup(keys[queries[i].key_index], &v);
              met::bench::Consume(v);
            }),
            t.MemoryBytes());
@@ -57,7 +57,7 @@ int main() {
     for (auto k : ints) t.Insert(k, k);
     report("Skip List", bench::Mops(queries.size(), [&](size_t i) {
              uint64_t v = 0;
-             t.Find(ints[queries[i].key_index], &v);
+             t.Lookup(ints[queries[i].key_index], &v);
              met::bench::Consume(v);
            }),
            t.MemoryBytes());
@@ -68,7 +68,7 @@ int main() {
     for (size_t i = 0; i < keys.size(); ++i) t.Insert(keys[i], ints[i]);
     report("ART", bench::Mops(queries.size(), [&](size_t i) {
              uint64_t v = 0;
-             t.Find(keys[queries[i].key_index], &v);
+             t.Lookup(keys[queries[i].key_index], &v);
              met::bench::Consume(v);
            }),
            t.MemoryBytes());

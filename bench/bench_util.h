@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "keys/keygen.h"
 #include "obs/obs.h"
 
 namespace met::bench {
@@ -221,6 +222,35 @@ double Mops(size_t ops, Fn&& fn,
 }
 
 inline double Mb(size_t bytes) { return static_cast<double>(bytes) / 1e6; }
+
+/// Shared main() scaffolding for the figure benches that sweep the standard
+/// two datasets: `base_keys * MET_SCALE` sorted-unique random 64-bit integer
+/// keys (as 8-byte big-endian strings) and half that many sorted-unique
+/// synthetic emails. Consumes the Reporter's `--json` flag, prints the
+/// section title, runs `header()` once for the column line (pass a no-op
+/// lambda if the bench has none), invokes `run(name, keys)` per dataset, and
+/// closes with `note`. Hoisted here because a dozen bench_fig*.cc mains were
+/// byte-identical copies of this sequence.
+template <typename HeaderFn, typename RunFn>
+void RunStandardBench(int* argc, char** argv, const char* title,
+                      HeaderFn&& header, RunFn&& run, const char* note,
+                      size_t base_keys = 1000000) {
+  if (argc != nullptr) Reporter::Get().ParseArgs(argc, argv);
+  Title(title);
+  header();
+  size_t n = base_keys * Scale();
+  {
+    auto ints = GenRandomInts(n);
+    SortUnique(&ints);
+    run("int", ToStringKeys(ints));
+  }
+  {
+    auto emails = GenEmails(n / 2);
+    SortUnique(&emails);
+    run("email", emails);
+  }
+  Note(note);
+}
 
 }  // namespace met::bench
 

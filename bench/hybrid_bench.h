@@ -16,7 +16,7 @@
 namespace met::bench {
 
 /// Runs the four Section 5.3.1 workloads on `Index` and prints one line per
-/// workload. Index must expose Insert/Find/Update/Scan/MemoryBytes.
+/// workload. Index must expose Insert/Lookup/Update/Scan/MemoryBytes.
 template <typename Index, typename Key>
 void RunYcsbSuite(const char* index_name, const char* key_name,
                   const std::vector<Key>& keys) {
@@ -33,7 +33,7 @@ void RunYcsbSuite(const char* index_name, const char* key_name,
   auto reads = GenYcsbRequests(n_load, q, YcsbSpec::WorkloadC());
   double read_mops = Mops(q, [&](size_t i) {
     uint64_t v = 0;
-    index.Find(keys[reads[i].key_index], &v);
+    index.Lookup(keys[reads[i].key_index], &v);
     Consume(v);
   });
 
@@ -41,7 +41,7 @@ void RunYcsbSuite(const char* index_name, const char* key_name,
   double rw_mops = Mops(q, [&](size_t i) {
     uint64_t v = 0;
     if (rw[i].op == YcsbOp::kRead) {
-      index.Find(keys[rw[i].key_index], &v);
+      index.Lookup(keys[rw[i].key_index], &v);
       Consume(v);
     } else {
       index.Update(keys[rw[i].key_index], i);

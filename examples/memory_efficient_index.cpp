@@ -32,13 +32,13 @@ int main() {
   Timer t3;
   for (int q = 0; q < 1000000; ++q) {
     uint64_t v;
-    if (btree.Find(keys[rng.Uniform(keys.size())], &v)) acc += v;
+    if (btree.Lookup(keys[rng.Uniform(keys.size())], &v)) acc += v;
   }
   double btree_read = t3.ElapsedSeconds();
   Timer t4;
   for (int q = 0; q < 1000000; ++q) {
     uint64_t v;
-    if (hybrid.Find(keys[rng.Uniform(keys.size())], &v)) acc += v;
+    if (hybrid.Lookup(keys[rng.Uniform(keys.size())], &v)) acc += v;
   }
   double hybrid_read = t4.ElapsedSeconds();
 

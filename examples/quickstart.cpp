@@ -25,7 +25,7 @@ int main() {
   Fst fst;
   fst.Build(keys, values);
   uint64_t v;
-  fst.Find("fast", &v);
+  fst.Lookup("fast", &v);
   std::printf("FST: fast -> %lu (trie height %zu, %zu bytes total)\n",
               (unsigned long)v, fst.height(), fst.MemoryBytes());
   for (auto it = fst.LowerBound("to"); it.Valid() && it.key() < "tr"; it.Next())

@@ -290,7 +290,7 @@ uint32_t Art::CheckPrefix(const Node* n, std::string_view key, size_t depth) {
 
 // ---------- point operations ----------
 
-bool Art::Find(std::string_view key, Value* value) const {
+bool Art::Lookup(std::string_view key, Value* value) const {
   const void* p = root_;
   size_t depth = 0;
   while (p != nullptr) {

@@ -43,7 +43,14 @@ class Art {
     InsertImpl(key, value, /*overwrite=*/true);
   }
 
-  bool Find(std::string_view key, Value* value = nullptr) const;
+  /// Unified point lookup (met::RangeIndex surface).
+  bool Lookup(std::string_view key, Value* value = nullptr) const;
+
+  [[deprecated("use Lookup()")]] bool Find(std::string_view key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
 
   /// Overwrites an existing key's value; false if absent.
   bool Update(std::string_view key, Value value);
@@ -69,6 +76,7 @@ class Art {
     size_ = 0;
   }
 
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const;
 
   /// Fraction of allocated child slots in use (Section 2.2 reports ~51%

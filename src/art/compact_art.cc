@@ -176,7 +176,7 @@ const void* CompactArt::FindChildPtr(const Header* h, unsigned char byte) {
   return nullptr;
 }
 
-bool CompactArt::Find(std::string_view key, Value* value) const {
+bool CompactArt::Lookup(std::string_view key, Value* value) const {
   const void* p = root_;
   size_t depth = 0;
   while (p != nullptr) {

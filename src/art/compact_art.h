@@ -30,7 +30,14 @@ class CompactArt {
   void Build(const std::vector<std::string>& keys,
              const std::vector<Value>& values);
 
-  bool Find(std::string_view key, Value* value = nullptr) const;
+  /// Unified point lookup (met::ReadOnlyPointIndex surface).
+  bool Lookup(std::string_view key, Value* value = nullptr) const;
+
+  [[deprecated("use Lookup()")]] bool Find(std::string_view key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
 
   /// Collects up to `n` values (and keys) from the smallest key >= `key`.
   size_t Scan(std::string_view key, size_t n, std::vector<Value>* out,
@@ -42,6 +49,7 @@ class CompactArt {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   size_t MemoryBytes() const { return allocated_bytes_; }
+  size_t MemoryUse() const { return MemoryBytes(); }
 
  private:
   static constexpr int kLayout1Max = 227;  // Section 2.2 threshold

@@ -72,12 +72,18 @@ class BTree {
     InsertImpl(key, value, /*overwrite=*/true);
   }
 
-  bool Find(const Key& key, Value* value = nullptr) const {
+  /// Unified point lookup (met::RangeIndex surface).
+  bool Lookup(const Key& key, Value* value = nullptr) const {
     const LeafNode* leaf;
     int slot;
     if (!FindLeafSlot(key, &leaf, &slot)) return false;
     if (value != nullptr) *value = leaf->values[slot];
     return true;
+  }
+
+  [[deprecated("use Lookup()")]] bool Find(const Key& key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
   }
 
   /// Overwrites the value of an existing key; returns false if absent.
@@ -160,6 +166,7 @@ class BTree {
   }
 
   /// Total memory (nodes + string heap), computed by walking the tree.
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const {
     size_t bytes = 0;
     WalkMemory(root_, &bytes);

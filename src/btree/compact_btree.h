@@ -235,7 +235,8 @@ class CompactBTree {
     BuildLevels();
   }
 
-  bool Find(const Key& key, Value* value = nullptr) const {
+  /// Unified point lookup (met::ReadOnlyPointIndex surface).
+  bool Lookup(const Key& key, Value* value = nullptr) const {
     size_t idx = LowerBoundIndex(key);
     if (idx >= store_.size() || !(KeyEquals(store_.KeyAt(idx), key))) return false;
     if (value != nullptr) *value = store_.ValueAt(idx);
@@ -249,6 +250,11 @@ class CompactBTree {
     if (idx >= store_.size() || !(KeyEquals(store_.KeyAt(idx), key))) return false;
     store_.MutableValueAt(idx) = value;
     return true;
+  }
+
+  [[deprecated("use Lookup()")]] bool Find(const Key& key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
   }
 
   /// Index of the first entry with key >= `key` (== size() if none).
@@ -332,6 +338,7 @@ class CompactBTree {
   size_t size() const { return store_.size(); }
   bool empty() const { return store_.size() == 0; }
 
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const {
     size_t bytes = store_.MemoryBytes();
     for (const auto& level : levels_) bytes += level.capacity() * sizeof(uint32_t);

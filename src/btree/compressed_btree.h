@@ -75,7 +75,8 @@ class CompressedBTree {
     Build(std::move(merged));
   }
 
-  bool Find(const Key& key, Value* value = nullptr) const {
+  /// Unified point lookup (met::ReadOnlyPointIndex surface).
+  bool Lookup(const Key& key, Value* value = nullptr) const {
     if (pages_.empty()) return false;
     size_t p = PageFor(key);
     const std::vector<Entry>& entries = PageEntriesRef(p);
@@ -85,6 +86,11 @@ class CompressedBTree {
     if (it == entries.end() || !(it->key == key)) return false;
     if (value != nullptr) *value = it->value;
     return true;
+  }
+
+  [[deprecated("use Lookup()")]] bool Find(const Key& key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
   }
 
   size_t Scan(const Key& key, size_t n, std::vector<Value>* out) const {
@@ -150,6 +156,7 @@ class CompressedBTree {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const {
     size_t bytes = 0;
     for (const auto& p : pages_) bytes += p.blob.capacity();

@@ -43,7 +43,8 @@ class PrefixBTree {
     }
   }
 
-  bool Find(std::string_view key, Value* value = nullptr) const {
+  /// Unified point lookup (met::ReadOnlyPointIndex surface).
+  bool Lookup(std::string_view key, Value* value = nullptr) const {
     if (pages_.empty()) return false;
     size_t p = PageFor(key);
     const Page& page = pages_[p];
@@ -80,6 +81,12 @@ class PrefixBTree {
 
   size_t size() const { return size_; }
 
+  [[deprecated("use Lookup()")]] bool Find(std::string_view key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const {
     size_t bytes = 0;
     for (const auto& p : pages_) {

@@ -151,7 +151,7 @@ bool ValidateIfAvailable(const T& t, std::ostream& os) {
 
 // ---------------------------------------------------------------------------
 // Dynamic structures (BTree / SkipList / Art / Masstree / HybridIndex):
-// uniform Insert / InsertOrAssign / Find / Update / Erase / Scan / size API.
+// uniform Insert / InsertOrAssign / Lookup / Update / Erase / Scan / size API.
 // ---------------------------------------------------------------------------
 
 /// Validate() + exhaustive comparison: every oracle entry findable with the
@@ -170,7 +170,7 @@ std::string DynamicCheckpoint(Index& index,
   }
   for (const auto& [k, v] : oracle) {
     uint64_t got = 0;
-    if (!index.Find(k, &got)) return "Find misses oracle key " + k;
+    if (!index.Lookup(k, &got)) return "Find misses oracle key " + k;
     if (got != v) {
       std::ostringstream os;
       os << "Find(" << k << ") == " << got << ", oracle holds " << v;
@@ -236,7 +236,7 @@ DiffResult RunDynamicOps(Index& index, const std::vector<std::string>& keys,
       }
       case DiffOp::kFind: {
         uint64_t got_v = 0;
-        bool got = index.Find(k, &got_v);
+        bool got = index.Lookup(k, &got_v);
         auto it = oracle.find(k);
         bool want = it != oracle.end();
         if (got != want) {
@@ -308,8 +308,8 @@ class HybridDiffAdapter {
     // stages); Insert-else-Update is equivalent for a unique index.
     if (!index_.Insert(k, v)) index_.Update(k, v);
   }
-  bool Find(const std::string& k, uint64_t* v) const {
-    return index_.Find(k, v);
+  bool Lookup(const std::string& k, uint64_t* v) const {
+    return index_.Lookup(k, v);
   }
   bool Update(const std::string& k, uint64_t v) { return index_.Update(k, v); }
   bool Erase(const std::string& k) { return index_.Erase(k); }
@@ -344,8 +344,8 @@ class ConcurrentHybridDiffAdapter {
   void InsertOrAssign(const std::string& k, uint64_t v) {
     if (!index_.Insert(k, v)) index_.Update(k, v);
   }
-  bool Find(const std::string& k, uint64_t* v) const {
-    return index_.Find(k, v);
+  bool Lookup(const std::string& k, uint64_t* v) const {
+    return index_.Lookup(k, v);
   }
   bool Update(const std::string& k, uint64_t v) { return index_.Update(k, v); }
   bool Erase(const std::string& k) { return index_.Erase(k); }
@@ -414,7 +414,7 @@ DiffResult RunStaticMergeOps(StaticTree& tree,
     }
     for (const auto& [k, v] : merged) {
       uint64_t got = 0;
-      if (!tree.Find(k, &got) || got != v) {
+      if (!tree.Lookup(k, &got) || got != v) {
         fail(i, "post-merge Find mismatch on key " + k);
         return;
       }
@@ -440,7 +440,7 @@ DiffResult RunStaticMergeOps(StaticTree& tree,
         break;
       case DiffOp::kFind: {
         uint64_t got_v = 0;
-        bool got = tree.Find(k, &got_v);
+        bool got = tree.Lookup(k, &got_v);
         auto it = merged.find(k);
         bool want = it != merged.end();
         if (got != want || (got && got_v != it->second)) {

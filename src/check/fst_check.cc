@@ -243,7 +243,7 @@ bool Fst::CheckValidate(std::ostream& os) const {
     have_prev = true;
     last_key = it.key();
 
-    LookupResult res = Lookup(it.key());
+    PathResult res = LookupPath(it.key());
     MET_CHECK_THAT(rep, res.found,
                    "Lookup misses stored path "
                        << check::KeyToDebugString(it.key()));

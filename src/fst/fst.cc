@@ -281,8 +281,8 @@ size_t Fst::SearchLabel(size_t start, size_t end, uint8_t byte) const {
 // Point lookup (Algorithm 1)
 // ---------------------------------------------------------------------------
 
-Fst::LookupResult Fst::Lookup(std::string_view key) const {
-  LookupResult res;
+Fst::PathResult Fst::LookupPath(std::string_view key) const {
+  PathResult res;
   if (num_leaves_ == 0) return res;
   size_t node = 0;  // global node number
   size_t level = 0;
@@ -348,9 +348,9 @@ Fst::LookupResult Fst::Lookup(std::string_view key) const {
   }
 }
 
-bool Fst::Find(std::string_view key, uint64_t* value) const {
+bool Fst::Lookup(std::string_view key, uint64_t* value) const {
   MET_OBS_DEBUG_COUNT("fst.find.calls");
-  LookupResult res = Lookup(key);
+  PathResult res = LookupPath(key);
   if (!res.found) return false;
   // In full-key mode a terminal at depth d means the stored key has exactly
   // d bytes; reject lookups of longer keys that merely pass through.

@@ -32,6 +32,7 @@
 #include "bitvec/select.h"
 #include "check/fwd.h"
 #include "common/assert.h"
+#include "common/index_api.h"
 
 namespace met {
 
@@ -81,7 +82,7 @@ class Fst {
              std::vector<uint32_t>* leaf_depth = nullptr);
 
   /// Result of a point lookup at trie granularity.
-  struct LookupResult {
+  struct PathResult {
     bool found = false;
     uint32_t leaf_id = 0;   // index into values / suffix arrays
     uint32_t depth = 0;     // number of key bytes consumed by the path
@@ -91,10 +92,31 @@ class Fst {
   /// Exact search down the trie. In kFullKey mode `found` implies the key is
   /// stored. In kMinUniquePrefix mode `found` means the key's path reached a
   /// stored (possibly truncated) leaf — SuRF layers suffix checks on top.
-  LookupResult Lookup(std::string_view key) const;
+  PathResult LookupPath(std::string_view key) const;
 
-  /// Convenience wrapper: true iff Lookup succeeds; writes the stored value.
-  bool Find(std::string_view key, uint64_t* value = nullptr) const;
+  /// Unified point lookup (met::ReadOnlyPointIndex): true iff the key is
+  /// stored (full-key mode rejects longer keys that merely pass through a
+  /// terminal); writes the stored value.
+  bool Lookup(std::string_view key, uint64_t* value = nullptr) const;
+
+  [[deprecated("use Lookup()")]] bool Find(std::string_view key,
+                                           uint64_t* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
+  /// Batched LookupPath (the met::batch pipeline, impl in fst_batch.cc):
+  /// runs up to 16 keys at a time as interleaved state machines, issuing a
+  /// software prefetch for the lines each probe's *next* descent step will
+  /// touch (dense bitmap words + rank LUT entries, the S-LOUDS select LUT
+  /// and scan window, sparse label/has-child lines). out[i] is identical to
+  /// LookupPath(keys[i]) — asserted in checked builds.
+  void LookupPathBatch(const std::string_view* keys, size_t n,
+                       PathResult* out) const;
+
+  /// Batched unified lookup (dispatched by met::LookupBatch): LookupPathBatch
+  /// plus the full-key depth filter and a prefetched value-array gather.
+  void LookupBatch(const std::string_view* keys, size_t n,
+                   LookupResult* out) const;
 
   uint64_t ValueAt(uint32_t leaf_id) const { return values_[leaf_id]; }
 
@@ -149,6 +171,8 @@ class Fst {
   uint64_t CountRange(std::string_view low_key, std::string_view high_key) const;
 
   size_t num_keys() const { return num_keys_; }
+  /// Alias of num_keys() (met::ReadOnlyPointIndex surface).
+  size_t size() const { return num_keys_; }
   size_t num_leaves() const { return num_leaves_; }
   size_t num_nodes() const { return num_nodes_; }
   size_t height() const { return height_; }
@@ -156,6 +180,7 @@ class Fst {
 
   /// Total encoded size (bit/byte sequences + rank/select LUTs + values).
   size_t MemoryBytes() const;
+  size_t MemoryUse() const { return MemoryBytes(); }
 
   /// Appends a self-contained binary image of the trie to `*out`. Rank and
   /// select supports are rebuilt on load, so the format stays small and

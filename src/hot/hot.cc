@@ -184,7 +184,7 @@ uint32_t Hot::ExtractBits(std::string_view key,
   return v;
 }
 
-bool Hot::Find(std::string_view key, Value* value) const {
+bool Hot::Lookup(std::string_view key, Value* value) const {
   const void* p = root_;
   while (p != nullptr) {
     if (IsLeaf(p)) {

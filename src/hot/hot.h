@@ -43,10 +43,18 @@ class Hot {
   void Build(const std::vector<std::string>& keys,
              const std::vector<Value>& values);
 
-  bool Find(std::string_view key, Value* value = nullptr) const;
+  /// Unified point lookup (met::ReadOnlyPointIndex surface).
+  bool Lookup(std::string_view key, Value* value = nullptr) const;
+
+  [[deprecated("use Lookup()")]] bool Find(std::string_view key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
 
   size_t size() const { return size_; }
   size_t MemoryBytes() const { return allocated_bytes_; }
+  size_t MemoryUse() const { return MemoryBytes(); }
   /// Maximum number of HOT nodes on a root-to-leaf path.
   size_t Height() const;
 

@@ -37,7 +37,7 @@ class IteratorDynStage {
 
   bool Insert(const Key& k, Value v) { return tree_.Insert(k, v); }
   void InsertOrAssign(const Key& k, Value v) { tree_.InsertOrAssign(k, v); }
-  bool Find(const Key& k, Value* v) const { return tree_.Find(k, v); }
+  bool Lookup(const Key& k, Value* v) const { return tree_.Lookup(k, v); }
   bool Update(const Key& k, Value v) { return tree_.Update(k, v); }
   bool Erase(const Key& k) { return tree_.Erase(k); }
   size_t size() const { return tree_.size(); }
@@ -75,7 +75,7 @@ class TrieDynStage {
   void InsertOrAssign(const std::string& k, Value v) {
     tree_.InsertOrAssign(k, v);
   }
-  bool Find(const std::string& k, Value* v) const { return tree_.Find(k, v); }
+  bool Lookup(const std::string& k, Value* v) const { return tree_.Lookup(k, v); }
   bool Update(const std::string& k, Value v) { return tree_.Update(k, v); }
   bool Erase(const std::string& k) { return tree_.Erase(k); }
   size_t size() const { return tree_.size(); }
@@ -124,7 +124,7 @@ class TrieStatStage {
   using Value = uint64_t;
   using Entry = MergeEntry<std::string, Value>;
 
-  bool Find(const std::string& k, Value* v) const { return tree_.Find(k, v); }
+  bool Lookup(const std::string& k, Value* v) const { return tree_.Lookup(k, v); }
   size_t size() const { return tree_.size(); }
   size_t MemoryBytes() const { return tree_.MemoryBytes(); }
 

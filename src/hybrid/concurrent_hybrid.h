@@ -137,11 +137,12 @@ class ConcurrentHybridIndex {
     return true;
   }
 
-  bool Find(const Key& key, Value* value = nullptr) const {
+  /// Unified point lookup (met::RangeIndex surface).
+  bool Lookup(const Key& key, Value* value = nullptr) const {
     {
       std::shared_lock<std::shared_mutex> l(mu_);
       Value v;
-      if (ActiveMayContain(key) && active_->Find(key, &v)) {
+      if (ActiveMayContain(key) && active_->Lookup(key, &v)) {
         if (v == kTombstone) return false;
         if (value != nullptr) *value = v;
         return true;
@@ -152,6 +153,11 @@ class ConcurrentHybridIndex {
     return FindBelow(*s, key, value);
   }
 
+  [[deprecated("use Lookup()")]] bool Find(const Key& key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
   /// Updates the value of an existing (live) key; new values go to the
   /// active stage so recently modified entries stay hot.
   bool Update(const Key& key, Value value) {
@@ -159,7 +165,7 @@ class ConcurrentHybridIndex {
     {
       std::unique_lock<std::shared_mutex> l(mu_);
       Value v;
-      if (ActiveMayContain(key) && active_->Find(key, &v)) {
+      if (ActiveMayContain(key) && active_->Lookup(key, &v)) {
         if (v == kTombstone) return false;
         active_->Update(key, value);
         return true;
@@ -185,7 +191,7 @@ class ConcurrentHybridIndex {
       std::unique_lock<std::shared_mutex> l(mu_);
       const Snapshot* s = snapshot_.load(std::memory_order_seq_cst);
       Value v;
-      if (ActiveMayContain(key) && active_->Find(key, &v)) {
+      if (ActiveMayContain(key) && active_->Lookup(key, &v)) {
         if (v == kTombstone) return false;
         if (FindBelow(*s, key, nullptr)) {
           active_->Update(key, kTombstone);
@@ -289,6 +295,7 @@ class ConcurrentHybridIndex {
   size_t size() const { return size_.load(std::memory_order_relaxed); }
   bool empty() const { return size() == 0; }
 
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const {
     size_t bytes = 0;
     {
@@ -386,12 +393,12 @@ class ConcurrentHybridIndex {
     if (s.frozen != nullptr &&
         (s.frozen_bloom == nullptr ||
          s.frozen_bloom->MayContain(hybrid::BloomKeyOf(key))) &&
-        s.frozen->Find(key, &v)) {
+        s.frozen->Lookup(key, &v)) {
       if (v == kTombstone) return false;
       if (value != nullptr) *value = v;
       return true;
     }
-    if (s.stat->Find(key, &v)) {
+    if (s.stat->Lookup(key, &v)) {
       if (value != nullptr) *value = v;
       return true;
     }
@@ -401,7 +408,7 @@ class ConcurrentHybridIndex {
   /// Full liveness probe under the writer lock.
   bool FindLocked(const Key& key, Value* value) const {
     Value v;
-    if (ActiveMayContain(key) && active_->Find(key, &v)) {
+    if (ActiveMayContain(key) && active_->Lookup(key, &v)) {
       if (v == kTombstone) return false;
       if (value != nullptr) *value = v;
       return true;

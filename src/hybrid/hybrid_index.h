@@ -129,23 +129,29 @@ class HybridIndex {
     return true;
   }
 
-  bool Find(const Key& key, Value* value = nullptr) const {
+  /// Unified point lookup (met::RangeIndex surface).
+  bool Lookup(const Key& key, Value* value = nullptr) const {
     bool found = FindInternal(key, value);
     if (found && config_.strategy == HybridConfig::MergeStrategy::kMergeCold)
       MarkHot(key);
     return found;
   }
 
+  [[deprecated("use Lookup()")]] bool Find(const Key& key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
   /// Updates the value of an existing key. New values go to the dynamic
   /// stage so recently modified entries stay hot (Section 5.1).
   bool Update(const Key& key, Value value) {
     Value existing;
-    if (dynamic_.Find(key, &existing)) {
+    if (dynamic_.Lookup(key, &existing)) {
       if (existing == kTombstone) return false;
       dynamic_.Update(key, value);
       return true;
     }
-    if (static_.Find(key, &existing)) {
+    if (static_.Lookup(key, &existing)) {
       dynamic_.InsertOrAssign(key, value);
       BloomAdd(key);
       MaybeMerge();
@@ -156,9 +162,9 @@ class HybridIndex {
 
   bool Erase(const Key& key) {
     Value existing;
-    if (dynamic_.Find(key, &existing)) {
+    if (dynamic_.Lookup(key, &existing)) {
       if (existing == kTombstone) return false;
-      bool in_static = static_.Find(key, nullptr);
+      bool in_static = static_.Lookup(key, nullptr);
       if (in_static) {
         dynamic_.Update(key, kTombstone);
       } else {
@@ -167,7 +173,7 @@ class HybridIndex {
       --size_;
       return true;
     }
-    if (static_.Find(key, nullptr)) {
+    if (static_.Lookup(key, nullptr)) {
       dynamic_.InsertOrAssign(key, kTombstone);
       BloomAdd(key);
       --size_;
@@ -234,6 +240,7 @@ class HybridIndex {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const {
     size_t bytes = dynamic_.MemoryBytes() + static_.MemoryBytes();
     if (bloom_ != nullptr) bytes += bloom_->MemoryBytes();
@@ -251,14 +258,14 @@ class HybridIndex {
   bool FindInternal(const Key& key, Value* value) const {
     if (bloom_ == nullptr || BloomMayContain(key)) {
       Value v;
-      if (dynamic_.Find(key, &v)) {
+      if (dynamic_.Lookup(key, &v)) {
         if (v == kTombstone) return false;
         if (value != nullptr) *value = v;
         return true;
       }
     }
     Value v;
-    if (static_.Find(key, &v)) {
+    if (static_.Lookup(key, &v)) {
       if (value != nullptr) *value = v;
       return true;
     }

@@ -432,10 +432,23 @@ bool LsmTree::FilterMayContainRange(const SsTable& t, std::string_view lk,
 }
 
 bool LsmTree::TableGet(const SsTable& t, std::string_view key,
-                       std::string* value) {
+                       std::string* value, const bool* filter_hint) {
   if (key < t.min_key || key > t.max_key) return false;
   const bool filtered = t.bloom != nullptr || t.surf != nullptr;
-  if (!FilterMayContain(t, key)) return false;
+  if (filter_hint != nullptr && filtered) {
+    // Speculative answer from the batched fan-out: account the probe here,
+    // in scalar order, so the stats match the unbatched path exactly.
+    MET_DCHECK(*filter_hint == (t.bloom != nullptr ? t.bloom->MayContain(key)
+                                                   : t.surf->MayContain(key)),
+               "fan-out filter answer diverged from scalar");
+    ++stats_.filter_probes;
+    if (!*filter_hint) {
+      ++stats_.filter_negatives;
+      return false;
+    }
+  } else if (!FilterMayContain(t, key)) {
+    return false;
+  }
   // Fence index: last block whose first key <= key.
   auto it = std::upper_bound(t.block_first_key.begin(), t.block_first_key.end(),
                              std::string(key));
@@ -461,15 +474,20 @@ bool LsmTree::TableGet(const SsTable& t, std::string_view key,
   return true;
 }
 
-bool LsmTree::Get(std::string_view key, std::string* value) {
+bool LsmTree::Lookup(std::string_view key, std::string* value) {
   auto it = memtable_.find(key);
   if (it != memtable_.end()) {
     if (value != nullptr) *value = it->second;
     return true;
   }
-  // L0 newest-first, then deeper levels.
+  // Candidate tables in probe order: L0 newest-first (components may
+  // overlap), then the single range-covering table of each deeper level.
+  // The key-range test here is the same one TableGet applies first, so
+  // excluded tables contribute nothing to stats on either path.
+  probe_tables_.clear();
   for (auto t = levels_[0].rbegin(); t != levels_[0].rend(); ++t)
-    if (TableGet(**t, key, value)) return true;
+    if (key >= (*t)->min_key && key <= (*t)->max_key)
+      probe_tables_.push_back(t->get());
   for (size_t l = 1; l < levels_.size(); ++l) {
     // Levels >= 1 are disjoint: binary search for the candidate table.
     const auto& level = levels_[l];
@@ -478,7 +496,41 @@ bool LsmTree::Get(std::string_view key, std::string* value) {
         [](std::string_view k, const auto& t) { return k < t->min_key; });
     if (lit == level.begin()) continue;
     --lit;
-    if (TableGet(**lit, key, value)) return true;
+    if (key <= (*lit)->max_key) probe_tables_.push_back(lit->get());
+  }
+
+  // Filter fan-out (met::batch): probe every candidate's Bloom filter for
+  // this key as one interleaved batch before any block I/O — the dominant
+  // read-path misses across levels overlap instead of serializing. The
+  // speculative answers are handed to TableGet, which accounts them in
+  // scalar probe order (tables past the first hit stay uncounted).
+  probe_may_.assign(probe_tables_.size(), 2);
+  probe_blooms_.clear();
+  probe_bloom_slot_.clear();
+  for (size_t i = 0; i < probe_tables_.size(); ++i) {
+    if (probe_tables_[i]->bloom != nullptr) {
+      probe_blooms_.push_back(probe_tables_[i]->bloom.get());
+      probe_bloom_slot_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (probe_blooms_.size() > 1) {
+    const uint64_t h = MurmurHash64(key);
+    constexpr size_t kFanOut = 64;
+    bool spec[kFanOut];
+    for (size_t base = 0; base < probe_blooms_.size(); base += kFanOut) {
+      size_t g = std::min(kFanOut, probe_blooms_.size() - base);
+      BloomFilter::MayContainHashFanOut(probe_blooms_.data() + base, g, h,
+                                        spec);
+      for (size_t i = 0; i < g; ++i)
+        probe_may_[probe_bloom_slot_[base + i]] = spec[i] ? 1 : 0;
+    }
+  }
+
+  for (size_t i = 0; i < probe_tables_.size(); ++i) {
+    const bool hint = probe_may_[i] == 1;
+    if (TableGet(*probe_tables_[i], key, value,
+                 probe_may_[i] != 2 ? &hint : nullptr))
+      return true;
   }
   return false;
 }

@@ -97,8 +97,13 @@ class LsmTree {
 
   void Put(std::string_view key, std::string_view value);
 
-  /// Point lookup (Figure 4.3, Get path).
-  bool Get(std::string_view key, std::string* value = nullptr);
+  /// Unified point lookup (Figure 4.3, Get execution path).
+  bool Lookup(std::string_view key, std::string* value = nullptr);
+
+  [[deprecated("use Lookup()")]] bool Get(std::string_view key,
+                                          std::string* value = nullptr) {
+    return Lookup(key, value);
+  }
 
   /// Open seek: smallest key >= `lk` across all levels; nullopt at end.
   std::optional<std::string> Seek(std::string_view lk);
@@ -169,7 +174,11 @@ class LsmTree {
   std::vector<std::pair<std::string, std::string>> ReadAll(const SsTable& t);
 
   const Block& GetBlock(const SsTable& t, size_t block_idx);
-  bool TableGet(const SsTable& t, std::string_view key, std::string* value);
+  /// `filter_hint`, when non-null, is this table's precomputed filter answer
+  /// from the batched fan-out in Lookup; the probe is then accounted here
+  /// (scalar order) instead of re-executed.
+  bool TableGet(const SsTable& t, std::string_view key, std::string* value,
+                const bool* filter_hint = nullptr);
   /// Smallest key >= lk stored in `t` (reads one block unless absent).
   std::optional<std::string> TableSeek(const SsTable& t, std::string_view lk);
 
@@ -186,6 +195,14 @@ class LsmTree {
   uint64_t next_table_id_ = 0;
   std::vector<size_t> compact_cursor_;  // per-level rotating victim cursor
   LsmStats stats_;
+
+  // Lookup scratch (reused across calls to avoid per-read allocation):
+  // candidate tables in probe order, their speculative filter answers
+  // (0/1; 2 = not probed by the fan-out), and the Bloom fan-out arrays.
+  std::vector<const SsTable*> probe_tables_;
+  std::vector<uint8_t> probe_may_;
+  std::vector<const BloomFilter*> probe_blooms_;
+  std::vector<uint32_t> probe_bloom_slot_;
 
   // Publishes stats_ / outcome deltas to the global registry (runs on every
   // obs dump via a registry collector).

@@ -93,7 +93,7 @@ size_t CompactMasstree::LowerBoundEntry(const Node* n, uint64_t slice,
   return lo;
 }
 
-bool CompactMasstree::Find(std::string_view key, Value* value) const {
+bool CompactMasstree::Lookup(std::string_view key, Value* value) const {
   const Node* n = root_;
   std::string_view rem = key;
   while (n != nullptr) {

@@ -28,7 +28,14 @@ class CompactMasstree {
   void Build(const std::vector<std::string>& keys,
              const std::vector<Value>& values);
 
-  bool Find(std::string_view key, Value* value = nullptr) const;
+  /// Unified point lookup (met::ReadOnlyPointIndex surface).
+  bool Lookup(std::string_view key, Value* value = nullptr) const;
+
+  [[deprecated("use Lookup()")]] bool Find(std::string_view key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
 
   size_t Scan(std::string_view key, size_t n, std::vector<Value>* out,
               std::vector<std::string>* keys_out = nullptr) const;
@@ -38,6 +45,7 @@ class CompactMasstree {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   size_t MemoryBytes() const;
+  size_t MemoryUse() const { return MemoryBytes(); }
 
  private:
   enum Kind : uint8_t { kValue, kSuffix, kChild };

@@ -40,7 +40,7 @@ bool Masstree::InsertLayer(Layer* layer, std::string_view remainder,
 
   // Key continues past the slice.
   Link existing;
-  if (!layer->tree.Find(mk, &existing)) {
+  if (!layer->tree.Lookup(mk, &existing)) {
     SuffixRec* rec = new SuffixRec{std::string(remainder.substr(8)), value};
     Link link;
     link.kind = Link::kSuffix;
@@ -70,13 +70,13 @@ bool Masstree::InsertLayer(Layer* layer, std::string_view remainder,
   return true;
 }
 
-bool Masstree::Find(std::string_view key, Value* value) const {
+bool Masstree::Lookup(std::string_view key, Value* value) const {
   const Layer* layer = root_;
   std::string_view remainder = key;
   while (layer != nullptr) {
     MtKey mk = MakeMtKey(remainder);
     Link link;
-    if (!layer->tree.Find(mk, &link)) return false;
+    if (!layer->tree.Lookup(mk, &link)) return false;
     if (mk.lenx <= 8) {
       if (value != nullptr) *value = link.value;
       return true;
@@ -105,7 +105,7 @@ bool Masstree::Update(std::string_view key, Value value) {
   while (layer != nullptr) {
     MtKey mk = MakeMtKey(remainder);
     Link link;
-    if (!layer->tree.Find(mk, &link)) return false;
+    if (!layer->tree.Lookup(mk, &link)) return false;
     if (mk.lenx <= 8) {
       Link nl{Link::kValue, {value}};
       return layer->tree.Update(mk, nl);
@@ -135,7 +135,7 @@ bool Masstree::Erase(std::string_view key) {
   while (layer != nullptr) {
     MtKey mk = MakeMtKey(remainder);
     Link link;
-    if (!layer->tree.Find(mk, &link)) return false;
+    if (!layer->tree.Lookup(mk, &link)) return false;
     if (mk.lenx <= 8) {
       layer->tree.Erase(mk);
       --size_;

@@ -71,7 +71,14 @@ class Masstree {
     InsertImpl(key, value, /*overwrite=*/true);
   }
 
-  bool Find(std::string_view key, Value* value = nullptr) const;
+  /// Unified point lookup (met::RangeIndex surface).
+  bool Lookup(std::string_view key, Value* value = nullptr) const;
+
+  [[deprecated("use Lookup()")]] bool Find(std::string_view key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
   bool Update(std::string_view key, Value value);
   bool Erase(std::string_view key);
 
@@ -83,6 +90,7 @@ class Masstree {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   size_t MemoryBytes() const;
+  size_t MemoryUse() const { return MemoryBytes(); }
 
   void Clear() {
     DestroyLayer(root_);

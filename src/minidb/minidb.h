@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "btree/btree.h"
+#include "common/index_api.h"
 #include "hybrid/hybrid.h"
 #include "obs/obs.h"
 
@@ -42,11 +44,21 @@ class TableIndex {
   explicit TableIndex(IndexKind kind);
 
   bool Insert(uint64_t key, uint64_t tuple_id);
-  bool Find(uint64_t key, uint64_t* tuple_id = nullptr) const;
+  bool Lookup(uint64_t key, uint64_t* tuple_id = nullptr) const;
+  [[deprecated("use Lookup()")]] bool Find(uint64_t key,
+                                           uint64_t* tuple_id = nullptr) const {
+    return Lookup(key, tuple_id);
+  }
   bool Update(uint64_t key, uint64_t tuple_id);
   bool Erase(uint64_t key);
   size_t Scan(uint64_t key, size_t n, std::vector<uint64_t>* out) const;
   size_t MemoryBytes() const;
+  size_t MemoryUse() const { return MemoryBytes(); }
+
+  /// Batched point lookups through the unified met::LookupBatch entry point
+  /// (scalar fallback for these tree kinds; native kernels dispatch
+  /// automatically if a structure gains one).
+  void LookupBatch(const uint64_t* keys, size_t n, LookupResult* out) const;
 
  private:
   IndexKind kind_;
@@ -69,6 +81,12 @@ class MiniTable {
 
   /// Reads the payload (faults in evicted tuples). False if pk absent.
   bool Get(uint64_t pk, std::string* payload = nullptr);
+  /// Batched Get (met::batch): probes the primary index through
+  /// TableIndex::LookupBatch, prefetches every hit's row, then copies the
+  /// payloads out. (*out)[i] is nullopt exactly when Get(pks[i]) is false.
+  /// Returns the number of keys found.
+  size_t MultiGet(const uint64_t* pks, size_t n,
+                  std::vector<std::optional<std::string>>* out);
   bool GetByTupleId(uint64_t tuple_id, std::string* payload);
   bool Update(uint64_t pk, std::string_view payload);
   size_t ScanSecondary(size_t idx, uint64_t sk, size_t n,

@@ -310,9 +310,21 @@ class MetricsRegistry {
         ::met::obs::MetricsRegistry::Global().GetCounter(name);        \
     met_obs_c->Increment();                                            \
   } while (0)
+/// Like MET_OBS_DEBUG_COUNT but adds `n` (batch kernels record per-round
+/// slot occupancy this way: steps / (rounds * group) = average fill).
+#define MET_OBS_DEBUG_ADD(name, n)                                     \
+  do {                                                                 \
+    static ::met::obs::Counter* met_obs_c =                            \
+        ::met::obs::MetricsRegistry::Global().GetCounter(name);        \
+    met_obs_c->Add(n);                                                 \
+  } while (0)
 #else
 #define MET_OBS_DEBUG_COUNT(name) \
   do {                            \
+  } while (0)
+#define MET_OBS_DEBUG_ADD(name, n) \
+  do {                             \
+    (void)(n);                     \
   } while (0)
 #endif
 

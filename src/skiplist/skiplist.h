@@ -57,13 +57,19 @@ class SkipList {
     InsertImpl(key, value, /*overwrite=*/true);
   }
 
-  bool Find(const Key& key, Value* value = nullptr) const {
+  /// Unified point lookup (met::RangeIndex surface).
+  bool Lookup(const Key& key, Value* value = nullptr) const {
     const Page* page = FindPage(key);
     if (page == nullptr) return false;
     int slot = FindLower(page, key);
     if (slot >= page->count || page->keys[slot] != key) return false;
     if (value != nullptr) *value = page->values[slot];
     return true;
+  }
+
+  [[deprecated("use Lookup()")]] bool Find(const Key& key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
   }
 
   bool Update(const Key& key, const Value& value) {
@@ -152,6 +158,7 @@ class SkipList {
     return cnt;
   }
 
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const {
     size_t bytes = 0;
     for (const Tower* t = head_; t != nullptr; t = t->next[0]) {

@@ -52,6 +52,12 @@ class Surf {
   /// Point membership test: false guarantees the key is absent.
   bool MayContain(std::string_view key) const;
 
+  /// Batched point membership (met::batch): trie descents run through
+  /// Fst::LookupPathBatch's interleaved pipeline, each hit's packed suffix
+  /// word is prefetched, then the suffix compares execute. out[i] equals
+  /// MayContain(keys[i]) exactly (asserted in checked builds).
+  void MayContainBatch(const std::string_view* keys, size_t n, bool* out) const;
+
   /// Range membership test on [low_key, high_key] (inclusive bounds):
   /// false guarantees no stored key falls in the range.
   bool MayContainRange(std::string_view low_key, std::string_view high_key) const;
@@ -73,6 +79,7 @@ class Surf {
 
   size_t num_keys() const { return fst_.num_keys(); }
   size_t MemoryBytes() const;
+  size_t MemoryUse() const { return MemoryBytes(); }
   double BitsPerKey() const {
     return num_keys() == 0 ? 0.0
                            : 8.0 * MemoryBytes() / static_cast<double>(num_keys());

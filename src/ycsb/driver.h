@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/index_api.h"
 #include "common/timer.h"
 #include "obs/stall.h"
 #include "ycsb/workload.h"
@@ -54,8 +55,8 @@ class ShardedIndex {
   bool Insert(const Key& key, Value value) {
     return shards_[ShardOf(key)]->Insert(key, value);
   }
-  bool Find(const Key& key, Value* value = nullptr) const {
-    return shards_[ShardOf(key)]->Find(key, value);
+  bool Lookup(const Key& key, Value* value = nullptr) const {
+    return shards_[ShardOf(key)]->Lookup(key, value);
   }
   bool Update(const Key& key, Value value) {
     return shards_[ShardOf(key)]->Update(key, value);
@@ -63,6 +64,38 @@ class ShardedIndex {
   bool Erase(const Key& key) { return shards_[ShardOf(key)]->Erase(key); }
   size_t Scan(const Key& key, size_t n, std::vector<Value>* out) const {
     return shards_[ShardOf(key)]->Scan(key, n, out);
+  }
+
+  /// Batched point lookups (met::batch): keys are bucketed by owning shard
+  /// with a counting sort, each shard's contiguous group runs through the
+  /// unified met::LookupBatch (native interleaved kernel when the index has
+  /// one, scalar fallback otherwise), and results scatter back to request
+  /// order. out[i] matches Lookup(keys[i]) exactly.
+  void LookupBatch(const Key* keys, size_t n, LookupResult* out) const {
+    const size_t ns = shards_.size();
+    std::vector<uint32_t> shard_of(n);
+    std::vector<uint32_t> offset(ns + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+      shard_of[i] = static_cast<uint32_t>(ShardOf(keys[i]));
+      ++offset[shard_of[i] + 1];
+    }
+    for (size_t s = 0; s < ns; ++s) offset[s + 1] += offset[s];
+    std::vector<Key> grouped(n);
+    std::vector<uint32_t> orig(n);
+    std::vector<uint32_t> cursor(offset.begin(), offset.end() - 1);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t p = cursor[shard_of[i]]++;
+      grouped[p] = keys[i];
+      orig[p] = static_cast<uint32_t>(i);
+    }
+    std::vector<LookupResult> gout(n);
+    for (size_t s = 0; s < ns; ++s) {
+      size_t cnt = offset[s + 1] - offset[s];
+      if (cnt > 0)
+        met::LookupBatch(*shards_[s], grouped.data() + offset[s], cnt,
+                         gout.data() + offset[s]);
+    }
+    for (size_t p = 0; p < n; ++p) out[orig[p]] = gout[p];
   }
 
   bool AnyMergeInFlight() const {
@@ -79,6 +112,7 @@ class ShardedIndex {
     for (const auto& s : shards_) n += s->size();
     return n;
   }
+  size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const {
     size_t n = 0;
     for (const auto& s : shards_) n += s->MemoryBytes();
@@ -115,12 +149,22 @@ struct YcsbRunResult {
 /// thread-disjoint range above `num_keys`, so concurrent inserts never
 /// collide on a key. Per-operation latencies go to `stalls` (may be null),
 /// attributed to the merge phase observed when the operation started.
+///
+/// `read_batch` > 1 turns on the met::batch read pipeline: consecutive kRead
+/// requests accumulate (up to that many) and execute as one
+/// ShardedIndex::LookupBatch. Any write or scan flushes the pending batch
+/// first, so each thread still observes its own writes in order. Batched
+/// reads report the amortized per-op latency to `stalls`. Requires a
+/// uint64_t-valued index (the unified LookupResult type); other value types
+/// silently run scalar.
 template <typename Index, typename Key, typename KeyFn>
 YcsbRunResult RunYcsb(ShardedIndex<Index, Key>* index, const YcsbSpec& spec,
                       size_t num_keys, size_t ops_per_thread,
                       size_t num_threads, KeyFn key_of,
-                      obs::StallSplit* stalls = nullptr) {
+                      obs::StallSplit* stalls = nullptr,
+                      size_t read_batch = 1) {
   using Value = typename Index::Value;
+  constexpr bool kCanBatch = std::is_same_v<Value, uint64_t>;
   std::vector<YcsbRunResult> partial(num_threads);
   auto worker = [&](size_t t) {
     YcsbSpec thread_spec = spec;
@@ -129,18 +173,51 @@ YcsbRunResult RunYcsb(ShardedIndex<Index, Key>* index, const YcsbSpec& spec,
         GenYcsbRequests(num_keys, ops_per_thread, thread_spec);
     YcsbRunResult& r = partial[t];
     std::vector<Value> scan_out;
+
+    std::vector<Key> read_buf;
+    std::vector<LookupResult> read_out;
+    if (kCanBatch && read_batch > 1) {
+      read_buf.reserve(read_batch);
+      read_out.resize(read_batch);
+    }
+    auto flush_reads = [&]() {
+      if constexpr (kCanBatch) {
+        if (read_buf.empty()) return;
+        bool merging = stalls != nullptr && index->AnyMergeInFlight();
+        met::Timer batch_timer;
+        index->LookupBatch(read_buf.data(), read_buf.size(), read_out.data());
+        for (size_t i = 0; i < read_buf.size(); ++i)
+          if (read_out[i].found) ++r.read_hits;
+        r.reads += read_buf.size();
+        if (stalls != nullptr) {
+          uint64_t per_op = batch_timer.ElapsedNanos() / read_buf.size();
+          for (size_t i = 0; i < read_buf.size(); ++i)
+            stalls->Record(true, merging, per_op);
+        }
+        read_buf.clear();
+      }
+    };
+
     met::Timer run_timer;
     for (const YcsbRequest& req : reqs) {
       uint64_t idx = req.key_index;
       if (req.op == YcsbOp::kInsert)  // thread-disjoint insert keyspace
         idx = num_keys + t * ops_per_thread + (idx - num_keys);
       Key key = key_of(idx);
+      if (kCanBatch && read_batch > 1) {
+        if (req.op == YcsbOp::kRead) {
+          read_buf.push_back(key);
+          if (read_buf.size() >= read_batch) flush_reads();
+          continue;
+        }
+        flush_reads();  // writes/scans must see all queued reads retired
+      }
       bool merging = stalls != nullptr && index->AnyMergeInFlight();
       met::Timer op_timer;
       switch (req.op) {
         case YcsbOp::kRead: {
           Value v;
-          if (index->Find(key, &v)) ++r.read_hits;
+          if (index->Lookup(key, &v)) ++r.read_hits;
           ++r.reads;
           break;
         }
@@ -163,6 +240,7 @@ YcsbRunResult RunYcsb(ShardedIndex<Index, Key>* index, const YcsbSpec& spec,
         stalls->Record(is_read, merging, op_timer.ElapsedNanos());
       }
     }
+    flush_reads();
     r.seconds = run_timer.ElapsedSeconds();
   };
 

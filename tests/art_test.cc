@@ -18,10 +18,10 @@ TEST(ArtTest, InsertFindBasic) {
   EXPECT_TRUE(art.Insert("hello", 1));
   EXPECT_FALSE(art.Insert("hello", 2));
   uint64_t v = 0;
-  EXPECT_TRUE(art.Find("hello", &v));
+  EXPECT_TRUE(art.Lookup("hello", &v));
   EXPECT_EQ(v, 1u);
-  EXPECT_FALSE(art.Find("hell"));
-  EXPECT_FALSE(art.Find("hello!"));
+  EXPECT_FALSE(art.Lookup("hell"));
+  EXPECT_FALSE(art.Lookup("hello!"));
 }
 
 TEST(ArtTest, PrefixKeys) {
@@ -32,13 +32,13 @@ TEST(ArtTest, PrefixKeys) {
   EXPECT_TRUE(art.Insert("abc", 3));
   EXPECT_TRUE(art.Insert("abd", 4));
   uint64_t v = 0;
-  EXPECT_TRUE(art.Find("a", &v));
+  EXPECT_TRUE(art.Lookup("a", &v));
   EXPECT_EQ(v, 1u);
-  EXPECT_TRUE(art.Find("ab", &v));
+  EXPECT_TRUE(art.Lookup("ab", &v));
   EXPECT_EQ(v, 2u);
-  EXPECT_TRUE(art.Find("abc", &v));
+  EXPECT_TRUE(art.Lookup("abc", &v));
   EXPECT_EQ(v, 3u);
-  EXPECT_TRUE(art.Find("abd", &v));
+  EXPECT_TRUE(art.Lookup("abd", &v));
   EXPECT_EQ(v, 4u);
   EXPECT_EQ(art.size(), 4u);
 }
@@ -52,11 +52,11 @@ TEST(ArtTest, EmbeddedNulBytes) {
   EXPECT_TRUE(art.Insert(k2, 2));
   EXPECT_TRUE(art.Insert(k3, 3));
   uint64_t v = 0;
-  EXPECT_TRUE(art.Find(k1, &v));
+  EXPECT_TRUE(art.Lookup(k1, &v));
   EXPECT_EQ(v, 1u);
-  EXPECT_TRUE(art.Find(k2, &v));
+  EXPECT_TRUE(art.Lookup(k2, &v));
   EXPECT_EQ(v, 2u);
-  EXPECT_TRUE(art.Find(k3, &v));
+  EXPECT_TRUE(art.Lookup(k3, &v));
   EXPECT_EQ(v, 3u);
 }
 
@@ -67,14 +67,14 @@ TEST(ArtTest, LongCommonPrefixBeyondInlineWindow) {
   EXPECT_TRUE(art.Insert(base + "a", 1));
   EXPECT_TRUE(art.Insert(base + "b", 2));
   uint64_t v = 0;
-  EXPECT_TRUE(art.Find(base + "a", &v));
+  EXPECT_TRUE(art.Lookup(base + "a", &v));
   EXPECT_EQ(v, 1u);
-  EXPECT_FALSE(art.Find(base.substr(0, 39) + "ya"));
+  EXPECT_FALSE(art.Lookup(base.substr(0, 39) + "ya"));
   // Now split deep inside the long prefix.
   EXPECT_TRUE(art.Insert(base.substr(0, 20) + std::string(10, 'q'), 3));
-  EXPECT_TRUE(art.Find(base + "b", &v));
+  EXPECT_TRUE(art.Lookup(base + "b", &v));
   EXPECT_EQ(v, 2u);
-  EXPECT_TRUE(art.Find(base.substr(0, 20) + std::string(10, 'q'), &v));
+  EXPECT_TRUE(art.Lookup(base.substr(0, 20) + std::string(10, 'q'), &v));
   EXPECT_EQ(v, 3u);
 }
 
@@ -90,7 +90,7 @@ TEST(ArtTest, GrowThroughAllNodeTypes) {
     std::string k(1, static_cast<char>(b));
     k += "suffix";
     uint64_t v = 0;
-    ASSERT_TRUE(art.Find(k, &v)) << b;
+    ASSERT_TRUE(art.Lookup(k, &v)) << b;
     EXPECT_EQ(v, static_cast<uint64_t>(b));
   }
 }
@@ -117,7 +117,7 @@ TEST(ArtTest, MatchesStdMapRandomOps) {
         break;
       default: {
         uint64_t v = 0;
-        bool found = art.Find(k, &v);
+        bool found = art.Lookup(k, &v);
         auto it = ref.find(k);
         ASSERT_EQ(found, it != ref.end()) << k;
         if (found) {
@@ -189,10 +189,10 @@ TEST(CompactArtTest, BuildFindInts) {
   EXPECT_EQ(art.size(), keys.size());
   for (size_t i = 0; i < keys.size(); i += 17) {
     uint64_t v = 0;
-    ASSERT_TRUE(art.Find(keys[i], &v));
+    ASSERT_TRUE(art.Lookup(keys[i], &v));
     EXPECT_EQ(v, ints[i]);
   }
-  EXPECT_FALSE(art.Find(Uint64ToKey(ints.back() - 1) + "x"));
+  EXPECT_FALSE(art.Lookup(Uint64ToKey(ints.back() - 1) + "x"));
 }
 
 TEST(CompactArtTest, BuildFindEmails) {
@@ -204,10 +204,10 @@ TEST(CompactArtTest, BuildFindEmails) {
   art.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); i += 11) {
     uint64_t v = 0;
-    ASSERT_TRUE(art.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(art.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(art.Find("zzzz@nonexistent"));
+  EXPECT_FALSE(art.Lookup("zzzz@nonexistent"));
 }
 
 TEST(CompactArtTest, PrefixKeysAndTerminals) {
@@ -217,11 +217,11 @@ TEST(CompactArtTest, PrefixKeysAndTerminals) {
   art.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(art.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(art.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, vals[i]);
   }
-  EXPECT_FALSE(art.Find("abz"));
-  EXPECT_FALSE(art.Find(""));
+  EXPECT_FALSE(art.Lookup("abz"));
+  EXPECT_FALSE(art.Lookup(""));
 }
 
 TEST(CompactArtTest, ScanAndVisitMatchSorted) {
@@ -275,13 +275,13 @@ TEST(CompactArtTest, CompactSmallerThanDynamicForRandomInts) {
 TEST(CompactArtTest, EmptyAndSingle) {
   CompactArt art;
   art.Build({}, {});
-  EXPECT_FALSE(art.Find("x"));
+  EXPECT_FALSE(art.Lookup("x"));
   art.Build({"only"}, {7});
   uint64_t v = 0;
-  EXPECT_TRUE(art.Find("only", &v));
+  EXPECT_TRUE(art.Lookup("only", &v));
   EXPECT_EQ(v, 7u);
-  EXPECT_FALSE(art.Find("onl"));
-  EXPECT_FALSE(art.Find("onlyy"));
+  EXPECT_FALSE(art.Lookup("onl"));
+  EXPECT_FALSE(art.Lookup("onlyy"));
 }
 
 }  // namespace

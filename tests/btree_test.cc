@@ -18,9 +18,9 @@ TEST(BTreeTest, InsertFind) {
   EXPECT_TRUE(tree.Insert(42, 100));
   EXPECT_FALSE(tree.Insert(42, 200));  // duplicate rejected
   uint64_t v = 0;
-  EXPECT_TRUE(tree.Find(42, &v));
+  EXPECT_TRUE(tree.Lookup(42, &v));
   EXPECT_EQ(v, 100u);
-  EXPECT_FALSE(tree.Find(43));
+  EXPECT_FALSE(tree.Lookup(43));
   EXPECT_EQ(tree.size(), 1u);
 }
 
@@ -29,12 +29,12 @@ TEST(BTreeTest, UpdateErase) {
   tree.Insert(1, 10);
   EXPECT_TRUE(tree.Update(1, 20));
   uint64_t v = 0;
-  tree.Find(1, &v);
+  tree.Lookup(1, &v);
   EXPECT_EQ(v, 20u);
   EXPECT_FALSE(tree.Update(2, 5));
   EXPECT_TRUE(tree.Erase(1));
   EXPECT_FALSE(tree.Erase(1));
-  EXPECT_FALSE(tree.Find(1));
+  EXPECT_FALSE(tree.Lookup(1));
   EXPECT_EQ(tree.size(), 0u);
 }
 
@@ -59,7 +59,7 @@ TEST(BTreeTest, MatchesStdMapRandom) {
         break;
       default: {
         uint64_t v = 0;
-        bool found = tree.Find(k, &v);
+        bool found = tree.Lookup(k, &v);
         auto it = ref.find(k);
         EXPECT_EQ(found, it != ref.end());
         if (found) {
@@ -100,7 +100,7 @@ TEST(BTreeTest, StringKeys) {
   for (size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(tree.Insert(keys[i], i));
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(tree.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(tree.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
   EXPECT_GT(tree.MemoryBytes(), keys.size() * 8);
@@ -140,10 +140,10 @@ TEST(CompactBTreeTest, BuildAndFindInt) {
   EXPECT_EQ(tree.size(), keys.size());
   for (size_t i = 0; i < keys.size(); i += 17) {
     uint64_t v = 0;
-    ASSERT_TRUE(tree.Find(keys[i], &v));
+    ASSERT_TRUE(tree.Lookup(keys[i], &v));
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(tree.Find(keys.back() + 1));
+  EXPECT_FALSE(tree.Lookup(keys.back() + 1));
 }
 
 TEST(CompactBTreeTest, BuildAndFindString) {
@@ -153,10 +153,10 @@ TEST(CompactBTreeTest, BuildAndFindString) {
   tree.Build(MakeEntries(keys));
   for (size_t i = 0; i < keys.size(); i += 13) {
     uint64_t v = 0;
-    ASSERT_TRUE(tree.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(tree.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(tree.Find(std::string("zzzz.nonexistent")));
+  EXPECT_FALSE(tree.Lookup(std::string("zzzz.nonexistent")));
 }
 
 TEST(CompactBTreeTest, LowerBoundMatchesStd) {
@@ -187,12 +187,12 @@ TEST(CompactBTreeTest, MergeApplyShadowAndTombstone) {
   tree.MergeApply(updates);
   EXPECT_EQ(tree.size(), 6u);
   uint64_t v = 0;
-  EXPECT_TRUE(tree.Find(5, &v));
+  EXPECT_TRUE(tree.Lookup(5, &v));
   EXPECT_EQ(v, 100u);
-  EXPECT_TRUE(tree.Find(20, &v));
+  EXPECT_TRUE(tree.Lookup(20, &v));
   EXPECT_EQ(v, 200u);
-  EXPECT_FALSE(tree.Find(30));
-  EXPECT_TRUE(tree.Find(60, &v));
+  EXPECT_FALSE(tree.Lookup(30));
+  EXPECT_TRUE(tree.Lookup(60, &v));
   EXPECT_EQ(v, 300u);
 }
 
@@ -224,7 +224,7 @@ TEST(CompactBTreeTest, ScanInOrder) {
 TEST(CompactBTreeTest, EmptyTree) {
   CompactBTree<uint64_t> tree;
   tree.Build({});
-  EXPECT_FALSE(tree.Find(1));
+  EXPECT_FALSE(tree.Lookup(1));
   EXPECT_EQ(tree.LowerBoundIndex(0), 0u);
   EXPECT_FALSE(tree.Begin().Valid());
 }

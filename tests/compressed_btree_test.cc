@@ -26,10 +26,10 @@ TEST(CompressedBTreeTest, RoundTripInts) {
   t.Build(Entries(keys));
   for (size_t i = 0; i < keys.size(); i += 7) {
     uint64_t v = 0;
-    ASSERT_TRUE(t.Find(keys[i], &v));
+    ASSERT_TRUE(t.Lookup(keys[i], &v));
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(t.Find(keys[0] + 1));
+  EXPECT_FALSE(t.Lookup(keys[0] + 1));
   EXPECT_GT(t.cache_hits() + t.cache_misses(), 0u);
 }
 
@@ -40,7 +40,7 @@ TEST(CompressedBTreeTest, RoundTripStrings) {
   t.Build(Entries(keys));
   for (size_t i = 0; i < keys.size(); i += 11) {
     uint64_t v = 0;
-    ASSERT_TRUE(t.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(t.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
 }
@@ -60,10 +60,10 @@ TEST(CompressedBTreeTest, MergeApply) {
   t.Build(Entries(std::vector<uint64_t>{10, 20, 30}));
   t.MergeApply({{15, 150, false}, {20, 0, true}, {40, 400, false}});
   uint64_t v = 0;
-  EXPECT_TRUE(t.Find(15, &v));
+  EXPECT_TRUE(t.Lookup(15, &v));
   EXPECT_EQ(v, 150u);
-  EXPECT_FALSE(t.Find(20));
-  EXPECT_TRUE(t.Find(40, &v));
+  EXPECT_FALSE(t.Lookup(20));
+  EXPECT_TRUE(t.Lookup(40, &v));
   EXPECT_EQ(t.size(), 4u);
 }
 
@@ -86,10 +86,10 @@ TEST(PrefixBTreeTest, FindAndScan) {
   t.Build(keys, values);
   for (size_t i = 0; i < keys.size(); i += 13) {
     uint64_t v = 0;
-    ASSERT_TRUE(t.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(t.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(t.Find("zzz/nonexistent"));
+  EXPECT_FALSE(t.Lookup("zzz/nonexistent"));
 
   Random rng(3);
   for (int q = 0; q < 300; ++q) {

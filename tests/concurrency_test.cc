@@ -29,7 +29,7 @@ TEST(ConcurrencyTest, ParallelFstReaders) {
     pool.emplace_back([&, t] {
       for (size_t i = t; i < keys.size(); i += 4) {
         uint64_t v = ~0ull;
-        if (!fst.Find(keys[i], &v) || v != i) ++errors;
+        if (!fst.Lookup(keys[i], &v) || v != i) ++errors;
       }
     });
   }

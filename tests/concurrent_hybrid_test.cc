@@ -111,7 +111,7 @@ void RunRandomOpsAgainstStdMap(Index* index, KeyFn make_key, int ops,
         break;
       default: {
         uint64_t v = 0;
-        bool found = index->Find(k, &v);
+        bool found = index->Lookup(k, &v);
         auto it = ref.find(k);
         ASSERT_EQ(found, it != ref.end());
         if (found) ASSERT_EQ(v, it->second);
@@ -194,7 +194,7 @@ TEST(ConcurrentHybridTest, NonUniqueInsertKeepsSizeExact) {
   ASSERT_TRUE(index.Insert(7, 7777));
   ASSERT_EQ(index.size(), 100u);
   uint64_t v = 0;
-  ASSERT_TRUE(index.Find(7, &v));
+  ASSERT_TRUE(index.Lookup(7, &v));
   EXPECT_EQ(v, 7777u);
   ExpectValid(index);
 }
@@ -300,7 +300,7 @@ TEST(ConcurrentHybridTest, ConcurrentReadersAndWritersDuringMerges) {
     while (!stop.load(std::memory_order_relaxed)) {
       uint64_t k = rng.Uniform(kPreload);
       uint64_t v = 0;
-      ASSERT_TRUE(index.Find(k, &v)) << k;  // preload keys are never erased
+      ASSERT_TRUE(index.Lookup(k, &v)) << k;  // preload keys are never erased
       ASSERT_EQ(v, k + 1);
       if (k % 64 == 0) {
         vals.clear();
@@ -333,7 +333,7 @@ TEST(ConcurrentHybridTest, ConcurrentReadersAndWritersDuringMerges) {
   ASSERT_EQ(index.size(), ref.size());
   for (const auto& [k, v] : ref) {
     uint64_t got = 0;
-    ASSERT_TRUE(index.Find(k, &got)) << k;
+    ASSERT_TRUE(index.Lookup(k, &got)) << k;
     ASSERT_EQ(got, v) << k;
   }
   EXPECT_GT(index.merge_stats().merge_count, 0u);
@@ -351,7 +351,7 @@ TEST(ShardedYcsbTest, RoutesAndCountsConsistently) {
   ASSERT_EQ(index.size(), kKeys);
   uint64_t v = 0;
   for (uint64_t k = 0; k < kKeys; k += 17) {
-    ASSERT_TRUE(index.Find(k, &v));
+    ASSERT_TRUE(index.Lookup(k, &v));
     ASSERT_EQ(v, k + 1);
   }
   // Erase outside the workload's key range so the update-miss insert
@@ -380,6 +380,50 @@ TEST(ShardedYcsbTest, RoutesAndCountsConsistently) {
   // the logical size moves only by the insert count.
   EXPECT_EQ(index.size(), kKeys - 1 + res.inserts);
   for (size_t s = 0; s < index.num_shards(); ++s) ExpectValid(index.shard(s));
+}
+
+TEST(ShardedYcsbTest, BatchedReadsMatchScalar) {
+  // The read_batch knob must not change any observable result: the same
+  // single-threaded request stream replayed with read_batch=1 and an uneven
+  // read_batch=7 yields identical op and hit totals (queued reads are
+  // flushed before every write, preserving read-your-writes order).
+  auto run = [](size_t read_batch) {
+    ConcurrentHybridConfig cfg;
+    cfg.min_merge_entries = 512;
+    ycsb::ShardedIndex<ConcurrentHybridBTree<uint64_t>, uint64_t> index(3,
+                                                                        cfg);
+    constexpr uint64_t kKeys = 3000;
+    for (uint64_t k = 0; k < kKeys; ++k) index.Insert(k, k + 1);
+    index.WaitForMergeIdle();
+    auto res = ycsb::RunYcsb(&index, YcsbSpec::WorkloadA(), kKeys - 200,
+                             /*ops_per_thread=*/6000, /*num_threads=*/1,
+                             [](uint64_t i) { return i; },
+                             /*stalls=*/nullptr, read_batch);
+    index.WaitForMergeIdle();
+    return res;
+  };
+  auto scalar = run(1);
+  auto batched = run(7);
+  EXPECT_EQ(scalar.TotalOps(), 6000u);
+  EXPECT_EQ(batched.reads, scalar.reads);
+  EXPECT_EQ(batched.read_hits, scalar.read_hits);
+  EXPECT_EQ(batched.updates, scalar.updates);
+  EXPECT_EQ(batched.inserts, scalar.inserts);
+  EXPECT_EQ(batched.scans, scalar.scans);
+
+  // Latencies are still recorded per op when batching (amortized).
+  obs::StallSplit stalls;
+  ConcurrentHybridConfig cfg;
+  cfg.min_merge_entries = 512;
+  ycsb::ShardedIndex<ConcurrentHybridBTree<uint64_t>, uint64_t> index(2, cfg);
+  for (uint64_t k = 0; k < 1000; ++k) index.Insert(k, k + 1);
+  auto res = ycsb::RunYcsb(&index, YcsbSpec::WorkloadC(), 1000,
+                           /*ops_per_thread=*/2000, /*num_threads=*/2,
+                           [](uint64_t i) { return i; }, &stalls,
+                           /*read_batch=*/32);
+  index.WaitForMergeIdle();
+  EXPECT_EQ(res.reads, 4000u);
+  EXPECT_EQ(stalls.Reads(false).Count() + stalls.Reads(true).Count(), 4000u);
 }
 
 TEST(StallSplitTest, SplitsByPhaseAndOpClass) {

@@ -6,12 +6,23 @@
 #include <vector>
 
 #include "art/art.h"
+#include "art/compact_art.h"
+#include "bloom/bloom.h"
 #include "btree/btree.h"
+#include "btree/compact_btree.h"
+#include "btree/compressed_btree.h"
+#include "btree/prefix_btree.h"
+#include "common/index_api.h"
+#include "fst/fst.h"
+#include "hot/hot.h"
 #include "common/random.h"
 #include "hybrid/hybrid.h"
 #include "keys/keygen.h"
+#include "masstree/compact_masstree.h"
 #include "masstree/masstree.h"
+#include "skiplist/compact_skiplist.h"
 #include "skiplist/skiplist.h"
+#include "surf/surf.h"
 #include "gtest/gtest.h"
 
 namespace met {
@@ -34,7 +45,7 @@ TYPED_TEST(IntIndexConformanceTest, InsertRejectsDuplicates) {
   EXPECT_TRUE(this->index.Insert(7, 70));
   EXPECT_FALSE(this->index.Insert(7, 71));
   uint64_t v = 0;
-  EXPECT_TRUE(this->index.Find(7, &v));
+  EXPECT_TRUE(this->index.Lookup(7, &v));
   EXPECT_EQ(v, 70u);  // the first value wins
 }
 
@@ -43,7 +54,7 @@ TYPED_TEST(IntIndexConformanceTest, UpdateOnlyExisting) {
   this->index.Insert(1, 10);
   EXPECT_TRUE(this->index.Update(1, 20));
   uint64_t v = 0;
-  this->index.Find(1, &v);
+  this->index.Lookup(1, &v);
   EXPECT_EQ(v, 20u);
 }
 
@@ -51,10 +62,10 @@ TYPED_TEST(IntIndexConformanceTest, EraseSemantics) {
   this->index.Insert(5, 50);
   EXPECT_TRUE(this->index.Erase(5));
   EXPECT_FALSE(this->index.Erase(5));
-  EXPECT_FALSE(this->index.Find(5));
+  EXPECT_FALSE(this->index.Lookup(5));
   EXPECT_TRUE(this->index.Insert(5, 51));  // reinsert after erase
   uint64_t v = 0;
-  EXPECT_TRUE(this->index.Find(5, &v));
+  EXPECT_TRUE(this->index.Lookup(5, &v));
   EXPECT_EQ(v, 51u);
 }
 
@@ -107,7 +118,7 @@ TYPED_TEST(IntIndexConformanceTest, RandomOpsMatchStdMap) {
         break;
       default: {
         uint64_t v = 0;
-        bool found = this->index.Find(k, &v);
+        bool found = this->index.Lookup(k, &v);
         ASSERT_EQ(found, ref.count(k) > 0);
         if (found) {
           ASSERT_EQ(v, ref[k]);
@@ -136,11 +147,11 @@ TYPED_TEST(StringIndexConformanceTest, BasicContract) {
   EXPECT_FALSE(this->index.Insert(a, 2));
   EXPECT_TRUE(this->index.Insert(b, 3));
   uint64_t v = 0;
-  EXPECT_TRUE(this->index.Find(a, &v));
+  EXPECT_TRUE(this->index.Lookup(a, &v));
   EXPECT_EQ(v, 1u);
   EXPECT_TRUE(this->index.Update(b, 4));
   EXPECT_TRUE(this->index.Erase(a));
-  EXPECT_FALSE(this->index.Find(a));
+  EXPECT_FALSE(this->index.Lookup(a));
   EXPECT_EQ(this->index.size(), 1u);
 }
 
@@ -150,10 +161,10 @@ TYPED_TEST(StringIndexConformanceTest, PrefixKeysCoexist) {
     EXPECT_TRUE(this->index.Insert(keys[i], i)) << keys[i];
   for (size_t i = 0; i < 5; ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(this->index.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(this->index.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(this->index.Find(std::string("abcde")));
+  EXPECT_FALSE(this->index.Lookup(std::string("abcde")));
 }
 
 TYPED_TEST(StringIndexConformanceTest, EmailWorkloadMatchesStdMap) {
@@ -170,11 +181,51 @@ TYPED_TEST(StringIndexConformanceTest, EmailWorkloadMatchesStdMap) {
   }
   for (const auto& [k, v] : ref) {
     uint64_t got;
-    ASSERT_TRUE(this->index.Find(k, &got)) << k;
+    ASSERT_TRUE(this->index.Lookup(k, &got)) << k;
     ASSERT_EQ(got, v);
   }
   EXPECT_EQ(this->index.size(), ref.size());
 }
+
+// ---------- unified-API concept conformance (common/index_api.h) ----------
+//
+// Compile-time contract: every structure in the library satisfies the
+// concept tier it advertises, for the key spellings callers actually use.
+
+// Dynamic trees serve the full RangeIndex surface.
+static_assert(RangeIndex<BTree<uint64_t>, uint64_t>);
+static_assert(RangeIndex<BTree<std::string>, std::string>);
+static_assert(RangeIndex<SkipList<uint64_t>, uint64_t>);
+static_assert(RangeIndex<SkipList<std::string>, std::string>);
+static_assert(RangeIndex<Art, std::string_view>);
+static_assert(RangeIndex<Art, std::string>);
+static_assert(RangeIndex<Masstree, std::string_view>);
+
+// Hybrid indexes (blocking and concurrent) are drop-in RangeIndexes.
+static_assert(RangeIndex<HybridBTree<uint64_t>, uint64_t>);
+static_assert(RangeIndex<HybridSkipList<uint64_t>, uint64_t>);
+static_assert(RangeIndex<HybridCompressedBTree<uint64_t>, uint64_t>);
+static_assert(RangeIndex<HybridArt, std::string>);
+static_assert(RangeIndex<HybridMasstree, std::string>);
+
+// Static/compact structures expose the read-only point-lookup tier.
+static_assert(ReadOnlyPointIndex<Fst, std::string_view>);
+static_assert(ReadOnlyPointIndex<CompactBTree<uint64_t>, uint64_t>);
+static_assert(ReadOnlyPointIndex<CompactSkipList<uint64_t>, uint64_t>);
+static_assert(ReadOnlyPointIndex<CompressedBTree<uint64_t>, uint64_t>);
+static_assert(ReadOnlyPointIndex<CompactArt, std::string_view>);
+static_assert(ReadOnlyPointIndex<CompactMasstree, std::string_view>);
+static_assert(ReadOnlyPointIndex<Hot, std::string_view>);
+static_assert(ReadOnlyPointIndex<PrefixBTree<>, std::string_view>);
+
+// A static structure is not a dynamic one.
+static_assert(!PointIndex<Fst, std::string_view>);
+static_assert(!PointIndex<CompactBTree<uint64_t>, uint64_t>);
+
+// Approximate filters.
+static_assert(Filter<Surf>);
+static_assert(Filter<BloomFilter>);
+static_assert(Filter<BloomFilter, uint64_t>);
 
 }  // namespace
 }  // namespace met

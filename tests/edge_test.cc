@@ -29,10 +29,10 @@ TEST(CompactArtEdgeTest, Layout3WideNodes) {
   art.Build(keys, values);
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(art.Find(keys[i], &v)) << i;
+    ASSERT_TRUE(art.Lookup(keys[i], &v)) << i;
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(art.Find(std::string{'\x41', '\x01'}));
+  EXPECT_FALSE(art.Lookup(std::string{'\x41', '\x01'}));
   // In-order visitation across the wide node.
   std::vector<std::string> visited;
   art.VisitAll([&](std::string_view k, uint64_t) { visited.emplace_back(k); });
@@ -49,7 +49,7 @@ TEST(FstEdgeTest, SixtyFourLevelKeys) {
   EXPECT_EQ(fst.height(), 64u);
   for (size_t i = 0; i < keys.size(); i += 31) {
     uint64_t v = 0;
-    ASSERT_TRUE(fst.Find(keys[i], &v));
+    ASSERT_TRUE(fst.Lookup(keys[i], &v));
     EXPECT_EQ(v, i);
   }
   // Iterator survives 64-deep descents.
@@ -68,11 +68,11 @@ TEST(FstEdgeTest, DuplicatePrefixChains) {
   fst.Build(keys, values);
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(fst.Find(keys[i], &v)) << i;
+    ASSERT_TRUE(fst.Lookup(keys[i], &v)) << i;
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(fst.Find(std::string(41, 'a')));
-  EXPECT_FALSE(fst.Find("ab"));
+  EXPECT_FALSE(fst.Lookup(std::string(41, 'a')));
+  EXPECT_FALSE(fst.Lookup("ab"));
   EXPECT_EQ(fst.CountRange(std::string(1, 'a'), std::string(41, 'a')),
             keys.size());
 }
@@ -81,7 +81,7 @@ TEST(LsmEdgeTest, EmptyTreeQueries) {
   LsmOptions opt;
   opt.dir = "/tmp/met_lsm_edge_empty";
   LsmTree lsm(opt);
-  EXPECT_FALSE(lsm.Get("x"));
+  EXPECT_FALSE(lsm.Lookup("x"));
   EXPECT_FALSE(lsm.Seek("x").has_value());
   EXPECT_EQ(lsm.Count("a", "z"), 0u);
   lsm.Finish();  // no crash on empty flush
@@ -95,7 +95,7 @@ TEST(LsmEdgeTest, MemTableOnlyQueries) {
   lsm.Put("banana", "1");
   lsm.Put("apple", "2");
   std::string v;
-  EXPECT_TRUE(lsm.Get("apple", &v));
+  EXPECT_TRUE(lsm.Lookup("apple", &v));
   EXPECT_EQ(v, "2");
   auto s = lsm.Seek("ap");
   ASSERT_TRUE(s.has_value());
@@ -117,7 +117,7 @@ TEST(LsmEdgeTest, OverwriteLatestWinsAcrossLevels) {
   lsm.Finish();
   std::string v;
   for (int k = 0; k < 200; ++k) {
-    ASSERT_TRUE(lsm.Get("key" + std::to_string(k), &v));
+    ASSERT_TRUE(lsm.Lookup("key" + std::to_string(k), &v));
     EXPECT_EQ(v, "round19") << k;
   }
 }
@@ -164,12 +164,12 @@ TEST(SkipListEdgeTest, ClearAndReuse) {
   for (int i = 0; i < 1000; ++i) sl.Insert("k" + std::to_string(i), i);
   sl.Clear();
   EXPECT_EQ(sl.size(), 0u);
-  EXPECT_FALSE(sl.Find("k1"));
+  EXPECT_FALSE(sl.Lookup("k1"));
   EXPECT_FALSE(sl.Begin().Valid());
   for (int i = 0; i < 1000; ++i)
     EXPECT_TRUE(sl.Insert("k" + std::to_string(i), i * 2));
   uint64_t v = 0;
-  EXPECT_TRUE(sl.Find("k500", &v));
+  EXPECT_TRUE(sl.Lookup("k500", &v));
   EXPECT_EQ(v, 1000u);
 }
 

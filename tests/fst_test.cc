@@ -30,14 +30,14 @@ TEST(FstTest, TinyExample) {
   EXPECT_EQ(fst.num_keys(), keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = ~0ull;
-    ASSERT_TRUE(fst.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(fst.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i) << keys[i];
   }
-  EXPECT_FALSE(fst.Find("fa"));
-  EXPECT_FALSE(fst.Find("fasts"));
-  EXPECT_FALSE(fst.Find("t"));
-  EXPECT_FALSE(fst.Find("z"));
-  EXPECT_FALSE(fst.Find(""));
+  EXPECT_FALSE(fst.Lookup("fa"));
+  EXPECT_FALSE(fst.Lookup("fasts"));
+  EXPECT_FALSE(fst.Lookup("t"));
+  EXPECT_FALSE(fst.Lookup("z"));
+  EXPECT_FALSE(fst.Lookup(""));
 }
 
 struct FstConfigCase {
@@ -67,7 +67,7 @@ TEST_P(FstAllConfigsTest, EmailsFullMode) {
   // Every stored key found with the right value.
   for (size_t i = 0; i < keys.size(); i += 7) {
     uint64_t v = ~0ull;
-    ASSERT_TRUE(fst.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(fst.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
   // Absent keys rejected (full-key mode is exact).
@@ -76,12 +76,12 @@ TEST_P(FstAllConfigsTest, EmailsFullMode) {
     std::string q = keys[rng.Uniform(keys.size())];
     q += static_cast<char>('0' + rng.Uniform(10));
     if (!std::binary_search(keys.begin(), keys.end(), q)) {
-      EXPECT_FALSE(fst.Find(q));
+      EXPECT_FALSE(fst.Lookup(q));
     }
     std::string q2 = keys[rng.Uniform(keys.size())];
     if (!q2.empty()) q2.pop_back();
     if (!std::binary_search(keys.begin(), keys.end(), q2)) {
-      EXPECT_FALSE(fst.Find(q2)) << q2;
+      EXPECT_FALSE(fst.Lookup(q2)) << q2;
     }
   }
 }
@@ -187,7 +187,7 @@ TEST(FstTest, IntegerKeys) {
   fst.Build(keys, Iota(keys.size()));
   for (size_t i = 0; i < keys.size(); i += 31) {
     uint64_t v = 0;
-    ASSERT_TRUE(fst.Find(keys[i], &v));
+    ASSERT_TRUE(fst.Lookup(keys[i], &v));
     EXPECT_EQ(v, i);
   }
   // Random-integer tries have dense fanout near the root; the auto cutoff
@@ -203,13 +203,13 @@ TEST(FstTest, MinUniquePrefixMode) {
   Fst fst;
   fst.Build(keys, Iota(keys.size()), cfg);
   // Stored keys are found.
-  for (const auto& k : keys) EXPECT_TRUE(fst.Lookup(k).found) << k;
+  for (const auto& k : keys) EXPECT_TRUE(fst.LookupPath(k).found) << k;
   // The Section 4.1.1 false positive: SIGMETRICS collides with SIGMOD's
   // truncated prefix "SIGM".
-  EXPECT_TRUE(fst.Lookup("SIGMETRICS").found);
+  EXPECT_TRUE(fst.LookupPath("SIGMETRICS").found);
   // Queries diverging within the stored prefix are true negatives.
-  EXPECT_FALSE(fst.Lookup("SIGX").found);
-  EXPECT_FALSE(fst.Lookup("TENET").found);
+  EXPECT_FALSE(fst.LookupPath("SIGX").found);
+  EXPECT_FALSE(fst.LookupPath("TENET").found);
 }
 
 TEST(FstTest, MinUniquePrefixNoFalseNegatives) {
@@ -219,7 +219,7 @@ TEST(FstTest, MinUniquePrefixNoFalseNegatives) {
   cfg.mode = FstConfig::Mode::kMinUniquePrefix;
   Fst fst;
   fst.Build(keys, Iota(keys.size()), cfg);
-  for (const auto& k : keys) EXPECT_TRUE(fst.Lookup(k).found) << k;
+  for (const auto& k : keys) EXPECT_TRUE(fst.LookupPath(k).found) << k;
   // Truncation shrinks the trie.
   FstConfig full;
   Fst fst_full;
@@ -233,7 +233,7 @@ TEST(FstTest, PrefixKeysAndMarkers) {
   fst.Build(keys, Iota(keys.size()));
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(fst.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(fst.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
   // Iteration order includes prefix keys first.
@@ -253,10 +253,10 @@ TEST(FstTest, RealFFLabelVsMarker) {
   fst.Build(keys, Iota(keys.size()));
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(fst.Find(keys[i], &v)) << i;
+    ASSERT_TRUE(fst.Lookup(keys[i], &v)) << i;
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(fst.Find("a" + ff + "y"));
+  EXPECT_FALSE(fst.Lookup("a" + ff + "y"));
   auto it = fst.Begin();
   for (size_t i = 0; i < keys.size(); ++i, it.Next()) {
     ASSERT_TRUE(it.Valid());
@@ -306,7 +306,7 @@ TEST(FstTest, LowerBoundFpFlagForSurf) {
 TEST(FstTest, EmptyTrie) {
   Fst fst;
   fst.Build({}, {});
-  EXPECT_FALSE(fst.Find("x"));
+  EXPECT_FALSE(fst.Lookup("x"));
   EXPECT_FALSE(fst.Begin().Valid());
   EXPECT_EQ(fst.CountRange("a", "z"), 0u);
 }
@@ -315,10 +315,10 @@ TEST(FstTest, SingleKey) {
   Fst fst;
   fst.Build({"hello"}, {42});
   uint64_t v = 0;
-  EXPECT_TRUE(fst.Find("hello", &v));
+  EXPECT_TRUE(fst.Lookup("hello", &v));
   EXPECT_EQ(v, 42u);
-  EXPECT_FALSE(fst.Find("hell"));
-  EXPECT_FALSE(fst.Find("helloo"));
+  EXPECT_FALSE(fst.Lookup("hell"));
+  EXPECT_FALSE(fst.Lookup("helloo"));
   auto it = fst.Begin();
   ASSERT_TRUE(it.Valid());
   EXPECT_EQ(it.key(), "hello");

@@ -17,13 +17,13 @@ TEST(HotTest, BasicFind) {
   hot.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(hot.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(hot.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, vals[i]);
   }
-  EXPECT_FALSE(hot.Find("apricot"));
-  EXPECT_FALSE(hot.Find("zzz"));
-  EXPECT_FALSE(hot.Find("appl"));
-  EXPECT_FALSE(hot.Find("applex"));
+  EXPECT_FALSE(hot.Lookup("apricot"));
+  EXPECT_FALSE(hot.Lookup("zzz"));
+  EXPECT_FALSE(hot.Lookup("appl"));
+  EXPECT_FALSE(hot.Lookup("applex"));
 }
 
 TEST(HotTest, EmailDatasetExact) {
@@ -35,7 +35,7 @@ TEST(HotTest, EmailDatasetExact) {
   hot.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(hot.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(hot.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
   // Near-miss probes are true negatives (full-key verification at leaves).
@@ -44,7 +44,7 @@ TEST(HotTest, EmailDatasetExact) {
     std::string q = keys[rng.Uniform(keys.size())];
     q.back() = static_cast<char>(q.back() ^ 1);
     if (!std::binary_search(keys.begin(), keys.end(), q))
-      EXPECT_FALSE(hot.Find(q)) << q;
+      EXPECT_FALSE(hot.Lookup(q)) << q;
   }
 }
 
@@ -57,7 +57,7 @@ TEST(HotTest, IntKeys) {
   hot.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); i += 7) {
     uint64_t v = 0;
-    ASSERT_TRUE(hot.Find(keys[i], &v));
+    ASSERT_TRUE(hot.Lookup(keys[i], &v));
     EXPECT_EQ(v, ints[i]);
   }
 }
@@ -90,13 +90,13 @@ TEST(HotTest, MemoryBetweenArtAndRawKeys) {
 TEST(HotTest, EmptyAndSingle) {
   Hot hot;
   hot.Build({}, {});
-  EXPECT_FALSE(hot.Find("x"));
+  EXPECT_FALSE(hot.Lookup("x"));
   Hot one;
   one.Build({"solo"}, {9});
   uint64_t v = 0;
-  EXPECT_TRUE(one.Find("solo", &v));
+  EXPECT_TRUE(one.Lookup("solo", &v));
   EXPECT_EQ(v, 9u);
-  EXPECT_FALSE(one.Find("sol"));
+  EXPECT_FALSE(one.Lookup("sol"));
 }
 
 }  // namespace

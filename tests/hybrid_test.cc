@@ -39,7 +39,7 @@ void RunRandomOpsAgainstStdMap(Index* index, KeyFn make_key, int ops,
         break;
       default: {
         uint64_t v = 0;
-        bool found = index->Find(k, &v);
+        bool found = index->Lookup(k, &v);
         auto it = ref.find(k);
         ASSERT_EQ(found, it != ref.end());
         if (found) {
@@ -103,13 +103,13 @@ TEST(HybridTest, InsertAfterDeleteOfStaticEntry) {
   index.Merge();  // everything static
   ASSERT_EQ(index.DynamicEntries(), 0u);
   ASSERT_TRUE(index.Erase(50));       // tombstone in dynamic
-  EXPECT_FALSE(index.Find(50));
+  EXPECT_FALSE(index.Lookup(50));
   EXPECT_TRUE(index.Insert(50, 999));  // reinsert over tombstone
   uint64_t v = 0;
-  EXPECT_TRUE(index.Find(50, &v));
+  EXPECT_TRUE(index.Lookup(50, &v));
   EXPECT_EQ(v, 999u);
   index.Merge();
-  EXPECT_TRUE(index.Find(50, &v));
+  EXPECT_TRUE(index.Lookup(50, &v));
   EXPECT_EQ(v, 999u);
   EXPECT_EQ(index.size(), 100u);
 }
@@ -126,7 +126,7 @@ TEST(HybridTest, TombstoneRemovedAtMerge) {
   EXPECT_EQ(index.StaticEntries(), 500u);
   EXPECT_EQ(index.DynamicEntries(), 0u);
   for (uint64_t k = 0; k < 1000; ++k)
-    EXPECT_EQ(index.Find(k), k % 2 == 1) << k;
+    EXPECT_EQ(index.Lookup(k), k % 2 == 1) << k;
 }
 
 TEST(HybridTest, RatioTriggerKeepsDynamicSmall) {
@@ -186,7 +186,7 @@ TEST(HybridTest, BloomToggleCorrectness) {
     } else {
       uint64_t v = 0;
       auto it = ref.find(k);
-      ASSERT_EQ(index.Find(k, &v), it != ref.end());
+      ASSERT_EQ(index.Lookup(k, &v), it != ref.end());
     }
   }
 }
@@ -215,7 +215,7 @@ TEST(HybridTest, NonUniqueInsertKeepsSizeExact) {
   for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(index.Insert(k, k + 1000));
   ASSERT_EQ(index.size(), 100u);
   uint64_t v = 0;
-  ASSERT_TRUE(index.Find(42, &v));
+  ASSERT_TRUE(index.Lookup(42, &v));
   EXPECT_EQ(v, 1042u);
 
   index.Merge();  // replacement also survives a merge with exact size
@@ -249,7 +249,7 @@ TEST(HybridTest, TombstoneReinsertSizeExact) {
   index.Merge();
   ASSERT_EQ(index.size(), 50u);
   uint64_t v = 0;
-  ASSERT_TRUE(index.Find(10, &v));
+  ASSERT_TRUE(index.Lookup(10, &v));
   EXPECT_EQ(v, 1010u);
 }
 

@@ -43,8 +43,8 @@ TEST(RecipeTest, HopePlusFstRangeQueriesMatchPlain) {
   for (int t = 0; t < 500; ++t) {
     const std::string& probe = keys[rng.Uniform(keys.size())];
     uint64_t v1 = ~0ull, v2 = ~0ull;
-    ASSERT_TRUE(plain.Find(probe, &v1));
-    ASSERT_TRUE(compressed.Find(hope.Encode(probe), &v2));
+    ASSERT_TRUE(plain.Lookup(probe, &v1));
+    ASSERT_TRUE(compressed.Lookup(hope.Encode(probe), &v2));
     EXPECT_EQ(v1, v2);
     // Lower-bound iteration agrees for 5 steps.
     auto it1 = plain.LowerBound(probe);
@@ -99,8 +99,8 @@ TEST(RecipeTest, HopePlusHybridBTree) {
   for (int t = 0; t < 2000; ++t) {
     const std::string& k = keys[rng.Uniform(keys.size())];
     uint64_t v1, v2;
-    ASSERT_TRUE(plain.Find(k, &v1));
-    ASSERT_TRUE(compressed.Find(hope.Encode(k), &v2));
+    ASSERT_TRUE(plain.Lookup(k, &v1));
+    ASSERT_TRUE(compressed.Lookup(hope.Encode(k), &v2));
     EXPECT_EQ(v1, v2);
   }
 }
@@ -126,9 +126,9 @@ TEST(FstPropertyTest, ExhaustiveTwoByteDomain) {
     // Every 1- and 2-byte string classified correctly.
     for (int a = 0; a < 256; ++a) {
       std::string k1(1, static_cast<char>(a));
-      EXPECT_EQ(fst.Find(k1), std::binary_search(keys.begin(), keys.end(), k1));
+      EXPECT_EQ(fst.Lookup(k1), std::binary_search(keys.begin(), keys.end(), k1));
       std::string k2 = k1 + static_cast<char>((a * 7) % 256);
-      EXPECT_EQ(fst.Find(k2), std::binary_search(keys.begin(), keys.end(), k2));
+      EXPECT_EQ(fst.Lookup(k2), std::binary_search(keys.begin(), keys.end(), k2));
     }
     // Count over the whole domain equals the key count.
     EXPECT_EQ(fst.CountRange(std::string(1, '\0'), std::string(3, '\xff')),
@@ -179,7 +179,7 @@ TEST(CompactBTreePropertyTest, RepeatedMergesMatchMap) {
   }
   for (const auto& [k, v] : ref) {
     uint64_t got;
-    ASSERT_TRUE(tree.Find(k, &got));
+    ASSERT_TRUE(tree.Lookup(k, &got));
     EXPECT_EQ(got, v);
   }
 }
@@ -243,7 +243,7 @@ TEST(EdgeCaseTest, AllByteValuesInKeys) {
   surf.Build(keys, SurfConfig::Real(8));
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(fst.Find(keys[i], &v)) << i;
+    ASSERT_TRUE(fst.Lookup(keys[i], &v)) << i;
     EXPECT_EQ(v, i);
     EXPECT_TRUE(surf.MayContain(keys[i]));
   }

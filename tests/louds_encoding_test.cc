@@ -76,9 +76,9 @@ TEST(LoudsEncodingTest, DenseBitmapsMatchFigure32UpperLevels) {
   EXPECT_FALSE(fst.DenseIsPrefixForTest().Get(0));
 
   // Queries behave identically to the sparse-only encoding.
-  for (const auto& k : Figure32Keys()) EXPECT_TRUE(fst.Find(k)) << k;
-  EXPECT_FALSE(fst.Find("fa"));
-  EXPECT_FALSE(fst.Find("tri"));
+  for (const auto& k : Figure32Keys()) EXPECT_TRUE(fst.Lookup(k)) << k;
+  EXPECT_FALSE(fst.Lookup("fa"));
+  EXPECT_FALSE(fst.Lookup("tri"));
 }
 
 TEST(LoudsEncodingTest, NavigationFormulas) {
@@ -93,9 +93,9 @@ TEST(LoudsEncodingTest, NavigationFormulas) {
   // Position 2 is 't'; its child is the "o r" node at position 5.
   // We verify through public lookups that traversal lands where the figure
   // says: "fa..." descends through position 3's node.
-  EXPECT_TRUE(fst.Find("far"));
-  EXPECT_TRUE(fst.Find("fas"));
-  EXPECT_TRUE(fst.Find("try"));
+  EXPECT_TRUE(fst.Lookup("far"));
+  EXPECT_TRUE(fst.Lookup("fas"));
+  EXPECT_TRUE(fst.Lookup("try"));
   // Iterator order equals sorted key order (level-order encoding, DFS walk).
   auto keys = Figure32Keys();
   size_t i = 0;

@@ -46,10 +46,10 @@ TEST_P(LsmFilterTest, PutGetAcrossCompactions) {
   EXPECT_GT(lsm.NumTables(), 1u);
   for (size_t i = 0; i < keys.size(); i += 3) {
     std::string v;
-    ASSERT_TRUE(lsm.Get(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(lsm.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, ref[keys[i]]);
   }
-  EXPECT_FALSE(lsm.Get("zz@not-a-key"));
+  EXPECT_FALSE(lsm.Lookup("zz@not-a-key"));
 }
 
 TEST_P(LsmFilterTest, SeekMatchesReference) {
@@ -122,8 +122,8 @@ TEST(LsmTest, FiltersSavePointIo) {
   Random rng(19);
   for (int t = 0; t < 5000; ++t) {
     std::string q = Uint64ToKey(rng.Next());  // almost surely absent
-    none.Get(q);
-    bloom.Get(q);
+    none.Lookup(q);
+    bloom.Lookup(q);
   }
   EXPECT_LT(bloom.stats().block_reads, none.stats().block_reads / 2 + 10);
   EXPECT_GT(bloom.stats().filter_negatives, 0u);

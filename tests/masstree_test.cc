@@ -20,16 +20,16 @@ TEST(MasstreeTest, ShortAndLongKeys) {
   EXPECT_TRUE(mt.Insert("abcdefghi", 3));           // slice + 1
   EXPECT_TRUE(mt.Insert("abcdefghijklmnopqr", 4));  // three layers
   uint64_t v = 0;
-  EXPECT_TRUE(mt.Find("a", &v));
+  EXPECT_TRUE(mt.Lookup("a", &v));
   EXPECT_EQ(v, 1u);
-  EXPECT_TRUE(mt.Find("abcdefgh", &v));
+  EXPECT_TRUE(mt.Lookup("abcdefgh", &v));
   EXPECT_EQ(v, 2u);
-  EXPECT_TRUE(mt.Find("abcdefghi", &v));
+  EXPECT_TRUE(mt.Lookup("abcdefghi", &v));
   EXPECT_EQ(v, 3u);
-  EXPECT_TRUE(mt.Find("abcdefghijklmnopqr", &v));
+  EXPECT_TRUE(mt.Lookup("abcdefghijklmnopqr", &v));
   EXPECT_EQ(v, 4u);
-  EXPECT_FALSE(mt.Find("abcdefg"));
-  EXPECT_FALSE(mt.Find("abcdefghij"));
+  EXPECT_FALSE(mt.Lookup("abcdefg"));
+  EXPECT_FALSE(mt.Lookup("abcdefghij"));
 }
 
 TEST(MasstreeTest, SharedSliceExpansion) {
@@ -40,11 +40,11 @@ TEST(MasstreeTest, SharedSliceExpansion) {
   EXPECT_TRUE(mt.Insert("prefix00gamma", 3));
   EXPECT_FALSE(mt.Insert("prefix00beta", 9));
   uint64_t v = 0;
-  EXPECT_TRUE(mt.Find("prefix00alpha", &v));
+  EXPECT_TRUE(mt.Lookup("prefix00alpha", &v));
   EXPECT_EQ(v, 1u);
-  EXPECT_TRUE(mt.Find("prefix00beta", &v));
+  EXPECT_TRUE(mt.Lookup("prefix00beta", &v));
   EXPECT_EQ(v, 2u);
-  EXPECT_TRUE(mt.Find("prefix00gamma", &v));
+  EXPECT_TRUE(mt.Lookup("prefix00gamma", &v));
   EXPECT_EQ(v, 3u);
   EXPECT_EQ(mt.size(), 3u);
 }
@@ -71,7 +71,7 @@ TEST(MasstreeTest, MatchesStdMapRandomOps) {
         break;
       default: {
         uint64_t v = 0;
-        bool found = mt.Find(k, &v);
+        bool found = mt.Lookup(k, &v);
         auto it = ref.find(k);
         ASSERT_EQ(found, it != ref.end()) << k;
         if (found) {
@@ -136,10 +136,10 @@ TEST(CompactMasstreeTest, BuildFindEmails) {
   EXPECT_EQ(mt.size(), keys.size());
   for (size_t i = 0; i < keys.size(); i += 13) {
     uint64_t v = 0;
-    ASSERT_TRUE(mt.Find(keys[i], &v)) << keys[i];
+    ASSERT_TRUE(mt.Lookup(keys[i], &v)) << keys[i];
     EXPECT_EQ(v, i);
   }
-  EXPECT_FALSE(mt.Find("zzz@missing"));
+  EXPECT_FALSE(mt.Lookup("zzz@missing"));
 }
 
 TEST(CompactMasstreeTest, PrefixAndNulKeys) {
@@ -152,10 +152,10 @@ TEST(CompactMasstreeTest, PrefixAndNulKeys) {
   mt.Build(keys, vals);
   for (size_t i = 0; i < keys.size(); ++i) {
     uint64_t v = 0;
-    ASSERT_TRUE(mt.Find(keys[i], &v));
+    ASSERT_TRUE(mt.Lookup(keys[i], &v));
     EXPECT_EQ(v, vals[i]);
   }
-  EXPECT_FALSE(mt.Find("abcdefghZZ"));
+  EXPECT_FALSE(mt.Lookup("abcdefghZZ"));
 }
 
 TEST(CompactMasstreeTest, VisitAllSorted) {

@@ -17,7 +17,7 @@ TEST(MergeColdTest, HotKeysStayInDynamicStage) {
   // Insert cold keys, then hammer a small hot set.
   for (uint64_t k = 0; k < 2000; ++k) index.Insert(k, k);
   for (int r = 0; r < 100; ++r)
-    for (uint64_t k = 0; k < 10; ++k) index.Find(k);
+    for (uint64_t k = 0; k < 10; ++k) index.Lookup(k);
   // Force enough inserts to trigger another merge.
   for (uint64_t k = 2000; k < 4000; ++k) index.Insert(k, k);
   ASSERT_GT(index.merge_stats().merge_count, 0u);
@@ -25,7 +25,7 @@ TEST(MergeColdTest, HotKeysStayInDynamicStage) {
   // findable and the structure consistent.
   for (uint64_t k = 0; k < 4000; ++k) {
     uint64_t v = 0;
-    ASSERT_TRUE(index.Find(k, &v)) << k;
+    ASSERT_TRUE(index.Lookup(k, &v)) << k;
     EXPECT_EQ(v, k);
   }
   EXPECT_EQ(index.size(), 4000u);
@@ -55,7 +55,7 @@ TEST(MergeColdTest, MatchesStdMapUnderRandomOps) {
         break;
       default: {
         uint64_t v = 0;
-        bool found = index.Find(k, &v);
+        bool found = index.Lookup(k, &v);
         ASSERT_EQ(found, ref.count(k) > 0);
         if (found) {
           ASSERT_EQ(v, ref[k]);
@@ -77,7 +77,7 @@ TEST(MergeColdTest, MergesDoNotThrash) {
   auto keys = GenRandomInts(200000);
   for (size_t i = 0; i < keys.size(); ++i) {
     index.Insert(keys[i], i);
-    index.Find(keys[i / 2]);  // keep half the key space "hot"
+    index.Lookup(keys[i / 2]);  // keep half the key space "hot"
   }
   // Merge count stays sane (no per-insert thrash).
   EXPECT_LT(index.merge_stats().merge_count, keys.size() / 512);

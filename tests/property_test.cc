@@ -12,9 +12,11 @@
 // exact sequence replays forever.
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -22,7 +24,10 @@
 #include <algorithm>
 
 #include "art/art.h"
+#include "bloom/bloom.h"
+#include "btree/btree.h"
 #include "check/btree_check.h"
+#include "common/index_api.h"
 #include "check/compact_btree_check.h"
 #include "check/compressed_btree_check.h"
 #include "check/concurrent_hybrid_check.h"
@@ -216,7 +221,7 @@ void NonUniqueDifferential(uint64_t seed) {
         break;
       default: {
         uint64_t v = 0;
-        bool found = index.Find(k, &v);
+        bool found = index.Lookup(k, &v);
         auto it = ref.find(k);
         ASSERT_EQ(found, it != ref.end()) << "op " << i;
         if (found) ASSERT_EQ(v, it->second) << "op " << i;
@@ -304,7 +309,7 @@ void FstDifferential(FstConfig::Mode mode, uint64_t seed, size_t probes) {
       case 0: {  // stored key
         size_t i = rng.Uniform(keys.size());
         uint64_t v = ~0ull;
-        ASSERT_TRUE(fst.Find(keys[i], &v))
+        ASSERT_TRUE(fst.Lookup(keys[i], &v))
             << "seed " << seed << ": stored key missed: " << keys[i];
         ASSERT_EQ(v, values[i]) << "seed " << seed << " key " << keys[i];
         break;
@@ -314,10 +319,10 @@ void FstDifferential(FstConfig::Mode mode, uint64_t seed, size_t probes) {
         bool stored =
             std::binary_search(keys.begin(), keys.end(), k);
         if (full) {
-          ASSERT_EQ(fst.Find(k), stored)
+          ASSERT_EQ(fst.Lookup(k), stored)
               << "seed " << seed << " probe key " << k;
         } else if (stored) {
-          ASSERT_TRUE(fst.Find(k)) << "seed " << seed << " key " << k;
+          ASSERT_TRUE(fst.Lookup(k)) << "seed " << seed << " key " << k;
         }
         break;
       }
@@ -449,6 +454,104 @@ TEST(PropertySurf, Real8) {
 }
 
 // ---------------------------------------------------------------------------
+// met::batch: the batched lookup pipeline must replay any probe stream
+// bit-identically to the scalar path — same found/value/filter answers at
+// every batch granularity, including chunks that split the stream unevenly.
+// ---------------------------------------------------------------------------
+
+void BatchDifferential(uint64_t seed) {
+  std::vector<std::string> keys = DiffKeys(20000, seed);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i + 1;
+
+  // Probe stream: stored keys, mutated likely-absent keys, one empty key.
+  Random rng(seed ^ 0xBA7C);
+  std::vector<std::string> probes;
+  probes.reserve(8192);
+  probes.emplace_back();
+  while (probes.size() < 8192) {
+    const std::string& k = keys[rng.Uniform(keys.size())];
+    probes.push_back(rng.Uniform(2) == 0 ? k : MutateKey(k, &rng));
+  }
+  std::vector<std::string_view> views(probes.begin(), probes.end());
+  const size_t n = views.size();
+  constexpr size_t kChunks[] = {1, 7, 64, 256};
+
+  for (auto mode : {FstConfig::Mode::kFullKey,
+                    FstConfig::Mode::kMinUniquePrefix}) {
+    FstConfig cfg;
+    cfg.mode = mode;
+    Fst fst;
+    fst.Build(keys, values, cfg);
+    std::vector<LookupResult> out(n);
+    for (size_t chunk : kChunks) {
+      for (size_t i = 0; i < n; i += chunk)
+        fst.LookupBatch(&views[i], std::min(chunk, n - i), &out[i]);
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t v = 0;
+        bool found = fst.Lookup(views[i], &v);
+        ASSERT_EQ(out[i].found, found)
+            << "seed " << seed << " mode " << static_cast<int>(mode)
+            << " chunk " << chunk << " probe " << i;
+        if (found) {
+          ASSERT_EQ(out[i].value, v)
+              << "seed " << seed << " chunk " << chunk << " probe " << i;
+        }
+      }
+    }
+  }
+
+  for (const SurfConfig& cfg :
+       {SurfConfig::Base(), SurfConfig::Hash(8), SurfConfig::Real(4)}) {
+    Surf surf;
+    surf.Build(keys, cfg);
+    std::vector<uint8_t> got(n);
+    for (size_t chunk : kChunks) {
+      std::unique_ptr<bool[]> buf(new bool[chunk]);
+      for (size_t i = 0; i < n; i += chunk) {
+        size_t cnt = std::min(chunk, n - i);
+        surf.MayContainBatch(&views[i], cnt, buf.get());
+        for (size_t j = 0; j < cnt; ++j) got[i + j] = buf[j] ? 1 : 0;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i] != 0, surf.MayContain(views[i]))
+            << "seed " << seed << " chunk " << chunk << " probe " << i;
+      }
+    }
+  }
+
+  {
+    BloomFilter bloom(keys.size(), 14);
+    for (const auto& k : keys) bloom.Add(k);
+    std::unique_ptr<bool[]> buf(new bool[n]);
+    bloom.MayContainBatch(views.data(), n, buf.get());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buf[i], bloom.MayContain(views[i]))
+          << "seed " << seed << " probe " << i;
+    }
+  }
+
+  {  // generic scalar fallback through the unified entry point
+    BTree<uint64_t> btree;
+    std::vector<uint64_t> iprobes(n);
+    for (size_t i = 0; i < n; ++i) iprobes[i] = rng.Next();
+    for (size_t i = 0; i < n; i += 2) btree.Insert(iprobes[i], i + 1);
+    std::vector<LookupResult> out(n);
+    met::LookupBatch(btree, iprobes.data(), n, out.data());
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = 0;
+      bool found = btree.Lookup(iprobes[i], &v);
+      ASSERT_EQ(out[i].found, found) << "seed " << seed << " probe " << i;
+      if (found) ASSERT_EQ(out[i].value, v) << "seed " << seed << " probe " << i;
+    }
+  }
+}
+
+TEST(PropertyBatch, BatchedMatchesScalar) {
+  for (uint64_t seed : Seeds()) BatchDifferential(seed);
+}
+
+// ---------------------------------------------------------------------------
 // LSM: upsert/read/seek/count differential with frequent flushes and
 // compactions (tiny memtable / table sizes), Validate() at checkpoints.
 // ---------------------------------------------------------------------------
@@ -491,7 +594,7 @@ void LsmDifferential(LsmFilterType filter, uint64_t seed, size_t n_ops) {
       case DiffOp::kErase:  // the engine has no deletes; probe instead
       case DiffOp::kFind: {
         std::string got_v;
-        bool got = tree.Get(k, &got_v);
+        bool got = tree.Lookup(k, &got_v);
         auto it = oracle.find(k);
         ASSERT_EQ(got, it != oracle.end())
             << "seed " << seed << " op " << i << " Get(" << k << ")";
@@ -538,7 +641,7 @@ void LsmDifferential(LsmFilterType filter, uint64_t seed, size_t n_ops) {
   validate(ops.size());
   for (const auto& kv : oracle) {
     std::string got_v;
-    ASSERT_TRUE(tree.Get(kv.first, &got_v))
+    ASSERT_TRUE(tree.Lookup(kv.first, &got_v))
         << "seed " << seed << " final sweep key " << kv.first;
     ASSERT_EQ(got_v, kv.second) << "seed " << seed << " key " << kv.first;
   }

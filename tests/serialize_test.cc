@@ -31,7 +31,7 @@ TEST(SerializeTest, FstRoundTrip) {
   for (int t = 0; t < 2000; ++t) {
     const std::string& k = keys[rng.Uniform(keys.size())];
     uint64_t v1 = 1, v2 = 2;
-    ASSERT_EQ(original.Find(k, &v1), restored.Find(k, &v2));
+    ASSERT_EQ(original.Lookup(k, &v1), restored.Lookup(k, &v2));
     EXPECT_EQ(v1, v2);
   }
   // Iterators agree end to end.
@@ -105,7 +105,7 @@ TEST(SerializeTest, SparseOnlyAndEmpty) {
   Fst restored;
   ASSERT_TRUE(restored.Deserialize(blob));
   uint64_t v = 0;
-  EXPECT_TRUE(restored.Find(keys[123], &v));
+  EXPECT_TRUE(restored.Lookup(keys[123], &v));
   EXPECT_EQ(v, 7u);
 
   Fst empty;
@@ -114,7 +114,7 @@ TEST(SerializeTest, SparseOnlyAndEmpty) {
   empty.Serialize(&blob);
   Fst empty2;
   ASSERT_TRUE(empty2.Deserialize(blob));
-  EXPECT_FALSE(empty2.Find("x"));
+  EXPECT_FALSE(empty2.Lookup("x"));
 }
 
 }  // namespace

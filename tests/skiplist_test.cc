@@ -16,13 +16,13 @@ TEST(SkipListTest, InsertFindEraseBasic) {
   EXPECT_TRUE(sl.Insert(10, 100));
   EXPECT_FALSE(sl.Insert(10, 200));
   uint64_t v = 0;
-  EXPECT_TRUE(sl.Find(10, &v));
+  EXPECT_TRUE(sl.Lookup(10, &v));
   EXPECT_EQ(v, 100u);
   EXPECT_TRUE(sl.Update(10, 150));
-  sl.Find(10, &v);
+  sl.Lookup(10, &v);
   EXPECT_EQ(v, 150u);
   EXPECT_TRUE(sl.Erase(10));
-  EXPECT_FALSE(sl.Find(10));
+  EXPECT_FALSE(sl.Lookup(10));
   EXPECT_EQ(sl.size(), 0u);
 }
 
@@ -47,7 +47,7 @@ TEST(SkipListTest, MatchesStdMapRandom) {
         break;
       default: {
         uint64_t v = 0;
-        bool found = sl.Find(k, &v);
+        bool found = sl.Lookup(k, &v);
         auto it = ref.find(k);
         ASSERT_EQ(found, it != ref.end()) << k;
         if (found) {
@@ -85,7 +85,7 @@ TEST(SkipListTest, SmallestKeyInsertedLater) {
   sl.Insert(50, 2);  // smaller than the first tower's separator
   sl.Insert(10, 3);
   uint64_t v = 0;
-  EXPECT_TRUE(sl.Find(10, &v));
+  EXPECT_TRUE(sl.Lookup(10, &v));
   EXPECT_EQ(v, 3u);
   auto it = sl.Begin();
   EXPECT_EQ(it.key(), 10u);
@@ -97,7 +97,7 @@ TEST(SkipListTest, StringKeys) {
   for (size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(sl.Insert(keys[i], i));
   for (size_t i = 0; i < keys.size(); i += 7) {
     uint64_t v = 0;
-    ASSERT_TRUE(sl.Find(keys[i], &v));
+    ASSERT_TRUE(sl.Lookup(keys[i], &v));
     EXPECT_EQ(v, i);
   }
 }
@@ -120,7 +120,7 @@ TEST(CompactSkipListTest, BuildAndFind) {
   csl.Build(std::move(entries));
   for (size_t i = 0; i < keys.size(); i += 23) {
     uint64_t v = 0;
-    ASSERT_TRUE(csl.Find(keys[i], &v));
+    ASSERT_TRUE(csl.Lookup(keys[i], &v));
     EXPECT_EQ(v, i);
   }
 }

@@ -19,12 +19,15 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "art/art.h"
+#include "bloom/bloom.h"
 #include "check/btree_check.h"
 #include "check/compact_btree_check.h"
 #include "check/compressed_btree_check.h"
@@ -137,11 +140,89 @@ DiffResult FstSurfTarget(const std::vector<std::string>& keys, uint64_t seed,
     for (size_t p = 0; p < 4 * keys.size(); ++p) {
       size_t i = rng.Uniform(keys.size());
       uint64_t v = ~0ull;
-      if (!fst.Find(keys[i], &v) || v != values[i]) {
+      if (!fst.Lookup(keys[i], &v) || v != values[i]) {
         res.ok = false;
         res.message = "Fst lookup diverges on stored key " + keys[i];
         return res;
       }
+    }
+  }
+  return res;
+}
+
+/// met::batch target: batched lookups (FST, SuRF, Bloom) must answer a
+/// seeded probe stream bit-identically to the scalar path, across uneven
+/// chunk splits. Checked builds additionally run the kernels' inline parity
+/// asserts, so a divergence aborts with the exact probe.
+DiffResult BatchTarget(const std::vector<std::string>& keys, uint64_t seed) {
+  DiffResult res;
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i + 1;
+  Fst fst;
+  fst.Build(keys, values);
+  Surf surf;
+  surf.Build(keys, SurfConfig::Mixed(4, 4));
+  BloomFilter bloom(keys.size(), 14);
+  for (const std::string& k : keys) bloom.Add(k);
+
+  Random rng(seed ^ 0xBA7C);
+  std::vector<std::string> probes;
+  probes.reserve(4 * keys.size());
+  probes.emplace_back();  // empty key
+  while (probes.size() < 4 * keys.size()) {
+    std::string k = keys[rng.Uniform(keys.size())];
+    switch (rng.Uniform(4)) {
+      case 0:
+        break;  // stored key
+      case 1:
+        if (!k.empty()) k[rng.Uniform(k.size())] ^= 1;
+        break;
+      case 2:
+        k.push_back(static_cast<char>(rng.Uniform(256)));
+        break;
+      default:
+        if (!k.empty()) k.pop_back();
+        break;
+    }
+    probes.push_back(std::move(k));
+  }
+  std::vector<std::string_view> views(probes.begin(), probes.end());
+  const size_t n = views.size();
+
+  constexpr size_t kChunks[] = {1, 5, 16, 64, 333};
+  std::vector<LookupResult> fst_out(n);
+  std::vector<uint8_t> surf_out(n), bloom_out(n);
+  std::unique_ptr<bool[]> buf(new bool[333]);
+  size_t c = 0;
+  for (size_t i = 0; i < n;) {
+    size_t cnt = std::min(kChunks[c++ % 5], n - i);
+    fst.LookupBatch(&views[i], cnt, &fst_out[i]);
+    surf.MayContainBatch(&views[i], cnt, buf.get());
+    for (size_t j = 0; j < cnt; ++j) surf_out[i + j] = buf[j] ? 1 : 0;
+    bloom.MayContainBatch(&views[i], cnt, buf.get());
+    for (size_t j = 0; j < cnt; ++j) bloom_out[i + j] = buf[j] ? 1 : 0;
+    i += cnt;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    bool found = fst.Lookup(views[i], &v);
+    if (fst_out[i].found != found || (found && fst_out[i].value != v)) {
+      res.ok = false;
+      res.message = "Fst::LookupBatch diverges from Lookup on probe " +
+                    std::to_string(i) + " (" + probes[i] + ")";
+      return res;
+    }
+    if ((surf_out[i] != 0) != surf.MayContain(views[i])) {
+      res.ok = false;
+      res.message = "Surf::MayContainBatch diverges on probe " +
+                    std::to_string(i) + " (" + probes[i] + ")";
+      return res;
+    }
+    if ((bloom_out[i] != 0) != bloom.MayContain(views[i])) {
+      res.ok = false;
+      res.message = "BloomFilter::MayContainBatch diverges on probe " +
+                    std::to_string(i) + " (" + probes[i] + ")";
+      return res;
     }
   }
   return res;
@@ -187,7 +268,7 @@ DiffResult LsmTarget(const std::vector<std::string>& keys,
       }
       default: {  // kErase has no engine equivalent; probe instead
         std::string got_v;
-        bool got = tree.Get(k, &got_v);
+        bool got = tree.Lookup(k, &got_v);
         auto it = oracle.find(k);
         bool want = it != oracle.end();
         if (got != want || (got && got_v != it->second))
@@ -278,6 +359,12 @@ std::vector<NamedTarget> BuildTargets(uint64_t seed) {
                      [seed](const std::vector<std::string>& keys,
                             const std::vector<DiffOp>&) {
                        return FstSurfTarget(keys, seed, /*surf_mode=*/true);
+                     },
+                     false});
+  targets.push_back({"batch",
+                     [seed](const std::vector<std::string>& keys,
+                            const std::vector<DiffOp>&) {
+                       return BatchTarget(keys, seed);
                      },
                      false});
   targets.push_back({"lsm",
