@@ -7,8 +7,10 @@
 //  * per table: min_key <= max_key, a non-empty fence index with equally
 //    sized key/offset/length columns, block first-keys strictly increasing
 //    and bracketed by [min_key, max_key], offsets starting at 0 and each
-//    block ending where the next begins (the last at file_bytes), at least
-//    one entry, an open fd, and a filter matching the configured type;
+//    block payload + its 4-byte CRC trailer ending where the next begins
+//    (the last at data_bytes), at least one entry, an open file handle, a
+//    quarantine set naming only real blocks, and a filter matching the
+//    configured type (tables rebuilt over corrupt blocks run unfiltered);
 //  * level 0: tables may overlap (newest last) — only per-table checks;
 //  * levels >= 1: tables sorted by min_key and pairwise disjoint
 //    (prev.max_key < next.min_key);
@@ -39,7 +41,9 @@ bool LsmTree::CheckValidate(std::ostream& os) const {
                    tag << " min_key " << check::KeyToDebugString(t.min_key)
                        << " > max_key " << check::KeyToDebugString(t.max_key));
     MET_CHECK_THAT(rep, t.num_entries > 0, tag << " holds no entries");
-    MET_CHECK_THAT(rep, t.fd >= 0, tag << " has no open file descriptor");
+    if (!crashed_) {
+      MET_CHECK_THAT(rep, t.file != nullptr, tag << " has no open file");
+    }
 
     size_t blocks = t.block_first_key.size();
     MET_CHECK_THAT(rep,
@@ -63,30 +67,42 @@ bool LsmTree::CheckValidate(std::ostream& os) const {
                        tag << " block " << b << " at offset "
                            << t.block_offset[b] << ", expected "
                            << expect_off);
-        expect_off = t.block_offset[b] + t.block_length[b];
+        // Each on-disk block is payload plus a 4-byte CRC32C trailer.
+        expect_off = t.block_offset[b] + t.block_length[b] + 4;
       }
-      MET_CHECK_THAT(rep, expect_off == t.file_bytes,
+      MET_CHECK_THAT(rep, expect_off == t.data_bytes,
                      tag << " blocks cover " << expect_off << " of "
+                         << t.data_bytes << " data bytes");
+      MET_CHECK_THAT(rep, t.data_bytes < t.file_bytes,
+                     tag << " data region " << t.data_bytes
+                         << " leaves no room for footer/trailer in "
                          << t.file_bytes << " file bytes");
       MET_CHECK_THAT(rep, t.block_first_key.front() == t.min_key,
                      tag << " min_key != first fence key");
       MET_CHECK_THAT(rep, !(t.max_key < t.block_first_key.back()),
                      tag << " last fence key above max_key");
+      MET_CHECK_THAT(rep,
+                     t.quarantined.empty() || *t.quarantined.rbegin() < blocks,
+                     tag << " quarantines block " << *t.quarantined.rbegin()
+                         << " of " << blocks);
     }
 
+    // A table recovered over corrupt blocks legitimately runs unfiltered (a
+    // rebuilt filter would miss the quarantined keys => false negatives), so
+    // the filter-type check only binds when the filter exists.
     switch (options_.filter) {
       case LsmFilterType::kNone:
         MET_CHECK_THAT(rep, t.bloom == nullptr && t.surf == nullptr,
                        tag << " carries a filter with filtering disabled");
         break;
       case LsmFilterType::kBloom:
-        MET_CHECK_THAT(rep, t.bloom != nullptr && t.surf == nullptr,
-                       tag << " lacks its Bloom filter");
+        MET_CHECK_THAT(rep, t.surf == nullptr,
+                       tag << " carries a SuRF in Bloom mode");
         break;
       case LsmFilterType::kSurfHash:
       case LsmFilterType::kSurfReal:
-        MET_CHECK_THAT(rep, t.surf != nullptr && t.bloom == nullptr,
-                       tag << " lacks its SuRF filter");
+        MET_CHECK_THAT(rep, t.bloom == nullptr,
+                       tag << " carries a Bloom in SuRF mode");
         if (t.surf != nullptr) {
           MET_CHECK_THAT(rep, t.surf->Validate(rep.os()),
                          tag << " SuRF filter inconsistent");
@@ -113,6 +129,9 @@ bool LsmTree::CheckValidate(std::ostream& os) const {
                  compact_cursor_.size() << " compaction cursors for "
                                         << levels_.size()
                                         << " levels (cursors grow lazily)");
+  MET_CHECK_THAT(rep, NumTables() <= options_.max_open_files,
+                 NumTables() << " open table files exceed the "
+                             << options_.max_open_files << " budget");
   return rep.ok();
 }
 

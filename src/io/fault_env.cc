@@ -1,0 +1,315 @@
+// FaultyEnv implementation: spec parsing and the injection shim itself.
+
+#include "io/fault_env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace met::io {
+
+// ---------------------------------------------------------------------------
+// FaultSpec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool ParseU64(std::string_view v, uint64_t* out) {
+  if (v.empty()) return false;
+  std::string buf(v);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long x = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = x;
+  return true;
+}
+
+bool ParseProb(std::string_view v, double* out) {
+  if (v.empty()) return false;
+  std::string buf(v);
+  char* end = nullptr;
+  errno = 0;
+  double x = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  if (x < 0.0 || x > 1.0) return false;
+  *out = x;
+  return true;
+}
+
+}  // namespace
+
+Status FaultSpec::Parse(std::string_view spec, FaultSpec* out) {
+  *out = FaultSpec();
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string_view pair = spec.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault spec pair missing '=': " +
+                                     std::string(pair));
+    }
+    std::string_view key = pair.substr(0, eq);
+    std::string_view value = pair.substr(eq + 1);
+    bool ok;
+    if (key == "seed") {
+      ok = ParseU64(value, &out->seed);
+    } else if (key == "kill_after") {
+      ok = ParseU64(value, &out->kill_after);
+    } else if (key == "eintr") {
+      ok = ParseProb(value, &out->eintr);
+    } else if (key == "short") {
+      ok = ParseProb(value, &out->short_rw);
+    } else if (key == "enospc") {
+      ok = ParseProb(value, &out->enospc);
+    } else if (key == "fsync") {
+      ok = ParseProb(value, &out->fsync_fail);
+    } else if (key == "torn") {
+      ok = ParseProb(value, &out->torn);
+    } else if (key == "bitflip") {
+      ok = ParseProb(value, &out->bitflip);
+    } else {
+      return Status::InvalidArgument("unknown fault spec key: " +
+                                     std::string(key));
+    }
+    if (!ok) {
+      return Status::InvalidArgument("bad fault spec value for '" +
+                                     std::string(key) +
+                                     "': " + std::string(value));
+    }
+  }
+  return Status::OK();
+}
+
+FaultSpec FaultSpec::FromEnv() {
+  FaultSpec spec;
+  const char* s = std::getenv("MET_FAULT");
+  if (s == nullptr || *s == '\0') return spec;
+  Status st = Parse(s, &spec);
+  if (!st.ok()) {
+    std::fprintf(stderr, "met::io: ignoring MET_FAULT: %s\n",
+                 st.ToString().c_str());
+    return FaultSpec();
+  }
+  return spec;
+}
+
+std::string FaultSpec::ToString() const {
+  char buf[256];
+  std::string out = "seed=" + std::to_string(seed);
+  auto add = [&](const char* key, double p) {
+    if (p <= 0) return;
+    std::snprintf(buf, sizeof(buf), ",%s=%g", key, p);
+    out += buf;
+  };
+  add("eintr", eintr);
+  add("short", short_rw);
+  add("enospc", enospc);
+  add("fsync", fsync_fail);
+  add("torn", torn);
+  add("bitflip", bitflip);
+  if (kill_after > 0) out += ",kill_after=" + std::to_string(kill_after);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyEnv / FaultyFile
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status Dead(const char* what) {
+  return Status::IoError(std::string("faulty env dead after torn write (") +
+                             what + ")",
+                         EIO);
+}
+
+}  // namespace
+
+bool FaultyEnv::RollKill() {
+  ++write_ops_;
+  if (spec_.kill_after > 0 && write_ops_ >= spec_.kill_after) return true;
+  return Roll(spec_.torn);
+}
+
+class FaultyFile final : public File {
+ public:
+  FaultyFile(FaultyEnv* owner, std::unique_ptr<File> base)
+      : owner_(owner), base_(std::move(base)) {
+    env_ = owner;
+  }
+
+  Status PreadOnce(uint64_t offset, void* buf, size_t n,
+                   size_t* got) override {
+    *got = 0;
+    if (owner_->Roll(owner_->spec_.eintr)) {
+      Injected(&owner_->counts_.eintr);
+      return Status::IoError("injected EINTR (pread)", EINTR);
+    }
+    size_t ask = n;
+    if (n > 1 && owner_->Roll(owner_->spec_.short_rw)) {
+      Injected(&owner_->counts_.short_rw);
+      ask = n / 2;
+    }
+    Status s = base_->PreadOnce(offset, buf, ask, got);
+    if (s.ok() && *got > 0 && owner_->Roll(owner_->spec_.bitflip)) {
+      Injected(&owner_->counts_.bitflip);
+      auto* p = static_cast<unsigned char*>(buf);
+      uint64_t bit = owner_->rng_.Uniform(*got * 8);
+      p[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    }
+    return s;
+  }
+
+  Status PwriteOnce(uint64_t offset, const void* buf, size_t n,
+                    size_t* put) override {
+    return WriteImpl(buf, n, put, /*offset=*/&offset);
+  }
+
+  Status AppendOnce(const void* buf, size_t n, size_t* put) override {
+    return WriteImpl(buf, n, put, /*offset=*/nullptr);
+  }
+
+  Status Sync() override {
+    if (owner_->dead_) return Dead("fsync");
+    if (owner_->RollKill()) {
+      Injected(&owner_->counts_.torn);
+      owner_->dead_ = true;
+      return Dead("fsync at kill point");
+    }
+    if (owner_->Roll(owner_->spec_.fsync_fail)) {
+      Injected(&owner_->counts_.fsync_fail);
+      return Status::IoError("injected fsync failure", EIO);
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+  Status Size(uint64_t* size) override { return base_->Size(size); }
+
+ private:
+  void Injected(uint64_t* count) {
+    ++*count;
+    IoObsMetrics::Get().injected_faults->Increment();
+  }
+
+  // Shared pwrite/append path; offset == nullptr means append.
+  Status WriteImpl(const void* buf, size_t n, size_t* put,
+                   const uint64_t* offset) {
+    *put = 0;
+    if (owner_->dead_) return Dead("write");
+    if (owner_->RollKill()) {
+      // Torn write: land a random prefix, then the environment dies. The
+      // prefix goes through the base file in full so the on-disk state is
+      // exactly "first k bytes of the payload", like a mid-write kill.
+      Injected(&owner_->counts_.torn);
+      owner_->dead_ = true;
+      size_t prefix = static_cast<size_t>(owner_->rng_.Uniform(n + 1));
+      if (prefix > 0) {
+        std::string_view data(static_cast<const char*>(buf), prefix);
+        if (offset != nullptr) {
+          (void)base_->WriteFull(*offset, data);
+        } else {
+          (void)base_->AppendFull(data, RetryPolicy(), put);
+        }
+        if (offset != nullptr) *put = prefix;
+      }
+      return Dead("torn write");
+    }
+    if (owner_->Roll(owner_->spec_.eintr)) {
+      Injected(&owner_->counts_.eintr);
+      return Status::IoError("injected EINTR (write)", EINTR);
+    }
+    if (owner_->Roll(owner_->spec_.enospc)) {
+      Injected(&owner_->counts_.enospc);
+      return Status::IoError("injected ENOSPC", ENOSPC);
+    }
+    size_t ask = n;
+    if (n > 1 && owner_->Roll(owner_->spec_.short_rw)) {
+      // Short write: only a prefix reaches the backend, so the caller's
+      // retry loop must resume from the right offset.
+      Injected(&owner_->counts_.short_rw);
+      ask = n / 2;
+    }
+    if (offset != nullptr) {
+      return base_->PwriteOnce(*offset, buf, ask, put);
+    }
+    return base_->AppendOnce(buf, ask, put);
+  }
+
+  FaultyEnv* owner_;
+  std::unique_ptr<File> base_;
+};
+
+Status FaultyEnv::NewFile(const std::string& path, OpenMode mode,
+                          std::unique_ptr<File>* out) {
+  if (mode != OpenMode::kRead) {
+    if (dead_) return Dead("open for write");
+    if (RollKill()) {
+      ++counts_.torn;
+      IoObsMetrics::Get().injected_faults->Increment();
+      dead_ = true;
+      return Dead("open at kill point");
+    }
+  }
+  std::unique_ptr<File> base;
+  Status s = base_.NewFile(path, mode, &base);
+  if (!s.ok()) return s;
+  out->reset(new FaultyFile(this, std::move(base)));
+  return Status::OK();
+}
+
+Status FaultyEnv::Rename(const std::string& from, const std::string& to) {
+  if (dead_) return Dead("rename");
+  if (RollKill()) {
+    ++counts_.torn;
+    IoObsMetrics::Get().injected_faults->Increment();
+    dead_ = true;
+    return Dead("rename at kill point");
+  }
+  return base_.Rename(from, to);
+}
+
+Status FaultyEnv::Remove(const std::string& path) {
+  if (dead_) return Dead("remove");
+  if (RollKill()) {
+    ++counts_.torn;
+    IoObsMetrics::Get().injected_faults->Increment();
+    dead_ = true;
+    return Dead("remove at kill point");
+  }
+  return base_.Remove(path);
+}
+
+Status FaultyEnv::MkDir(const std::string& path) { return base_.MkDir(path); }
+
+Status FaultyEnv::ListDir(const std::string& path,
+                          std::vector<std::string>* entries) {
+  return base_.ListDir(path, entries);
+}
+
+Status FaultyEnv::SyncDir(const std::string& path) {
+  if (dead_) return Dead("syncdir");
+  if (Roll(spec_.fsync_fail)) {
+    ++counts_.fsync_fail;
+    IoObsMetrics::Get().injected_faults->Increment();
+    return Status::IoError("injected fsync failure (dir)", EIO);
+  }
+  return base_.SyncDir(path);
+}
+
+Status FaultyEnv::FileSize(const std::string& path, uint64_t* size) {
+  return base_.FileSize(path, size);
+}
+
+bool FaultyEnv::FileExists(const std::string& path) {
+  return base_.FileExists(path);
+}
+
+}  // namespace met::io

@@ -1,0 +1,125 @@
+// Deterministic fault-injection environment for crash/recovery testing.
+//
+// FaultyEnv wraps a base Env (usually Env::Posix()) and injects failures per
+// a FaultSpec: transient EINTR/ENOSPC, short reads and writes, fsync
+// failures, bit flips on read, and torn writes at a "kill point". All
+// randomness comes from a met::Random seeded by the spec, so a (seed, op
+// sequence) pair replays the exact same fault pattern — failing torture
+// seeds are reproducible by rerunning with the same MET_FAULT string.
+//
+// Kill-point model: `kill_after=N` counts write-side operations (writes,
+// appends, syncs, renames, removes); the N-th write lands only a random
+// prefix of its payload (a torn write) and the environment goes dead —
+// every later write-side op fails with a permanent EIO, mimicking a process
+// that was killed mid-write. Reads keep working so a caller can observe the
+// torn state. Recovery tests then reopen the directory with a clean env.
+//
+// Spec grammar (MET_FAULT env var or FaultSpec::Parse):
+//   spec     := pair (',' pair)*
+//   pair     := key '=' value
+//   key      := seed | eintr | short | enospc | fsync | torn | bitflip
+//             | kill_after
+//   seed, kill_after take integers; the rest take probabilities in [0, 1].
+// Example: MET_FAULT="seed=7,eintr=0.05,short=0.1,torn=0.01"
+//
+// Not thread-safe: the shim serialises nothing; use one FaultyEnv per
+// single-threaded test or torture cycle.
+#ifndef MET_IO_FAULT_ENV_H_
+#define MET_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "io/io.h"
+#include "io/status.h"
+
+namespace met::io {
+
+struct FaultSpec {
+  uint64_t seed = 1;
+  double eintr = 0;       // P(inject EINTR) per read/write/append attempt
+  double short_rw = 0;    // P(short transfer) per read/write/append attempt
+  double enospc = 0;      // P(inject ENOSPC) per write/append attempt
+  double fsync_fail = 0;  // P(permanent EIO) per fsync
+  double torn = 0;        // P(torn write + env death) per write-side op
+  double bitflip = 0;     // P(flip one random bit) per successful read
+  uint64_t kill_after = 0;  // tear the N-th write-side op (0 = disabled)
+
+  /// Parses the comma-separated key=value grammar above. Unknown keys,
+  /// malformed numbers, and out-of-range probabilities are InvalidArgument.
+  static Status Parse(std::string_view spec, FaultSpec* out);
+
+  /// Parses $MET_FAULT; returns an all-zero (fault-free) spec when unset.
+  static FaultSpec FromEnv();
+
+  /// True when any read-side fault (short read, EINTR on read, bit flip)
+  /// can fire — callers that verify read results must skip verification
+  /// under such specs, since a flipped bit legitimately changes data.
+  bool HasReadFaults() const {
+    return eintr > 0 || short_rw > 0 || bitflip > 0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Per-kind injection tallies, for tests asserting determinism.
+struct FaultCounts {
+  uint64_t eintr = 0;
+  uint64_t short_rw = 0;
+  uint64_t enospc = 0;
+  uint64_t fsync_fail = 0;
+  uint64_t torn = 0;
+  uint64_t bitflip = 0;
+
+  uint64_t Total() const {
+    return eintr + short_rw + enospc + fsync_fail + torn + bitflip;
+  }
+};
+
+class FaultyEnv final : public Env {
+ public:
+  FaultyEnv(Env& base, const FaultSpec& spec)
+      : base_(base), spec_(spec), rng_(spec.seed) {}
+
+  Status NewFile(const std::string& path, OpenMode mode,
+                 std::unique_ptr<File>* out) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status MkDir(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* entries) override;
+  Status SyncDir(const std::string& path) override;
+  Status FileSize(const std::string& path, uint64_t* size) override;
+  bool FileExists(const std::string& path) override;
+  /// Backoff sleeps are no-ops so retry-heavy tests run at full speed.
+  void SleepMicros(uint64_t) override {}
+
+  /// True once a torn write (probabilistic or kill_after) has fired; all
+  /// later write-side operations fail with permanent EIO.
+  bool dead() const { return dead_; }
+  const FaultCounts& counts() const { return counts_; }
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  friend class FaultyFile;
+
+  // Rolls the write-side kill/torn dice; returns true when this op must
+  // tear (caller lands a prefix, then the env dies).
+  bool RollKill();
+  bool Roll(double p) { return p > 0 && rng_.NextDouble() < p; }
+
+  Env& base_;
+  FaultSpec spec_;
+  Random rng_;
+  FaultCounts counts_;
+  uint64_t write_ops_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace met::io
+
+#endif  // MET_IO_FAULT_ENV_H_

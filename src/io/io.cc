@@ -1,0 +1,366 @@
+// met::io implementation: the retry/short-transfer policy layer shared by all
+// backends, plus the PosixEnv/PosixFile backend over real syscalls.
+
+#include "io/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+namespace met::io {
+
+const IoObsMetrics& IoObsMetrics::Get() {
+  static const IoObsMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    IoObsMetrics r;
+    r.retries = reg.GetCounter("met.io.retries");
+    r.errors = reg.GetCounter("met.io.errors");
+    r.injected_faults = reg.GetCounter("met.io.injected_faults");
+    r.open_fds = reg.GetGauge("met.io.open_fds");
+    return r;
+  }();
+  return m;
+}
+
+namespace {
+
+/// Shared retry loop. `op(got_or_put)` performs one raw transfer attempt and
+/// reports progress; the loop retries transient failures with backoff and
+/// treats any progress as a reset of the consecutive-failure budget.
+/// Returns the first non-transient (or budget-exhausting) error.
+template <typename OnceOp>
+Status RetryLoop(Env* env, const RetryPolicy& policy, size_t total,
+                 bool eof_is_corruption, OnceOp&& op) {
+  const IoObsMetrics& obs = IoObsMetrics::Get();
+  size_t done = 0;
+  int attempts = 0;
+  while (done < total) {
+    size_t moved = 0;
+    Status s = op(done, &moved);
+    done += moved;  // progress counts even when s is an error (append safety)
+    if (s.ok()) {
+      if (moved == 0) {
+        if (eof_is_corruption) {
+          obs.errors->Increment();
+          return Status::Corruption("short read: unexpected end of file");
+        }
+        // A zero-byte successful write would spin forever; treat as error.
+        obs.errors->Increment();
+        return Status::IoError("write made no progress");
+      }
+      attempts = 0;
+      continue;
+    }
+    if (moved > 0) attempts = 0;
+    if (!s.transient() || ++attempts >= policy.max_attempts) {
+      obs.errors->Increment();
+      return s;
+    }
+    obs.retries->Increment();
+    if (!s.retry_immediately() && env != nullptr) {
+      env->SleepMicros(policy.DelayForAttempt(attempts - 1));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status File::ReadFull(uint64_t offset, void* buf, size_t n,
+                      const RetryPolicy& policy) {
+  auto* p = static_cast<char*>(buf);
+  return RetryLoop(env_, policy, n, /*eof_is_corruption=*/true,
+                   [&](size_t done, size_t* moved) {
+                     return PreadOnce(offset + done, p + done, n - done, moved);
+                   });
+}
+
+Status File::WriteFull(uint64_t offset, std::string_view data,
+                       const RetryPolicy& policy) {
+  return RetryLoop(env_, policy, data.size(), /*eof_is_corruption=*/false,
+                   [&](size_t done, size_t* moved) {
+                     return PwriteOnce(offset + done, data.data() + done,
+                                       data.size() - done, moved);
+                   });
+}
+
+Status File::AppendFull(std::string_view data, const RetryPolicy& policy,
+                        size_t* appended) {
+  size_t landed = 0;
+  Status s = RetryLoop(env_, policy, data.size(), /*eof_is_corruption=*/false,
+                       [&](size_t done, size_t* moved) {
+                         Status r = AppendOnce(data.data() + done,
+                                               data.size() - done, moved);
+                         landed = done + *moved;
+                         return r;
+                       });
+  if (appended != nullptr) *appended = s.ok() ? data.size() : landed;
+  return s;
+}
+
+Status File::SyncWithRetry(const RetryPolicy& policy) {
+  const IoObsMetrics& obs = IoObsMetrics::Get();
+  int attempts = 0;
+  while (true) {
+    Status s = Sync();
+    if (s.ok()) return s;
+    if (!s.transient() || ++attempts >= policy.max_attempts) {
+      obs.errors->Increment();
+      return s;
+    }
+    obs.retries->Increment();
+    if (!s.retry_immediately() && env_ != nullptr) {
+      env_->SleepMicros(policy.DelayForAttempt(attempts - 1));
+    }
+  }
+}
+
+void Env::SleepMicros(uint64_t micros) {
+  if (micros == 0) return;
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(micros / 1'000'000);
+  ts.tv_nsec = static_cast<long>((micros % 1'000'000) * 1'000);
+  ::nanosleep(&ts, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Posix backend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixFile final : public File {
+ public:
+  PosixFile(Env* env, int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {
+    env_ = env;
+    IoObsMetrics::Get().open_fds->Add(1);
+  }
+
+  ~PosixFile() override { (void)Close(); }
+
+  Status PreadOnce(uint64_t offset, void* buf, size_t n,
+                   size_t* got) override {
+    *got = 0;
+    ssize_t r;
+    do {
+      r = ::pread(fd_, buf, n, static_cast<off_t>(offset));
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) return Status::IoError("pread " + path_, errno);
+    *got = static_cast<size_t>(r);
+    return Status::OK();
+  }
+
+  Status PwriteOnce(uint64_t offset, const void* buf, size_t n,
+                    size_t* put) override {
+    *put = 0;
+    ssize_t r;
+    do {
+      r = ::pwrite(fd_, buf, n, static_cast<off_t>(offset));
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) return Status::IoError("pwrite " + path_, errno);
+    *put = static_cast<size_t>(r);
+    return Status::OK();
+  }
+
+  Status AppendOnce(const void* buf, size_t n, size_t* put) override {
+    // Append = pwrite at the current end of file, not at the fd's seek
+    // position: WriteFull goes through pwrite and never moves the seek
+    // pointer, so a positional ::write here would clobber earlier random
+    // writes on the same handle. (Under O_APPEND, pwrite appends anyway.)
+    *put = 0;
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Status::IoError("fstat " + path_, errno);
+    ssize_t r;
+    do {
+      r = ::pwrite(fd_, buf, n, st.st_size);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) return Status::IoError("write " + path_, errno);
+    *put = static_cast<size_t>(r);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Status::IoError("fsync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    IoObsMetrics::Get().open_fds->Sub(1);
+    if (::close(fd) != 0) return Status::IoError("close " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* size) override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Status::IoError("fstat " + path_, errno);
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+int OpenFlags(OpenMode mode) {
+  switch (mode) {
+    case OpenMode::kRead:
+      return O_RDONLY | O_CLOEXEC;
+    case OpenMode::kWrite:
+      return O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC;
+    case OpenMode::kAppend:
+      return O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    case OpenMode::kReadWrite:
+      return O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC;
+  }
+  return O_RDONLY | O_CLOEXEC;
+}
+
+class PosixEnv final : public Env {
+ public:
+  Status NewFile(const std::string& path, OpenMode mode,
+                 std::unique_ptr<File>* out) override {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), OpenFlags(mode), 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("open " + path);
+      return Status::IoError("open " + path, errno);
+    }
+    out->reset(new PosixFile(this, fd, path));
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("unlink " + path);
+      return Status::IoError("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status MkDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* entries) override {
+    entries->clear();
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) return Status::NotFound("opendir " + path);
+      return Status::IoError("opendir " + path, errno);
+    }
+    while (struct dirent* e = ::readdir(d)) {
+      std::string_view name = e->d_name;
+      if (name == "." || name == "..") continue;
+      entries->emplace_back(name);
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return Status::IoError("open dir " + path, errno);
+    Status s;
+    if (::fsync(fd) != 0) s = Status::IoError("fsync dir " + path, errno);
+    ::close(fd);
+    return s;
+  }
+
+  Status FileSize(const std::string& path, uint64_t* size) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("stat " + path);
+      return Status::IoError("stat " + path, errno);
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+};
+
+}  // namespace
+
+Env& Env::Posix() {
+  static PosixEnv* env = new PosixEnv();  // leaked: usable during exit
+  return *env;
+}
+
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  std::unique_ptr<File> f;
+  Status s = NewFile(path, OpenMode::kRead, &f);
+  if (!s.ok()) return s;
+  uint64_t size = 0;
+  s = f->Size(&size);
+  if (!s.ok()) return s;
+  out->resize(size);
+  if (size > 0) {
+    s = f->ReadFull(0, out->data(), size);
+    if (!s.ok()) return s;
+  }
+  return f->Close();
+}
+
+Status Env::WriteStringToFile(const std::string& path, std::string_view data,
+                              bool sync) {
+  std::unique_ptr<File> f;
+  Status s = NewFile(path, OpenMode::kWrite, &f);
+  if (!s.ok()) return s;
+  s = f->WriteFull(0, data);
+  if (s.ok() && sync) s = f->SyncWithRetry();
+  Status close_s = f->Close();
+  return s.ok() ? close_s : s;
+}
+
+Status Env::AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  Status s = WriteStringToFile(tmp, data, /*sync=*/true);
+  if (!s.ok()) return s;
+  s = Rename(tmp, path);
+  if (!s.ok()) {
+    (void)Remove(tmp);
+    return s;
+  }
+  size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+void RemoveAllFiles(Env& env, const std::string& dir) {
+  std::vector<std::string> entries;
+  if (!env.ListDir(dir, &entries).ok()) return;
+  for (const std::string& e : entries) {
+    (void)env.Remove(dir + "/" + e);
+  }
+}
+
+}  // namespace met::io

@@ -1,0 +1,164 @@
+// met::io — fault-tolerant file/environment abstraction for the storage layer.
+//
+// All LSM and anti-cache I/O goes through an io::Env so that (a) EINTR and
+// short reads/writes are handled in exactly one place, (b) transient errors
+// (EINTR/EAGAIN/ENOSPC/...) are retried with capped exponential backoff, and
+// (c) tests and the crash-torture harness can substitute a deterministic
+// fault-injecting environment (fault_env.h) for the real filesystem.
+//
+// Layering:
+//   - File::*Once / Env virtuals are the raw, single-syscall-shaped surface a
+//     backend implements. A "Once" op may legitimately transfer fewer bytes
+//     than asked (short read/write) or fail transiently.
+//   - File::ReadFull / WriteFull / AppendFull / SyncWithRetry are the
+//     non-virtual policy layer every caller uses: they loop over short
+//     transfers and retry transient errors per a RetryPolicy, bumping the
+//     met.io.retries / met.io.errors counters.
+//
+// Retry semantics worth knowing: a partial transfer counts as progress and
+// resets the backoff clock; EINTR retries immediately (no sleep); the *Full
+// helpers always report how many bytes actually landed, even on error, so an
+// append-mode caller never re-sends bytes that already hit the file.
+#ifndef MET_IO_IO_H_
+#define MET_IO_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/status.h"
+#include "obs/metrics.h"
+
+namespace met::io {
+
+/// Capped exponential backoff for transient errors. Attempt k (zero-based)
+/// sleeps min(base_delay_us << k, max_delay_us) before retrying; EINTR skips
+/// the sleep entirely. A partial transfer resets the attempt counter — only
+/// consecutive zero-progress failures count against max_attempts.
+struct RetryPolicy {
+  int max_attempts = 5;
+  uint64_t base_delay_us = 100;
+  uint64_t max_delay_us = 100'000;
+
+  uint64_t DelayForAttempt(int attempt) const {
+    uint64_t d = base_delay_us;
+    for (int i = 0; i < attempt && d < max_delay_us; ++i) d <<= 1;
+    return d < max_delay_us ? d : max_delay_us;
+  }
+};
+
+enum class OpenMode {
+  kRead,       // O_RDONLY
+  kWrite,      // O_WRONLY | O_CREAT | O_TRUNC
+  kAppend,     // O_WRONLY | O_CREAT | O_APPEND
+  kReadWrite,  // O_RDWR   | O_CREAT | O_TRUNC
+};
+
+/// Registry-backed counters for the I/O layer. Fetch once via Get(); the
+/// pointers are stable for the process lifetime.
+struct IoObsMetrics {
+  obs::Counter* retries;          // met.io.retries
+  obs::Counter* errors;           // met.io.errors
+  obs::Counter* injected_faults;  // met.io.injected_faults (FaultyEnv only)
+  obs::Gauge* open_fds;           // met.io.open_fds (PosixEnv fd budget)
+
+  static const IoObsMetrics& Get();
+};
+
+class Env;  // forward
+
+class File {
+ public:
+  virtual ~File() = default;
+
+  // ---- raw surface (implemented by backends; may short-transfer) ----
+
+  /// Reads up to n bytes at offset; *got is the byte count actually read
+  /// (0 at EOF). A short read is success, not an error.
+  virtual Status PreadOnce(uint64_t offset, void* buf, size_t n,
+                           size_t* got) = 0;
+
+  /// Writes up to n bytes at offset; *put is the byte count actually
+  /// written — meaningful even when the returned Status is an error
+  /// (a backend may land a prefix and then fail).
+  virtual Status PwriteOnce(uint64_t offset, const void* buf, size_t n,
+                            size_t* put) = 0;
+
+  /// Appends up to n bytes at the end of the file; *put as for PwriteOnce.
+  virtual Status AppendOnce(const void* buf, size_t n, size_t* put) = 0;
+
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual Status Size(uint64_t* size) = 0;
+
+  // ---- policy layer (what callers use) ----
+
+  /// Reads exactly n bytes at offset, looping over short reads and retrying
+  /// transient errors. EOF before n bytes is Corruption ("short read").
+  Status ReadFull(uint64_t offset, void* buf, size_t n,
+                  const RetryPolicy& policy = RetryPolicy());
+
+  /// Writes all of data at offset, looping + retrying as above.
+  Status WriteFull(uint64_t offset, std::string_view data,
+                   const RetryPolicy& policy = RetryPolicy());
+
+  /// Appends all of data, looping + retrying. On error, *appended (if
+  /// non-null) reports how many leading bytes reached the file, so callers
+  /// keeping a logical offset (WAL, anti-cache log) stay in sync with disk.
+  Status AppendFull(std::string_view data,
+                    const RetryPolicy& policy = RetryPolicy(),
+                    size_t* appended = nullptr);
+
+  /// Sync with transient-error retry.
+  Status SyncWithRetry(const RetryPolicy& policy = RetryPolicy());
+
+ protected:
+  /// Set by backend constructors so the policy layer can honour the owning
+  /// environment's sleep hook (fault/test envs do not really sleep).
+  Env* env_ = nullptr;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The real filesystem. Process-wide singleton; never destroyed.
+  static Env& Posix();
+
+  virtual Status NewFile(const std::string& path, OpenMode mode,
+                         std::unique_ptr<File>* out) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  /// Creates the directory; an already-existing directory is OK.
+  virtual Status MkDir(const std::string& path) = 0;
+  /// Plain entry names (no "."/".."), unsorted.
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* entries) = 0;
+  /// fsync the directory itself (makes renames/creates in it durable).
+  virtual Status SyncDir(const std::string& path) = 0;
+  virtual Status FileSize(const std::string& path, uint64_t* size) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Backoff sleep hook; fault/test envs override this to a no-op so
+  /// retry-heavy tests stay fast and deterministic.
+  virtual void SleepMicros(uint64_t micros);
+
+  // ---- convenience (non-virtual, built on the above) ----
+
+  Status ReadFileToString(const std::string& path, std::string* out);
+  Status WriteStringToFile(const std::string& path, std::string_view data,
+                           bool sync);
+  /// Durable atomic replace: write `path.tmp`, fsync, rename over `path`,
+  /// fsync the containing directory.
+  Status AtomicWriteFile(const std::string& path, std::string_view data);
+};
+
+/// Removes every regular file in dir (ignores errors per entry); used by
+/// tests and the torture tool to reset scratch directories.
+void RemoveAllFiles(Env& env, const std::string& dir);
+
+}  // namespace met::io
+
+#endif  // MET_IO_IO_H_

@@ -1,0 +1,115 @@
+// met::io::Status — error propagation for the fault-tolerant storage layer.
+//
+// Every I/O entry point returns a Status instead of asserting: callers decide
+// whether to retry (transient() errors: interrupted syscalls, momentary
+// resource exhaustion), degrade (Corruption: checksum mismatch, truncated
+// file), or surface the failure. MET_ASSERT on I/O results is reserved for
+// programming errors only (see DESIGN.md, "Durability & fault injection").
+#ifndef MET_IO_STATUS_H_
+#define MET_IO_STATUS_H_
+
+#include <cerrno>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace met::io {
+
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kNotFound,         // file or key absent (not an error for optional state)
+  kCorruption,       // checksum mismatch, truncated record, bad magic
+  kIoError,          // syscall failure; errno_value() classifies it
+  kInvalidArgument,  // bad fault spec, bad open mode, ...
+};
+
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg), 0);
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg), 0);
+  }
+  static Status IoError(std::string msg, int errno_value = 0) {
+    return Status(StatusCode::kIoError, std::move(msg), errno_value);
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg), 0);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  StatusCode code() const { return code_; }
+  int errno_value() const { return errno_; }
+  const std::string& message() const { return message_; }
+
+  /// True when retrying the same operation may succeed: the syscall was
+  /// interrupted or a resource was momentarily exhausted. Everything else
+  /// (corruption, EIO, EBADF, ...) is permanent for this operation.
+  bool transient() const {
+    if (code_ != StatusCode::kIoError) return false;
+    switch (errno_) {
+      case EINTR:
+      case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+      case EWOULDBLOCK:
+#endif
+      case ENOSPC:  // space is routinely reclaimed (log rotation, GC)
+      case EDQUOT:
+      case EBUSY:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// True for transient errors that should be retried with no backoff at
+  /// all (the syscall was merely interrupted; nothing needs time to clear).
+  bool retry_immediately() const {
+    return code_ == StatusCode::kIoError && errno_ == EINTR;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out;
+    switch (code_) {
+      case StatusCode::kNotFound: out = "NotFound"; break;
+      case StatusCode::kCorruption: out = "Corruption"; break;
+      case StatusCode::kIoError: out = "IoError"; break;
+      case StatusCode::kInvalidArgument: out = "InvalidArgument"; break;
+      default: out = "Unknown"; break;
+    }
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    if (errno_ != 0) {
+      out += " (errno ";
+      out += std::to_string(errno_);
+      out += ")";
+    }
+    return out;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg, int errno_value)
+      : code_(code), errno_(errno_value), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  int errno_ = 0;
+  std::string message_;
+};
+
+}  // namespace met::io
+
+#endif  // MET_IO_STATUS_H_

@@ -1,18 +1,27 @@
 #include "lsm/lsm.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstring>
 #include <set>
 
 #include "common/assert.h"
+#include "io/crc32c.h"
+#include "lsm/manifest.h"
+#include "lsm/wal.h"
 
 namespace met {
 
 namespace {
+
+// SSTable v2 layout:
+//   [block payload][crc32c(payload) u32]  ... repeated per block ...
+//   [footer]                              (fence index + table metadata)
+//   [footer_offset u64][footer_crc u32][magic u32]   (16-byte trailer)
+// The in-memory fence index (block_offset/block_length) addresses payloads;
+// the 4-byte checksum trails each payload on disk.
+constexpr uint32_t kSstMagic = 0x4D455453u;  // 'METS' (LE)
+constexpr size_t kSstTrailerBytes = 16;
+constexpr size_t kBlockCrcBytes = 4;
 
 void AppendEntry(std::string* out, std::string_view key, std::string_view value) {
   uint32_t klen = static_cast<uint32_t>(key.size());
@@ -21,6 +30,76 @@ void AppendEntry(std::string* out, std::string_view key, std::string_view value)
   out->append(key);
   out->append(reinterpret_cast<const char*>(&vlen), sizeof(vlen));
   out->append(value);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked cursor over an on-disk buffer; every getter returns false
+/// instead of reading past the end, so torn or bit-flipped metadata parses
+/// as corruption rather than undefined behavior.
+class BufReader {
+ public:
+  explicit BufReader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v); }
+
+  bool ReadString(size_t n, std::string* out) {
+    if (data_.size() - off_ < n) return false;
+    out->assign(data_.data() + off_, n);
+    off_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return off_ == data_.size(); }
+
+ private:
+  template <typename T>
+  bool ReadRaw(T* v) {
+    if (data_.size() - off_ < sizeof(T)) return false;
+    std::memcpy(v, data_.data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return true;
+  }
+
+  std::string_view data_;
+  size_t off_ = 0;
+};
+
+/// Decodes one block payload; false on any structural inconsistency (only
+/// reachable via corruption that collides with the block checksum).
+bool ParseBlock(std::string_view raw,
+                std::vector<std::pair<std::string, std::string>>* out) {
+  BufReader r(raw);
+  while (!r.AtEnd()) {
+    uint32_t klen, vlen;
+    std::string k, v;
+    if (!r.ReadU32(&klen) || !r.ReadString(klen, &k)) return false;
+    if (!r.ReadU32(&vlen) || !r.ReadString(vlen, &v)) return false;
+    out->emplace_back(std::move(k), std::move(v));
+  }
+  return true;
+}
+
+/// Parses the decimal id following `prefix` in a directory entry name;
+/// false if the name has any non-digit suffix (e.g. editor leftovers).
+bool ParseTrailingId(const std::string& name, const char* prefix,
+                     uint64_t* id) {
+  const size_t plen = std::strlen(prefix);
+  if (name.size() <= plen) return false;
+  uint64_t v = 0;
+  for (size_t i = plen; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *id = v;
+  return true;
 }
 
 }  // namespace
@@ -39,6 +118,14 @@ const LsmObsMetrics& LsmObsMetrics::Get() {
         reg.GetCounter("lsm.filter.bloom.false_positives"),
         reg.GetCounter("lsm.filter.surf.true_positives"),
         reg.GetCounter("lsm.filter.surf.false_positives"),
+        reg.GetCounter("lsm.wal.appends"),
+        reg.GetCounter("lsm.wal.syncs"),
+        reg.GetCounter("lsm.wal.replayed_records"),
+        reg.GetCounter("lsm.wal.torn_tails"),
+        reg.GetCounter("lsm.manifest.writes"),
+        reg.GetCounter("lsm.block.corruptions"),
+        reg.GetCounter("lsm.recovery.orphans_removed"),
+        reg.GetCounter("lsm.recovery.bad_tables"),
         reg.GetHistogram("lsm.flush.duration_ns"),
         reg.GetHistogram("lsm.compaction.duration_ns"),
         reg.GetHistogram("lsm.compaction.merged_entries"),
@@ -62,21 +149,60 @@ const char* LsmFilterTypeName(LsmFilterType t) {
 }
 
 LsmTree::LsmTree(const LsmOptions& options) : options_(options) {
-  ::mkdir(options_.dir.c_str(), 0755);
+  env_ = options_.env != nullptr ? options_.env : &io::Env::Posix();
   levels_.resize(1);
   cache_.resize(options_.block_cache_blocks);
   obs_collector_ =
       obs::MetricsRegistry::Global().AddCollector([this] { SyncObsCounters(); });
+  if (options_.durable) {
+    io::Status s = Recover();
+    if (!s.ok()) last_io_error_ = s;
+  } else {
+    (void)env_->MkDir(options_.dir);
+  }
 }
 
 LsmTree::~LsmTree() {
   obs::MetricsRegistry::Global().RemoveCollector(obs_collector_);
   SyncObsCounters();
-  for (auto& level : levels_)
-    for (auto& t : level) {
-      if (t->fd >= 0) ::close(t->fd);
-      ::unlink(t->path.c_str());
+  if (crashed_) return;  // leave the directory exactly as the "kill" did
+  if (options_.durable) {
+    // Clean close: ack everything in the WAL; the directory stays behind
+    // for the next Open to recover.
+    if (wal_ != nullptr) {
+      (void)wal_->Sync();
+      (void)wal_->Close();
     }
+    for (auto& level : levels_)
+      for (auto& t : level)
+        if (t->file != nullptr) (void)t->file->Close();
+    return;
+  }
+  // Ephemeral (historical) behavior: the files are private to this instance.
+  for (auto& level : levels_)
+    for (auto& t : level) CloseAndRemoveFile(*t);
+}
+
+std::unique_ptr<LsmTree> LsmTree::Open(LsmOptions options, io::Status* status) {
+  options.durable = true;
+  auto tree = std::make_unique<LsmTree>(options);
+  if (status != nullptr) *status = tree->last_io_error_;
+  return tree;
+}
+
+void LsmTree::SimulateCrash() {
+  if (wal_ != nullptr) wal_->AbandonForCrash();
+  for (auto& level : levels_)
+    for (auto& t : level) t->file.reset();  // close without sync
+  crashed_ = true;
+}
+
+void LsmTree::CloseAndRemoveFile(SsTable& t) {
+  if (t.file != nullptr) {
+    (void)t.file->Close();
+    t.file.reset();
+  }
+  (void)env_->Remove(t.path);
 }
 
 void LsmTree::SyncObsCounters() {
@@ -87,10 +213,17 @@ void LsmTree::SyncObsCounters() {
   m.filter_probes->Add(stats_.filter_probes - obs_synced_.filter_probes);
   m.filter_negatives->Add(stats_.filter_negatives -
                           obs_synced_.filter_negatives);
+  m.wal_appends->Add(stats_.wal_appends - obs_synced_.wal_appends);
+  m.wal_syncs->Add(stats_.wal_syncs - obs_synced_.wal_syncs);
+  m.block_corruptions->Add(stats_.block_corruptions -
+                           obs_synced_.block_corruptions);
   obs_synced_.block_reads = stats_.block_reads;
   obs_synced_.block_cache_hits = stats_.block_cache_hits;
   obs_synced_.filter_probes = stats_.filter_probes;
   obs_synced_.filter_negatives = stats_.filter_negatives;
+  obs_synced_.wal_appends = stats_.wal_appends;
+  obs_synced_.wal_syncs = stats_.wal_syncs;
+  obs_synced_.block_corruptions = stats_.block_corruptions;
   m.bloom_true_positives->Add(outcomes_.bloom_tp - outcomes_synced_.bloom_tp);
   m.bloom_false_positives->Add(outcomes_.bloom_fp - outcomes_synced_.bloom_fp);
   m.surf_true_positives->Add(outcomes_.surf_tp - outcomes_synced_.surf_tp);
@@ -98,7 +231,7 @@ void LsmTree::SyncObsCounters() {
   outcomes_synced_ = outcomes_;
 }
 
-void LsmTree::Put(std::string_view key, std::string_view value) {
+void LsmTree::ApplyToMemtable(std::string_view key, std::string_view value) {
   auto it = memtable_.find(key);
   if (it != memtable_.end()) {
     memtable_bytes_ += value.size() - it->second.size();
@@ -107,35 +240,127 @@ void LsmTree::Put(std::string_view key, std::string_view value) {
     memtable_bytes_ += key.size() + value.size() + 32;
     memtable_.emplace(std::string(key), std::string(value));
   }
-  if (memtable_bytes_ >= options_.memtable_bytes) {
-    FlushMemTable();
-    MaybeCompact();
-  }
 }
 
-void LsmTree::FlushMemTable() {
-  if (memtable_.empty()) return;
+io::Status LsmTree::Put(std::string_view key, std::string_view value) {
+  if (crashed_) return io::Status::IoError("tree crashed");
+  if (options_.durable) {
+    if (wal_ == nullptr) {
+      return io::Status::IoError("wal unavailable (degraded open)");
+    }
+    io::Status s = wal_->Append(key, value);
+    if (!s.ok()) {
+      last_io_error_ = s;
+      return s;  // not applied: the record never fully reached the log
+    }
+    ++stats_.wal_appends;
+  }
+  ApplyToMemtable(key, value);
+  // From here on the write is applied; background failures (group sync,
+  // flush, compaction) are reported via last_io_error() only.
+  if (options_.durable &&
+      wal_->unsynced_bytes() >= options_.wal_group_sync_bytes) {
+    (void)SyncWal();
+  }
+  if (memtable_bytes_ >= options_.memtable_bytes) {
+    io::Status s = FlushMemTable();
+    if (s.ok()) s = MaybeCompact();
+    if (!s.ok()) last_io_error_ = s;
+  }
+  return io::Status::OK();
+}
+
+io::Status LsmTree::SyncWal() {
+  if (!options_.durable) return io::Status::OK();
+  if (crashed_) return io::Status::IoError("tree crashed");
+  if (wal_ == nullptr) return io::Status::IoError("wal unavailable");
+  io::Status s = wal_->Sync();
+  if (s.ok()) {
+    ++stats_.wal_syncs;
+  } else {
+    last_io_error_ = s;
+  }
+  return s;
+}
+
+io::Status LsmTree::Finish() {
+  if (crashed_) return io::Status::IoError("tree crashed");
+  io::Status s = FlushMemTable();
+  if (s.ok()) s = MaybeCompact();
+  if (!s.ok()) last_io_error_ = s;
+  return s;
+}
+
+io::Status LsmTree::FlushMemTable() {
+  if (memtable_.empty()) return io::Status::OK();
   const LsmObsMetrics& m = LsmObsMetrics::Get();
   obs::ScopedTimer span(m.flush_ns, "lsm.flush");
   std::vector<std::pair<std::string, std::string>> entries;
   entries.reserve(memtable_.size());
   for (auto& [k, v] : memtable_) entries.emplace_back(k, v);
+
+  std::unique_ptr<SsTable> t;
+  io::Status s = WriteTable(entries, &t);
+  if (!s.ok()) return s;  // memtable intact; retried on the next trigger
+
+  if (options_.durable) {
+    // Commit protocol: new table is durable on disk; create the next WAL,
+    // then publish {levels + new wal_gen} in the manifest. Only after the
+    // manifest commits is the memtable cleared and the old WAL removed — a
+    // crash at any step recovers either the old state (old WAL replays the
+    // memtable) or the new one.
+    const uint64_t old_gen = wal_gen_;
+    const uint64_t new_gen = wal_gen_ + 1;
+    auto new_wal = std::make_unique<LsmWal>(*env_, WalPath(new_gen));
+    s = new_wal->Open();
+    if (!s.ok()) {
+      CloseAndRemoveFile(*t);
+      return s;
+    }
+    levels_[0].push_back(std::move(t));
+    wal_gen_ = new_gen;
+    s = WriteManifest();
+    if (!s.ok()) {
+      wal_gen_ = old_gen;
+      auto dropped = std::move(levels_[0].back());
+      levels_[0].pop_back();
+      CloseAndRemoveFile(*dropped);
+      (void)new_wal->Close();
+      (void)env_->Remove(WalPath(new_gen));
+      return s;
+    }
+    if (wal_ != nullptr) (void)wal_->Close();
+    (void)env_->Remove(WalPath(old_gen));
+    wal_ = std::move(new_wal);
+  } else {
+    levels_[0].push_back(std::move(t));
+  }
+
   memtable_.clear();
   memtable_bytes_ = 0;
-  levels_[0].push_back(WriteTable(entries));
   ++stats_.flushes;
   m.flushes->Increment();
+  return io::Status::OK();
 }
 
-std::unique_ptr<LsmTree::SsTable> LsmTree::WriteTable(
-    const std::vector<std::pair<std::string, std::string>>& entries) {
+io::Status LsmTree::WriteTable(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    std::unique_ptr<SsTable>* out) {
   auto t = std::make_unique<SsTable>();
   t->id = next_table_id_++;
-  t->path = options_.dir + "/sst_" + std::to_string(t->id);
+  t->path = TablePath(t->id);
   t->min_key = entries.front().first;
   t->max_key = entries.back().first;
   t->num_entries = entries.size();
+  io::Status s = WriteTableFile(t.get(), entries);
+  if (!s.ok()) return s;
+  BuildFilter(t.get(), entries);
+  *out = std::move(t);
+  return io::Status::OK();
+}
 
+io::Status LsmTree::WriteTableFile(
+    SsTable* t, const std::vector<std::pair<std::string, std::string>>& entries) {
   std::string file;
   std::string block;
   std::string block_first = entries.front().first;
@@ -145,6 +370,7 @@ std::unique_ptr<LsmTree::SsTable> LsmTree::WriteTable(
     t->block_offset.push_back(file.size());
     t->block_length.push_back(static_cast<uint32_t>(block.size()));
     file.append(block);
+    AppendU32(&file, io::Crc32c(block.data(), block.size()));
     block.clear();
   };
   for (const auto& [k, v] : entries) {
@@ -153,19 +379,44 @@ std::unique_ptr<LsmTree::SsTable> LsmTree::WriteTable(
     if (block.size() >= options_.block_bytes) flush_block();
   }
   flush_block();
+  t->data_bytes = file.size();
 
-  int fd = ::open(t->path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  MET_ASSERT(fd >= 0, "SSTable create failed");
-  ssize_t written = ::write(fd, file.data(), file.size());
-  MET_ASSERT(written == static_cast<ssize_t>(file.size()),
-             "short SSTable write");
-  (void)written;
-  ::close(fd);
+  std::string footer;
+  AppendU32(&footer, static_cast<uint32_t>(t->block_first_key.size()));
+  for (size_t b = 0; b < t->block_first_key.size(); ++b) {
+    AppendU32(&footer, static_cast<uint32_t>(t->block_first_key[b].size()));
+    footer.append(t->block_first_key[b]);
+    AppendU64(&footer, t->block_offset[b]);
+    AppendU32(&footer, t->block_length[b]);
+  }
+  AppendU64(&footer, t->num_entries);
+  AppendU32(&footer, static_cast<uint32_t>(t->max_key.size()));
+  footer.append(t->max_key);
+  const uint32_t footer_crc = io::Crc32c(footer.data(), footer.size());
+  file.append(footer);
+  AppendU64(&file, t->data_bytes);
+  AppendU32(&file, footer_crc);
+  AppendU32(&file, kSstMagic);
   t->file_bytes = file.size();
-  t->fd = ::open(t->path.c_str(), O_RDONLY);
-  MET_ASSERT(t->fd >= 0, "SSTable reopen failed");
 
-  // Build the table's filter.
+  std::unique_ptr<io::File> f;
+  io::Status s = env_->NewFile(t->path, io::OpenMode::kWrite, &f);
+  if (s.ok()) s = f->WriteFull(0, file);
+  if (s.ok() && options_.durable) s = f->SyncWithRetry();
+  if (f != nullptr) {
+    io::Status cs = f->Close();
+    if (s.ok()) s = cs;
+  }
+  if (s.ok()) s = env_->NewFile(t->path, io::OpenMode::kRead, &t->file);
+  if (!s.ok()) {
+    (void)env_->Remove(t->path);
+    return s;
+  }
+  return io::Status::OK();
+}
+
+void LsmTree::BuildFilter(
+    SsTable* t, const std::vector<std::pair<std::string, std::string>>& entries) {
   switch (options_.filter) {
     case LsmFilterType::kNone:
       break;
@@ -188,56 +439,77 @@ std::unique_ptr<LsmTree::SsTable> LsmTree::WriteTable(
       break;
     }
   }
-  return t;
 }
 
-std::vector<std::unique_ptr<LsmTree::SsTable>> LsmTree::WriteTables(
-    std::vector<std::pair<std::string, std::string>>&& entries) {
-  std::vector<std::unique_ptr<SsTable>> out;
+io::Status LsmTree::WriteTables(
+    std::vector<std::pair<std::string, std::string>>&& entries,
+    std::vector<std::unique_ptr<SsTable>>* out) {
+  out->clear();
   std::vector<std::pair<std::string, std::string>> chunk;
   size_t bytes = 0;
+  io::Status s;
+  auto emit = [&]() {
+    if (chunk.empty() || !s.ok()) return;
+    std::unique_ptr<SsTable> t;
+    s = WriteTable(chunk, &t);
+    if (s.ok()) out->push_back(std::move(t));
+    chunk.clear();
+    bytes = 0;
+  };
   for (auto& e : entries) {
     bytes += e.first.size() + e.second.size() + 8;
     chunk.push_back(std::move(e));
-    if (bytes >= options_.sstable_target_bytes) {
-      out.push_back(WriteTable(chunk));
-      chunk.clear();
-      bytes = 0;
+    if (bytes >= options_.sstable_target_bytes) emit();
+  }
+  emit();
+  if (!s.ok()) {
+    for (auto& t : *out) CloseAndRemoveFile(*t);
+    out->clear();
+  }
+  return s;
+}
+
+io::Status LsmTree::ReadAll(
+    const SsTable& t, std::vector<std::pair<std::string, std::string>>* entries,
+    size_t* corrupt_blocks) {
+  entries->clear();
+  entries->reserve(t.num_entries);
+  if (corrupt_blocks != nullptr) *corrupt_blocks = 0;
+  if (t.file == nullptr) return io::Status::IoError("table file not open");
+  std::string file(t.data_bytes, '\0');
+  if (t.data_bytes > 0) {
+    io::Status s = t.file->ReadFull(0, file.data(), file.size());
+    if (!s.ok()) return s;
+  }
+  for (size_t b = 0; b < t.block_first_key.size(); ++b) {
+    const uint64_t off = t.block_offset[b];
+    const uint32_t len = t.block_length[b];
+    bool ok = off + len + kBlockCrcBytes <= file.size();
+    if (ok) {
+      uint32_t stored;
+      std::memcpy(&stored, file.data() + off + len, sizeof(stored));
+      ok = io::Crc32c(file.data() + off, static_cast<size_t>(len)) == stored;
+    }
+    size_t before = entries->size();
+    if (ok) {
+      ok = ParseBlock(std::string_view(file.data() + off, len), entries);
+      if (!ok) entries->resize(before);  // drop the partial decode
+    }
+    if (!ok) {
+      ++stats_.block_corruptions;
+      t.quarantined.insert(b);
+      obs::TraceEvent("lsm.block.quarantine");
+      if (corrupt_blocks != nullptr) ++*corrupt_blocks;
     }
   }
-  if (!chunk.empty()) out.push_back(WriteTable(chunk));
-  return out;
+  return io::Status::OK();
 }
 
-std::vector<std::pair<std::string, std::string>> LsmTree::ReadAll(
-    const SsTable& t) {
-  std::vector<std::pair<std::string, std::string>> entries;
-  entries.reserve(t.num_entries);
-  std::string file(t.file_bytes, '\0');
-  ssize_t got = ::pread(t.fd, file.data(), file.size(), 0);
-  MET_ASSERT(got == static_cast<ssize_t>(file.size()),
-             "short SSTable read");
-  (void)got;
-  size_t off = 0;
-  while (off < file.size()) {
-    uint32_t klen, vlen;
-    std::memcpy(&klen, file.data() + off, sizeof(klen));
-    off += sizeof(klen);
-    std::string k(file.data() + off, klen);
-    off += klen;
-    std::memcpy(&vlen, file.data() + off, sizeof(vlen));
-    off += sizeof(vlen);
-    std::string v(file.data() + off, vlen);
-    off += vlen;
-    entries.emplace_back(std::move(k), std::move(v));
-  }
-  return entries;
-}
-
-void LsmTree::MaybeCompact() {
+io::Status LsmTree::MaybeCompact() {
   while (true) {
     if (levels_[0].size() > options_.level0_table_limit) {
-      CompactLevel0();
+      io::Status s = CompactLevel0();
+      if (!s.ok()) return s;
       continue;
     }
     bool did = false;
@@ -247,21 +519,24 @@ void LsmTree::MaybeCompact() {
       uint64_t bytes = 0;
       for (const auto& t : levels_[l]) bytes += t->file_bytes;
       if (bytes > limit) {
-        CompactLevel(l);
+        io::Status s = CompactLevel(l);
+        if (!s.ok()) return s;
         did = true;
         break;
       }
     }
     if (!did) break;
   }
+  return io::Status::OK();
 }
 
-void LsmTree::CompactLevel0() {
+io::Status LsmTree::CompactLevel0() {
   // Merge all L0 tables plus every overlapping L1 table into new L1 tables.
+  // Inputs are only removed after the new tables (and, in durable mode, the
+  // manifest) are safely on disk — a failure leaves the old state intact.
   const LsmObsMetrics& m = LsmObsMetrics::Get();
   obs::ScopedTimer span(m.compaction_ns, "lsm.compaction.l0");
   if (levels_.size() < 2) levels_.resize(2);
-  const size_t l0_count = levels_[0].size();
 
   std::string min_key = levels_[0].front()->min_key;
   std::string max_key = levels_[0].front()->max_key;
@@ -273,28 +548,38 @@ void LsmTree::CompactLevel0() {
   // Oldest first: L1 (disjoint, all older), then L0 tables in creation
   // order, so later inserts into the map shadow earlier ones correctly.
   std::map<std::string, std::string> merged;
-  std::vector<std::unique_ptr<SsTable>> keep;
-  for (auto& t : levels_[1]) {
-    if (t->max_key < min_key || t->min_key > max_key) {
-      keep.push_back(std::move(t));
-    } else {
-      for (auto& e : ReadAll(*t)) merged[std::move(e.first)] = std::move(e.second);
-      ::close(t->fd);
-      ::unlink(t->path.c_str());
-    }
+  std::vector<size_t> merge_l1;  // indexes of overlapping L1 inputs
+  std::vector<std::pair<std::string, std::string>> input;
+  for (size_t i = 0; i < levels_[1].size(); ++i) {
+    const SsTable& t = *levels_[1][i];
+    if (t.max_key < min_key || t.min_key > max_key) continue;
+    io::Status s = ReadAll(t, &input, nullptr);
+    if (!s.ok()) return s;
+    for (auto& e : input) merged[std::move(e.first)] = std::move(e.second);
+    merge_l1.push_back(i);
   }
-  for (size_t r = 0; r < l0_count; ++r) {
-    SsTable& t = *levels_[0][r];
-    for (auto& e : ReadAll(t)) merged[std::move(e.first)] = std::move(e.second);
-    ::close(t.fd);
-    ::unlink(t.path.c_str());
+  for (auto& t : levels_[0]) {
+    io::Status s = ReadAll(*t, &input, nullptr);
+    if (!s.ok()) return s;
+    for (auto& e : input) merged[std::move(e.first)] = std::move(e.second);
   }
-  levels_[0].clear();
 
   std::vector<std::pair<std::string, std::string>> entries;
   entries.reserve(merged.size());
   for (auto& [k, v] : merged) entries.emplace_back(k, v);
-  auto tables = WriteTables(std::move(entries));
+  std::vector<std::unique_ptr<SsTable>> tables;
+  io::Status s = WriteTables(std::move(entries), &tables);
+  if (!s.ok()) return s;
+
+  // Commit in memory.
+  std::vector<std::unique_ptr<SsTable>> removed;
+  std::vector<std::unique_ptr<SsTable>> keep;
+  std::set<size_t> merged_idx(merge_l1.begin(), merge_l1.end());
+  for (size_t i = 0; i < levels_[1].size(); ++i) {
+    (merged_idx.count(i) ? removed : keep).push_back(std::move(levels_[1][i]));
+  }
+  for (auto& t : levels_[0]) removed.push_back(std::move(t));
+  levels_[0].clear();
   for (auto& t : tables) keep.push_back(std::move(t));
   std::sort(keep.begin(), keep.end(),
             [](const auto& a, const auto& b) { return a->min_key < b->min_key; });
@@ -302,9 +587,22 @@ void LsmTree::CompactLevel0() {
   ++stats_.compactions;
   m.compactions->Increment();
   m.compaction_entries->Record(merged.size());
+
+  // Publish, then drop the inputs. If the manifest write fails the input
+  // files stay on disk: the stale manifest still names a complete,
+  // content-equivalent state (compaction preserves content), and the next
+  // successful manifest write supersedes it.
+  io::Status ms = options_.durable ? WriteManifest() : io::Status::OK();
+  if (ms.ok()) {
+    for (auto& t : removed) CloseAndRemoveFile(*t);
+  } else {
+    for (auto& t : removed)
+      if (t->file != nullptr) (void)t->file->Close();
+  }
+  return ms;
 }
 
-void LsmTree::CompactLevel(size_t level) {
+io::Status LsmTree::CompactLevel(size_t level) {
   // Move one table of `level` down, merging with overlapping tables. The
   // victim is chosen by a rotating cursor (as in RocksDB), so over time
   // every level spans the whole key range instead of partitioning it.
@@ -314,24 +612,22 @@ void LsmTree::CompactLevel(size_t level) {
   if (compact_cursor_.size() < levels_.size()) compact_cursor_.resize(levels_.size(), 0);
   size_t idx = compact_cursor_[level] % levels_[level].size();
   compact_cursor_[level] = idx + 1;
-  std::unique_ptr<SsTable> victim = std::move(levels_[level][idx]);
-  levels_[level].erase(levels_[level].begin() + idx);
+  const SsTable& victim = *levels_[level][idx];
 
-  std::vector<std::pair<std::string, std::string>> newer = ReadAll(*victim);
+  std::vector<std::pair<std::string, std::string>> newer;
+  io::Status s = ReadAll(victim, &newer, nullptr);
+  if (!s.ok()) return s;
   std::vector<std::pair<std::string, std::string>> older;
-  std::vector<std::unique_ptr<SsTable>> keep;
-  for (auto& t : levels_[level + 1]) {
-    if (t->max_key < victim->min_key || t->min_key > victim->max_key) {
-      keep.push_back(std::move(t));
-    } else {
-      auto entries = ReadAll(*t);
-      for (auto& e : entries) older.push_back(std::move(e));
-      ::close(t->fd);
-      ::unlink(t->path.c_str());
-    }
+  std::vector<size_t> merge_next;  // overlapping inputs in level+1
+  std::vector<std::pair<std::string, std::string>> input;
+  for (size_t i = 0; i < levels_[level + 1].size(); ++i) {
+    const SsTable& t = *levels_[level + 1][i];
+    if (t.max_key < victim.min_key || t.min_key > victim.max_key) continue;
+    s = ReadAll(t, &input, nullptr);
+    if (!s.ok()) return s;
+    for (auto& e : input) older.push_back(std::move(e));
+    merge_next.push_back(i);
   }
-  ::close(victim->fd);
-  ::unlink(victim->path.c_str());
 
   std::vector<std::pair<std::string, std::string>> merged;
   merged.reserve(newer.size() + older.size());
@@ -351,48 +647,282 @@ void LsmTree::CompactLevel(size_t level) {
     }
   }
   m.compaction_entries->Record(merged.size());
-  auto tables = WriteTables(std::move(merged));
+  std::vector<std::unique_ptr<SsTable>> tables;
+  s = WriteTables(std::move(merged), &tables);
+  if (!s.ok()) return s;
+
+  std::vector<std::unique_ptr<SsTable>> removed;
+  std::vector<std::unique_ptr<SsTable>> keep;
+  std::set<size_t> merged_idx(merge_next.begin(), merge_next.end());
+  for (size_t k = 0; k < levels_[level + 1].size(); ++k) {
+    (merged_idx.count(k) ? removed : keep)
+        .push_back(std::move(levels_[level + 1][k]));
+  }
+  removed.push_back(std::move(levels_[level][idx]));
+  levels_[level].erase(levels_[level].begin() + idx);
   for (auto& t : tables) keep.push_back(std::move(t));
   std::sort(keep.begin(), keep.end(),
             [](const auto& a, const auto& b) { return a->min_key < b->min_key; });
   levels_[level + 1] = std::move(keep);
   ++stats_.compactions;
   m.compactions->Increment();
+
+  io::Status ms = options_.durable ? WriteManifest() : io::Status::OK();
+  if (ms.ok()) {
+    for (auto& t : removed) CloseAndRemoveFile(*t);
+  } else {
+    for (auto& t : removed)
+      if (t->file != nullptr) (void)t->file->Close();
+  }
+  return ms;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: manifest + recovery
+// ---------------------------------------------------------------------------
+
+io::Status LsmTree::WriteManifest() {
+  LsmManifestData data;
+  data.wal_gen = wal_gen_;
+  data.next_table_id = next_table_id_;
+  data.levels.resize(levels_.size());
+  for (size_t l = 0; l < levels_.size(); ++l)
+    for (const auto& t : levels_[l]) data.levels[l].push_back(t->id);
+  io::Status s = LsmManifest::Write(*env_, options_.dir, ++manifest_gen_, data);
+  if (s.ok()) LsmObsMetrics::Get().manifest_writes->Increment();
+  return s;
+}
+
+io::Status LsmTree::OpenTable(uint64_t id, std::unique_ptr<SsTable>* out) {
+  auto t = std::make_unique<SsTable>();
+  t->id = id;
+  t->path = TablePath(id);
+  io::Status s = env_->NewFile(t->path, io::OpenMode::kRead, &t->file);
+  if (!s.ok()) return s;
+  uint64_t size = 0;
+  s = t->file->Size(&size);
+  if (!s.ok()) return s;
+  if (size < kSstTrailerBytes) {
+    return io::Status::Corruption("table smaller than its trailer: " + t->path);
+  }
+  char trailer[kSstTrailerBytes];
+  s = t->file->ReadFull(size - kSstTrailerBytes, trailer, kSstTrailerBytes);
+  if (!s.ok()) return s;
+  uint64_t footer_offset;
+  uint32_t footer_crc, magic;
+  std::memcpy(&footer_offset, trailer, 8);
+  std::memcpy(&footer_crc, trailer + 8, 4);
+  std::memcpy(&magic, trailer + 12, 4);
+  if (magic != kSstMagic) {
+    return io::Status::Corruption("bad table magic: " + t->path);
+  }
+  if (footer_offset > size - kSstTrailerBytes) {
+    return io::Status::Corruption("table footer offset out of range: " +
+                                  t->path);
+  }
+  const size_t footer_len =
+      static_cast<size_t>(size - kSstTrailerBytes - footer_offset);
+  std::string footer(footer_len, '\0');
+  if (footer_len > 0) {
+    s = t->file->ReadFull(footer_offset, footer.data(), footer_len);
+    if (!s.ok()) return s;
+  }
+  if (io::Crc32c(footer.data(), footer.size()) != footer_crc) {
+    return io::Status::Corruption("table footer checksum mismatch: " + t->path);
+  }
+
+  BufReader r(footer);
+  uint32_t nblocks = 0;
+  if (!r.ReadU32(&nblocks) || nblocks == 0) {
+    return io::Status::Corruption("table footer unparsable: " + t->path);
+  }
+  t->block_first_key.reserve(nblocks);
+  t->block_offset.reserve(nblocks);
+  t->block_length.reserve(nblocks);
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    uint32_t klen = 0, len = 0;
+    uint64_t off = 0;
+    std::string key;
+    if (!r.ReadU32(&klen) || !r.ReadString(klen, &key) || !r.ReadU64(&off) ||
+        !r.ReadU32(&len)) {
+      return io::Status::Corruption("table footer unparsable: " + t->path);
+    }
+    t->block_first_key.push_back(std::move(key));
+    t->block_offset.push_back(off);
+    t->block_length.push_back(len);
+  }
+  uint32_t maxklen = 0;
+  if (!r.ReadU64(&t->num_entries) || !r.ReadU32(&maxklen) ||
+      !r.ReadString(maxklen, &t->max_key) || !r.AtEnd()) {
+    return io::Status::Corruption("table footer unparsable: " + t->path);
+  }
+  t->min_key = t->block_first_key.front();
+  t->data_bytes = footer_offset;
+  t->file_bytes = size;
+
+  // Rebuild the filter from block data. A corrupt block means the filter
+  // would miss its keys — a false negative — so such a table serves reads
+  // unfiltered instead.
+  if (options_.filter != LsmFilterType::kNone) {
+    std::vector<std::pair<std::string, std::string>> entries;
+    size_t corrupt = 0;
+    s = ReadAll(*t, &entries, &corrupt);
+    if (s.ok() && corrupt == 0 && !entries.empty()) {
+      BuildFilter(t.get(), entries);
+    }
+  }
+  *out = std::move(t);
+  return io::Status::OK();
+}
+
+io::Status LsmTree::Recover() {
+  const LsmObsMetrics& m = LsmObsMetrics::Get();
+  io::Status s = env_->MkDir(options_.dir);
+  if (!s.ok()) return s;
+
+  LsmManifestData data;
+  uint64_t gen = 0;
+  s = LsmManifest::Load(*env_, options_.dir, &data, &gen);
+  if (s.IsNotFound()) {
+    // Fresh directory: establish the initial manifest + WAL.
+    wal_gen_ = 1;
+    s = WriteManifest();
+    if (!s.ok()) return s;
+    wal_ = std::make_unique<LsmWal>(*env_, WalPath(wal_gen_));
+    s = wal_->Open();
+    if (!s.ok()) wal_.reset();
+    return s;
+  }
+  // A corrupt manifest is not silently reinitialized — that would orphan
+  // (and later GC) every table of the previous incarnation. The tree opens
+  // empty and degraded (writes rejected), with the error surfaced.
+  if (!s.ok()) return s;
+
+  manifest_gen_ = gen;
+  wal_gen_ = data.wal_gen;
+  next_table_id_ = data.next_table_id;
+  if (data.levels.size() > levels_.size()) levels_.resize(data.levels.size());
+  std::set<uint64_t> live;
+  for (size_t l = 0; l < data.levels.size(); ++l) {
+    for (uint64_t id : data.levels[l]) {
+      std::unique_ptr<SsTable> t;
+      io::Status ts = OpenTable(id, &t);
+      if (ts.ok()) {
+        live.insert(id);
+        levels_[l].push_back(std::move(t));
+      } else {
+        // Serve what remains (degraded): newer versions of these keys may
+        // exist in other tables; readers fall through as with quarantines.
+        m.recovery_bad_tables->Increment();
+        obs::TraceEvent("lsm.recovery.bad_table");
+        last_io_error_ = ts;
+        live.insert(id);  // do not GC a file we failed to open
+      }
+    }
+  }
+  for (size_t l = 1; l < levels_.size(); ++l) {
+    std::sort(levels_[l].begin(), levels_[l].end(),
+              [](const auto& a, const auto& b) { return a->min_key < b->min_key; });
+  }
+
+  // Sweep orphans: tables no manifest references (written but never
+  // committed), superseded manifests, stale WALs, and half-renamed temps.
+  std::vector<std::string> dir_entries;
+  if (env_->ListDir(options_.dir, &dir_entries).ok()) {
+    const std::string current_manifest = LsmManifest::FileName(manifest_gen_);
+    const std::string current_wal = "wal_" + std::to_string(wal_gen_);
+    for (const std::string& e : dir_entries) {
+      bool orphan = false;
+      if (e.rfind("sst_", 0) == 0) {
+        uint64_t id = ~0ull;
+        if (!ParseTrailingId(e, "sst_", &id) || !live.count(id)) orphan = true;
+      } else if (e.rfind("MANIFEST-", 0) == 0) {
+        orphan = e != current_manifest;
+      } else if (e.rfind("wal_", 0) == 0) {
+        orphan = e != current_wal;
+      } else if (e.size() > 4 && e.compare(e.size() - 4, 4, ".tmp") == 0) {
+        orphan = true;
+      }
+      if (orphan && env_->Remove(options_.dir + "/" + e).ok()) {
+        m.recovery_orphans_removed->Increment();
+      }
+    }
+  }
+
+  // Replay the WAL into the memtable; everything acked before the crash is
+  // in here or in a manifest-committed table.
+  uint64_t replayed = 0;
+  bool torn = false;
+  s = LsmWal::Replay(
+      *env_, WalPath(wal_gen_),
+      [this](std::string_view k, std::string_view v) { ApplyToMemtable(k, v); },
+      &replayed, &torn);
+  if (!s.ok()) {
+    last_io_error_ = s;  // degraded: acked writes in the log may be lost
+    obs::TraceEvent("lsm.recovery.wal_unreadable");
+  }
+  m.wal_replayed_records->Add(replayed);
+  if (torn) {
+    m.wal_torn_tails->Increment();
+    obs::TraceEvent("lsm.recovery.wal_torn_tail");
+  }
+
+  if (!memtable_.empty()) {
+    // Persist the replayed writes into a table and rotate to a fresh WAL in
+    // one committed step. On failure the old WAL stays authoritative and
+    // the tree opens degraded for writes (wal_ == nullptr).
+    s = FlushMemTable();
+    if (!s.ok()) return s;
+    return MaybeCompact();
+  }
+  // Empty log: reuse the slot, truncating any torn garbage at its tail
+  // (torn bytes are by definition unacked).
+  wal_ = std::make_unique<LsmWal>(*env_, WalPath(wal_gen_));
+  s = wal_->Open();
+  if (!s.ok()) wal_.reset();
+  return s;
 }
 
 // ---------------------------------------------------------------------------
 // Reads
 // ---------------------------------------------------------------------------
 
-const LsmTree::Block& LsmTree::GetBlock(const SsTable& t, size_t block_idx) {
+const LsmTree::Block* LsmTree::GetBlock(const SsTable& t, size_t block_idx) {
+  if (t.quarantined.count(block_idx) != 0) return nullptr;
   auto key = std::make_pair(t.id, block_idx);
   auto it = cache_index_.find(key);
   if (it != cache_index_.end()) {
     CacheSlot& slot = cache_[it->second];
     slot.referenced = true;
     ++stats_.block_cache_hits;  // published lazily by SyncObsCounters()
-    return slot.entries;
+    return &slot.entries;
   }
+  auto quarantine = [&]() -> const Block* {
+    ++stats_.block_corruptions;
+    t.quarantined.insert(block_idx);
+    obs::TraceEvent("lsm.block.quarantine");
+    return nullptr;
+  };
+  if (t.file == nullptr) return quarantine();
   ++stats_.block_reads;
-  std::string raw(t.block_length[block_idx], '\0');
-  ssize_t got =
-      ::pread(t.fd, raw.data(), raw.size(), t.block_offset[block_idx]);
-  MET_ASSERT(got == static_cast<ssize_t>(raw.size()),
-             "short block read");
-  (void)got;
+  std::string raw(t.block_length[block_idx] + kBlockCrcBytes, '\0');
+  io::Status s =
+      t.file->ReadFull(t.block_offset[block_idx], raw.data(), raw.size());
+  if (!s.ok()) {
+    last_io_error_ = s;
+    return quarantine();
+  }
+  uint32_t stored;
+  std::memcpy(&stored, raw.data() + raw.size() - kBlockCrcBytes,
+              sizeof(stored));
+  if (io::Crc32c(raw.data(), raw.size() - kBlockCrcBytes) != stored) {
+    return quarantine();
+  }
   Block entries;
-  size_t off = 0;
-  while (off < raw.size()) {
-    uint32_t klen, vlen;
-    std::memcpy(&klen, raw.data() + off, sizeof(klen));
-    off += sizeof(klen);
-    std::string k(raw.data() + off, klen);
-    off += klen;
-    std::memcpy(&vlen, raw.data() + off, sizeof(vlen));
-    off += sizeof(vlen);
-    std::string v(raw.data() + off, vlen);
-    off += vlen;
-    entries.emplace_back(std::move(k), std::move(v));
+  if (!ParseBlock(
+          std::string_view(raw.data(), raw.size() - kBlockCrcBytes),
+          &entries)) {
+    return quarantine();
   }
   // CLOCK insert.
   while (true) {
@@ -406,7 +936,7 @@ const LsmTree::Block& LsmTree::GetBlock(const SsTable& t, size_t block_idx) {
       slot.referenced = true;
       cache_index_[key] = cache_hand_;
       cache_hand_ = (cache_hand_ + 1) % cache_.size();
-      return slot.entries;
+      return &slot.entries;
     }
     slot.referenced = false;
     cache_hand_ = (cache_hand_ + 1) % cache_.size();
@@ -455,11 +985,12 @@ bool LsmTree::TableGet(const SsTable& t, std::string_view key,
   size_t block = it == t.block_first_key.begin()
                      ? 0
                      : (it - t.block_first_key.begin()) - 1;
-  const Block& entries = GetBlock(t, block);
+  const Block* entries = GetBlock(t, block);
+  if (entries == nullptr) return false;  // quarantined: fall through to older
   auto eit = std::lower_bound(
-      entries.begin(), entries.end(), key,
+      entries->begin(), entries->end(), key,
       [](const auto& e, std::string_view k) { return e.first < k; });
-  const bool found = eit != entries.end() && eit->first == key;
+  const bool found = eit != entries->end() && eit->first == key;
   if (filtered) {
     // Resolve the filter's positive answer against the block: present keys
     // are true positives, absent ones false positives (live FPR). Published
@@ -544,11 +1075,15 @@ std::optional<std::string> LsmTree::TableSeek(const SsTable& t,
                      ? 0
                      : (it - t.block_first_key.begin()) - 1;
   while (block < t.block_first_key.size()) {
-    const Block& entries = GetBlock(t, block);
+    const Block* entries = GetBlock(t, block);
+    if (entries == nullptr) {  // quarantined: skip to the next block
+      ++block;
+      continue;
+    }
     auto eit = std::lower_bound(
-        entries.begin(), entries.end(), lk,
+        entries->begin(), entries->end(), lk,
         [](const auto& e, std::string_view k) { return e.first < k; });
-    if (eit != entries.end()) return eit->first;
+    if (eit != entries->end()) return eit->first;
     ++block;
   }
   return std::nullopt;
@@ -660,8 +1195,9 @@ uint64_t LsmTree::Count(std::string_view lk, std::string_view hk) {
                        : (it - t.block_first_key.begin()) - 1;
     for (; block < t.block_first_key.size(); ++block) {
       if (t.block_first_key[block] > std::string(hk)) break;
-      const Block& entries = GetBlock(t, block);
-      for (const auto& [k, v] : entries)
+      const Block* entries = GetBlock(t, block);
+      if (entries == nullptr) continue;  // quarantined
+      for (const auto& [k, v] : *entries)
         if (k >= lk && k <= hk) scanned.insert(k);
     }
   };
@@ -670,11 +1206,6 @@ uint64_t LsmTree::Count(std::string_view lk, std::string_view hk) {
   for (size_t l = 1; l < levels_.size(); ++l)
     for (const auto& t : levels_[l]) count_table(*t);
   return approx + scanned.size();
-}
-
-void LsmTree::Finish() {
-  FlushMemTable();
-  MaybeCompact();
 }
 
 size_t LsmTree::FilterMemoryBytes() const {

@@ -1,0 +1,141 @@
+#include "lsm/manifest.h"
+
+#include <cstring>
+
+#include "io/crc32c.h"
+
+namespace met {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4D54454Du;  // 'METM' (LE)
+constexpr uint32_t kVersion = 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked little-endian reader over the manifest blob.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) { return Read(v); }
+  bool ReadU64(uint64_t* v) { return Read(v); }
+  size_t remaining() const { return data_.size() - off_; }
+
+ private:
+  template <typename T>
+  bool Read(T* v) {
+    if (data_.size() - off_ < sizeof(T)) return false;
+    std::memcpy(v, data_.data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return true;
+  }
+
+  std::string_view data_;
+  size_t off_ = 0;
+};
+
+}  // namespace
+
+io::Status LsmManifest::Write(io::Env& env, const std::string& dir,
+                              uint64_t gen, const LsmManifestData& data) {
+  std::string blob;
+  AppendU32(&blob, kMagic);
+  AppendU32(&blob, kVersion);
+  AppendU64(&blob, data.wal_gen);
+  AppendU64(&blob, data.next_table_id);
+  AppendU32(&blob, static_cast<uint32_t>(data.levels.size()));
+  for (const auto& level : data.levels) {
+    AppendU32(&blob, static_cast<uint32_t>(level.size()));
+    for (uint64_t id : level) AppendU64(&blob, id);
+  }
+  AppendU32(&blob, io::Crc32c(blob.data(), blob.size()));
+
+  const std::string name = FileName(gen);
+  io::Status s = env.WriteStringToFile(dir + "/" + name, blob, /*sync=*/true);
+  if (!s.ok()) {
+    (void)env.Remove(dir + "/" + name);
+    return s;
+  }
+  s = env.AtomicWriteFile(dir + "/CURRENT", name + "\n");
+  if (!s.ok()) return s;
+
+  // Best-effort GC of superseded manifests; stale ones are harmless (the
+  // recovery path also sweeps them).
+  std::vector<std::string> entries;
+  if (env.ListDir(dir, &entries).ok()) {
+    for (const std::string& e : entries) {
+      if (e.rfind("MANIFEST-", 0) == 0 && e != name) {
+        (void)env.Remove(dir + "/" + e);
+      }
+    }
+  }
+  return io::Status::OK();
+}
+
+io::Status LsmManifest::Load(io::Env& env, const std::string& dir,
+                             LsmManifestData* data, uint64_t* gen) {
+  std::string current;
+  io::Status s = env.ReadFileToString(dir + "/CURRENT", &current);
+  if (!s.ok()) return s;  // NotFound => fresh tree
+  while (!current.empty() &&
+         (current.back() == '\n' || current.back() == '\r')) {
+    current.pop_back();
+  }
+  if (current.rfind("MANIFEST-", 0) != 0) {
+    return io::Status::Corruption("CURRENT names no manifest: " + current);
+  }
+  uint64_t g = 0;
+  for (size_t i = std::strlen("MANIFEST-"); i < current.size(); ++i) {
+    if (current[i] < '0' || current[i] > '9') {
+      return io::Status::Corruption("bad manifest generation: " + current);
+    }
+    g = g * 10 + static_cast<uint64_t>(current[i] - '0');
+  }
+
+  std::string blob;
+  s = env.ReadFileToString(dir + "/" + current, &blob);
+  if (s.IsNotFound()) {
+    return io::Status::Corruption("CURRENT points at missing " + current);
+  }
+  if (!s.ok()) return s;
+  if (blob.size() < 4) return io::Status::Corruption("manifest truncated");
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - 4, 4);
+  if (io::Crc32c(blob.data(), blob.size() - 4) != stored_crc) {
+    return io::Status::Corruption("manifest checksum mismatch");
+  }
+
+  Reader r(std::string_view(blob.data(), blob.size() - 4));
+  uint32_t magic = 0, version = 0, num_levels = 0;
+  *data = LsmManifestData();
+  if (!r.ReadU32(&magic) || magic != kMagic) {
+    return io::Status::Corruption("bad manifest magic");
+  }
+  if (!r.ReadU32(&version) || version != kVersion) {
+    return io::Status::Corruption("unsupported manifest version");
+  }
+  if (!r.ReadU64(&data->wal_gen) || !r.ReadU64(&data->next_table_id) ||
+      !r.ReadU32(&num_levels)) {
+    return io::Status::Corruption("manifest truncated");
+  }
+  data->levels.resize(num_levels);
+  for (uint32_t l = 0; l < num_levels; ++l) {
+    uint32_t count = 0;
+    if (!r.ReadU32(&count) || r.remaining() < count * 8ull) {
+      return io::Status::Corruption("manifest truncated (level table list)");
+    }
+    data->levels[l].resize(count);
+    for (uint32_t i = 0; i < count; ++i) r.ReadU64(&data->levels[l][i]);
+  }
+  if (gen != nullptr) *gen = g;
+  return io::Status::OK();
+}
+
+}  // namespace met

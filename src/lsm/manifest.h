@@ -1,0 +1,54 @@
+// Versioned MANIFEST for the LSM tree (durable mode).
+//
+// The manifest is the durable root of the tree: it records which SSTable ids
+// are live on each level, the id counter, and the generation of the active
+// write-ahead log. Each write produces a fresh `MANIFEST-<gen>` file
+// (write + fsync), then atomically repoints the `CURRENT` file at it
+// (tmp + rename + directory fsync), so a crash at any instant leaves CURRENT
+// naming a complete, checksummed manifest — either the old one or the new
+// one, never a torn mix.
+//
+// File format (little-endian, whole blob checksummed):
+//   [magic u32 = 'METM'][version u32 = 1][wal_gen u64][next_table_id u64]
+//   [num_levels u32] ([table_count u32] [table_id u64]*)* [crc u32]
+// where crc = CRC32C over all preceding bytes.
+#ifndef MET_LSM_MANIFEST_H_
+#define MET_LSM_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/io.h"
+#include "io/status.h"
+
+namespace met {
+
+struct LsmManifestData {
+  uint64_t wal_gen = 0;
+  uint64_t next_table_id = 0;
+  // levels[l] holds live table ids in level order (L0: oldest first).
+  std::vector<std::vector<uint64_t>> levels;
+};
+
+class LsmManifest {
+ public:
+  /// Writes MANIFEST-<gen>, repoints CURRENT, and garbage-collects older
+  /// MANIFEST files (best-effort). Fails without touching CURRENT if the new
+  /// manifest cannot be made durable.
+  static io::Status Write(io::Env& env, const std::string& dir, uint64_t gen,
+                          const LsmManifestData& data);
+
+  /// Loads the manifest CURRENT points at. NotFound when the directory holds
+  /// no CURRENT (fresh tree); Corruption on a bad magic/crc.
+  static io::Status Load(io::Env& env, const std::string& dir,
+                         LsmManifestData* data, uint64_t* gen);
+
+  static std::string FileName(uint64_t gen) {
+    return "MANIFEST-" + std::to_string(gen);
+  }
+};
+
+}  // namespace met
+
+#endif  // MET_LSM_MANIFEST_H_

@@ -1,6 +1,5 @@
 #include "minidb/minidb.h"
 
-#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -18,6 +17,7 @@ const MiniDbObsMetrics& MiniDbObsMetrics::Get() {
         reg.GetCounter("minidb.txn.count"),
         reg.GetCounter("minidb.anticache.evictions"),
         reg.GetCounter("minidb.anticache.fetches"),
+        reg.GetCounter("minidb.anticache.errors"),
         reg.GetHistogram("minidb.anticache.fetch_ns"),
         reg.GetHistogram("minidb.anticache.evict_pass_ns"),
         reg.GetHistogram("minidb.anticache.evicted_per_pass"),
@@ -230,17 +230,19 @@ size_t MiniTable::SecondaryIndexBytes() const {
 // MiniDb
 // ---------------------------------------------------------------------------
 
-MiniDb::MiniDb(IndexKind kind, std::string anticache_path)
+MiniDb::MiniDb(IndexKind kind, std::string anticache_path, io::Env* env)
     : kind_(kind),
       anticache_path_(anticache_path.empty()
                           ? "/tmp/met_minidb_anticache_" +
                                 std::to_string(::getpid())
-                          : std::move(anticache_path)) {}
+                          : std::move(anticache_path)),
+      env_(env != nullptr ? env : &io::Env::Posix()) {}
 
 MiniDb::~MiniDb() {
-  if (anticache_fd_ >= 0) {
-    ::close(anticache_fd_);
-    ::unlink(anticache_path_.c_str());
+  if (anticache_file_ != nullptr) {
+    (void)anticache_file_->Close();
+    anticache_file_.reset();
+    (void)env_->Remove(anticache_path_);
   }
 }
 
@@ -258,33 +260,47 @@ MiniTable* MiniDb::GetTable(const std::string& name) {
 
 void MiniDb::EnableAntiCaching(size_t budget_bytes) {
   anticache_budget_ = budget_bytes;
-  if (anticache_fd_ < 0) {
-    anticache_fd_ =
-        ::open(anticache_path_.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
-    MET_ASSERT(anticache_fd_ >= 0, "anti-cache file open failed");
+  if (anticache_file_ == nullptr) {
+    io::Status s = env_->NewFile(anticache_path_, io::OpenMode::kReadWrite,
+                                 &anticache_file_);
+    if (!s.ok()) {
+      // No file, no eviction: tuples simply stay resident. Surfaced as an
+      // error count rather than an abort.
+      ++stats_.anticache_errors;
+      MiniDbObsMetrics::Get().anticache_errors->Increment();
+      anticache_file_.reset();
+    }
   }
 }
 
-uint64_t MiniDb::AppendToAntiCache(std::string_view payload) {
-  uint64_t off = anticache_size_;
-  ssize_t written = ::pwrite(anticache_fd_, payload.data(), payload.size(), off);
-  MET_ASSERT(written == static_cast<ssize_t>(payload.size()),
-             "short anti-cache write");
-  (void)written;
+bool MiniDb::AppendToAntiCache(std::string_view payload, uint64_t* offset) {
+  if (anticache_file_ == nullptr) return false;
+  io::Status s = anticache_file_->WriteFull(anticache_size_, payload);
+  if (!s.ok()) {
+    ++stats_.anticache_errors;
+    MiniDbObsMetrics::Get().anticache_errors->Increment();
+    return false;  // offset not advanced: the next attempt overwrites
+  }
+  *offset = anticache_size_;
   anticache_size_ += payload.size();
-  return off;
+  return true;
 }
 
-void MiniDb::FetchFromAntiCache(uint64_t offset, uint32_t length,
+bool MiniDb::FetchFromAntiCache(uint64_t offset, uint32_t length,
                                 std::string* out) {
   const MiniDbObsMetrics& m = MiniDbObsMetrics::Get();
   obs::ScopedTimer span(m.fetch_ns);
+  if (anticache_file_ == nullptr) return false;
   out->resize(length);
-  ssize_t got = ::pread(anticache_fd_, out->data(), length, offset);
-  MET_ASSERT(got == length, "short anti-cache read");
-  (void)got;
+  io::Status s = anticache_file_->ReadFull(offset, out->data(), length);
+  if (!s.ok()) {
+    ++stats_.anticache_errors;
+    m.anticache_errors->Increment();
+    return false;
+  }
   ++stats_.anticache_fetches;
   m.anticache_fetches->Increment();
+  return true;
 }
 
 bool MiniTable::GetByTupleId(uint64_t tuple_id, std::string* payload) {
@@ -292,9 +308,13 @@ bool MiniTable::GetByTupleId(uint64_t tuple_id, std::string* payload) {
   if (evicted_[tuple_id]) {
     // Anti-caching fault: fetch the payload back from disk and restore it
     // (H-Store aborts + restarts the transaction; we model the data motion).
+    // On I/O failure the tuple stays evicted — the payload is still intact
+    // on disk, so a later access can retry once the fault clears.
     std::string restored;
-    db_->FetchFromAntiCache(evict_offset_[tuple_id], evict_length_[tuple_id],
-                            &restored);
+    if (!db_->FetchFromAntiCache(evict_offset_[tuple_id],
+                                 evict_length_[tuple_id], &restored)) {
+      return false;
+    }
     payloads_[tuple_id] = std::move(restored);
     evicted_[tuple_id] = 0;
     tuple_bytes_ += payloads_[tuple_id].capacity();
@@ -319,20 +339,29 @@ void MiniDb::MaybeEvict() {
   const uint64_t evictions_before = stats_.evictions;
   // Evict cold payloads table by table, oldest tuples first (insertion order
   // approximates coldness under the skewed OLTP access pattern).
+  bool io_failed = false;
   for (auto& t : tables_) {
     while (TupleBytes() + index_bytes > anticache_budget_ &&
            t->clock_hand_ < t->payloads_.size()) {
       uint64_t id = t->clock_hand_++;
       if (t->evicted_[id] || t->payloads_[id].empty()) continue;
       std::string& slot = t->payloads_[id];
-      t->evict_offset_[id] = AppendToAntiCache(slot);
+      uint64_t off = 0;
+      if (!AppendToAntiCache(slot, &off)) {
+        // Disk is misbehaving: abandon this pass (every tuple stays
+        // resident and readable); the next pass retries.
+        --t->clock_hand_;
+        io_failed = true;
+        break;
+      }
+      t->evict_offset_[id] = off;
       t->evict_length_[id] = static_cast<uint32_t>(slot.size());
       t->evicted_[id] = 1;
       t->tuple_bytes_ -= slot.capacity();
       std::string().swap(slot);
       ++stats_.evictions;
     }
-    if (TupleBytes() + index_bytes <= anticache_budget_) break;
+    if (io_failed || TupleBytes() + index_bytes <= anticache_budget_) break;
   }
   const uint64_t evicted = stats_.evictions - evictions_before;
   m.evictions->Add(evicted);

@@ -18,6 +18,7 @@
 #include "btree/btree.h"
 #include "common/index_api.h"
 #include "hybrid/hybrid.h"
+#include "io/io.h"
 #include "obs/obs.h"
 
 namespace met {
@@ -27,6 +28,7 @@ struct MiniDbObsMetrics {
   obs::Counter* transactions;
   obs::Counter* evictions;
   obs::Counter* anticache_fetches;
+  obs::Counter* anticache_errors;  // failed evict appends / un-evict reads
   obs::Histogram* fetch_ns;       // per-tuple anti-cache fault latency
   obs::Histogram* evict_pass_ns;  // full eviction-pass latency
   obs::Histogram* evicted_per_pass;
@@ -79,7 +81,9 @@ class MiniTable {
   uint64_t Insert(uint64_t pk, std::string_view payload);
   bool InsertSecondary(size_t idx, uint64_t sk, uint64_t tuple_id);
 
-  /// Reads the payload (faults in evicted tuples). False if pk absent.
+  /// Reads the payload (faults in evicted tuples). False if pk absent or an
+  /// evicted tuple could not be fetched back (it stays evicted; the failure
+  /// is counted in minidb.anticache.errors).
   bool Get(uint64_t pk, std::string* payload = nullptr);
   /// Batched Get (met::batch): probes the primary index through
   /// TableIndex::LookupBatch, prefetches every hit's row, then copies the
@@ -121,11 +125,15 @@ struct MiniDbStats {
   uint64_t transactions = 0;
   uint64_t evictions = 0;
   uint64_t anticache_fetches = 0;
+  uint64_t anticache_errors = 0;  // I/O failures surfaced instead of aborting
 };
 
 class MiniDb {
  public:
-  explicit MiniDb(IndexKind kind, std::string anticache_path = "");
+  /// `env` routes all anti-cache I/O (nullptr = io::Env::Posix()); tests
+  /// plug in an io::FaultyEnv to exercise the failure paths.
+  explicit MiniDb(IndexKind kind, std::string anticache_path = "",
+                  io::Env* env = nullptr);
   ~MiniDb();
 
   MiniDb(const MiniDb&) = delete;
@@ -152,14 +160,22 @@ class MiniDb {
  private:
   friend class MiniTable;
 
-  uint64_t AppendToAntiCache(std::string_view payload);
-  void FetchFromAntiCache(uint64_t offset, uint32_t length, std::string* out);
+  /// Appends the payload to the anti-cache file; false on I/O failure (the
+  /// tuple then stays resident — eviction is always safe to skip). The
+  /// logical offset only advances on success, so a failed append's partial
+  /// bytes are overwritten by the next attempt.
+  bool AppendToAntiCache(std::string_view payload, uint64_t* offset);
+  /// Reads an evicted payload back; false on I/O failure (short/EINTR reads
+  /// are retried by the met::io layer; persistent failure bumps
+  /// minidb.anticache.errors instead of asserting).
+  bool FetchFromAntiCache(uint64_t offset, uint32_t length, std::string* out);
 
   IndexKind kind_;
   std::vector<std::unique_ptr<MiniTable>> tables_;
   size_t anticache_budget_ = 0;  // 0 = disabled
   std::string anticache_path_;
-  int anticache_fd_ = -1;
+  io::Env* env_ = nullptr;
+  std::unique_ptr<io::File> anticache_file_;
   uint64_t anticache_size_ = 0;
   uint64_t evict_check_tick_ = 0;
   MiniDbStats stats_;

@@ -133,6 +133,13 @@ class ScopedTimer {
   uint64_t start_;
 };
 
+/// Records an instantaneous (zero-duration) event into the global TraceLog —
+/// for rare, noteworthy occurrences (block quarantine, recovery actions)
+/// rather than timed work. `name` must be a string literal.
+inline void TraceEvent(const char* name) {
+  TraceLog::Global().Append(name, NowNanos(), 0);
+}
+
 }  // inline namespace obs_v1
 
 #else  // MET_OBS_DISABLED
@@ -171,6 +178,8 @@ class ScopedTimer {
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 };
+
+inline void TraceEvent(const char*) {}
 
 }  // inline namespace obs_noop
 
