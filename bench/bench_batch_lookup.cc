@@ -31,6 +31,7 @@
 #include "fst/fst.h"
 #include "keys/keygen.h"
 #include "obs/obs.h"
+#include "prof/perf_counters.h"
 #include "surf/surf.h"
 
 using namespace met;
@@ -64,15 +65,32 @@ std::vector<uint32_t> UniformIndices(size_t n, size_t ops, uint64_t seed) {
   return idx;
 }
 
+/// One perf_event group shared by every sweep cell (open once, reset per
+/// measured pass). Unavailable counters (containers, MET_NO_PERF) simply
+/// drop the hardware columns; rows then carry perf_available=0.
+prof::PerfCounterSet& PerfSet() {
+  static prof::PerfCounterSet set;
+  return set;
+}
+
 void Report(const char* structure, const char* keyset, size_t batch,
-            double mops, double speedup) {
-  std::printf("%-14s %-7s %6zu %10.2f %9.2fx\n", structure, keyset, batch,
-              mops, speedup);
-  bench::Row({{"structure", structure},
-              {"keyset", keyset},
-              {"batch", batch},
-              {"mops", mops},
-              {"speedup", speedup}});
+            double mops, double speedup, const prof::PerfReading& perf,
+            size_t ops) {
+  std::printf("%-14s %-7s %6zu %10.2f %9.2fx", structure, keyset, batch, mops,
+              speedup);
+  if (perf.has(prof::PerfReading::kLlcMisses) && ops > 0)
+    std::printf(" %10.2f", static_cast<double>(perf.llc_misses) /
+                               static_cast<double>(ops));
+  else
+    std::printf(" %10s", "n/a");
+  std::printf("\n");
+  std::vector<bench::Reporter::Field> fields = {{"structure", structure},
+                                                {"keyset", keyset},
+                                                {"batch", batch},
+                                                {"mops", mops},
+                                                {"speedup", speedup}};
+  bench::AppendPerfFields(perf, ops, &fields);
+  bench::Row(std::move(fields));
 }
 
 /// Sweeps kBatches: `scalar(i)` answers query i through the ordinary call
@@ -99,8 +117,22 @@ void Sweep(const char* structure, const char* keyset, size_t ops,
       }
       mops = std::max(mops, m);
     }
+    // One extra untimed pass under the hardware-counter group so misses/op
+    // rides along with the throughput columns (skipped entirely when the
+    // counters never opened).
+    prof::PerfReading perf;
+    if (PerfSet().available()) {
+      prof::PerfScope scope(&PerfSet());
+      if (b == 1) {
+        for (size_t i = 0; i < ops; ++i) scalar(i);
+      } else {
+        for (size_t i = 0; i < ops; i += b) batched(i, std::min(b, ops - i));
+      }
+      perf = scope.Stop();
+    }
     if (b == 1) base = mops;
-    Report(structure, keyset, b, mops, base > 0 ? mops / base : 1.0);
+    Report(structure, keyset, b, mops, base > 0 ? mops / base : 1.0, perf,
+           ops);
   }
 }
 
@@ -244,8 +276,11 @@ int main(int argc, char** argv) {
   bench::Title("met::batch: point-lookup throughput vs batch size");
   std::printf("  %zu int keys / %zu emails, %zu uniform queries, prefetch %s\n",
               num_keys, num_keys / 2, ops, kPrefetchEnabled ? "on" : "off");
-  std::printf("%-14s %-7s %6s %10s %10s\n", "Structure", "Keys", "Batch",
-              "Mops/s", "Speedup");
+  std::printf("%-14s %-7s %6s %10s %10s %10s\n", "Structure", "Keys", "Batch",
+              "Mops/s", "Speedup", "LLCmiss/op");
+  if (!PerfSet().available())
+    std::printf("  (hardware counters unavailable: perf_event_open rejected "
+                "or MET_NO_PERF set)\n");
 
   {
     auto ints = GenRandomInts(num_keys);

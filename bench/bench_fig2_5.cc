@@ -28,10 +28,30 @@ struct Dataset {
   std::vector<std::string> strings;  // always populated (big-endian for ints)
 };
 
+// Memory column comes from the structure's own MemoryBreakdown (equal to
+// MemoryBytes() by construction, asserted in tests/prof_test.cc); the
+// trailing split shows where those bytes live.
 void Report(const char* structure, const char* variant, const char* dataset,
-            double mops, size_t mem) {
-  std::printf("%-10s %-12s %-10s %10.2f %12.1f\n", structure, variant, dataset,
-              mops, bench::Mb(mem));
+            double mops, const MemoryBreakdown& b) {
+  size_t mem = b.TotalBytes();
+  std::printf("%-10s %-12s %-10s %10.2f %12.1f   ", structure, variant,
+              dataset, mops, bench::Mb(mem));
+  for (size_t i = 0; i < b.children().size(); ++i) {
+    const auto& c = b.children()[i];
+    std::printf("%s%s %.0f%%", i == 0 ? "" : ", ", c.name().c_str(),
+                mem == 0 ? 0.0
+                         : 100.0 * static_cast<double>(c.TotalBytes()) /
+                               static_cast<double>(mem));
+  }
+  std::printf("\n");
+  std::vector<bench::Reporter::Field> fields = {{"structure", structure},
+                                                {"variant", variant},
+                                                {"keyset", dataset},
+                                                {"mops", mops},
+                                                {"bytes", mem}};
+  for (const auto& c : b.children())
+    fields.push_back({("mem." + c.name()).c_str(), c.TotalBytes()});
+  bench::Row(std::move(fields));
 }
 
 template <typename Entries>
@@ -45,7 +65,8 @@ Entries SortedEntries(const std::vector<uint64_t>& ints) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter::Get().ParseArgs(&argc, argv);
   bench::Title("Figure 2.5: D-to-S Rules (read throughput Mops/s, memory MB)");
   size_t n = 1000000 * bench::Scale();
   size_t q = 1000000;
@@ -74,7 +95,7 @@ int main() {
                bt.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             bt.MemoryBytes());
+             bt.Breakdown());
 
       CompactBTree<uint64_t> cbt;
       cbt.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
@@ -83,7 +104,7 @@ int main() {
                cbt.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             cbt.MemoryBytes());
+             cbt.Breakdown());
 
       CompressedBTree<uint64_t> zbt;
       zbt.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
@@ -92,7 +113,7 @@ int main() {
                zbt.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             zbt.MemoryBytes());
+             zbt.Breakdown());
 
       SkipList<uint64_t> sl;
       for (auto k : d.ints) sl.Insert(k, k);
@@ -101,7 +122,7 @@ int main() {
                sl.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             sl.MemoryBytes());
+             sl.Breakdown());
 
       CompactSkipList<uint64_t> csl;
       csl.Build(SortedEntries<std::vector<MergeEntry<uint64_t, uint64_t>>>(d.ints));
@@ -110,7 +131,7 @@ int main() {
                csl.Lookup(d.ints[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             csl.MemoryBytes());
+             csl.Breakdown());
     } else {
       // String keys: B+tree/SkipList over std::string.
       BTree<std::string> bt;
@@ -120,7 +141,7 @@ int main() {
                bt.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             bt.MemoryBytes());
+             bt.Breakdown());
 
       std::vector<MergeEntry<std::string, uint64_t>> entries;
       auto sorted = d.strings;
@@ -133,7 +154,7 @@ int main() {
                cbt.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             cbt.MemoryBytes());
+             cbt.Breakdown());
 
       SkipList<std::string> sl;
       for (size_t i = 0; i < d.strings.size(); ++i) sl.Insert(d.strings[i], i);
@@ -142,7 +163,7 @@ int main() {
                sl.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             sl.MemoryBytes());
+             sl.Breakdown());
     }
 
     // ---- Masstree & ART (string interface) ----
@@ -154,7 +175,7 @@ int main() {
                mt.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             mt.MemoryBytes());
+             mt.Breakdown());
 
       auto sorted = d.strings;
       SortUnique(&sorted);
@@ -167,7 +188,7 @@ int main() {
                cmt.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             cmt.MemoryBytes());
+             cmt.Breakdown());
 
       Art art;
       for (size_t i = 0; i < d.strings.size(); ++i) art.Insert(d.strings[i], i);
@@ -176,7 +197,7 @@ int main() {
                art.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             art.MemoryBytes());
+             art.Breakdown());
 
       CompactArt cart;
       cart.Build(sorted, vals);
@@ -185,7 +206,7 @@ int main() {
                cart.Lookup(d.strings[qidx(i)], &v);
              met::bench::Consume(v);
              }),
-             cart.MemoryBytes());
+             cart.Breakdown());
     }
   }
   bench::Note("paper: compact variants are up to 20% faster and 30-71% smaller; block compression saves a bit more space but costs 18-34% throughput");

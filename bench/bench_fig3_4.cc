@@ -17,10 +17,29 @@ using namespace met;
 
 namespace {
 
+// Memory column from the index's MemoryBreakdown (== MemoryBytes(), asserted
+// in tests/prof_test.cc); the trailing split attributes the bytes.
 void Report(const char* index, const char* kind, const char* keys, double mops,
-            size_t mem) {
-  std::printf("%-8s %-7s %-7s %10.2f %12.1f\n", index, kind, keys, mops,
+            const MemoryBreakdown& b) {
+  size_t mem = b.TotalBytes();
+  std::printf("%-8s %-7s %-7s %10.2f %12.1f   ", index, kind, keys, mops,
               bench::Mb(mem));
+  for (size_t i = 0; i < b.children().size(); ++i) {
+    const auto& c = b.children()[i];
+    std::printf("%s%s %.0f%%", i == 0 ? "" : ", ", c.name().c_str(),
+                mem == 0 ? 0.0
+                         : 100.0 * static_cast<double>(c.TotalBytes()) /
+                               static_cast<double>(mem));
+  }
+  std::printf("\n");
+  std::vector<bench::Reporter::Field> fields = {{"structure", index},
+                                                {"query", kind},
+                                                {"keyset", keys},
+                                                {"mops", mops},
+                                                {"bytes", mem}};
+  for (const auto& c : b.children())
+    fields.push_back({("mem." + c.name()).c_str(), c.TotalBytes()});
+  bench::Row(std::move(fields));
 }
 
 void RunDataset(const char* name, const std::vector<std::string>& keys) {
@@ -48,13 +67,13 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
              t.Lookup(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
-           t.MemoryBytes());
+           t.Breakdown());
     std::vector<uint64_t> out;
     Report("B+tree", "range", name, bench::Mops(range.size(), [&](size_t i) {
              out.clear();
              t.Scan(keys[range[i].key_index], range[i].scan_length, &out);
            }),
-           t.MemoryBytes());
+           t.Breakdown());
   }
   {
     std::fprintf(stderr, "[fig3_4] art\n");
@@ -65,13 +84,13 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
              t.Lookup(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
-           t.MemoryBytes());
+           t.Breakdown());
     std::vector<uint64_t> out;
     Report("ART", "range", name, bench::Mops(range.size(), [&](size_t i) {
              out.clear();
              t.Scan(keys[range[i].key_index], range[i].scan_length, &out);
            }),
-           t.MemoryBytes());
+           t.Breakdown());
   }
   {
     std::fprintf(stderr, "[fig3_4] c-art\n");
@@ -82,13 +101,13 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
              t.Lookup(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
-           t.MemoryBytes());
+           t.Breakdown());
     std::vector<uint64_t> out;
     Report("C-ART", "range", name, bench::Mops(range.size(), [&](size_t i) {
              out.clear();
              t.Scan(keys[range[i].key_index], range[i].scan_length, &out);
            }),
-           t.MemoryBytes());
+           t.Breakdown());
   }
   {
     std::fprintf(stderr, "[fig3_4] fst\n");
@@ -99,7 +118,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
              t.Lookup(keys[point[i].key_index], &v);
              met::bench::Consume(v);
            }),
-           t.MemoryBytes());
+           t.Breakdown());
     std::vector<uint64_t> out;
     Report("FST", "range", name, bench::Mops(range.size(), [&](size_t i) {
              out.clear();
@@ -108,7 +127,7 @@ void RunDataset(const char* name, const std::vector<std::string>& keys) {
                   ++j, it.Next())
                out.push_back(it.value());
            }),
-           t.MemoryBytes());
+           t.Breakdown());
   }
 }
 

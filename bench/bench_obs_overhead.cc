@@ -1,0 +1,101 @@
+// Overhead guard for the met::obs kill switch. This TU is compiled with
+// -DMET_OBS_DISABLED (see bench/CMakeLists.txt), so every obs call below
+// resolves to the inline no-op stubs and must fold out of the lookup kernel
+// entirely. The bench runs the scalar batch-lookup kernel bare and then
+// fully metered (per-op counter + latency histogram + per-chunk span — more
+// instrumentation than any real hot path carries) and fails with a nonzero
+// exit when the metered loop is measurably slower.
+//
+// Threshold: 1% by default (MET_OBS_OVERHEAD_TOL=<percent> overrides, e.g.
+// for very noisy shared runners). Both loops compile to identical machine
+// code, so a real failure here means a stub stopped being a no-op.
+#ifndef MET_OBS_DISABLED
+#error "this bench must be compiled with -DMET_OBS_DISABLED"
+#endif
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "common/random.h"
+#include "keys/keygen.h"
+#include "obs/obs.h"
+
+using namespace met;
+
+namespace {
+
+double Tolerance() {
+  const char* s = std::getenv("MET_OBS_OVERHEAD_TOL");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v <= 0 ? 1.0 : v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter::Get().ParseArgs(&argc, argv);
+  bench::Title("obs kill-switch overhead guard (compiled MET_OBS_DISABLED)");
+
+  size_t n = 1000000 * bench::Scale();
+  size_t ops = 4000000 * bench::Scale();
+  auto keys = GenRandomInts(n);
+  BTree<uint64_t> t;
+  for (auto k : keys) t.Insert(k, k);
+  std::vector<uint32_t> probe(ops);
+  Random rng(7);
+  for (auto& p : probe) p = static_cast<uint32_t>(rng.Next() % n);
+
+  auto bare = [&](size_t i) {
+    uint64_t v = 0;
+    t.Lookup(keys[probe[i]], &v);
+    bench::Consume(v);
+  };
+
+  auto* lookups = obs::MetricsRegistry::Global().GetCounter("guard.lookups");
+  auto* lat = obs::MetricsRegistry::Global().GetHistogram("guard.latency");
+  auto metered = [&](size_t i) {
+    obs::ScopedTimer span(lat, "guard.chunk");
+    uint64_t t0 = obs::NowNanos();
+    uint64_t v = 0;
+    t.Lookup(keys[probe[i]], &v);
+    bench::Consume(v);
+    lookups->Increment();
+    lat->RecordNanos(obs::NowNanos() - t0);
+  };
+
+  // Interleave reps and keep the best of each so scheduler noise cancels
+  // instead of landing on whichever variant ran second.
+  double bare_mops = 0, metered_mops = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    bare_mops = std::max(bare_mops, bench::Mops(ops, bare, nullptr));
+    metered_mops = std::max(metered_mops, bench::Mops(ops, metered, nullptr));
+  }
+
+  double overhead_pct =
+      bare_mops <= 0 ? 0.0 : (bare_mops - metered_mops) / bare_mops * 100.0;
+  double tol = Tolerance();
+  bool pass = overhead_pct < tol;
+  std::printf("%-14s %10.2f Mops/s\n", "bare", bare_mops);
+  std::printf("%-14s %10.2f Mops/s\n", "metered", metered_mops);
+  std::printf("overhead %.3f%% (tolerance %.2f%%) -> %s\n", overhead_pct, tol,
+              pass ? "OK" : "FAIL");
+  bench::Row({{"kind", "obs_overhead"},
+              {"bare_mops", bare_mops},
+              {"metered_mops", metered_mops},
+              {"overhead_pct", overhead_pct},
+              {"tolerance_pct", tol},
+              {"pass", pass ? 1 : 0}});
+  if (!pass) {
+    std::fprintf(stderr,
+                 "obs stubs are not free: metered kernel %.3f%% slower than "
+                 "bare with MET_OBS_DISABLED\n",
+                 overhead_pct);
+    return 1;
+  }
+  return 0;
+}

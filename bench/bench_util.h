@@ -22,8 +22,18 @@
 #include "common/timer.h"
 #include "keys/keygen.h"
 #include "obs/obs.h"
+#include "prof/prof.h"  // arms MET_TRACE_OUT export for every bench binary
 
 namespace met::bench {
+
+namespace internal {
+// Any bench TU pulls in the met.mem.* gauges (RSS/heap-live/logical bytes
+// refresh on every obs dump, including the met.bench.v1 "obs" section).
+struct MemCollectorInstaller {
+  MemCollectorInstaller() { prof::InstallMemCollector(); }
+};
+inline MemCollectorInstaller g_mem_collector_installer;
+}  // namespace internal
 
 /// Optimization sink: accumulate query results here so the compiler cannot
 /// eliminate inlined lookup loops as dead code.
@@ -100,6 +110,12 @@ class Reporter {
     if (!enabled()) return;
     EnsureSection();
     sections_.back().rows.emplace_back(fields);
+  }
+
+  void Row(std::vector<Field> fields) {
+    if (!enabled()) return;
+    EnsureSection();
+    sections_.back().rows.push_back(std::move(fields));
   }
 
   /// Writes the JSON document. Safe to call explicitly from main(); the
@@ -195,6 +211,10 @@ inline void Row(std::initializer_list<Reporter::Field> fields) {
   Reporter::Get().Row(fields);
 }
 
+inline void Row(std::vector<Reporter::Field> fields) {
+  Reporter::Get().Row(std::move(fields));
+}
+
 /// Runs `fn(i)` for i in [0, ops) and returns million ops per second.
 /// When runtime metrics are on (MET_METRICS=1), each op is timed
 /// individually into the `latency_hist` obs histogram, so every bench gets
@@ -222,6 +242,68 @@ double Mops(size_t ops, Fn&& fn,
 }
 
 inline double Mb(size_t bytes) { return static_cast<double>(bytes) / 1e6; }
+
+/// Standard space-accounting report for one built structure: prints total
+/// MB and bytes/key plus the top-level component split from the structure's
+/// MemoryBreakdown, emits matching JSON rows (one "space" row, one
+/// "space.component" row per component), and accumulates the total into the
+/// met.mem.logical_index_bytes gauge so RSS can be compared against what the
+/// indexes think they use. Returns TotalBytes() for callers that also want
+/// the flat number.
+inline size_t ReportBreakdown(const char* structure, const MemoryBreakdown& b,
+                              size_t num_keys) {
+  size_t total = b.TotalBytes();
+  double per_key =
+      num_keys == 0 ? 0 : static_cast<double>(total) / static_cast<double>(num_keys);
+  std::printf("  %-20s %8.2f MB  %6.2f B/key\n", structure, Mb(total), per_key);
+  Row({{"kind", "space"},
+       {"structure", structure},
+       {"bytes", total},
+       {"bytes_per_key", per_key}});
+  for (const auto& c : b.children()) {
+    std::printf("    %-20s %8.2f MB  %5.1f%%\n", c.name().c_str(),
+                Mb(c.TotalBytes()),
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(c.TotalBytes()) /
+                                 static_cast<double>(total));
+    Row({{"kind", "space.component"},
+         {"structure", structure},
+         {"component", c.name()},
+         {"bytes", c.TotalBytes()}});
+  }
+  prof::AddLogicalIndexBytes(static_cast<int64_t>(total));
+  return total;
+}
+
+/// Appends per-op hardware-counter fields from a stopped PerfScope reading
+/// to `fields` (for a Reporter row). With no counters available (containers,
+/// MET_NO_PERF) appends perf_available=0 only, so JSON consumers can tell
+/// "zero misses" from "not measured".
+inline void AppendPerfFields(const prof::PerfReading& r, size_t ops,
+                             std::vector<Reporter::Field>* fields) {
+  if (!r.any() || ops == 0) {
+    fields->push_back({"perf_available", 0});
+    return;
+  }
+  double n = static_cast<double>(ops);
+  fields->push_back({"perf_available", 1});
+  using E = prof::PerfReading;
+  if (r.has(E::kCycles))
+    fields->push_back({"cycles_per_op", static_cast<double>(r.cycles) / n});
+  if (r.has(E::kInstructions))
+    fields->push_back({"instr_per_op", static_cast<double>(r.instructions) / n});
+  if (r.has(E::kCycles) && r.has(E::kInstructions) && r.cycles > 0)
+    fields->push_back({"ipc", static_cast<double>(r.instructions) /
+                                  static_cast<double>(r.cycles)});
+  if (r.has(E::kLlcMisses))
+    fields->push_back({"llc_miss_per_op", static_cast<double>(r.llc_misses) / n});
+  if (r.has(E::kDtlbMisses))
+    fields->push_back(
+        {"dtlb_miss_per_op", static_cast<double>(r.dtlb_misses) / n});
+  if (r.has(E::kBranchMisses))
+    fields->push_back(
+        {"branch_miss_per_op", static_cast<double>(r.branch_misses) / n});
+}
 
 /// Shared main() scaffolding for the figure benches that sweep the standard
 /// two datasets: `base_keys * MET_SCALE` sorted-unique random 64-bit integer

@@ -692,6 +692,13 @@ struct ArtStats {
   size_t bytes = 0;
   size_t slots = 0;
   size_t used = 0;
+  // Per-layout attribution; the four node categories plus leaves sum to
+  // `bytes` (Breakdown() relies on this).
+  size_t node4_bytes = 0;
+  size_t node16_bytes = 0;
+  size_t node48_bytes = 0;
+  size_t node256_bytes = 0;
+  size_t leaf_bytes = 0;
 };
 
 }  // namespace
@@ -702,16 +709,19 @@ void Art::StatNode(const void* p, void* stats_void) {
   if (IsLeaf(p)) {
     const Leaf* l = AsLeaf(p);
     stats->bytes += sizeof(Leaf) + l->key_len;
+    stats->leaf_bytes += sizeof(Leaf) + l->key_len;
     return;
   }
   const Node* n = AsNode(p);
   if (n->terminal != nullptr) {
     stats->bytes += sizeof(Leaf) + n->terminal->key_len;
+    stats->leaf_bytes += sizeof(Leaf) + n->terminal->key_len;
   }
   stats->used += n->num_children;
   switch (n->type) {
     case kNode4: {
       stats->bytes += sizeof(Node4);
+      stats->node4_bytes += sizeof(Node4);
       stats->slots += 4;
       const Node4* n4 = static_cast<const Node4*>(n);
       for (int i = 0; i < n->num_children; ++i) StatNode(n4->children[i], stats);
@@ -719,6 +729,7 @@ void Art::StatNode(const void* p, void* stats_void) {
     }
     case kNode16: {
       stats->bytes += sizeof(Node16);
+      stats->node16_bytes += sizeof(Node16);
       stats->slots += 16;
       const Node16* n16 = static_cast<const Node16*>(n);
       for (int i = 0; i < n->num_children; ++i) StatNode(n16->children[i], stats);
@@ -726,6 +737,7 @@ void Art::StatNode(const void* p, void* stats_void) {
     }
     case kNode48: {
       stats->bytes += sizeof(Node48);
+      stats->node48_bytes += sizeof(Node48);
       stats->slots += 48;
       const Node48* n48 = static_cast<const Node48*>(n);
       for (int b = 0; b < 256; ++b)
@@ -735,6 +747,7 @@ void Art::StatNode(const void* p, void* stats_void) {
     }
     case kNode256: {
       stats->bytes += sizeof(Node256);
+      stats->node256_bytes += sizeof(Node256);
       stats->slots += 256;
       const Node256* n256 = static_cast<const Node256*>(n);
       for (int b = 0; b < 256; ++b)
@@ -748,6 +761,18 @@ size_t Art::MemoryBytes() const {
   ArtStats stats;
   StatNode(root_, &stats);
   return stats.bytes;
+}
+
+MemoryBreakdown Art::Breakdown() const {
+  ArtStats stats;
+  StatNode(root_, &stats);
+  MemoryBreakdown b("art");
+  b.Add("node4", stats.node4_bytes);
+  b.Add("node16", stats.node16_bytes);
+  b.Add("node48", stats.node48_bytes);
+  b.Add("node256", stats.node256_bytes);
+  b.Add("leaves", stats.leaf_bytes);
+  return b;
 }
 
 double Art::NodeOccupancy() const {

@@ -21,6 +21,7 @@
 
 #include "check/fwd.h"
 #include "common/assert.h"
+#include "prof/memory_breakdown.h"
 
 namespace met {
 
@@ -78,6 +79,9 @@ class Art {
 
   size_t MemoryUse() const { return MemoryBytes(); }
   size_t MemoryBytes() const;
+
+  /// Per-node-layout attribution; TotalBytes() == MemoryBytes() (same walk).
+  MemoryBreakdown Breakdown() const;
 
   /// Fraction of allocated child slots in use (Section 2.2 reports ~51%
   /// for 64-bit random integer keys).

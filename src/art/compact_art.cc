@@ -59,6 +59,7 @@ void* CompactArt::AllocNode(uint8_t layout, bool has_terminal,
   h->prefix_len = static_cast<uint32_t>(prefix.size());
   std::memcpy(const_cast<char*>(Prefix(h)), prefix.data(), prefix.size());
   allocated_bytes_ += bytes;
+  node_bytes_ += bytes;
   return mem;
 }
 
@@ -70,6 +71,7 @@ CompactArt::Leaf* CompactArt::AllocLeaf(std::string_view suffix, Value value) {
   l->suffix_len = static_cast<uint32_t>(suffix.size());
   std::memcpy(l->suffix, suffix.data(), suffix.size());
   allocated_bytes_ += bytes;
+  leaf_bytes_ += bytes;
   return l;
 }
 
@@ -98,6 +100,8 @@ void CompactArt::Build(const std::vector<std::string>& keys,
   DestroyNode(root_);
   root_ = nullptr;
   allocated_bytes_ = 0;
+  node_bytes_ = 0;
+  leaf_bytes_ = 0;
   size_ = keys.size();
   if (!keys.empty()) root_ = BuildRange(keys, values, 0, keys.size(), 0);
 }

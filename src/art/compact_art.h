@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "prof/memory_breakdown.h"
+
 namespace met {
 
 class CompactArt {
@@ -50,6 +52,16 @@ class CompactArt {
   bool empty() const { return size_ == 0; }
   size_t MemoryBytes() const { return allocated_bytes_; }
   size_t MemoryUse() const { return MemoryBytes(); }
+
+  /// Component attribution; node_bytes_/leaf_bytes_ are accumulated at the
+  /// same allocation sites as allocated_bytes_, so TotalBytes() ==
+  /// MemoryBytes() by construction.
+  MemoryBreakdown Breakdown() const {
+    MemoryBreakdown b("compact_art");
+    b.Add("node_buffers", node_bytes_);
+    b.Add("suffix_leaves", leaf_bytes_);
+    return b;
+  }
 
  private:
   static constexpr int kLayout1Max = 227;  // Section 2.2 threshold
@@ -116,6 +128,8 @@ class CompactArt {
   void* root_ = nullptr;
   size_t size_ = 0;
   size_t allocated_bytes_ = 0;
+  size_t node_bytes_ = 0;
+  size_t leaf_bytes_ = 0;
 };
 
 }  // namespace met

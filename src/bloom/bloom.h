@@ -12,6 +12,7 @@
 #include "common/hash.h"
 #include "common/prefetch.h"
 #include "obs/metrics.h"
+#include "prof/memory_breakdown.h"
 
 namespace met {
 
@@ -166,6 +167,13 @@ class BloomFilter {
 
   size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
   size_t MemoryUse() const { return MemoryBytes(); }
+
+  /// Single-component attribution; TotalBytes() == MemoryBytes().
+  MemoryBreakdown Breakdown() const {
+    MemoryBreakdown b("bloom");
+    b.Add("bit_array", words_.size() * sizeof(uint64_t));
+    return b;
+  }
 
  private:
   int num_probes_;

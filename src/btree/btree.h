@@ -18,6 +18,7 @@
 
 #include "check/fwd.h"
 #include "common/assert.h"
+#include "prof/memory_breakdown.h"
 
 namespace met {
 
@@ -171,6 +172,17 @@ class BTree {
     size_t bytes = 0;
     WalkMemory(root_, &bytes);
     return bytes;
+  }
+
+  /// Component attribution; TotalBytes() == MemoryBytes() (same walk).
+  MemoryBreakdown Breakdown() const {
+    size_t leaf_bytes = 0, inner_bytes = 0, key_heap = 0;
+    WalkBreakdown(root_, &leaf_bytes, &inner_bytes, &key_heap);
+    MemoryBreakdown b("btree");
+    b.Add("leaf_nodes", leaf_bytes);
+    b.Add("inner_nodes", inner_bytes);
+    b.Add("key_heap", key_heap);
+    return b;
   }
 
   void Clear() {
@@ -373,6 +385,24 @@ class BTree {
       for (int i = 0; i < inner->count; ++i)
         *bytes += btree_internal::KeyHeapBytes(inner->keys[i]);
       for (int i = 0; i <= inner->count; ++i) WalkMemory(inner->children[i], bytes);
+    }
+  }
+
+  void WalkBreakdown(const Node* n, size_t* leaf_bytes, size_t* inner_bytes,
+                     size_t* key_heap) const {
+    if (n == nullptr) return;
+    if (n->is_leaf) {
+      const LeafNode* leaf = static_cast<const LeafNode*>(n);
+      *leaf_bytes += sizeof(LeafNode);
+      for (int i = 0; i < leaf->count; ++i)
+        *key_heap += btree_internal::KeyHeapBytes(leaf->keys[i]);
+    } else {
+      const InnerNode* inner = static_cast<const InnerNode*>(n);
+      *inner_bytes += sizeof(InnerNode);
+      for (int i = 0; i < inner->count; ++i)
+        *key_heap += btree_internal::KeyHeapBytes(inner->keys[i]);
+      for (int i = 0; i <= inner->count; ++i)
+        WalkBreakdown(inner->children[i], leaf_bytes, inner_bytes, key_heap);
     }
   }
 

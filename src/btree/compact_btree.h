@@ -27,6 +27,7 @@
 
 #include "check/fwd.h"
 #include "common/assert.h"
+#include "prof/memory_breakdown.h"
 
 namespace met {
 
@@ -72,6 +73,12 @@ class FlatStore {
 
   size_t MemoryBytes() const {
     return keys_.capacity() * sizeof(Key) + values_.capacity() * sizeof(Value);
+  }
+
+  /// Same terms as MemoryBytes(), attributed per column.
+  void AppendBreakdown(MemoryBreakdown* b) const {
+    b->Add("keys", keys_.capacity() * sizeof(Key));
+    b->Add("values", values_.capacity() * sizeof(Value));
   }
 
   void ShrinkToFit() {
@@ -135,6 +142,13 @@ class BlobStore {
   size_t MemoryBytes() const {
     return blob_.capacity() + offsets_.capacity() * sizeof(uint32_t) +
            values_.capacity() * sizeof(Value);
+  }
+
+  /// Same terms as MemoryBytes(), attributed per column.
+  void AppendBreakdown(MemoryBreakdown* b) const {
+    b->Add("key_blob", blob_.capacity());
+    b->Add("key_offsets", offsets_.capacity() * sizeof(uint32_t));
+    b->Add("values", values_.capacity() * sizeof(Value));
   }
 
   void ShrinkToFit() {
@@ -343,6 +357,18 @@ class CompactBTree {
     size_t bytes = store_.MemoryBytes();
     for (const auto& level : levels_) bytes += level.capacity() * sizeof(uint32_t);
     return bytes;
+  }
+
+  /// Component attribution; TotalBytes() == MemoryBytes() (same terms).
+  MemoryBreakdown Breakdown() const {
+    MemoryBreakdown b("compact_btree");
+    MemoryBreakdown leaves("leaf_store");
+    store_.AppendBreakdown(&leaves);
+    b.AddChild("leaf_store", std::move(leaves));
+    size_t sep = 0;
+    for (const auto& level : levels_) sep += level.capacity() * sizeof(uint32_t);
+    b.Add("separator_levels", sep);
+    return b;
   }
 
   /// Read access for merges into other structures.

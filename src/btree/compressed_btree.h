@@ -17,6 +17,7 @@
 #include "btree/compact_btree.h"
 #include "check/fwd.h"
 #include "common/assert.h"
+#include "prof/memory_breakdown.h"
 
 namespace met {
 
@@ -163,6 +164,19 @@ class CompressedBTree {
     for (const auto& k : first_keys_) bytes += sizeof(Key) + btree_internal::KeyHeapBytes(k);
     bytes += cache_.MemoryBytes();
     return bytes;
+  }
+
+  /// Component attribution; TotalBytes() == MemoryBytes() (same terms).
+  MemoryBreakdown Breakdown() const {
+    size_t blob_bytes = 0, dir_bytes = 0;
+    for (const auto& p : pages_) blob_bytes += p.blob.capacity();
+    for (const auto& k : first_keys_)
+      dir_bytes += sizeof(Key) + btree_internal::KeyHeapBytes(k);
+    MemoryBreakdown b("compressed_btree");
+    b.Add("compressed_pages", blob_bytes);
+    b.Add("page_directory", dir_bytes);
+    b.Add("decompressed_cache", cache_.MemoryBytes());
+    return b;
   }
 
   /// Verifies page-directory order, per-page zlib round-trips, and entry

@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "prof/memory_breakdown.h"
+
 namespace met {
 
 template <typename Value = uint64_t, int PageEntries = 64>
@@ -96,6 +98,28 @@ class PrefixBTree {
                p.values.capacity() * sizeof(Value);
     }
     return bytes;
+  }
+
+  /// Component attribution; TotalBytes() == MemoryBytes() (same terms).
+  MemoryBreakdown Breakdown() const {
+    size_t headers = 0, fences = 0, prefixes = 0, suffixes = 0, offsets = 0,
+           values = 0;
+    for (const auto& p : pages_) {
+      headers += sizeof(Page);
+      fences += p.first_key.capacity();
+      prefixes += p.prefix.capacity();
+      suffixes += p.suffixes.capacity();
+      offsets += p.suffix_off.capacity() * sizeof(uint32_t);
+      values += p.values.capacity() * sizeof(Value);
+    }
+    MemoryBreakdown b("prefix_btree");
+    b.Add("page_headers", headers);
+    b.Add("fence_keys", fences);
+    b.Add("shared_prefixes", prefixes);
+    b.Add("suffix_blobs", suffixes);
+    b.Add("suffix_offsets", offsets);
+    b.Add("values", values);
+    return b;
   }
 
  private:

@@ -31,6 +31,8 @@
 #include <string_view>
 #include <vector>
 
+#include "prof/memory_breakdown.h"
+
 namespace met {
 
 /// Uniform result of one unified point lookup. Batch kernels fill arrays of
@@ -77,6 +79,15 @@ template <typename T, typename K = std::string_view>
 concept Filter = requires(const T& t, const K& k) {
   { t.MayContain(k) } -> std::convertible_to<bool>;
   { t.MemoryUse() } -> std::convertible_to<size_t>;
+};
+
+/// Component-level memory attribution: Breakdown() returns a MemoryBreakdown
+/// tree whose TotalBytes() equals MemoryUse()/MemoryBytes() exactly — both
+/// are computed from the same primitives, and tests/prof_test.cc holds every
+/// structure to the equality. Cold-path only (walks the structure).
+template <typename T>
+concept HasMemoryBreakdown = requires(const T& t) {
+  { t.Breakdown() } -> std::convertible_to<MemoryBreakdown>;
 };
 
 /// True when the structure ships a hand-rolled interleaved batch kernel

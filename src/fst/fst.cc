@@ -798,4 +798,41 @@ size_t Fst::MemoryBytes() const {
   return FilterMemoryBytes() + values_.capacity() * sizeof(uint64_t);
 }
 
+// Same terms as FilterMemoryBytes(), attributed per encoding component.
+MemoryBreakdown Fst::FilterBreakdown() const {
+  MemoryBreakdown b("fst_filter");
+  MemoryBreakdown& dense = b.Add("louds_dense");
+  dense.Add("labels", d_labels_.MemoryBytes());
+  dense.Add("has_child", d_has_child_.MemoryBytes());
+  dense.Add("is_prefix", d_is_prefix_.MemoryBytes());
+  MemoryBreakdown& sparse = b.Add("louds_sparse");
+  sparse.Add("labels", s_labels_.capacity());
+  sparse.Add("has_child", s_has_child_.MemoryBytes());
+  sparse.Add("louds", s_louds_.MemoryBytes());
+  MemoryBreakdown& rank = b.Add("rank_support");
+  if (config_.fast_rank) {
+    rank.Add("d_labels", d_labels_rank_.MemoryBytes());
+    rank.Add("d_has_child", d_has_child_rank_.MemoryBytes());
+    rank.Add("d_is_prefix", d_is_prefix_rank_.MemoryBytes());
+    rank.Add("s_has_child", s_has_child_rank_.MemoryBytes());
+    rank.Add("s_louds", s_louds_rank_.MemoryBytes());
+  } else {
+    rank.Add("d_labels", d_labels_poppy_.MemoryBytes());
+    rank.Add("d_has_child", d_has_child_poppy_.MemoryBytes());
+    rank.Add("d_is_prefix", d_is_prefix_poppy_.MemoryBytes());
+    rank.Add("s_has_child", s_has_child_poppy_.MemoryBytes());
+    rank.Add("s_louds", s_louds_poppy_.MemoryBytes());
+  }
+  if (config_.fast_select)
+    b.Add("select_support", s_louds_select_.MemoryBytes());
+  return b;
+}
+
+MemoryBreakdown Fst::Breakdown() const {
+  MemoryBreakdown b = FilterBreakdown();
+  b.set_name("fst");
+  b.Add("values", values_.capacity() * sizeof(uint64_t));
+  return b;
+}
+
 }  // namespace met

@@ -194,6 +194,14 @@ class Fst {
   /// Memory excluding the value array (the filter footprint).
   size_t FilterMemoryBytes() const;
 
+  /// Component attribution (dense/sparse encodings, rank & select supports,
+  /// values); TotalBytes() == MemoryBytes() (same terms).
+  MemoryBreakdown Breakdown() const;
+
+  /// Breakdown of FilterMemoryBytes() only (no value array); SuRF embeds
+  /// this subtree in its own breakdown.
+  MemoryBreakdown FilterBreakdown() const;
+
   /// Cross-checks the LOUDS-Dense/Sparse encodings: bit-sequence sizes,
   /// D-HasChild ⊆ D-Labels, child-pointer bijection (#has-child bits ==
   /// #nodes - 1), rank/select inverses over S-LOUDS, 0xFF-marker placement,

@@ -77,6 +77,7 @@ Hot::Leaf* Hot::MakeLeaf(const std::string& key, Value value) {
   l->key_len = static_cast<uint32_t>(key.size());
   std::memcpy(l->key_data, key.data(), key.size());
   allocated_bytes_ += bytes;
+  leaf_bytes_ += bytes;
   return l;
 }
 
@@ -142,9 +143,12 @@ void* Hot::BuildHotNode(const PatNode* pat,
   node->bits.shrink_to_fit();
   node->partial.shrink_to_fit();
   node->children.shrink_to_fit();
-  allocated_bytes_ += sizeof(Node) + node->bits.capacity() * sizeof(uint32_t) +
-                      node->partial.capacity() * sizeof(uint32_t) +
-                      node->children.capacity() * sizeof(void*);
+  size_t node_footprint = sizeof(Node) +
+                          node->bits.capacity() * sizeof(uint32_t) +
+                          node->partial.capacity() * sizeof(uint32_t) +
+                          node->children.capacity() * sizeof(void*);
+  allocated_bytes_ += node_footprint;
+  node_bytes_ += node_footprint;
   return node;
 }
 
@@ -155,6 +159,8 @@ void Hot::Build(const std::vector<std::string>& keys,
   DestroyNode(root_);
   root_ = nullptr;
   allocated_bytes_ = 0;
+  node_bytes_ = 0;
+  leaf_bytes_ = 0;
   size_ = keys.size();
   if (keys.empty()) return;
   std::unique_ptr<PatNode> pat = BuildPatricia(keys, 0, keys.size());

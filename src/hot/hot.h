@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "prof/memory_breakdown.h"
+
 namespace met {
 
 class Hot {
@@ -57,6 +59,16 @@ class Hot {
   size_t MemoryUse() const { return MemoryBytes(); }
   /// Maximum number of HOT nodes on a root-to-leaf path.
   size_t Height() const;
+
+  /// Component attribution; node_bytes_/leaf_bytes_ are accumulated at the
+  /// same allocation sites as allocated_bytes_, so TotalBytes() ==
+  /// MemoryBytes() by construction.
+  MemoryBreakdown Breakdown() const {
+    MemoryBreakdown b("hot");
+    b.Add("nodes", node_bytes_);
+    b.Add("leaves", leaf_bytes_);
+    return b;
+  }
 
  private:
   // Binary patricia trie node (build-time only).
@@ -112,6 +124,8 @@ class Hot {
   void* root_ = nullptr;
   size_t size_ = 0;
   size_t allocated_bytes_ = 0;
+  size_t node_bytes_ = 0;
+  size_t leaf_bytes_ = 0;
 };
 
 }  // namespace met

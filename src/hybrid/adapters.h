@@ -42,6 +42,7 @@ class IteratorDynStage {
   bool Erase(const Key& k) { return tree_.Erase(k); }
   size_t size() const { return tree_.size(); }
   size_t MemoryBytes() const { return tree_.MemoryBytes(); }
+  MemoryBreakdown Breakdown() const { return tree_.Breakdown(); }
   void Clear() { tree_.Clear(); }
 
   size_t ScanPairs(const Key& key, size_t n,
@@ -80,6 +81,7 @@ class TrieDynStage {
   bool Erase(const std::string& k) { return tree_.Erase(k); }
   size_t size() const { return tree_.size(); }
   size_t MemoryBytes() const { return tree_.MemoryBytes(); }
+  MemoryBreakdown Breakdown() const { return tree_.Breakdown(); }
   void Clear() { tree_.Clear(); }
 
   size_t ScanPairs(const std::string& key, size_t n,
@@ -127,6 +129,7 @@ class TrieStatStage {
   bool Lookup(const std::string& k, Value* v) const { return tree_.Lookup(k, v); }
   size_t size() const { return tree_.size(); }
   size_t MemoryBytes() const { return tree_.MemoryBytes(); }
+  MemoryBreakdown Breakdown() const { return tree_.Breakdown(); }
 
   size_t ScanPairs(const std::string& key, size_t n,
                    std::vector<std::pair<std::string, Value>>* out) const {

@@ -311,6 +311,26 @@ class ConcurrentHybridIndex {
     return bytes;
   }
 
+  /// Per-stage attribution; TotalBytes() == MemoryBytes() (same terms, but
+  /// a concurrent merge between the two accessors can move bytes between
+  /// stages — compare under quiesced merges).
+  MemoryBreakdown Breakdown() const {
+    MemoryBreakdown b("concurrent_hybrid");
+    {
+      std::shared_lock<std::shared_mutex> l(mu_);
+      b.AddChild("active_stage", active_->Breakdown());
+      if (active_bloom_ != nullptr)
+        b.AddChild("active_bloom", active_bloom_->Breakdown());
+    }
+    hybrid::EpochGuard g(epoch_);
+    const Snapshot* s = snapshot_.load(std::memory_order_seq_cst);
+    if (s->frozen != nullptr) b.AddChild("frozen_stage", s->frozen->Breakdown());
+    if (s->frozen_bloom != nullptr)
+      b.AddChild("frozen_bloom", s->frozen_bloom->Breakdown());
+    b.AddChild("static_stage", s->stat->Breakdown());
+    return b;
+  }
+
   size_t ActiveEntries() const {
     std::shared_lock<std::shared_mutex> l(mu_);
     return active_->size();
@@ -480,6 +500,7 @@ class ConcurrentHybridIndex {
   /// The superseded snapshot is retired only after the swap (the epoch
   /// ordering contract) and reclaimed later, off-lock.
   void FreezeLocked() {
+    obs::ScopedTimer trace(nullptr, "hybrid.concurrent.freeze");
     Timer timer;
     const Snapshot* old = snapshot_.load(std::memory_order_seq_cst);
     MET_DCHECK(old->frozen == nullptr, "freeze with a merge already in flight");
@@ -524,6 +545,7 @@ class ConcurrentHybridIndex {
     std::shared_ptr<StaticStage> next_stat;
     size_t drained = 0;
     {
+      obs::ScopedTimer trace(nullptr, "hybrid.concurrent.drain");
       hybrid::EpochGuard g(epoch_);
       const Snapshot* s = snapshot_.load(std::memory_order_seq_cst);
       MET_DCHECK(s->frozen != nullptr, "drain without a frozen stage");
@@ -538,6 +560,7 @@ class ConcurrentHybridIndex {
 
     Timer publish_timer;
     {
+      obs::ScopedTimer trace(nullptr, "hybrid.concurrent.publish");
       std::unique_lock<std::shared_mutex> l(mu_);
       const Snapshot* cur = snapshot_.load(std::memory_order_seq_cst);
       auto* next = new Snapshot{

@@ -247,6 +247,15 @@ class HybridIndex {
     return bytes;
   }
 
+  /// Per-stage attribution; TotalBytes() == MemoryBytes() (same terms).
+  MemoryBreakdown Breakdown() const {
+    MemoryBreakdown b("hybrid_index");
+    b.AddChild("dynamic_stage", dynamic_.Breakdown());
+    b.AddChild("static_stage", static_.Breakdown());
+    if (bloom_ != nullptr) b.AddChild("bloom", bloom_->Breakdown());
+    return b;
+  }
+
   size_t DynamicEntries() const { return dynamic_.size(); }
   size_t StaticEntries() const { return static_.size(); }
   const HybridMergeStats& merge_stats() const { return stats_; }

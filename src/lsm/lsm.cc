@@ -1218,6 +1218,63 @@ size_t LsmTree::FilterMemoryBytes() const {
   return bytes;
 }
 
+namespace {
+
+// Heap allocation behind a std::string (libstdc++ SSO threshold is 15).
+size_t StrHeapBytes(const std::string& s) {
+  return s.capacity() > 15 ? s.capacity() + 1 : 0;
+}
+
+}  // namespace
+
+size_t LsmTree::MemoryBytes() const { return Breakdown().TotalBytes(); }
+
+MemoryBreakdown LsmTree::Breakdown() const {
+  MemoryBreakdown b("lsm");
+
+  // Memtable: red-black tree node per entry (payload pair + ~3 pointers and
+  // color word of the _Rb_tree node header) plus string heap.
+  size_t memtable = 0;
+  constexpr size_t kMapNodeOverhead = 4 * sizeof(void*);
+  for (const auto& [k, v] : memtable_) {
+    memtable += sizeof(std::pair<const std::string, std::string>) +
+                kMapNodeOverhead + StrHeapBytes(k) + StrHeapBytes(v);
+  }
+  b.Add("memtable", memtable);
+
+  // Per-table resident state, filters split out from fence/metadata.
+  size_t metadata = 0, fences = 0, filters = 0;
+  for (const auto& level : levels_) {
+    for (const auto& t : level) {
+      metadata += sizeof(SsTable) + StrHeapBytes(t->path) +
+                  StrHeapBytes(t->min_key) + StrHeapBytes(t->max_key);
+      fences += t->block_first_key.capacity() * sizeof(std::string) +
+                t->block_offset.capacity() * sizeof(uint64_t) +
+                t->block_length.capacity() * sizeof(uint32_t);
+      for (const auto& fk : t->block_first_key) fences += StrHeapBytes(fk);
+      if (t->bloom != nullptr) filters += t->bloom->MemoryBytes();
+      if (t->surf != nullptr) filters += t->surf->MemoryBytes();
+    }
+  }
+  b.Add("table_metadata", metadata);
+  b.Add("fence_indexes", fences);
+  b.Add("filters", filters);
+
+  // Block cache: slot array plus decoded entries (and the CLOCK index map).
+  size_t cache = cache_.capacity() * sizeof(CacheSlot);
+  for (const auto& slot : cache_) {
+    cache += slot.entries.capacity() *
+             sizeof(std::pair<std::string, std::string>);
+    for (const auto& [k, v] : slot.entries)
+      cache += StrHeapBytes(k) + StrHeapBytes(v);
+  }
+  cache += cache_index_.size() *
+           (sizeof(std::pair<const std::pair<uint64_t, size_t>, size_t>) +
+            kMapNodeOverhead);
+  b.Add("block_cache", cache);
+  return b;
+}
+
 size_t LsmTree::NumTables() const {
   size_t n = 0;
   for (const auto& level : levels_) n += level.size();

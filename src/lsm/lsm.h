@@ -38,6 +38,7 @@
 #include "io/io.h"
 #include "io/status.h"
 #include "obs/obs.h"
+#include "prof/memory_breakdown.h"
 #include "surf/surf.h"
 
 namespace met {
@@ -200,6 +201,14 @@ class LsmTree {
   size_t NumTables() const;
   size_t NumLevels() const { return levels_.size(); }
   uint64_t DiskBytes() const;
+
+  /// Total resident (in-memory) footprint: memtable, per-table metadata and
+  /// fence indexes, filters, and the block cache. Excludes DiskBytes().
+  size_t MemoryBytes() const;
+  size_t MemoryUse() const { return MemoryBytes(); }
+
+  /// Component attribution; TotalBytes() == MemoryBytes() (same terms).
+  MemoryBreakdown Breakdown() const;
 
   /// Verifies level ordering rules (L0 keys per-table sorted; levels >= 1
   /// sorted and non-overlapping), per-table fence-index monotonicity, and

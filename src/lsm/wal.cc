@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "io/crc32c.h"
+#include "obs/trace.h"
 
 namespace met {
 
@@ -55,6 +56,9 @@ io::Status LsmWal::Append(std::string_view key, std::string_view value) {
 
 io::Status LsmWal::Sync() {
   if (file_ == nullptr) return io::Status::IoError("wal not open");
+  // Group-commit fsync: every Put since the last sync is acked by this one
+  // call, so its span is the durability pause writers actually see.
+  obs::ScopedTimer trace(nullptr, "wal.group_sync");
   io::Status s = file_->SyncWithRetry();
   if (s.ok()) unsynced_bytes_ = 0;
   return s;

@@ -237,4 +237,33 @@ size_t CompactMasstree::NodeMemory(const Node* n) {
 
 size_t CompactMasstree::MemoryBytes() const { return NodeMemory(root_); }
 
+// Same walk as NodeMemory with the terms split by component, so the
+// breakdown total matches MemoryBytes() exactly.
+void CompactMasstree::NodeBreakdown(const Node* n, size_t* header_bytes,
+                                    size_t* entry_bytes, size_t* link_bytes,
+                                    size_t* suffix_bytes) {
+  if (n == nullptr) return;
+  *header_bytes += sizeof(Node);
+  *entry_bytes += n->slices.capacity() * sizeof(uint64_t);
+  *entry_bytes += n->lenx.capacity() + n->kinds.capacity();
+  *entry_bytes += n->values.capacity() * sizeof(uint64_t);
+  *link_bytes += n->children.capacity() * sizeof(Node*);
+  *link_bytes += n->child_idx.capacity() * sizeof(uint32_t);
+  *suffix_bytes += n->suffixes.capacity();
+  *suffix_bytes += n->suffix_off.capacity() * sizeof(uint32_t);
+  for (const Node* c : n->children)
+    NodeBreakdown(c, header_bytes, entry_bytes, link_bytes, suffix_bytes);
+}
+
+MemoryBreakdown CompactMasstree::Breakdown() const {
+  size_t headers = 0, entries = 0, links = 0, suffixes = 0;
+  NodeBreakdown(root_, &headers, &entries, &links, &suffixes);
+  MemoryBreakdown b("compact_masstree");
+  b.Add("node_headers", headers);
+  b.Add("entry_arrays", entries);
+  b.Add("child_links", links);
+  b.Add("suffix_arrays", suffixes);
+  return b;
+}
+
 }  // namespace met

@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "prof/memory_breakdown.h"
+
 namespace met {
 
 class CompactMasstree {
@@ -47,6 +49,9 @@ class CompactMasstree {
   size_t MemoryBytes() const;
   size_t MemoryUse() const { return MemoryBytes(); }
 
+  /// Component attribution; TotalBytes() == MemoryBytes() (same walk).
+  MemoryBreakdown Breakdown() const;
+
  private:
   enum Kind : uint8_t { kValue, kSuffix, kChild };
 
@@ -73,6 +78,9 @@ class CompactMasstree {
                    size_t depth);
   static void DestroyNode(Node* n);
   static size_t NodeMemory(const Node* n);
+  static void NodeBreakdown(const Node* n, size_t* header_bytes,
+                            size_t* entry_bytes, size_t* link_bytes,
+                            size_t* suffix_bytes);
 
   /// First index i in `n` with (slice, lenx) >= the given pair.
   static size_t LowerBoundEntry(const Node* n, uint64_t slice, uint8_t lenx);

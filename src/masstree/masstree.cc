@@ -273,4 +273,31 @@ size_t Masstree::LayerMemory(const Layer* layer) {
 
 size_t Masstree::MemoryBytes() const { return LayerMemory(root_); }
 
+// Same recursion as LayerMemory with the terms split by component, so the
+// breakdown total matches MemoryBytes() exactly.
+void Masstree::LayerBreakdown(const Layer* layer, size_t* tree_bytes,
+                              size_t* suffix_bytes, size_t* layers) {
+  if (layer == nullptr) return;
+  *tree_bytes += sizeof(Layer) + layer->tree.MemoryBytes();
+  ++*layers;
+  for (auto it = layer->tree.Begin(); it.Valid(); it.Next()) {
+    const Link& link = it.value();
+    if (link.kind == Link::kSuffix) {
+      *suffix_bytes += sizeof(SuffixRec);
+      *suffix_bytes += btree_internal::KeyHeapBytes(link.suffix->suffix);
+    } else if (link.kind == Link::kChild) {
+      LayerBreakdown(link.child, tree_bytes, suffix_bytes, layers);
+    }
+  }
+}
+
+MemoryBreakdown Masstree::Breakdown() const {
+  size_t tree_bytes = 0, suffix_bytes = 0, layers = 0;
+  LayerBreakdown(root_, &tree_bytes, &suffix_bytes, &layers);
+  MemoryBreakdown b("masstree");
+  b.Add("layer_btrees", tree_bytes);
+  b.Add("suffix_keybags", suffix_bytes);
+  return b;
+}
+
 }  // namespace met

@@ -21,6 +21,7 @@
 #include "btree/btree.h"
 #include "check/fwd.h"
 #include "common/assert.h"
+#include "prof/memory_breakdown.h"
 
 namespace met {
 
@@ -92,6 +93,9 @@ class Masstree {
   size_t MemoryBytes() const;
   size_t MemoryUse() const { return MemoryBytes(); }
 
+  /// Component attribution; TotalBytes() == MemoryBytes() (same walk).
+  MemoryBreakdown Breakdown() const;
+
   void Clear() {
     DestroyLayer(root_);
     root_ = nullptr;
@@ -155,6 +159,8 @@ class Masstree {
                          const std::function<void(std::string_view, Value)>& fn);
   static void DestroyLayer(Layer* layer);
   static size_t LayerMemory(const Layer* layer);
+  static void LayerBreakdown(const Layer* layer, size_t* tree_bytes,
+                             size_t* suffix_bytes, size_t* layers);
 
   Layer* root_ = nullptr;
   size_t size_ = 0;

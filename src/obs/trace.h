@@ -9,6 +9,7 @@
 #ifndef MET_OBS_TRACE_H_
 #define MET_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -30,12 +31,22 @@ inline uint64_t NowNanos() {
           .count());
 }
 
+/// Small dense id of the calling thread (0 for the first thread to ask,
+/// 1 for the next, ...). Used to label trace spans so exported timelines
+/// (prof/trace_export.h) keep the merge/flush threads on their own tracks.
+inline uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 class TraceLog {
  public:
   struct Span {
     const char* name = nullptr;
     uint64_t start_nanos = 0;
     uint64_t duration_nanos = 0;
+    uint32_t tid = 0;
   };
 
   static constexpr size_t kDefaultCapacity = 512;
@@ -50,9 +61,21 @@ class TraceLog {
   explicit TraceLog(size_t capacity) : spans_(capacity) {}
 
   void Append(const char* name, uint64_t start_nanos, uint64_t duration_nanos) {
+    uint32_t tid = CurrentThreadId();
     std::lock_guard<std::mutex> lock(mu_);
-    spans_[next_ % spans_.size()] = Span{name, start_nanos, duration_nanos};
+    spans_[next_ % spans_.size()] =
+        Span{name, start_nanos, duration_nanos, tid};
     ++next_;
+  }
+
+  /// Grows (or shrinks) the retention ring. Retained spans are discarded;
+  /// intended for process start, before tracing begins — the MET_TRACE_OUT
+  /// exporter uses it so a whole bench run fits in one exported trace.
+  void SetCapacity(size_t capacity) {
+    if (capacity == 0) capacity = 1;
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.assign(capacity, Span{});
+    next_ = 0;
   }
 
   /// Copies the retained spans, oldest first.
@@ -75,8 +98,8 @@ class TraceLog {
     auto spans = Snapshot();
     std::fprintf(f, "--- met::obs trace (%zu recent spans) ---\n", spans.size());
     for (const auto& s : spans)
-      std::fprintf(f, "span %-40s start=%llu dur_ns=%llu\n", s.name,
-                   static_cast<unsigned long long>(s.start_nanos),
+      std::fprintf(f, "span %-40s tid=%u start=%llu dur_ns=%llu\n", s.name,
+                   s.tid, static_cast<unsigned long long>(s.start_nanos),
                    static_cast<unsigned long long>(s.duration_nanos));
   }
 
@@ -90,9 +113,9 @@ class TraceLog {
       first = false;
       out->append("{\"name\":\"");
       MetricsRegistry::AppendJsonEscaped(out, s.name);
-      char buf[96];
+      char buf[112];
       std::snprintf(buf, sizeof(buf),
-                    "\",\"start_ns\":%llu,\"dur_ns\":%llu}",
+                    "\",\"tid\":%u,\"start_ns\":%llu,\"dur_ns\":%llu}", s.tid,
                     static_cast<unsigned long long>(s.start_nanos),
                     static_cast<unsigned long long>(s.duration_nanos));
       out->append(buf);
@@ -147,6 +170,7 @@ inline void TraceEvent(const char* name) {
 inline namespace obs_noop {
 
 inline uint64_t NowNanos() { return 0; }
+inline uint32_t CurrentThreadId() { return 0; }
 
 class TraceLog {
  public:
@@ -154,6 +178,7 @@ class TraceLog {
     const char* name = nullptr;
     uint64_t start_nanos = 0;
     uint64_t duration_nanos = 0;
+    uint32_t tid = 0;
   };
 
   static constexpr size_t kDefaultCapacity = 0;
@@ -165,6 +190,7 @@ class TraceLog {
 
   explicit TraceLog(size_t) {}
   void Append(const char*, uint64_t, uint64_t) {}
+  void SetCapacity(size_t) {}
   std::vector<Span> Snapshot() const { return {}; }
   uint64_t TotalSpans() const { return 0; }
   void DumpText(FILE*) const {}

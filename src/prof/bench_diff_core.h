@@ -1,0 +1,200 @@
+// Comparison engine for met.bench.v1 JSON reports (tools/bench_diff).
+//
+// Rows are identified by (section title, concatenation of the row's string
+// fields) — e.g. ("Figure 2.5", "structure=FST|variant=fast-rank|ds=email").
+// Numeric fields of matching rows are compared with a relative-change noise
+// threshold. Whether a change is a regression depends on the metric's
+// direction, inferred from its name: throughput-ish names (mops, qps,
+// speedup) are higher-better; time/space/miss names (ns, bytes, *_miss, ...)
+// are lower-better. Metrics whose direction cannot be inferred are reported
+// as informational only.
+//
+// Header-only so prof_test can unit-test the diff logic without spawning the
+// tool binary.
+#ifndef MET_PROF_BENCH_DIFF_CORE_H_
+#define MET_PROF_BENCH_DIFF_CORE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prof/json_min.h"
+
+namespace met::prof {
+
+enum class MetricDirection { kHigherBetter, kLowerBetter, kUnknown };
+
+/// Infers better-direction from a metric key name.
+inline MetricDirection InferDirection(std::string_view key) {
+  auto contains = [&](std::string_view needle) {
+    return key.find(needle) != std::string_view::npos;
+  };
+  auto ends_with = [&](std::string_view suffix) {
+    return key.size() >= suffix.size() &&
+           key.substr(key.size() - suffix.size()) == suffix;
+  };
+  // Higher is better: throughput and speedup ratios.
+  if (contains("mops") || contains("qps") || contains("speedup") ||
+      contains("throughput") || contains("hit_rate") || contains("ipc"))
+    return MetricDirection::kHigherBetter;
+  // Lower is better: latency, space, and hardware-event costs.
+  if (ends_with("_ns") || ends_with("_us") || ends_with("_ms") ||
+      contains("ns_per") || contains("latency") || contains("bytes") ||
+      contains("miss") || contains("cycles") || contains("fpr") ||
+      contains("pause") || contains("stall"))
+    return MetricDirection::kLowerBetter;
+  return MetricDirection::kUnknown;
+}
+
+struct BenchRow {
+  std::string section;
+  std::string id;  // string fields joined as k=v|k=v
+  std::map<std::string, double> metrics;
+};
+
+/// Flattens a met.bench.v1 document into rows. Returns false (with *error)
+/// when the text is not parseable or not a bench report.
+inline bool LoadBenchRows(std::string_view json_text,
+                          std::vector<BenchRow>* out, std::string* error) {
+  JsonValue doc;
+  if (!JsonParser::Parse(json_text, &doc, error)) return false;
+  if (doc.GetString("schema") != "met.bench.v1") {
+    if (error != nullptr) *error = "not a met.bench.v1 document";
+    return false;
+  }
+  const JsonValue* sections = doc.Get("sections");
+  if (sections == nullptr || !sections->is_array()) {
+    if (error != nullptr) *error = "missing sections array";
+    return false;
+  }
+  for (const auto& sec : sections->array()) {
+    std::string title = sec.GetString("title", "(default)");
+    const JsonValue* rows = sec.Get("rows");
+    if (rows == nullptr || !rows->is_array()) continue;
+    for (const auto& row : rows->array()) {
+      if (!row.is_object()) continue;
+      BenchRow br;
+      br.section = title;
+      for (const auto& [key, value] : row.object()) {
+        if (value.is_number())
+          br.metrics[key] = value.number();
+        else if (value.is_string()) {
+          if (!br.id.empty()) br.id.push_back('|');
+          br.id += key + "=" + value.str();
+        }
+      }
+      out->push_back(std::move(br));
+    }
+  }
+  return true;
+}
+
+struct DiffEntry {
+  enum class Kind { kRegression, kImprovement, kNeutral, kRowAdded, kRowRemoved };
+  Kind kind;
+  std::string section;
+  std::string row_id;
+  std::string metric;
+  double base = 0;
+  double current = 0;
+  double rel_change = 0;  // (current - base) / |base|
+};
+
+struct DiffOptions {
+  double threshold = 0.10;  // relative change below this is noise
+  bool include_neutral = false;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;
+  int regressions = 0;
+  int improvements = 0;
+  int compared_metrics = 0;
+};
+
+/// Compares `base` vs `current` row sets.
+inline DiffResult DiffBenchRows(const std::vector<BenchRow>& base,
+                                const std::vector<BenchRow>& current,
+                                const DiffOptions& opts) {
+  DiffResult result;
+  auto key_of = [](const BenchRow& r) { return r.section + "\x1f" + r.id; };
+  std::map<std::string, const BenchRow*> base_by_key, cur_by_key;
+  for (const auto& r : base) base_by_key.emplace(key_of(r), &r);
+  for (const auto& r : current) cur_by_key.emplace(key_of(r), &r);
+
+  for (const auto& [key, brow] : base_by_key) {
+    auto it = cur_by_key.find(key);
+    if (it == cur_by_key.end()) {
+      result.entries.push_back({DiffEntry::Kind::kRowRemoved, brow->section,
+                                brow->id, "", 0, 0, 0});
+      continue;
+    }
+    const BenchRow* crow = it->second;
+    for (const auto& [metric, bval] : brow->metrics) {
+      auto mit = crow->metrics.find(metric);
+      if (mit == crow->metrics.end()) continue;
+      double cval = mit->second;
+      ++result.compared_metrics;
+      double denom = std::fabs(bval);
+      double rel = denom > 0 ? (cval - bval) / denom
+                             : (cval == bval ? 0.0 : 1.0);
+      DiffEntry e{DiffEntry::Kind::kNeutral, brow->section, brow->id,
+                  metric,   bval,            cval,          rel};
+      MetricDirection dir = InferDirection(metric);
+      bool significant = std::fabs(rel) >= opts.threshold;
+      if (significant && dir != MetricDirection::kUnknown) {
+        bool worse = (dir == MetricDirection::kHigherBetter) ? rel < 0 : rel > 0;
+        e.kind = worse ? DiffEntry::Kind::kRegression
+                       : DiffEntry::Kind::kImprovement;
+        if (worse)
+          ++result.regressions;
+        else
+          ++result.improvements;
+      }
+      if (e.kind != DiffEntry::Kind::kNeutral || opts.include_neutral)
+        result.entries.push_back(std::move(e));
+    }
+  }
+  for (const auto& [key, crow] : cur_by_key) {
+    if (base_by_key.count(key) == 0)
+      result.entries.push_back({DiffEntry::Kind::kRowAdded, crow->section,
+                                crow->id, "", 0, 0, 0});
+  }
+  return result;
+}
+
+/// Human-readable report, one line per entry.
+inline void PrintDiff(const DiffResult& result, FILE* f) {
+  for (const auto& e : result.entries) {
+    const char* tag = nullptr;
+    switch (e.kind) {
+      case DiffEntry::Kind::kRegression: tag = "REGRESSION "; break;
+      case DiffEntry::Kind::kImprovement: tag = "improvement"; break;
+      case DiffEntry::Kind::kNeutral: tag = "  ~        "; break;
+      case DiffEntry::Kind::kRowAdded: tag = "row added  "; break;
+      case DiffEntry::Kind::kRowRemoved: tag = "row removed"; break;
+    }
+    if (e.kind == DiffEntry::Kind::kRowAdded ||
+        e.kind == DiffEntry::Kind::kRowRemoved) {
+      std::fprintf(f, "%s  [%s] %s\n", tag, e.section.c_str(),
+                   e.row_id.c_str());
+    } else {
+      std::fprintf(f, "%s  [%s] %s  %s: %.6g -> %.6g (%+.1f%%)\n", tag,
+                   e.section.c_str(), e.row_id.c_str(), e.metric.c_str(),
+                   e.base, e.current, e.rel_change * 100.0);
+    }
+  }
+  std::fprintf(f,
+               "bench_diff: %d metrics compared, %d regressions, "
+               "%d improvements\n",
+               result.compared_metrics, result.regressions,
+               result.improvements);
+}
+
+}  // namespace met::prof
+
+#endif  // MET_PROF_BENCH_DIFF_CORE_H_

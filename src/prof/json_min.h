@@ -1,0 +1,258 @@
+// Minimal recursive-descent JSON parser for met tooling (bench_diff, trace
+// and met.bench.v1 round-trip tests). Zero dependencies, header-only,
+// strict enough for machine-generated documents: objects, arrays, strings
+// with \uXXXX escapes, doubles, bools, null. Not a streaming parser — whole
+// documents only, which is what the bench JSON files are.
+#ifndef MET_PROF_JSON_MIN_H_
+#define MET_PROF_JSON_MIN_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace met::prof {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  double number() const { return number_; }
+  bool boolean() const { return number_ != 0; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* Get(std::string_view key) const {
+    if (type_ != Type::kObject) return nullptr;
+    auto it = object_.find(std::string(key));
+    return it == object_.end() ? nullptr : &it->second;
+  }
+
+  /// Convenience: Get(key)->number() with a default.
+  double GetNumber(std::string_view key, double fallback = 0) const {
+    const JsonValue* v = Get(key);
+    return v != nullptr && v->is_number() ? v->number() : fallback;
+  }
+
+  /// Convenience: Get(key)->str() with a default.
+  std::string GetString(std::string_view key, std::string fallback = {}) const {
+    const JsonValue* v = Get(key);
+    return v != nullptr && v->is_string() ? v->str() : std::move(fallback);
+  }
+
+  static JsonValue MakeNull() { return JsonValue(); }
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+class JsonParser {
+ public:
+  /// Parses `text`; on failure returns false and sets *error to a position-
+  /// annotated message.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error = nullptr) {
+    JsonParser p(text);
+    bool ok = p.ParseValue(out) && (p.SkipWs(), p.pos_ == text.size());
+    if (!ok && error != nullptr) {
+      *error = "json parse error at offset " + std::to_string(p.pos_) +
+               (p.error_.empty() ? "" : ": " + p.error_);
+    }
+    return ok;
+  }
+
+ private:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool Fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': return ParseString(&out->string_) &&
+                       (out->type_ = JsonValue::Type::kString, true);
+      case 't':
+        if (text_.substr(pos_, 4) != "true") return Fail("bad literal");
+        pos_ += 4;
+        out->type_ = JsonValue::Type::kBool;
+        out->number_ = 1;
+        return true;
+      case 'f':
+        if (text_.substr(pos_, 5) != "false") return Fail("bad literal");
+        pos_ += 5;
+        out->type_ = JsonValue::Type::kBool;
+        out->number_ = 0;
+        return true;
+      case 'n':
+        if (text_.substr(pos_, 4) != "null") return Fail("bad literal");
+        pos_ += 4;
+        out->type_ = JsonValue::Type::kNull;
+        return true;
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return Fail("expected '{'");
+    out->type_ = JsonValue::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      std::string key;
+      if (!ParseString(&key)) return Fail("expected object key");
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->object_.emplace(std::move(key), std::move(v));
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return Fail("expected '['");
+    out->type_ = JsonValue::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->array_.push_back(std::move(v));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+      return Fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("bad escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u digit");
+          }
+          // UTF-8 encode (BMP only; our emitters never produce surrogates).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+        ++pos_;
+      eat_digits();
+    }
+    if (!digits) return Fail("expected number");
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                               nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace met::prof
+
+#endif  // MET_PROF_JSON_MIN_H_

@@ -1,0 +1,44 @@
+// met.mem.* gauges: process RSS/VM sampled from /proc/self/statm, live heap
+// bytes from the met::prof heap hook (when linked), and the logical index
+// bytes the currently-benched structures report. Comparing the three shows
+// how much of the process footprint the indexes account for versus
+// allocator overhead and everything else.
+//
+// RSS sampling registers an obs collector, so every metrics dump (text,
+// JSON, met.bench.v1) refreshes the gauges without any hot-path cost.
+#ifndef MET_PROF_MEM_STATS_H_
+#define MET_PROF_MEM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace met::prof {
+
+struct ProcMemInfo {
+  uint64_t vm_bytes = 0;   // virtual size
+  uint64_t rss_bytes = 0;  // resident set
+  bool valid = false;      // /proc/self/statm readable
+};
+
+/// One read of /proc/self/statm (invalid on non-Linux or failure).
+ProcMemInfo ReadProcMem();
+
+/// Updates the met.mem.rss_bytes / met.mem.vm_bytes / met.mem.heap_live_bytes
+/// gauges from the current process state. Returns what it sampled.
+ProcMemInfo SampleMemGauges();
+
+/// Registers the obs collector that calls SampleMemGauges() on every dump.
+/// Idempotent; called from bench_util.h so all benches report met.mem.*.
+void InstallMemCollector();
+
+/// Sets the met.mem.logical_index_bytes gauge: the byte total the structures
+/// under test attribute to themselves (MemoryBreakdown totals). Benches call
+/// this after builds so RSS can be compared against logical bytes.
+void SetLogicalIndexBytes(size_t bytes);
+
+/// Adds to the logical-bytes gauge (multi-structure benches accumulate).
+void AddLogicalIndexBytes(int64_t delta);
+
+}  // namespace met::prof
+
+#endif  // MET_PROF_MEM_STATS_H_

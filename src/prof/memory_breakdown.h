@@ -1,0 +1,135 @@
+// met::prof memory attribution: a named tree of byte counts.
+//
+// Every structure answers "where do my bytes live?" with a MemoryBreakdown —
+// a component tree (LOUDS bitvectors vs rank LUTs vs suffix arrays vs node
+// headers, nested arbitrarily deep) whose TotalBytes() equals the
+// structure's flat MemoryBytes() exactly (asserted per structure in
+// tests/prof_test.cc). The shape follows SDSL's write_structure space trees:
+// inner nodes may carry self_bytes for storage not attributed to any child.
+//
+// Conventions:
+//   * Component names are lowercase dotted-path-safe tokens ("rank_lut",
+//     "leaf_nodes"); Flatten() joins them with '.' into metric-style paths.
+//   * Breakdown() is a cold-path accessor (it allocates); callers cache the
+//     result, never sample it per operation.
+#ifndef MET_PROF_MEMORY_BREAKDOWN_H_
+#define MET_PROF_MEMORY_BREAKDOWN_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace met {
+
+class MemoryBreakdown {
+ public:
+  MemoryBreakdown() = default;
+  explicit MemoryBreakdown(std::string name, size_t self_bytes = 0)
+      : name_(std::move(name)), self_bytes_(self_bytes) {}
+
+  const std::string& name() const { return name_; }
+  size_t self_bytes() const { return self_bytes_; }
+  const std::vector<MemoryBreakdown>& children() const { return children_; }
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_self_bytes(size_t bytes) { self_bytes_ = bytes; }
+  void add_self_bytes(size_t bytes) { self_bytes_ += bytes; }
+
+  /// Appends a leaf component. Returns a reference for optional nesting.
+  MemoryBreakdown& Add(std::string name, size_t bytes = 0) {
+    children_.emplace_back(std::move(name), bytes);
+    return children_.back();
+  }
+
+  /// Appends an already-built subtree (a member structure's own breakdown,
+  /// re-rooted under `name`).
+  MemoryBreakdown& AddChild(std::string name, MemoryBreakdown child) {
+    child.name_ = std::move(name);
+    children_.push_back(std::move(child));
+    return children_.back();
+  }
+
+  /// Self bytes plus all descendants.
+  size_t TotalBytes() const {
+    size_t total = self_bytes_;
+    for (const auto& c : children_) total += c.TotalBytes();
+    return total;
+  }
+
+  /// Child by name (one level); nullptr when absent.
+  const MemoryBreakdown* Find(std::string_view name) const {
+    for (const auto& c : children_)
+      if (c.name_ == name) return &c;
+    return nullptr;
+  }
+
+  /// Depth-first (path, bytes) pairs, parents before children. Parent rows
+  /// report TotalBytes of their subtree, so "fst" and "fst.values" can both
+  /// be charted without double counting inside one level.
+  std::vector<std::pair<std::string, size_t>> Flatten() const {
+    std::vector<std::pair<std::string, size_t>> out;
+    FlattenInto(name_, &out);
+    return out;
+  }
+
+  /// Human-readable indented tree with percent-of-total per component.
+  std::string ToString() const {
+    std::string out;
+    double total = static_cast<double>(TotalBytes());
+    AppendText(&out, 0, total <= 0 ? 1.0 : total);
+    return out;
+  }
+
+  /// Appends {"name":...,"bytes":total,"self_bytes":...,"children":[...]}.
+  void AppendJson(std::string* out) const {
+    out->append("{\"name\":\"");
+    AppendEscaped(out, name_);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\",\"bytes\":%zu,\"self_bytes\":%zu,",
+                  TotalBytes(), self_bytes_);
+    out->append(buf);
+    out->append("\"children\":[");
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i != 0) out->push_back(',');
+      children_[i].AppendJson(out);
+    }
+    out->append("]}");
+  }
+
+ private:
+  static void AppendEscaped(std::string* out, const std::string& s) {
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out->push_back('\\');
+      out->push_back(ch);
+    }
+  }
+
+  void FlattenInto(const std::string& prefix,
+                   std::vector<std::pair<std::string, size_t>>* out) const {
+    out->emplace_back(prefix.empty() ? name_ : prefix, TotalBytes());
+    for (const auto& c : children_) {
+      std::string path = prefix.empty() ? c.name_ : prefix + "." + c.name_;
+      c.FlattenInto(path, out);
+    }
+  }
+
+  void AppendText(std::string* out, int depth, double total) const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%*s%-*s %12zu B  %5.1f%%\n", depth * 2,
+                  "", 28 - depth * 2, name_.c_str(), TotalBytes(),
+                  100.0 * static_cast<double>(TotalBytes()) / total);
+    out->append(buf);
+    for (const auto& c : children_) c.AppendText(out, depth + 1, total);
+  }
+
+  std::string name_;
+  size_t self_bytes_ = 0;
+  std::vector<MemoryBreakdown> children_;
+};
+
+}  // namespace met
+
+#endif  // MET_PROF_MEMORY_BREAKDOWN_H_

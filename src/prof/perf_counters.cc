@@ -1,0 +1,182 @@
+#include "prof/perf_counters.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace met::prof {
+
+#if defined(__linux__)
+
+namespace {
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Order matches the PerfReading::Event bits and the PerfReading fields.
+constexpr EventSpec kEvents[5] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                  unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+}  // namespace
+
+bool PerfCounterSet::Disabled() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("MET_NO_PERF");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return disabled;
+}
+
+PerfCounterSet::PerfCounterSet() {
+  for (int i = 0; i < kNumEvents; ++i) {
+    fds_[i] = -1;
+    ids_[i] = 0;
+  }
+  if (Disabled()) return;
+  for (int i = 0; i < kNumEvents; ++i) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = kEvents[i].type;
+    attr.config = kEvents[i].config;
+    attr.disabled = (group_fd_ == -1) ? 1 : 0;  // group leader starts stopped
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+    int fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, group_fd_,
+                           PERF_FLAG_FD_CLOEXEC);
+    if (fd < 0) continue;  // event not supported here; keep the rest
+    fds_[i] = fd;
+    if (group_fd_ == -1) group_fd_ = fd;
+    if (ioctl(fd, PERF_EVENT_IOC_ID, &ids_[i]) != 0) ids_[i] = 0;
+    ++num_open_;
+  }
+  if (group_fd_ != -1) {
+    ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+}
+
+PerfCounterSet::~PerfCounterSet() {
+  for (int i = 0; i < kNumEvents; ++i)
+    if (fds_[i] >= 0) close(fds_[i]);
+}
+
+void PerfCounterSet::Enable() {
+  if (group_fd_ != -1)
+    ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounterSet::Disable() {
+  if (group_fd_ != -1)
+    ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounterSet::Reset() {
+  if (group_fd_ != -1)
+    ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+}
+
+PerfReading PerfCounterSet::Read() const {
+  PerfReading r;
+  if (group_fd_ == -1) return r;
+
+  // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout:
+  //   u64 nr; { u64 value; u64 id; } cnt[nr];
+  uint64_t buf[1 + 2 * kNumEvents];
+  ssize_t want = static_cast<ssize_t>(sizeof(uint64_t) * (1 + 2 * num_open_));
+  ssize_t got = read(group_fd_, buf, sizeof(buf));
+  if (got < want) return r;
+
+  uint64_t nr = buf[0];
+  for (uint64_t c = 0; c < nr && c < static_cast<uint64_t>(kNumEvents); ++c) {
+    uint64_t value = buf[1 + 2 * c];
+    uint64_t id = buf[2 + 2 * c];
+    for (int i = 0; i < kNumEvents; ++i) {
+      if (fds_[i] < 0 || ids_[i] != id) continue;
+      switch (i) {
+        case 0: r.cycles = value; r.valid |= PerfReading::kCycles; break;
+        case 1:
+          r.instructions = value;
+          r.valid |= PerfReading::kInstructions;
+          break;
+        case 2: r.llc_misses = value; r.valid |= PerfReading::kLlcMisses; break;
+        case 3:
+          r.dtlb_misses = value;
+          r.valid |= PerfReading::kDtlbMisses;
+          break;
+        case 4:
+          r.branch_misses = value;
+          r.valid |= PerfReading::kBranchMisses;
+          break;
+      }
+      break;
+    }
+  }
+  return r;
+}
+
+#else  // !__linux__
+
+bool PerfCounterSet::Disabled() { return true; }
+
+PerfCounterSet::PerfCounterSet() {
+  for (int i = 0; i < kNumEvents; ++i) {
+    fds_[i] = -1;
+    ids_[i] = 0;
+  }
+}
+
+PerfCounterSet::~PerfCounterSet() = default;
+void PerfCounterSet::Enable() {}
+void PerfCounterSet::Disable() {}
+void PerfCounterSet::Reset() {}
+PerfReading PerfCounterSet::Read() const { return {}; }
+
+#endif  // __linux__
+
+PerfScope::PerfScope() : set_(&owned_) {
+  set_->Reset();
+  set_->Enable();
+}
+
+PerfScope::PerfScope(PerfCounterSet* set) : set_(set) {
+  set_->Reset();
+  set_->Enable();
+}
+
+PerfScope::~PerfScope() { Stop(); }
+
+const PerfReading& PerfScope::Stop() {
+  if (!stopped_) {
+    set_->Disable();
+    reading_ = set_->Read();
+    stopped_ = true;
+  }
+  return reading_;
+}
+
+}  // namespace met::prof

@@ -1,0 +1,118 @@
+// met::prof hardware-counter profiling over perf_event_open(2).
+//
+// PerfCounterSet opens one event group — cycles, instructions, LLC misses,
+// dTLB load misses, branch mispredicts — restricted to this process, and
+// reads all five with a single read(2). PerfScope is the RAII wrapper:
+// construct to start, Stop()/destruct to capture the delta.
+//
+// Degradation is first-class, not an error path: containers and locked-down
+// CI runners reject the syscall (EACCES under perf_event_paranoid >= 3,
+// ENOSYS under seccomp), and individual events can be unavailable on a
+// given machine (no LLC event under some hypervisors). available() reports
+// what actually opened; readings carry a per-event valid mask; everything
+// still runs and reports zeros when nothing opened. The fallback test in
+// tests/prof_test.cc runs with counters forcibly unavailable.
+#ifndef MET_PROF_PERF_COUNTERS_H_
+#define MET_PROF_PERF_COUNTERS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace met::prof {
+
+/// Delta of the five tracked events over a measured region. `valid` bits
+/// (kCycles..kBranchMisses order) say which events were actually counted.
+struct PerfReading {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t dtlb_misses = 0;
+  uint64_t branch_misses = 0;
+  uint32_t valid = 0;
+
+  enum Event : uint32_t {
+    kCycles = 1u << 0,
+    kInstructions = 1u << 1,
+    kLlcMisses = 1u << 2,
+    kDtlbMisses = 1u << 3,
+    kBranchMisses = 1u << 4,
+  };
+
+  bool has(Event e) const { return (valid & e) != 0; }
+  bool any() const { return valid != 0; }
+
+  PerfReading& operator-=(const PerfReading& o) {
+    cycles -= o.cycles;
+    instructions -= o.instructions;
+    llc_misses -= o.llc_misses;
+    dtlb_misses -= o.dtlb_misses;
+    branch_misses -= o.branch_misses;
+    return *this;
+  }
+};
+
+/// An opened perf event group (or the graceful no-op when unavailable).
+/// Not thread-safe; counts the calling process on any CPU.
+class PerfCounterSet {
+ public:
+  PerfCounterSet();
+  ~PerfCounterSet();
+
+  PerfCounterSet(const PerfCounterSet&) = delete;
+  PerfCounterSet& operator=(const PerfCounterSet&) = delete;
+
+  /// True when at least one event opened.
+  bool available() const { return num_open_ > 0; }
+
+  void Enable();
+  void Disable();
+  void Reset();
+
+  /// Current cumulative counts (zeros with valid == 0 when unavailable).
+  PerfReading Read() const;
+
+  /// Process-wide kill switch for tests and noisy environments: when the
+  /// MET_NO_PERF environment variable is set, every PerfCounterSet behaves
+  /// as if perf_event_open failed.
+  static bool Disabled();
+
+ private:
+  static constexpr int kNumEvents = 5;
+  int fds_[kNumEvents];
+  uint64_t ids_[kNumEvents];
+  int group_fd_ = -1;
+  int num_open_ = 0;
+};
+
+/// RAII measurement: counters run from construction until Stop() (or
+/// destruction). Use one scope per measured region; reuse the underlying
+/// set via the two-arg form to amortize the open cost across regions.
+class PerfScope {
+ public:
+  /// Owns a private PerfCounterSet.
+  PerfScope();
+
+  /// Borrows `set` (must outlive the scope); resets and enables it.
+  explicit PerfScope(PerfCounterSet* set);
+
+  ~PerfScope();
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+  /// Stops counting and returns the delta since construction. Idempotent:
+  /// later calls return the same reading.
+  const PerfReading& Stop();
+
+  bool available() const { return set_->available(); }
+
+ private:
+  PerfCounterSet owned_;
+  PerfCounterSet* set_;
+  PerfReading reading_;
+  bool stopped_ = false;
+};
+
+}  // namespace met::prof
+
+#endif  // MET_PROF_PERF_COUNTERS_H_

@@ -1,0 +1,44 @@
+// Chrome/Perfetto trace-event export for the met::obs span ring.
+//
+// WriteChromeTrace() renders TraceLog::Global()'s retained spans as a
+// trace_event JSON document ("X" complete events, microsecond timestamps,
+// one track per met thread id) that loads directly in ui.perfetto.dev or
+// chrome://tracing. Zero-duration TraceEvent() marks become instant ("i")
+// events.
+//
+// Automatic mode: setting MET_TRACE_OUT=<path> makes any binary that links
+// libmet and includes prof/prof.h (every bench via bench_util.h) grow the
+// trace ring at startup and dump the trace at exit — no code changes in the
+// instrumented binary.
+#ifndef MET_PROF_TRACE_EXPORT_H_
+#define MET_PROF_TRACE_EXPORT_H_
+
+#include <string>
+
+namespace met::prof {
+
+/// Renders the global TraceLog as trace_event JSON into `*out`.
+void ChromeTraceJson(std::string* out);
+
+/// Writes ChromeTraceJson() to `path`. Returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+/// Path from MET_TRACE_OUT, or empty when unset. Cached after first call.
+const std::string& TraceOutPath();
+
+/// When MET_TRACE_OUT is set: grows the span ring (so long runs keep every
+/// span; capacity override via MET_TRACE_CAP) and installs an atexit hook
+/// writing the trace. Idempotent. Called from prof.h static init.
+void InstallTraceExporter();
+
+namespace internal {
+struct TraceExportInstaller {
+  TraceExportInstaller() { InstallTraceExporter(); }
+};
+// One per program: any TU including this header arms the exporter.
+inline TraceExportInstaller g_trace_export_installer;
+}  // namespace internal
+
+}  // namespace met::prof
+
+#endif  // MET_PROF_TRACE_EXPORT_H_

@@ -1,0 +1,138 @@
+// met::prof allocation tracking: the ground truth that MemoryBreakdown
+// totals are cross-checked against.
+//
+// Two levels:
+//
+//   * TrackingAllocator<T> — a std-compatible allocator charging every
+//     allocate/deallocate to an AllocStats instance. For targeted
+//     accounting of individual containers in tests.
+//
+//   * Process heap counters — live/peak/total bytes across *all* operator
+//     new/delete traffic. The counters live in libmet (heap_stats.cc) and
+//     are always readable, but only move when the optional `met_heap_hook`
+//     object library (prof/heap_hook.cc, which replaces the global operator
+//     new/delete) is linked into the binary. HeapHookActive() reports
+//     whether the hook is present. HeapScope snapshots live bytes around a
+//     build so tests can compare "bytes the structure claims" against
+//     "bytes the heap actually grew".
+#ifndef MET_PROF_TRACKING_ALLOC_H_
+#define MET_PROF_TRACKING_ALLOC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace met::prof {
+
+/// Byte/call counters shared by one or more TrackingAllocator instances.
+/// All updates are relaxed atomics; safe to share across threads.
+struct AllocStats {
+  std::atomic<int64_t> live_bytes{0};
+  std::atomic<uint64_t> total_bytes{0};
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> frees{0};
+  std::atomic<int64_t> peak_bytes{0};
+
+  void OnAlloc(size_t bytes) {
+    int64_t live =
+        live_bytes.fetch_add(static_cast<int64_t>(bytes),
+                             std::memory_order_relaxed) +
+        static_cast<int64_t>(bytes);
+    total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    allocs.fetch_add(1, std::memory_order_relaxed);
+    int64_t peak = peak_bytes.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peak_bytes.compare_exchange_weak(peak, live,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  void OnFree(size_t bytes) {
+    live_bytes.fetch_sub(static_cast<int64_t>(bytes),
+                         std::memory_order_relaxed);
+    frees.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    live_bytes.store(0, std::memory_order_relaxed);
+    total_bytes.store(0, std::memory_order_relaxed);
+    allocs.store(0, std::memory_order_relaxed);
+    frees.store(0, std::memory_order_relaxed);
+    peak_bytes.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// std-allocator adapter over AllocStats. The stats object must outlive
+/// every container using the allocator.
+template <typename T>
+class TrackingAllocator {
+ public:
+  using value_type = T;
+
+  explicit TrackingAllocator(AllocStats* stats) : stats_(stats) {}
+
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>& other)  // NOLINT(runtime/explicit)
+      : stats_(other.stats()) {}
+
+  T* allocate(size_t n) {
+    size_t bytes = n * sizeof(T);
+    stats_->OnAlloc(bytes);
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, size_t n) {
+    stats_->OnFree(n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  AllocStats* stats() const { return stats_; }
+
+  friend bool operator==(const TrackingAllocator& a,
+                         const TrackingAllocator& b) {
+    return a.stats_ == b.stats_;
+  }
+
+ private:
+  AllocStats* stats_;
+};
+
+// ---- process-wide heap counters (fed by prof/heap_hook.cc when linked) ----
+
+/// Heap bytes currently live (allocated minus freed through operator
+/// new/delete). Zero when the hook is not linked.
+int64_t HeapLiveBytes();
+
+/// Cumulative bytes ever allocated through operator new. Zero without hook.
+uint64_t HeapTotalBytes();
+
+/// Number of operator-new calls observed. Zero without hook.
+uint64_t HeapAllocCalls();
+
+/// True when the met_heap_hook object library replaced operator new/delete
+/// in this binary.
+bool HeapHookActive();
+
+/// RAII delta of live heap bytes: construct before building a structure,
+/// call LiveDelta() after — the result is how much the heap actually grew.
+/// Meaningful only when HeapHookActive().
+class HeapScope {
+ public:
+  HeapScope() : start_live_(HeapLiveBytes()) {}
+
+  int64_t LiveDelta() const { return HeapLiveBytes() - start_live_; }
+
+ private:
+  int64_t start_live_;
+};
+
+namespace internal {
+// Defined in heap_stats.cc (always in libmet); heap_hook.cc updates them.
+extern AllocStats g_heap_stats;
+extern std::atomic<bool> g_heap_hook_active;
+}  // namespace internal
+
+}  // namespace met::prof
+
+#endif  // MET_PROF_TRACKING_ALLOC_H_

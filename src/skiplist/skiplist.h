@@ -17,6 +17,7 @@
 #include "check/fwd.h"
 #include "common/assert.h"
 #include "common/random.h"
+#include "prof/memory_breakdown.h"
 
 namespace met {
 
@@ -170,6 +171,24 @@ class SkipList {
       }
     }
     return bytes;
+  }
+
+  /// Component attribution; TotalBytes() == MemoryBytes() (same walk).
+  MemoryBreakdown Breakdown() const {
+    size_t tower_bytes = 0, page_bytes = 0, key_heap = 0;
+    for (const Tower* t = head_; t != nullptr; t = t->next[0]) {
+      tower_bytes += sizeof(Tower) + (t->height - 1) * sizeof(Tower*);
+      if (t->page != nullptr) {
+        page_bytes += sizeof(Page);
+        for (int i = 0; i < t->page->count; ++i)
+          key_heap += btree_internal::KeyHeapBytes(t->page->keys[i]);
+      }
+    }
+    MemoryBreakdown b("skiplist");
+    b.Add("towers", tower_bytes);
+    b.Add("pages", page_bytes);
+    b.Add("key_heap", key_heap);
+    return b;
   }
 
   /// Verifies tower ordering per level, level monotonicity, page-chain

@@ -218,4 +218,11 @@ size_t Surf::MemoryBytes() const {
   return fst_.FilterMemoryBytes() + suffix_words_.capacity() * sizeof(uint64_t);
 }
 
+MemoryBreakdown Surf::Breakdown() const {
+  MemoryBreakdown b("surf");
+  b.AddChild("trie", fst_.FilterBreakdown());
+  b.Add("suffixes", suffix_words_.capacity() * sizeof(uint64_t));
+  return b;
+}
+
 }  // namespace met

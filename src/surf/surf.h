@@ -80,6 +80,10 @@ class Surf {
   size_t num_keys() const { return fst_.num_keys(); }
   size_t MemoryBytes() const;
   size_t MemoryUse() const { return MemoryBytes(); }
+
+  /// Component attribution (truncated-FST filter + suffix words);
+  /// TotalBytes() == MemoryBytes() (same terms).
+  MemoryBreakdown Breakdown() const;
   double BitsPerKey() const {
     return num_keys() == 0 ? 0.0
                            : 8.0 * MemoryBytes() / static_cast<double>(num_keys());

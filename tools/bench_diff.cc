@@ -1,0 +1,101 @@
+// bench_diff: compare two met.bench.v1 JSON reports and flag perf/space
+// regressions.
+//
+//   bench_diff [--threshold 0.10] [--warn-only] [--all] base.json current.json
+//
+// Exit status: 0 when no regression beyond the noise threshold (or when
+// --warn-only), 1 on regression, 2 on usage/parse errors. CI runs this
+// against a committed baseline so a PR that tanks batch-lookup throughput or
+// bloats a structure's bytes/key fails visibly instead of silently.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "prof/bench_diff_core.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threshold F] [--warn-only] [--all] "
+               "base.json current.json\n"
+               "  --threshold F  relative change below F is noise "
+               "(default 0.10)\n"
+               "  --warn-only    print regressions but exit 0 (shared CI "
+               "runners)\n"
+               "  --all          also print metrics within the noise band\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  met::prof::DiffOptions opts;
+  bool warn_only = false;
+  const char* base_path = nullptr;
+  const char* cur_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      opts.threshold = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      opts.threshold = std::atof(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--warn-only") == 0) {
+      warn_only = true;
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      opts.include_neutral = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (cur_path == nullptr) {
+      cur_path = argv[i];
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (base_path == nullptr || cur_path == nullptr) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::string base_text, cur_text, error;
+  if (!ReadFile(base_path, &base_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", base_path);
+    return 2;
+  }
+  if (!ReadFile(cur_path, &cur_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", cur_path);
+    return 2;
+  }
+
+  std::vector<met::prof::BenchRow> base_rows, cur_rows;
+  if (!met::prof::LoadBenchRows(base_text, &base_rows, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", base_path, error.c_str());
+    return 2;
+  }
+  if (!met::prof::LoadBenchRows(cur_text, &cur_rows, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", cur_path, error.c_str());
+    return 2;
+  }
+
+  auto result = met::prof::DiffBenchRows(base_rows, cur_rows, opts);
+  met::prof::PrintDiff(result, stdout);
+
+  if (result.regressions > 0 && !warn_only) return 1;
+  return 0;
+}
