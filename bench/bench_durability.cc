@@ -49,7 +49,7 @@ ModeResult RunMode(const std::string& name, size_t n_ops, bool durable,
                    size_t group_sync_bytes, bool sync_each) {
   const std::string dir = "/tmp/met_bench_durability_" + name;
   io::Env& posix = io::Env::Posix();
-  posix.MkDir(dir);
+  (void)posix.MkDir(dir);  // EEXIST on reruns is fine
   io::RemoveAllFiles(posix, dir);
 
   ModeResult res;

@@ -5,6 +5,8 @@
 // Run with `--json <path>` (or MET_BENCH_JSON=<path>) to also dump the
 // met::obs metric registry — per-op latency histograms recorded below plus
 // the live LSM Bloom/SuRF true/false-positive counters — as JSON.
+#include <cstdlib>
+
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
@@ -139,9 +141,9 @@ LsmTree* BuildLsm(LsmFilterType filter, const char* dir) {
   // Even ints are stored; odd ints are guaranteed absent.
   for (uint64_t i = 0; i < 100000; ++i) {
     std::string key = Uint64ToKey(i * 2);
-    tree->Put(key, key);
+    if (!tree->Put(key, key).ok()) std::abort();  // bench setup must succeed
   }
-  tree->Finish();
+  if (!tree->Finish().ok()) std::abort();  // bench setup must succeed
   return tree;
 }
 

@@ -34,7 +34,7 @@ inline bool EpochDomain::ValidateImpl(std::ostream& os) const {
                    "slot " << i << " pinned at " << v << ", global " << global);
   }
   {
-    std::lock_guard<std::mutex> l(mu_);
+    sync::MutexLock l(mu_);
     std::vector<uint64_t> tags;
     tags.reserve(retired_.size());
     for (const auto& r : retired_) tags.push_back(r.tag);

@@ -39,12 +39,9 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -52,6 +49,8 @@
 
 #include "bloom/bloom.h"
 #include "common/assert.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "hybrid/adapters.h"
 #include "hybrid/epoch.h"
@@ -125,7 +124,7 @@ class ConcurrentHybridIndex {
   bool Insert(const Key& key, Value value) {
     bool froze = false;
     {
-      std::unique_lock<std::shared_mutex> l(mu_);
+      sync::WriterMutexLock l(mu_);
       bool live = FindLocked(key, nullptr);
       if (config_.unique && live) return false;
       active_->InsertOrAssign(key, value);
@@ -140,7 +139,7 @@ class ConcurrentHybridIndex {
   /// Unified point lookup (met::RangeIndex surface).
   bool Lookup(const Key& key, Value* value = nullptr) const {
     {
-      std::shared_lock<std::shared_mutex> l(mu_);
+      sync::ReaderMutexLock l(mu_);
       Value v;
       if (ActiveMayContain(key) && active_->Lookup(key, &v)) {
         if (v == kTombstone) return false;
@@ -163,7 +162,7 @@ class ConcurrentHybridIndex {
   bool Update(const Key& key, Value value) {
     bool froze = false, ok = false;
     {
-      std::unique_lock<std::shared_mutex> l(mu_);
+      sync::WriterMutexLock l(mu_);
       Value v;
       if (ActiveMayContain(key) && active_->Lookup(key, &v)) {
         if (v == kTombstone) return false;
@@ -188,7 +187,7 @@ class ConcurrentHybridIndex {
   bool Erase(const Key& key) {
     bool froze = false, ok = false;
     {
-      std::unique_lock<std::shared_mutex> l(mu_);
+      sync::WriterMutexLock l(mu_);
       const Snapshot* s = snapshot_.load(std::memory_order_seq_cst);
       Value v;
       if (ActiveMayContain(key) && active_->Lookup(key, &v)) {
@@ -224,7 +223,7 @@ class ConcurrentHybridIndex {
     std::shared_ptr<DynamicStage> active;
     const Snapshot* s;
     {
-      std::shared_lock<std::shared_mutex> l(mu_);
+      sync::ReaderMutexLock l(mu_);
       active = active_;
       s = snapshot_.load(std::memory_order_seq_cst);
     }
@@ -235,7 +234,7 @@ class ConcurrentHybridIndex {
     std::array<hybrid::StageFetcher<Key, Value>, 3> fetch;
     fetch[0] = [this, &active](const Key& from, size_t batch,
                                std::vector<std::pair<Key, Value>>* pairs) {
-      std::shared_lock<std::shared_mutex> l(mu_);
+      sync::ReaderMutexLock l(mu_);
       active->ScanPairs(from, batch, pairs);
     };
     if (s->frozen != nullptr) {
@@ -258,7 +257,7 @@ class ConcurrentHybridIndex {
       WaitForMergeIdle();
       bool froze = false, empty = false;
       {
-        std::unique_lock<std::shared_mutex> l(mu_);
+        sync::WriterMutexLock l(mu_);
         if (!merge_inflight_.load(std::memory_order_relaxed)) {
           if (active_->size() == 0) {
             empty = true;
@@ -281,8 +280,8 @@ class ConcurrentHybridIndex {
 
   /// Blocks until no merge is in flight and the drain thread has exited.
   void WaitForMergeIdle() const {
-    std::unique_lock<std::mutex> l(merge_mu_);
-    merge_cv_.wait(l, [&] {
+    sync::MutexLock l(merge_mu_);
+    merge_cv_.Wait(merge_mu_, [&] {
       return !merge_inflight_.load(std::memory_order_relaxed);
     });
     if (merge_thread_.joinable()) merge_thread_.join();
@@ -299,7 +298,7 @@ class ConcurrentHybridIndex {
   size_t MemoryBytes() const {
     size_t bytes = 0;
     {
-      std::shared_lock<std::shared_mutex> l(mu_);
+      sync::ReaderMutexLock l(mu_);
       bytes += active_->MemoryBytes();
       if (active_bloom_ != nullptr) bytes += active_bloom_->MemoryBytes();
     }
@@ -317,7 +316,7 @@ class ConcurrentHybridIndex {
   MemoryBreakdown Breakdown() const {
     MemoryBreakdown b("concurrent_hybrid");
     {
-      std::shared_lock<std::shared_mutex> l(mu_);
+      sync::ReaderMutexLock l(mu_);
       b.AddChild("active_stage", active_->Breakdown());
       if (active_bloom_ != nullptr)
         b.AddChild("active_bloom", active_bloom_->Breakdown());
@@ -332,7 +331,7 @@ class ConcurrentHybridIndex {
   }
 
   size_t ActiveEntries() const {
-    std::shared_lock<std::shared_mutex> l(mu_);
+    sync::ReaderMutexLock l(mu_);
     return active_->size();
   }
 
@@ -352,7 +351,7 @@ class ConcurrentHybridIndex {
   }
 
   HybridMergeStats merge_stats() const {
-    std::lock_guard<std::mutex> l(merge_mu_);
+    sync::MutexLock l(merge_mu_);
     return stats_;
   }
 
@@ -371,8 +370,12 @@ class ConcurrentHybridIndex {
   }
 
   /// Quiescent-only accessor (no internal locking): for validators and
-  /// tests running with no concurrent writers.
-  DynamicStage& active_stage() { return *active_; }
+  /// tests running with no concurrent writers. The annotation opt-out is the
+  /// documented contract, not a gap: taking mu_ here would let validators
+  /// deadlock against themselves.
+  DynamicStage& active_stage() MET_NO_THREAD_SAFETY_ANALYSIS {
+    return *active_;
+  }
 
   const hybrid::EpochDomain& epoch_domain() const { return epoch_; }
 
@@ -389,7 +392,9 @@ class ConcurrentHybridIndex {
 #endif
   }
 
-  bool ValidateImpl(std::ostream& os) const;
+  /// Reads every guarded member without locks — legal only under the
+  /// quiescence contract above, so the static analysis is opted out.
+  bool ValidateImpl(std::ostream& os) const MET_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   struct Snapshot {
@@ -426,7 +431,8 @@ class ConcurrentHybridIndex {
   }
 
   /// Full liveness probe under the writer lock.
-  bool FindLocked(const Key& key, Value* value) const {
+  bool FindLocked(const Key& key, Value* value) const
+      MET_REQUIRES_SHARED(mu_) {
     Value v;
     if (ActiveMayContain(key) && active_->Lookup(key, &v)) {
       if (v == kTombstone) return false;
@@ -436,13 +442,13 @@ class ConcurrentHybridIndex {
     return FindBelow(*snapshot_.load(std::memory_order_seq_cst), key, value);
   }
 
-  bool ActiveMayContain(const Key& key) const {
+  bool ActiveMayContain(const Key& key) const MET_REQUIRES_SHARED(mu_) {
     return active_bloom_ == nullptr ||
            active_bloom_->MayContain(hybrid::BloomKeyOf(key));
   }
 
   // ---- Bloom management for the active stage (writer lock held). ----
-  void BloomAdd(const Key& key) {
+  void BloomAdd(const Key& key) MET_REQUIRES(mu_) {
     if (active_bloom_ == nullptr) return;
     ++bloom_entries_;
     if (bloom_entries_ > bloom_capacity_) {
@@ -453,7 +459,7 @@ class ConcurrentHybridIndex {
     active_bloom_->Add(hybrid::BloomKeyOf(key));
   }
 
-  void RebuildBloom() {
+  void RebuildBloom() MET_REQUIRES(mu_) {
     active_bloom_ = std::make_shared<BloomFilter>(bloom_capacity_,
                                                   config_.bloom_bits_per_key);
     bloom_entries_ = active_->size();
@@ -462,7 +468,7 @@ class ConcurrentHybridIndex {
     for (const auto& e : entries) active_bloom_->Add(hybrid::BloomKeyOf(e.key));
   }
 
-  void FreshBloom(size_t expected) {
+  void FreshBloom(size_t expected) MET_REQUIRES(mu_) {
     if (!config_.use_bloom) return;
     bloom_capacity_ = std::max<size_t>(
         std::min<size_t>(config_.min_merge_entries, 4096), expected);
@@ -476,7 +482,7 @@ class ConcurrentHybridIndex {
   /// Under the writer lock: decides whether a merge is due and, if so,
   /// freezes the active stage. Returns whether a freeze happened (the
   /// caller must then invoke FinishMergeStart() after releasing the lock).
-  bool MaybeStartMergeLocked() {
+  bool MaybeStartMergeLocked() MET_REQUIRES(mu_) {
     if (merge_inflight_.load(std::memory_order_relaxed)) return false;
     size_t dyn = active_->size();
     if (dyn == 0) return false;
@@ -499,7 +505,7 @@ class ConcurrentHybridIndex {
   /// become the snapshot's frozen stage; a fresh active takes their place.
   /// The superseded snapshot is retired only after the swap (the epoch
   /// ordering contract) and reclaimed later, off-lock.
-  void FreezeLocked() {
+  void FreezeLocked() MET_REQUIRES(mu_) {
     obs::ScopedTimer trace(nullptr, "hybrid.concurrent.freeze");
     Timer timer;
     const Snapshot* old = snapshot_.load(std::memory_order_seq_cst);
@@ -515,7 +521,7 @@ class ConcurrentHybridIndex {
     active_bloom_ = nullptr;
     FreshBloom(frozen_entries);
     {
-      std::lock_guard<std::mutex> l(merge_mu_);
+      sync::MutexLock l(merge_mu_);
       stats_.last_merge_dynamic_entries = frozen_entries;
       stats_.last_merge_static_entries = next->stat->size();
     }
@@ -528,7 +534,7 @@ class ConcurrentHybridIndex {
   void FinishMergeStart(bool froze) {
     if (!froze) return;
     if (config_.background_merge) {
-      std::lock_guard<std::mutex> l(merge_mu_);
+      sync::MutexLock l(merge_mu_);
       // A previous drain thread has fully finished (merge_inflight_ was
       // false when this freeze won), so the join returns immediately.
       if (merge_thread_.joinable()) merge_thread_.join();
@@ -561,7 +567,7 @@ class ConcurrentHybridIndex {
     Timer publish_timer;
     {
       obs::ScopedTimer trace(nullptr, "hybrid.concurrent.publish");
-      std::unique_lock<std::shared_mutex> l(mu_);
+      sync::WriterMutexLock l(mu_);
       const Snapshot* cur = snapshot_.load(std::memory_order_seq_cst);
       auto* next = new Snapshot{
           nullptr, nullptr,
@@ -578,34 +584,37 @@ class ConcurrentHybridIndex {
     obs.publish_ns->RecordNanos(publish_timer.ElapsedNanos());
     obs.merge_entries->Record(drained);
     {
-      std::lock_guard<std::mutex> l(merge_mu_);
+      sync::MutexLock l(merge_mu_);
       ++stats_.merge_count;
       stats_.last_merge_seconds =
           static_cast<double>(drain_ns) / 1e9;
       stats_.total_merge_seconds += stats_.last_merge_seconds;
       merge_inflight_.store(false, std::memory_order_relaxed);
-      merge_cv_.notify_all();
+      merge_cv_.NotifyAll();
     }
   }
 
   ConcurrentHybridConfig config_;
 
-  mutable std::shared_mutex mu_;  // guards active_, active_bloom_, swaps
-  std::shared_ptr<DynamicStage> active_;
-  std::shared_ptr<BloomFilter> active_bloom_;
-  size_t bloom_entries_ = 0;  // guarded by mu_
-  size_t bloom_capacity_;     // guarded by mu_
+  mutable sync::SharedMutex mu_;
+  std::shared_ptr<DynamicStage> active_ MET_GUARDED_BY(mu_);
+  std::shared_ptr<BloomFilter> active_bloom_ MET_GUARDED_BY(mu_);
+  size_t bloom_entries_ MET_GUARDED_BY(mu_) = 0;
+  size_t bloom_capacity_ MET_GUARDED_BY(mu_);
 
-  std::atomic<const Snapshot*> snapshot_{nullptr};
+  /// Published pointer: readers reach it through an epoch pin (EpochGuard),
+  /// never a lock; writers swap it under mu_ and retire the old value. The
+  /// pointee is const — the lint pass enforces that shape.
+  sync::Atomic<const Snapshot*> snapshot_{nullptr};
   mutable hybrid::EpochDomain epoch_;
 
-  std::atomic<size_t> size_{0};
+  sync::Atomic<size_t> size_{0};
 
-  std::atomic<bool> merge_inflight_{false};
-  mutable std::mutex merge_mu_;  // guards merge_thread_, stats_, the cv
-  mutable std::condition_variable merge_cv_;
-  mutable std::thread merge_thread_;
-  HybridMergeStats stats_;
+  sync::Atomic<bool> merge_inflight_{false};
+  mutable sync::Mutex merge_mu_;
+  mutable sync::CondVar merge_cv_;
+  mutable std::thread merge_thread_ MET_GUARDED_BY(merge_mu_);
+  HybridMergeStats stats_ MET_GUARDED_BY(merge_mu_);
 };
 
 // ---------------------------------------------------------------------------

@@ -214,9 +214,11 @@ class FaultyFile final : public File {
       if (prefix > 0) {
         std::string_view data(static_cast<const char*>(buf), prefix);
         if (offset != nullptr) {
+          // Torn-write injection: the partial landing IS the fault being
+          // modeled, so the base result is irrelevant by design.
           (void)base_->WriteFull(*offset, data);
         } else {
-          (void)base_->AppendFull(data, RetryPolicy(), put);
+          (void)base_->AppendFull(data, RetryPolicy(), put);  // ditto
         }
         if (offset != nullptr) *put = prefix;
       }

@@ -348,7 +348,7 @@ Status Env::AtomicWriteFile(const std::string& path, std::string_view data) {
   if (!s.ok()) return s;
   s = Rename(tmp, path);
   if (!s.ok()) {
-    (void)Remove(tmp);
+    (void)Remove(tmp);  // best-effort cleanup; the rename error is reported
     return s;
   }
   size_t slash = path.find_last_of('/');
@@ -359,7 +359,7 @@ void RemoveAllFiles(Env& env, const std::string& dir) {
   std::vector<std::string> entries;
   if (!env.ListDir(dir, &entries).ok()) return;
   for (const std::string& e : entries) {
-    (void)env.Remove(dir + "/" + e);
+    (void)env.Remove(dir + "/" + e);  // best-effort sweep; helper is advisory
   }
 }
 

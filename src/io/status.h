@@ -23,7 +23,10 @@ enum class StatusCode : unsigned char {
   kInvalidArgument,  // bad fault spec, bad open mode, ...
 };
 
-class Status {
+/// [[nodiscard]] at class scope: a dropped Status return is a compile
+/// warning (build break under -Werror) at every call site. Intentional
+/// drops must say so with `(void)` and a comment.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 

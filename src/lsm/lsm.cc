@@ -158,7 +158,7 @@ LsmTree::LsmTree(const LsmOptions& options) : options_(options) {
     io::Status s = Recover();
     if (!s.ok()) last_io_error_ = s;
   } else {
-    (void)env_->MkDir(options_.dir);
+    (void)env_->MkDir(options_.dir);  // pre-existing dir is fine (EEXIST)
   }
 }
 
@@ -170,8 +170,8 @@ LsmTree::~LsmTree() {
     // Clean close: ack everything in the WAL; the directory stays behind
     // for the next Open to recover.
     if (wal_ != nullptr) {
-      (void)wal_->Sync();
-      (void)wal_->Close();
+      (void)wal_->Sync();   // destructor: nowhere to report; recovery replays
+      (void)wal_->Close();  // ditto
     }
     for (auto& level : levels_)
       for (auto& t : level)
@@ -199,14 +199,15 @@ void LsmTree::SimulateCrash() {
 
 void LsmTree::CloseAndRemoveFile(SsTable& t) {
   if (t.file != nullptr) {
-    (void)t.file->Close();
+    (void)t.file->Close();  // dropping the table; close errors change nothing
     t.file.reset();
   }
-  (void)env_->Remove(t.path);
+  (void)env_->Remove(t.path);  // orphan files are swept at next recovery
 }
 
 void LsmTree::SyncObsCounters() {
   const LsmObsMetrics& m = LsmObsMetrics::Get();
+  sync::MutexLock lock(obs_mu_);
   m.block_reads->Add(stats_.block_reads - obs_synced_.block_reads);
   m.block_cache_hits->Add(stats_.block_cache_hits -
                           obs_synced_.block_cache_hits);
@@ -260,7 +261,8 @@ io::Status LsmTree::Put(std::string_view key, std::string_view value) {
   // flush, compaction) are reported via last_io_error() only.
   if (options_.durable &&
       wal_->unsynced_bytes() >= options_.wal_group_sync_bytes) {
-    (void)SyncWal();
+    (void)SyncWal();  // group sync is opportunistic; failure surfaces via
+                      // last_io_error_ and the next forced sync
   }
   if (memtable_bytes_ >= options_.memtable_bytes) {
     io::Status s = FlushMemTable();
@@ -325,12 +327,13 @@ io::Status LsmTree::FlushMemTable() {
       auto dropped = std::move(levels_[0].back());
       levels_[0].pop_back();
       CloseAndRemoveFile(*dropped);
-      (void)new_wal->Close();
-      (void)env_->Remove(WalPath(new_gen));
+      (void)new_wal->Close();              // error path: report s, not these
+      (void)env_->Remove(WalPath(new_gen));  // ditto
       return s;
     }
+    // Old WAL's records are in the flushed table now; drop best-effort.
     if (wal_ != nullptr) (void)wal_->Close();
-    (void)env_->Remove(WalPath(old_gen));
+    (void)env_->Remove(WalPath(old_gen));  // see above: superseded by flush
     wal_ = std::move(new_wal);
   } else {
     levels_[0].push_back(std::move(t));
@@ -409,7 +412,7 @@ io::Status LsmTree::WriteTableFile(
   }
   if (s.ok()) s = env_->NewFile(t->path, io::OpenMode::kRead, &t->file);
   if (!s.ok()) {
-    (void)env_->Remove(t->path);
+    (void)env_->Remove(t->path);  // cleanup; the flush error is what matters
     return s;
   }
   return io::Status::OK();

@@ -35,6 +35,8 @@
 #include "bloom/bloom.h"
 #include "check/fwd.h"
 #include "common/assert.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "io/io.h"
 #include "io/status.h"
 #include "obs/obs.h"
@@ -84,16 +86,19 @@ struct LsmOptions {
 /// and benches reset/read these per tree). Process-wide aggregates,
 /// including filter true/false-positive counters for live FPR, live in the
 /// obs::MetricsRegistry under "lsm.*" (see LsmObsMetrics).
+/// Counter fields are sync::RelaxedCounter, not uint64_t: the owning thread
+/// is the only writer, but SyncObsCounters() reads them from whatever thread
+/// runs an obs dump (registry collector), so reads must not tear.
 struct LsmStats {
-  uint64_t block_reads = 0;       // disk block fetches (cache misses)
-  uint64_t block_cache_hits = 0;
-  uint64_t filter_probes = 0;
-  uint64_t filter_negatives = 0;  // I/Os saved by a filter
-  uint64_t flushes = 0;
-  uint64_t compactions = 0;
-  uint64_t wal_appends = 0;
-  uint64_t wal_syncs = 0;
-  uint64_t block_corruptions = 0;  // checksum failures => quarantined blocks
+  sync::RelaxedCounter block_reads;       // disk block fetches (cache misses)
+  sync::RelaxedCounter block_cache_hits;
+  sync::RelaxedCounter filter_probes;
+  sync::RelaxedCounter filter_negatives;  // I/Os saved by a filter
+  sync::RelaxedCounter flushes;
+  sync::RelaxedCounter compactions;
+  sync::RelaxedCounter wal_appends;
+  sync::RelaxedCounter wal_syncs;
+  sync::RelaxedCounter block_corruptions;  // checksum failures => quarantined
 };
 
 /// Process-wide LSM metrics, shared by every LsmTree. Filter probes with a
@@ -336,15 +341,19 @@ class LsmTree {
   std::vector<const BloomFilter*> probe_blooms_;
   std::vector<uint32_t> probe_bloom_slot_;
 
-  // Publishes stats_ / outcome deltas to the global registry (runs on every
-  // obs dump via a registry collector).
-  void SyncObsCounters();
+  // Publishes stats_ / outcome deltas to the global registry. Runs on every
+  // obs dump via a registry collector — i.e. on arbitrary dump threads while
+  // the owner thread keeps counting — so the counters it reads are
+  // RelaxedCounters and the synced-watermark state is guarded by obs_mu_
+  // (two concurrent dumps must not double-publish a delta).
+  void SyncObsCounters() MET_EXCLUDES(obs_mu_);
   struct FilterOutcomes {
-    uint64_t bloom_tp = 0, bloom_fp = 0, surf_tp = 0, surf_fp = 0;
+    sync::RelaxedCounter bloom_tp, bloom_fp, surf_tp, surf_fp;
   };
   FilterOutcomes outcomes_;
-  LsmStats obs_synced_;            // portion of stats_ already published
-  FilterOutcomes outcomes_synced_;  // portion of outcomes_ already published
+  mutable sync::Mutex obs_mu_;
+  LsmStats obs_synced_ MET_GUARDED_BY(obs_mu_);  // already-published portion
+  FilterOutcomes outcomes_synced_ MET_GUARDED_BY(obs_mu_);
   obs::MetricsRegistry::CollectorId obs_collector_ = 0;
 
   // Block cache: CLOCK over (table_id, block) -> decoded entries.

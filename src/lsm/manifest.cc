@@ -60,7 +60,7 @@ io::Status LsmManifest::Write(io::Env& env, const std::string& dir,
   const std::string name = FileName(gen);
   io::Status s = env.WriteStringToFile(dir + "/" + name, blob, /*sync=*/true);
   if (!s.ok()) {
-    (void)env.Remove(dir + "/" + name);
+    (void)env.Remove(dir + "/" + name);  // cleanup; the write error is king
     return s;
   }
   s = env.AtomicWriteFile(dir + "/CURRENT", name + "\n");
@@ -72,7 +72,7 @@ io::Status LsmManifest::Write(io::Env& env, const std::string& dir,
   if (env.ListDir(dir, &entries).ok()) {
     for (const std::string& e : entries) {
       if (e.rfind("MANIFEST-", 0) == 0 && e != name) {
-        (void)env.Remove(dir + "/" + e);
+        (void)env.Remove(dir + "/" + e);  // stale manifests: best-effort GC
       }
     }
   }

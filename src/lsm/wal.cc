@@ -73,7 +73,7 @@ io::Status LsmWal::Close() {
 
 void LsmWal::AbandonForCrash() {
   if (file_ == nullptr) return;
-  (void)file_->Close();
+  (void)file_->Close();  // modeling a crash: losing unsynced bytes is the point
   file_.reset();
 }
 

@@ -13,6 +13,11 @@
 // (`tail_torn()`): further appends would land after garbage and be
 // unreachable at replay, so the log refuses them until the tree rotates to
 // a fresh WAL at the next flush.
+//
+// Threading: single-owner. LsmWal has no internal locking; LsmTree calls it
+// with the tree's external synchronization (one writer at a time — the
+// model-checked `model_check --workload=wal` group-commit harness mirrors
+// this contract with its own mutex).
 #ifndef MET_LSM_WAL_H_
 #define MET_LSM_WAL_H_
 

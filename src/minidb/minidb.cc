@@ -240,9 +240,9 @@ MiniDb::MiniDb(IndexKind kind, std::string anticache_path, io::Env* env)
 
 MiniDb::~MiniDb() {
   if (anticache_file_ != nullptr) {
-    (void)anticache_file_->Close();
+    (void)anticache_file_->Close();  // best-effort teardown of scratch state
     anticache_file_.reset();
-    (void)env_->Remove(anticache_path_);
+    (void)env_->Remove(anticache_path_);  // ditto; file is disposable
   }
 }
 

@@ -15,11 +15,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace met::obs {
@@ -67,10 +68,15 @@ class MetricsRegistry {
 
   /// Lookup without creating; nullptr when the name was never registered.
   Counter* FindCounter(std::string_view name) const {
+    sync::MutexLock lock(mu_);
     return Find(counters_, name);
   }
-  Gauge* FindGauge(std::string_view name) const { return Find(gauges_, name); }
+  Gauge* FindGauge(std::string_view name) const {
+    sync::MutexLock lock(mu_);
+    return Find(gauges_, name);
+  }
   Histogram* FindHistogram(std::string_view name) const {
+    sync::MutexLock lock(mu_);
     return Find(histograms_, name);
   }
 
@@ -82,14 +88,14 @@ class MetricsRegistry {
   using CollectorId = uint64_t;
 
   CollectorId AddCollector(std::function<void()> fn) {
-    std::lock_guard<std::mutex> lock(collector_mu_);
+    sync::MutexLock lock(collector_mu_);
     CollectorId id = next_collector_id_++;
     collectors_.emplace_back(id, std::move(fn));
     return id;
   }
 
   void RemoveCollector(CollectorId id) {
-    std::lock_guard<std::mutex> lock(collector_mu_);
+    sync::MutexLock lock(collector_mu_);
     for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
       if (it->first == id) {
         collectors_.erase(it);
@@ -102,7 +108,7 @@ class MetricsRegistry {
   void Collect() const {
     std::vector<std::function<void()>> fns;
     {
-      std::lock_guard<std::mutex> lock(collector_mu_);
+      sync::MutexLock lock(collector_mu_);
       fns.reserve(collectors_.size());
       for (const auto& [id, fn] : collectors_) fns.push_back(fn);
     }
@@ -111,7 +117,7 @@ class MetricsRegistry {
 
   void DumpText(FILE* f) const {
     Collect();
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     std::fprintf(f, "--- met::obs metrics ---\n");
     for (const auto& [name, c] : counters_)
       std::fprintf(f, "counter   %-44s %" PRIu64 "\n", name.c_str(), c->Value());
@@ -131,7 +137,7 @@ class MetricsRegistry {
   /// Appends a JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
   void DumpJson(std::string* out) const {
     Collect();
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     char buf[160];
     out->append("{\"counters\":{");
     bool first = true;
@@ -173,7 +179,7 @@ class MetricsRegistry {
   /// Zeroes every counter and histogram (gauges keep their level). Intended
   /// for tests and for delta dumps between workload phases.
   void ResetAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     for (auto& [name, c] : counters_) c->Reset();
     for (auto& [name, h] : histograms_) h->Reset();
   }
@@ -212,16 +218,19 @@ class MetricsRegistry {
   using Map = std::map<std::string, std::unique_ptr<T>, std::less<>>;
 
   template <typename T>
-  T* Get(Map<T>* map, std::string_view name) {
-    std::lock_guard<std::mutex> lock(mu_);
+  T* Get(Map<T>* map, std::string_view name) MET_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
     auto it = map->find(name);
     if (it == map->end())
       it = map->emplace(std::string(name), std::make_unique<T>()).first;
     return it->second.get();
   }
 
+  /// Static helper: callers hold mu_ (the maps are guarded; Find itself
+  /// cannot express that for a by-reference parameter).
   template <typename T>
-  static T* Find(const Map<T>& map, std::string_view name) {
+  static T* Find(const Map<T>& map, std::string_view name)
+      MET_NO_THREAD_SAFETY_ANALYSIS {
     auto it = map.find(name);
     return it == map.end() ? nullptr : it->second.get();
   }
@@ -232,14 +241,15 @@ class MetricsRegistry {
     out->append("\":");
   }
 
-  mutable std::mutex mu_;
-  Map<Counter> counters_;
-  Map<Gauge> gauges_;
-  Map<Histogram> histograms_;
+  mutable sync::Mutex mu_;
+  Map<Counter> counters_ MET_GUARDED_BY(mu_);
+  Map<Gauge> gauges_ MET_GUARDED_BY(mu_);
+  Map<Histogram> histograms_ MET_GUARDED_BY(mu_);
 
-  mutable std::mutex collector_mu_;
-  CollectorId next_collector_id_ = 1;
-  std::vector<std::pair<CollectorId, std::function<void()>>> collectors_;
+  mutable sync::Mutex collector_mu_;
+  CollectorId next_collector_id_ MET_GUARDED_BY(collector_mu_) = 1;
+  std::vector<std::pair<CollectorId, std::function<void()>>> collectors_
+      MET_GUARDED_BY(collector_mu_);
 };
 
 }  // inline namespace obs_v1

@@ -44,6 +44,11 @@ inline void DumpAllText(FILE* f) {
   TraceLog::Global().DumpText(f);
 }
 
+/// Forces construction of the registry/trace singletons. Call before code
+/// whose timing or determinism matters (e.g. met::race exploration): a
+/// first-touch inside the measured/explored region would perturb it.
+void WarmUp();
+
 /// Appends {"metrics":{...},"trace":[...]}.
 inline void DumpAllJson(std::string* out) {
   out->append("{\"metrics\":");
@@ -75,6 +80,7 @@ inline namespace obs_noop {
 
 inline bool MetricsEnabled() { return false; }
 inline void DumpAllText(FILE*) {}
+inline void WarmUp() {}
 inline void DumpAllJson(std::string* out) {
   out->append("{\"metrics\":{\"counters\":{},\"gauges\":{},\"histograms\":{}},\"trace\":[]}");
 }

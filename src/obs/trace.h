@@ -13,9 +13,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace met::obs {
@@ -62,7 +63,7 @@ class TraceLog {
 
   void Append(const char* name, uint64_t start_nanos, uint64_t duration_nanos) {
     uint32_t tid = CurrentThreadId();
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     spans_[next_ % spans_.size()] =
         Span{name, start_nanos, duration_nanos, tid};
     ++next_;
@@ -73,14 +74,14 @@ class TraceLog {
   /// exporter uses it so a whole bench run fits in one exported trace.
   void SetCapacity(size_t capacity) {
     if (capacity == 0) capacity = 1;
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     spans_.assign(capacity, Span{});
     next_ = 0;
   }
 
   /// Copies the retained spans, oldest first.
   std::vector<Span> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     std::vector<Span> out;
     size_t n = next_ < spans_.size() ? next_ : spans_.size();
     out.reserve(n);
@@ -90,7 +91,7 @@ class TraceLog {
   }
 
   uint64_t TotalSpans() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return next_;
   }
 
@@ -124,14 +125,14 @@ class TraceLog {
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     next_ = 0;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
-  size_t next_ = 0;  // total spans ever appended
+  mutable sync::Mutex mu_;
+  std::vector<Span> spans_ MET_GUARDED_BY(mu_);
+  size_t next_ MET_GUARDED_BY(mu_) = 0;  // total spans ever appended
 };
 
 /// Records the scope's wall time into `hist` (and, when `trace_name` is a

@@ -252,8 +252,8 @@ LsmOptions MutationLsmOptions(const char* tag) {
 }
 
 void FillLsm(LsmTree* t) {
-  for (const std::string& k : Keys(2000)) t->Put(k, "value-" + k);
-  t->Finish();
+  for (const std::string& k : Keys(2000)) ASSERT_TRUE(t->Put(k, "value-" + k).ok());
+  ASSERT_TRUE(t->Finish().ok());
 }
 
 TEST(CheckMutation, LsmFenceOffsets) {

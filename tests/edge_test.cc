@@ -84,7 +84,7 @@ TEST(LsmEdgeTest, EmptyTreeQueries) {
   EXPECT_FALSE(lsm.Lookup("x"));
   EXPECT_FALSE(lsm.Seek("x").has_value());
   EXPECT_EQ(lsm.Count("a", "z"), 0u);
-  lsm.Finish();  // no crash on empty flush
+  ASSERT_TRUE(lsm.Finish().ok());  // no crash on empty flush
   EXPECT_EQ(lsm.NumTables(), 0u);
 }
 
@@ -92,8 +92,8 @@ TEST(LsmEdgeTest, MemTableOnlyQueries) {
   LsmOptions opt;
   opt.dir = "/tmp/met_lsm_edge_mem";
   LsmTree lsm(opt);
-  lsm.Put("banana", "1");
-  lsm.Put("apple", "2");
+  ASSERT_TRUE(lsm.Put("banana", "1").ok());
+  ASSERT_TRUE(lsm.Put("apple", "2").ok());
   std::string v;
   EXPECT_TRUE(lsm.Lookup("apple", &v));
   EXPECT_EQ(v, "2");
@@ -113,8 +113,8 @@ TEST(LsmEdgeTest, OverwriteLatestWinsAcrossLevels) {
   // Write the same keys repeatedly across many flush/compaction cycles.
   for (int round = 0; round < 20; ++round)
     for (int k = 0; k < 200; ++k)
-      lsm.Put("key" + std::to_string(k), "round" + std::to_string(round));
-  lsm.Finish();
+      ASSERT_TRUE(lsm.Put("key" + std::to_string(k), "round" + std::to_string(round)).ok());
+  ASSERT_TRUE(lsm.Finish().ok());
   std::string v;
   for (int k = 0; k < 200; ++k) {
     ASSERT_TRUE(lsm.Lookup("key" + std::to_string(k), &v));

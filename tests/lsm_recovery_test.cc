@@ -397,8 +397,8 @@ TEST(LsmRecoveryTest, EphemeralModeStillCleansUp) {
     LsmOptions opt = TinyDurable(dir);
     opt.durable = false;
     LsmTree tree(opt);
-    for (int i = 0; i < 2000; ++i) tree.Put(Key(i), "x");
-    tree.Finish();
+    for (int i = 0; i < 2000; ++i) ASSERT_TRUE(tree.Put(Key(i), "x").ok());
+    ASSERT_TRUE(tree.Finish().ok());
     EXPECT_GT(tree.NumTables(), 0u);
   }
   std::vector<std::string> entries;

@@ -34,15 +34,15 @@ TEST_P(LsmFilterTest, PutGetAcrossCompactions) {
   auto keys = GenEmails(8000, 5);
   for (const auto& k : keys) {
     std::string v = "val_" + std::to_string(rng.Next() % 1000);
-    lsm.Put(k, v);
+    ASSERT_TRUE(lsm.Put(k, v).ok());
     ref[k] = v;
   }
   // Overwrites.
   for (size_t i = 0; i < keys.size(); i += 10) {
-    lsm.Put(keys[i], "updated");
+    ASSERT_TRUE(lsm.Put(keys[i], "updated").ok());
     ref[keys[i]] = "updated";
   }
-  lsm.Finish();
+  ASSERT_TRUE(lsm.Finish().ok());
   EXPECT_GT(lsm.NumTables(), 1u);
   for (size_t i = 0; i < keys.size(); i += 3) {
     std::string v;
@@ -58,10 +58,10 @@ TEST_P(LsmFilterTest, SeekMatchesReference) {
   std::set<std::string> ref;
   for (auto v : ints) {
     std::string k = Uint64ToKey(v);
-    lsm.Put(k, "x");
+    ASSERT_TRUE(lsm.Put(k, "x").ok());
     ref.insert(k);
   }
-  lsm.Finish();
+  ASSERT_TRUE(lsm.Finish().ok());
   Random rng(9);
   for (int t = 0; t < 500; ++t) {
     std::string q = Uint64ToKey(rng.Next());
@@ -80,8 +80,8 @@ TEST_P(LsmFilterTest, ClosedSeekMatchesReference) {
   LsmTree lsm(SmallOptions("cseek", GetParam()));
   auto ints = GenRandomInts(20000, 11);
   std::set<uint64_t> ref(ints.begin(), ints.end());
-  for (auto v : ints) lsm.Put(Uint64ToKey(v), "x");
-  lsm.Finish();
+  for (auto v : ints) ASSERT_TRUE(lsm.Put(Uint64ToKey(v), "x").ok());
+  ASSERT_TRUE(lsm.Finish().ok());
   Random rng(13);
   for (int t = 0; t < 500; ++t) {
     uint64_t a = rng.Next();
@@ -112,11 +112,11 @@ TEST(LsmTest, FiltersSavePointIo) {
   LsmTree bloom(SmallOptions("io_bloom", LsmFilterType::kBloom));
   auto ints = GenRandomInts(30000, 17);
   for (auto v : ints) {
-    none.Put(Uint64ToKey(v), "x");
-    bloom.Put(Uint64ToKey(v), "x");
+    ASSERT_TRUE(none.Put(Uint64ToKey(v), "x").ok());
+    ASSERT_TRUE(bloom.Put(Uint64ToKey(v), "x").ok());
   }
-  none.Finish();
-  bloom.Finish();
+  ASSERT_TRUE(none.Finish().ok());
+  ASSERT_TRUE(bloom.Finish().ok());
   none.ResetStats();
   bloom.ResetStats();
   Random rng(19);
@@ -134,11 +134,11 @@ TEST(LsmTest, SurfSavesClosedSeekIo) {
   LsmTree surf(SmallOptions("rs_surf", LsmFilterType::kSurfReal));
   auto ints = GenRandomInts(30000, 23);
   for (auto v : ints) {
-    none.Put(Uint64ToKey(v), "x");
-    surf.Put(Uint64ToKey(v), "x");
+    ASSERT_TRUE(none.Put(Uint64ToKey(v), "x").ok());
+    ASSERT_TRUE(surf.Put(Uint64ToKey(v), "x").ok());
   }
-  none.Finish();
-  surf.Finish();
+  ASSERT_TRUE(none.Finish().ok());
+  ASSERT_TRUE(surf.Finish().ok());
   none.ResetStats();
   surf.ResetStats();
   Random rng(29);
@@ -158,8 +158,8 @@ TEST(LsmTest, CountApproximation) {
   LsmTree surf(SmallOptions("cnt", LsmFilterType::kSurfReal));
   auto ints = GenRandomInts(20000, 31);
   std::set<uint64_t> ref(ints.begin(), ints.end());
-  for (auto v : ints) surf.Put(Uint64ToKey(v), "x");
-  surf.Finish();
+  for (auto v : ints) ASSERT_TRUE(surf.Put(Uint64ToKey(v), "x").ok());
+  ASSERT_TRUE(surf.Finish().ok());
   Random rng(37);
   for (int t = 0; t < 100; ++t) {
     uint64_t a = rng.Next();

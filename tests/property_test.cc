@@ -587,7 +587,7 @@ void LsmDifferential(LsmFilterType filter, uint64_t seed, size_t n_ops) {
       case DiffOp::kInsertOrAssign:
       case DiffOp::kUpdate: {
         std::string v = "v" + std::to_string(op.value);
-        tree.Put(k, v);
+        ASSERT_TRUE(tree.Put(k, v).ok());
         oracle[k] = v;
         break;
       }
@@ -637,7 +637,7 @@ void LsmDifferential(LsmFilterType filter, uint64_t seed, size_t n_ops) {
     if ((i + 1) % 4096 == 0) validate(i);
   }
 
-  tree.Finish();
+  ASSERT_TRUE(tree.Finish().ok());
   validate(ops.size());
   for (const auto& kv : oracle) {
     std::string got_v;

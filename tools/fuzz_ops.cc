@@ -254,7 +254,7 @@ DiffResult LsmTarget(const std::vector<std::string>& keys,
       case DiffOp::kInsertOrAssign:
       case DiffOp::kUpdate: {
         std::string v = "v" + std::to_string(op.value);
-        tree.Put(k, v);
+        if (!tree.Put(k, v).ok()) std::abort();  // would desync the oracle
         oracle[k] = v;
         break;
       }
