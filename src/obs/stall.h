@@ -24,6 +24,24 @@ class StallSplit {
     Cell(is_read, merge_inflight).RecordNanos(nanos);
   }
 
+  /// Records one batched execution of `count` operations that together took
+  /// `total_nanos`. Every operation contributes one sample; the integer
+  /// remainder is distributed over the first `total_nanos % count`
+  /// operations (one extra nanosecond each) so the recorded population sums
+  /// to exactly `total_nanos` — a plain truncating `total / count` loses up
+  /// to count-1 ns per batch and stamps every op with a byte-identical
+  /// value, which is how the sharded YCSB driver's batched-read path
+  /// flattened intra-batch tails (pinned by StallSplitTest.BatchRecord*).
+  void RecordBatch(bool is_read, bool merge_inflight, uint64_t total_nanos,
+                   size_t count) {
+    if (count == 0) return;
+    Histogram& h = Cell(is_read, merge_inflight);
+    uint64_t per_op = total_nanos / count;
+    uint64_t extra = total_nanos % count;  // first `extra` ops get +1 ns
+    for (size_t i = 0; i < count; ++i)
+      h.RecordNanos(per_op + (i < extra ? 1 : 0));
+  }
+
   const Histogram& Reads(bool merge_inflight) const {
     return merge_inflight ? read_merge_ : read_idle_;
   }

@@ -1,0 +1,202 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace met::serve {
+
+namespace {
+
+io::Status Errno(const char* what) {
+  int e = errno;
+  return io::Status::IoError(std::string(what) + ": " + std::strerror(e), e);
+}
+
+io::Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return Errno("fcntl(O_NONBLOCK)");
+  return io::Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best effort: latency tuning only, never correctness.
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+io::Status OpenListener(uint16_t port, int* listen_fd, uint16_t* bound_port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    io::Status s = Errno("setsockopt(SO_REUSEADDR)");
+    CloseFd(fd);
+    return s;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    io::Status s = Errno("bind");
+    CloseFd(fd);
+    return s;
+  }
+  if (listen(fd, 1024) < 0) {
+    io::Status s = Errno("listen");
+    CloseFd(fd);
+    return s;
+  }
+  if (io::Status s = SetNonBlocking(fd); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&got), &len) < 0) {
+      io::Status s = Errno("getsockname");
+      CloseFd(fd);
+      return s;
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  *listen_fd = fd;
+  return io::Status::OK();
+}
+
+io::Status AcceptConn(int listen_fd, int* conn_fd) {
+  *conn_fd = -1;
+  for (;;) {
+    int fd = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      if (io::Status s = SetNonBlocking(fd); !s.ok()) {
+        CloseFd(fd);
+        return s;
+      }
+      SetNoDelay(fd);
+      *conn_fd = fd;
+      return io::Status::OK();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return io::Status::OK();
+    // A connection that died in the accept queue is not a listener failure.
+    if (errno == ECONNABORTED) continue;
+    return Errno("accept");
+  }
+}
+
+io::Status ConnectTcp(const std::string& host, uint16_t port, int* fd) {
+  int s = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (s < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(s);
+    return io::Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  for (;;) {
+    if (connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      break;
+    if (errno == EINTR) continue;
+    io::Status st = Errno("connect");
+    CloseFd(s);
+    return st;
+  }
+  SetNoDelay(s);
+  *fd = s;
+  return io::Status::OK();
+}
+
+io::Status ReadSome(int fd, std::string* buf, bool* eof, bool* would_block) {
+  *eof = false;
+  *would_block = false;
+  char chunk[64 * 1024];
+  for (;;) {
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf->append(chunk, static_cast<size_t>(n));
+      return io::Status::OK();
+    }
+    if (n == 0) {
+      *eof = true;
+      return io::Status::OK();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return io::Status::OK();
+    }
+    return Errno("recv");
+  }
+}
+
+io::Status WriteSome(int fd, std::string_view data, size_t* written,
+                     bool* would_block) {
+  *written = 0;
+  *would_block = false;
+  while (*written < data.size()) {
+    ssize_t n = send(fd, data.data() + *written, data.size() - *written,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      *written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      *would_block = true;
+      return io::Status::OK();
+    }
+    return Errno("send");
+  }
+  return io::Status::OK();
+}
+
+io::Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return io::Status::OK();
+}
+
+io::Status RecvSome(int fd, std::string* buf) {
+  char chunk[64 * 1024];
+  for (;;) {
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf->append(chunk, static_cast<size_t>(n));
+      return io::Status::OK();
+    }
+    if (n == 0) return io::Status::NotFound("peer closed");
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  // Retrying close on EINTR is wrong on Linux (the fd is released either
+  // way); a failed close is unactionable here.
+  (void)close(fd);  // fd state is undefined after EINTR; never retried
+}
+
+}  // namespace met::serve

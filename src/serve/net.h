@@ -1,0 +1,62 @@
+// met::serve socket layer — io::Status-returning TCP primitives for the
+// serving engine, hardened the same way met::io hardens file I/O:
+//
+//   - every syscall loops on EINTR (never surfaces it to callers);
+//   - short transfers are the caller-visible unit (ReadSome/WriteSome report
+//     progress; SendAll/RecvFrame loop to completion for blocking clients);
+//   - SIGPIPE can never kill the process: all sends use MSG_NOSIGNAL, so a
+//     peer that vanished mid-write is an EPIPE Status, not a signal;
+//   - would-block is not an error: nonblocking paths report it through a
+//     bool out-param so the event loop can re-arm epoll instead of
+//     propagating EAGAIN as a failure.
+//
+// Server sockets are nonblocking (event loop); client helpers are blocking
+// (load generator and tests want simple sequential control flow).
+#ifndef MET_SERVE_NET_H_
+#define MET_SERVE_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "io/status.h"
+
+namespace met::serve {
+
+/// Opens a loopback-or-any TCP listener. port 0 binds an ephemeral port;
+/// *bound_port always reports the actual port. The socket is nonblocking
+/// with SO_REUSEADDR.
+io::Status OpenListener(uint16_t port, int* listen_fd, uint16_t* bound_port);
+
+/// Accepts one connection if available: on success *conn_fd is the new
+/// nonblocking TCP_NODELAY socket, or -1 if the accept queue was empty
+/// (would-block — not an error). Transient failures the kernel reports
+/// through accept (ECONNABORTED, EMFILE pressure) are returned as Status.
+io::Status AcceptConn(int listen_fd, int* conn_fd);
+
+/// Blocking connect to host:port with TCP_NODELAY (client side).
+io::Status ConnectTcp(const std::string& host, uint16_t port, int* fd);
+
+/// Nonblocking read: appends whatever is available (up to an internal chunk
+/// size) to *buf. *eof true on orderly shutdown; *would_block true when the
+/// socket had nothing (neither is an error).
+io::Status ReadSome(int fd, std::string* buf, bool* eof, bool* would_block);
+
+/// Nonblocking write of data; *written is the byte count that left (may be
+/// short). *would_block true when the socket buffer filled first.
+io::Status WriteSome(int fd, std::string_view data, size_t* written,
+                     bool* would_block);
+
+/// Blocking write of all of data (client side); loops over short writes.
+io::Status SendAll(int fd, std::string_view data);
+
+/// Blocking read of at least one byte appended to *buf; Status NotFound on
+/// orderly EOF (peer closed). Used by the client to accumulate frames.
+io::Status RecvSome(int fd, std::string* buf);
+
+void CloseFd(int fd);
+
+}  // namespace met::serve
+
+#endif  // MET_SERVE_NET_H_

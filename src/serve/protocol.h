@@ -1,0 +1,343 @@
+// met::serve wire protocol — pipelined, length-prefixed binary frames.
+//
+// Every frame (both directions) is:
+//
+//   [u32 body_len][u8 tag][u32 request_id][payload ...]
+//                  `---------- body_len bytes ---------'
+//
+// All integers are little-endian. body_len counts everything after the
+// length word (tag + id + payload) and is bounded by kMaxFrameBytes, so a
+// garbage length can never commit the peer to an unbounded read. The
+// request_id is chosen by the client and echoed verbatim in the response:
+// requests on one connection may be answered out of order (the server
+// coalesces point reads across connections into batch groups), so the id —
+// not arrival order — is the correlation key. Per connection the server
+// still *executes* same-shard requests in arrival order, which is what
+// makes pipelined read-your-writes hold (PUT k, GET k without waiting for
+// the PUT ack sees the PUT).
+//
+// Request payloads by opcode:
+//   kGet      u64 key
+//   kPut      u64 key, u64 value          (value 0xFFFF..FF is reserved)
+//   kDelete   u64 key
+//   kScan     u64 start_key, u32 limit    (limit <= kMaxScanLimit)
+//   kMultiGet u16 count, count * u64 key  (count <= kMaxMultiGetKeys)
+//
+// Response payloads by status:
+//   kOk for kGet          u64 value
+//   kOk for kPut/kDelete  empty
+//   kOk for kScan         u32 n, n * u64 value
+//   kOk for kMultiGet     u16 count, count * (u8 found, u64 value)
+//   kNotFound/kBusy/kError  empty (kBusy = admission queue full, retry)
+//
+// Decoding is strict: unknown tags, payload sizes that do not match the
+// opcode exactly, or limits above the caps are kError — the connection is
+// expected to be closed, since framing can no longer be trusted.
+#ifndef MET_SERVE_PROTOCOL_H_
+#define MET_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace met::serve {
+
+enum class OpCode : uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kDelete = 3,
+  kScan = 4,
+  kMultiGet = 5,
+};
+
+enum class RespStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kBusy = 2,  // shed by admission control; safe to retry
+  kError = 3,
+};
+
+inline constexpr size_t kFrameHeaderBytes = 4;   // the length word
+inline constexpr size_t kFrameBodyMinBytes = 5;  // tag + request id
+inline constexpr size_t kMaxScanLimit = 1024;
+inline constexpr size_t kMaxMultiGetKeys = 256;
+// Largest legal body: a max-width kOk scan response.
+inline constexpr size_t kMaxFrameBytes =
+    kFrameBodyMinBytes + 4 + kMaxScanLimit * 8;
+
+/// PUT of this value is rejected (kError): it collides with the in-memory
+/// engine's tombstone sentinel (ConcurrentHybridIndex::kTombstone).
+inline constexpr uint64_t kReservedValue = ~uint64_t{0};
+
+struct Request {
+  OpCode op = OpCode::kGet;
+  uint32_t id = 0;
+  uint64_t key = 0;
+  uint64_t value = 0;                // kPut only
+  uint32_t scan_limit = 0;           // kScan only
+  std::vector<uint64_t> multi_keys;  // kMultiGet only
+};
+
+struct MultiGetEntry {
+  bool found = false;
+  uint64_t value = 0;
+};
+
+struct Response {
+  RespStatus status = RespStatus::kOk;
+  OpCode op = OpCode::kGet;  // which request shape the payload answers
+  uint32_t id = 0;
+  uint64_t value = 0;                 // kGet
+  std::vector<uint64_t> scan_values;  // kScan
+  std::vector<MultiGetEntry> multi;   // kMultiGet
+};
+
+enum class DecodeResult {
+  kNeedMore,  // buffer holds no complete frame yet
+  kFrame,     // one frame decoded; *consumed advanced past it
+  kError,     // framing violated; close the connection
+};
+
+// ---- little-endian primitives ------------------------------------------
+
+inline void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>(v >> 8));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline uint16_t GetU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(p[0]) |
+                               (static_cast<uint8_t>(p[1]) << 8));
+}
+
+inline uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+inline uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+// ---- encoding -----------------------------------------------------------
+
+/// Appends one encoded request frame to *out.
+inline void AppendRequest(const Request& req, std::string* out) {
+  size_t body = kFrameBodyMinBytes;
+  switch (req.op) {
+    case OpCode::kGet:
+    case OpCode::kDelete: body += 8; break;
+    case OpCode::kPut: body += 16; break;
+    case OpCode::kScan: body += 12; break;
+    case OpCode::kMultiGet: body += 2 + req.multi_keys.size() * 8; break;
+  }
+  PutU32(out, static_cast<uint32_t>(body));
+  out->push_back(static_cast<char>(req.op));
+  PutU32(out, req.id);
+  switch (req.op) {
+    case OpCode::kGet:
+    case OpCode::kDelete:
+      PutU64(out, req.key);
+      break;
+    case OpCode::kPut:
+      PutU64(out, req.key);
+      PutU64(out, req.value);
+      break;
+    case OpCode::kScan:
+      PutU64(out, req.key);
+      PutU32(out, req.scan_limit);
+      break;
+    case OpCode::kMultiGet:
+      PutU16(out, static_cast<uint16_t>(req.multi_keys.size()));
+      for (uint64_t k : req.multi_keys) PutU64(out, k);
+      break;
+  }
+}
+
+/// Appends one encoded response frame to *out.
+inline void AppendResponse(const Response& resp, std::string* out) {
+  size_t body = kFrameBodyMinBytes;
+  if (resp.status == RespStatus::kOk) {
+    switch (resp.op) {
+      case OpCode::kGet: body += 8; break;
+      case OpCode::kScan: body += 4 + resp.scan_values.size() * 8; break;
+      case OpCode::kMultiGet: body += 2 + resp.multi.size() * 9; break;
+      case OpCode::kPut:
+      case OpCode::kDelete: break;
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(body));
+  out->push_back(static_cast<char>(resp.status));
+  PutU32(out, resp.id);
+  if (resp.status != RespStatus::kOk) return;
+  switch (resp.op) {
+    case OpCode::kGet:
+      PutU64(out, resp.value);
+      break;
+    case OpCode::kScan:
+      PutU32(out, static_cast<uint32_t>(resp.scan_values.size()));
+      for (uint64_t v : resp.scan_values) PutU64(out, v);
+      break;
+    case OpCode::kMultiGet:
+      PutU16(out, static_cast<uint16_t>(resp.multi.size()));
+      for (const MultiGetEntry& e : resp.multi) {
+        out->push_back(e.found ? 1 : 0);
+        PutU64(out, e.value);
+      }
+      break;
+    case OpCode::kPut:
+    case OpCode::kDelete:
+      break;
+  }
+}
+
+// ---- decoding -----------------------------------------------------------
+
+namespace internal {
+
+/// Frames the next body out of buf[*pos..): validates the length word and
+/// bounds, leaves *pos on the body start. Shared by both decoders.
+inline DecodeResult NextBody(std::string_view buf, size_t* pos,
+                             const char** body, size_t* body_len) {
+  size_t avail = buf.size() - *pos;
+  if (avail < kFrameHeaderBytes) return DecodeResult::kNeedMore;
+  size_t len = GetU32(buf.data() + *pos);
+  if (len < kFrameBodyMinBytes || len > kMaxFrameBytes)
+    return DecodeResult::kError;
+  if (avail < kFrameHeaderBytes + len) return DecodeResult::kNeedMore;
+  *body = buf.data() + *pos + kFrameHeaderBytes;
+  *body_len = len;
+  *pos += kFrameHeaderBytes + len;
+  return DecodeResult::kFrame;
+}
+
+}  // namespace internal
+
+/// Decodes the next request frame starting at buf[*consumed]. On kFrame,
+/// *consumed is advanced past the frame; on kNeedMore/kError it is
+/// unchanged.
+inline DecodeResult DecodeRequest(std::string_view buf, size_t* consumed,
+                                  Request* out) {
+  size_t pos = *consumed;
+  const char* body = nullptr;
+  size_t len = 0;
+  DecodeResult r = internal::NextBody(buf, &pos, &body, &len);
+  if (r != DecodeResult::kFrame) return r;
+  out->op = static_cast<OpCode>(body[0]);
+  out->id = GetU32(body + 1);
+  const char* payload = body + kFrameBodyMinBytes;
+  size_t payload_len = len - kFrameBodyMinBytes;
+  out->multi_keys.clear();
+  switch (out->op) {
+    case OpCode::kGet:
+    case OpCode::kDelete:
+      if (payload_len != 8) return DecodeResult::kError;
+      out->key = GetU64(payload);
+      break;
+    case OpCode::kPut:
+      if (payload_len != 16) return DecodeResult::kError;
+      out->key = GetU64(payload);
+      out->value = GetU64(payload + 8);
+      break;
+    case OpCode::kScan:
+      if (payload_len != 12) return DecodeResult::kError;
+      out->key = GetU64(payload);
+      out->scan_limit = GetU32(payload + 8);
+      if (out->scan_limit > kMaxScanLimit) return DecodeResult::kError;
+      break;
+    case OpCode::kMultiGet: {
+      if (payload_len < 2) return DecodeResult::kError;
+      size_t count = GetU16(payload);
+      if (count > kMaxMultiGetKeys || payload_len != 2 + count * 8)
+        return DecodeResult::kError;
+      out->multi_keys.resize(count);
+      for (size_t i = 0; i < count; ++i)
+        out->multi_keys[i] = GetU64(payload + 2 + i * 8);
+      break;
+    }
+    default:
+      return DecodeResult::kError;
+  }
+  *consumed = pos;
+  return DecodeResult::kFrame;
+}
+
+/// Decodes the next response frame; `op` must be the opcode of the request
+/// the caller is correlating by id (the payload shape depends on it —
+/// callers keep an id -> opcode map of in-flight requests).
+inline DecodeResult DecodeResponse(std::string_view buf, size_t* consumed,
+                                   OpCode op, Response* out) {
+  size_t pos = *consumed;
+  const char* body = nullptr;
+  size_t len = 0;
+  DecodeResult r = internal::NextBody(buf, &pos, &body, &len);
+  if (r != DecodeResult::kFrame) return r;
+  uint8_t raw_status = static_cast<uint8_t>(body[0]);
+  if (raw_status > static_cast<uint8_t>(RespStatus::kError))
+    return DecodeResult::kError;
+  out->status = static_cast<RespStatus>(raw_status);
+  out->op = op;
+  out->id = GetU32(body + 1);
+  out->scan_values.clear();
+  out->multi.clear();
+  const char* payload = body + kFrameBodyMinBytes;
+  size_t payload_len = len - kFrameBodyMinBytes;
+  if (out->status != RespStatus::kOk) {
+    if (payload_len != 0) return DecodeResult::kError;
+    *consumed = pos;
+    return DecodeResult::kFrame;
+  }
+  switch (op) {
+    case OpCode::kGet:
+      if (payload_len != 8) return DecodeResult::kError;
+      out->value = GetU64(payload);
+      break;
+    case OpCode::kPut:
+    case OpCode::kDelete:
+      if (payload_len != 0) return DecodeResult::kError;
+      break;
+    case OpCode::kScan: {
+      if (payload_len < 4) return DecodeResult::kError;
+      size_t n = GetU32(payload);
+      if (n > kMaxScanLimit || payload_len != 4 + n * 8)
+        return DecodeResult::kError;
+      out->scan_values.resize(n);
+      for (size_t i = 0; i < n; ++i)
+        out->scan_values[i] = GetU64(payload + 4 + i * 8);
+      break;
+    }
+    case OpCode::kMultiGet: {
+      if (payload_len < 2) return DecodeResult::kError;
+      size_t n = GetU16(payload);
+      if (n > kMaxMultiGetKeys || payload_len != 2 + n * 9)
+        return DecodeResult::kError;
+      out->multi.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        out->multi[i].found = payload[2 + i * 9] != 0;
+        out->multi[i].value = GetU64(payload + 2 + i * 9 + 1);
+      }
+      break;
+    }
+    default:
+      return DecodeResult::kError;
+  }
+  *consumed = pos;
+  return DecodeResult::kFrame;
+}
+
+}  // namespace met::serve
+
+#endif  // MET_SERVE_PROTOCOL_H_

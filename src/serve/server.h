@@ -1,0 +1,149 @@
+// met::serve — shard-per-core network serving engine over the met index
+// stack (ROADMAP item 1: the jump from "library + benches" to "system under
+// load").
+//
+// Architecture
+//   - One acceptor thread owns the listener and hands each new connection
+//     to a shard thread round-robin.
+//   - N shard threads, each running its own epoll loop. A shard thread has
+//     two jobs: network I/O for the connections it owns (read, decode,
+//     write back), and execution for the keyspace partition it owns
+//     (hash(key) % N == shard id). The partition's storage engine is only
+//     ever touched by its owning thread — shard-per-core, no data locks on
+//     the request path.
+//   - Requests decoded on connection-owner thread O for a key owned by
+//     shard S are passed O -> S through S's bounded admission queue
+//     (mutex-guarded vector + eventfd wakeup; batched hand-off so the lock
+//     is taken once per read burst, not once per request). Responses travel
+//     S -> O the same way and O serializes them onto the connection.
+//
+// Batch coalescing: each shard drains its admission queue in arrival order
+// and gathers consecutive point reads — across *all* connections — into
+// groups of ServerOptions::batch_width, executed through one
+// ShardEngine::GetBatch call. This is what feeds the PR-4 AMAC prefetch
+// kernels at network concurrency: a single client never has to batch its
+// own requests to get batched execution. MULTIGET is decomposed into
+// per-key reads that join the same groups and is reassembled by the
+// connection owner. Any write flushes the pending read group first, so
+// same-connection pipelined read-your-writes holds.
+//
+// Backpressure: a request whose target shard's admission queue is at
+// capacity is answered kBusy immediately by the connection owner (it never
+// enters the queue), counted in met.serve.shed. Connections whose write
+// buffer backs up past a high-water mark stop being read until it drains.
+// Queue depth is observable via the met.serve.queue_depth histogram
+// (sampled at every drain).
+//
+// Shutdown drains gracefully: reads stop, every admitted request executes,
+// responses flush, then sockets close and threads join. In durable mode a
+// drained chunk's writes are group-committed (LsmTree::SyncWal) before any
+// of the chunk's acks are released, so an acked PUT is always on disk —
+// tests kill -9 the process and assert zero acked-but-lost writes.
+#ifndef MET_SERVE_SERVER_H_
+#define MET_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/index_api.h"
+#include "io/io.h"
+#include "io/status.h"
+#include "obs/metrics.h"
+
+namespace met::serve {
+
+/// Registry-backed counters for the serving engine. Fetch once via Get().
+struct ServeObsMetrics {
+  obs::Counter* accepted;      // met.serve.conns_accepted
+  obs::Counter* closed;        // met.serve.conns_closed
+  obs::Counter* requests;      // met.serve.requests
+  obs::Counter* shed;          // met.serve.shed (kBusy by admission control)
+  obs::Counter* batches;       // met.serve.read_batches executed
+  obs::Counter* batched_gets;  // met.serve.batched_gets (reads via GetBatch)
+  obs::Counter* proto_errors;  // met.serve.proto_errors (conns killed)
+  obs::Histogram* queue_depth;  // met.serve.queue_depth at drain time
+
+  static const ServeObsMetrics& Get();
+};
+
+/// Storage behind one shard. Implementations are accessed only by the
+/// owning shard thread (single-threaded use; the engine may still run its
+/// own background work, e.g. the concurrent hybrid merge).
+class ShardEngine {
+ public:
+  virtual ~ShardEngine() = default;
+
+  virtual bool Get(uint64_t key, uint64_t* value) = 0;
+  /// Batched point reads; out[i] must equal Get(keys[i]).
+  virtual void GetBatch(const uint64_t* keys, size_t n, LookupResult* out) = 0;
+  /// Upsert. False means the write could not be applied (durable failure).
+  virtual bool Put(uint64_t key, uint64_t value) = 0;
+  virtual bool Delete(uint64_t key) = 0;
+  /// Up to `limit` values from keys >= start, in key order, within this
+  /// shard's partition only (hash partitioning has no global order).
+  virtual size_t Scan(uint64_t start, size_t limit,
+                      std::vector<uint64_t>* out) = 0;
+  /// Group-commit barrier: called once per drained chunk that contained a
+  /// write, before that chunk's acks are released. False fails the acks.
+  virtual bool SyncWrites() { return true; }
+};
+
+/// In-memory engine: ConcurrentHybridBTree<uint64_t> in non-unique (upsert)
+/// mode with background merges.
+std::unique_ptr<ShardEngine> NewMemoryEngine();
+
+/// Durable engine: LsmTree::Open on `dir` (WAL + MANIFEST, group-fsync via
+/// SyncWrites). Keys are 8-byte big-endian so lexicographic order matches
+/// numeric order. On open failure returns null and reports through
+/// *status.
+std::unique_ptr<ShardEngine> NewDurableEngine(const std::string& dir,
+                                              io::Env* env,
+                                              io::Status* status);
+
+struct ServerOptions {
+  uint16_t port = 0;       // 0 = ephemeral; Server::port() has the real one
+  size_t num_shards = 0;   // 0 = hardware_concurrency
+  size_t queue_capacity = 4096;  // per-shard admission bound (requests)
+  size_t batch_width = 16;       // read-coalescing group size
+  bool coalesce_reads = true;    // false = execute reads one by one
+  /// Pause reading a connection whose pending response bytes exceed this.
+  size_t conn_write_buffer_limit = 4u << 20;
+
+  bool durable = false;
+  std::string dir = "/tmp/met_serve";  // durable partitions: dir/shard-<i>
+  io::Env* env = nullptr;              // durable mode; nullptr = Posix
+
+  /// Test hook: when set, overrides the durable/memory engine choice.
+  std::function<std::unique_ptr<ShardEngine>(size_t shard)> engine_factory;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, builds the shard engines, and starts the acceptor + shard
+  /// threads. Returns without blocking; the server runs until Shutdown().
+  io::Status Start();
+
+  /// Graceful drain: stop accepting and reading, execute everything
+  /// admitted, flush responses, close, join. Idempotent.
+  void Shutdown();
+
+  uint16_t port() const;
+  size_t num_shards() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace met::serve
+
+#endif  // MET_SERVE_SERVER_H_

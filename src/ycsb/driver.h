@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/hash.h"
 #include "common/index_api.h"
 #include "common/timer.h"
@@ -183,16 +184,24 @@ YcsbRunResult RunYcsb(ShardedIndex<Index, Key>* index, const YcsbSpec& spec,
     auto flush_reads = [&]() {
       if constexpr (kCanBatch) {
         if (read_buf.empty()) return;
-        bool merging = stalls != nullptr && index->AnyMergeInFlight();
+        bool merging_at_start = stalls != nullptr && index->AnyMergeInFlight();
         met::Timer batch_timer;
         index->LookupBatch(read_buf.data(), read_buf.size(), read_out.data());
+        uint64_t batch_nanos = batch_timer.ElapsedNanos();
         for (size_t i = 0; i < read_buf.size(); ++i)
           if (read_out[i].found) ++r.read_hits;
         r.reads += read_buf.size();
         if (stalls != nullptr) {
-          uint64_t per_op = batch_timer.ElapsedNanos() / read_buf.size();
-          for (size_t i = 0; i < read_buf.size(); ++i)
-            stalls->Record(true, merging, per_op);
+          // Re-sample the merge flag at record time: a batch overlaps a
+          // merge when one was in flight at its start *or* its completion
+          // (a merge can start or finish mid-batch). Sampling only before
+          // the batch misattributed merge-overlapped executions to the
+          // idle baseline and vice versa, polluting exactly the idle-vs-
+          // merge tail split this histogram exists to expose. RecordBatch
+          // distributes the remainder so no nanoseconds are truncated away
+          // and intra-batch samples are not byte-identical.
+          bool merging = merging_at_start || index->AnyMergeInFlight();
+          stalls->RecordBatch(true, merging, batch_nanos, read_buf.size());
         }
         read_buf.clear();
       }
@@ -201,8 +210,14 @@ YcsbRunResult RunYcsb(ShardedIndex<Index, Key>* index, const YcsbSpec& spec,
     met::Timer run_timer;
     for (const YcsbRequest& req : reqs) {
       uint64_t idx = req.key_index;
-      if (req.op == YcsbOp::kInsert)  // thread-disjoint insert keyspace
+      if (req.op == YcsbOp::kInsert) {  // thread-disjoint insert keyspace
+        // key_index is 64-bit end to end (workload.h); the generator hands
+        // inserts indices >= num_keys, so the remap below cannot underflow
+        // and the per-thread ranges [num_keys + t*ops, num_keys + (t+1)*ops)
+        // stay disjoint for any run length that fits in memory.
+        MET_DCHECK(idx >= num_keys);
         idx = num_keys + t * ops_per_thread + (idx - num_keys);
+      }
       Key key = key_of(idx);
       if (kCanBatch && read_batch > 1) {
         if (req.op == YcsbOp::kRead) {

@@ -1,0 +1,515 @@
+// met::serve tests: wire-codec round trips and framing edge cases, then
+// in-process server integration — pipelined read-your-writes, cross-shard
+// MULTIGET, scans, admission-control shedding, graceful drain, and the
+// durability contract (kill -9 loses no acked PUT).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "gtest/gtest.h"
+
+namespace met {
+namespace {
+
+using serve::DecodeRequest;
+using serve::DecodeResponse;
+using serve::DecodeResult;
+using serve::OpCode;
+using serve::Request;
+using serve::RespStatus;
+using serve::Response;
+
+// ---- codec -------------------------------------------------------------
+
+TEST(ServeProtocolTest, RequestRoundTripAllOpcodes) {
+  std::vector<Request> reqs(5);
+  reqs[0].op = OpCode::kGet;
+  reqs[0].id = 7;
+  reqs[0].key = 0xDEADBEEFCAFE0001ull;
+  reqs[1].op = OpCode::kPut;
+  reqs[1].id = 8;
+  reqs[1].key = 42;
+  reqs[1].value = 0x0123456789ABCDEFull;
+  reqs[2].op = OpCode::kDelete;
+  reqs[2].id = 9;
+  reqs[2].key = ~uint64_t{1};
+  reqs[3].op = OpCode::kScan;
+  reqs[3].id = 10;
+  reqs[3].key = 1000;
+  reqs[3].scan_limit = serve::kMaxScanLimit;
+  reqs[4].op = OpCode::kMultiGet;
+  reqs[4].id = 11;
+  reqs[4].multi_keys = {1, 2, 3, 0, ~uint64_t{0}};
+
+  std::string buf;
+  for (const Request& r : reqs) serve::AppendRequest(r, &buf);
+
+  size_t pos = 0;
+  for (const Request& want : reqs) {
+    Request got;
+    ASSERT_EQ(DecodeResult::kFrame, DecodeRequest(buf, &pos, &got));
+    EXPECT_EQ(want.op, got.op);
+    EXPECT_EQ(want.id, got.id);
+    EXPECT_EQ(want.key, got.key);
+    EXPECT_EQ(want.value, got.value);
+    EXPECT_EQ(want.scan_limit, got.scan_limit);
+    EXPECT_EQ(want.multi_keys, got.multi_keys);
+  }
+  EXPECT_EQ(buf.size(), pos);
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripAllShapes) {
+  Response get_ok;
+  get_ok.op = OpCode::kGet;
+  get_ok.id = 1;
+  get_ok.value = 99;
+  Response scan_ok;
+  scan_ok.op = OpCode::kScan;
+  scan_ok.id = 2;
+  scan_ok.scan_values = {5, 6, 7};
+  Response multi_ok;
+  multi_ok.op = OpCode::kMultiGet;
+  multi_ok.id = 3;
+  multi_ok.multi = {{true, 11}, {false, 0}, {true, 13}};
+  Response busy;
+  busy.op = OpCode::kPut;
+  busy.id = 4;
+  busy.status = RespStatus::kBusy;
+
+  std::string buf;
+  for (const Response* r : {&get_ok, &scan_ok, &multi_ok, &busy})
+    serve::AppendResponse(*r, &buf);
+
+  size_t pos = 0;
+  Response got;
+  ASSERT_EQ(DecodeResult::kFrame, DecodeResponse(buf, &pos, OpCode::kGet, &got));
+  EXPECT_EQ(RespStatus::kOk, got.status);
+  EXPECT_EQ(1u, got.id);
+  EXPECT_EQ(99u, got.value);
+  ASSERT_EQ(DecodeResult::kFrame,
+            DecodeResponse(buf, &pos, OpCode::kScan, &got));
+  EXPECT_EQ(scan_ok.scan_values, got.scan_values);
+  ASSERT_EQ(DecodeResult::kFrame,
+            DecodeResponse(buf, &pos, OpCode::kMultiGet, &got));
+  ASSERT_EQ(3u, got.multi.size());
+  EXPECT_TRUE(got.multi[0].found);
+  EXPECT_EQ(11u, got.multi[0].value);
+  EXPECT_FALSE(got.multi[1].found);
+  ASSERT_EQ(DecodeResult::kFrame, DecodeResponse(buf, &pos, OpCode::kPut, &got));
+  EXPECT_EQ(RespStatus::kBusy, got.status);
+  EXPECT_EQ(4u, got.id);
+  EXPECT_EQ(buf.size(), pos);
+}
+
+TEST(ServeProtocolTest, EveryTruncationPrefixNeedsMoreNeverErrors) {
+  Request r;
+  r.op = OpCode::kMultiGet;
+  r.id = 3;
+  r.multi_keys = {10, 20, 30};
+  std::string buf;
+  serve::AppendRequest(r, &buf);
+  Request get;
+  get.op = OpCode::kGet;
+  get.id = 4;
+  get.key = 77;
+  serve::AppendRequest(get, &buf);
+
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view prefix(buf.data(), cut);
+    size_t pos = 0;
+    for (;;) {
+      Request got;
+      DecodeResult res = DecodeRequest(prefix, &pos, &got);
+      ASSERT_NE(DecodeResult::kError, res) << "prefix len " << cut;
+      if (res == DecodeResult::kNeedMore) break;
+      ASSERT_LE(pos, prefix.size());
+    }
+  }
+}
+
+TEST(ServeProtocolTest, GarbageFramesAreErrors) {
+  // Length word below the body minimum.
+  std::string small;
+  serve::PutU32(&small, 2);
+  small.append(2, 'x');
+  size_t pos = 0;
+  Request got;
+  EXPECT_EQ(DecodeResult::kError, DecodeRequest(small, &pos, &got));
+
+  // Length word past the frame cap (a 4GB "frame").
+  std::string huge;
+  serve::PutU32(&huge, 0xFFFFFFFFu);
+  huge.append(16, 'x');
+  pos = 0;
+  EXPECT_EQ(DecodeResult::kError, DecodeRequest(huge, &pos, &got));
+
+  // Unknown opcode with a plausible length.
+  std::string badop;
+  serve::PutU32(&badop, serve::kFrameBodyMinBytes + 8);
+  badop.push_back(42);  // no such opcode
+  serve::PutU32(&badop, 1);
+  serve::PutU64(&badop, 5);
+  pos = 0;
+  EXPECT_EQ(DecodeResult::kError, DecodeRequest(badop, &pos, &got));
+
+  // Scan limit above the cap.
+  Request scan;
+  scan.op = OpCode::kScan;
+  scan.id = 1;
+  scan.scan_limit = serve::kMaxScanLimit + 1;
+  std::string badscan;
+  serve::AppendRequest(scan, &badscan);
+  pos = 0;
+  EXPECT_EQ(DecodeResult::kError, DecodeRequest(badscan, &pos, &got));
+
+  // Payload length that does not match the opcode.
+  std::string short_put;
+  serve::PutU32(&short_put, serve::kFrameBodyMinBytes + 8);  // PUT needs 16
+  short_put.push_back(static_cast<char>(OpCode::kPut));
+  serve::PutU32(&short_put, 2);
+  serve::PutU64(&short_put, 3);
+  pos = 0;
+  EXPECT_EQ(DecodeResult::kError, DecodeRequest(short_put, &pos, &got));
+
+  // A non-OK response must carry no payload.
+  std::string busy_payload;
+  serve::PutU32(&busy_payload, serve::kFrameBodyMinBytes + 8);
+  busy_payload.push_back(static_cast<char>(RespStatus::kBusy));
+  serve::PutU32(&busy_payload, 6);
+  serve::PutU64(&busy_payload, 9);
+  pos = 0;
+  Response resp;
+  EXPECT_EQ(DecodeResult::kError,
+            DecodeResponse(busy_payload, &pos, OpCode::kGet, &resp));
+}
+
+// ---- integration -------------------------------------------------------
+
+serve::ServerOptions MemoryOpts(size_t shards) {
+  serve::ServerOptions o;
+  o.port = 0;
+  o.num_shards = shards;
+  return o;
+}
+
+class RunningServer {
+ public:
+  explicit RunningServer(serve::ServerOptions o) : server_(std::move(o)) {
+    io::Status st = server_.Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    ok_ = st.ok();
+  }
+  ~RunningServer() { server_.Shutdown(); }
+
+  bool ok() const { return ok_; }
+  uint16_t port() const { return server_.port(); }
+  serve::Server* operator->() { return &server_; }
+
+ private:
+  serve::Server server_;
+  bool ok_ = false;
+};
+
+TEST(ServeIntegrationTest, BasicOps) {
+  RunningServer s(MemoryOpts(2));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+
+  Response r;
+  ASSERT_TRUE(c.Get(1, &r).ok());
+  EXPECT_EQ(RespStatus::kNotFound, r.status);
+
+  ASSERT_TRUE(c.Put(1, 100, &r).ok());
+  EXPECT_EQ(RespStatus::kOk, r.status);
+  ASSERT_TRUE(c.Get(1, &r).ok());
+  EXPECT_EQ(RespStatus::kOk, r.status);
+  EXPECT_EQ(100u, r.value);
+
+  // Upsert replaces.
+  ASSERT_TRUE(c.Put(1, 200, &r).ok());
+  EXPECT_EQ(RespStatus::kOk, r.status);
+  ASSERT_TRUE(c.Get(1, &r).ok());
+  EXPECT_EQ(200u, r.value);
+
+  ASSERT_TRUE(c.Delete(1, &r).ok());
+  EXPECT_EQ(RespStatus::kOk, r.status);
+  ASSERT_TRUE(c.Get(1, &r).ok());
+  EXPECT_EQ(RespStatus::kNotFound, r.status);
+  ASSERT_TRUE(c.Delete(1, &r).ok());
+  EXPECT_EQ(RespStatus::kNotFound, r.status);
+
+  // The reserved value collides with the tombstone sentinel: rejected.
+  ASSERT_TRUE(c.Put(2, serve::kReservedValue, &r).ok());
+  EXPECT_EQ(RespStatus::kError, r.status);
+
+  // Empty MULTIGET is answered immediately with zero entries.
+  ASSERT_TRUE(c.MultiGet({}, &r).ok());
+  EXPECT_EQ(RespStatus::kOk, r.status);
+  EXPECT_TRUE(r.multi.empty());
+}
+
+TEST(ServeIntegrationTest, PipelinedReadYourWrites) {
+  RunningServer s(MemoryOpts(2));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+
+  // PUT then GET of the same key without waiting for the PUT ack: the
+  // server executes same-connection requests in arrival order, so the GET
+  // must observe the PUT even though its response may arrive first (reads
+  // are coalesced ahead of the write group-commit).
+  std::vector<std::pair<uint32_t, uint64_t>> gets;
+  for (uint64_t k = 100; k < 164; ++k) {
+    c.SendPut(k, k * 3 + 1);
+    gets.emplace_back(c.SendGet(k), k * 3 + 1);
+  }
+  ASSERT_TRUE(c.Flush().ok());
+  for (const auto& [id, want] : gets) {
+    Response r;
+    ASSERT_TRUE(c.RecvFor(id, &r).ok());
+    ASSERT_EQ(RespStatus::kOk, r.status);
+    EXPECT_EQ(want, r.value);
+  }
+  // Drain the PUT acks still stashed/in flight.
+  while (c.inflight() > 0) {
+    Response r;
+    ASSERT_TRUE(c.Recv(&r).ok());
+    EXPECT_EQ(RespStatus::kOk, r.status);
+  }
+}
+
+TEST(ServeIntegrationTest, MultiGetSpansShards) {
+  RunningServer s(MemoryOpts(4));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+
+  Response r;
+  for (uint64_t k = 0; k < 100; k += 2) {
+    ASSERT_TRUE(c.Put(k, k + 1000, &r).ok());
+    ASSERT_EQ(RespStatus::kOk, r.status);
+  }
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 100; ++k) keys.push_back(k);
+  ASSERT_TRUE(c.MultiGet(keys, &r).ok());
+  ASSERT_EQ(RespStatus::kOk, r.status);
+  ASSERT_EQ(keys.size(), r.multi.size());
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_TRUE(r.multi[k].found) << "key " << k;
+      EXPECT_EQ(k + 1000, r.multi[k].value);
+    } else {
+      EXPECT_FALSE(r.multi[k].found) << "key " << k;
+    }
+  }
+}
+
+TEST(ServeIntegrationTest, ScanSingleShardIsOrdered) {
+  // Scans cover one hash partition; with one shard that is the whole
+  // keyspace, so the result is globally ordered and exhaustive.
+  RunningServer s(MemoryOpts(1));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+
+  Response r;
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(c.Put(k, k * 10, &r).ok());
+    ASSERT_EQ(RespStatus::kOk, r.status);
+  }
+  ASSERT_TRUE(c.Scan(10, 20, &r).ok());
+  ASSERT_EQ(RespStatus::kOk, r.status);
+  ASSERT_EQ(20u, r.scan_values.size());
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ((10 + i) * 10, r.scan_values[i]);
+
+  // Past the end: OK with an empty result.
+  ASSERT_TRUE(c.Scan(1000, 5, &r).ok());
+  EXPECT_EQ(RespStatus::kOk, r.status);
+  EXPECT_TRUE(r.scan_values.empty());
+}
+
+TEST(ServeIntegrationTest, ConcurrentClientsDisjointRanges) {
+  RunningServer s(MemoryOpts(2));
+  ASSERT_TRUE(s.ok());
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 256;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::Client c;
+      if (!c.Connect("127.0.0.1", s.port()).ok()) {
+        failures[t] = 1000;
+        return;
+      }
+      uint64_t base = 1'000'000ull * static_cast<uint64_t>(t + 1);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        Response r;
+        if (!c.Put(base + i, base - i, &r).ok() ||
+            r.status != RespStatus::kOk) {
+          ++failures[t];
+        }
+      }
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        Response r;
+        if (!c.Get(base + i, &r).ok() || r.status != RespStatus::kOk ||
+            r.value != base - i) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(0, failures[t]) << "thread " << t;
+}
+
+// Engine whose reads stall, to force the admission queue to capacity.
+class SlowEngine : public serve::ShardEngine {
+ public:
+  bool Get(uint64_t, uint64_t* value) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    *value = 0;
+    return false;
+  }
+  void GetBatch(const uint64_t*, size_t n, LookupResult* out) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    for (size_t i = 0; i < n; ++i) out[i] = LookupResult{};
+  }
+  bool Put(uint64_t, uint64_t) override { return true; }
+  bool Delete(uint64_t) override { return true; }
+  size_t Scan(uint64_t, size_t, std::vector<uint64_t>*) override { return 0; }
+};
+
+TEST(ServeIntegrationTest, AdmissionControlShedsWhenQueueFull) {
+  serve::ServerOptions o = MemoryOpts(1);
+  o.queue_capacity = 4;
+  o.engine_factory = [](size_t) -> std::unique_ptr<serve::ShardEngine> {
+    return std::make_unique<SlowEngine>();
+  };
+  RunningServer s(std::move(o));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+
+  constexpr int kBurst = 300;
+  for (int i = 0; i < kBurst; ++i) c.SendGet(static_cast<uint64_t>(i));
+  ASSERT_TRUE(c.Flush().ok());
+  int busy = 0, notfound = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Response r;
+    ASSERT_TRUE(c.Recv(&r).ok());
+    if (r.status == RespStatus::kBusy) ++busy;
+    else if (r.status == RespStatus::kNotFound) ++notfound;
+    else
+      FAIL() << "unexpected status " << static_cast<int>(r.status);
+  }
+  EXPECT_GT(busy, 0) << "queue_capacity=4 burst of 300 never shed";
+  EXPECT_GT(notfound, 0) << "everything shed; nothing executed";
+  EXPECT_EQ(kBurst, busy + notfound);
+}
+
+TEST(ServeIntegrationTest, GracefulDrainAnswersEveryAdmittedRequest) {
+  auto server = std::make_unique<serve::Server>(MemoryOpts(2));
+  ASSERT_TRUE(server->Start().ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port()).ok());
+
+  constexpr uint64_t kN = 100;
+  for (uint64_t k = 0; k < kN; ++k) c.SendPut(k, k + 5);
+  // A fence roundtrip: requests on one connection are decoded in order, so
+  // the fence's response proves every PUT above was already admitted.
+  Response fence;
+  ASSERT_TRUE(c.Get(0, &fence).ok());
+
+  server->Shutdown();  // blocks until drained: all admitted requests answered
+
+  size_t answered = 0;
+  while (c.inflight() > 0) {
+    Response r;
+    ASSERT_TRUE(c.Recv(&r).ok()) << "EOF before all admitted acks arrived";
+    EXPECT_EQ(RespStatus::kOk, r.status);
+    ++answered;
+  }
+  EXPECT_EQ(kN, answered);
+  server.reset();
+}
+
+// ---- durability: kill -9 must lose no acked PUT ------------------------
+
+serve::ServerOptions DurableOpts(const std::string& dir) {
+  serve::ServerOptions o;
+  o.port = 0;
+  o.num_shards = 1;
+  o.durable = true;
+  o.dir = dir;
+  return o;
+}
+
+TEST(ServeDurableTest, SigkillLosesNoAckedPut) {
+  const std::string dir = "/tmp/met_serve_kill_test";
+  io::RemoveAllFiles(io::Env::Posix(), dir + "/shard-0");
+
+  int pipefd[2];
+  ASSERT_EQ(0, pipe(pipefd));
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: serve durably and report the ephemeral port, then wait to be
+    // SIGKILLed mid-flight. _exit on any failure so gtest machinery in the
+    // forked copy never runs.
+    close(pipefd[0]);
+    serve::Server server(DurableOpts(dir));
+    if (!server.Start().ok()) _exit(1);
+    uint16_t port = server.port();
+    if (write(pipefd[1], &port, sizeof(port)) != sizeof(port)) _exit(1);
+    for (;;) pause();
+  }
+  close(pipefd[1]);
+  uint16_t port = 0;
+  ASSERT_EQ(static_cast<ssize_t>(sizeof(port)),
+            read(pipefd[0], &port, sizeof(port)));
+  close(pipefd[0]);
+
+  // Every one-shot Put blocks for its ack, and the server group-commits
+  // (SyncWal) before releasing write acks — so each acked key is on disk.
+  constexpr uint64_t kN = 48;
+  {
+    serve::Client c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", port).ok());
+    for (uint64_t k = 1; k <= kN; ++k) {
+      Response r;
+      ASSERT_TRUE(c.Put(k, k * 7, &r).ok());
+      ASSERT_EQ(RespStatus::kOk, r.status);
+    }
+  }
+  ASSERT_EQ(0, kill(pid, SIGKILL));
+  ASSERT_EQ(pid, waitpid(pid, nullptr, 0));
+
+  // Recover on the same directory: every acked PUT must still be there.
+  serve::Server server(DurableOpts(dir));
+  ASSERT_TRUE(server.Start().ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server.port()).ok());
+  for (uint64_t k = 1; k <= kN; ++k) {
+    Response r;
+    ASSERT_TRUE(c.Get(k, &r).ok());
+    ASSERT_EQ(RespStatus::kOk, r.status) << "acked PUT lost: key " << k;
+    EXPECT_EQ(k * 7, r.value);
+  }
+  c.Close();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace met

@@ -1,0 +1,442 @@
+// met_loadgen — closed- and open-loop load generator for met_server.
+//
+//   met_loadgen --port P [--host 127.0.0.1] [--conns C] [--seconds S]
+//               [--keys N] [--pipeline D]          (closed loop, default)
+//               [--rate R]                         (open loop: R total ops/s)
+//               [--updates F] [--scans F] [--inserts F] [--scan-len L]
+//               [--zipfian] [--multiget W] [--no-preload]
+//               [--server-shards N] [--json PATH]
+//
+// One thread drives one connection. Closed loop keeps --pipeline requests
+// outstanding per connection and measures request latency send -> response.
+// Open loop schedules arrivals at a fixed rate and measures latency from
+// the *intended* arrival time (coordinated-omission-free: a stalled server
+// inflates every latency behind the stall, exactly as real clients would
+// experience it), shedding (kBusy) counted separately from service.
+//
+// The op mix comes from the YCSB request stream (src/ycsb/workload.h):
+// reads map to GET (optionally grouped into MULTIGET), updates/inserts to
+// PUT, scans to SCAN. --json emits a met.bench.v1 document whose
+// "serve loadgen" section CI gates with tools/bench_diff.
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "obs/histogram.h"
+#include "serve/client.h"
+#include "ycsb/workload.h"
+
+namespace {
+
+using met::serve::Client;
+using met::serve::OpCode;
+using met::serve::RespStatus;
+using met::serve::Response;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7777;
+  size_t conns = 4;
+  size_t pipeline = 32;
+  double seconds = 5.0;
+  size_t keys = 100000;
+  double rate = 0.0;  // total intended ops/sec across all conns; 0 = closed
+  double updates = 0.0;
+  double scans = 0.0;
+  double inserts = 0.0;
+  size_t scan_len = 16;
+  bool zipfian = false;
+  size_t multiget = 0;  // group this many reads into one MULTIGET (0 = off)
+  size_t max_outstanding = 1024;  // open loop: per-conn in-flight cap
+  bool preload = true;
+  size_t server_shards = 1;  // for the qps-per-shard report only
+};
+
+struct ThreadResult {
+  met::obs::Histogram latency;
+  uint64_t ok = 0;
+  uint64_t notfound = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t sent = 0;
+  bool failed = false;
+  std::string fail_msg;
+
+  void Count(const Response& resp) {
+    switch (resp.status) {
+      case RespStatus::kOk: ++ok; break;
+      case RespStatus::kNotFound: ++notfound; break;
+      case RespStatus::kBusy: ++shed; break;
+      case RespStatus::kError: ++errors; break;
+    }
+  }
+  uint64_t Serviced() const { return ok + notfound; }
+};
+
+/// Emits the next request from the YCSB stream; returns its id.
+class RequestFeeder {
+ public:
+  RequestFeeder(const Config& cfg, uint64_t seed)
+      : cfg_(cfg), stream_(cfg.keys, Spec(cfg, seed)) {}
+
+  uint32_t SendNext(Client* c) {
+    // MULTIGET grouping: reads accumulate; a full group goes out as one
+    // frame (one response covers cfg_.multiget keys).
+    for (;;) {
+      met::YcsbRequest req = stream_.Next();
+      switch (req.op) {
+        case met::YcsbOp::kRead:
+          if (cfg_.multiget > 1) {
+            group_.push_back(req.key_index);
+            if (group_.size() < cfg_.multiget) continue;
+            uint32_t id = c->SendMultiGet(group_);
+            group_.clear();
+            return id;
+          }
+          return c->SendGet(req.key_index);
+        case met::YcsbOp::kUpdate:
+        case met::YcsbOp::kInsert:
+          return c->SendPut(req.key_index, req.key_index + 1);
+        case met::YcsbOp::kScan:
+          return c->SendScan(req.key_index,
+                             static_cast<uint32_t>(req.scan_length));
+      }
+    }
+  }
+
+ private:
+  static met::YcsbSpec Spec(const Config& cfg, uint64_t seed) {
+    met::YcsbSpec s;
+    // Insert fraction is the remainder after read/update/scan.
+    s.read_fraction = 1.0 - cfg.updates - cfg.scans - cfg.inserts;
+    s.update_fraction = cfg.updates;
+    s.scan_fraction = cfg.scans;
+    s.max_scan_length = static_cast<uint16_t>(
+        std::min<size_t>(cfg.scan_len, met::serve::kMaxScanLimit));
+    s.zipfian = cfg.zipfian;
+    s.seed = seed;
+    return s;
+  }
+
+  const Config& cfg_;
+  met::YcsbRequestStream stream_;
+  std::vector<uint64_t> group_;
+};
+
+bool Preload(const Config& cfg, size_t t, Client* c, std::string* err) {
+  size_t per = (cfg.keys + cfg.conns - 1) / cfg.conns;
+  size_t lo = t * per;
+  size_t hi = std::min(cfg.keys, lo + per);
+  size_t outstanding = 0;
+  Response resp;
+  for (size_t k = lo; k < hi; ++k) {
+    c->SendPut(k, k + 1);
+    if (++outstanding < 128 && k + 1 < hi) continue;
+    if (met::io::Status st = c->Flush(); !st.ok()) {
+      *err = st.ToString();
+      return false;
+    }
+    while (outstanding > 0) {
+      if (met::io::Status st = c->Recv(&resp); !st.ok()) {
+        *err = st.ToString();
+        return false;
+      }
+      --outstanding;
+    }
+  }
+  return true;
+}
+
+void RunClosed(const Config& cfg, size_t t, ThreadResult* out) {
+  Client c;
+  if (met::io::Status st = c.Connect(cfg.host, cfg.port); !st.ok()) {
+    out->failed = true;
+    out->fail_msg = st.ToString();
+    return;
+  }
+  std::string err;
+  if (cfg.preload && !Preload(cfg, t, &c, &err)) {
+    out->failed = true;
+    out->fail_msg = "preload: " + err;
+    return;
+  }
+  RequestFeeder feeder(cfg, 0x10aD6E + t * 977);
+  std::unordered_map<uint32_t, uint64_t> sent_at;
+  met::Timer clock;
+  const uint64_t deadline = static_cast<uint64_t>(cfg.seconds * 1e9);
+  Response resp;
+  while (clock.ElapsedNanos() < deadline) {
+    while (sent_at.size() < cfg.pipeline) {
+      uint64_t now = clock.ElapsedNanos();
+      sent_at[feeder.SendNext(&c)] = now;
+      ++out->sent;
+    }
+    if (met::io::Status st = c.Flush(); !st.ok()) {
+      out->failed = true;
+      out->fail_msg = st.ToString();
+      return;
+    }
+    if (met::io::Status st = c.Recv(&resp); !st.ok()) {
+      out->failed = true;
+      out->fail_msg = st.ToString();
+      return;
+    }
+    uint64_t now = clock.ElapsedNanos();
+    auto it = sent_at.find(resp.id);
+    if (it != sent_at.end()) {
+      if (resp.status == RespStatus::kOk ||
+          resp.status == RespStatus::kNotFound)
+        out->latency.RecordNanos(now - it->second);
+      sent_at.erase(it);
+    }
+    out->Count(resp);
+  }
+  // Drain the window so the server-side counters settle before Shutdown.
+  while (!sent_at.empty()) {
+    if (!c.Recv(&resp).ok()) break;
+    out->Count(resp);
+    sent_at.erase(resp.id);
+  }
+}
+
+void RunOpen(const Config& cfg, size_t t, ThreadResult* out) {
+  Client c;
+  if (met::io::Status st = c.Connect(cfg.host, cfg.port); !st.ok()) {
+    out->failed = true;
+    out->fail_msg = st.ToString();
+    return;
+  }
+  std::string err;
+  if (cfg.preload && !Preload(cfg, t, &c, &err)) {
+    out->failed = true;
+    out->fail_msg = "preload: " + err;
+    return;
+  }
+  RequestFeeder feeder(cfg, 0x09E41 + t * 977);
+  const double per_conn_rate = cfg.rate / static_cast<double>(cfg.conns);
+  const uint64_t interval =
+      static_cast<uint64_t>(1e9 / (per_conn_rate > 0 ? per_conn_rate : 1));
+  std::unordered_map<uint32_t, uint64_t> intended;
+  met::Timer clock;
+  const uint64_t deadline = static_cast<uint64_t>(cfg.seconds * 1e9);
+  uint64_t next_arrival = 0;
+  Response resp;
+  auto drain_buffered = [&](uint64_t now) -> bool {
+    for (;;) {
+      bool have = false;
+      if (!c.TryRecv(&resp, &have).ok()) return false;
+      if (!have) return true;
+      auto it = intended.find(resp.id);
+      if (it != intended.end()) {
+        // Latency from the intended arrival, not the actual send: queueing
+        // delay behind a slow server is charged to the server.
+        if (resp.status == RespStatus::kOk ||
+            resp.status == RespStatus::kNotFound)
+          out->latency.RecordNanos(now - it->second);
+        intended.erase(it);
+      }
+      out->Count(resp);
+    }
+  };
+  // Cap on requests in flight per connection: past it the sender itself
+  // falls behind schedule rather than deadlocking (an unbounded blocking
+  // send against a server that paused reads — because its own response
+  // backlog to this non-reading client crossed the high-water mark — would
+  // wedge both sides). Latency is still charged from the intended arrival,
+  // so everything queued behind the stall stays visible in the tail.
+  const size_t max_outstanding = cfg.max_outstanding;
+  for (;;) {
+    uint64_t now = clock.ElapsedNanos();
+    if (now >= deadline) break;
+    bool sent_any = false;
+    while (next_arrival <= now && intended.size() < max_outstanding) {
+      intended[feeder.SendNext(&c)] = next_arrival;
+      ++out->sent;
+      next_arrival += interval;
+      sent_any = true;
+    }
+    if (sent_any && !c.Flush().ok()) {
+      out->failed = true;
+      out->fail_msg = "flush failed";
+      return;
+    }
+    if (!drain_buffered(clock.ElapsedNanos())) return;
+    if (intended.size() >= max_outstanding) {
+      // Saturated: block for at least one response before sending more.
+      if (!c.Fill().ok()) return;  // peer closed mid-run: stop this conn
+      if (!drain_buffered(clock.ElapsedNanos())) return;
+      continue;
+    }
+    now = clock.ElapsedNanos();
+    if (next_arrival > now) {
+      // Sleep in ns (ppoll): ms granularity would turn sub-ms arrival
+      // intervals into a busy spin, starving a colocated server.
+      uint64_t sleep_ns = next_arrival - now;
+      timespec ts{};
+      ts.tv_sec = static_cast<time_t>(sleep_ns / 1000000000);
+      ts.tv_nsec = static_cast<long>(sleep_ns % 1000000000);
+      pollfd p{};
+      p.fd = c.fd();
+      p.events = POLLIN;
+      int r = ppoll(&p, 1, &ts, nullptr);
+      if (r > 0) {
+        if (!c.Fill().ok()) return;
+        if (!drain_buffered(clock.ElapsedNanos())) return;
+      }
+    }
+  }
+  // Bounded post-deadline drain: collect responses already in flight.
+  met::Timer drain;
+  while (!intended.empty() && drain.ElapsedSeconds() < 2.0) {
+    pollfd p{};
+    p.fd = c.fd();
+    p.events = POLLIN;
+    if (poll(&p, 1, 100) <= 0) continue;
+    if (!c.Fill().ok()) break;
+    if (!drain_buffered(clock.ElapsedNanos())) break;
+  }
+}
+
+uint64_t FlagU64(int argc, char** argv, const char* name, uint64_t def) {
+  size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+      return std::strtoull(argv[i] + len + 1, nullptr, 10);
+  }
+  return def;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double def) {
+  size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+      return std::atof(argv[i + 1]);
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+      return std::atof(argv[i] + len + 1);
+  }
+  return def;
+}
+
+const char* FlagStr(int argc, char** argv, const char* name, const char* def) {
+  size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+      return argv[i] + len + 1;
+  }
+  return def;
+}
+
+bool FlagBool(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  met::bench::Reporter& reporter = met::bench::Reporter::Get();
+  reporter.ParseArgs(&argc, argv);
+
+  Config cfg;
+  cfg.host = FlagStr(argc, argv, "--host", "127.0.0.1");
+  cfg.port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 7777));
+  cfg.conns = std::max<uint64_t>(1, FlagU64(argc, argv, "--conns", 4));
+  cfg.pipeline = std::max<uint64_t>(1, FlagU64(argc, argv, "--pipeline", 32));
+  cfg.seconds = FlagDouble(argc, argv, "--seconds", 5.0);
+  cfg.keys = std::max<uint64_t>(1, FlagU64(argc, argv, "--keys", 100000));
+  cfg.rate = FlagDouble(argc, argv, "--rate", 0.0);
+  cfg.updates = FlagDouble(argc, argv, "--updates", 0.0);
+  cfg.scans = FlagDouble(argc, argv, "--scans", 0.0);
+  cfg.inserts = FlagDouble(argc, argv, "--inserts", 0.0);
+  cfg.scan_len = FlagU64(argc, argv, "--scan-len", 16);
+  cfg.zipfian = FlagBool(argc, argv, "--zipfian");
+  cfg.multiget = FlagU64(argc, argv, "--multiget", 0);
+  cfg.max_outstanding =
+      std::max<uint64_t>(1, FlagU64(argc, argv, "--max-outstanding", 1024));
+  cfg.preload = !FlagBool(argc, argv, "--no-preload");
+  cfg.server_shards =
+      std::max<uint64_t>(1, FlagU64(argc, argv, "--server-shards", 1));
+
+  const bool open_loop = cfg.rate > 0.0;
+  std::vector<ThreadResult> results(cfg.conns);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.conns);
+  met::Timer wall;
+  for (size_t t = 0; t < cfg.conns; ++t)
+    threads.emplace_back(open_loop ? RunOpen : RunClosed, std::cref(cfg), t,
+                         &results[t]);
+  for (auto& th : threads) th.join();
+  double elapsed = wall.ElapsedSeconds();
+
+  met::obs::Histogram latency;
+  uint64_t ok = 0, notfound = 0, shed = 0, errors = 0, sent = 0;
+  for (ThreadResult& r : results) {
+    if (r.failed) {
+      std::fprintf(stderr, "met_loadgen: connection failed: %s\n",
+                   r.fail_msg.c_str());
+      return 1;
+    }
+    latency.Merge(r.latency);
+    ok += r.ok;
+    notfound += r.notfound;
+    shed += r.shed;
+    errors += r.errors;
+    sent += r.sent;
+  }
+  const uint64_t serviced = ok + notfound;
+  const double qps = elapsed > 0 ? static_cast<double>(serviced) / elapsed : 0;
+  const uint64_t p50 = latency.Quantile(0.50);
+  const uint64_t p99 = latency.Quantile(0.99);
+  const uint64_t p999 = latency.Quantile(0.999);
+
+  const char* mode = open_loop ? "open" : "closed";
+  std::printf(
+      "met_loadgen mode=%s conns=%zu pipeline=%zu rate=%.0f seconds=%.2f\n"
+      "  sent=%llu serviced=%llu (ok=%llu notfound=%llu) shed=%llu "
+      "errors=%llu\n"
+      "  qps=%.0f qps/shard=%.0f p50=%lluns p99=%lluns p999=%lluns\n",
+      mode, cfg.conns, cfg.pipeline, cfg.rate, elapsed,
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(serviced),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(notfound),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(errors), qps,
+      qps / static_cast<double>(cfg.server_shards),
+      static_cast<unsigned long long>(p50),
+      static_cast<unsigned long long>(p99),
+      static_cast<unsigned long long>(p999));
+
+  reporter.Section("serve loadgen");
+  reporter.Row({{"mode", mode},
+                {"conns", cfg.conns},
+                {"pipeline", cfg.pipeline},
+                {"rate_target", cfg.rate},
+                {"seconds", elapsed},
+                {"qps", qps},
+                {"qps_per_shard", qps / static_cast<double>(cfg.server_shards)},
+                {"p50_ns", static_cast<size_t>(p50)},
+                {"p99_ns", static_cast<size_t>(p99)},
+                {"p999_ns", static_cast<size_t>(p999)},
+                {"ok", static_cast<size_t>(ok)},
+                {"notfound", static_cast<size_t>(notfound)},
+                {"shed", static_cast<size_t>(shed)},
+                {"errors", static_cast<size_t>(errors)}});
+  reporter.WriteIfEnabled();
+  return errors == 0 ? 0 : 2;
+}
