@@ -1,0 +1,1246 @@
+// Concurrent ART with optimistic lock coupling (common/olc.h), in the style
+// of Leis et al., "The ART of Practical Synchronization" (DaMoN'16).
+//
+// Structure mirrors met::Art (Node4/16/48/256, tagged leaf pointers,
+// per-node terminal leaf for prefix keys) with three deliberate deviations
+// that make the concurrent protocol tractable:
+//
+//   1. The compressed prefix is always fully inline (prefix_len <=
+//      kMaxPrefix). Longer common prefixes become chains of Node4s, so no
+//      path ever needs the sequential tree's AnyLeaf probe — which would
+//      read an arbitrary leaf with no version protecting it.
+//   2. Erase never unlinks or shrinks interior nodes; empty and underfull
+//      nodes are tolerated (reclaimed wholesale by merges in the hybrid).
+//      Only growth (Node4->16->48->256) replaces a node, retiring the old
+//      one through the epoch domain.
+//   3. Value updates are in-place atomic exchanges on the leaf. A racing
+//      same-key erase can lose such an update (last-writer-wins); under
+//      per-key serialization — which every in-tree caller provides — all
+//      outcomes and the size counter are exact.
+//
+// Synchronization: every node carries an olc::VersionLock. Readers descend
+// optimistically, validating the version after each decision; writers
+// upgrade the one or two node locks they mutate under. All optimistically
+// read payload fields are std::atomic (relaxed/acquire) so TSan sees the
+// protocol. Replaced nodes and erased leaves are retired to the
+// hybrid::EpochDomain; concurrent readers must therefore hold an epoch pin
+// (hybrid::EpochGuard on epoch()) whenever writers may run — the EpochToken
+// overloads make that contract part of the signature.
+#ifndef MET_ART_OLC_ART_H_
+#define MET_ART_OLC_ART_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/index_api.h"
+#include "common/olc.h"
+#include "hybrid/epoch.h"
+#include "prof/memory_breakdown.h"
+
+namespace met {
+
+class OlcArt {
+ public:
+  using Key = std::string;
+  using Value = uint64_t;
+
+  /// Passing a domain shares reclamation with the owner (the OLC hybrid
+  /// passes its own so one guard covers snapshot and nodes); without one the
+  /// tree owns a private domain.
+  explicit OlcArt(hybrid::EpochDomain* domain = nullptr,
+                  int restart_budget = olc::kDefaultRestartBudget)
+      : restart_budget_(restart_budget) {
+    if (domain == nullptr) {
+      owned_domain_ = std::make_unique<hybrid::EpochDomain>();
+      domain = owned_domain_.get();
+    }
+    epoch_ = domain;
+  }
+
+  ~OlcArt() { DestroyRec(root_.load(std::memory_order_relaxed)); }
+
+  OlcArt(const OlcArt&) = delete;
+  OlcArt& operator=(const OlcArt&) = delete;
+
+  /// The reclamation domain retired nodes go to. Concurrent readers pin it.
+  hybrid::EpochDomain& epoch() const { return *epoch_; }
+
+  // --- native outcome-returning operations ---
+
+  /// Insert-or-assign. kInserted if the key was absent, else kUpdated with
+  /// the old value in *prev.
+  MutateOutcome Upsert(std::string_view key, Value value,
+                       Value* prev = nullptr) {
+    return MutateLoop(key, value, Mode::kUpsert, prev);
+  }
+
+  /// Unique insert: kExists (tree unchanged) if the key is present.
+  MutateOutcome InsertUnique(std::string_view key, Value value) {
+    return MutateLoop(key, value, Mode::kUnique, nullptr);
+  }
+
+  /// Overwrite-if-present: kNotFound (tree unchanged) if absent.
+  MutateOutcome UpdateIfPresent(std::string_view key, Value value,
+                                Value* prev = nullptr) {
+    return MutateLoop(key, value, Mode::kUpdateOnly, prev);
+  }
+
+  /// Point delete: kRemoved with the old value in *prev, or kNotFound.
+  MutateOutcome Remove(std::string_view key, Value* prev = nullptr) {
+    olc::RestartBudget budget(restart_budget_);
+    while (budget.Next()) {
+      bool restart = false;
+      MutateOutcome o = EraseAttempt(key, prev, restart);
+      if (!restart) return o;
+    }
+    return MutateOutcome::kRetry;
+  }
+
+  // --- ConcurrentPointIndex surface (token witnesses the epoch pin) ---
+
+  MutateOutcome Insert(std::string_view key, Value value, EpochToken) {
+    return InsertUnique(key, value);
+  }
+  MutateOutcome Update(std::string_view key, Value value, EpochToken) {
+    return UpdateIfPresent(key, value);
+  }
+  MutateOutcome Remove(std::string_view key, EpochToken) {
+    return Remove(key, static_cast<Value*>(nullptr));
+  }
+  bool Lookup(std::string_view key, Value* value, EpochToken) const {
+    return Lookup(key, value);
+  }
+
+  // --- classic bool surface (retries kRetry internally; single-threaded
+  //     callers and the conformance suite use these) ---
+
+  bool Insert(std::string_view key, Value value) {
+    return LoopUntilSettled([&] { return InsertUnique(key, value); }) ==
+           MutateOutcome::kInserted;
+  }
+
+  void InsertOrAssign(std::string_view key, Value value) {
+    LoopUntilSettled([&] { return Upsert(key, value); });
+  }
+
+  bool Update(std::string_view key, Value value) {
+    return LoopUntilSettled([&] { return UpdateIfPresent(key, value); }) ==
+           MutateOutcome::kUpdated;
+  }
+
+  bool Erase(std::string_view key) {
+    return LoopUntilSettled([&] { return Remove(key); }) ==
+           MutateOutcome::kRemoved;
+  }
+
+  /// Unified point lookup; loops internally on version conflicts (reads
+  /// cannot livelock writers, so no budget applies).
+  bool Lookup(std::string_view key, Value* value = nullptr) const {
+    for (;;) {
+      bool restart = false;
+      bool found = LookupAttempt(key, value, restart);
+      if (!restart) return found;
+      std::this_thread::yield();
+    }
+  }
+
+  [[deprecated("use Lookup()")]] bool Find(std::string_view key,
+                                           Value* value = nullptr) const {
+    return Lookup(key, value);
+  }
+
+  /// Budgeted lookup: nullopt when the restart budget is exhausted.
+  std::optional<bool> TryLookup(std::string_view key,
+                                Value* value = nullptr) const {
+    olc::RestartBudget budget(restart_budget_);
+    while (budget.Next()) {
+      bool restart = false;
+      bool found = LookupAttempt(key, value, restart);
+      if (!restart) return found;
+    }
+    return std::nullopt;
+  }
+
+  /// Ordered scan from lower_bound(from): appends up to `n` (key, value)
+  /// pairs to *out (cleared first) and returns the count. Restarts resume
+  /// after the last emitted key, so results are a valid snapshot-union under
+  /// concurrency and exact when quiescent (the merge path's use).
+  size_t ScanPairs(const std::string& from, size_t n,
+                   std::vector<std::pair<std::string, Value>>* out) const {
+    out->clear();
+    if (n == 0) return 0;
+    std::string lower = from;
+    bool exclusive = false;
+    for (;;) {
+      ScanState st{lower, exclusive, n, out};
+      bool restart = false;
+      bool r = false;
+      uint64_t rv = root_lock_.ReadLockOrRestart(r);
+      if (!r) {
+        void* p = root_.load(std::memory_order_acquire);
+        root_lock_.CheckOrRestart(rv, r);
+        if (!r) ScanRec(p, 0, false, st, restart);
+      }
+      if (!r && !restart) return out->size();
+      if (!out->empty()) {
+        lower = out->back().first;
+        exclusive = true;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// met::RangeIndex-style scan (values, optionally keys).
+  size_t Scan(std::string_view key, size_t n, std::vector<Value>* out,
+              std::vector<std::string>* keys_out = nullptr) const {
+    std::vector<std::pair<std::string, Value>> pairs;
+    ScanPairs(std::string(key), n, &pairs);
+    for (auto& [k, v] : pairs) {
+      out->push_back(v);
+      if (keys_out) keys_out->push_back(std::move(k));
+    }
+    return pairs.size();
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
+
+  size_t MemoryUse() const { return MemoryBytes(); }
+  size_t MemoryBytes() const {
+    return node4_.load(std::memory_order_relaxed) * sizeof(Node4) +
+           node16_.load(std::memory_order_relaxed) * sizeof(Node16) +
+           node48_.load(std::memory_order_relaxed) * sizeof(Node48) +
+           node256_.load(std::memory_order_relaxed) * sizeof(Node256) +
+           leaf_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-layout attribution; TotalBytes() == MemoryBytes() (same counters).
+  /// Counters are decremented when a node is retired, not when it is freed,
+  /// so epoch-pending garbage is not attributed to the tree.
+  MemoryBreakdown Breakdown() const {
+    MemoryBreakdown b("olc_art");
+    b.Add("node4", node4_.load(std::memory_order_relaxed) * sizeof(Node4));
+    b.Add("node16", node16_.load(std::memory_order_relaxed) * sizeof(Node16));
+    b.Add("node48", node48_.load(std::memory_order_relaxed) * sizeof(Node48));
+    b.Add("node256",
+          node256_.load(std::memory_order_relaxed) * sizeof(Node256));
+    b.Add("leaves", leaf_bytes_.load(std::memory_order_relaxed));
+    return b;
+  }
+
+  /// Quiescent-only reset (no concurrent operations, like the destructor).
+  void Clear() {
+    DestroyRec(root_.exchange(nullptr, std::memory_order_relaxed));
+    size_.store(0, std::memory_order_relaxed);
+    node4_.store(0, std::memory_order_relaxed);
+    node16_.store(0, std::memory_order_relaxed);
+    node48_.store(0, std::memory_order_relaxed);
+    node256_.store(0, std::memory_order_relaxed);
+    leaf_count_.store(0, std::memory_order_relaxed);
+    leaf_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Structural invariants (quiescent-only): version words unlocked, inline
+  /// prefix bounds, in-node label order, Node48 bijection, leaf keys
+  /// consistent with their path, leaf count == size().
+  bool Validate(std::ostream& os) const {
+    std::string path;
+    size_t leaves = 0;
+    if (!ValidateRec(root_.load(std::memory_order_relaxed), path, &leaves, os))
+      return false;
+    if (leaves != size()) {
+      os << "olc_art: leaf count " << leaves << " != size " << size() << "\n";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxPrefix = 10;
+
+  enum NodeType : uint8_t { kNode4, kNode16, kNode48, kNode256 };
+  enum class Mode : uint8_t { kUpsert, kUnique, kUpdateOnly };
+
+  struct Leaf {
+    std::atomic<Value> value;
+    uint32_t key_len;
+    char key_data[1];  // key_len bytes, immutable after publication
+
+    std::string_view key() const { return {key_data, key_len}; }
+  };
+
+  struct Node {
+    olc::VersionLock lock;
+    const NodeType type;
+    std::atomic<uint16_t> num_children{0};
+    std::atomic<uint32_t> prefix_len{0};  // always <= kMaxPrefix
+    std::atomic<unsigned char> prefix[kMaxPrefix] = {};
+    std::atomic<Leaf*> terminal{nullptr};  // key ending exactly here
+
+    explicit Node(NodeType t) : type(t) {}
+  };
+
+  struct Node4 : Node {
+    std::atomic<unsigned char> keys[4] = {};
+    std::atomic<void*> children[4] = {};
+    Node4() : Node(kNode4) {}
+  };
+
+  struct Node16 : Node {
+    std::atomic<unsigned char> keys[16] = {};
+    std::atomic<void*> children[16] = {};
+    Node16() : Node(kNode16) {}
+  };
+
+  struct Node48 : Node {
+    std::atomic<uint8_t> child_index[256];  // 0xFF = empty
+    std::atomic<void*> children[48] = {};
+    Node48() : Node(kNode48) {
+      for (auto& c : child_index) c.store(0xFF, std::memory_order_relaxed);
+    }
+  };
+
+  struct Node256 : Node {
+    std::atomic<void*> children[256] = {};
+    Node256() : Node(kNode256) {}
+  };
+
+  // --- tagged pointers: LSB set = Leaf* (same idiom as met::Art) ---
+  static bool IsLeaf(const void* p) {
+    return (reinterpret_cast<uintptr_t>(p) & 1) != 0;
+  }
+  static Leaf* AsLeaf(void* p) {
+    return reinterpret_cast<Leaf*>(reinterpret_cast<uintptr_t>(p) &
+                                   ~uintptr_t{1});
+  }
+  static void* TagLeaf(Leaf* l) {
+    return reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(l) | 1);
+  }
+  static Node* AsNode(void* p) { return static_cast<Node*>(p); }
+
+  static size_t LeafBytes(const Leaf* l) {
+    return sizeof(Leaf) + l->key_len;
+  }
+
+  Leaf* NewLeaf(std::string_view key, Value value) {
+    void* mem = ::operator new(sizeof(Leaf) + key.size());
+    Leaf* l = new (mem) Leaf;
+    l->value.store(value, std::memory_order_relaxed);
+    l->key_len = static_cast<uint32_t>(key.size());
+    std::memcpy(l->key_data, key.data(), key.size());
+    leaf_count_.fetch_add(1, std::memory_order_relaxed);
+    leaf_bytes_.fetch_add(LeafBytes(l), std::memory_order_relaxed);
+    return l;
+  }
+
+  static void FreeLeaf(Leaf* l) { ::operator delete(l); }
+
+  Node4* NewNode4() {
+    node4_.fetch_add(1, std::memory_order_relaxed);
+    return new Node4();
+  }
+  Node16* NewNode16() {
+    node16_.fetch_add(1, std::memory_order_relaxed);
+    return new Node16();
+  }
+  Node48* NewNode48() {
+    node48_.fetch_add(1, std::memory_order_relaxed);
+    return new Node48();
+  }
+  Node256* NewNode256() {
+    node256_.fetch_add(1, std::memory_order_relaxed);
+    return new Node256();
+  }
+
+  static void FreeNode(Node* n) {
+    switch (n->type) {
+      case kNode4: delete static_cast<Node4*>(n); break;
+      case kNode16: delete static_cast<Node16*>(n); break;
+      case kNode48: delete static_cast<Node48*>(n); break;
+      case kNode256: delete static_cast<Node256*>(n); break;
+    }
+  }
+
+  void RetireLeaf(Leaf* l) {
+    leaf_count_.fetch_sub(1, std::memory_order_relaxed);
+    leaf_bytes_.fetch_sub(LeafBytes(l), std::memory_order_relaxed);
+    epoch_->Retire([l] { FreeLeaf(l); });
+  }
+
+  void RetireNode(Node* n) {
+    switch (n->type) {
+      case kNode4: node4_.fetch_sub(1, std::memory_order_relaxed); break;
+      case kNode16: node16_.fetch_sub(1, std::memory_order_relaxed); break;
+      case kNode48: node48_.fetch_sub(1, std::memory_order_relaxed); break;
+      case kNode256: node256_.fetch_sub(1, std::memory_order_relaxed); break;
+    }
+    epoch_->Retire([n] { FreeNode(n); });
+  }
+
+  // --- in-node helpers (callers hold the node lock or the node is
+  //     unpublished; readers go through FindChildSlot + version validation) ---
+
+  static uint32_t LoadPrefix(const Node* n, unsigned char* buf) {
+    uint32_t plen = n->prefix_len.load(std::memory_order_relaxed);
+    if (plen > kMaxPrefix) plen = kMaxPrefix;  // racy-read clamp
+    for (uint32_t i = 0; i < plen; ++i)
+      buf[i] = n->prefix[i].load(std::memory_order_relaxed);
+    return plen;
+  }
+
+  static uint32_t MatchLen(const unsigned char* pbuf, uint32_t plen,
+                           std::string_view key, size_t depth) {
+    uint32_t m = 0;
+    while (m < plen && depth + m < key.size() &&
+           pbuf[m] == static_cast<unsigned char>(key[depth + m]))
+      ++m;
+    return m;
+  }
+
+  template <typename NodeT>
+  static std::atomic<void*>* FindSorted(NodeT* n, unsigned char byte) {
+    uint16_t count = n->num_children.load(std::memory_order_relaxed);
+    constexpr uint16_t kCap = sizeof(n->keys) / sizeof(n->keys[0]);
+    if (count > kCap) count = kCap;  // racy-read clamp
+    for (uint16_t i = 0; i < count; ++i)
+      if (n->keys[i].load(std::memory_order_relaxed) == byte)
+        return &n->children[i];
+    return nullptr;
+  }
+
+  /// Slot holding `byte`'s child, or nullptr if absent. Decisions based on
+  /// the result must be version-validated before being trusted.
+  static std::atomic<void*>* FindChildSlot(Node* n, unsigned char byte) {
+    switch (n->type) {
+      case kNode4: return FindSorted(static_cast<Node4*>(n), byte);
+      case kNode16: return FindSorted(static_cast<Node16*>(n), byte);
+      case kNode48: {
+        auto* m = static_cast<Node48*>(n);
+        uint8_t idx = m->child_index[byte].load(std::memory_order_relaxed);
+        return idx == 0xFF ? nullptr : &m->children[idx];
+      }
+      case kNode256: {
+        auto* m = static_cast<Node256*>(n);
+        return m->children[byte].load(std::memory_order_relaxed) != nullptr
+                   ? &m->children[byte]
+                   : nullptr;
+      }
+    }
+    return nullptr;
+  }
+
+  static bool IsFull(const Node* n) {
+    uint16_t c = n->num_children.load(std::memory_order_relaxed);
+    switch (n->type) {
+      case kNode4: return c >= 4;
+      case kNode16: return c >= 16;
+      case kNode48: return c >= 48;
+      case kNode256: return false;
+    }
+    return false;
+  }
+
+  template <typename NodeT>
+  static void InsertSortedLocked(NodeT* n, unsigned char byte, void* child) {
+    uint16_t count = n->num_children.load(std::memory_order_relaxed);
+    uint16_t pos = 0;
+    while (pos < count &&
+           n->keys[pos].load(std::memory_order_relaxed) < byte)
+      ++pos;
+    for (uint16_t i = count; i > pos; --i) {
+      n->keys[i].store(n->keys[i - 1].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      n->children[i].store(n->children[i - 1].load(std::memory_order_relaxed),
+                           std::memory_order_release);
+    }
+    n->keys[pos].store(byte, std::memory_order_relaxed);
+    n->children[pos].store(child, std::memory_order_release);
+    n->num_children.store(count + 1, std::memory_order_release);
+  }
+
+  static void AddChildLocked(Node* n, unsigned char byte, void* child) {
+    switch (n->type) {
+      case kNode4:
+        InsertSortedLocked(static_cast<Node4*>(n), byte, child);
+        break;
+      case kNode16:
+        InsertSortedLocked(static_cast<Node16*>(n), byte, child);
+        break;
+      case kNode48: {
+        auto* m = static_cast<Node48*>(n);
+        uint8_t i = 0;
+        while (m->children[i].load(std::memory_order_relaxed) != nullptr) ++i;
+        m->children[i].store(child, std::memory_order_release);
+        m->child_index[byte].store(i, std::memory_order_release);
+        m->num_children.fetch_add(1, std::memory_order_release);
+        break;
+      }
+      case kNode256: {
+        auto* m = static_cast<Node256*>(n);
+        m->children[byte].store(child, std::memory_order_release);
+        m->num_children.fetch_add(1, std::memory_order_release);
+        break;
+      }
+    }
+  }
+
+  template <typename NodeT>
+  static void RemoveSortedLocked(NodeT* n, unsigned char byte) {
+    uint16_t count = n->num_children.load(std::memory_order_relaxed);
+    uint16_t pos = 0;
+    while (pos < count &&
+           n->keys[pos].load(std::memory_order_relaxed) != byte)
+      ++pos;
+    MET_DCHECK(pos < count, "RemoveChildLocked: byte not present");
+    for (uint16_t i = pos; i + 1 < count; ++i) {
+      n->keys[i].store(n->keys[i + 1].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      n->children[i].store(n->children[i + 1].load(std::memory_order_relaxed),
+                           std::memory_order_release);
+    }
+    n->children[count - 1].store(nullptr, std::memory_order_release);
+    n->num_children.store(count - 1, std::memory_order_release);
+  }
+
+  static void RemoveChildLocked(Node* n, unsigned char byte) {
+    switch (n->type) {
+      case kNode4:
+        RemoveSortedLocked(static_cast<Node4*>(n), byte);
+        break;
+      case kNode16:
+        RemoveSortedLocked(static_cast<Node16*>(n), byte);
+        break;
+      case kNode48: {
+        auto* m = static_cast<Node48*>(n);
+        uint8_t idx = m->child_index[byte].load(std::memory_order_relaxed);
+        MET_DCHECK(idx != 0xFF, "RemoveChildLocked: byte not present");
+        m->child_index[byte].store(0xFF, std::memory_order_release);
+        m->children[idx].store(nullptr, std::memory_order_release);
+        m->num_children.fetch_sub(1, std::memory_order_release);
+        break;
+      }
+      case kNode256: {
+        auto* m = static_cast<Node256*>(n);
+        m->children[byte].store(nullptr, std::memory_order_release);
+        m->num_children.fetch_sub(1, std::memory_order_release);
+        break;
+      }
+    }
+  }
+
+  static void CopyHeaderLocked(Node* dst, const Node* src) {
+    dst->num_children.store(src->num_children.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    uint32_t plen = src->prefix_len.load(std::memory_order_relaxed);
+    dst->prefix_len.store(plen, std::memory_order_relaxed);
+    for (uint32_t i = 0; i < plen && i < kMaxPrefix; ++i)
+      dst->prefix[i].store(src->prefix[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    dst->terminal.store(src->terminal.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+
+  /// Copies a full node into the next-larger layout. Caller holds `n`'s
+  /// write lock; the copy is unpublished until the parent slot is stored.
+  Node* GrowCopyLocked(Node* n) {
+    switch (n->type) {
+      case kNode4: {
+        auto* src = static_cast<Node4*>(n);
+        Node16* dst = NewNode16();
+        CopyHeaderLocked(dst, src);
+        for (int i = 0; i < 4; ++i) {
+          dst->keys[i].store(src->keys[i].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+          dst->children[i].store(
+              src->children[i].load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+        }
+        return dst;
+      }
+      case kNode16: {
+        auto* src = static_cast<Node16*>(n);
+        Node48* dst = NewNode48();
+        CopyHeaderLocked(dst, src);
+        for (int i = 0; i < 16; ++i) {
+          dst->children[i].store(
+              src->children[i].load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+          dst->child_index[src->keys[i].load(std::memory_order_relaxed)].store(
+              static_cast<uint8_t>(i), std::memory_order_relaxed);
+        }
+        return dst;
+      }
+      case kNode48: {
+        auto* src = static_cast<Node48*>(n);
+        Node256* dst = NewNode256();
+        CopyHeaderLocked(dst, src);
+        for (int b = 0; b < 256; ++b) {
+          uint8_t idx = src->child_index[b].load(std::memory_order_relaxed);
+          if (idx != 0xFF)
+            dst->children[b].store(
+                src->children[idx].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+        return dst;
+      }
+      case kNode256: break;  // never full
+    }
+    MET_DCHECK(false, "GrowCopyLocked on Node256");
+    return nullptr;
+  }
+
+  /// Drops the first `drop` prefix bytes (prefix split). Caller holds the
+  /// node's write lock.
+  static void TrimPrefixLocked(Node* n, uint32_t drop) {
+    uint32_t plen = n->prefix_len.load(std::memory_order_relaxed);
+    MET_DCHECK(drop <= plen, "TrimPrefixLocked: drop beyond prefix");
+    uint32_t nlen = plen - drop;
+    for (uint32_t i = 0; i < nlen; ++i)
+      n->prefix[i].store(n->prefix[i + drop].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    n->prefix_len.store(nlen, std::memory_order_release);
+  }
+
+  /// Resolves a leaf/leaf collision at `depth` into a (chain of) Node4(s):
+  /// each level consumes up to kMaxPrefix common bytes inline plus one
+  /// branch byte. Keys are distinct and agree on [0, depth). The result is
+  /// unpublished; the caller stores it into the locked parent slot.
+  void* BuildSplit(Leaf* existing, std::string_view key, Value value,
+                   size_t depth) {
+    std::string_view ek = existing->key();
+    size_t cap = ek.size() < key.size() ? ek.size() : key.size();
+    size_t i = depth;
+    while (i < cap && ek[i] == key[i]) ++i;
+    size_t common = i - depth;
+
+    Node4* nn = NewNode4();
+    if (common > kMaxPrefix) {
+      nn->prefix_len.store(kMaxPrefix, std::memory_order_relaxed);
+      for (int j = 0; j < kMaxPrefix; ++j)
+        nn->prefix[j].store(static_cast<unsigned char>(key[depth + j]),
+                            std::memory_order_relaxed);
+      unsigned char b = static_cast<unsigned char>(key[depth + kMaxPrefix]);
+      AddChildLocked(nn, b,
+                     BuildSplit(existing, key, value, depth + kMaxPrefix + 1));
+      return nn;
+    }
+
+    nn->prefix_len.store(static_cast<uint32_t>(common),
+                         std::memory_order_relaxed);
+    for (size_t j = 0; j < common; ++j)
+      nn->prefix[j].store(static_cast<unsigned char>(key[depth + j]),
+                          std::memory_order_relaxed);
+    size_t d2 = depth + common;
+    if (ek.size() == d2)
+      nn->terminal.store(existing, std::memory_order_relaxed);
+    else
+      AddChildLocked(nn, static_cast<unsigned char>(ek[d2]),
+                     TagLeaf(existing));
+    Leaf* l = NewLeaf(key, value);
+    if (key.size() == d2)
+      nn->terminal.store(l, std::memory_order_relaxed);
+    else
+      AddChildLocked(nn, static_cast<unsigned char>(key[d2]), TagLeaf(l));
+    return nn;
+  }
+
+  // --- the OLC descent ---
+
+  template <typename F>
+  static MutateOutcome LoopUntilSettled(F&& f) {
+    for (;;) {
+      MutateOutcome o = f();
+      if (o != MutateOutcome::kRetry) return o;
+      std::this_thread::yield();
+    }
+  }
+
+  MutateOutcome MutateLoop(std::string_view key, Value value, Mode mode,
+                           Value* prev) {
+    olc::RestartBudget budget(restart_budget_);
+    while (budget.Next()) {
+      bool restart = false;
+      MutateOutcome o = MutateAttempt(key, value, mode, prev, restart);
+      if (!restart) return o;
+    }
+    return MutateOutcome::kRetry;
+  }
+
+  MutateOutcome MutateAttempt(std::string_view key, Value value, Mode mode,
+                              Value* prev, bool& restart) {
+    bool r = false;
+    olc::VersionLock* plock = &root_lock_;
+    uint64_t pv = plock->ReadLockOrRestart(r);
+    if (r) {
+      restart = true;
+      return MutateOutcome::kRetry;
+    }
+    std::atomic<void*>* slot = &root_;
+    size_t depth = 0;
+
+    for (;;) {
+      void* p = slot->load(std::memory_order_acquire);
+      plock->CheckOrRestart(pv, r);
+      if (r) break;
+
+      if (p == nullptr) {
+        // Interior slots are never null in a validated state, so this is
+        // the empty-root claim.
+        if (mode == Mode::kUpdateOnly) return MutateOutcome::kNotFound;
+        plock->UpgradeToWriteLockOrRestart(pv, r);
+        if (r) break;
+        slot->store(TagLeaf(NewLeaf(key, value)), std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        plock->WriteUnlock();
+        return MutateOutcome::kInserted;
+      }
+
+      if (IsLeaf(p)) {
+        Leaf* l = AsLeaf(p);
+        if (l->key() == key) {
+          if (mode == Mode::kUnique) return MutateOutcome::kExists;
+          Value old = l->value.exchange(value, std::memory_order_acq_rel);
+          if (prev) *prev = old;
+          return MutateOutcome::kUpdated;
+        }
+        if (mode == Mode::kUpdateOnly) return MutateOutcome::kNotFound;
+        plock->UpgradeToWriteLockOrRestart(pv, r);
+        if (r) break;
+        slot->store(BuildSplit(l, key, value, depth),
+                    std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        plock->WriteUnlock();
+        return MutateOutcome::kInserted;
+      }
+
+      Node* n = AsNode(p);
+      uint64_t v = n->lock.ReadLockOrRestart(r);
+      if (r) break;
+      plock->ReadUnlockOrRestart(pv, r);  // slot still pointed here
+      if (r) break;
+
+      unsigned char pbuf[kMaxPrefix];
+      uint32_t plen = LoadPrefix(n, pbuf);
+      n->lock.CheckOrRestart(v, r);
+      if (r) break;
+      uint32_t match = MatchLen(pbuf, plen, key, depth);
+
+      if (match < plen) {
+        // Prefix mismatch (or key ends inside the prefix): split the
+        // compressed path — parent slot gets a new Node4 with the common
+        // bytes; n keeps the tail past the diverging byte.
+        if (mode == Mode::kUpdateOnly) return MutateOutcome::kNotFound;
+        plock->UpgradeToWriteLockOrRestart(pv, r);
+        if (r) break;
+        n->lock.UpgradeToWriteLockOrRestart(v, r);
+        if (r) {
+          plock->WriteUnlock();
+          break;
+        }
+        Node4* nn = NewNode4();
+        nn->prefix_len.store(match, std::memory_order_relaxed);
+        for (uint32_t j = 0; j < match; ++j)
+          nn->prefix[j].store(pbuf[j], std::memory_order_relaxed);
+        unsigned char old_byte = pbuf[match];
+        TrimPrefixLocked(n, match + 1);
+        AddChildLocked(nn, old_byte, n);
+        if (depth + match == key.size())
+          nn->terminal.store(NewLeaf(key, value), std::memory_order_relaxed);
+        else
+          AddChildLocked(nn,
+                         static_cast<unsigned char>(key[depth + match]),
+                         TagLeaf(NewLeaf(key, value)));
+        slot->store(nn, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        n->lock.WriteUnlock();
+        plock->WriteUnlock();
+        return MutateOutcome::kInserted;
+      }
+
+      depth += plen;
+
+      if (depth == key.size()) {
+        Leaf* t = n->terminal.load(std::memory_order_acquire);
+        n->lock.CheckOrRestart(v, r);
+        if (r) break;
+        if (t != nullptr) {
+          if (mode == Mode::kUnique) return MutateOutcome::kExists;
+          Value old = t->value.exchange(value, std::memory_order_acq_rel);
+          if (prev) *prev = old;
+          return MutateOutcome::kUpdated;
+        }
+        if (mode == Mode::kUpdateOnly) return MutateOutcome::kNotFound;
+        n->lock.UpgradeToWriteLockOrRestart(v, r);
+        if (r) break;
+        n->terminal.store(NewLeaf(key, value), std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        n->lock.WriteUnlock();
+        return MutateOutcome::kInserted;
+      }
+
+      unsigned char byte = static_cast<unsigned char>(key[depth]);
+      std::atomic<void*>* child = FindChildSlot(n, byte);
+      n->lock.CheckOrRestart(v, r);
+      if (r) break;
+
+      if (child == nullptr) {
+        if (mode == Mode::kUpdateOnly) return MutateOutcome::kNotFound;
+        if (IsFull(n)) {
+          // Grow: replace n with the next layout under both locks, retire n.
+          plock->UpgradeToWriteLockOrRestart(pv, r);
+          if (r) break;
+          n->lock.UpgradeToWriteLockOrRestart(v, r);
+          if (r) {
+            plock->WriteUnlock();
+            break;
+          }
+          Node* big = GrowCopyLocked(n);
+          AddChildLocked(big, byte, TagLeaf(NewLeaf(key, value)));
+          slot->store(big, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          n->lock.WriteUnlockObsolete();
+          RetireNode(n);
+          plock->WriteUnlock();
+          return MutateOutcome::kInserted;
+        }
+        n->lock.UpgradeToWriteLockOrRestart(v, r);
+        if (r) break;
+        AddChildLocked(n, byte, TagLeaf(NewLeaf(key, value)));
+        size_.fetch_add(1, std::memory_order_relaxed);
+        n->lock.WriteUnlock();
+        return MutateOutcome::kInserted;
+      }
+
+      plock = &n->lock;
+      pv = v;
+      slot = child;
+      depth += 1;
+    }
+
+    restart = true;
+    return MutateOutcome::kRetry;
+  }
+
+  MutateOutcome EraseAttempt(std::string_view key, Value* prev,
+                             bool& restart) {
+    bool r = false;
+    olc::VersionLock* plock = &root_lock_;
+    uint64_t pv = plock->ReadLockOrRestart(r);
+    if (r) {
+      restart = true;
+      return MutateOutcome::kRetry;
+    }
+    std::atomic<void*>* slot = &root_;
+    Node* pnode = nullptr;
+    unsigned char pbyte = 0;
+    size_t depth = 0;
+
+    for (;;) {
+      void* p = slot->load(std::memory_order_acquire);
+      plock->CheckOrRestart(pv, r);
+      if (r) break;
+      if (p == nullptr) return MutateOutcome::kNotFound;
+
+      if (IsLeaf(p)) {
+        Leaf* l = AsLeaf(p);
+        if (l->key() != key) return MutateOutcome::kNotFound;
+        plock->UpgradeToWriteLockOrRestart(pv, r);
+        if (r) break;
+        if (pnode != nullptr)
+          RemoveChildLocked(pnode, pbyte);
+        else
+          root_.store(nullptr, std::memory_order_release);
+        if (prev) *prev = l->value.load(std::memory_order_relaxed);
+        RetireLeaf(l);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        plock->WriteUnlock();
+        return MutateOutcome::kRemoved;
+      }
+
+      Node* n = AsNode(p);
+      uint64_t v = n->lock.ReadLockOrRestart(r);
+      if (r) break;
+      plock->ReadUnlockOrRestart(pv, r);
+      if (r) break;
+
+      unsigned char pbuf[kMaxPrefix];
+      uint32_t plen = LoadPrefix(n, pbuf);
+      n->lock.CheckOrRestart(v, r);
+      if (r) break;
+      if (MatchLen(pbuf, plen, key, depth) < plen)
+        return MutateOutcome::kNotFound;
+      depth += plen;
+
+      if (depth == key.size()) {
+        Leaf* t = n->terminal.load(std::memory_order_acquire);
+        n->lock.CheckOrRestart(v, r);
+        if (r) break;
+        if (t == nullptr) return MutateOutcome::kNotFound;
+        n->lock.UpgradeToWriteLockOrRestart(v, r);
+        if (r) break;
+        n->terminal.store(nullptr, std::memory_order_release);
+        if (prev) *prev = t->value.load(std::memory_order_relaxed);
+        RetireLeaf(t);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        n->lock.WriteUnlock();
+        return MutateOutcome::kRemoved;
+      }
+
+      unsigned char byte = static_cast<unsigned char>(key[depth]);
+      std::atomic<void*>* child = FindChildSlot(n, byte);
+      n->lock.CheckOrRestart(v, r);
+      if (r) break;
+      if (child == nullptr) return MutateOutcome::kNotFound;
+
+      plock = &n->lock;
+      pv = v;
+      pnode = n;
+      pbyte = byte;
+      slot = child;
+      depth += 1;
+    }
+
+    restart = true;
+    return MutateOutcome::kRetry;
+  }
+
+  bool LookupAttempt(std::string_view key, Value* value,
+                     bool& restart) const {
+    bool r = false;
+    const olc::VersionLock* plock = &root_lock_;
+    uint64_t pv = plock->ReadLockOrRestart(r);
+    if (r) {
+      restart = true;
+      return false;
+    }
+    const std::atomic<void*>* slot = &root_;
+    size_t depth = 0;
+
+    for (;;) {
+      void* p = slot->load(std::memory_order_acquire);
+      plock->CheckOrRestart(pv, r);
+      if (r) break;
+      if (p == nullptr) return false;
+
+      if (IsLeaf(p)) {
+        const Leaf* l = AsLeaf(p);
+        if (l->key() != key) return false;
+        if (value) *value = l->value.load(std::memory_order_acquire);
+        return true;
+      }
+
+      Node* n = AsNode(p);
+      uint64_t v = n->lock.ReadLockOrRestart(r);
+      if (r) break;
+      plock->ReadUnlockOrRestart(pv, r);
+      if (r) break;
+
+      unsigned char pbuf[kMaxPrefix];
+      uint32_t plen = LoadPrefix(n, pbuf);
+      n->lock.CheckOrRestart(v, r);
+      if (r) break;
+      if (MatchLen(pbuf, plen, key, depth) < plen) return false;
+      depth += plen;
+
+      if (depth == key.size()) {
+        const Leaf* t = n->terminal.load(std::memory_order_acquire);
+        n->lock.CheckOrRestart(v, r);
+        if (r) break;
+        if (t == nullptr) return false;
+        if (value) *value = t->value.load(std::memory_order_acquire);
+        return true;
+      }
+
+      std::atomic<void*>* child =
+          FindChildSlot(n, static_cast<unsigned char>(key[depth]));
+      n->lock.CheckOrRestart(v, r);
+      if (r) break;
+      if (child == nullptr) return false;
+
+      plock = &n->lock;
+      pv = v;
+      slot = child;
+      depth += 1;
+    }
+
+    restart = true;
+    return false;
+  }
+
+  // --- scan ---
+
+  struct ScanState {
+    std::string_view lower;
+    bool exclusive;  // skip a key equal to lower (restart resume)
+    size_t limit;
+    std::vector<std::pair<std::string, Value>>* out;
+  };
+
+  static bool EmitLeaf(const Leaf* l, bool past, ScanState& st) {
+    std::string_view k = l->key();
+    if (!past && (k < st.lower || (st.exclusive && k == st.lower)))
+      return false;
+    st.out->emplace_back(std::string(k),
+                         l->value.load(std::memory_order_acquire));
+    return st.out->size() >= st.limit;
+  }
+
+  /// Snapshots the child list (sorted by byte) under the caller's pending
+  /// version validation.
+  static void CollectChildren(Node* n, unsigned char* bytes, void** kids,
+                              int* nkids) {
+    int c = 0;
+    switch (n->type) {
+      case kNode4:
+      case kNode16: {
+        uint16_t count = n->num_children.load(std::memory_order_relaxed);
+        uint16_t cap = n->type == kNode4 ? 4 : 16;
+        if (count > cap) count = cap;
+        for (uint16_t i = 0; i < count; ++i) {
+          unsigned char b;
+          void* kid;
+          if (n->type == kNode4) {
+            auto* m = static_cast<Node4*>(n);
+            b = m->keys[i].load(std::memory_order_relaxed);
+            kid = m->children[i].load(std::memory_order_acquire);
+          } else {
+            auto* m = static_cast<Node16*>(n);
+            b = m->keys[i].load(std::memory_order_relaxed);
+            kid = m->children[i].load(std::memory_order_acquire);
+          }
+          if (kid != nullptr) {
+            bytes[c] = b;
+            kids[c++] = kid;
+          }
+        }
+        break;
+      }
+      case kNode48: {
+        auto* m = static_cast<Node48*>(n);
+        for (int b = 0; b < 256; ++b) {
+          uint8_t idx = m->child_index[b].load(std::memory_order_relaxed);
+          if (idx == 0xFF) continue;
+          void* kid = m->children[idx].load(std::memory_order_acquire);
+          if (kid != nullptr) {
+            bytes[c] = static_cast<unsigned char>(b);
+            kids[c++] = kid;
+          }
+        }
+        break;
+      }
+      case kNode256: {
+        auto* m = static_cast<Node256*>(n);
+        for (int b = 0; b < 256; ++b) {
+          void* kid = m->children[b].load(std::memory_order_acquire);
+          if (kid != nullptr) {
+            bytes[c] = static_cast<unsigned char>(b);
+            kids[c++] = kid;
+          }
+        }
+        break;
+      }
+    }
+    *nkids = c;
+  }
+
+  /// Returns true when done (limit reached or restart). `past` means the
+  /// whole subtree is known > lower.
+  static bool ScanRec(void* p, size_t depth, bool past, ScanState& st,
+                      bool& restart) {
+    if (p == nullptr) return false;
+    if (IsLeaf(p)) return EmitLeaf(AsLeaf(p), past, st);
+
+    Node* n = AsNode(p);
+    bool r = false;
+    uint64_t v = n->lock.ReadLockOrRestart(r);
+    if (r) {
+      restart = true;
+      return true;
+    }
+    unsigned char pbuf[kMaxPrefix];
+    uint32_t plen = LoadPrefix(n, pbuf);
+    Leaf* terminal = n->terminal.load(std::memory_order_acquire);
+    unsigned char bytes[256];
+    void* kids[256];
+    int nkids = 0;
+    CollectChildren(n, bytes, kids, &nkids);
+    n->lock.CheckOrRestart(v, r);
+    if (r) {
+      restart = true;
+      return true;
+    }
+
+    if (!past) {
+      for (uint32_t i = 0; i < plen; ++i) {
+        if (depth + i >= st.lower.size()) {
+          past = true;
+          break;
+        }
+        unsigned char lb = static_cast<unsigned char>(st.lower[depth + i]);
+        if (pbuf[i] > lb) {
+          past = true;
+          break;
+        }
+        if (pbuf[i] < lb) return false;  // subtree entirely below lower
+      }
+    }
+    size_t ndepth = depth + plen;
+
+    if (terminal != nullptr && EmitLeaf(terminal, past, st)) return true;
+
+    int descend = -1;
+    if (!past) {
+      if (ndepth >= st.lower.size())
+        past = true;  // path consumed lower: all children sort after it
+      else
+        descend = static_cast<unsigned char>(st.lower[ndepth]);
+    }
+    for (int i = 0; i < nkids; ++i) {
+      int b = bytes[i];
+      if (!past && b < descend) continue;
+      bool child_past = past || b > descend;
+      if (ScanRec(kids[i], ndepth + 1, child_past, st, restart)) return true;
+    }
+    return false;
+  }
+
+  // --- teardown / validation (quiescent-only) ---
+
+  void DestroyRec(void* p) {
+    if (p == nullptr) return;
+    if (IsLeaf(p)) {
+      FreeLeaf(AsLeaf(p));
+      return;
+    }
+    Node* n = AsNode(p);
+    unsigned char bytes[256];
+    void* kids[256];
+    int nkids = 0;
+    CollectChildren(n, bytes, kids, &nkids);
+    for (int i = 0; i < nkids; ++i) DestroyRec(kids[i]);
+    Leaf* t = n->terminal.load(std::memory_order_relaxed);
+    if (t != nullptr) FreeLeaf(t);
+    FreeNode(n);
+  }
+
+  bool ValidateRec(void* p, std::string& path, size_t* leaves,
+                   std::ostream& os) const {
+    if (p == nullptr) return true;
+    if (IsLeaf(p)) {
+      const Leaf* l = AsLeaf(p);
+      ++*leaves;
+      std::string_view k = l->key();
+      if (k.size() < path.size() ||
+          std::string_view(k).substr(0, path.size()) != path) {
+        os << "olc_art: leaf key inconsistent with path\n";
+        return false;
+      }
+      return true;
+    }
+    Node* n = AsNode(p);
+    uint64_t w = n->lock.Peek();
+    if (olc::VersionLock::IsLocked(w) || olc::VersionLock::IsObsolete(w)) {
+      os << "olc_art: reachable node locked/obsolete during validation\n";
+      return false;
+    }
+    uint32_t plen = n->prefix_len.load(std::memory_order_relaxed);
+    if (plen > kMaxPrefix) {
+      os << "olc_art: prefix_len " << plen << " > kMaxPrefix\n";
+      return false;
+    }
+    size_t mark = path.size();
+    for (uint32_t i = 0; i < plen; ++i)
+      path.push_back(static_cast<char>(
+          n->prefix[i].load(std::memory_order_relaxed)));
+    Leaf* t = n->terminal.load(std::memory_order_relaxed);
+    if (t != nullptr) {
+      ++*leaves;
+      if (t->key() != path) {
+        os << "olc_art: terminal key != node path\n";
+        return false;
+      }
+    }
+    if (n->type == kNode48) {
+      auto* m = static_cast<Node48*>(n);
+      bool used[48] = {};
+      int indexed = 0;
+      for (int b = 0; b < 256; ++b) {
+        uint8_t idx = m->child_index[b].load(std::memory_order_relaxed);
+        if (idx == 0xFF) continue;
+        if (idx >= 48 ||
+            m->children[idx].load(std::memory_order_relaxed) == nullptr ||
+            used[idx]) {
+          os << "olc_art: Node48 index bijection violated\n";
+          return false;
+        }
+        used[idx] = true;
+        ++indexed;
+      }
+      int occupied = 0;
+      for (int i = 0; i < 48; ++i)
+        if (m->children[i].load(std::memory_order_relaxed) != nullptr)
+          ++occupied;
+      if (indexed != occupied ||
+          indexed != n->num_children.load(std::memory_order_relaxed)) {
+        os << "olc_art: Node48 child count mismatch\n";
+        return false;
+      }
+    }
+    unsigned char bytes[256];
+    void* kids[256];
+    int nkids = 0;
+    CollectChildren(n, bytes, kids, &nkids);
+    if ((n->type == kNode4 || n->type == kNode16 || n->type == kNode256) &&
+        nkids != n->num_children.load(std::memory_order_relaxed)) {
+      os << "olc_art: child count mismatch\n";
+      return false;
+    }
+    for (int i = 1; i < nkids; ++i) {
+      if (bytes[i - 1] >= bytes[i]) {
+        os << "olc_art: child bytes out of order\n";
+        return false;
+      }
+    }
+    for (int i = 0; i < nkids; ++i) {
+      path.push_back(static_cast<char>(bytes[i]));
+      if (!ValidateRec(kids[i], path, leaves, os)) return false;
+      path.pop_back();
+    }
+    path.resize(mark);
+    return true;
+  }
+
+  olc::VersionLock root_lock_;  // guards the root slot like a node lock
+  std::atomic<void*> root_{nullptr};
+
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> node4_{0};
+  std::atomic<size_t> node16_{0};
+  std::atomic<size_t> node48_{0};
+  std::atomic<size_t> node256_{0};
+  std::atomic<size_t> leaf_count_{0};
+  std::atomic<size_t> leaf_bytes_{0};
+
+  hybrid::EpochDomain* epoch_ = nullptr;
+  std::unique_ptr<hybrid::EpochDomain> owned_domain_;
+  int restart_budget_;
+};
+
+static_assert(ConcurrentPointIndex<OlcArt, std::string>);
+static_assert(ConcurrentPointIndex<OlcArt, std::string_view>);
+static_assert(MutablePointIndex<OlcArt, std::string_view>);
+static_assert(HasMemoryBreakdown<OlcArt>);
+
+}  // namespace met
+
+#endif  // MET_ART_OLC_ART_H_

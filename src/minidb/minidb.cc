@@ -56,16 +56,16 @@ TableIndex::TableIndex(IndexKind kind) : kind_(kind) {
   }
 }
 
-bool TableIndex::Insert(uint64_t key, uint64_t tuple_id) {
+MutateOutcome TableIndex::Insert(uint64_t key, uint64_t tuple_id) {
   switch (kind_) {
     case IndexKind::kBTree:
-      return btree_->Insert(key, tuple_id);
+      return IndexInsert(*btree_, key, tuple_id);
     case IndexKind::kHybrid:
-      return hybrid_->Insert(key, tuple_id);
+      return IndexInsert(*hybrid_, key, tuple_id);
     case IndexKind::kHybridCompressed:
-      return compressed_->Insert(key, tuple_id);
+      return IndexInsert(*compressed_, key, tuple_id);
   }
-  return false;
+  return MutateOutcome::kExists;
 }
 
 bool TableIndex::Lookup(uint64_t key, uint64_t* tuple_id) const {
@@ -80,28 +80,28 @@ bool TableIndex::Lookup(uint64_t key, uint64_t* tuple_id) const {
   return false;
 }
 
-bool TableIndex::Update(uint64_t key, uint64_t tuple_id) {
+MutateOutcome TableIndex::Update(uint64_t key, uint64_t tuple_id) {
   switch (kind_) {
     case IndexKind::kBTree:
-      return btree_->Update(key, tuple_id);
+      return IndexUpdate(*btree_, key, tuple_id);
     case IndexKind::kHybrid:
-      return hybrid_->Update(key, tuple_id);
+      return IndexUpdate(*hybrid_, key, tuple_id);
     case IndexKind::kHybridCompressed:
-      return compressed_->Update(key, tuple_id);
+      return IndexUpdate(*compressed_, key, tuple_id);
   }
-  return false;
+  return MutateOutcome::kNotFound;
 }
 
-bool TableIndex::Erase(uint64_t key) {
+MutateOutcome TableIndex::Remove(uint64_t key) {
   switch (kind_) {
     case IndexKind::kBTree:
-      return btree_->Erase(key);
+      return IndexRemove(*btree_, key);
     case IndexKind::kHybrid:
-      return hybrid_->Erase(key);
+      return IndexRemove(*hybrid_, key);
     case IndexKind::kHybridCompressed:
-      return compressed_->Erase(key);
+      return IndexRemove(*compressed_, key);
   }
-  return false;
+  return MutateOutcome::kNotFound;
 }
 
 size_t TableIndex::Scan(uint64_t key, size_t n,
@@ -156,7 +156,7 @@ MiniTable::MiniTable(MiniDb* db, std::string name, IndexKind kind,
 
 uint64_t MiniTable::Insert(uint64_t pk, std::string_view payload) {
   uint64_t tuple_id = payloads_.size();
-  if (!primary_.Insert(pk, tuple_id)) return ~0ull;
+  if (!MutateOk(primary_.Insert(pk, tuple_id))) return ~0ull;
   payloads_.emplace_back(payload);
   evicted_.push_back(0);
   evict_offset_.push_back(0);
@@ -166,7 +166,7 @@ uint64_t MiniTable::Insert(uint64_t pk, std::string_view payload) {
 }
 
 bool MiniTable::InsertSecondary(size_t idx, uint64_t sk, uint64_t tuple_id) {
-  return secondary_[idx].Insert(sk, tuple_id);
+  return MutateOk(secondary_[idx].Insert(sk, tuple_id));
 }
 
 bool MiniTable::Get(uint64_t pk, std::string* payload) {

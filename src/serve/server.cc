@@ -16,6 +16,7 @@
 #include "common/sync.h"
 #include "common/timer.h"
 #include "hybrid/concurrent_hybrid.h"
+#include "hybrid/olc_hybrid.h"
 #include "lsm/lsm.h"
 #include "serve/net.h"
 #include "serve/protocol.h"
@@ -43,9 +44,24 @@ const ServeObsMetrics& ServeObsMetrics::Get() {
 
 namespace {
 
-class MemoryEngine final : public ShardEngine {
+/// PUT config shared by both memory engines: non-unique, so Insert is
+/// insert-or-assign — exactly PUT's upsert.
+ConcurrentHybridConfig MemoryEngineConfig() {
+  ConcurrentHybridConfig c;
+  c.unique = false;
+  return c;
+}
+
+/// Default memory engine: OLC hybrid through the outcome mutation API.
+/// PUT and DELETE take no writer lock — they optimistically descend the
+/// active stage and run in parallel with reads, with each other (were the
+/// shard ever driven from more than one thread), and with the
+/// freeze/drain/publish merge. kRetry (an exhausted restart budget, which
+/// takes pathological contention) is surfaced as a failed write rather
+/// than blocking the shard loop.
+class OlcMemoryEngine final : public ShardEngine {
  public:
-  MemoryEngine() : index_(Config()) {}
+  OlcMemoryEngine() : index_(MemoryEngineConfig()) {}
 
   bool Get(uint64_t key, uint64_t* value) override {
     return index_.Lookup(key, value);
@@ -54,7 +70,35 @@ class MemoryEngine final : public ShardEngine {
     met::LookupBatch(index_, keys, n, out);
   }
   bool Put(uint64_t key, uint64_t value) override {
-    // Non-unique mode: Insert is insert-or-assign, exactly PUT's upsert.
+    return MutateOk(IndexInsert(index_, key, value));
+  }
+  bool Delete(uint64_t key) override {
+    return IndexRemove(index_, key) == MutateOutcome::kRemoved;
+  }
+  size_t Scan(uint64_t start, size_t limit,
+              std::vector<uint64_t>* out) override {
+    out->clear();
+    return index_.Scan(start, limit, out);
+  }
+
+ private:
+  OlcConcurrentHybridBTree<uint64_t> index_;
+};
+
+/// Legacy memory engine: the SharedMutex hybrid, where every PUT/DELETE
+/// takes the writer-exclusive lock. Kept as the A/B baseline for
+/// bench_olc_scaling and --engine=locked.
+class LockedMemoryEngine final : public ShardEngine {
+ public:
+  LockedMemoryEngine() : index_(MemoryEngineConfig()) {}
+
+  bool Get(uint64_t key, uint64_t* value) override {
+    return index_.Lookup(key, value);
+  }
+  void GetBatch(const uint64_t* keys, size_t n, LookupResult* out) override {
+    met::LookupBatch(index_, keys, n, out);
+  }
+  bool Put(uint64_t key, uint64_t value) override {
     index_.Insert(key, value);
     return true;
   }
@@ -66,12 +110,6 @@ class MemoryEngine final : public ShardEngine {
   }
 
  private:
-  static ConcurrentHybridConfig Config() {
-    ConcurrentHybridConfig c;
-    c.unique = false;
-    return c;
-  }
-
   ConcurrentHybridBTree<uint64_t> index_;
 };
 
@@ -148,7 +186,11 @@ class DurableEngine final : public ShardEngine {
 }  // namespace
 
 std::unique_ptr<ShardEngine> NewMemoryEngine() {
-  return std::make_unique<MemoryEngine>();
+  return std::make_unique<OlcMemoryEngine>();
+}
+
+std::unique_ptr<ShardEngine> NewLockedMemoryEngine() {
+  return std::make_unique<LockedMemoryEngine>();
 }
 
 std::unique_ptr<ShardEngine> NewDurableEngine(const std::string& dir,
@@ -914,6 +956,8 @@ struct Server::Impl {
           TearDownFds();
           return open_st;
         }
+      } else if (opts.locked_memory_engine) {
+        s->engine = NewLockedMemoryEngine();
       } else {
         s->engine = NewMemoryEngine();
       }

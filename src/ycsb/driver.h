@@ -53,16 +53,22 @@ class ShardedIndex {
     return h % shards_.size();
   }
 
-  bool Insert(const Key& key, Value value) {
-    return shards_[ShardOf(key)]->Insert(key, value);
+  // Mutations go through the unified outcome dispatchers so a shard can be
+  // either a classic bool-idiom index or an outcome-native OLC structure;
+  // callers branch on MutateOutcome (kRetry only ever comes from the
+  // latter).
+  MutateOutcome Insert(const Key& key, Value value) {
+    return IndexInsert(*shards_[ShardOf(key)], key, value);
   }
   bool Lookup(const Key& key, Value* value = nullptr) const {
     return shards_[ShardOf(key)]->Lookup(key, value);
   }
-  bool Update(const Key& key, Value value) {
-    return shards_[ShardOf(key)]->Update(key, value);
+  MutateOutcome Update(const Key& key, Value value) {
+    return IndexUpdate(*shards_[ShardOf(key)], key, value);
   }
-  bool Erase(const Key& key) { return shards_[ShardOf(key)]->Erase(key); }
+  MutateOutcome Remove(const Key& key) {
+    return IndexRemove<Index, Key, Value>(*shards_[ShardOf(key)], key);
+  }
   size_t Scan(const Key& key, size_t n, std::vector<Value>* out) const {
     return shards_[ShardOf(key)]->Scan(key, n, out);
   }
@@ -237,7 +243,11 @@ YcsbRunResult RunYcsb(ShardedIndex<Index, Key>* index, const YcsbSpec& spec,
           break;
         }
         case YcsbOp::kUpdate:
-          if (!index->Update(key, idx + 1)) index->Insert(key, idx + 1);
+          // Upsert-on-miss, but only on a definitive miss: kRetry means an
+          // exhausted restart budget with no state change, and blind-
+          // inserting there would double a live key.
+          if (index->Update(key, idx + 1) == MutateOutcome::kNotFound)
+            index->Insert(key, idx + 1);
           ++r.updates;
           break;
         case YcsbOp::kInsert:

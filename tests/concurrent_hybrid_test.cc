@@ -347,17 +347,18 @@ TEST(ShardedYcsbTest, RoutesAndCountsConsistently) {
   cfg.min_merge_entries = 512;
   ycsb::ShardedIndex<ConcurrentHybridBTree<uint64_t>, uint64_t> index(3, cfg);
   constexpr uint64_t kKeys = 5000;
-  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(index.Insert(k, k + 1));
+  for (uint64_t k = 0; k < kKeys; ++k)
+    ASSERT_EQ(index.Insert(k, k + 1), MutateOutcome::kInserted);
   ASSERT_EQ(index.size(), kKeys);
   uint64_t v = 0;
   for (uint64_t k = 0; k < kKeys; k += 17) {
     ASSERT_TRUE(index.Lookup(k, &v));
     ASSERT_EQ(v, k + 1);
   }
-  // Erase outside the workload's key range so the update-miss insert
+  // Remove outside the workload's key range so the update-miss insert
   // fallback in the driver never fires and the size math stays exact.
-  ASSERT_TRUE(index.Erase(kKeys - 1));
-  ASSERT_FALSE(index.Erase(kKeys - 1));
+  ASSERT_EQ(index.Remove(kKeys - 1), MutateOutcome::kRemoved);
+  ASSERT_EQ(index.Remove(kKeys - 1), MutateOutcome::kNotFound);
   ASSERT_EQ(index.size(), kKeys - 1);
   index.WaitForMergeIdle();
   EXPECT_FALSE(index.AnyMergeInFlight());

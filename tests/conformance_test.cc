@@ -7,16 +7,19 @@
 
 #include "art/art.h"
 #include "art/compact_art.h"
+#include "art/olc_art.h"
 #include "bloom/bloom.h"
 #include "btree/btree.h"
 #include "btree/compact_btree.h"
 #include "btree/compressed_btree.h"
+#include "btree/olc_btree.h"
 #include "btree/prefix_btree.h"
 #include "common/index_api.h"
 #include "fst/fst.h"
 #include "hot/hot.h"
 #include "common/random.h"
 #include "hybrid/hybrid.h"
+#include "hybrid/olc_hybrid.h"
 #include "keys/keygen.h"
 #include "masstree/compact_masstree.h"
 #include "masstree/masstree.h"
@@ -38,7 +41,8 @@ class IntIndexConformanceTest : public ::testing::Test {
 
 using IntIndexTypes =
     ::testing::Types<BTree<uint64_t>, SkipList<uint64_t>, HybridBTree<uint64_t>,
-                     HybridSkipList<uint64_t>, HybridCompressedBTree<uint64_t>>;
+                     HybridSkipList<uint64_t>, HybridCompressedBTree<uint64_t>,
+                     OlcBTree<uint64_t>>;
 TYPED_TEST_SUITE(IntIndexConformanceTest, IntIndexTypes);
 
 TYPED_TEST(IntIndexConformanceTest, InsertRejectsDuplicates) {
@@ -138,7 +142,8 @@ class StringIndexConformanceTest : public ::testing::Test {
 
 using StringIndexTypes =
     ::testing::Types<BTree<std::string>, SkipList<std::string>, Art, Masstree,
-                     HybridBTree<std::string>, HybridArt, HybridMasstree>;
+                     HybridBTree<std::string>, HybridArt, HybridMasstree,
+                     OlcArt>;
 TYPED_TEST_SUITE(StringIndexConformanceTest, StringIndexTypes);
 
 TYPED_TEST(StringIndexConformanceTest, BasicContract) {
@@ -187,6 +192,51 @@ TYPED_TEST(StringIndexConformanceTest, EmailWorkloadMatchesStdMap) {
   EXPECT_EQ(this->index.size(), ref.size());
 }
 
+// ---------- outcome mutation API (common/index_api.h) ----------
+//
+// The IndexInsert/IndexUpdate/IndexRemove dispatchers must report identical
+// outcomes whether the structure speaks the classic bool idiom (BTree, the
+// locked hybrid) or is outcome-native (the OLC hybrid), so generic write
+// paths (ycsb, serve, minidb) behave the same over every backend.
+
+template <typename Index>
+class OutcomeApiConformanceTest : public ::testing::Test {
+ public:
+  Index index;
+};
+
+using OutcomeApiTypes =
+    ::testing::Types<BTree<uint64_t>, HybridBTree<uint64_t>,
+                     OlcBTree<uint64_t>, OlcConcurrentHybridBTree<uint64_t>>;
+TYPED_TEST_SUITE(OutcomeApiConformanceTest, OutcomeApiTypes);
+
+TYPED_TEST(OutcomeApiConformanceTest, DispatchersAgreeOnOutcomes) {
+  auto& t = this->index;
+  const uint64_t k = 1;
+  EXPECT_EQ(IndexUpdate(t, k, uint64_t{10}), MutateOutcome::kNotFound);
+  EXPECT_EQ(IndexRemove(t, k), MutateOutcome::kNotFound);
+  EXPECT_EQ(IndexInsert(t, k, uint64_t{10}), MutateOutcome::kInserted);
+  EXPECT_EQ(IndexInsert(t, k, uint64_t{11}), MutateOutcome::kExists);
+  uint64_t v = 0;
+  EXPECT_TRUE(t.Lookup(k, &v));
+  EXPECT_EQ(v, 10u);  // the rejected duplicate left the value alone
+  EXPECT_EQ(IndexUpdate(t, k, uint64_t{20}), MutateOutcome::kUpdated);
+  EXPECT_TRUE(t.Lookup(k, &v));
+  EXPECT_EQ(v, 20u);
+  EXPECT_EQ(IndexRemove(t, k), MutateOutcome::kRemoved);
+  EXPECT_EQ(IndexRemove(t, k), MutateOutcome::kNotFound);
+  EXPECT_FALSE(t.Lookup(k, &v));
+  EXPECT_EQ(t.size(), 0u);
+  // Reinsert after remove, and MutateOk classifies every outcome seen above.
+  EXPECT_EQ(IndexInsert(t, k, uint64_t{30}), MutateOutcome::kInserted);
+  EXPECT_TRUE(MutateOk(MutateOutcome::kInserted));
+  EXPECT_TRUE(MutateOk(MutateOutcome::kUpdated));
+  EXPECT_TRUE(MutateOk(MutateOutcome::kRemoved));
+  EXPECT_FALSE(MutateOk(MutateOutcome::kNotFound));
+  EXPECT_FALSE(MutateOk(MutateOutcome::kExists));
+  EXPECT_FALSE(MutateOk(MutateOutcome::kRetry));
+}
+
 // ---------- unified-API concept conformance (common/index_api.h) ----------
 //
 // Compile-time contract: every structure in the library satisfies the
@@ -226,6 +276,31 @@ static_assert(!PointIndex<CompactBTree<uint64_t>, uint64_t>);
 static_assert(Filter<Surf>);
 static_assert(Filter<BloomFilter>);
 static_assert(Filter<BloomFilter, uint64_t>);
+
+// OLC stages: internally synchronized, token-bearing concurrent surface,
+// plus the legacy bool idiom for drop-in single-threaded use.
+static_assert(ConcurrentPointIndex<OlcBTree<uint64_t>, uint64_t>);
+static_assert(ConcurrentPointIndex<OlcArt, std::string>);
+static_assert(ConcurrentPointIndex<OlcArt, std::string_view>);
+static_assert(MutablePointIndex<OlcBTree<uint64_t>, uint64_t>);
+static_assert(MutablePointIndex<OlcArt, std::string_view>);
+static_assert(RangeIndex<OlcBTree<uint64_t>, uint64_t>);
+
+// The OLC hybrid is outcome-native: its scoped-enum mutation returns are
+// deliberately not convertible to bool, so it is *not* a PointIndex —
+// callers reach it only through the dispatchers (or handle kRetry
+// themselves). The classic structures satisfy the same MutablePointIndex
+// concept through the bool branch of the dispatchers.
+static_assert(HasOutcomeMutations<OlcConcurrentHybridBTree<uint64_t>,
+                                  uint64_t>);
+static_assert(HasOutcomeMutations<OlcConcurrentHybridArt, std::string>);
+static_assert(!PointIndex<OlcConcurrentHybridBTree<uint64_t>, uint64_t>);
+static_assert(MutablePointIndex<OlcConcurrentHybridBTree<uint64_t>,
+                                uint64_t>);
+static_assert(MutablePointIndex<OlcConcurrentHybridArt, std::string>);
+static_assert(MutablePointIndex<BTree<uint64_t>, uint64_t>);
+static_assert(MutablePointIndex<HybridBTree<uint64_t>, uint64_t>);
+static_assert(!HasOutcomeMutations<BTree<uint64_t>, uint64_t>);
 
 }  // namespace
 }  // namespace met

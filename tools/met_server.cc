@@ -3,6 +3,11 @@
 //
 //   met_server [--port N] [--shards N] [--queue-cap N] [--batch-width N]
 //              [--no-coalesce] [--durable] [--dir PATH]
+//              [--engine olc|locked]
+//
+// --engine picks the in-memory shard engine: "olc" (default) is the
+// optimistically lock-coupled hybrid, "locked" the SharedMutex baseline.
+// Ignored with --durable.
 //
 // Prints "met_server listening port=<p> shards=<n>" on stdout once ready
 // (line-buffered, so scripts can wait for it), then serves until SIGINT or
@@ -64,6 +69,14 @@ int main(int argc, char** argv) {
   opts.coalesce_reads = !FlagBool(argc, argv, "--no-coalesce");
   opts.durable = FlagBool(argc, argv, "--durable");
   opts.dir = FlagStr(argc, argv, "--dir", "/tmp/met_serve");
+  const char* engine = FlagStr(argc, argv, "--engine", "olc");
+  if (std::strcmp(engine, "locked") == 0) {
+    opts.locked_memory_engine = true;
+  } else if (std::strcmp(engine, "olc") != 0) {
+    std::fprintf(stderr, "met_server: unknown --engine '%s' (olc|locked)\n",
+                 engine);
+    return 2;
+  }
 
   met::serve::Server server(std::move(opts));
   if (met::io::Status st = server.Start(); !st.ok()) {
