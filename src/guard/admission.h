@@ -1,0 +1,165 @@
+// Cost-aware, CoDel-style admission control for one serving shard.
+//
+// The old serving-path policy was a bounded request count + kBusy. That
+// sheds a 1-key GET and a 1024-row SCAN with equal probability, and it only
+// reacts once the queue is *full* — by which point queue delay is already
+// the whole latency budget. This controller replaces it with two signals:
+//
+//   * a **cost budget**: every request is charged an estimated cost in
+//     abstract units (GET = 1, PUT/DELETE = 2, SCAN ~ rows/16, MULTIGET =
+//     key count); the sum of queued cost is bounded, so one expensive scan
+//     displaces many cheap gets instead of counting as "one item";
+//
+//   * a **queue-delay target** (CoDel-style): the shard thread samples the
+//     queueing delay of every dequeued request over a sliding interval. If
+//     the *minimum* delay over a full interval stays above the target, the
+//     queue has standing badness that draining will not fix, and the
+//     overload level escalates; when the minimum falls back under half the
+//     target it de-escalates. Higher levels shed progressively cheaper
+//     request classes (level 1: heavy scans/multigets, level 2: writes and
+//     small multi-ops, level 3: everything but single GETs), so under
+//     sustained overload the shard keeps serving the cheapest work it can
+//     instead of queueing everything badly.
+//
+// Shed responses carry a retry-after hint derived from the last measured
+// interval delay, so well-behaved clients back off roughly as long as the
+// queue actually needs.
+//
+// Thread model: Admit() / OnEnqueue() may be called from any connection-
+// owning thread (atomics only). OnDequeue() must be called only from the
+// shard thread that drains the queue — the CoDel interval state is
+// deliberately unsynchronised and single-writer.
+#ifndef MET_GUARD_ADMISSION_H_
+#define MET_GUARD_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/sync.h"
+
+namespace met::guard {
+
+struct AdmissionOptions {
+  /// Upper bound on the summed cost of queued-but-unexecuted requests.
+  size_t cost_capacity = 4096;
+  /// CoDel target: standing queue delay above this escalates shedding.
+  uint64_t delay_target_ns = 5 * 1000 * 1000;  // 5ms
+  /// CoDel measurement interval.
+  uint64_t interval_ns = 100 * 1000 * 1000;  // 100ms
+};
+
+/// Estimated cost units per request class. Exposed so clients of the
+/// controller (the server's router, tests, docs) agree on the scale.
+inline constexpr uint32_t kCostGet = 1;
+inline constexpr uint32_t kCostWrite = 2;
+inline uint32_t CostScan(uint32_t limit) { return 1 + limit / 16; }
+inline uint32_t CostMultiGet(size_t keys) {
+  return keys == 0 ? 1 : static_cast<uint32_t>(keys);
+}
+
+class AdmissionController {
+ public:
+  enum class Decision { kAdmit, kShed };
+
+  explicit AdmissionController(const AdmissionOptions& opts = {})
+      : opts_(opts) {}
+
+  /// Admission check from a connection-owning thread. `charge` is the cost
+  /// this shard would enqueue (a MULTIGET charges each target shard only
+  /// for its own sub-reads); `request_cost` is the whole request's cost,
+  /// which is what level-based shedding classifies on. On kShed,
+  /// *retry_after_ms (if non-null) is the backoff hint to return.
+  Decision Admit(uint32_t charge, uint32_t request_cost,
+                 uint32_t* retry_after_ms) {
+    int level = level_.load(std::memory_order_relaxed);
+    bool shed = false;
+    if (level > 0 && request_cost > LevelCostCap(level)) shed = true;
+    // Level 3 additionally sheds every other GET: even the cheapest class
+    // must lose half its arrival rate or a GET-only flood never drains.
+    if (!shed && level >= kMaxLevel &&
+        (get_tick_.fetch_add(1, std::memory_order_relaxed) & 1) != 0)
+      shed = true;
+    if (!shed &&
+        queued_cost_.load(std::memory_order_relaxed) + charge >
+            opts_.cost_capacity)
+      shed = true;
+    if (!shed) return Decision::kAdmit;
+    if (retry_after_ms != nullptr) *retry_after_ms = RetryAfterMs();
+    return Decision::kShed;
+  }
+
+  /// Charges an admitted request's cost. Called after Admit() by the same
+  /// thread; the gap makes the capacity check approximate by at most one
+  /// mailbox hand-off batch, same as the old request-count bound.
+  void OnEnqueue(uint32_t charge) {
+    queued_cost_.fetch_add(charge, std::memory_order_relaxed);
+  }
+
+  /// Releases `charge` and feeds one queue-delay sample to the CoDel state.
+  /// Shard thread only.
+  void OnDequeue(uint32_t charge, uint64_t delay_ns, uint64_t now_ns) {
+    queued_cost_.fetch_sub(charge, std::memory_order_relaxed);
+    if (interval_start_ns_ == 0) interval_start_ns_ = now_ns;
+    if (delay_ns < interval_min_ns_) interval_min_ns_ = delay_ns;
+    if (now_ns - interval_start_ns_ < opts_.interval_ns) return;
+    recent_delay_ns_.store(interval_min_ns_, std::memory_order_relaxed);
+    int level = level_.load(std::memory_order_relaxed);
+    if (interval_min_ns_ > opts_.delay_target_ns) {
+      if (level < kMaxLevel) ++level;
+    } else if (interval_min_ns_ * 2 < opts_.delay_target_ns) {
+      if (level > 0) --level;
+    }
+    level_.store(level, std::memory_order_relaxed);
+    interval_start_ns_ = now_ns;
+    interval_min_ns_ = ~uint64_t{0};
+  }
+
+  /// Latest full-interval minimum queue delay; the admission-time estimate
+  /// used to fail deadlines early. Zero until the first interval completes.
+  uint64_t EstimatedDelayNs() const {
+    return recent_delay_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Backoff hint for shed responses: roughly twice the standing delay,
+  /// clamped to [1ms, 1s] so it is always actionable.
+  uint32_t RetryAfterMs() const {
+    uint64_t ms = 2 * EstimatedDelayNs() / (1000 * 1000);
+    if (ms < 1) ms = 1;
+    if (ms > 1000) ms = 1000;
+    return static_cast<uint32_t>(ms);
+  }
+
+  int overload_level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  size_t queued_cost() const {
+    return queued_cost_.load(std::memory_order_relaxed);
+  }
+  const AdmissionOptions& options() const { return opts_; }
+
+  static constexpr int kMaxLevel = 3;
+
+  /// Largest request cost still admitted at `level` (level 0 admits all).
+  static uint32_t LevelCostCap(int level) {
+    switch (level) {
+      case 1: return 16;          // shed heavy scans / wide multigets
+      case 2: return kCostGet;    // shed writes and multi-ops too
+      case 3: return kCostGet;    // plus every other GET (see Admit)
+      default: return ~uint32_t{0};
+    }
+  }
+
+ private:
+  AdmissionOptions opts_;
+  sync::Atomic<size_t> queued_cost_{0};
+  sync::Atomic<int> level_{0};
+  sync::Atomic<uint64_t> recent_delay_ns_{0};
+  sync::Atomic<uint64_t> get_tick_{0};
+  // CoDel interval state: shard thread only, intentionally unsynchronised.
+  uint64_t interval_start_ns_ = 0;
+  uint64_t interval_min_ns_ = ~uint64_t{0};
+};
+
+}  // namespace met::guard
+
+#endif  // MET_GUARD_ADMISSION_H_

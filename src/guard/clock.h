@@ -1,0 +1,27 @@
+// Shared monotonic clock for the guard subsystem. Deadlines, queue-delay
+// sampling, and retry backoff all need the same absolute steady-clock
+// timebase; funnelling them through one helper keeps server and client
+// arithmetic directly comparable (both are nanoseconds since an arbitrary
+// but fixed process epoch).
+#ifndef MET_GUARD_CLOCK_H_
+#define MET_GUARD_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace met::guard {
+
+/// Nanoseconds on the steady (monotonic) clock. Never goes backwards;
+/// meaningless across processes.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline constexpr uint64_t kNanosPerMilli = 1000 * 1000;
+
+}  // namespace met::guard
+
+#endif  // MET_GUARD_CLOCK_H_

@@ -1,0 +1,75 @@
+// Server-side idempotency window for at-least-once write retries.
+//
+// A client that times out on a PUT/DELETE cannot know whether the write
+// applied — the network chaos this PR injects makes both outcomes common.
+// Retrying blindly is safe for upserts but re-acks a DELETE of a key a
+// concurrent writer re-inserted, and it double-counts in any downstream
+// accounting. The guard protocol therefore lets writes carry a 64-bit
+// idempotency token; each shard remembers the outcome of the last
+// `capacity` tokened writes it applied and replays the recorded ack for a
+// duplicate instead of re-executing.
+//
+// The window is a ring + hash map: O(1) insert/lookup, strictly bounded
+// memory, oldest entry evicted first. It spans connections (retries
+// typically arrive on a *new* connection after the old one died), which is
+// why tokens must be globally unique per logical write — clients derive
+// them from a per-client id and a sequence number. Token 0 is reserved to
+// mean "no token". Retried writes hash to the same shard as the original
+// (routing is by key), so a per-shard window needs no cross-shard lookup.
+//
+// Single-threaded: owned and accessed only by the shard thread.
+#ifndef MET_GUARD_DEDUP_H_
+#define MET_GUARD_DEDUP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace met::guard {
+
+class DedupWindow {
+ public:
+  /// capacity 0 disables the window (Find always misses, Insert drops).
+  explicit DedupWindow(size_t capacity) : cap_(capacity) {
+    ring_.reserve(cap_);
+    map_.reserve(cap_);
+  }
+
+  /// Outcome recorded for a token: whether the engine applied the write
+  /// (the `applied` bool the ack status is derived from).
+  const bool* Find(uint64_t token) const {
+    if (token == 0 || cap_ == 0) return nullptr;
+    auto it = map_.find(token);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void Insert(uint64_t token, bool applied) {
+    if (token == 0 || cap_ == 0) return;
+    auto [it, inserted] = map_.try_emplace(token, applied);
+    if (!inserted) {
+      it->second = applied;  // re-applied duplicate; keep latest outcome
+      return;
+    }
+    if (ring_.size() < cap_) {
+      ring_.push_back(token);
+      return;
+    }
+    map_.erase(ring_[head_]);
+    ring_[head_] = token;
+    head_ = (head_ + 1) % cap_;
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return cap_; }
+
+ private:
+  size_t cap_;
+  std::vector<uint64_t> ring_;
+  size_t head_ = 0;
+  std::unordered_map<uint64_t, bool> map_;
+};
+
+}  // namespace met::guard
+
+#endif  // MET_GUARD_DEDUP_H_

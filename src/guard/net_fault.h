@@ -1,0 +1,136 @@
+// Deterministic network fault injection for the serving path — the socket
+// sibling of io::FaultyEnv. The serve/net.cc primitives consult a process-
+// global injector on every read and write; when disabled (the default) the
+// only cost is one relaxed bool load. When enabled, the injector tears
+// frames mid-write, resets connections, stalls reads slow-loris style,
+// clamps reads short, and duplicates frame-aligned sends — the failure
+// modes a real datacenter network serves daily.
+//
+// Spec grammar (MET_NET_FAULT env var or NetFaultSpec::Parse):
+//   spec     := pair (',' pair)*
+//   pair     := key '=' value
+//   key      := seed | torn | rst | stall | stall_ms | short | dup
+//   seed, stall_ms take integers; the rest take probabilities in [0, 1].
+// Example: MET_NET_FAULT="seed=7,torn=0.002,rst=0.001,short=0.05"
+//
+//   torn     P(a write lands only a random prefix, then the connection is
+//            abortively reset) — the peer sees a torn frame followed by RST.
+//   rst      P(a write fails with ECONNRESET before any byte lands).
+//   stall    P(a read sleeps stall_ms first) — slow-loris delivery.
+//   short    P(a read is clamped to a small random byte count), exercising
+//            every partial-frame resume path in the decoders.
+//   dup      P(a frame-aligned client send is delivered twice), exercising
+//            server-side idempotency (guard/dedup.h).
+//
+// Determinism: one seeded met::Random drives all decisions. A single-
+// threaded user (tests, the chaos driver's client loop) replays exactly;
+// multi-threaded servers get a deterministic stream consumed in scheduling
+// order. Decisions are serialised by a mutex — fault injection is a test
+// mode, not a hot path.
+#ifndef MET_GUARD_NET_FAULT_H_
+#define MET_GUARD_NET_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/sync.h"
+#include "io/status.h"
+
+namespace met::guard {
+
+struct NetFaultSpec {
+  uint64_t seed = 1;
+  double torn = 0;       // P(short write + abortive reset) per write
+  double rst = 0;        // P(immediate ECONNRESET) per write
+  double stall = 0;      // P(delivery stall) per read
+  uint64_t stall_ms = 20;
+  double short_read = 0;  // P(clamped read) per read  (key: "short")
+  double dup = 0;         // P(duplicate delivery) per frame-aligned send
+
+  /// Parses the comma-separated key=value grammar above. Unknown keys,
+  /// malformed numbers, and out-of-range probabilities are InvalidArgument.
+  static io::Status Parse(std::string_view spec, NetFaultSpec* out);
+
+  /// Parses $MET_NET_FAULT; returns an all-zero (fault-free) spec when
+  /// unset. Aborts on a malformed spec — silently ignoring a typo'd chaos
+  /// spec would make a whole torture run vacuous.
+  static NetFaultSpec FromEnv();
+
+  bool enabled() const {
+    return torn > 0 || rst > 0 || stall > 0 || short_read > 0 || dup > 0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Injection tallies, for tests asserting determinism and for the chaos
+/// driver's end-of-run report.
+struct NetFaultCounts {
+  uint64_t torn = 0;
+  uint64_t rst = 0;
+  uint64_t stall = 0;
+  uint64_t short_read = 0;
+  uint64_t dup = 0;
+
+  uint64_t Total() const { return torn + rst + stall + short_read + dup; }
+};
+
+class NetFaultInjector {
+ public:
+  /// The process-global injector serve/net.cc consults. First use
+  /// configures it from $MET_NET_FAULT.
+  static NetFaultInjector& Global();
+
+  NetFaultInjector() = default;
+  explicit NetFaultInjector(const NetFaultSpec& spec) { Configure(spec); }
+
+  /// (Re)configures spec, RNG, and counts. Tests and the chaos driver call
+  /// this on Global(); pass a default-constructed spec to disable.
+  void Configure(const NetFaultSpec& spec);
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // ---- decision points (thread-safe) ------------------------------------
+
+  enum class WriteFault : uint8_t {
+    kNone,
+    kTorn,   // caller sends *clamp out of n bytes, then resets
+    kReset,  // caller sends nothing and resets
+  };
+
+  /// Rolls the write-side dice for an n-byte send. On kTorn, *clamp is the
+  /// prefix length to land (1 <= clamp < n).
+  WriteFault RollWrite(size_t n, size_t* clamp);
+
+  /// Read-side stall: nanoseconds to sleep before receiving (0 = none).
+  uint64_t RollStallNs();
+
+  /// Read-side clamp: how many bytes the next recv may deliver at most.
+  size_t ClampRead(size_t want);
+
+  /// Whether a frame-aligned send should be delivered twice.
+  bool RollDuplicate();
+
+  NetFaultCounts Counts() const;
+  NetFaultSpec Spec() const;
+
+ private:
+  bool Roll(double p) MET_REQUIRES(mu_) {
+    return p > 0 && rng_.NextDouble() < p;
+  }
+
+  mutable sync::Mutex mu_;
+  NetFaultSpec spec_ MET_GUARDED_BY(mu_);
+  Random rng_ MET_GUARDED_BY(mu_){1};
+  NetFaultCounts counts_ MET_GUARDED_BY(mu_);
+  sync::Atomic<bool> enabled_{false};
+};
+
+}  // namespace met::guard
+
+#endif  // MET_GUARD_NET_FAULT_H_

@@ -23,6 +23,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <ostream>
 #include <thread>
@@ -33,6 +34,8 @@
 #include "common/index_api.h"
 #include "common/sync.h"
 #include "common/thread_annotations.h"
+#include "guard/clock.h"
+#include "guard/metrics.h"
 
 namespace met {
 namespace hybrid {
@@ -106,7 +109,15 @@ class EpochDomain {
   /// Frees every retired object no pinned reader can still observe
   /// (tag < minimum pinned epoch). Returns the number freed. Deleters run
   /// outside the internal lock.
-  size_t TryReclaim() {
+  ///
+  /// Also drives the stall watchdog: when the same oldest retired tag stays
+  /// blocked by a pinned reader across calls, the blocked duration is
+  /// published on the met.guard.epoch_stall_ms gauge (and, in debug builds,
+  /// warned once per stall after 1s) — a reader that forgot to Unpin shows
+  /// up as unbounded retired growth, and this points at it. `now_ns`
+  /// overrides the watchdog's monotonic timestamp (tests); 0 reads the
+  /// clock.
+  size_t TryReclaim(uint64_t now_ns = 0) {
     uint64_t min_pinned = MinPinnedEpoch();
     std::vector<Retired> ready;
     {
@@ -119,6 +130,7 @@ class EpochDomain {
           retired_[kept++] = std::move(r);
       }
       retired_.resize(kept);
+      UpdateStallWatchdog(now_ns);
     }
     for (auto& r : ready) r.deleter();
     return ready.size();
@@ -173,6 +185,50 @@ class EpochDomain {
     std::function<void()> deleter;
   };
 
+  /// Debug-build warning threshold for a blocked reclamation anchor.
+  static constexpr uint64_t kStallWarnNs = 1000ull * 1000 * 1000;
+
+  /// Tracks how long the oldest retired tag has been blocked by a pin. Runs
+  /// after the reclaim sweep, so a non-empty retired_ here means some pinned
+  /// reader holds an epoch <= that tag (an unpinned backlog would have been
+  /// swept). Progress — a different oldest tag, or an empty list — resets
+  /// the timer.
+  void UpdateStallWatchdog(uint64_t now_ns) MET_REQUIRES(mu_) {
+    obs::Gauge* stall = guard::GuardObsMetrics::Get().epoch_stall_ms;
+    if (retired_.empty()) {
+      stall_anchor_tag_ = kFree;
+      stall_warned_ = false;
+      stall->Set(0);
+      return;
+    }
+    uint64_t oldest = retired_.front().tag;
+    for (const auto& r : retired_)
+      if (r.tag < oldest) oldest = r.tag;
+    if (now_ns == 0) now_ns = guard::MonotonicNanos();
+    if (oldest != stall_anchor_tag_) {
+      stall_anchor_tag_ = oldest;
+      stall_since_ns_ = now_ns;
+      stall_warned_ = false;
+      stall->Set(0);
+      return;
+    }
+    uint64_t blocked_ns =
+        now_ns >= stall_since_ns_ ? now_ns - stall_since_ns_ : 0;
+    stall->Set(static_cast<int64_t>(blocked_ns / guard::kNanosPerMilli));
+#ifndef NDEBUG
+    if (!stall_warned_ && blocked_ns >= kStallWarnNs) {
+      stall_warned_ = true;
+      std::fprintf(
+          stderr,
+          "met::hybrid: EBR reclamation stalled %llu ms: retired tag %llu "
+          "blocked by pinned epoch %llu (reader holding a pin too long?)\n",
+          static_cast<unsigned long long>(blocked_ns / guard::kNanosPerMilli),
+          static_cast<unsigned long long>(oldest),
+          static_cast<unsigned long long>(MinPinnedEpoch()));
+    }
+#endif
+  }
+
   // Each slot on its own cache line: reader pins must not false-share.
   // sync::Atomic makes every pin/unpin a met::race scheduling decision.
   struct alignas(64) Slot {
@@ -183,6 +239,9 @@ class EpochDomain {
   std::array<Slot, kSlots> slots_;
   mutable sync::Mutex mu_;
   std::vector<Retired> retired_ MET_GUARDED_BY(mu_);
+  uint64_t stall_anchor_tag_ MET_GUARDED_BY(mu_) = kFree;
+  uint64_t stall_since_ns_ MET_GUARDED_BY(mu_) = 0;
+  bool stall_warned_ MET_GUARDED_BY(mu_) = false;
 };
 
 /// RAII pin on an EpochDomain.

@@ -9,6 +9,10 @@
 #ifndef MET_SERVE_CLIENT_H_
 #define MET_SERVE_CLIENT_H_
 
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -30,8 +34,31 @@ class Client {
 
   io::Status Connect(const std::string& host, uint16_t port) {
     Close();
-    return ConnectTcp(host, port, &fd_);
+    io::Status st = ConnectTcp(host, port, &fd_);
+    if (st.ok() && recv_timeout_ms_ != 0) ApplyRecvTimeout();
+    return st;
   }
+
+  /// Caps every blocking receive (Recv/RecvFor/Fill) at `ms` milliseconds
+  /// via SO_RCVTIMEO; an expired wait surfaces as an EAGAIN IoError — test
+  /// with IsTimeout(). 0 restores fully blocking reads. Survives
+  /// reconnects; may be called before or after Connect().
+  void SetRecvTimeout(uint32_t ms) {
+    recv_timeout_ms_ = ms;
+    if (fd_ >= 0) ApplyRecvTimeout();
+  }
+
+  /// True when a receive Status is a SO_RCVTIMEO expiry rather than a dead
+  /// connection: the op is unresolved (timeout), not failed.
+  static bool IsTimeout(const io::Status& st) {
+    return st.IsIoError() &&
+           (st.errno_value() == EAGAIN || st.errno_value() == EWOULDBLOCK);
+  }
+
+  /// Deadline budget attached to every subsequently sent request (0 =
+  /// none). The server refuses the request with kDeadlineExceeded instead
+  /// of answering it late.
+  void set_deadline_ms(uint32_t ms) { deadline_ms_ = ms; }
 
   void Close() {
     if (fd_ >= 0) {
@@ -59,17 +86,21 @@ class Client {
     r.key = key;
     return Send(&r);
   }
-  uint32_t SendPut(uint64_t key, uint64_t value) {
+  /// `idem` (non-zero) is an idempotency token: a retry carrying the same
+  /// token is acked from the server's dedup window instead of re-applying.
+  uint32_t SendPut(uint64_t key, uint64_t value, uint64_t idem = 0) {
     Request r;
     r.op = OpCode::kPut;
     r.key = key;
     r.value = value;
+    r.idem = idem;
     return Send(&r);
   }
-  uint32_t SendDelete(uint64_t key) {
+  uint32_t SendDelete(uint64_t key, uint64_t idem = 0) {
     Request r;
     r.op = OpCode::kDelete;
     r.key = key;
+    r.idem = idem;
     return Send(&r);
   }
   uint32_t SendScan(uint64_t start, uint32_t limit) {
@@ -163,9 +194,19 @@ class Client {
  private:
   uint32_t Send(Request* r) {
     r->id = next_id_++;
+    r->deadline_ms = deadline_ms_;
     inflight_[r->id] = r->op;
     AppendRequest(*r, &out_);
     return r->id;
+  }
+
+  void ApplyRecvTimeout() {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms_ / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((recv_timeout_ms_ % 1000) * 1000);
+    // Best effort: a socket that rejects SO_RCVTIMEO still works, it just
+    // blocks; timeout-dependent callers notice via their own deadlines.
+    (void)setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
 
   io::Status Roundtrip(uint32_t id, Response* resp) {
@@ -209,6 +250,8 @@ class Client {
 
   int fd_ = -1;
   uint32_t next_id_ = 1;
+  uint32_t recv_timeout_ms_ = 0;
+  uint32_t deadline_ms_ = 0;
   std::string rbuf_;
   size_t rpos_ = 0;
   std::string out_;

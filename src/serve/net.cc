@@ -5,10 +5,14 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "guard/net_fault.h"
+#include "io/io.h"
 
 namespace met::serve {
 
@@ -32,11 +36,53 @@ void SetNoDelay(int fd) {
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void SleepNs(uint64_t ns) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ns / 1000000000ull);
+  ts.tv_nsec = static_cast<long>(ns % 1000000000ull);
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+/// Arms an abortive close: with SO_LINGER {on, 0}, the eventual close()
+/// sends RST instead of FIN — the peer sees a hard connection reset, the
+/// fault the injector is simulating.
+void ArmAbortiveClose(int fd) {
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  // Best effort: if the option cannot be set, the close degrades to a
+  // normal FIN — a weaker but still valid injected fault.
+  (void)setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+}
+
+/// Lands an injected write fault: for kTorn a best-effort prefix goes out
+/// first (the peer sees a torn frame), then the fd is armed for RST-on-close
+/// and the caller gets ECONNRESET — every write path treats that as a dead
+/// connection and closes, completing the fault.
+io::Status InjectWriteFault(int fd, std::string_view data,
+                            guard::NetFaultInjector::WriteFault fault,
+                            size_t clamp) {
+  if (fault == guard::NetFaultInjector::WriteFault::kTorn && clamp > 0) {
+    // Best effort: the connection is being torn down either way.
+    (void)send(fd, data.data(), clamp, MSG_NOSIGNAL);
+  }
+  ArmAbortiveClose(fd);
+  errno = ECONNRESET;
+  return Errno("send(injected fault)");
+}
+
 }  // namespace
+
+void TrackFd(int fd) {
+  if (fd < 0) return;
+  io::IoObsMetrics::Get().open_fds->Add(1);
+}
 
 io::Status OpenListener(uint16_t port, int* listen_fd, uint16_t* bound_port) {
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Errno("socket");
+  TrackFd(fd);
   int one = 1;
   if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
     io::Status s = Errno("setsockopt(SO_REUSEADDR)");
@@ -80,6 +126,7 @@ io::Status AcceptConn(int listen_fd, int* conn_fd) {
   for (;;) {
     int fd = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd >= 0) {
+      TrackFd(fd);
       if (io::Status s = SetNonBlocking(fd); !s.ok()) {
         CloseFd(fd);
         return s;
@@ -99,6 +146,7 @@ io::Status AcceptConn(int listen_fd, int* conn_fd) {
 io::Status ConnectTcp(const std::string& host, uint16_t port, int* fd) {
   int s = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (s < 0) return Errno("socket");
+  TrackFd(s);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -123,8 +171,14 @@ io::Status ReadSome(int fd, std::string* buf, bool* eof, bool* would_block) {
   *eof = false;
   *would_block = false;
   char chunk[64 * 1024];
+  size_t want = sizeof(chunk);
+  auto& inj = guard::NetFaultInjector::Global();
+  if (inj.enabled()) {
+    if (uint64_t stall = inj.RollStallNs(); stall > 0) SleepNs(stall);
+    want = inj.ClampRead(want);
+  }
   for (;;) {
-    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    ssize_t n = recv(fd, chunk, want, 0);
     if (n > 0) {
       buf->append(chunk, static_cast<size_t>(n));
       return io::Status::OK();
@@ -146,6 +200,13 @@ io::Status WriteSome(int fd, std::string_view data, size_t* written,
                      bool* would_block) {
   *written = 0;
   *would_block = false;
+  auto& inj = guard::NetFaultInjector::Global();
+  if (inj.enabled()) {
+    size_t clamp = 0;
+    auto fault = inj.RollWrite(data.size(), &clamp);
+    if (fault != guard::NetFaultInjector::WriteFault::kNone)
+      return InjectWriteFault(fd, data, fault, clamp);
+  }
   while (*written < data.size()) {
     ssize_t n = send(fd, data.data() + *written, data.size() - *written,
                      MSG_NOSIGNAL);
@@ -164,24 +225,43 @@ io::Status WriteSome(int fd, std::string_view data, size_t* written,
 }
 
 io::Status SendAll(int fd, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n =
-        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      continue;
+  auto& inj = guard::NetFaultInjector::Global();
+  int rounds = 1;
+  if (inj.enabled()) {
+    size_t clamp = 0;
+    auto fault = inj.RollWrite(data.size(), &clamp);
+    if (fault != guard::NetFaultInjector::WriteFault::kNone)
+      return InjectWriteFault(fd, data, fault, clamp);
+    // SendAll callers send whole frames, so a duplicate here models the
+    // network delivering an already-acked frame twice (dedup exercise).
+    if (inj.RollDuplicate()) rounds = 2;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n =
+          send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return Errno("send");
     }
-    if (n < 0 && errno == EINTR) continue;
-    return Errno("send");
   }
   return io::Status::OK();
 }
 
 io::Status RecvSome(int fd, std::string* buf) {
   char chunk[64 * 1024];
+  size_t want = sizeof(chunk);
+  auto& inj = guard::NetFaultInjector::Global();
+  if (inj.enabled()) {
+    if (uint64_t stall = inj.RollStallNs(); stall > 0) SleepNs(stall);
+    want = inj.ClampRead(want);
+  }
   for (;;) {
-    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    ssize_t n = recv(fd, chunk, want, 0);
     if (n > 0) {
       buf->append(chunk, static_cast<size_t>(n));
       return io::Status::OK();
@@ -194,6 +274,7 @@ io::Status RecvSome(int fd, std::string* buf) {
 
 void CloseFd(int fd) {
   if (fd < 0) return;
+  io::IoObsMetrics::Get().open_fds->Sub(1);
   // Retrying close on EINTR is wrong on Linux (the fd is released either
   // way); a failed close is unactionable here.
   (void)close(fd);  // fd state is undefined after EINTR; never retried

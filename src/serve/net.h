@@ -12,6 +12,17 @@
 //
 // Server sockets are nonblocking (event loop); client helpers are blocking
 // (load generator and tests want simple sequential control flow).
+//
+// Two guard-era responsibilities also live here:
+//
+//   - every fd this layer creates is counted in the met.io.open_fds gauge
+//     (and every CloseFd decrements it), so fd-leak checks cover sockets as
+//     well as files. Callers that create fds outside this layer (epoll,
+//     eventfd) register them with TrackFd so the books balance.
+//   - every read and write consults guard::NetFaultInjector::Global(): under
+//     MET_NET_FAULT the layer tears writes (short prefix + abortive RST on
+//     close), resets connections, stalls and clamps reads, and duplicates
+//     frame-aligned sends. Disabled (the default) this is one relaxed load.
 #ifndef MET_SERVE_NET_H_
 #define MET_SERVE_NET_H_
 
@@ -55,7 +66,12 @@ io::Status SendAll(int fd, std::string_view data);
 /// orderly EOF (peer closed). Used by the client to accumulate frames.
 io::Status RecvSome(int fd, std::string* buf);
 
+/// Closes fd (if >= 0) and decrements met.io.open_fds.
 void CloseFd(int fd);
+
+/// Counts an externally-created fd (epoll, eventfd) in met.io.open_fds so a
+/// later CloseFd balances. No-op for fd < 0.
+void TrackFd(int fd);
 
 }  // namespace met::serve
 

@@ -16,7 +16,25 @@
 // makes pipelined read-your-writes hold (PUT k, GET k without waiting for
 // the PUT ack sees the PUT).
 //
-// Request payloads by opcode:
+// The request tag byte is versioned: the low 6 bits are the opcode, the
+// high 2 bits are feature flags that extend the fixed header. A v1 client
+// never sets flags, so its frames decode unchanged; a v2 server reads the
+// flags it knows and rejects the rest (strict decoding, below):
+//
+//   0x80 kReqFlagDeadline  u32 deadline_ms follows the request id — the
+//                          client's remaining latency budget. The server
+//                          sheds the request with kDeadlineExceeded instead
+//                          of doing work whose answer nobody will read:
+//                          checked at admission (against the shard's
+//                          standing queue delay), at batch-coalesce time,
+//                          and before a write reaches durable group-commit.
+//   0x40 kReqFlagIdem      u64 idempotency token follows (after the
+//                          deadline if both flags are set); kPut/kDelete
+//                          only. Retried writes that carry the same token
+//                          are acked from the shard's dedup window instead
+//                          of re-applying (at-least-once retry semantics).
+//
+// Request payloads by opcode (after the optional flag fields):
 //   kGet      u64 key
 //   kPut      u64 key, u64 value          (value 0xFFFF..FF is reserved)
 //   kDelete   u64 key
@@ -28,11 +46,20 @@
 //   kOk for kPut/kDelete  empty
 //   kOk for kScan         u32 n, n * u64 value
 //   kOk for kMultiGet     u16 count, count * (u8 found, u64 value)
-//   kNotFound/kBusy/kError  empty (kBusy = admission queue full, retry)
+//   kShed                 empty, or u32 retry_after_ms (the server's shed
+//                         backoff hint; sent only to requests that carried
+//                         any v2 flag, so v1 clients never see it)
+//   kDeadlineExceeded     empty (only ever answers deadline-carrying
+//                         requests, so v1 clients never see the status)
+//   kNotFound/kError      empty
 //
-// Decoding is strict: unknown tags, payload sizes that do not match the
-// opcode exactly, or limits above the caps are kError — the connection is
-// expected to be closed, since framing can no longer be trusted.
+// kShed (wire value 2) was named kBusy before overload control grew
+// cost-aware shedding; the wire value is unchanged.
+//
+// Decoding is strict: unknown tags or flags, payload sizes that do not
+// match the opcode exactly, or limits above the caps are kError — the
+// connection is expected to be closed, since framing can no longer be
+// trusted.
 #ifndef MET_SERVE_PROTOCOL_H_
 #define MET_SERVE_PROTOCOL_H_
 
@@ -55,9 +82,15 @@ enum class OpCode : uint8_t {
 enum class RespStatus : uint8_t {
   kOk = 0,
   kNotFound = 1,
-  kBusy = 2,  // shed by admission control; safe to retry
+  kShed = 2,  // shed by overload control; safe to retry (was kBusy)
   kError = 3,
+  kDeadlineExceeded = 4,  // request's deadline_ms budget expired server-side
 };
+
+// Request tag-byte layout: low 6 bits opcode, high 2 bits flags.
+inline constexpr uint8_t kReqOpMask = 0x3f;
+inline constexpr uint8_t kReqFlagDeadline = 0x80;  // + u32 deadline_ms
+inline constexpr uint8_t kReqFlagIdem = 0x40;      // + u64 idempotency token
 
 inline constexpr size_t kFrameHeaderBytes = 4;   // the length word
 inline constexpr size_t kFrameBodyMinBytes = 5;  // tag + request id
@@ -78,6 +111,8 @@ struct Request {
   uint64_t value = 0;                // kPut only
   uint32_t scan_limit = 0;           // kScan only
   std::vector<uint64_t> multi_keys;  // kMultiGet only
+  uint32_t deadline_ms = 0;  // 0 = none; encoded via kReqFlagDeadline
+  uint64_t idem = 0;         // 0 = none; kPut/kDelete, via kReqFlagIdem
 };
 
 struct MultiGetEntry {
@@ -92,6 +127,7 @@ struct Response {
   uint64_t value = 0;                 // kGet
   std::vector<uint64_t> scan_values;  // kScan
   std::vector<MultiGetEntry> multi;   // kMultiGet
+  uint32_t retry_after_ms = 0;        // kShed backoff hint (0 = none)
 };
 
 enum class DecodeResult {
@@ -134,9 +170,16 @@ inline uint64_t GetU64(const char* p) {
 
 // ---- encoding -----------------------------------------------------------
 
-/// Appends one encoded request frame to *out.
+/// Appends one encoded request frame to *out. Flag fields (deadline,
+/// idempotency token) are emitted only when set, so a request without them
+/// is byte-identical to the v1 encoding.
 inline void AppendRequest(const Request& req, std::string* out) {
+  uint8_t flags = 0;
+  if (req.deadline_ms != 0) flags |= kReqFlagDeadline;
+  if (req.idem != 0) flags |= kReqFlagIdem;
   size_t body = kFrameBodyMinBytes;
+  if (flags & kReqFlagDeadline) body += 4;
+  if (flags & kReqFlagIdem) body += 8;
   switch (req.op) {
     case OpCode::kGet:
     case OpCode::kDelete: body += 8; break;
@@ -145,8 +188,10 @@ inline void AppendRequest(const Request& req, std::string* out) {
     case OpCode::kMultiGet: body += 2 + req.multi_keys.size() * 8; break;
   }
   PutU32(out, static_cast<uint32_t>(body));
-  out->push_back(static_cast<char>(req.op));
+  out->push_back(static_cast<char>(static_cast<uint8_t>(req.op) | flags));
   PutU32(out, req.id);
+  if (flags & kReqFlagDeadline) PutU32(out, req.deadline_ms);
+  if (flags & kReqFlagIdem) PutU64(out, req.idem);
   switch (req.op) {
     case OpCode::kGet:
     case OpCode::kDelete:
@@ -178,11 +223,17 @@ inline void AppendResponse(const Response& resp, std::string* out) {
       case OpCode::kPut:
       case OpCode::kDelete: break;
     }
+  } else if (resp.status == RespStatus::kShed && resp.retry_after_ms != 0) {
+    body += 4;
   }
   PutU32(out, static_cast<uint32_t>(body));
   out->push_back(static_cast<char>(resp.status));
   PutU32(out, resp.id);
-  if (resp.status != RespStatus::kOk) return;
+  if (resp.status != RespStatus::kOk) {
+    if (resp.status == RespStatus::kShed && resp.retry_after_ms != 0)
+      PutU32(out, resp.retry_after_ms);
+    return;
+  }
   switch (resp.op) {
     case OpCode::kGet:
       PutU64(out, resp.value);
@@ -236,11 +287,26 @@ inline DecodeResult DecodeRequest(std::string_view buf, size_t* consumed,
   size_t len = 0;
   DecodeResult r = internal::NextBody(buf, &pos, &body, &len);
   if (r != DecodeResult::kFrame) return r;
-  out->op = static_cast<OpCode>(body[0]);
+  uint8_t tag = static_cast<uint8_t>(body[0]);
+  out->op = static_cast<OpCode>(tag & kReqOpMask);
   out->id = GetU32(body + 1);
   const char* payload = body + kFrameBodyMinBytes;
   size_t payload_len = len - kFrameBodyMinBytes;
   out->multi_keys.clear();
+  out->deadline_ms = 0;
+  out->idem = 0;
+  if (tag & kReqFlagDeadline) {
+    if (payload_len < 4) return DecodeResult::kError;
+    out->deadline_ms = GetU32(payload);
+    payload += 4;
+    payload_len -= 4;
+  }
+  if (tag & kReqFlagIdem) {
+    if (payload_len < 8) return DecodeResult::kError;
+    out->idem = GetU64(payload);
+    payload += 8;
+    payload_len -= 8;
+  }
   switch (out->op) {
     case OpCode::kGet:
     case OpCode::kDelete:
@@ -286,17 +352,22 @@ inline DecodeResult DecodeResponse(std::string_view buf, size_t* consumed,
   DecodeResult r = internal::NextBody(buf, &pos, &body, &len);
   if (r != DecodeResult::kFrame) return r;
   uint8_t raw_status = static_cast<uint8_t>(body[0]);
-  if (raw_status > static_cast<uint8_t>(RespStatus::kError))
+  if (raw_status > static_cast<uint8_t>(RespStatus::kDeadlineExceeded))
     return DecodeResult::kError;
   out->status = static_cast<RespStatus>(raw_status);
   out->op = op;
   out->id = GetU32(body + 1);
   out->scan_values.clear();
   out->multi.clear();
+  out->retry_after_ms = 0;
   const char* payload = body + kFrameBodyMinBytes;
   size_t payload_len = len - kFrameBodyMinBytes;
   if (out->status != RespStatus::kOk) {
-    if (payload_len != 0) return DecodeResult::kError;
+    if (out->status == RespStatus::kShed && payload_len == 4) {
+      out->retry_after_ms = GetU32(payload);
+    } else if (payload_len != 0) {
+      return DecodeResult::kError;
+    }
     *consumed = pos;
     return DecodeResult::kFrame;
   }

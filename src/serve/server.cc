@@ -15,6 +15,10 @@
 #include "common/hash.h"
 #include "common/sync.h"
 #include "common/timer.h"
+#include "guard/admission.h"
+#include "guard/clock.h"
+#include "guard/dedup.h"
+#include "guard/metrics.h"
 #include "hybrid/concurrent_hybrid.h"
 #include "hybrid/olc_hybrid.h"
 #include "lsm/lsm.h"
@@ -234,6 +238,10 @@ struct WorkItem {
   uint64_t value = 0;        // kPut
   uint32_t scan_limit = 0;   // kScan
   uint16_t multi_index = 0;  // kMultiGet: slot within the assembly
+  uint32_t cost = 1;         // guard cost units charged to the target shard
+  uint64_t enqueue_ns = 0;   // admission time (queue-delay sample)
+  uint64_t deadline_ns = 0;  // absolute monotonic deadline; 0 = none
+  uint64_t idem = 0;         // idempotency token; 0 = none
 };
 
 /// Execution result routed back to the connection owner. A multiget
@@ -243,6 +251,7 @@ struct Completion {
   uint32_t slot = 0;
   uint32_t gen = 0;
   bool multi_part = false;
+  bool deadline = false;  // multi part expired server-side
   uint32_t id = 0;
   uint16_t multi_index = 0;
   bool found = false;
@@ -252,6 +261,7 @@ struct Completion {
 
 struct MultiAssembly {
   uint32_t remaining = 0;
+  bool deadline_exceeded = false;  // any sub-read expired: whole op expired
   std::vector<MultiGetEntry> entries;
 };
 
@@ -273,6 +283,9 @@ struct Conn {
 struct PendingAck {
   WorkItem item;
   bool applied = false;
+  /// Replayed from the dedup window: the recorded outcome stands even if
+  /// this chunk's sync fails — the original write already committed.
+  bool dedup_hit = false;
 };
 
 struct Shard {
@@ -287,10 +300,14 @@ struct Shard {
   std::vector<int> pending_conns MET_GUARDED_BY(mu);
   std::vector<WorkItem> inbox MET_GUARDED_BY(mu);
   std::vector<Completion> done MET_GUARDED_BY(mu);
-  /// Admitted-but-not-executed count (inbox + run_queue), read lock-free by
-  /// other shard threads for admission control. Approximate by a hand-off
-  /// batch at worst, which only shifts the shed point by that batch.
-  sync::Atomic<size_t> queued{0};
+  /// Cost-aware admission control over inbox + run_queue. Admit/OnEnqueue
+  /// are called lock-free by connection-owning threads; OnDequeue (the
+  /// CoDel delay sampling) only by this shard's thread. The queued-cost
+  /// bound is approximate by a hand-off batch at worst, same as the old
+  /// request-count bound.
+  std::unique_ptr<guard::AdmissionController> admission;
+  /// Idempotency window for tokened writes; this shard's thread only.
+  std::unique_ptr<guard::DedupWindow> dedup;
 
   // ---- owner-thread-only state ----
   std::vector<std::unique_ptr<Conn>> conns;
@@ -319,6 +336,7 @@ struct Server::Impl {
 
   ServerOptions opts;
   const ServeObsMetrics& metrics = ServeObsMetrics::Get();
+  const guard::GuardObsMetrics& gmetrics = guard::GuardObsMetrics::Get();
   int listen_fd = -1;
   uint16_t port = 0;
   std::vector<std::unique_ptr<Shard>> shards;
@@ -463,15 +481,33 @@ struct Server::Impl {
     MarkFlush(s, slot);
   }
 
-  bool Admit(Shard* target) const {
-    return target->queued.load(std::memory_order_relaxed) <
-           opts.queue_capacity;
+  static uint32_t CostOf(const Request& req) {
+    switch (req.op) {
+      case OpCode::kGet: return guard::kCostGet;
+      case OpCode::kPut:
+      case OpCode::kDelete: return guard::kCostWrite;
+      case OpCode::kScan: return guard::CostScan(req.scan_limit);
+      case OpCode::kMultiGet: return guard::CostMultiGet(req.multi_keys.size());
+    }
+    return guard::kCostGet;
   }
 
   void Enqueue(Shard* s, size_t target, const WorkItem& item) {
-    shards[target]->queued.fetch_add(1, std::memory_order_relaxed);
+    shards[target]->admission->OnEnqueue(item.cost);
     s->route_scratch[target].push_back(item);
     ++s->conns[item.slot]->inflight;
+  }
+
+  /// Shed response: kShed, with the retry-after hint for guard-aware (v2)
+  /// requests only — a v1 client's decoder expects empty non-OK payloads.
+  void RespondShed(Shard* s, uint32_t slot, Response* err, bool v2,
+                   uint32_t retry_after_ms, uint32_t request_cost) {
+    metrics.shed->Increment();
+    gmetrics.shed->Increment();
+    gmetrics.shed_cost->Add(request_cost);
+    err->status = RespStatus::kShed;
+    if (v2) err->retry_after_ms = retry_after_ms == 0 ? 1 : retry_after_ms;
+    RespondNow(s, slot, *err);
   }
 
   void RouteRequest(Shard* s, uint32_t slot, const Request& req) {
@@ -479,6 +515,11 @@ struct Server::Impl {
     Response err;
     err.id = req.id;
     err.op = req.op;
+    const bool v2 = req.deadline_ms != 0 || req.idem != 0;
+    const uint32_t request_cost = CostOf(req);
+    const uint64_t now_ns = guard::MonotonicNanos();
+    const uint64_t budget_ns =
+        uint64_t{req.deadline_ms} * guard::kNanosPerMilli;
     WorkItem item;
     item.owner = static_cast<uint32_t>(s->id);
     item.slot = slot;
@@ -488,6 +529,11 @@ struct Server::Impl {
     item.key = req.key;
     item.value = req.value;
     item.scan_limit = req.scan_limit;
+    item.cost = request_cost;
+    item.enqueue_ns = now_ns;
+    item.deadline_ns = budget_ns == 0 ? 0 : now_ns + budget_ns;
+    if (req.op == OpCode::kPut || req.op == OpCode::kDelete)
+      item.idem = req.idem;
 
     if (req.op == OpCode::kMultiGet) {
       if (req.multi_keys.empty()) {
@@ -496,11 +542,21 @@ struct Server::Impl {
         return;
       }
       // Admit all sub-reads or none: a partially-shed multiget could never
-      // assemble a complete response.
+      // assemble a complete response. Each sub-read charges only its own
+      // shard (kCostGet), but shedding classifies on the whole request's
+      // cost — a 256-key multiget is heavy even though each piece is cheap.
       for (uint64_t k : req.multi_keys) {
-        if (!Admit(shards[ShardOf(k)].get())) {
-          metrics.shed->Increment();
-          err.status = RespStatus::kBusy;
+        guard::AdmissionController* ctrl =
+            shards[ShardOf(k)]->admission.get();
+        uint32_t retry_after_ms = 0;
+        if (ctrl->Admit(guard::kCostGet, request_cost, &retry_after_ms) !=
+            guard::AdmissionController::Decision::kAdmit) {
+          RespondShed(s, slot, &err, v2, retry_after_ms, request_cost);
+          return;
+        }
+        if (budget_ns != 0 && ctrl->EstimatedDelayNs() > budget_ns) {
+          gmetrics.deadline_admission->Increment();
+          err.status = RespStatus::kDeadlineExceeded;
           RespondNow(s, slot, err);
           return;
         }
@@ -508,7 +564,9 @@ struct Server::Impl {
       Conn* c = s->conns[slot].get();
       MultiAssembly& asmb = c->assemblies[req.id];  // client id reuse: clobber
       asmb.remaining = static_cast<uint32_t>(req.multi_keys.size());
+      asmb.deadline_exceeded = false;
       asmb.entries.assign(req.multi_keys.size(), MultiGetEntry{});
+      item.cost = guard::kCostGet;
       for (size_t i = 0; i < req.multi_keys.size(); ++i) {
         item.key = req.multi_keys[i];
         item.multi_index = static_cast<uint16_t>(i);
@@ -523,9 +581,18 @@ struct Server::Impl {
       return;
     }
     Shard* target = shards[ShardOf(req.key)].get();
-    if (!Admit(target)) {
-      metrics.shed->Increment();
-      err.status = RespStatus::kBusy;
+    uint32_t retry_after_ms = 0;
+    if (target->admission->Admit(request_cost, request_cost,
+                                 &retry_after_ms) !=
+        guard::AdmissionController::Decision::kAdmit) {
+      RespondShed(s, slot, &err, v2, retry_after_ms, request_cost);
+      return;
+    }
+    // Deadline check at admission: if the target's standing queue delay
+    // already exceeds the whole budget, queueing is dead work.
+    if (budget_ns != 0 && target->admission->EstimatedDelayNs() > budget_ns) {
+      gmetrics.deadline_admission->Increment();
+      err.status = RespStatus::kDeadlineExceeded;
       RespondNow(s, slot, err);
       return;
     }
@@ -644,6 +711,28 @@ struct Server::Impl {
     }
   }
 
+  /// Answers an expired queued read with kDeadlineExceeded: a plain frame
+  /// for GET/SCAN, a flagged assembly part for a MULTIGET sub-read.
+  void ExpireItem(Shard* s, const WorkItem& item) {
+    gmetrics.deadline_exec->Increment();
+    if (item.op == OpCode::kMultiGet) {
+      Completion c;
+      c.slot = item.slot;
+      c.gen = item.gen;
+      c.multi_part = true;
+      c.deadline = true;
+      c.id = item.id;
+      c.multi_index = item.multi_index;
+      EmitCompletion(s, item.owner, std::move(c));
+      return;
+    }
+    Response resp;
+    resp.status = RespStatus::kDeadlineExceeded;
+    resp.op = item.op;
+    resp.id = item.id;
+    EmitFrame(s, item, resp);
+  }
+
   void ExecuteChunk(Shard* s) {
     const size_t chunk = s->run_queue.size();
     metrics.queue_depth->Record(chunk);
@@ -655,9 +744,25 @@ struct Server::Impl {
     for (size_t i = 0; i < chunk; ++i) {
       WorkItem item = s->run_queue.front();
       s->run_queue.pop_front();
+      // Dequeue accounting: release the item's cost and feed its queueing
+      // delay to the CoDel state — expired items included, they queued too.
+      const uint64_t now_ns = guard::MonotonicNanos();
+      const uint64_t delay_ns =
+          now_ns > item.enqueue_ns ? now_ns - item.enqueue_ns : 0;
+      s->admission->OnDequeue(item.cost, delay_ns, now_ns);
+      gmetrics.queue_delay_us->Record(delay_ns / 1000);
+      // Deadline check at batch-coalesce time: an expired read never joins
+      // a group, an expired write never reaches the engine or the group
+      // commit below.
+      const bool expired =
+          item.deadline_ns != 0 && now_ns > item.deadline_ns;
       switch (item.op) {
         case OpCode::kGet:
         case OpCode::kMultiGet:
+          if (expired) {
+            ExpireItem(s, item);
+            break;
+          }
           s->batch_keys[nb] = item.key;
           s->batch_items[nb] = item;
           if (++nb == width) {
@@ -665,31 +770,42 @@ struct Server::Impl {
             nb = 0;
           }
           break;
-        case OpCode::kPut: {
+        case OpCode::kPut:
+        case OpCode::kDelete: {
           // Reads queued before a write retire first: pipelined
           // read-your-writes per connection.
           FlushReadGroup(s, nb);
           nb = 0;
+          if (expired) {
+            ExpireItem(s, item);
+            break;
+          }
           PendingAck ack;
           ack.item = item;
-          ack.applied = s->engine->Put(item.key, item.value);
-          dirty = true;
-          s->write_acks.push_back(std::move(ack));
-          break;
-        }
-        case OpCode::kDelete: {
-          FlushReadGroup(s, nb);
-          nb = 0;
-          PendingAck ack;
-          ack.item = item;
-          ack.applied = s->engine->Delete(item.key);
-          dirty = true;
+          if (const bool* prior = s->dedup->Find(item.idem);
+              prior != nullptr) {
+            // Retried tokened write: replay the recorded outcome, never
+            // re-apply (at-least-once becomes effectively-once).
+            gmetrics.dedup_hits->Increment();
+            ack.applied = *prior;
+            ack.dedup_hit = true;
+          } else if (item.op == OpCode::kPut) {
+            ack.applied = s->engine->Put(item.key, item.value);
+            dirty = true;
+          } else {
+            ack.applied = s->engine->Delete(item.key);
+            dirty = true;
+          }
           s->write_acks.push_back(std::move(ack));
           break;
         }
         case OpCode::kScan: {
           FlushReadGroup(s, nb);
           nb = 0;
+          if (expired) {
+            ExpireItem(s, item);
+            break;
+          }
           s->engine->Scan(item.key, item.scan_limit, &s->scan_scratch);
           Response resp;
           resp.status = RespStatus::kOk;
@@ -702,7 +818,9 @@ struct Server::Impl {
       }
     }
     FlushReadGroup(s, nb);
-    s->queued.fetch_sub(chunk, std::memory_order_relaxed);
+    gmetrics.overload_level->Set(s->admission->overload_level());
+    gmetrics.queued_cost->Set(
+        static_cast<int64_t>(s->admission->queued_cost()));
 
     // Group commit: one durability barrier covers every write in the chunk;
     // no ack is released before its bytes are on disk.
@@ -712,13 +830,23 @@ struct Server::Impl {
       Response resp;
       resp.op = ack.item.op;
       resp.id = ack.item.id;
-      if (!sync_ok) {
+      if (ack.dedup_hit) {
+        // The original write already group-committed; its outcome stands
+        // regardless of this chunk's sync.
+        resp.status = ack.applied         ? RespStatus::kOk
+                      : ack.item.op == OpCode::kPut ? RespStatus::kError
+                                                    : RespStatus::kNotFound;
+      } else if (!sync_ok) {
         resp.status = RespStatus::kError;
       } else if (ack.item.op == OpCode::kPut) {
         resp.status = ack.applied ? RespStatus::kOk : RespStatus::kError;
       } else {
         resp.status = ack.applied ? RespStatus::kOk : RespStatus::kNotFound;
       }
+      // Record tokened outcomes only after a successful sync: a dedup hit
+      // must never ack a write that is not actually durable.
+      if (!ack.dedup_hit && sync_ok && ack.item.idem != 0)
+        s->dedup->Insert(ack.item.idem, ack.applied);
       EmitFrame(s, ack.item, resp);
     }
     DispatchCompletions(s);
@@ -753,16 +881,20 @@ struct Server::Impl {
       auto it = conn->assemblies.find(c.id);
       if (it == conn->assemblies.end()) return;
       MultiAssembly& asmb = it->second;
+      if (c.deadline) asmb.deadline_exceeded = true;
       if (c.multi_index < asmb.entries.size()) {
         asmb.entries[c.multi_index].found = c.found;
         asmb.entries[c.multi_index].value = c.value;
       }
       if (--asmb.remaining == 0) {
         Response resp;
-        resp.status = RespStatus::kOk;
+        // One expired sub-read expires the whole op: a partial multiget
+        // result would be indistinguishable from a complete one.
+        resp.status = asmb.deadline_exceeded ? RespStatus::kDeadlineExceeded
+                                             : RespStatus::kOk;
         resp.op = OpCode::kMultiGet;
         resp.id = c.id;
-        resp.multi = std::move(asmb.entries);
+        if (!asmb.deadline_exceeded) resp.multi = std::move(asmb.entries);
         conn->assemblies.erase(it);
         AppendResponse(resp, &conn->wbuf);
         MarkFlush(s, c.slot);
@@ -962,8 +1094,16 @@ struct Server::Impl {
         s->engine = NewMemoryEngine();
       }
       MET_ASSERT(s->engine != nullptr);
+      guard::AdmissionOptions ao;
+      ao.cost_capacity = opts.queue_capacity;
+      ao.delay_target_ns = opts.delay_target_us * 1000;
+      ao.interval_ns = opts.delay_interval_us * 1000;
+      s->admission = std::make_unique<guard::AdmissionController>(ao);
+      s->dedup = std::make_unique<guard::DedupWindow>(opts.dedup_window);
       s->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
       s->event_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      TrackFd(s->epoll_fd);
+      TrackFd(s->event_fd);
       if (s->epoll_fd < 0 || s->event_fd < 0) {
         TearDownFds();
         return io::Status::IoError("epoll/eventfd setup failed", errno);

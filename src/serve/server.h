@@ -27,12 +27,22 @@
 // connection owner. Any write flushes the pending read group first, so
 // same-connection pipelined read-your-writes holds.
 //
-// Backpressure: a request whose target shard's admission queue is at
-// capacity is answered kBusy immediately by the connection owner (it never
-// enters the queue), counted in met.serve.shed. Connections whose write
-// buffer backs up past a high-water mark stop being read until it drains.
-// Queue depth is observable via the met.serve.queue_depth histogram
-// (sampled at every drain).
+// Backpressure (met::guard): every shard owns a cost-aware
+// guard::AdmissionController. Requests are charged an estimated cost
+// (GET 1, PUT/DELETE 2, SCAN ~rows/16, MULTIGET keys); admission sheds —
+// kShed with a retry-after hint, counted in met.serve.shed and
+// met.guard.shed — when the shard's queued cost exceeds queue_capacity or
+// when a CoDel-style standing queue-delay target escalates the overload
+// level (higher levels refuse progressively cheaper request classes, so
+// scans shed before gets). Requests carrying a deadline are refused at
+// admission if the standing delay already exceeds their budget, dropped at
+// batch-coalesce time if it expired while queued, and never reach durable
+// group-commit dead (kDeadlineExceeded in all three cases). Tokened writes
+// are deduplicated per shard (guard::DedupWindow), making client retries
+// at-least-once safe. Connections whose write buffer backs up past a
+// high-water mark stop being read until it drains. Queue depth is
+// observable via met.serve.queue_depth; queue delay via
+// met.guard.queue_delay_us.
 //
 // Shutdown drains gracefully: reads stop, every admitted request executes,
 // responses flush, then sockets close and threads join. In durable mode a
@@ -60,7 +70,7 @@ struct ServeObsMetrics {
   obs::Counter* accepted;      // met.serve.conns_accepted
   obs::Counter* closed;        // met.serve.conns_closed
   obs::Counter* requests;      // met.serve.requests
-  obs::Counter* shed;          // met.serve.shed (kBusy by admission control)
+  obs::Counter* shed;          // met.serve.shed (kShed by admission control)
   obs::Counter* batches;       // met.serve.read_batches executed
   obs::Counter* batched_gets;  // met.serve.batched_gets (reads via GetBatch)
   obs::Counter* proto_errors;  // met.serve.proto_errors (conns killed)
@@ -114,9 +124,18 @@ std::unique_ptr<ShardEngine> NewDurableEngine(const std::string& dir,
 struct ServerOptions {
   uint16_t port = 0;       // 0 = ephemeral; Server::port() has the real one
   size_t num_shards = 0;   // 0 = hardware_concurrency
-  size_t queue_capacity = 4096;  // per-shard admission bound (requests)
-  size_t batch_width = 16;       // read-coalescing group size
-  bool coalesce_reads = true;    // false = execute reads one by one
+  /// Per-shard admission bound in guard cost units (a plain GET costs 1,
+  /// so for GET-only traffic this is the old per-request bound).
+  size_t queue_capacity = 4096;
+  size_t batch_width = 16;     // read-coalescing group size
+  bool coalesce_reads = true;  // false = execute reads one by one
+  /// CoDel-style standing queue-delay target and measurement interval for
+  /// the per-shard admission controller (guard/admission.h).
+  uint64_t delay_target_us = 5000;
+  uint64_t delay_interval_us = 100 * 1000;
+  /// Per-shard idempotency window: how many tokened writes each shard
+  /// remembers for retry dedup. 0 disables dedup.
+  size_t dedup_window = 4096;
   /// Pause reading a connection whose pending response bytes exceed this.
   size_t conn_write_buffer_limit = 4u << 20;
 

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "guard/net_fault.h"
 #include "io/io.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -81,13 +82,14 @@ TEST(ServeProtocolTest, ResponseRoundTripAllShapes) {
   multi_ok.op = OpCode::kMultiGet;
   multi_ok.id = 3;
   multi_ok.multi = {{true, 11}, {false, 0}, {true, 13}};
-  Response busy;
-  busy.op = OpCode::kPut;
-  busy.id = 4;
-  busy.status = RespStatus::kBusy;
+  Response shed;
+  shed.op = OpCode::kPut;
+  shed.id = 4;
+  shed.status = RespStatus::kShed;
+  shed.retry_after_ms = 250;
 
   std::string buf;
-  for (const Response* r : {&get_ok, &scan_ok, &multi_ok, &busy})
+  for (const Response* r : {&get_ok, &scan_ok, &multi_ok, &shed})
     serve::AppendResponse(*r, &buf);
 
   size_t pos = 0;
@@ -106,9 +108,54 @@ TEST(ServeProtocolTest, ResponseRoundTripAllShapes) {
   EXPECT_EQ(11u, got.multi[0].value);
   EXPECT_FALSE(got.multi[1].found);
   ASSERT_EQ(DecodeResult::kFrame, DecodeResponse(buf, &pos, OpCode::kPut, &got));
-  EXPECT_EQ(RespStatus::kBusy, got.status);
+  EXPECT_EQ(RespStatus::kShed, got.status);
   EXPECT_EQ(4u, got.id);
+  EXPECT_EQ(250u, got.retry_after_ms);
   EXPECT_EQ(buf.size(), pos);
+}
+
+TEST(ServeProtocolTest, DeadlineAndIdemFlagsRoundTrip) {
+  Request put;
+  put.op = OpCode::kPut;
+  put.id = 21;
+  put.key = 5;
+  put.value = 6;
+  put.deadline_ms = 750;
+  put.idem = 0xABCDEF0123456789ull;
+  Request get;
+  get.op = OpCode::kGet;
+  get.id = 22;
+  get.key = 9;
+  get.deadline_ms = 10;  // deadline without a token
+  std::string buf;
+  serve::AppendRequest(put, &buf);
+  serve::AppendRequest(get, &buf);
+
+  size_t pos = 0;
+  Request got;
+  ASSERT_EQ(DecodeResult::kFrame, DecodeRequest(buf, &pos, &got));
+  EXPECT_EQ(OpCode::kPut, got.op);
+  EXPECT_EQ(750u, got.deadline_ms);
+  EXPECT_EQ(put.idem, got.idem);
+  ASSERT_EQ(DecodeResult::kFrame, DecodeRequest(buf, &pos, &got));
+  EXPECT_EQ(OpCode::kGet, got.op);
+  EXPECT_EQ(10u, got.deadline_ms);
+  EXPECT_EQ(0u, got.idem);
+  EXPECT_EQ(buf.size(), pos);
+}
+
+TEST(ServeProtocolTest, UnflaggedFramesStayV1Compatible) {
+  // A request without deadline/idem must encode exactly as before the v2
+  // flags existed: tag byte == bare opcode, body == v1 layout.
+  Request get;
+  get.op = OpCode::kGet;
+  get.id = 3;
+  get.key = 77;
+  std::string buf;
+  serve::AppendRequest(get, &buf);
+  ASSERT_EQ(serve::kFrameHeaderBytes + serve::kFrameBodyMinBytes + 8,
+            buf.size());
+  EXPECT_EQ(static_cast<char>(OpCode::kGet), buf[serve::kFrameHeaderBytes]);
 }
 
 TEST(ServeProtocolTest, EveryTruncationPrefixNeedsMoreNeverErrors) {
@@ -181,16 +228,37 @@ TEST(ServeProtocolTest, GarbageFramesAreErrors) {
   pos = 0;
   EXPECT_EQ(DecodeResult::kError, DecodeRequest(short_put, &pos, &got));
 
-  // A non-OK response must carry no payload.
-  std::string busy_payload;
-  serve::PutU32(&busy_payload, serve::kFrameBodyMinBytes + 8);
-  busy_payload.push_back(static_cast<char>(RespStatus::kBusy));
-  serve::PutU32(&busy_payload, 6);
-  serve::PutU64(&busy_payload, 9);
+  // A kShed response may carry 0 or 4 payload bytes (the retry-after
+  // hint); 8 is malformed.
+  std::string shed_payload;
+  serve::PutU32(&shed_payload, serve::kFrameBodyMinBytes + 8);
+  shed_payload.push_back(static_cast<char>(RespStatus::kShed));
+  serve::PutU32(&shed_payload, 6);
+  serve::PutU64(&shed_payload, 9);
   pos = 0;
   Response resp;
   EXPECT_EQ(DecodeResult::kError,
-            DecodeResponse(busy_payload, &pos, OpCode::kGet, &resp));
+            DecodeResponse(shed_payload, &pos, OpCode::kGet, &resp));
+
+  // Other non-OK statuses must carry no payload at all.
+  std::string err_payload;
+  serve::PutU32(&err_payload, serve::kFrameBodyMinBytes + 4);
+  err_payload.push_back(static_cast<char>(RespStatus::kError));
+  serve::PutU32(&err_payload, 6);
+  serve::PutU32(&err_payload, 1);
+  pos = 0;
+  EXPECT_EQ(DecodeResult::kError,
+            DecodeResponse(err_payload, &pos, OpCode::kGet, &resp));
+
+  // A deadline-flagged body too short to hold the deadline field.
+  std::string shortflag;
+  serve::PutU32(&shortflag, serve::kFrameBodyMinBytes + 8);  // needs +4 more
+  shortflag.push_back(static_cast<char>(static_cast<uint8_t>(OpCode::kGet) |
+                                        serve::kReqFlagDeadline));
+  serve::PutU32(&shortflag, 2);
+  serve::PutU64(&shortflag, 3);
+  pos = 0;
+  EXPECT_EQ(DecodeResult::kError, DecodeRequest(shortflag, &pos, &got));
 }
 
 // ---- integration -------------------------------------------------------
@@ -405,18 +473,113 @@ TEST(ServeIntegrationTest, AdmissionControlShedsWhenQueueFull) {
   constexpr int kBurst = 300;
   for (int i = 0; i < kBurst; ++i) c.SendGet(static_cast<uint64_t>(i));
   ASSERT_TRUE(c.Flush().ok());
-  int busy = 0, notfound = 0;
+  int shed = 0, notfound = 0;
   for (int i = 0; i < kBurst; ++i) {
     Response r;
     ASSERT_TRUE(c.Recv(&r).ok());
-    if (r.status == RespStatus::kBusy) ++busy;
+    if (r.status == RespStatus::kShed) ++shed;
     else if (r.status == RespStatus::kNotFound) ++notfound;
     else
       FAIL() << "unexpected status " << static_cast<int>(r.status);
   }
-  EXPECT_GT(busy, 0) << "queue_capacity=4 burst of 300 never shed";
+  EXPECT_GT(shed, 0) << "queue_capacity=4 burst of 300 never shed";
   EXPECT_GT(notfound, 0) << "everything shed; nothing executed";
-  EXPECT_EQ(kBurst, busy + notfound);
+  EXPECT_EQ(kBurst, shed + notfound);
+}
+
+TEST(ServeIntegrationTest, ShedCarriesRetryAfterHintForV2Clients) {
+  serve::ServerOptions o = MemoryOpts(1);
+  o.queue_capacity = 4;
+  o.engine_factory = [](size_t) -> std::unique_ptr<serve::ShardEngine> {
+    return std::make_unique<SlowEngine>();
+  };
+  RunningServer s(std::move(o));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+  // A far-future deadline marks the requests v2 without ever expiring, so
+  // shed responses carry the retry-after payload.
+  c.set_deadline_ms(60'000);
+
+  constexpr int kBurst = 300;
+  for (int i = 0; i < kBurst; ++i) c.SendGet(static_cast<uint64_t>(i));
+  ASSERT_TRUE(c.Flush().ok());
+  int shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Response r;
+    ASSERT_TRUE(c.Recv(&r).ok());
+    if (r.status != RespStatus::kShed) continue;
+    ++shed;
+    EXPECT_GE(r.retry_after_ms, 1u) << "shed without an actionable hint";
+    EXPECT_LE(r.retry_after_ms, 1000u);
+  }
+  EXPECT_GT(shed, 0);
+}
+
+TEST(ServeIntegrationTest, ExpiredDeadlineFailsFastInsteadOfExecuting) {
+  serve::ServerOptions o = MemoryOpts(1);
+  o.engine_factory = [](size_t) -> std::unique_ptr<serve::ShardEngine> {
+    return std::make_unique<SlowEngine>();  // 2ms per read
+  };
+  RunningServer s(std::move(o));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+
+  // 64 pipelined 1ms-deadline GETs against a 2ms-per-read engine: the
+  // head of the queue may execute in time, but the tail's deadlines expire
+  // while queued and must be failed without touching the engine.
+  constexpr int kN = 64;
+  c.set_deadline_ms(1);
+  for (int i = 0; i < kN; ++i) c.SendGet(static_cast<uint64_t>(i));
+  ASSERT_TRUE(c.Flush().ok());
+  int expired = 0, served = 0;
+  for (int i = 0; i < kN; ++i) {
+    Response r;
+    ASSERT_TRUE(c.Recv(&r).ok());
+    if (r.status == RespStatus::kDeadlineExceeded) ++expired;
+    else if (r.status == RespStatus::kNotFound) ++served;
+    else
+      FAIL() << "unexpected status " << static_cast<int>(r.status);
+  }
+  EXPECT_GT(expired, 0) << "no queued deadline ever expired";
+  EXPECT_EQ(kN, expired + served);
+
+  // Deadline-free requests on the same connection still execute normally.
+  c.set_deadline_ms(0);
+  Response r;
+  ASSERT_TRUE(c.Get(1, &r).ok());
+  EXPECT_EQ(RespStatus::kNotFound, r.status);
+}
+
+TEST(ServeIntegrationTest, IdempotencyTokenReplaysDeleteOutcome) {
+  RunningServer s(MemoryOpts(1));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+
+  Response r;
+  ASSERT_TRUE(c.Put(5, 50, &r).ok());
+  ASSERT_EQ(RespStatus::kOk, r.status);
+
+  // First tokened DELETE applies and acks kOk.
+  constexpr uint64_t kToken = 0x1234500000000001ull;
+  uint32_t id = c.SendDelete(5, kToken);
+  ASSERT_TRUE(c.Flush().ok());
+  ASSERT_TRUE(c.RecvFor(id, &r).ok());
+  ASSERT_EQ(RespStatus::kOk, r.status);
+
+  // A retry with the same token replays the recorded kOk even though the
+  // key is now gone — without the window this would ack kNotFound and the
+  // client would wrongly conclude its delete lost a race.
+  id = c.SendDelete(5, kToken);
+  ASSERT_TRUE(c.Flush().ok());
+  ASSERT_TRUE(c.RecvFor(id, &r).ok());
+  EXPECT_EQ(RespStatus::kOk, r.status);
+
+  // An untokened DELETE of the same key reports the truth: nothing there.
+  ASSERT_TRUE(c.Delete(5, &r).ok());
+  EXPECT_EQ(RespStatus::kNotFound, r.status);
 }
 
 TEST(ServeIntegrationTest, GracefulDrainAnswersEveryAdmittedRequest) {
@@ -442,6 +605,94 @@ TEST(ServeIntegrationTest, GracefulDrainAnswersEveryAdmittedRequest) {
     ++answered;
   }
   EXPECT_EQ(kN, answered);
+  server.reset();
+}
+
+// Arms the process-global fault injector for one test and guarantees it is
+// disabled again afterwards (other tests share the singleton).
+class ScopedNetFaults {
+ public:
+  explicit ScopedNetFaults(const guard::NetFaultSpec& spec) {
+    guard::NetFaultInjector::Global().Configure(spec);
+  }
+  ~ScopedNetFaults() {
+    guard::NetFaultInjector::Global().Configure(guard::NetFaultSpec{});
+  }
+};
+
+TEST(ServeIntegrationTest, ShortReadsAndStallsDeliverEveryFrameIntact) {
+  // Clamped reads hit every partial-frame resume path on both sides of the
+  // connection; stalls shake out timing assumptions. Every response must
+  // still decode and match.
+  guard::NetFaultSpec spec;
+  spec.seed = 11;
+  spec.short_read = 0.8;
+  spec.stall = 0.05;
+  spec.stall_ms = 1;
+  ScopedNetFaults faults(spec);
+
+  RunningServer s(MemoryOpts(2));
+  ASSERT_TRUE(s.ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+
+  Response r;
+  for (uint64_t k = 0; k < 48; ++k) {
+    ASSERT_TRUE(c.Put(k, k + 7, &r).ok());
+    ASSERT_EQ(RespStatus::kOk, r.status);
+  }
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 48; ++k) keys.push_back(k);
+  ASSERT_TRUE(c.MultiGet(keys, &r).ok());
+  ASSERT_EQ(RespStatus::kOk, r.status);
+  ASSERT_EQ(keys.size(), r.multi.size());
+  for (uint64_t k = 0; k < 48; ++k) {
+    ASSERT_TRUE(r.multi[k].found) << "key " << k;
+    EXPECT_EQ(k + 7, r.multi[k].value);
+  }
+  EXPECT_GT(guard::NetFaultInjector::Global().Counts().short_read, 0u)
+      << "spec armed but nothing was clamped — test is vacuous";
+}
+
+TEST(ServeIntegrationTest, GracefulDrainUnderLoadWithNetFaults) {
+  // Shutdown while heavyweight requests (wide MULTIGETs, SCANs) are still
+  // in flight on a faulty network: every admitted request must still be
+  // answered, in decodable frames, before the listener goes away.
+  guard::NetFaultSpec spec;
+  spec.seed = 5;
+  spec.short_read = 0.5;
+  ScopedNetFaults faults(spec);
+
+  // One shard so the SCANs cover the whole keyspace and their width can be
+  // asserted exactly.
+  auto server = std::make_unique<serve::Server>(MemoryOpts(1));
+  ASSERT_TRUE(server->Start().ok());
+  serve::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port()).ok());
+
+  for (uint64_t k = 0; k < 64; ++k) c.SendPut(k, k * 2);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 64; ++k) keys.push_back(k);
+  for (int i = 0; i < 8; ++i) {
+    c.SendMultiGet(keys);
+    c.SendScan(0, 64);
+  }
+  // The fence proves everything above was admitted before the drain began.
+  Response fence;
+  ASSERT_TRUE(c.Get(0, &fence).ok());
+
+  server->Shutdown();
+
+  size_t answered = 0;
+  while (c.inflight() > 0) {
+    Response r;
+    ASSERT_TRUE(c.Recv(&r).ok()) << "EOF before all admitted acks arrived";
+    ASSERT_EQ(RespStatus::kOk, r.status);
+    if (r.op == OpCode::kMultiGet) ASSERT_EQ(keys.size(), r.multi.size());
+    if (r.op == OpCode::kScan) ASSERT_EQ(64u, r.scan_values.size());
+    ++answered;
+  }
+  EXPECT_EQ(64u + 16u, answered);
   server.reset();
 }
 

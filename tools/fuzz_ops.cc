@@ -12,6 +12,10 @@
 //
 // Built with MET_CHECK=1 (tools/CMakeLists.txt), so Validate() runs at every
 // checkpoint regardless of build type.
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -42,10 +46,14 @@
 #include "fst/fst.h"
 #include "hybrid/hybrid.h"
 #include "hybrid/olc_hybrid.h"
+#include "io/io.h"
 #include "keys/keygen.h"
 #include "lsm/lsm.h"
 #include "masstree/masstree.h"
+#include "serve/client.h"
+#include "serve/net.h"
 #include "serve/protocol.h"
+#include "serve/server.h"
 #include "skiplist/skiplist.h"
 #include "surf/surf.h"
 
@@ -312,6 +320,11 @@ serve::Request RandomRequest(Random* rng) {
   // on the wire for it, so leave it defaulted or round-trip comparison
   // would flag a phantom mismatch.
   if (r.op != serve::OpCode::kMultiGet) r.key = rng->Next();
+  // v2 flag fields: exercised on every opcode (the codec round-trips them
+  // regardless of whether the server honors them for that op).
+  if (rng->Uniform(3) == 0)
+    r.deadline_ms = 1 + static_cast<uint32_t>(rng->Uniform(100000));
+  if (rng->Uniform(3) == 0) r.idem = rng->Next() | 1;
   switch (r.op) {
     case serve::OpCode::kPut:
       r.value = rng->Next();
@@ -333,10 +346,14 @@ serve::Request RandomRequest(Random* rng) {
 
 serve::Response RandomResponse(Random* rng, serve::OpCode op) {
   serve::Response r;
-  r.status = static_cast<serve::RespStatus>(rng->Uniform(4));
+  r.status = static_cast<serve::RespStatus>(rng->Uniform(5));
   r.op = op;
   r.id = static_cast<uint32_t>(rng->Next());
-  if (r.status != serve::RespStatus::kOk) return r;
+  if (r.status != serve::RespStatus::kOk) {
+    if (r.status == serve::RespStatus::kShed && rng->Uniform(2) == 0)
+      r.retry_after_ms = 1 + static_cast<uint32_t>(rng->Uniform(1000));
+    return r;
+  }
   switch (op) {
     case serve::OpCode::kGet:
       r.value = rng->Next();
@@ -364,12 +381,14 @@ serve::Response RandomResponse(Random* rng, serve::OpCode op) {
 
 bool SameRequest(const serve::Request& a, const serve::Request& b) {
   return a.op == b.op && a.id == b.id && a.key == b.key && a.value == b.value &&
-         a.scan_limit == b.scan_limit && a.multi_keys == b.multi_keys;
+         a.scan_limit == b.scan_limit && a.multi_keys == b.multi_keys &&
+         a.deadline_ms == b.deadline_ms && a.idem == b.idem;
 }
 
 bool SameResponse(const serve::Response& a, const serve::Response& b) {
   if (a.status != b.status || a.id != b.id) return false;
-  if (a.status != serve::RespStatus::kOk) return true;
+  if (a.status != serve::RespStatus::kOk)
+    return a.retry_after_ms == b.retry_after_ms;
   if (a.op != b.op) return false;
   switch (a.op) {
     case serve::OpCode::kGet:
@@ -386,6 +405,145 @@ bool SameResponse(const serve::Response& a, const serve::Response& b) {
     default:
       return true;
   }
+}
+
+int64_t OpenFds() { return io::IoObsMetrics::Get().open_fds->Value(); }
+
+/// Polls met.io.open_fds back to `baseline` (the server closes its side of
+/// a killed connection asynchronously on the shard thread).
+bool WaitFdsBaseline(int64_t baseline) {
+  for (int i = 0; i < 2000; ++i) {
+    if (OpenFds() == baseline) return true;
+    usleep(1000);
+  }
+  return OpenFds() == baseline;
+}
+
+/// Malformed-frame corpus against a live in-process server: truncated
+/// header, oversized/zero length word, garbage opcode, flag bits promising
+/// fields the body lacks, mid-frame EOF, and pure garbage. After every
+/// case the server must still answer a well-formed request and
+/// met.io.open_fds must return to the post-start baseline (no leaked
+/// connection fds on the proto-error close path).
+DiffResult LiveProtoTarget(uint64_t seed) {
+  DiffResult res;
+  auto fail = [&](size_t i, std::string msg) {
+    res.ok = false;
+    res.failed_op = i;
+    res.message = std::move(msg);
+  };
+  serve::ServerOptions sopts;
+  sopts.port = 0;
+  sopts.num_shards = 1;
+  serve::Server server(std::move(sopts));
+  if (!server.Start().ok()) {
+    fail(0, "live proto: server start failed");
+    return res;
+  }
+  const int64_t baseline = OpenFds();
+  {
+    serve::Client c;
+    serve::Response r;
+    if (!c.Connect("127.0.0.1", server.port()).ok() || !c.Put(7, 8, &r).ok() ||
+        r.status != serve::RespStatus::kOk) {
+      fail(0, "live proto: seed write failed");
+      return res;
+    }
+  }
+  if (!WaitFdsBaseline(baseline)) {
+    fail(0, "live proto: fds did not settle after seed write");
+    return res;
+  }
+
+  Random rng(seed ^ 0xF00DF4A3);
+  std::vector<std::string> corpus;
+  // Truncated header: 2 of the 4 length bytes, then EOF.
+  corpus.push_back(std::string("\x09\x00", 2));
+  {  // Oversized length word (far past kMaxFrameBytes).
+    std::string b;
+    serve::PutU32(&b, 0xFFFFFFF0u);
+    b.push_back(1);
+    serve::PutU32(&b, 1);
+    corpus.push_back(b);
+  }
+  {  // Zero length word (below the minimum body).
+    std::string b;
+    serve::PutU32(&b, 0);
+    corpus.push_back(b);
+  }
+  {  // Garbage opcode with a plausible GET-shaped body.
+    std::string b;
+    serve::PutU32(&b, 13);
+    b.push_back(0x3f);
+    serve::PutU32(&b, 2);
+    serve::PutU64(&b, 42);
+    corpus.push_back(b);
+  }
+  {  // Both v2 flags set but no room for their fields.
+    std::string b;
+    serve::PutU32(&b, 13);
+    b.push_back(static_cast<char>(1 | serve::kReqFlagDeadline |
+                                  serve::kReqFlagIdem));
+    serve::PutU32(&b, 3);
+    serve::PutU64(&b, 42);
+    corpus.push_back(b);
+  }
+  {  // Mid-frame EOF: a valid PUT cut in half.
+    serve::Request q;
+    q.op = serve::OpCode::kPut;
+    q.id = 4;
+    q.key = 1;
+    q.value = 2;
+    std::string b;
+    serve::AppendRequest(q, &b);
+    corpus.push_back(b.substr(0, b.size() / 2));
+  }
+  {  // Pure garbage.
+    std::string g(64, '\0');
+    for (auto& ch : g) ch = static_cast<char>(rng.Next());
+    corpus.push_back(g);
+  }
+
+  for (size_t ci = 0; ci < corpus.size(); ++ci) {
+    int fd = -1;
+    if (!serve::ConnectTcp("127.0.0.1", server.port(), &fd).ok()) {
+      fail(ci, "live proto: connect failed");
+      return res;
+    }
+    // Send outcome is advisory: the server may already have reset the
+    // connection, which is a fine answer to a malformed stream.
+    (void)serve::SendAll(fd, corpus[ci]);
+    (void)shutdown(fd, SHUT_WR);
+    timeval tv{};
+    tv.tv_usec = 200 * 1000;
+    (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char sink[256];
+    while (recv(fd, sink, sizeof(sink), 0) > 0) {
+    }
+    serve::CloseFd(fd);
+    if (!WaitFdsBaseline(baseline)) {
+      fail(ci, "live proto: open_fds leaked after malformed case " +
+                   std::to_string(ci));
+      return res;
+    }
+    // Liveness: the server still answers a well-formed request.
+    serve::Client c;
+    serve::Response r;
+    if (!c.Connect("127.0.0.1", server.port()).ok() || !c.Get(7, &r).ok() ||
+        r.status != serve::RespStatus::kOk || r.value != 8) {
+      fail(ci, "live proto: server unhealthy after malformed case " +
+                   std::to_string(ci));
+      return res;
+    }
+    c.Close();
+    if (!WaitFdsBaseline(baseline)) {
+      fail(ci, "live proto: open_fds leaked after liveness probe " +
+                   std::to_string(ci));
+      return res;
+    }
+  }
+  server.Shutdown();
+  return res;
 }
 
 DiffResult ProtoTarget(uint64_t seed) {
@@ -475,6 +633,9 @@ DiffResult ProtoTarget(uint64_t seed) {
       }
     }
   }
+  // 4) The malformed-frame corpus against a live in-process server (fd
+  // accounting + liveness after every case).
+  if (res.ok) res = LiveProtoTarget(seed);
   return res;
 }
 

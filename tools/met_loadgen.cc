@@ -5,6 +5,8 @@
 //               [--rate R]                         (open loop: R total ops/s)
 //               [--updates F] [--scans F] [--inserts F] [--scan-len L]
 //               [--zipfian] [--multiget W] [--no-preload]
+//               [--timeout-ms T] [--retries N] [--hedge-ms H]
+//               [--deadline-ms D]
 //               [--server-shards N] [--json PATH]
 //
 // One thread drives one connection. Closed loop keeps --pipeline requests
@@ -12,7 +14,18 @@
 // Open loop schedules arrivals at a fixed rate and measures latency from
 // the *intended* arrival time (coordinated-omission-free: a stalled server
 // inflates every latency behind the stall, exactly as real clients would
-// experience it), shedding (kBusy) counted separately from service.
+// experience it), shedding (kShed) counted separately from service.
+//
+// Resilience (met::guard client side): --timeout-ms bounds every receive —
+// an op unanswered past the budget is counted a timeout instead of wedging
+// the generator behind a stalled connection. --retries N re-issues timed-out
+// ops up to N times with capped-exponential backoff; PUT/DELETE retries
+// carry an idempotency token so the server's dedup window keeps them
+// exactly-once. --hedge-ms issues a duplicate GET when the first copy is
+// slow; the first answer wins. A dead connection is re-established and
+// tokened writes are replayed on it. Retries, hedges, hedge wins,
+// timeouts, reconnects, and expired (abandoned) ops are all attributed
+// separately, on stdout and in the met.bench.v1 report.
 //
 // The op mix comes from the YCSB request stream (src/ycsb/workload.h):
 // reads map to GET (optionally grouped into MULTIGET), updates/inserts to
@@ -20,6 +33,7 @@
 // "serve loadgen" section CI gates with tools/bench_diff.
 
 #include <poll.h>
+#include <time.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +43,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -61,6 +76,10 @@ struct Config {
   size_t max_outstanding = 1024;  // open loop: per-conn in-flight cap
   bool preload = true;
   size_t server_shards = 1;  // for the qps-per-shard report only
+  uint32_t timeout_ms = 1000;  // per-op receive budget; 0 = wait forever
+  uint32_t retries = 0;        // closed loop: retry timed-out ops this often
+  uint32_t hedge_ms = 0;       // closed loop: duplicate slow GETs; 0 = off
+  uint32_t deadline_ms = 0;    // attach this deadline to every request
 };
 
 struct ThreadResult {
@@ -68,8 +87,16 @@ struct ThreadResult {
   uint64_t ok = 0;
   uint64_t notfound = 0;
   uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
   uint64_t errors = 0;
   uint64_t sent = 0;
+  uint64_t timeouts = 0;    // per-attempt receive expiries
+  uint64_t retries = 0;     // re-issued attempts
+  uint64_t hedges = 0;      // duplicate GETs issued
+  uint64_t hedge_wins = 0;  // hedge answered before the primary
+  uint64_t reconnects = 0;  // connections re-established mid-run
+  uint64_t expired = 0;     // ops abandoned (timed out past all retries)
+  uint64_t late = 0;        // responses for already-abandoned ops
   bool failed = false;
   std::string fail_msg;
 
@@ -77,40 +104,61 @@ struct ThreadResult {
     switch (resp.status) {
       case RespStatus::kOk: ++ok; break;
       case RespStatus::kNotFound: ++notfound; break;
-      case RespStatus::kBusy: ++shed; break;
+      case RespStatus::kShed: ++shed; break;
       case RespStatus::kError: ++errors; break;
+      case RespStatus::kDeadlineExceeded: ++deadline_exceeded; break;
     }
   }
   uint64_t Serviced() const { return ok + notfound; }
 };
 
-/// Emits the next request from the YCSB stream; returns its id.
+/// One logical request, kept around so a timed-out attempt can be re-sent
+/// verbatim (with the same idempotency token for writes).
+struct OpSpec {
+  OpCode op = OpCode::kGet;
+  uint64_t key = 0;
+  uint64_t value = 0;
+  uint32_t scan_limit = 0;
+  std::vector<uint64_t> multi_keys;
+  uint64_t idem = 0;
+};
+
+/// Produces the next OpSpec from the YCSB stream.
 class RequestFeeder {
  public:
   RequestFeeder(const Config& cfg, uint64_t seed)
       : cfg_(cfg), stream_(cfg.keys, Spec(cfg, seed)) {}
 
-  uint32_t SendNext(Client* c) {
+  OpSpec Next() {
     // MULTIGET grouping: reads accumulate; a full group goes out as one
     // frame (one response covers cfg_.multiget keys).
     for (;;) {
       met::YcsbRequest req = stream_.Next();
+      OpSpec s;
       switch (req.op) {
         case met::YcsbOp::kRead:
           if (cfg_.multiget > 1) {
             group_.push_back(req.key_index);
             if (group_.size() < cfg_.multiget) continue;
-            uint32_t id = c->SendMultiGet(group_);
+            s.op = OpCode::kMultiGet;
+            s.multi_keys = std::move(group_);
             group_.clear();
-            return id;
+            return s;
           }
-          return c->SendGet(req.key_index);
+          s.op = OpCode::kGet;
+          s.key = req.key_index;
+          return s;
         case met::YcsbOp::kUpdate:
         case met::YcsbOp::kInsert:
-          return c->SendPut(req.key_index, req.key_index + 1);
+          s.op = OpCode::kPut;
+          s.key = req.key_index;
+          s.value = req.key_index + 1;
+          return s;
         case met::YcsbOp::kScan:
-          return c->SendScan(req.key_index,
-                             static_cast<uint32_t>(req.scan_length));
+          s.op = OpCode::kScan;
+          s.key = req.key_index;
+          s.scan_limit = static_cast<uint32_t>(req.scan_length);
+          return s;
       }
     }
   }
@@ -134,32 +182,86 @@ class RequestFeeder {
   std::vector<uint64_t> group_;
 };
 
+uint32_t SendSpec(Client* c, const OpSpec& s) {
+  switch (s.op) {
+    case OpCode::kGet: return c->SendGet(s.key);
+    case OpCode::kPut: return c->SendPut(s.key, s.value, s.idem);
+    case OpCode::kDelete: return c->SendDelete(s.key, s.idem);
+    case OpCode::kScan: return c->SendScan(s.key, s.scan_limit);
+    case OpCode::kMultiGet: return c->SendMultiGet(s.multi_keys);
+  }
+  return 0;  // unreachable
+}
+
+/// Capped exponential: 2ms << (attempt-1), ceiling 200ms.
+uint64_t BackoffNs(uint32_t attempt) {
+  uint64_t ms = 2ull << std::min(attempt > 0 ? attempt - 1 : 0u, 10u);
+  return std::min<uint64_t>(ms, 200) * 1000000ull;
+}
+
+void SleepMs(uint64_t ms) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
 bool Preload(const Config& cfg, size_t t, Client* c, std::string* err) {
   size_t per = (cfg.keys + cfg.conns - 1) / cfg.conns;
   size_t lo = t * per;
   size_t hi = std::min(cfg.keys, lo + per);
-  size_t outstanding = 0;
-  Response resp;
-  for (size_t k = lo; k < hi; ++k) {
-    c->SendPut(k, k + 1);
-    if (++outstanding < 128 && k + 1 < hi) continue;
-    if (met::io::Status st = c->Flush(); !st.ok()) {
-      *err = st.ToString();
-      return false;
-    }
-    while (outstanding > 0) {
-      if (met::io::Status st = c->Recv(&resp); !st.ok()) {
+  std::vector<uint64_t> todo;
+  todo.reserve(hi - lo);
+  for (size_t k = lo; k < hi; ++k) todo.push_back(k);
+  // Preload is setup, not measurement: the per-op deadline only applies to
+  // the measured phase.
+  c->set_deadline_ms(0);
+  // Shed PUTs are retried until the whole keyspace slice is loaded — a
+  // small admission budget on the target must thin the measured phase, not
+  // silently leave holes that turn every later GET into a notfound.
+  std::vector<std::pair<uint32_t, uint64_t>> batch;  // id -> key
+  std::vector<uint64_t> shed;
+  uint32_t backoff_ms = 0;
+  while (!todo.empty()) {
+    if (backoff_ms != 0) SleepMs(backoff_ms);
+    backoff_ms = 0;
+    shed.clear();
+    for (size_t i = 0; i < todo.size();) {
+      batch.clear();
+      for (; i < todo.size() && batch.size() < 128; ++i)
+        batch.emplace_back(c->SendPut(todo[i], todo[i] + 1), todo[i]);
+      if (met::io::Status st = c->Flush(); !st.ok()) {
         *err = st.ToString();
         return false;
       }
-      --outstanding;
+      for (const auto& [id, key] : batch) {
+        Response resp;
+        if (met::io::Status st = c->RecvFor(id, &resp); !st.ok()) {
+          *err = st.ToString();
+          return false;
+        }
+        if (resp.status == RespStatus::kShed) {
+          shed.push_back(key);
+          backoff_ms = std::max(backoff_ms,
+                                resp.retry_after_ms != 0 ? resp.retry_after_ms
+                                                         : 1u);
+        } else if (resp.status != RespStatus::kOk) {
+          *err = "preload put failed with status " +
+                 std::to_string(static_cast<int>(resp.status));
+          return false;
+        }
+      }
     }
+    todo.swap(shed);
   }
+  c->set_deadline_ms(cfg.deadline_ms);
   return true;
 }
 
 void RunClosed(const Config& cfg, size_t t, ThreadResult* out) {
   Client c;
+  c.set_deadline_ms(cfg.deadline_ms);
   if (met::io::Status st = c.Connect(cfg.host, cfg.port); !st.ok()) {
     out->failed = true;
     out->fail_msg = st.ToString();
@@ -171,47 +273,200 @@ void RunClosed(const Config& cfg, size_t t, ThreadResult* out) {
     out->fail_msg = "preload: " + err;
     return;
   }
+  // The timeout arms after preload: a cold preload against a durable engine
+  // may legitimately out-wait the per-op budget.
+  c.SetRecvTimeout(cfg.timeout_ms);
+
+  struct Pending {
+    OpSpec spec;
+    uint64_t first_ns = 0;  // first transmit: latency epoch
+    uint64_t sent_ns = 0;   // last transmit: timeout epoch
+    uint64_t retry_at = 0;  // nonzero = timed out, awaiting backoff
+    uint32_t attempts = 1;
+    uint32_t twin = 0;  // hedge partner id (both directions)
+    bool is_hedge = false;
+  };
+  std::unordered_map<uint32_t, Pending> pending;
+  uint64_t next_idem = (static_cast<uint64_t>(t) + 1) << 40 | 1;
+  const uint64_t timeout_ns = uint64_t{cfg.timeout_ms} * 1000000;
+  const uint64_t hedge_ns = uint64_t{cfg.hedge_ms} * 1000000;
+
   RequestFeeder feeder(cfg, 0x10aD6E + t * 977);
-  std::unordered_map<uint32_t, uint64_t> sent_at;
   met::Timer clock;
   const uint64_t deadline = static_cast<uint64_t>(cfg.seconds * 1e9);
   Response resp;
+
+  auto on_resp = [&](const Response& r, uint64_t now) {
+    auto it = pending.find(r.id);
+    if (it == pending.end()) {
+      ++out->late;  // answer for an op already abandoned or hedge-resolved
+      return;
+    }
+    Pending& p = it->second;
+    if (p.is_hedge) ++out->hedge_wins;
+    if (r.status == RespStatus::kOk || r.status == RespStatus::kNotFound)
+      out->latency.RecordNanos(now - p.first_ns);
+    out->Count(r);
+    uint32_t twin = p.twin;
+    pending.erase(it);
+    if (twin != 0) pending.erase(twin);
+  };
+
+  // Walks the window after a receive timeout: expires ops past their
+  // budget (scheduling a retry or abandoning them), fires due retries, and
+  // hedges slow GETs. Returns true when new frames need a Flush.
+  auto sweep = [&](uint64_t now) -> bool {
+    bool need_flush = false;
+    std::vector<uint32_t> abandon, retry, hedge;
+    for (auto& [id, p] : pending) {
+      if (p.is_hedge) continue;  // follows its primary's fate
+      if (p.retry_at != 0) {
+        if (now >= p.retry_at) retry.push_back(id);
+        continue;
+      }
+      if (timeout_ns != 0 && now - p.sent_ns >= timeout_ns) {
+        ++out->timeouts;
+        if (p.attempts <= cfg.retries)
+          p.retry_at = now + BackoffNs(p.attempts);
+        else
+          abandon.push_back(id);
+        continue;
+      }
+      if (hedge_ns != 0 && p.twin == 0 && p.spec.op == OpCode::kGet &&
+          now - p.sent_ns >= hedge_ns)
+        hedge.push_back(id);
+    }
+    for (uint32_t id : abandon) {
+      uint32_t twin = pending[id].twin;
+      pending.erase(id);
+      if (twin != 0) pending.erase(twin);
+      ++out->expired;
+    }
+    for (uint32_t id : retry) {
+      Pending p = std::move(pending[id]);
+      pending.erase(id);
+      if (p.twin != 0) pending.erase(p.twin);
+      p.twin = 0;
+      p.retry_at = 0;
+      ++p.attempts;
+      ++out->retries;
+      p.sent_ns = now;
+      uint32_t nid = SendSpec(&c, p.spec);
+      pending.emplace(nid, std::move(p));
+      need_flush = true;
+    }
+    for (uint32_t id : hedge) {
+      Pending& prim = pending[id];
+      ++out->hedges;
+      uint32_t hid = c.SendGet(prim.spec.key);
+      Pending h;
+      h.spec = prim.spec;
+      h.first_ns = prim.first_ns;
+      h.sent_ns = now;
+      h.is_hedge = true;
+      h.twin = id;
+      prim.twin = hid;
+      pending.emplace(hid, std::move(h));
+      need_flush = true;
+    }
+    return need_flush;
+  };
+
+  // A dead connection (reset under fault injection, server restart) is
+  // re-established; tokened writes replay on it — the dedup window keeps
+  // them exactly-once — and everything else is abandoned (its answer died
+  // with the old socket).
+  auto reconnect = [&](uint64_t now) -> bool {
+    c.Close();
+    for (uint32_t i = 0; i <= cfg.retries; ++i) {
+      if (c.Connect(cfg.host, cfg.port).ok()) break;
+      SleepMs(BackoffNs(i + 1) / 1000000);
+    }
+    if (!c.connected()) return false;
+    ++out->reconnects;
+    std::unordered_map<uint32_t, Pending> old;
+    old.swap(pending);
+    for (auto& [id, p] : old) {
+      if (p.is_hedge) continue;
+      bool tokened_write = (p.spec.op == OpCode::kPut ||
+                            p.spec.op == OpCode::kDelete) &&
+                           p.spec.idem != 0;
+      if (tokened_write && p.attempts <= cfg.retries) {
+        ++p.attempts;
+        ++out->retries;
+        p.sent_ns = now;
+        p.retry_at = 0;
+        p.twin = 0;
+        uint32_t nid = SendSpec(&c, p.spec);
+        pending.emplace(nid, std::move(p));
+      } else {
+        ++out->expired;
+      }
+    }
+    return pending.empty() || c.Flush().ok();
+  };
+
   while (clock.ElapsedNanos() < deadline) {
-    while (sent_at.size() < cfg.pipeline) {
+    while (pending.size() < cfg.pipeline) {
+      OpSpec s = feeder.Next();
+      if (cfg.retries > 0 &&
+          (s.op == OpCode::kPut || s.op == OpCode::kDelete))
+        s.idem = next_idem++;
       uint64_t now = clock.ElapsedNanos();
-      sent_at[feeder.SendNext(&c)] = now;
+      uint32_t id = SendSpec(&c, s);
+      Pending p;
+      p.spec = std::move(s);
+      p.first_ns = now;
+      p.sent_ns = now;
+      pending.emplace(id, std::move(p));
       ++out->sent;
     }
     if (met::io::Status st = c.Flush(); !st.ok()) {
+      if (!reconnect(clock.ElapsedNanos())) {
+        out->failed = true;
+        out->fail_msg = st.ToString();
+        return;
+      }
+      continue;
+    }
+    met::io::Status st = c.Recv(&resp);
+    if (st.ok()) {
+      on_resp(resp, clock.ElapsedNanos());
+      continue;
+    }
+    if (Client::IsTimeout(st)) {
+      if (sweep(clock.ElapsedNanos())) {
+        if (!c.Flush().ok() && !reconnect(clock.ElapsedNanos())) {
+          out->failed = true;
+          out->fail_msg = "reconnect failed";
+          return;
+        }
+      }
+      continue;
+    }
+    if (!reconnect(clock.ElapsedNanos())) {
       out->failed = true;
       out->fail_msg = st.ToString();
       return;
     }
-    if (met::io::Status st = c.Recv(&resp); !st.ok()) {
-      out->failed = true;
-      out->fail_msg = st.ToString();
-      return;
-    }
-    uint64_t now = clock.ElapsedNanos();
-    auto it = sent_at.find(resp.id);
-    if (it != sent_at.end()) {
-      if (resp.status == RespStatus::kOk ||
-          resp.status == RespStatus::kNotFound)
-        out->latency.RecordNanos(now - it->second);
-      sent_at.erase(it);
-    }
-    out->Count(resp);
   }
-  // Drain the window so the server-side counters settle before Shutdown.
-  while (!sent_at.empty()) {
-    if (!c.Recv(&resp).ok()) break;
-    out->Count(resp);
-    sent_at.erase(resp.id);
+  // Drain the window so the server-side counters settle before Shutdown;
+  // the receive timeout bounds the wait when the tail never arrives.
+  while (!pending.empty()) {
+    if (met::io::Status st = c.Recv(&resp); !st.ok()) {
+      if (Client::IsTimeout(st)) {
+        out->expired += pending.size();
+        pending.clear();
+      }
+      break;
+    }
+    on_resp(resp, clock.ElapsedNanos());
   }
 }
 
 void RunOpen(const Config& cfg, size_t t, ThreadResult* out) {
   Client c;
+  c.set_deadline_ms(cfg.deadline_ms);
   if (met::io::Status st = c.Connect(cfg.host, cfg.port); !st.ok()) {
     out->failed = true;
     out->fail_msg = st.ToString();
@@ -223,10 +478,12 @@ void RunOpen(const Config& cfg, size_t t, ThreadResult* out) {
     out->fail_msg = "preload: " + err;
     return;
   }
+  c.SetRecvTimeout(cfg.timeout_ms);
   RequestFeeder feeder(cfg, 0x09E41 + t * 977);
   const double per_conn_rate = cfg.rate / static_cast<double>(cfg.conns);
   const uint64_t interval =
       static_cast<uint64_t>(1e9 / (per_conn_rate > 0 ? per_conn_rate : 1));
+  const uint64_t timeout_ns = uint64_t{cfg.timeout_ms} * 1000000;
   std::unordered_map<uint32_t, uint64_t> intended;
   met::Timer clock;
   const uint64_t deadline = static_cast<uint64_t>(cfg.seconds * 1e9);
@@ -238,15 +495,32 @@ void RunOpen(const Config& cfg, size_t t, ThreadResult* out) {
       if (!c.TryRecv(&resp, &have).ok()) return false;
       if (!have) return true;
       auto it = intended.find(resp.id);
-      if (it != intended.end()) {
-        // Latency from the intended arrival, not the actual send: queueing
-        // delay behind a slow server is charged to the server.
-        if (resp.status == RespStatus::kOk ||
-            resp.status == RespStatus::kNotFound)
-          out->latency.RecordNanos(now - it->second);
-        intended.erase(it);
+      if (it == intended.end()) {
+        ++out->late;  // answer for an op already expired by the timeout
+        continue;
       }
+      // Latency from the intended arrival, not the actual send: queueing
+      // delay behind a slow server is charged to the server.
+      if (resp.status == RespStatus::kOk ||
+          resp.status == RespStatus::kNotFound)
+        out->latency.RecordNanos(now - it->second);
+      intended.erase(it);
       out->Count(resp);
+    }
+  };
+  // Ops whose intended arrival is more than the timeout in the past are
+  // written off: with the generator ahead of a stalled server, the window
+  // would otherwise pin at max_outstanding forever.
+  auto expire_overdue = [&](uint64_t now) {
+    if (timeout_ns == 0) return;
+    for (auto it = intended.begin(); it != intended.end();) {
+      if (now - it->second >= timeout_ns) {
+        ++out->timeouts;
+        ++out->expired;
+        it = intended.erase(it);
+      } else {
+        ++it;
+      }
     }
   };
   // Cap on requests in flight per connection: past it the sender itself
@@ -261,7 +535,7 @@ void RunOpen(const Config& cfg, size_t t, ThreadResult* out) {
     if (now >= deadline) break;
     bool sent_any = false;
     while (next_arrival <= now && intended.size() < max_outstanding) {
-      intended[feeder.SendNext(&c)] = next_arrival;
+      intended[SendSpec(&c, feeder.Next())] = next_arrival;
       ++out->sent;
       next_arrival += interval;
       sent_any = true;
@@ -273,9 +547,18 @@ void RunOpen(const Config& cfg, size_t t, ThreadResult* out) {
     }
     if (!drain_buffered(clock.ElapsedNanos())) return;
     if (intended.size() >= max_outstanding) {
-      // Saturated: block for at least one response before sending more.
-      if (!c.Fill().ok()) return;  // peer closed mid-run: stop this conn
-      if (!drain_buffered(clock.ElapsedNanos())) return;
+      // Saturated: wait (bounded — a stalled connection must not wedge the
+      // generator) for a response before sending more.
+      pollfd p{};
+      p.fd = c.fd();
+      p.events = POLLIN;
+      if (poll(&p, 1, 100) > 0) {
+        if (met::io::Status st = c.Fill(); !st.ok()) {
+          if (!Client::IsTimeout(st)) return;  // peer closed mid-run: stop
+        }
+        if (!drain_buffered(clock.ElapsedNanos())) return;
+      }
+      expire_overdue(clock.ElapsedNanos());
       continue;
     }
     now = clock.ElapsedNanos();
@@ -291,9 +574,12 @@ void RunOpen(const Config& cfg, size_t t, ThreadResult* out) {
       p.events = POLLIN;
       int r = ppoll(&p, 1, &ts, nullptr);
       if (r > 0) {
-        if (!c.Fill().ok()) return;
+        if (met::io::Status st = c.Fill(); !st.ok()) {
+          if (!Client::IsTimeout(st)) return;
+        }
         if (!drain_buffered(clock.ElapsedNanos())) return;
       }
+      expire_overdue(clock.ElapsedNanos());
     }
   }
   // Bounded post-deadline drain: collect responses already in flight.
@@ -302,9 +588,15 @@ void RunOpen(const Config& cfg, size_t t, ThreadResult* out) {
     pollfd p{};
     p.fd = c.fd();
     p.events = POLLIN;
-    if (poll(&p, 1, 100) <= 0) continue;
-    if (!c.Fill().ok()) break;
+    if (poll(&p, 1, 100) <= 0) {
+      expire_overdue(clock.ElapsedNanos());
+      continue;
+    }
+    if (met::io::Status st = c.Fill(); !st.ok()) {
+      if (!Client::IsTimeout(st)) break;
+    }
     if (!drain_buffered(clock.ElapsedNanos())) break;
+    expire_overdue(clock.ElapsedNanos());
   }
 }
 
@@ -371,6 +663,12 @@ int main(int argc, char** argv) {
   cfg.preload = !FlagBool(argc, argv, "--no-preload");
   cfg.server_shards =
       std::max<uint64_t>(1, FlagU64(argc, argv, "--server-shards", 1));
+  cfg.timeout_ms =
+      static_cast<uint32_t>(FlagU64(argc, argv, "--timeout-ms", 1000));
+  cfg.retries = static_cast<uint32_t>(FlagU64(argc, argv, "--retries", 0));
+  cfg.hedge_ms = static_cast<uint32_t>(FlagU64(argc, argv, "--hedge-ms", 0));
+  cfg.deadline_ms =
+      static_cast<uint32_t>(FlagU64(argc, argv, "--deadline-ms", 0));
 
   const bool open_loop = cfg.rate > 0.0;
   std::vector<ThreadResult> results(cfg.conns);
@@ -385,6 +683,8 @@ int main(int argc, char** argv) {
 
   met::obs::Histogram latency;
   uint64_t ok = 0, notfound = 0, shed = 0, errors = 0, sent = 0;
+  uint64_t deadline_exceeded = 0, timeouts = 0, retries = 0, hedges = 0;
+  uint64_t hedge_wins = 0, reconnects = 0, expired = 0, late = 0;
   for (ThreadResult& r : results) {
     if (r.failed) {
       std::fprintf(stderr, "met_loadgen: connection failed: %s\n",
@@ -397,6 +697,14 @@ int main(int argc, char** argv) {
     shed += r.shed;
     errors += r.errors;
     sent += r.sent;
+    deadline_exceeded += r.deadline_exceeded;
+    timeouts += r.timeouts;
+    retries += r.retries;
+    hedges += r.hedges;
+    hedge_wins += r.hedge_wins;
+    reconnects += r.reconnects;
+    expired += r.expired;
+    late += r.late;
   }
   const uint64_t serviced = ok + notfound;
   const double qps = elapsed > 0 ? static_cast<double>(serviced) / elapsed : 0;
@@ -408,7 +716,9 @@ int main(int argc, char** argv) {
   std::printf(
       "met_loadgen mode=%s conns=%zu pipeline=%zu rate=%.0f seconds=%.2f\n"
       "  sent=%llu serviced=%llu (ok=%llu notfound=%llu) shed=%llu "
-      "errors=%llu\n"
+      "deadline=%llu errors=%llu\n"
+      "  timeouts=%llu retries=%llu hedges=%llu hedge_wins=%llu "
+      "reconnects=%llu expired=%llu late=%llu\n"
       "  qps=%.0f qps/shard=%.0f p50=%lluns p99=%lluns p999=%lluns\n",
       mode, cfg.conns, cfg.pipeline, cfg.rate, elapsed,
       static_cast<unsigned long long>(sent),
@@ -416,7 +726,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ok),
       static_cast<unsigned long long>(notfound),
       static_cast<unsigned long long>(shed),
-      static_cast<unsigned long long>(errors), qps,
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(timeouts),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(hedges),
+      static_cast<unsigned long long>(hedge_wins),
+      static_cast<unsigned long long>(reconnects),
+      static_cast<unsigned long long>(expired),
+      static_cast<unsigned long long>(late), qps,
       qps / static_cast<double>(cfg.server_shards),
       static_cast<unsigned long long>(p50),
       static_cast<unsigned long long>(p99),
@@ -436,7 +754,14 @@ int main(int argc, char** argv) {
                 {"ok", static_cast<size_t>(ok)},
                 {"notfound", static_cast<size_t>(notfound)},
                 {"shed", static_cast<size_t>(shed)},
-                {"errors", static_cast<size_t>(errors)}});
+                {"deadline_exceeded", static_cast<size_t>(deadline_exceeded)},
+                {"errors", static_cast<size_t>(errors)},
+                {"timeouts", static_cast<size_t>(timeouts)},
+                {"retries", static_cast<size_t>(retries)},
+                {"hedges", static_cast<size_t>(hedges)},
+                {"hedge_wins", static_cast<size_t>(hedge_wins)},
+                {"reconnects", static_cast<size_t>(reconnects)},
+                {"expired", static_cast<size_t>(expired)}});
   reporter.WriteIfEnabled();
   return errors == 0 ? 0 : 2;
 }

@@ -4,16 +4,24 @@
 //   met_server [--port N] [--shards N] [--queue-cap N] [--batch-width N]
 //              [--no-coalesce] [--durable] [--dir PATH]
 //              [--engine olc|locked]
+//              [--delay-target-us N] [--dedup-window N] [--json PATH]
 //
 // --engine picks the in-memory shard engine: "olc" (default) is the
 // optimistically lock-coupled hybrid, "locked" the SharedMutex baseline.
 // Ignored with --durable.
 //
+// --queue-cap is the per-shard admission bound in guard cost units,
+// --delay-target-us the CoDel-style standing queue-delay target, and
+// --dedup-window the per-shard idempotency window for retried writes (see
+// src/guard/). MET_NET_FAULT=<spec> in the environment arms network fault
+// injection on every socket (src/guard/net_fault.h has the grammar).
+//
 // Prints "met_server listening port=<p> shards=<n>" on stdout once ready
 // (line-buffered, so scripts can wait for it), then serves until SIGINT or
 // SIGTERM, which triggers a graceful drain: every admitted request
 // executes, responses flush, then the process exits 0 with a counter
-// summary on stdout.
+// summary on stdout. --json additionally writes a met.bench.v1 document
+// whose obs dump carries the full met.serve.* / met.guard.* families.
 
 #include <unistd.h>
 
@@ -23,6 +31,8 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_util.h"
+#include "guard/metrics.h"
 #include "serve/server.h"
 
 namespace {
@@ -61,6 +71,9 @@ bool FlagBool(int argc, char** argv, const char* name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  met::bench::Reporter& reporter = met::bench::Reporter::Get();
+  reporter.ParseArgs(&argc, argv);
+
   met::serve::ServerOptions opts;
   opts.port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 7777));
   opts.num_shards = FlagU64(argc, argv, "--shards", 0);
@@ -69,6 +82,8 @@ int main(int argc, char** argv) {
   opts.coalesce_reads = !FlagBool(argc, argv, "--no-coalesce");
   opts.durable = FlagBool(argc, argv, "--durable");
   opts.dir = FlagStr(argc, argv, "--dir", "/tmp/met_serve");
+  opts.delay_target_us = FlagU64(argc, argv, "--delay-target-us", 5000);
+  opts.dedup_window = FlagU64(argc, argv, "--dedup-window", 4096);
   const char* engine = FlagStr(argc, argv, "--engine", "olc");
   if (std::strcmp(engine, "locked") == 0) {
     opts.locked_memory_engine = true;
@@ -98,14 +113,34 @@ int main(int argc, char** argv) {
   server.Shutdown();
 
   const auto& m = met::serve::ServeObsMetrics::Get();
+  const auto& g = met::guard::GuardObsMetrics::Get();
   std::printf(
       "met_server drained: requests=%llu shed=%llu read_batches=%llu "
-      "batched_gets=%llu conns_accepted=%llu proto_errors=%llu\n",
+      "batched_gets=%llu conns_accepted=%llu proto_errors=%llu\n"
+      "  guard: shed_cost=%llu deadline_admission=%llu deadline_exec=%llu "
+      "dedup_hits=%llu net_faults=%llu\n",
       static_cast<unsigned long long>(m.requests->Value()),
       static_cast<unsigned long long>(m.shed->Value()),
       static_cast<unsigned long long>(m.batches->Value()),
       static_cast<unsigned long long>(m.batched_gets->Value()),
       static_cast<unsigned long long>(m.accepted->Value()),
-      static_cast<unsigned long long>(m.proto_errors->Value()));
+      static_cast<unsigned long long>(m.proto_errors->Value()),
+      static_cast<unsigned long long>(g.shed_cost->Value()),
+      static_cast<unsigned long long>(g.deadline_admission->Value()),
+      static_cast<unsigned long long>(g.deadline_exec->Value()),
+      static_cast<unsigned long long>(g.dedup_hits->Value()),
+      static_cast<unsigned long long>(g.net_faults->Value()));
+
+  reporter.Section("serve server");
+  reporter.Row(
+      {{"requests", static_cast<size_t>(m.requests->Value())},
+       {"shed", static_cast<size_t>(m.shed->Value())},
+       {"shed_cost", static_cast<size_t>(g.shed_cost->Value())},
+       {"deadline_admission",
+        static_cast<size_t>(g.deadline_admission->Value())},
+       {"deadline_exec", static_cast<size_t>(g.deadline_exec->Value())},
+       {"dedup_hits", static_cast<size_t>(g.dedup_hits->Value())},
+       {"net_faults", static_cast<size_t>(g.net_faults->Value())}});
+  reporter.WriteIfEnabled();
   return 0;
 }
